@@ -1,0 +1,88 @@
+//! Development probe: quantify QAT-vs-engine divergence on a trained model,
+//! node by node, to pin down where rounding drift enters.
+
+use diva_data::imagenet::{synth_imagenet, ImagenetCfg};
+use diva_models::{Architecture, ModelCfg};
+use diva_nn::train::{evaluate, gather, train_classifier, TrainCfg};
+use diva_nn::Infer;
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg, RequantMode};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let args: Vec<usize> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
+    let (n, epochs) = (args.first().copied().unwrap_or(512), args.get(1).copied().unwrap_or(6));
+    let noise = args.get(2).copied().unwrap_or(10) as f32 / 100.0;
+    let cj = args.get(3).copied().unwrap_or(22) as f32 / 100.0;
+    let lr = args.get(4).copied().unwrap_or(20) as f32 / 1000.0;
+    let seed = args.get(5).copied().unwrap_or(61) as u64;
+    let arch = match args.get(6).copied().unwrap_or(0) {
+        1 => Architecture::MobileNet,
+        2 => Architecture::DenseNet,
+        _ => Architecture::ResNet,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data_cfg = ImagenetCfg { noise, color_jitter: cj, ..ImagenetCfg::default() };
+    let train = synth_imagenet(n, &data_cfg, 61);
+    let val = synth_imagenet(256, &data_cfg, 62);
+    let mut net = arch.build(&ModelCfg::standard(16), &mut rng);
+    let tcfg = TrainCfg {
+        epochs,
+        batch_size: 32,
+        lr,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    train_classifier(&mut net, &train.images, &train.labels, &tcfg, &mut rng);
+    println!("fp acc {:.3}", evaluate(&net, &val.images, &val.labels));
+    let mut qat = QatNetwork::new(net, QuantCfg::default());
+    qat.calibrate(&train.images);
+    println!("qat acc {:.3}", evaluate(&qat, &val.images, &val.labels));
+    // Per-node divergence: engine dequantized vs QAT activations.
+    {
+        let engine = Int8Engine::from_qat(&qat);
+        let x = gather(&val.images, &(0..16).collect::<Vec<_>>());
+        let exec = qat.forward(&x);
+        let qts = engine.run(&x);
+        let qps = qat.act_qparams();
+        for (i, node) in qat.network().graph().nodes().iter().enumerate() {
+            let qa = exec.activation(diva_nn::NodeId(i));
+            let qe = qps[i].dequantize_tensor(&qts[i].data, &qts[i].dims);
+            let diff = qa.sub(&qe).abs();
+            println!(
+                "node {i:2} {:10} scale {:.5} | mean diff {:.5} ({:.2} LSB) max {:.5} ({:.2} LSB)",
+                node.op.name(),
+                qps[i].scale,
+                diff.mean(),
+                diff.mean() / qps[i].scale,
+                diff.max(),
+                diff.max() / qps[i].scale,
+            );
+        }
+    }
+    for mode in [RequantMode::FixedPoint, RequantMode::Float] {
+        let engine = Int8Engine::from_qat_with_mode(&qat, mode);
+        println!(
+            "engine[{mode:?}] acc {:.3}",
+            evaluate(&engine, &val.images, &val.labels)
+        );
+        let x = gather(&val.images, &(0..64).collect::<Vec<_>>());
+        let lq = qat.logits(&x);
+        let le = engine.logits(&x);
+        let diff = lq.sub(&le);
+        let scale = engine.qparams().last().unwrap().scale;
+        println!(
+            "  logit diff mean {:.4} max {:.4} (out scale {:.4} => max {:.1} LSB)",
+            diff.abs().mean(),
+            diff.abs().max(),
+            scale,
+            diff.abs().max() / scale
+        );
+        let agree = qat
+            .predict(&x)
+            .iter()
+            .zip(engine.predict(&x))
+            .filter(|(a, b)| **a == *b)
+            .count();
+        println!("  prediction agreement {agree}/64");
+    }
+}

@@ -1,0 +1,148 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p diva-bench --bin repro -- <experiment> [flags]
+//!
+//! experiments:
+//!   table1      original vs quantized accuracy + instability (Table 1)
+//!   fig1        PGD vs DIVA prediction quadrants on ResNet (Figure 1)
+//!   fig2        decision-boundary raster + DIVA trajectory (Figure 2)
+//!   fig3        qualitative single-image attack (Figure 3)
+//!   fig4        PCA of MNIST representations pre/post attack (Figure 4)
+//!   fig6        the main attack matrix incl. Table 2 (Figure 6a-c)
+//!   fig6d       success vs attack steps (Figure 6d)
+//!   fig7        the c-ablation (Figure 7)
+//!   table2      evasion cost (printed as part of fig6; alias)
+//!   baselines   CW and Momentum PGD (§5.4)
+//!   robust      robust training defense (§5.5)
+//!   fig8        pruning + pruning+quantization (Figure 8)
+//!   fig10       face recognition case study incl. targeted attack (§6)
+//!   transfer    extension: cross-architecture transfer of PGD vs DIVA
+//!   bits        extension: divergence vs quantization bit width
+//!   detect      extension: differential detection defense
+//!   all         everything above, reusing trained victims
+//!
+//! flags:
+//!   --quick          small smoke-test scale
+//!   --no-blackbox    skip surrogate settings in fig6
+//!   --qat-epochs N   table1 ablation: QAT epoch count
+//!   --bits N         table1 ablation: quantization bit width
+//!   --per-tensor     table1 ablation: per-tensor weight quantization
+//! ```
+//!
+//! Reports are printed and archived under `repro_out/`.
+
+use diva_bench::experiments::{
+    self, archive, baselines, bits, detect, fig1, fig10, fig2, fig3, fig4, fig6, fig7, fig8,
+    robust, table1, transfer, VictimCache,
+};
+use diva_bench::suite::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // All leading non-flag arguments are experiment names; several can be
+    // given at once to share trained victims (e.g. `repro fig1 fig3 bits`).
+    let cmds: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // skip values belonging to value-flags
+            let prev = args
+                .iter()
+                .position(|x| x == a)
+                .and_then(|i| i.checked_sub(1))
+                .map(|i| args[i].as_str());
+            !matches!(prev, Some("--qat-epochs") | Some("--bits"))
+        })
+        .collect();
+    let cmd = cmds.first().copied().unwrap_or("help");
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_blackbox = args.iter().any(|a| a == "--no-blackbox");
+    let per_tensor = args.iter().any(|a| a == "--per-tensor");
+    let qat_epochs = flag_value(&args, "--qat-epochs").map(|v| v.parse().expect("--qat-epochs N"));
+    let bits: u8 = flag_value(&args, "--bits")
+        .map(|v| v.parse().expect("--bits N"))
+        .unwrap_or(8);
+
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::standard()
+    };
+    let mut cache = VictimCache::new();
+    let started = std::time::Instant::now();
+
+    let run_one = |cache: &mut VictimCache, cmd: &str| -> Option<String> {
+        let report = match cmd {
+            "table1" => table1::run(
+                cache,
+                &scale,
+                &table1::Table1Options {
+                    bits,
+                    per_tensor,
+                    qat_epochs,
+                },
+            ),
+            "fig1" => fig1::run(cache, &scale),
+            "fig2" => fig2::run(if quick { 31 } else { 61 }),
+            "fig3" => fig3::run(cache, &scale),
+            "fig4" => fig4::run(if quick { 60 } else { 150 }).0,
+            "fig6" | "table2" => fig6::run(cache, &scale, !no_blackbox),
+            "fig6d" => fig6::success_vs_steps(cache, &scale, 20),
+            "fig7" => fig7::run(cache, &scale),
+            "baselines" => baselines::run(cache, &scale),
+            "robust" => robust::run(cache, &scale),
+            "fig8" => fig8::run(cache, &scale),
+            "fig10" => fig10::run(&if quick {
+                fig10::FaceScale::quick()
+            } else {
+                fig10::FaceScale::standard()
+            }),
+            "transfer" => transfer::run(cache, &scale),
+            "bits" => bits::run(cache, &scale),
+            "detect" => detect::run(cache, &scale),
+            _ => return None,
+        };
+        Some(archive(cmd, report))
+    };
+
+    match cmd {
+        "all" => {
+            for c in [
+                "table1", "fig1", "fig2", "fig3", "fig4", "fig6", "fig6d", "fig7", "baselines",
+                "robust", "fig8", "fig10", "transfer", "bits", "detect",
+            ] {
+                eprintln!("=== repro {c} ===");
+                let report = run_one(&mut cache, c).expect("known experiment");
+                println!("{report}\n{}\n", "=".repeat(78));
+            }
+        }
+        "help" | "--help" | "-h" => {
+            eprintln!("usage: repro <experiment> [--quick] [--no-blackbox] ...");
+            eprintln!("experiments: table1 fig1 fig2 fig3 fig4 fig6 fig6d fig7 table2");
+            eprintln!("             baselines robust fig8 fig10 transfer bits detect all");
+            std::process::exit(2);
+        }
+        _ => {
+            for c in &cmds {
+                match run_one(&mut cache, c) {
+                    Some(report) => println!("{report}\n{}\n", "=".repeat(78)),
+                    None => {
+                        eprintln!("unknown experiment `{c}`; try `repro help`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+    let _ = experiments::archive_csv; // keep module reachable for docs
+    eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f64());
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

@@ -1,0 +1,95 @@
+//! Extension experiment: how the divergence attack surface scales with
+//! quantization bit width.
+//!
+//! The paper fixes int8 (the deployment standard); the framework here
+//! supports arbitrary widths, so we can ask the natural follow-up: coarser
+//! grids should diverge more from the original (higher instability) and
+//! hand DIVA a larger attack surface, at the cost of top-line accuracy.
+
+use diva_core::attack::{diva_attack, pgd_attack, AttackCfg};
+use diva_core::pipeline::evaluate_attack;
+use diva_data::select_validation;
+use diva_metrics::instability;
+use diva_models::Architecture;
+use diva_nn::train::evaluate;
+use diva_quant::{QatNetwork, QuantCfg};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::experiments::{archive_csv, VictimCache};
+use crate::suite::{pct, ExperimentScale};
+
+/// Bit widths swept.
+pub const BITS: [u8; 3] = [8, 6, 4];
+
+/// Runs the bit-width sweep on the ResNet victim.
+pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
+    let victim = cache.victim(Architecture::ResNet, scale).clone();
+    let cfg = AttackCfg::paper_default();
+    let mut out = String::new();
+    out.push_str(
+        "Extension — divergence vs quantization bit width (ResNet)\n\n\
+         bits | adapted acc | instability | PGD top-1 | DIVA top-1 | DIVA attack-only\n\
+         -----|-------------|-------------|-----------|------------|------------------\n",
+    );
+    let mut csv = String::from("bits,acc,instability,pgd_top1,diva_top1,diva_attack_only\n");
+    for bits in BITS {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ u64::from(bits));
+        let mut qat = QatNetwork::new(victim.original.clone(), QuantCfg::with_bits(bits));
+        qat.calibrate(&victim.train.images);
+        qat.train_qat(
+            &victim.train.images,
+            &victim.train.labels,
+            &scale.qat_cfg,
+            &mut rng,
+        );
+        let acc = evaluate(&qat, &victim.val_pool.images, &victim.val_pool.labels);
+        let (_, _, inst) = instability(
+            &victim.original,
+            &qat,
+            &victim.val_pool.images,
+            &victim.val_pool.labels,
+        );
+        let attack_set =
+            select_validation(&victim.val_pool, &[&victim.original, &qat], scale.per_class_val);
+        if attack_set.is_empty() {
+            out.push_str(&format!("{bits:4} | (no mutually-correct samples at this width)\n"));
+            continue;
+        }
+        let pgd = pgd_attack(&qat, &attack_set.images, &attack_set.labels, &cfg);
+        let pgd_counts =
+            evaluate_attack(&victim.original, &qat, &pgd, &attack_set.labels);
+        let diva = diva_attack(
+            &victim.original,
+            &qat,
+            &attack_set.images,
+            &attack_set.labels,
+            1.0,
+            &cfg,
+        );
+        let diva_counts =
+            evaluate_attack(&victim.original, &qat, &diva, &attack_set.labels);
+        out.push_str(&format!(
+            "{bits:4} | {}      | {}      | {}    | {}     | {}\n",
+            pct(acc),
+            pct(inst),
+            pct(pgd_counts.top1_rate()),
+            pct(diva_counts.top1_rate()),
+            pct(diva_counts.attack_only_rate()),
+        ));
+        csv.push_str(&format!(
+            "{bits},{acc},{inst},{},{},{}\n",
+            pgd_counts.top1_rate(),
+            diva_counts.top1_rate(),
+            diva_counts.attack_only_rate()
+        ));
+    }
+    archive_csv("bits_sweep", &csv);
+    out.push_str(
+        "\nExpected shape: instability grows steeply as the grid coarsens while\n\
+         adapted accuracy decays. DIVA's *evasive advantage* over PGD is\n\
+         largest at deployment-grade widths (int8): at very coarse grids the\n\
+         models are so divergent that even undirected PGD noise lands in\n\
+         divergence regions, eroding DIVA's relative edge.\n",
+    );
+    out
+}

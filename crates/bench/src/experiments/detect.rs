@@ -1,0 +1,122 @@
+//! Extension experiment: a *differential* detection defense.
+//!
+//! The paper's conclusion invites "a new line of research on attacks and
+//! defenses that target the variations in models deployed in production".
+//! This experiment evaluates the most natural such defense: instead of
+//! validating suspicious inputs on the original model alone (which DIVA
+//! evades by construction), the operator validates them on the original
+//! model **plus an independently re-adapted model** (same weights, different
+//! calibration slice / QAT seed) and flags inputs on which the ensemble
+//! *disagrees*.
+//!
+//! Intuition: DIVA pushed the input into the divergence set of pair A
+//! (original, deployed). A second adaptation B has a *different* divergence
+//! set, so an input that splits A is likely to split (original, B) too —
+//! detectable — while natural inputs rarely split either.
+
+use diva_core::attack::{diva_attack, pgd_attack, AttackCfg};
+use diva_models::Architecture;
+use diva_nn::Infer;
+use diva_quant::{QatNetwork, QuantCfg};
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::experiments::{archive_csv, VictimCache};
+use crate::suite::{pct, ExperimentScale};
+
+/// Detection = disagreement between the original model and the detector
+/// model on an input.
+fn detection_rate<D: Infer>(original: &dyn Infer, detector: &D, x: &Tensor) -> f32 {
+    let n = x.dims()[0];
+    if n == 0 {
+        return 0.0;
+    }
+    let a = original.predict(x);
+    let b = detector.predict(x);
+    a.iter().zip(&b).filter(|(p, q)| **p != **q).count() as f32 / n as f32
+}
+
+/// Runs the detection study on the ResNet victim.
+pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
+    let victim = cache.victim(Architecture::ResNet, scale).clone();
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xDE7EC7);
+    // Re-adapt the same original: calibrate on a different slice of the
+    // training data and run QAT with a different shuffling seed.
+    let half = victim.train.len() / 2;
+    let calib_b: Vec<usize> = (half..victim.train.len()).collect();
+    let calib_images = diva_nn::train::gather(&victim.train.images, &calib_b);
+    let mut detector = QatNetwork::new(victim.original.clone(), QuantCfg::default());
+    detector.calibrate(&calib_images);
+    detector.train_qat(
+        &victim.train.images,
+        &victim.train.labels,
+        &scale.qat_cfg,
+        &mut rng,
+    );
+
+    let attack_set = victim.attack_set(scale.per_class_val);
+    let cfg = AttackCfg::paper_default();
+    let pgd = pgd_attack(&victim.qat, &attack_set.images, &attack_set.labels, &cfg);
+    let diva = diva_attack(
+        &victim.original,
+        &victim.qat,
+        &attack_set.images,
+        &attack_set.labels,
+        1.0,
+        &cfg,
+    );
+
+    // False-positive rate: disagreement on *natural* validation images.
+    let fpr = detection_rate(&victim.original, &detector, &victim.val_pool.images);
+    // Detection on successful DIVA samples only (the ones that slip past
+    // original-model validation).
+    let diva_success_idx: Vec<usize> = {
+        let o = victim.original.predict(&diva);
+        let a = victim.qat.predict(&diva);
+        (0..attack_set.len())
+            .filter(|&i| o[i] == attack_set.labels[i] && a[i] != attack_set.labels[i])
+            .collect()
+    };
+    let diva_successes = if diva_success_idx.is_empty() {
+        None
+    } else {
+        Some(diva_nn::train::gather(&diva, &diva_success_idx))
+    };
+
+    let mut out = String::new();
+    out.push_str(
+        "Extension — differential detection: validate with the original model\n\
+         PLUS an independently re-adapted copy; flag inputs they disagree on\n\n",
+    );
+    out.push_str(&format!(
+        "false-positive rate on natural validation images: {}\n\n",
+        pct(fpr)
+    ));
+    out.push_str("input batch                       | flagged by the detector pair\n");
+    out.push_str("----------------------------------|------------------------------\n");
+    let mut csv = String::from("batch,detection_rate\n");
+    for (name, batch) in [
+        ("natural attack-set images", Some(&attack_set.images)),
+        ("PGD-attacked images", Some(&pgd)),
+        ("DIVA-attacked images", Some(&diva)),
+        ("DIVA *successful* images only", diva_successes.as_ref()),
+    ] {
+        match batch {
+            Some(b) => {
+                let r = detection_rate(&victim.original, &detector, b);
+                out.push_str(&format!("{name:34}| {}\n", pct(r)));
+                csv.push_str(&format!("{name},{r}\n"));
+            }
+            None => out.push_str(&format!("{name:34}| (no successful DIVA samples)\n")),
+        }
+    }
+    archive_csv("detect_defense", &csv);
+    out.push_str(
+        "\nExpected shape: natural images rarely split the pair (low FPR), but a\n\
+         large share of the DIVA samples that evade the original model are\n\
+         caught by disagreement with the re-adapted copy — the variation the\n\
+         attack exploits is itself a detection signal. The operator-side cost\n\
+         is one extra adapted-model inference per validated input.\n",
+    );
+    out
+}

@@ -1,0 +1,56 @@
+//! Figure 1: quadrant breakdown (original correct/incorrect × quantized
+//! correct/incorrect) after PGD vs after DIVA on the quantized ResNet.
+//!
+//! The paper's headline picture: PGD breaks *both* models (detectable),
+//! DIVA breaks only the adapted one.
+
+use diva_core::attack::AttackCfg;
+use diva_core::pipeline::evaluate_outcomes;
+use diva_models::Architecture;
+
+use crate::experiments::VictimCache;
+use crate::suite::{attack_matrix_row_adv, pct, AttackKind, ExperimentScale};
+
+/// Runs the quadrant experiment on the ResNet victim.
+pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
+    let victim = cache.victim(Architecture::ResNet, scale).clone();
+    let attack_set = victim.attack_set(scale.per_class_val);
+    let cfg = AttackCfg::paper_default();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 1 — prediction quadrants after attacking quantized ResNet\n\
+         (attack set: {} images, all initially correct on both models)\n\n",
+        attack_set.len()
+    ));
+    out.push_str(
+        "Attack | Orig✓ Quant✓ | Orig✓ Quant✗ (evasive hit) | Orig✗ Quant✓ | Orig✗ Quant✗ (detectable)\n",
+    );
+    out.push_str(
+        "-------|--------------|----------------------------|--------------|--------------------------\n",
+    );
+    for kind in [AttackKind::Pgd, AttackKind::DivaWhitebox(1.0)] {
+        let (_, adv) = attack_matrix_row_adv(&victim, &attack_set, kind, &cfg, None);
+        let outcomes = evaluate_outcomes(&victim.original, &victim.qat, &adv, &attack_set.labels);
+        let n = outcomes.len() as f32;
+        let q = |oc: bool, ac: bool| {
+            outcomes
+                .iter()
+                .filter(|o| o.original_correct == oc && o.adapted_correct == ac)
+                .count() as f32
+                / n
+        };
+        out.push_str(&format!(
+            "{:6} | {}       | {}                     | {}       | {}\n",
+            kind.name(),
+            pct(q(true, true)),
+            pct(q(true, false)),
+            pct(q(false, true)),
+            pct(q(false, false)),
+        ));
+    }
+    out.push_str(
+        "\nPaper shape: PGD lands most images in the Orig✗ quadrants; DIVA\n\
+         concentrates them in Orig✓ Quant✗ with almost nothing detectable.\n",
+    );
+    out
+}

@@ -1,0 +1,236 @@
+//! Figure 4: PCA of the penultimate-layer representations on MNIST, before
+//! and after the DIVA attack.
+//!
+//! Reproduces the §4.2 study: samples of digits 0 and 2 that both models
+//! classify correctly are embedded with the original and adapted models;
+//! attacking the digit-0 samples with DIVA shifts the *adapted* model's
+//! representations toward the digit-2 cluster while the original model's
+//! move much less.
+
+use diva_core::attack::{diva_attack, diva_targeted_attack, AttackCfg};
+use diva_data::mnist::{synth_mnist, MnistCfg};
+use diva_metrics::Pca;
+use diva_models::mnist_cnn;
+use diva_nn::train::{gather, train_classifier, TrainCfg};
+use diva_nn::Infer;
+use diva_quant::{QatNetwork, QuantCfg};
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::experiments::archive_csv;
+
+/// Result of the PCA study, exposed for tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcaShift {
+    /// Distance of adapted-model attacked-0 centroid toward the 2-cluster,
+    /// as a fraction of the 0→2 centroid distance (1 = moved all the way).
+    pub adapted_shift: f32,
+    /// Same for the original model.
+    pub original_shift: f32,
+    /// Mean PCA-space displacement of the adapted model's representations.
+    pub adapted_move: f32,
+    /// Same for the original model.
+    pub original_move: f32,
+    /// Attack success rate on the digit-0 samples.
+    pub success: f32,
+}
+
+/// Runs the study; returns the printable report and the shift summary.
+pub fn run(samples_per_digit: usize) -> (String, PcaShift) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mnist_cfg = MnistCfg::default();
+    let train = synth_mnist(1500, &mnist_cfg, 100);
+    let pool = synth_mnist(6 * samples_per_digit.max(40), &mnist_cfg, 101);
+
+    let mut net = mnist_cnn(&mut rng);
+    let tcfg = TrainCfg {
+        epochs: 6,
+        batch_size: 32,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    train_classifier(&mut net, &train.images, &train.labels, &tcfg, &mut rng);
+    let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
+    qat.calibrate(&train.images);
+    qat.train_qat(&train.images, &train.labels, &TrainCfg { epochs: 1, ..tcfg }, &mut rng);
+
+    // Select digit-0 and digit-2 samples both models classify correctly.
+    let select = |digit: usize| -> Vec<usize> {
+        (0..pool.len())
+            .filter(|&i| pool.labels[i] == digit)
+            .filter(|&i| {
+                let x = gather(&pool.images, &[i]);
+                net.predict(&x)[0] == digit && qat.predict(&x)[0] == digit
+            })
+            .take(samples_per_digit)
+            .collect()
+    };
+    let zeros = select(0);
+    let twos = select(2);
+    let x0 = gather(&pool.images, &zeros);
+    let x2 = gather(&pool.images, &twos);
+
+    // Attack the digit-0 samples with DIVA. The paper's figure shows 0s
+    // that the adapted model comes to read as 2s; reproducing that exact
+    // flip direction uses the targeted variant (§6) with target digit 2 —
+    // the untargeted success rate is reported alongside.
+    let labels0 = vec![0usize; zeros.len()];
+    let cfg = AttackCfg::paper_default();
+    let untargeted = diva_attack(&net, &qat, &x0, &labels0, 1.0, &cfg);
+    let success = {
+        let preds = qat.predict(&untargeted);
+        let orig_preds = net.predict(&untargeted);
+        preds
+            .iter()
+            .zip(&orig_preds)
+            .filter(|(a, o)| **a != 0 && **o == 0)
+            .count() as f32
+            / zeros.len().max(1) as f32
+    };
+    let adv0 = diva_targeted_attack(
+        &net,
+        &qat,
+        &x0,
+        &labels0,
+        2,
+        1.0,
+        4.0,
+        &AttackCfg::with_steps(30),
+    );
+    let toward_two = qat
+        .predict(&adv0)
+        .iter()
+        .filter(|&&p| p == 2)
+        .count() as f32
+        / zeros.len().max(1) as f32;
+
+    // Representations from both models on both digits, natural and attacked.
+    let feats = |model: &dyn Fn(&Tensor) -> Tensor, x: &Tensor| model(x);
+    let orig_feat = |x: &Tensor| net.features(x).expect("feature node");
+    let qat_feat = |x: &Tensor| qat.features(x).expect("feature node");
+    let f_o0 = feats(&orig_feat, &x0);
+    let f_o2 = feats(&orig_feat, &x2);
+    let f_a0 = feats(&qat_feat, &x0);
+    let f_a2 = feats(&qat_feat, &x2);
+    let f_o0_adv = feats(&orig_feat, &adv0);
+    let f_a0_adv = feats(&qat_feat, &adv0);
+
+    // Fit PCA on the natural representations of both models.
+    let all_nat = stack_rows(&[&f_o0, &f_o2, &f_a0, &f_a2]);
+    let pca = Pca::fit(&all_nat, 2);
+    let p_o0 = pca.transform(&f_o0);
+    let p_o2 = pca.transform(&f_o2);
+    let p_a0 = pca.transform(&f_a0);
+    let p_a2 = pca.transform(&f_a2);
+    let p_o0_adv = pca.transform(&f_o0_adv);
+    let p_a0_adv = pca.transform(&f_a0_adv);
+
+    // Centroid geometry: how far did the attacked 0s move toward the 2s?
+    let shift = |nat: &Tensor, adv: &Tensor, toward: &Tensor| -> f32 {
+        let c_nat = centroid(nat);
+        let c_adv = centroid(adv);
+        let c_to = centroid(toward);
+        let axis = [c_to[0] - c_nat[0], c_to[1] - c_nat[1]];
+        let len2 = axis[0] * axis[0] + axis[1] * axis[1];
+        if len2 < 1e-12 {
+            return 0.0;
+        }
+        ((c_adv[0] - c_nat[0]) * axis[0] + (c_adv[1] - c_nat[1]) * axis[1]) / len2
+    };
+    let adapted_shift = shift(&p_a0, &p_a0_adv, &p_a2);
+    let original_shift = shift(&p_o0, &p_o0_adv, &p_o2);
+    // Mean per-sample displacement in PCA space — the paper's core claim is
+    // that DIVA moves the adapted model's representations much more than
+    // the original's, regardless of which wrong cluster they land in.
+    let displacement = |nat: &Tensor, adv: &Tensor| -> f32 {
+        let n = nat.dims()[0].max(1);
+        (0..n)
+            .map(|i| {
+                let dx = adv.data()[i * 2] - nat.data()[i * 2];
+                let dy = adv.data()[i * 2 + 1] - nat.data()[i * 2 + 1];
+                (dx * dx + dy * dy).sqrt()
+            })
+            .sum::<f32>()
+            / n as f32
+    };
+    let adapted_move = displacement(&p_a0, &p_a0_adv);
+    let original_move = displacement(&p_o0, &p_o0_adv);
+
+    // Archive the raw projected points.
+    let mut csv = String::from("series,pc1,pc2\n");
+    for (name, pts) in [
+        ("orig_digit0", &p_o0),
+        ("orig_digit2", &p_o2),
+        ("adapted_digit0", &p_a0),
+        ("adapted_digit2", &p_a2),
+        ("orig_digit0_attacked", &p_o0_adv),
+        ("adapted_digit0_attacked", &p_a0_adv),
+    ] {
+        for i in 0..pts.dims()[0] {
+            csv.push_str(&format!(
+                "{name},{},{}\n",
+                pts.data()[i * 2],
+                pts.data()[i * 2 + 1]
+            ));
+        }
+    }
+    archive_csv("fig4_pca", &csv);
+
+    let report = format!(
+        "Figure 4 — PCA of penultimate representations (SynthMNIST, digits 0 vs 2)\n\
+         samples: {} per digit, both-model-correct\n\n\
+         untargeted DIVA success on digit-0 samples (adapted wrong & original right): {:.1}%\n\
+         targeted (0→2) DIVA: adapted model reads {:.1}% of the 0s as 2s\n\n\
+         mean PCA-space displacement of attacked digit-0 representations\n\
+         (how far DIVA dragged each model's view of the same images):\n\
+         \x20 adapted model:  {:.3}\n\
+         \x20 original model: {:.3}   (ratio {:.2}x)\n\n\
+         centroid shift toward the digit-2 cloud (fraction of the 0→2 centroid\n\
+         distance; raw points in repro_out/fig4_pca.csv):\n\
+         \x20 adapted model:  {:+.2}\n\
+         \x20 original model: {:+.2}\n\n\
+         Paper shape: DIVA shifts the adapted model's representations across to\n\
+         the wrong cluster while the original model's move much less.\n",
+        samples_per_digit,
+        100.0 * success,
+        100.0 * toward_two,
+        adapted_move,
+        original_move,
+        adapted_move / original_move.max(1e-6),
+        adapted_shift,
+        original_shift,
+    );
+    (
+        report,
+        PcaShift {
+            adapted_shift,
+            original_shift,
+            adapted_move,
+            original_move,
+            success,
+        },
+    )
+}
+
+fn stack_rows(parts: &[&Tensor]) -> Tensor {
+    let d = parts[0].dims()[1];
+    let mut data = Vec::new();
+    let mut n = 0;
+    for p in parts {
+        assert_eq!(p.dims()[1], d);
+        data.extend_from_slice(p.data());
+        n += p.dims()[0];
+    }
+    Tensor::from_vec(data, &[n, d])
+}
+
+fn centroid(pts: &Tensor) -> [f32; 2] {
+    let n = pts.dims()[0].max(1) as f32;
+    let mut c = [0.0f32; 2];
+    for i in 0..pts.dims()[0] {
+        c[0] += pts.data()[i * 2];
+        c[1] += pts.data()[i * 2 + 1];
+    }
+    [c[0] / n, c[1] / n]
+}

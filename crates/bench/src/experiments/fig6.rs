@@ -1,0 +1,147 @@
+//! Figure 6 (a–c) and Table 2: the main attack matrix — top-1/top-5 joint
+//! success, confidence delta, evasion cost and attack speed for PGD vs DIVA
+//! in the whitebox, semi-blackbox and blackbox settings, across the three
+//! architectures. Figure 6d (success vs steps) lives in [`success_vs_steps`].
+
+use diva_core::attack::{diva_attack_traced, pgd_attack, AttackCfg};
+use diva_core::pipeline::evaluate_attack;
+use diva_metrics::confidence_delta;
+use diva_models::Architecture;
+
+use crate::experiments::{archive_csv, VictimCache};
+use crate::suite::{attack_matrix_row, pct, AttackKind, ExperimentScale};
+
+/// Runs the full matrix. `with_blackbox` controls whether the expensive
+/// surrogate-based settings are included.
+pub fn run(cache: &mut VictimCache, scale: &ExperimentScale, with_blackbox: bool) -> String {
+    let cfg = AttackCfg::paper_default();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 6a/b/c + Table 2 — attacks on quantized models\n\
+         (eps=8/255, alpha=1/255, t={}, c=1; per-arch attack sets of up to {} per class)\n\n",
+        cfg.steps,
+        scale.per_class_val
+    ));
+    out.push_str(
+        "Arch      | Attack                | Top-1  | Top-5  | ConfΔ  | Attack-only | Orig-fooled | s/step\n",
+    );
+    out.push_str(
+        "----------|-----------------------|--------|--------|--------|-------------|-------------|-------\n",
+    );
+    let mut csv = String::from("arch,attack,top1,top5,conf_delta,attack_only,orig_fooled\n");
+    for arch in Architecture::ALL {
+        let victim = cache.victim(arch, scale).clone();
+        let attack_set = victim.attack_set(scale.per_class_val);
+        // Natural-image confidence delta for the Fig. 6c baseline bar.
+        let nat_cd = confidence_delta(
+            &victim.original,
+            &victim.qat,
+            &attack_set.images,
+            &attack_set.labels,
+        );
+        out.push_str(&format!(
+            "{:9} | (natural images)      |        |        | {} |             |             |\n",
+            arch.name(),
+            pct(nat_cd)
+        ));
+        let mut kinds = vec![AttackKind::Pgd, AttackKind::DivaWhitebox(1.0)];
+        let surrogates = if with_blackbox {
+            kinds.push(AttackKind::DivaSemiBlackbox(1.0));
+            kinds.push(AttackKind::DivaBlackbox(1.0));
+            Some(cache.surrogates(arch, scale))
+        } else {
+            None
+        };
+        for kind in kinds {
+            let row = attack_matrix_row(&victim, &attack_set, kind, &cfg, surrogates.as_ref());
+            out.push_str(&format!(
+                "{:9} | {:21} | {} | {} | {} | {}      | {}      | {:.2}\n",
+                arch.name(),
+                kind.name(),
+                pct(row.counts.top1_rate()),
+                pct(row.counts.top5_rate()),
+                pct(row.confidence_delta),
+                pct(row.counts.attack_only_rate()),
+                pct(row.counts.original_fooled_rate()),
+                row.gen_seconds / cfg.steps as f64,
+            ));
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                arch.name(),
+                kind.name(),
+                row.counts.top1_rate(),
+                row.counts.top5_rate(),
+                row.confidence_delta,
+                row.counts.attack_only_rate(),
+                row.counts.original_fooled_rate(),
+            ));
+        }
+    }
+    archive_csv("fig6_matrix", &csv);
+    out.push_str(
+        "\nPaper shape: DIVA whitebox ≫ PGD on top-1/top-5 joint success with\n\
+         near-zero original-fooled rate; semi-blackbox between whitebox and PGD;\n\
+         blackbox weakest of the DIVA variants but above PGD on top-1; DIVA's\n\
+         attack-only rate (Table 2) only slightly below PGD's; both attacks run\n\
+         at a similar per-step cost (§5.2 'Attack speed').\n",
+    );
+    out
+}
+
+/// Figure 6d: top-1 joint success after each attack step, PGD vs DIVA on
+/// the ResNet victim.
+pub fn success_vs_steps(cache: &mut VictimCache, scale: &ExperimentScale, steps: usize) -> String {
+    let victim = cache.victim(Architecture::ResNet, scale).clone();
+    let attack_set = victim.attack_set(scale.per_class_val);
+    let x = &attack_set.images;
+    let labels = &attack_set.labels;
+
+    // PGD: evaluate joint success at every step by re-running with t=k.
+    // (PGD through `projected_ascent` is deterministic, so prefix runs agree
+    // with a single traced run; trace DIVA directly.)
+    let mut pgd_curve = Vec::with_capacity(steps);
+    for t in 1..=steps {
+        let cfg = AttackCfg::with_steps(t);
+        let adv = pgd_attack(&victim.qat, x, labels, &cfg);
+        let counts = evaluate_attack(&victim.original, &victim.qat, &adv, labels);
+        pgd_curve.push(counts.top1_rate());
+    }
+    let mut diva_curve = Vec::with_capacity(steps);
+    let cfg = AttackCfg::with_steps(steps);
+    let _ = diva_attack_traced(
+        &victim.original,
+        &victim.qat,
+        x,
+        labels,
+        1.0,
+        &cfg,
+        |x_t, _| {
+            let counts = evaluate_attack(&victim.original, &victim.qat, x_t, labels);
+            diva_curve.push(counts.top1_rate());
+        },
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 6d — top-1 joint success vs attack steps (ResNet, {} images)\n\n\
+         step |   PGD  |  DIVA\n\
+         -----|--------|-------\n",
+        attack_set.len()
+    ));
+    let mut csv = String::from("step,pgd,diva\n");
+    for t in 0..steps {
+        out.push_str(&format!(
+            "{:4} | {} | {}\n",
+            t + 1,
+            pct(pgd_curve[t]),
+            pct(diva_curve[t])
+        ));
+        csv.push_str(&format!("{},{},{}\n", t + 1, pgd_curve[t], diva_curve[t]));
+    }
+    archive_csv("fig6d_steps", &csv);
+    out.push_str(
+        "\nPaper shape: PGD's joint success plateaus after a few steps while DIVA\n\
+         keeps climbing well past it.\n",
+    );
+    out
+}

@@ -1,0 +1,151 @@
+//! Figure 8: DIVA against the pruning adaptation (§5.6) — attacks on pruned
+//! models (a, b) and on pruned-then-quantized models (c, d).
+
+use diva_core::attack::{diva_attack, pgd_attack, AttackCfg};
+use diva_core::pipeline::evaluate_attack;
+use diva_core::DiffModel;
+use diva_metrics::{confidence_delta, instability};
+use diva_models::Architecture;
+use diva_nn::train::TrainCfg;
+use diva_nn::Infer;
+use diva_prune::{prune_with_finetune, sparse_size_ratio, PruneCfg};
+use diva_quant::{QatNetwork, QuantCfg};
+use diva_data::select_validation;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::experiments::{archive_csv, VictimCache};
+use crate::suite::{pct, ExperimentScale};
+
+/// Runs the pruning experiments across architectures.
+pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
+    let cfg = AttackCfg::paper_default();
+    let prune_cfg = PruneCfg::default();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 8 — attacks on pruned (a,b) and pruned+quantized (c,d) models\n\
+         (target sparsity {:.0}%, polynomial schedule with fine-tuning)\n\n",
+        100.0 * prune_cfg.sparsity
+    ));
+    out.push_str(
+        "Arch      | Adaptation        | Instab. | SizeRatio | Attack | Top-1  | Top-5  | ConfΔ\n",
+    );
+    out.push_str(
+        "----------|-------------------|---------|-----------|--------|--------|--------|-------\n",
+    );
+    let mut csv = String::from("arch,adaptation,attack,top1,top5,conf_delta\n");
+    for arch in Architecture::ALL {
+        let victim = cache.victim(arch, scale).clone();
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x88);
+
+        // (a, b): pruned model.
+        let mut pruned = victim.original.clone();
+        let finetune = TrainCfg {
+            epochs: 6,
+            lr: scale.train_cfg.lr / 4.0,
+            ..scale.train_cfg.clone()
+        };
+        eprintln!("[fig8] pruning + fine-tuning {arch} ...");
+        prune_with_finetune(
+            &mut pruned,
+            &victim.train.images,
+            &victim.train.labels,
+            &prune_cfg,
+            &finetune,
+            &mut rng,
+        );
+        let size_ratio = sparse_size_ratio(&pruned);
+
+        // (c, d): pruned + quantized (masks survive into QAT and the engine).
+        let mut pq = QatNetwork::new(pruned.clone(), QuantCfg::default());
+        pq.calibrate(&victim.train.images);
+        pq.train_qat(
+            &victim.train.images,
+            &victim.train.labels,
+            &scale.qat_cfg,
+            &mut rng,
+        );
+
+        for (label, adapted) in [
+            ("pruned", &pruned as &dyn DiffModel),
+            ("pruned+quantized", &pq as &dyn DiffModel),
+        ] {
+            let attack_set = select_validation(
+                &victim.val_pool,
+                &[&victim.original, adapted_as_infer(adapted)],
+                scale.per_class_val,
+            );
+            if attack_set.is_empty() {
+                out.push_str(&format!(
+                    "{:9} | {:17} | (no mutually-correct samples)\n",
+                    arch.name(),
+                    label
+                ));
+                continue;
+            }
+            let (_, _, inst) = instability(
+                &victim.original,
+                adapted_as_infer(adapted),
+                &victim.val_pool.images,
+                &victim.val_pool.labels,
+            );
+            for attack in ["PGD", "DIVA"] {
+                let adv = match attack {
+                    "PGD" => pgd_attack(adapted, &attack_set.images, &attack_set.labels, &cfg),
+                    _ => diva_attack(
+                        &victim.original,
+                        adapted,
+                        &attack_set.images,
+                        &attack_set.labels,
+                        1.0,
+                        &cfg,
+                    ),
+                };
+                let counts = evaluate_attack(
+                    &victim.original,
+                    adapted_as_infer(adapted),
+                    &adv,
+                    &attack_set.labels,
+                );
+                let cd = confidence_delta(
+                    &victim.original,
+                    adapted_as_infer(adapted),
+                    &adv,
+                    &attack_set.labels,
+                );
+                out.push_str(&format!(
+                    "{:9} | {:17} | {}  | {:9.2} | {:6} | {} | {} | {}\n",
+                    arch.name(),
+                    label,
+                    pct(inst),
+                    size_ratio,
+                    attack,
+                    pct(counts.top1_rate()),
+                    pct(counts.top5_rate()),
+                    pct(cd),
+                ));
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{}\n",
+                    arch.name(),
+                    label,
+                    attack,
+                    counts.top1_rate(),
+                    counts.top5_rate(),
+                    cd
+                ));
+            }
+        }
+    }
+    archive_csv("fig8_pruning", &csv);
+    out.push_str(
+        "\nPaper shape: pruning diverges from the original far more than\n\
+         quantization (instability 17.1–33.5%), so PGD's top-1 is already close\n\
+         to DIVA's; DIVA still wins on top-5 and pushes the confidence delta\n\
+         8.3–16% further; model size compresses to roughly one third.\n",
+    );
+    out
+}
+
+/// Upcast helper: every `DiffModel` is an `Infer`.
+fn adapted_as_infer(m: &dyn DiffModel) -> &dyn Infer {
+    m
+}

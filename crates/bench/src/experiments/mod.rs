@@ -1,0 +1,76 @@
+//! One module per paper table/figure. Every experiment returns a printable
+//! report; the `repro` binary prints it and archives it under `repro_out/`.
+//!
+//! Victim preparation (train → QAT → engine) is the expensive part, so a
+//! [`VictimCache`] shares prepared victims across the experiments of one
+//! process (`repro all` reuses each architecture's victim everywhere).
+
+pub mod baselines;
+pub mod bits;
+pub mod detect;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig10;
+pub mod robust;
+pub mod table1;
+pub mod transfer;
+
+use std::collections::HashMap;
+
+use diva_models::Architecture;
+
+use crate::suite::{prepare_surrogates, prepare_victim, ExperimentScale, Surrogates, VictimModels};
+
+/// Caches prepared victims and surrogate bundles per architecture for one
+/// process.
+#[derive(Default)]
+pub struct VictimCache {
+    victims: HashMap<&'static str, VictimModels>,
+    surrogates: HashMap<&'static str, Surrogates>,
+}
+
+impl VictimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        VictimCache::default()
+    }
+
+    /// Returns the prepared victim for `arch`, training it on first use.
+    pub fn victim(&mut self, arch: Architecture, scale: &ExperimentScale) -> &VictimModels {
+        self.victims
+            .entry(arch.name())
+            .or_insert_with(|| {
+                eprintln!("[prepare] training + adapting {arch} ...");
+                prepare_victim(arch, scale)
+            })
+    }
+
+    /// Returns the surrogate bundle for `arch`, distilling it on first use.
+    pub fn surrogates(&mut self, arch: Architecture, scale: &ExperimentScale) -> Surrogates {
+        if !self.surrogates.contains_key(arch.name()) {
+            let victim = self.victim(arch, scale).clone();
+            eprintln!("[prepare] distilling surrogates for {arch} ...");
+            let s = prepare_surrogates(&victim, scale);
+            self.surrogates.insert(arch.name(), s);
+        }
+        self.surrogates[arch.name()].clone()
+    }
+}
+
+/// Writes a report to `repro_out/<id>.txt` (best effort) and returns it.
+pub fn archive(id: &str, report: String) -> String {
+    let _ = std::fs::create_dir_all("repro_out");
+    let _ = std::fs::write(format!("repro_out/{id}.txt"), &report);
+    report
+}
+
+/// Writes raw series data to `repro_out/<id>.csv` (best effort).
+pub fn archive_csv(id: &str, csv: &str) {
+    let _ = std::fs::create_dir_all("repro_out");
+    let _ = std::fs::write(format!("repro_out/{id}.csv"), csv);
+}

@@ -1,0 +1,125 @@
+//! §5.5: robust (adversarial) training as a defense — PGD-train the
+//! original model, re-adapt it, and attack the robust pair with PGD and
+//! DIVA.
+
+use diva_core::attack::AttackCfg;
+use diva_core::robust::{adversarial_training, robust_accuracy, RobustCfg};
+use diva_models::Architecture;
+use diva_nn::train::TrainCfg;
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::experiments::VictimCache;
+use crate::suite::{attack_matrix_row, pct, AttackKind, ExperimentScale, VictimModels};
+
+/// Runs the defense experiment on the ResNet victim.
+pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
+    let victim = cache.victim(Architecture::ResNet, scale).clone();
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x55);
+
+    // Robust-train a copy of the original (continuing from the trained
+    // weights, as the paper starts from the robustness library's pretrained
+    // robust ResNet50).
+    let mut robust_original = victim.original.clone();
+    let rob_cfg = RobustCfg {
+        train: TrainCfg {
+            epochs: scale.train_cfg.epochs / 2,
+            lr: scale.train_cfg.lr / 3.0,
+            ..scale.train_cfg.clone()
+        },
+        attack: AttackCfg {
+            steps: 5,
+            ..AttackCfg::paper_default()
+        },
+    };
+    eprintln!("[robust] adversarially training ResNet ...");
+    adversarial_training(
+        &mut robust_original,
+        &victim.train.images,
+        &victim.train.labels,
+        &rob_cfg,
+        &mut rng,
+    );
+    // Re-adapt the robust model (PyTorch-Quantization analogue: calibrate +
+    // short QAT).
+    let mut robust_qat = QatNetwork::new(robust_original.clone(), QuantCfg::default());
+    robust_qat.calibrate(&victim.train.images);
+    robust_qat.train_qat(
+        &victim.train.images,
+        &victim.train.labels,
+        &scale.qat_cfg,
+        &mut rng,
+    );
+    let robust_engine = Int8Engine::from_qat(&robust_qat);
+    let robust_victim = VictimModels {
+        original: robust_original.clone(),
+        qat: robust_qat.clone(),
+        engine: robust_engine,
+        ..victim.clone()
+    };
+    let attack_set = robust_victim.attack_set(scale.per_class_val);
+    let cfg = AttackCfg::paper_default();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "§5.5 — attacks against the robust-trained pair (ResNet, {} images)\n\n",
+        attack_set.len()
+    ));
+    out.push_str("Attack                | Top-1 joint | Attack-only | Orig-fooled\n");
+    out.push_str("----------------------|-------------|-------------|------------\n");
+    for kind in [
+        AttackKind::Pgd,
+        AttackKind::DivaWhitebox(1.0),
+        AttackKind::DivaWhitebox(1.5),
+        AttackKind::DivaWhitebox(5.0),
+    ] {
+        let row = attack_matrix_row(&robust_victim, &attack_set, kind, &cfg, None);
+        let label = match kind {
+            AttackKind::DivaWhitebox(c) => format!("DIVA (c={c})"),
+            _ => kind.name(),
+        };
+        out.push_str(&format!(
+            "{:21} | {}      | {}      | {}\n",
+            label,
+            pct(row.counts.top1_rate()),
+            pct(row.counts.attack_only_rate()),
+            pct(row.counts.original_fooled_rate()),
+        ));
+    }
+    // Robust accuracy of the adapted model under PGD (the paper's
+    // "Robust_acc" readout), non-robust pair for contrast.
+    let rob_acc = robust_accuracy(
+        &robust_qat,
+        &attack_set.images,
+        &attack_set.labels,
+        &cfg,
+    );
+    let nonrob_set = victim.attack_set(scale.per_class_val);
+    let nonrob_acc = robust_accuracy(
+        &victim.qat,
+        &nonrob_set.images,
+        &nonrob_set.labels,
+        &cfg,
+    );
+    // And the undefended pair's DIVA success for comparison.
+    let undefended = attack_matrix_row(
+        &victim,
+        &nonrob_set,
+        AttackKind::DivaWhitebox(1.0),
+        &cfg,
+        None,
+    );
+    out.push_str(&format!(
+        "\nrobust accuracy of adapted model under PGD: {} (undefended: {})\n\
+         undefended DIVA (c=1) top-1 joint success for contrast: {}\n",
+        pct(rob_acc),
+        pct(nonrob_acc),
+        pct(undefended.counts.top1_rate()),
+    ));
+    out.push_str(
+        "\nPaper shape: robust training shrinks both attacks' joint success\n\
+         (PGD 10.5% vs DIVA 12.8% at c=5 in the paper); DIVA keeps an edge by\n\
+         tuning c, and the adapted model's robust accuracy rises.\n",
+    );
+    out
+}

@@ -1,0 +1,116 @@
+//! Table 1: accuracy of original vs quantized models, per-direction
+//! deviation counts, and instability — plus the ablations DESIGN.md calls
+//! out (bit width, weight-quantization granularity, QAT epochs).
+
+use diva_metrics::{confidence_delta, instability};
+use diva_nn::train::{evaluate, TrainCfg};
+use diva_quant::{QatNetwork, QuantCfg};
+use diva_models::Architecture;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::experiments::VictimCache;
+use crate::suite::{pct, ExperimentScale};
+
+/// Ablation knobs for the table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Options {
+    /// Quantization bit width (paper: 8).
+    pub bits: u8,
+    /// Per-tensor instead of per-channel weight quantization.
+    pub per_tensor: bool,
+    /// QAT epochs (paper: 2; more "worsen the stability").
+    pub qat_epochs: Option<usize>,
+}
+
+impl Default for Table1Options {
+    fn default() -> Self {
+        Table1Options {
+            bits: 8,
+            per_tensor: false,
+            qat_epochs: None,
+        }
+    }
+}
+
+/// Runs Table 1 across the three architectures.
+pub fn run(cache: &mut VictimCache, scale: &ExperimentScale, opts: &Table1Options) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1 — original vs quantized accuracy and instability\n\
+         (validation pool n={}, int{} {} weights{})\n\n",
+        scale.val_pool_n,
+        opts.bits,
+        if opts.per_tensor {
+            "per-tensor"
+        } else {
+            "per-channel"
+        },
+        opts.qat_epochs
+            .map(|e| format!(", QAT epochs={e}"))
+            .unwrap_or_default(),
+    ));
+    out.push_str(
+        "Architecture | Orig acc | Quant acc | Orig✓ Quant✗ | Orig✗ Quant✓ | Instability | Conf Δ\n",
+    );
+    out.push_str(
+        "-------------|----------|-----------|--------------|--------------|-------------|-------\n",
+    );
+    for arch in Architecture::ALL {
+        let (orig_acc, qat_acc, ow, wo, inst, cd) = if opts.bits == 8
+            && !opts.per_tensor
+            && opts.qat_epochs.is_none()
+        {
+            // Default setting: reuse the cached victim.
+            let v = cache.victim(arch, scale);
+            let (ow, wo, inst) = instability(
+                &v.original,
+                &v.qat,
+                &v.val_pool.images,
+                &v.val_pool.labels,
+            );
+            let cd = confidence_delta(
+                &v.original,
+                &v.qat,
+                &v.val_pool.images,
+                &v.val_pool.labels,
+            );
+            (v.original_acc, v.qat_acc, ow, wo, inst, cd)
+        } else {
+            // Ablation: re-adapt the cached original with modified settings.
+            let v = cache.victim(arch, scale).clone();
+            let mut qcfg = QuantCfg::with_bits(opts.bits);
+            if opts.per_tensor {
+                qcfg = qcfg.per_tensor();
+            }
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xAB1);
+            let mut qat = QatNetwork::new(v.original.clone(), qcfg);
+            qat.calibrate(&v.train.images);
+            let qat_train = TrainCfg {
+                epochs: opts.qat_epochs.unwrap_or(scale.qat_cfg.epochs),
+                ..scale.qat_cfg.clone()
+            };
+            qat.train_qat(&v.train.images, &v.train.labels, &qat_train, &mut rng);
+            let qat_acc = evaluate(&qat, &v.val_pool.images, &v.val_pool.labels);
+            let (ow, wo, inst) =
+                instability(&v.original, &qat, &v.val_pool.images, &v.val_pool.labels);
+            let cd =
+                confidence_delta(&v.original, &qat, &v.val_pool.images, &v.val_pool.labels);
+            (v.original_acc, qat_acc, ow, wo, inst, cd)
+        };
+        out.push_str(&format!(
+            "{:12} | {} | {}  | {:12} | {:12} | {}      | {}\n",
+            arch.name(),
+            pct(orig_acc),
+            pct(qat_acc),
+            ow,
+            wo,
+            pct(inst),
+            pct(cd),
+        ));
+    }
+    out.push_str(
+        "\nPaper shape: quantized accuracy ≥96% of original; instability 6.3–8.1%;\n\
+         both deviation directions populated; natural confidence delta small (~7.9%).\n",
+    );
+    out
+}

@@ -1,0 +1,15 @@
+//! `diva-bench` — the experiment suite behind the `repro` binary and the
+//! Criterion benches.
+//!
+//! [`suite`] prepares victims (train → adapt → deploy) and runs the attack
+//! matrix; each `repro` subcommand (one per paper table/figure) composes
+//! these pieces and prints the corresponding rows. See DESIGN.md §3 for the
+//! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+
+pub mod experiments;
+pub mod suite;
+
+pub use suite::{
+    attack_matrix_row, prepare_victim, AttackKind, ExperimentScale, VictimModels,
+};

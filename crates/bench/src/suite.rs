@@ -1,0 +1,368 @@
+//! Experiment plumbing: victim preparation (train → quantize → deploy),
+//! attack-set selection, and the attack matrix shared by the paper's
+//! tables and figures.
+
+use diva_core::attack::{
+    cw_attack, diva_attack, momentum_pgd_attack, pgd_attack, AttackCfg,
+};
+use diva_core::pipeline::{
+    evaluate_attack, prepare_blackbox, prepare_semi_blackbox, BlackboxAssets, SemiBlackboxAssets,
+};
+use diva_data::imagenet::{synth_imagenet, ImagenetCfg};
+use diva_data::{select_validation, Dataset};
+use diva_distill::DistillCfg;
+use diva_metrics::success::SuccessCounts;
+use diva_metrics::{confidence_delta, dssim};
+use diva_models::{Architecture, ModelCfg};
+use diva_nn::train::{evaluate, train_classifier, TrainCfg};
+use diva_nn::Network;
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// How big the experiments run. `standard()` reproduces the shapes in
+/// EXPERIMENTS.md in a few minutes per architecture; `quick()` is for smoke
+/// tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Training images (the paper uses 20,000).
+    pub train_n: usize,
+    /// Validation pool to select attack sets from (the paper's 30,000).
+    pub val_pool_n: usize,
+    /// Attacker-held images for surrogate distillation (the paper's 12,811).
+    pub attacker_n: usize,
+    /// Attack-set size cap per class (the paper selects 3 per class).
+    pub per_class_val: usize,
+    /// fp32 training configuration.
+    pub train_cfg: TrainCfg,
+    /// QAT fine-tuning configuration (the paper runs 2 epochs: "more epochs
+    /// do not improve accuracy but worsen the stability").
+    pub qat_cfg: TrainCfg,
+    /// Model size configuration.
+    pub model_cfg: ModelCfg,
+    /// Dataset difficulty knobs.
+    pub data_cfg: ImagenetCfg,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The default experiment scale used for EXPERIMENTS.md.
+    pub fn standard() -> Self {
+        ExperimentScale {
+            train_n: 2048,
+            val_pool_n: 1024,
+            attacker_n: 512,
+            per_class_val: 10,
+            train_cfg: TrainCfg {
+                epochs: 20,
+                batch_size: 32,
+                lr: 0.03,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
+            qat_cfg: TrainCfg {
+                epochs: 2,
+                batch_size: 32,
+                lr: 0.004,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            model_cfg: ModelCfg::standard(diva_data::imagenet::NUM_CLASSES),
+            // Difficulty tuned so trained models land in the paper's
+            // accuracy band (~65-75%) with single-digit instability — the
+            // regime where the quantization-divergence attack surface exists.
+            data_cfg: ImagenetCfg {
+                noise: 0.16,
+                color_jitter: 0.30,
+                ..ImagenetCfg::default()
+            },
+            seed: 2022,
+        }
+    }
+
+    /// A much smaller scale for smoke tests and CI: easier data, shorter
+    /// training — victims reach moderate accuracy in ~1 minute each.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            train_n: 640,
+            val_pool_n: 256,
+            attacker_n: 128,
+            per_class_val: 3,
+            train_cfg: TrainCfg {
+                epochs: 10,
+                batch_size: 32,
+                lr: 0.03,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            },
+            qat_cfg: TrainCfg {
+                epochs: 1,
+                batch_size: 32,
+                lr: 0.004,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            model_cfg: ModelCfg::standard(diva_data::imagenet::NUM_CLASSES),
+            data_cfg: ImagenetCfg::default(),
+            seed: 2022,
+        }
+    }
+}
+
+/// A fully prepared victim: the original model, its QAT adaptation, the
+/// deployed int8 engine, and the data splits used around them.
+#[derive(Debug, Clone)]
+pub struct VictimModels {
+    /// Architecture family.
+    pub arch: Architecture,
+    /// The original full-precision model (the "server" model).
+    pub original: Network,
+    /// The differentiable adapted model (fake-quant, QAT-fine-tuned).
+    pub qat: QatNetwork,
+    /// The deployed integer engine (the "edge" model).
+    pub engine: Int8Engine,
+    /// Victim training data.
+    pub train: Dataset,
+    /// Validation pool (disjoint from training by seed).
+    pub val_pool: Dataset,
+    /// Attacker-held data, disjoint from the victim's training data
+    /// (the paper draws surrogate-training images from a disjoint split).
+    pub attacker: Dataset,
+    /// Accuracy of the original model on the validation pool.
+    pub original_acc: f32,
+    /// Accuracy of the QAT model on the validation pool.
+    pub qat_acc: f32,
+}
+
+/// Trains an original model and adapts it, mirroring §5.1's model
+/// generation. Deterministic given `scale.seed`.
+pub fn prepare_victim(arch: Architecture, scale: &ExperimentScale) -> VictimModels {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ arch_seed(arch));
+    let train = synth_imagenet(scale.train_n, &scale.data_cfg, scale.seed.wrapping_add(1));
+    let val_pool = synth_imagenet(scale.val_pool_n, &scale.data_cfg, scale.seed.wrapping_add(2));
+    let attacker = synth_imagenet(scale.attacker_n, &scale.data_cfg, scale.seed.wrapping_add(3));
+
+    let mut original = arch.build(&scale.model_cfg, &mut rng);
+    // Two-phase schedule: full rate for ~70% of the epochs, then a 4x decay
+    // to converge (a stand-in for the paper's pretrained + finetune recipe).
+    let phase1 = TrainCfg {
+        epochs: (scale.train_cfg.epochs * 7) / 10,
+        ..scale.train_cfg.clone()
+    };
+    let phase2 = TrainCfg {
+        epochs: scale.train_cfg.epochs - phase1.epochs,
+        lr: scale.train_cfg.lr / 4.0,
+        ..scale.train_cfg.clone()
+    };
+    train_classifier(&mut original, &train.images, &train.labels, &phase1, &mut rng);
+    train_classifier(&mut original, &train.images, &train.labels, &phase2, &mut rng);
+
+    // Adapt: calibrate on training data, then QAT fine-tune.
+    let mut qat = QatNetwork::new(original.clone(), QuantCfg::default());
+    qat.calibrate(&train.images);
+    qat.train_qat(&train.images, &train.labels, &scale.qat_cfg, &mut rng);
+    let engine = Int8Engine::from_qat(&qat);
+
+    let original_acc = evaluate(&original, &val_pool.images, &val_pool.labels);
+    let qat_acc = evaluate(&qat, &val_pool.images, &val_pool.labels);
+    VictimModels {
+        arch,
+        original,
+        qat,
+        engine,
+        train,
+        val_pool,
+        attacker,
+        original_acc,
+        qat_acc,
+    }
+}
+
+fn arch_seed(arch: Architecture) -> u64 {
+    match arch {
+        Architecture::ResNet => 0x1000,
+        Architecture::MobileNet => 0x2000,
+        Architecture::DenseNet => 0x3000,
+    }
+}
+
+impl VictimModels {
+    /// Selects the attack set: per-class samples from the validation pool
+    /// correctly classified by both the original and the adapted models
+    /// (§5.1's "correctly classified by all relevant models").
+    pub fn attack_set(&self, per_class: usize) -> Dataset {
+        select_validation(&self.val_pool, &[&self.original, &self.qat], per_class)
+    }
+}
+
+/// The attacks compared across the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackKind {
+    /// PGD on the adapted model (the main baseline).
+    Pgd,
+    /// Momentum PGD (§5.4), μ = 0.5.
+    MomentumPgd,
+    /// CW-L∞ inside the PGD framework (§5.4).
+    Cw,
+    /// Whitebox DIVA with balance constant `c` (§4.2).
+    DivaWhitebox(f32),
+    /// Semi-blackbox DIVA (§4.3) — requires prepared surrogates.
+    DivaSemiBlackbox(f32),
+    /// Blackbox DIVA (§4.4) — requires prepared surrogates.
+    DivaBlackbox(f32),
+}
+
+impl AttackKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            AttackKind::Pgd => "PGD".into(),
+            AttackKind::MomentumPgd => "Momentum PGD".into(),
+            AttackKind::Cw => "CW".into(),
+            AttackKind::DivaWhitebox(_) => "DIVA (whitebox)".into(),
+            AttackKind::DivaSemiBlackbox(_) => "DIVA (semi-blackbox)".into(),
+            AttackKind::DivaBlackbox(_) => "DIVA (blackbox)".into(),
+        }
+    }
+}
+
+/// One row of the attack matrix: aggregate success plus the §5.1 metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackRow {
+    /// Aggregated success counts against (original, adapted).
+    pub counts: SuccessCounts,
+    /// Mean confidence delta on the attacked images.
+    pub confidence_delta: f32,
+    /// Maximum DSSIM between natural and attacked images.
+    pub max_dssim: f32,
+    /// Wall-clock seconds spent generating the adversarial batch.
+    pub gen_seconds: f64,
+}
+
+/// Surrogate bundles for the black-box settings (expensive; build once per
+/// victim and reuse across rows).
+#[derive(Debug, Clone)]
+pub struct Surrogates {
+    /// Semi-blackbox assets (§4.3).
+    pub semi: SemiBlackboxAssets,
+    /// Blackbox assets (§4.4).
+    pub black: BlackboxAssets,
+}
+
+/// Builds both surrogate bundles from the deployed engine and attacker data.
+pub fn prepare_surrogates(victim: &VictimModels, scale: &ExperimentScale) -> Surrogates {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xBB);
+    let distill_cfg = DistillCfg::default();
+    let surrogate_train = TrainCfg {
+        epochs: 6,
+        batch_size: 32,
+        lr: 0.01,
+        momentum: 0.9,
+        weight_decay: 0.0,
+    };
+    let semi = prepare_semi_blackbox(
+        &victim.engine,
+        victim.original.graph(),
+        &victim.attacker.images,
+        &distill_cfg,
+        &surrogate_train,
+        &mut rng,
+    );
+    let mut fresh_rng = StdRng::seed_from_u64(scale.seed ^ 0xBC);
+    let fresh = victim.arch.build(&scale.model_cfg, &mut fresh_rng);
+    let black = prepare_blackbox(
+        &victim.engine,
+        fresh,
+        &victim.attacker.images,
+        &distill_cfg,
+        &surrogate_train,
+        QuantCfg::default(),
+        &mut fresh_rng,
+    );
+    Surrogates { semi, black }
+}
+
+/// Generates the adversarial batch for `kind` and evaluates it against the
+/// true (original, adapted) pair.
+///
+/// # Panics
+///
+/// Panics if a black-box kind is requested without `surrogates`.
+pub fn attack_matrix_row(
+    victim: &VictimModels,
+    attack_set: &Dataset,
+    kind: AttackKind,
+    cfg: &AttackCfg,
+    surrogates: Option<&Surrogates>,
+) -> AttackRow {
+    attack_matrix_row_adv(victim, attack_set, kind, cfg, surrogates).0
+}
+
+/// [`attack_matrix_row`] that also returns the adversarial batch, for
+/// experiments that inspect individual attacked images.
+///
+/// # Panics
+///
+/// Panics if a black-box kind is requested without `surrogates`.
+pub fn attack_matrix_row_adv(
+    victim: &VictimModels,
+    attack_set: &Dataset,
+    kind: AttackKind,
+    cfg: &AttackCfg,
+    surrogates: Option<&Surrogates>,
+) -> (AttackRow, diva_tensor::Tensor) {
+    let x = &attack_set.images;
+    let labels = &attack_set.labels;
+    let started = std::time::Instant::now();
+    let adv = match kind {
+        AttackKind::Pgd => pgd_attack(&victim.qat, x, labels, cfg),
+        AttackKind::MomentumPgd => momentum_pgd_attack(&victim.qat, x, labels, cfg),
+        AttackKind::Cw => cw_attack(&victim.qat, x, labels, cfg),
+        AttackKind::DivaWhitebox(c) => {
+            diva_attack(&victim.original, &victim.qat, x, labels, c, cfg)
+        }
+        AttackKind::DivaSemiBlackbox(c) => {
+            let s = surrogates.expect("semi-blackbox needs prepared surrogates");
+            diva_attack(
+                &s.semi.surrogate_original,
+                &s.semi.recovered_adapted,
+                x,
+                labels,
+                c,
+                cfg,
+            )
+        }
+        AttackKind::DivaBlackbox(c) => {
+            let s = surrogates.expect("blackbox needs prepared surrogates");
+            diva_attack(
+                &s.black.surrogate_original,
+                &s.black.surrogate_adapted,
+                x,
+                labels,
+                c,
+                cfg,
+            )
+        }
+    };
+    let gen_seconds = started.elapsed().as_secs_f64();
+    let counts = evaluate_attack(&victim.original, &victim.qat, &adv, labels);
+    let cdelta = confidence_delta(&victim.original, &victim.qat, &adv, labels);
+    let max_dssim = (0..attack_set.len())
+        .map(|i| dssim(&x.index_batch(i), &adv.index_batch(i)))
+        .fold(0.0f32, f32::max);
+    (
+        AttackRow {
+            counts,
+            confidence_delta: cdelta,
+            max_dssim,
+            gen_seconds,
+        },
+        adv,
+    )
+}
+
+/// Formats a percentage for table output.
+pub fn pct(x: f32) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}

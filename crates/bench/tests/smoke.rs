@@ -1,0 +1,92 @@
+//! Smoke tests of the experiment harness: every piece of `repro` plumbing
+//! runs end-to-end at a tiny scale and produces structurally valid output.
+
+use diva_bench::experiments::{fig2, fig4};
+use diva_bench::suite::{
+    attack_matrix_row, prepare_victim, AttackKind, ExperimentScale,
+};
+use diva_core::attack::AttackCfg;
+use diva_models::Architecture;
+use diva_nn::train::TrainCfg;
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        train_n: 160,
+        val_pool_n: 128,
+        attacker_n: 64,
+        per_class_val: 2,
+        train_cfg: TrainCfg {
+            epochs: 2,
+            batch_size: 32,
+            lr: 0.03,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+        qat_cfg: TrainCfg {
+            epochs: 1,
+            batch_size: 32,
+            lr: 0.004,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        ..ExperimentScale::quick()
+    }
+}
+
+#[test]
+fn victim_preparation_and_attack_rows() {
+    let scale = tiny_scale();
+    let victim = prepare_victim(Architecture::ResNet, &scale);
+    assert_eq!(victim.train.len(), 160);
+    assert!(victim.original_acc >= 0.0 && victim.original_acc <= 1.0);
+    let attack_set = victim.attack_set(scale.per_class_val);
+    if attack_set.is_empty() {
+        return; // untrained tiny victim may have no mutually-correct samples
+    }
+    let cfg = AttackCfg::with_steps(3);
+    for kind in [AttackKind::Pgd, AttackKind::DivaWhitebox(1.0)] {
+        let row = attack_matrix_row(&victim, &attack_set, kind, &cfg, None);
+        assert_eq!(row.counts.total, attack_set.len());
+        assert!(row.counts.top1 <= row.counts.total);
+        assert!(row.counts.top5 <= row.counts.top1);
+        assert!(row.max_dssim >= 0.0 && row.max_dssim < 0.2);
+        assert!(row.gen_seconds > 0.0);
+    }
+}
+
+#[test]
+fn victim_preparation_is_deterministic() {
+    let scale = tiny_scale();
+    let a = prepare_victim(Architecture::MobileNet, &scale);
+    let b = prepare_victim(Architecture::MobileNet, &scale);
+    assert_eq!(a.original.params(), b.original.params());
+    assert_eq!(a.original_acc, b.original_acc);
+}
+
+#[test]
+fn fig2_boundary_study_runs() {
+    let report = fig2::run(21);
+    assert!(report.contains("disagreement region"));
+    assert!(report.contains("DIVA trajectory"));
+    // The raster has 21 rows of 21 cells.
+    let grid_rows = report
+        .lines()
+        .filter(|l| l.len() == 22 && l.starts_with(' '))
+        .count();
+    assert_eq!(grid_rows, 21);
+}
+
+#[test]
+fn fig4_pca_study_runs_and_shifts_adapted_more() {
+    let (report, shift) = fig4::run(40);
+    assert!(report.contains("PCA"));
+    // The PCA-space story: the adapted model's attacked representations
+    // move at least as far as the original's.
+    assert!(
+        shift.adapted_move >= shift.original_move * 0.8,
+        "adapted moved {} vs original {}",
+        shift.adapted_move,
+        shift.original_move
+    );
+    assert!(shift.success >= 0.0 && shift.success <= 1.0);
+}

@@ -1,0 +1,511 @@
+//! The attack zoo: the projected-ascent driver, the baselines (FGSM, PGD,
+//! Momentum PGD, CW) and DIVA itself (Eq. 5/6), plus the targeted variant
+//! from the face-recognition case study (§6).
+
+use diva_nn::losses;
+use diva_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::model::DiffModel;
+
+/// Attack hyper-parameters (§5.1 "Attack construction").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackCfg {
+    /// L∞ perturbation bound (the paper uses 8/255).
+    pub eps: f32,
+    /// Per-step size α (the paper uses 1/255).
+    pub alpha: f32,
+    /// Number of projected steps t (the paper uses 20).
+    pub steps: usize,
+    /// Momentum coefficient (0 = plain PGD; 0.5 = the paper's Momentum PGD).
+    pub momentum: f32,
+    /// Start from uniform noise in the ε-ball instead of the natural sample.
+    /// The paper turns this off ("random start is less effective in a
+    /// single run"); kept for the R+FGSM baseline and ablations.
+    pub random_start: bool,
+}
+
+impl AttackCfg {
+    /// The paper's setting: ε = 8/255, α = 1/255, t = 20, natural-sample
+    /// initialisation ("We do not initialize the attack using random noise
+    /// because random start is less effective in a single run").
+    pub fn paper_default() -> Self {
+        AttackCfg {
+            eps: 8.0 / 255.0,
+            alpha: 1.0 / 255.0,
+            steps: 20,
+            momentum: 0.0,
+            random_start: false,
+        }
+    }
+
+    /// Paper default with a different step count.
+    pub fn with_steps(steps: usize) -> Self {
+        AttackCfg {
+            steps,
+            ..AttackCfg::paper_default()
+        }
+    }
+}
+
+/// The projected gradient-ascent driver shared by every attack (Eq. 3):
+///
+/// `x_{t+1} = Clip_{x,ε}( x_t + α · sign(g_t) )`
+///
+/// where `g_t` comes from `grad_fn` (optionally smoothed by an L1-normalised
+/// momentum accumulator), and `Clip` projects both onto the ε-ball around
+/// the natural image and onto the valid pixel domain `[0, 1]`.
+///
+/// `on_step` is called after every step with the current adversarial batch
+/// and the 1-based step index — the hook used to record success-vs-steps
+/// curves (Fig. 6d).
+pub fn projected_ascent(
+    x_nat: &Tensor,
+    cfg: &AttackCfg,
+    mut grad_fn: impl FnMut(&Tensor) -> Tensor,
+    mut on_step: impl FnMut(&Tensor, usize),
+) -> Tensor {
+    let mut x = x_nat.clone();
+    let mut velocity = x_nat.zeros_like();
+    for t in 1..=cfg.steps {
+        let g = grad_fn(&x);
+        let dir = if cfg.momentum > 0.0 {
+            // Momentum PGD (Dong et al.): g/||g||_1 accumulated.
+            let norm1 = g.norm1().max(1e-12);
+            velocity = velocity.scale(cfg.momentum);
+            velocity.axpy(1.0 / norm1, &g);
+            velocity.clone()
+        } else {
+            g
+        };
+        x.axpy(cfg.alpha, &dir.signum());
+        x = clip_to_ball(&x, x_nat, cfg.eps);
+        on_step(&x, t);
+    }
+    x
+}
+
+/// Projects `x` onto the L∞ ε-ball around `x_nat` intersected with `[0,1]`.
+pub fn clip_to_ball(x: &Tensor, x_nat: &Tensor, eps: f32) -> Tensor {
+    x.zip(x_nat, |xi, ni| xi.clamp(ni - eps, ni + eps).clamp(0.0, 1.0))
+}
+
+/// Maximum L∞ deviation of `x` from `x_nat` — used in tests and harnesses
+/// to assert the perturbation budget is honoured.
+pub fn linf_distance(x: &Tensor, x_nat: &Tensor) -> f32 {
+    x.sub(x_nat).norm_inf()
+}
+
+/// The PGD baseline (Madry et al.): ascend the cross-entropy of the target
+/// model (the paper targets the *adapted* model).
+///
+/// # Panics
+///
+/// Panics if `cfg.random_start` is set — randomized starts need an explicit
+/// RNG; use [`pgd_attack_with_rng`].
+pub fn pgd_attack<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    cfg: &AttackCfg,
+) -> Tensor {
+    assert!(
+        !cfg.random_start,
+        "random_start requires pgd_attack_with_rng"
+    );
+    projected_ascent(
+        x_nat,
+        cfg,
+        |x| {
+            target
+                .value_and_grad(x, &mut |l| losses::cross_entropy(l, labels).1)
+                .1
+        },
+        |_, _| {},
+    )
+}
+
+/// PGD with an explicit RNG, honouring `cfg.random_start`.
+pub fn pgd_attack_with_rng<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    cfg: &AttackCfg,
+    rng: &mut StdRng,
+) -> Tensor {
+    let start = if cfg.random_start {
+        random_start(x_nat, cfg.eps, rng)
+    } else {
+        x_nat.clone()
+    };
+    let mut det = *cfg;
+    det.random_start = false;
+    let moved = projected_ascent(
+        &start,
+        &det,
+        |x| {
+            target
+                .value_and_grad(x, &mut |l| losses::cross_entropy(l, labels).1)
+                .1
+        },
+        |_, _| {},
+    );
+    // Project against the *natural* sample: the start offset must not widen
+    // the budget.
+    clip_to_ball(&moved, x_nat, cfg.eps)
+}
+
+/// FGSM (Goodfellow et al., Eq. 2): a single signed-gradient step of size ε.
+pub fn fgsm_attack<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    eps: f32,
+) -> Tensor {
+    let cfg = AttackCfg {
+        eps,
+        alpha: eps,
+        steps: 1,
+        momentum: 0.0,
+        random_start: false,
+    };
+    pgd_attack(target, x_nat, labels, &cfg)
+}
+
+/// R+FGSM (Tramèr et al., §2.2): a random half-ε start followed by one
+/// signed-gradient step, projected back to the ε-ball.
+pub fn r_fgsm_attack<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    eps: f32,
+    rng: &mut StdRng,
+) -> Tensor {
+    let noisy = random_start(x_nat, eps / 2.0, rng);
+    let (_, g) = target.value_and_grad(&noisy, &mut |l| losses::cross_entropy(l, labels).1);
+    let mut x = noisy;
+    x.axpy(eps / 2.0, &g.signum());
+    clip_to_ball(&x, x_nat, eps)
+}
+
+/// Uniform random point in the intersection of the ε-ball around `x_nat`
+/// and the pixel domain.
+pub fn random_start(x_nat: &Tensor, eps: f32, rng: &mut StdRng) -> Tensor {
+    let data = x_nat
+        .data()
+        .iter()
+        .map(|&v| (v + rng.gen_range(-eps..=eps)).clamp(0.0, 1.0))
+        .collect();
+    Tensor::from_vec(data, x_nat.dims())
+}
+
+/// Momentum PGD (Dong et al.) with the paper's μ = 0.5 (§5.4).
+pub fn momentum_pgd_attack<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    cfg: &AttackCfg,
+) -> Tensor {
+    let cfg = AttackCfg {
+        momentum: 0.5,
+        random_start: false,
+        ..*cfg
+    };
+    pgd_attack(target, x_nat, labels, &cfg)
+}
+
+/// The L∞ CW attack in the Madry formulation (§5.4): PGD steps on the
+/// negated CW margin `−max(z_y − max_{j≠y} z_j, −κ)` with κ = 0.
+pub fn cw_attack<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    cfg: &AttackCfg,
+) -> Tensor {
+    projected_ascent(
+        x_nat,
+        cfg,
+        |x| {
+            // Ascend -margin == descend margin.
+            target
+                .value_and_grad(x, &mut |l| losses::cw_margin(l, labels, 0.0).1.scale(-1.0))
+                .1
+        },
+        |_, _| {},
+    )
+}
+
+/// **The DIVA attack** (Eq. 5/6): ascend
+/// `L = p_orig(x)[y] − c · p_adapted(x)[y]`
+/// so the original model keeps (or gains) confidence in the true label while
+/// the adapted model loses it.
+pub fn diva_attack<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x_nat: &Tensor,
+    labels: &[usize],
+    c: f32,
+    cfg: &AttackCfg,
+) -> Tensor {
+    diva_attack_traced(original, adapted, x_nat, labels, c, cfg, |_, _| {})
+}
+
+/// [`diva_attack`] with a per-step hook (Fig. 6d's success-vs-steps curve).
+pub fn diva_attack_traced<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x_nat: &Tensor,
+    labels: &[usize],
+    c: f32,
+    cfg: &AttackCfg,
+    on_step: impl FnMut(&Tensor, usize),
+) -> Tensor {
+    projected_ascent(
+        x_nat,
+        cfg,
+        |x| diva_grad(original, adapted, x, labels, c),
+        on_step,
+    )
+}
+
+/// One evaluation of ∇ₓ L_DIVA.
+pub fn diva_grad<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x: &Tensor,
+    labels: &[usize],
+    c: f32,
+) -> Tensor {
+    // d/dx p_orig[y]
+    let (_, g_orig) =
+        original.value_and_grad(x, &mut |l| losses::prob_of_label_grad(l, labels).1);
+    // d/dx p_adapted[y]
+    let (_, g_adapted) =
+        adapted.value_and_grad(x, &mut |l| losses::prob_of_label_grad(l, labels).1);
+    let mut g = g_orig;
+    g.axpy(-c, &g_adapted);
+    g
+}
+
+/// The scalar DIVA loss at `x` (useful for monitoring / tests).
+pub fn diva_loss<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x: &Tensor,
+    labels: &[usize],
+    c: f32,
+) -> f32 {
+    let lo = original.logits(x);
+    let la = adapted.logits(x);
+    let (po, _) = losses::prob_of_label_grad(&lo, labels);
+    let (pa, _) = losses::prob_of_label_grad(&la, labels);
+    po - c * pa
+}
+
+/// Targeted DIVA (§6): in addition to the evasive objective, pull the
+/// adapted model toward a chosen `target` class by penalising the distance
+/// between its softmax and the target's one-hot vector.
+///
+/// `target_weight` scales the extra term.
+pub fn diva_targeted_attack<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x_nat: &Tensor,
+    labels: &[usize],
+    target: usize,
+    c: f32,
+    target_weight: f32,
+    cfg: &AttackCfg,
+) -> Tensor {
+    projected_ascent(
+        x_nat,
+        cfg,
+        |x| {
+            let mut g = diva_grad(original, adapted, x, labels, c);
+            // Ascend -distance(softmax_adapted, onehot_target).
+            let (_, g_t) = adapted.value_and_grad(x, &mut |l| {
+                losses::onehot_distance(l, target).1.scale(-1.0)
+            });
+            g.axpy(target_weight, &g_t);
+            g
+        },
+        |_, _| {},
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_models::{Architecture, ModelCfg};
+    use diva_nn::{Infer, Network};
+    use diva_quant::{QatNetwork, QuantCfg};
+    use rand::SeedableRng;
+
+    fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
+        let per: usize = dims.iter().product();
+        let samples: Vec<Tensor> = (0..n)
+            .map(|_| {
+                Tensor::from_vec(
+                    (0..per).map(|_| rng.gen_range(0.2..0.8)).collect(),
+                    dims,
+                )
+            })
+            .collect();
+        Tensor::stack(&samples)
+    }
+
+    fn setup() -> (Network, QatNetwork, Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+        let images = rand_images(&mut rng, 24, &[3, 8, 8]);
+        let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
+        qat.calibrate(&images);
+        let x = diva_nn::train::gather(&images, &[0, 1, 2, 3]);
+        // Use the fp32 model's own predictions as "labels" so the attack has
+        // something to destroy.
+        let labels = net.predict(&x);
+        (net, qat, x, labels)
+    }
+
+    #[test]
+    fn perturbations_respect_eps_and_domain() {
+        let (net, qat, x, labels) = setup();
+        let cfg = AttackCfg::paper_default();
+        for adv in [
+            pgd_attack(&qat, &x, &labels, &cfg),
+            fgsm_attack(&qat, &x, &labels, cfg.eps),
+            momentum_pgd_attack(&qat, &x, &labels, &cfg),
+            cw_attack(&qat, &x, &labels, &cfg),
+            diva_attack(&net, &qat, &x, &labels, 1.0, &cfg),
+        ] {
+            assert!(linf_distance(&adv, &x) <= cfg.eps + 1e-6);
+            assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+            assert!(linf_distance(&adv, &x) > 0.0, "attack did nothing");
+        }
+    }
+
+    #[test]
+    fn pgd_increases_cross_entropy() {
+        let (_, qat, x, labels) = setup();
+        let cfg = AttackCfg::paper_default();
+        let before = losses::cross_entropy(&qat.logits(&x), &labels).0;
+        let adv = pgd_attack(&qat, &x, &labels, &cfg);
+        let after = losses::cross_entropy(&qat.logits(&adv), &labels).0;
+        assert!(
+            after > before,
+            "PGD failed to increase the loss: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn diva_increases_its_own_loss() {
+        let (net, qat, x, labels) = setup();
+        let cfg = AttackCfg::paper_default();
+        let before = diva_loss(&net, &qat, &x, &labels, 1.0);
+        let adv = diva_attack(&net, &qat, &x, &labels, 1.0, &cfg);
+        let after = diva_loss(&net, &qat, &adv, &labels, 1.0);
+        assert!(
+            after > before,
+            "DIVA failed to increase its loss: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn projected_ascent_invokes_hook_each_step() {
+        let (_, qat, x, labels) = setup();
+        let cfg = AttackCfg::with_steps(7);
+        let mut seen = Vec::new();
+        let _ = diva_attack_traced(&qat, &qat, &x, &labels, 1.0, &cfg, |_, t| seen.push(t));
+        assert_eq!(seen, (1..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_start_and_rfgsm_respect_budget() {
+        let (_, qat, x, labels) = setup();
+        let mut rng = StdRng::seed_from_u64(99);
+        let eps = 8.0 / 255.0;
+        let start = random_start(&x, eps, &mut rng);
+        assert!(linf_distance(&start, &x) <= eps + 1e-6);
+        assert!(start.min() >= 0.0 && start.max() <= 1.0);
+        assert_ne!(start, x);
+
+        let adv = r_fgsm_attack(&qat, &x, &labels, eps, &mut rng);
+        assert!(linf_distance(&adv, &x) <= eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+
+        let cfg = AttackCfg {
+            random_start: true,
+            steps: 3,
+            ..AttackCfg::paper_default()
+        };
+        let adv = pgd_attack_with_rng(&qat, &x, &labels, &cfg, &mut rng);
+        assert!(linf_distance(&adv, &x) <= cfg.eps + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "random_start requires")]
+    fn deterministic_pgd_rejects_random_start() {
+        let (_, qat, x, labels) = setup();
+        let cfg = AttackCfg {
+            random_start: true,
+            ..AttackCfg::paper_default()
+        };
+        let _ = pgd_attack(&qat, &x, &labels, &cfg);
+    }
+
+    #[test]
+    fn zero_steps_returns_natural_image() {
+        let (net, qat, x, labels) = setup();
+        let cfg = AttackCfg::with_steps(0);
+        let adv = diva_attack(&net, &qat, &x, &labels, 1.0, &cfg);
+        assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn clip_to_ball_projects_both_constraints() {
+        let nat = Tensor::from_vec(vec![0.0, 0.5, 1.0], &[3]);
+        let x = Tensor::from_vec(vec![0.5, 0.45, 2.0], &[3]);
+        let clipped = clip_to_ball(&x, &nat, 0.1);
+        assert_eq!(clipped.data(), &[0.1, 0.45, 1.0]);
+    }
+
+    #[test]
+    fn momentum_accumulator_changes_trajectory() {
+        let (_, qat, x, labels) = setup();
+        let plain = pgd_attack(&qat, &x, &labels, &AttackCfg::paper_default());
+        let with_mom = momentum_pgd_attack(&qat, &x, &labels, &AttackCfg::paper_default());
+        assert_ne!(plain, with_mom);
+    }
+
+    #[test]
+    fn cw_reduces_margin() {
+        let (_, qat, x, labels) = setup();
+        let cfg = AttackCfg::paper_default();
+        let before = losses::cw_margin(&qat.logits(&x), &labels, 0.0).0;
+        let adv = cw_attack(&qat, &x, &labels, &cfg);
+        let after = losses::cw_margin(&qat.logits(&adv), &labels, 0.0).0;
+        assert!(after < before, "CW did not reduce the margin");
+    }
+
+    #[test]
+    fn targeted_attack_raises_target_probability() {
+        let (net, qat, x, labels) = setup();
+        let cfg = AttackCfg::with_steps(30);
+        // Pick a target different from every label.
+        let target = (0..4).find(|t| !labels.contains(t)).unwrap_or(0);
+        let before = diva_tensor::ops::softmax_rows(&qat.logits(&x));
+        let adv =
+            diva_targeted_attack(&net, &qat, &x, &labels, target, 1.0, 4.0, &cfg);
+        let after = diva_tensor::ops::softmax_rows(&qat.logits(&adv));
+        let c = 4;
+        let mean_before: f32 =
+            (0..x.dims()[0]).map(|i| before.data()[i * c + target]).sum::<f32>() / 4.0;
+        let mean_after: f32 =
+            (0..x.dims()[0]).map(|i| after.data()[i * c + target]).sum::<f32>() / 4.0;
+        assert!(
+            mean_after > mean_before,
+            "target prob did not rise: {mean_before} -> {mean_after}"
+        );
+    }
+}

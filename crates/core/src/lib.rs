@@ -1,0 +1,52 @@
+//! `diva-core` — the paper's contribution: **DIVA**, the differential
+//! evasive attack on edge-adapted models, plus the baselines it is compared
+//! against and the defenses it is evaluated under.
+//!
+//! The attack exploits the *divergence* between an original full-precision
+//! model and its edge adaptation (quantized or pruned). Its loss (Eq. 5)
+//!
+//! ```text
+//! L_DIVA(x, y) = p_orig(x)[y] − c · p_adapted(x)[y]
+//! ```
+//!
+//! is ascended with PGD-style projected steps (Eq. 6): the perturbation
+//! *raises* the original model's confidence in the true class while
+//! *destroying* the adapted model's — so the adversarial image fools the
+//! edge model yet sails through validation on the server model.
+//!
+//! Layout:
+//!
+//! * [`model`] — the [`model::DiffModel`] abstraction: anything that can
+//!   produce logits *and* input gradients (fp32 networks and QAT networks);
+//! * [`attack`] — the projected-ascent driver and the attack zoo: FGSM,
+//!   PGD, Momentum PGD, CW(L∞), DIVA, targeted DIVA;
+//! * [`pipeline`] — end-to-end whitebox / semi-blackbox / blackbox attack
+//!   pipelines and batched evaluation (§4.2–§4.4);
+//! * [`robust`] — PGD adversarial training, the §5.5 defense.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use diva_core::attack::{diva_attack, AttackCfg};
+//! use diva_core::pipeline::evaluate_attack;
+//! # fn demo(original: diva_nn::Network, adapted: diva_quant::QatNetwork,
+//! #         images: diva_tensor::Tensor, labels: Vec<usize>) {
+//! let cfg = AttackCfg::paper_default();
+//! let adv = diva_attack(&original, &adapted, &images, &labels, 1.0, &cfg);
+//! let counts = evaluate_attack(&original, &adapted, &adv, &labels);
+//! println!("top-1 evasive success: {:.1}%", 100.0 * counts.top1_rate());
+//! # }
+//! ```
+
+pub mod attack;
+pub mod model;
+pub mod pipeline;
+pub mod robust;
+
+pub use attack::{
+    cw_attack, diva_attack, diva_targeted_attack, fgsm_attack, momentum_pgd_attack, pgd_attack,
+    AttackCfg,
+};
+pub use model::DiffModel;
+pub use pipeline::{evaluate_attack, evaluate_outcomes};
+pub use robust::{adversarial_training, RobustCfg};

@@ -1,0 +1,242 @@
+//! End-to-end attack pipelines (§4.2–§4.4) and batched evaluation.
+//!
+//! The pipelines differ only in *which models the attacker differentiates
+//! through*; success is always judged against the true original and adapted
+//! models:
+//!
+//! | setting        | gradient source (orig) | gradient source (adapted) |
+//! |----------------|------------------------|---------------------------|
+//! | whitebox       | original               | adapted                   |
+//! | semi-blackbox  | distilled surrogate    | extracted from device     |
+//! | blackbox       | distilled surrogate    | surrogate, re-adapted     |
+
+use diva_distill::{reconstruct_surrogate_original, reconstruct_surrogate_pair, DistillCfg};
+use diva_metrics::success::{AttackOutcome, SuccessCounts};
+use diva_nn::train::TrainCfg;
+use diva_nn::{Infer, Network};
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
+use diva_tensor::Tensor;
+use rand::rngs::StdRng;
+
+use crate::attack::{diva_attack, AttackCfg};
+use crate::model::DiffModel;
+
+/// Evaluates a batch of attacked images against the true models, returning
+/// one [`AttackOutcome`] per sample.
+pub fn evaluate_outcomes<O: Infer + ?Sized, A: Infer + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x_adv: &Tensor,
+    labels: &[usize],
+) -> Vec<AttackOutcome> {
+    let n = x_adv.dims()[0];
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let lo = original.logits(x_adv);
+    let la = adapted.logits(x_adv);
+    (0..n)
+        .map(|i| {
+            let o_row = lo.row(i);
+            let a_pred = la.row(i).argmax().unwrap_or(0);
+            AttackOutcome {
+                original_correct: o_row.argmax() == Some(labels[i]),
+                adapted_correct: a_pred == labels[i],
+                adapted_pred_in_original_top5: o_row.topk(5).contains(&a_pred),
+            }
+        })
+        .collect()
+}
+
+/// [`evaluate_outcomes`] aggregated into [`SuccessCounts`].
+pub fn evaluate_attack<O: Infer + ?Sized, A: Infer + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x_adv: &Tensor,
+    labels: &[usize],
+) -> SuccessCounts {
+    evaluate_outcomes(original, adapted, x_adv, labels)
+        .into_iter()
+        .collect()
+}
+
+/// Whitebox DIVA (§4.2): the attacker holds both true models.
+pub fn whitebox_diva<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
+    original: &O,
+    adapted: &A,
+    images: &Tensor,
+    labels: &[usize],
+    c: f32,
+    cfg: &AttackCfg,
+) -> Tensor {
+    diva_attack(original, adapted, images, labels, c, cfg)
+}
+
+/// Everything the semi-blackbox attacker builds before attacking.
+#[derive(Debug, Clone)]
+pub struct SemiBlackboxAssets {
+    /// The distilled full-precision surrogate of the original model.
+    pub surrogate_original: Network,
+    /// The differentiable adapted model recovered from the device.
+    pub recovered_adapted: QatNetwork,
+}
+
+/// Semi-blackbox preparation (§4.3): extract the deployed model, distill a
+/// surrogate original from it on attacker data.
+pub fn prepare_semi_blackbox(
+    deployed: &Int8Engine,
+    architecture: &diva_nn::Graph,
+    attacker_images: &Tensor,
+    distill_cfg: &DistillCfg,
+    train_cfg: &TrainCfg,
+    rng: &mut StdRng,
+) -> SemiBlackboxAssets {
+    let (surrogate_original, recovered_adapted) = reconstruct_surrogate_original(
+        deployed,
+        architecture,
+        attacker_images,
+        distill_cfg,
+        train_cfg,
+        rng,
+    );
+    SemiBlackboxAssets {
+        surrogate_original,
+        recovered_adapted,
+    }
+}
+
+/// Semi-blackbox DIVA: generate on (surrogate original, recovered adapted).
+pub fn semi_blackbox_diva(
+    assets: &SemiBlackboxAssets,
+    images: &Tensor,
+    labels: &[usize],
+    c: f32,
+    cfg: &AttackCfg,
+) -> Tensor {
+    diva_attack(
+        &assets.surrogate_original,
+        &assets.recovered_adapted,
+        images,
+        labels,
+        c,
+        cfg,
+    )
+}
+
+/// Everything the blackbox attacker builds before attacking.
+#[derive(Debug, Clone)]
+pub struct BlackboxAssets {
+    /// Query-distilled full-precision surrogate.
+    pub surrogate_original: Network,
+    /// The surrogate re-adapted (calibrated + QAT) by the attacker.
+    pub surrogate_adapted: QatNetwork,
+}
+
+/// Blackbox preparation (§4.4): distill a surrogate fp32 model from query
+/// access, then adapt it to obtain a surrogate adapted model.
+#[allow(clippy::too_many_arguments)]
+pub fn prepare_blackbox(
+    deployed: &Int8Engine,
+    fresh_student: Network,
+    attacker_images: &Tensor,
+    distill_cfg: &DistillCfg,
+    train_cfg: &TrainCfg,
+    quant_cfg: QuantCfg,
+    rng: &mut StdRng,
+) -> BlackboxAssets {
+    let (surrogate_original, surrogate_adapted) = reconstruct_surrogate_pair(
+        deployed,
+        fresh_student,
+        attacker_images,
+        distill_cfg,
+        train_cfg,
+        quant_cfg,
+        rng,
+    );
+    BlackboxAssets {
+        surrogate_original,
+        surrogate_adapted,
+    }
+}
+
+/// Blackbox DIVA: generate on (surrogate original, surrogate adapted).
+pub fn blackbox_diva(
+    assets: &BlackboxAssets,
+    images: &Tensor,
+    labels: &[usize],
+    c: f32,
+    cfg: &AttackCfg,
+) -> Tensor {
+    diva_attack(
+        &assets.surrogate_original,
+        &assets.surrogate_adapted,
+        images,
+        labels,
+        c,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_models::{Architecture, ModelCfg};
+    use rand::{Rng, SeedableRng};
+
+    fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
+        let per: usize = dims.iter().product();
+        let samples: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims))
+            .collect();
+        Tensor::stack(&samples)
+    }
+
+    #[test]
+    fn batched_outcomes_match_per_sample() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+        let images = rand_images(&mut rng, 16, &[3, 8, 8]);
+        let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
+        qat.calibrate(&images);
+        let x = diva_nn::train::gather(&images, &(0..6).collect::<Vec<_>>());
+        let labels = net.predict(&x);
+        let batched = evaluate_outcomes(&net, &qat, &x, &labels);
+        for (i, want) in batched.iter().enumerate() {
+            let xi = diva_nn::train::gather(&x, &[i]);
+            let got = AttackOutcome::evaluate(&net, &qat, &xi, labels[i]);
+            assert_eq!(&got, want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn semi_blackbox_pipeline_produces_valid_perturbations() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+        let graph = net.graph().clone();
+        let images = rand_images(&mut rng, 48, &[3, 8, 8]);
+        let mut qat = QatNetwork::new(net, QuantCfg::default());
+        qat.calibrate(&images);
+        let deployed = Int8Engine::from_qat(&qat);
+        let train_cfg = TrainCfg {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        let assets = prepare_semi_blackbox(
+            &deployed,
+            &graph,
+            &images,
+            &DistillCfg::default(),
+            &train_cfg,
+            &mut rng,
+        );
+        let x = diva_nn::train::gather(&images, &[0, 1]);
+        let labels = deployed.predict(&x);
+        let cfg = AttackCfg::with_steps(5);
+        let adv = semi_blackbox_diva(&assets, &x, &labels, 1.0, &cfg);
+        assert!(crate::attack::linf_distance(&adv, &x) <= cfg.eps + 1e-6);
+        // Evaluation against the *true* pair must run.
+        let counts = evaluate_attack(&assets.surrogate_original, &deployed, &adv, &labels);
+        assert_eq!(counts.total, 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! The PubFig stand-in: parametric face identities for the case study (§6).
+//!
+//! An *identity* is a point in a face-parameter space (skin tone, face
+//! width/height, eye spacing and size, nose length, mouth width and curve).
+//! Each rendered image adds per-photo jitter (pose shift, illumination,
+//! expression wobble, sensor noise), so the classifier must learn identity
+//! features rather than memorise pixels — the structure a face-recognition
+//! model exploits.
+
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::Dataset;
+
+/// Image side length (RGB `3×16×16`).
+pub const SIDE: usize = 16;
+
+/// One identity's facial geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceParams {
+    skin: [f32; 3],
+    face_rx: f32,
+    face_ry: f32,
+    eye_dx: f32,
+    eye_y: f32,
+    eye_r: f32,
+    nose_len: f32,
+    mouth_w: f32,
+    mouth_y: f32,
+    mouth_curve: f32,
+    hair: f32,
+}
+
+impl FaceParams {
+    /// Draws a random identity.
+    pub fn random(rng: &mut StdRng) -> Self {
+        let tone = rng.gen_range(0.35..0.85f32);
+        FaceParams {
+            skin: [
+                (tone + 0.10).min(1.0),
+                tone * rng.gen_range(0.75..0.9),
+                tone * rng.gen_range(0.55..0.75),
+            ],
+            face_rx: rng.gen_range(4.5..6.5),
+            face_ry: rng.gen_range(5.5..7.5),
+            eye_dx: rng.gen_range(1.8..3.2),
+            eye_y: rng.gen_range(-2.5..-1.2),
+            eye_r: rng.gen_range(0.55..1.05),
+            nose_len: rng.gen_range(1.0..2.4),
+            mouth_w: rng.gen_range(1.6..3.2),
+            mouth_y: rng.gen_range(2.2..3.6),
+            mouth_curve: rng.gen_range(-0.8..0.8),
+            hair: rng.gen_range(0.0..0.45),
+        }
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FacesCfg {
+    /// Number of identities (the paper uses 150 people; default scales to
+    /// the reproduction's size).
+    pub identities: usize,
+    /// Per-pixel noise std-dev.
+    pub noise: f32,
+}
+
+impl Default for FacesCfg {
+    fn default() -> Self {
+        FacesCfg {
+            identities: 25,
+            noise: 0.06,
+        }
+    }
+}
+
+/// Renders one photo of `id` with per-photo jitter.
+pub fn render_face(id: &FaceParams, noise: f32, rng: &mut StdRng) -> Tensor {
+    let cx = SIDE as f32 / 2.0 + rng.gen_range(-1.0..1.0f32);
+    let cy = SIDE as f32 / 2.0 + rng.gen_range(-1.0..1.0f32);
+    let illum = rng.gen_range(0.8..1.15f32);
+    let expression = rng.gen_range(-0.3..0.3f32); // wobbles the mouth curve
+    let bg = rng.gen_range(0.1..0.35f32);
+    let mut data = vec![0.0f32; 3 * SIDE * SIDE];
+    let soft = |d: f32| (0.6 - d).clamp(0.0, 1.0);
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let dx = x as f32 + 0.5 - cx;
+            let dy = y as f32 + 0.5 - cy;
+            // Face oval.
+            let face_d = ((dx / id.face_rx).powi(2) + (dy / id.face_ry).powi(2)).sqrt() - 1.0;
+            let face_cov = soft(face_d * id.face_rx.min(id.face_ry));
+            // Hairline: darkens the top band of the face.
+            let hair_cov = if dy < id.eye_y - 1.0 { id.hair } else { 0.0 };
+            // Eyes: two dark disks.
+            let eye_l = ((dx + id.eye_dx).powi(2) + (dy - id.eye_y).powi(2)).sqrt() - id.eye_r;
+            let eye_r_ = ((dx - id.eye_dx).powi(2) + (dy - id.eye_y).powi(2)).sqrt() - id.eye_r;
+            let eye_cov = soft(eye_l).max(soft(eye_r_));
+            // Nose: a vertical bar from eye line downward.
+            let nose_cov = if dx.abs() < 0.5 && dy > id.eye_y + 0.8 && dy < id.eye_y + 0.8 + id.nose_len {
+                0.6
+            } else {
+                0.0
+            };
+            // Mouth: a horizontal curved band.
+            let curve = id.mouth_curve + expression;
+            let mouth_mid = id.mouth_y + curve * (dx / id.mouth_w).powi(2);
+            let mouth_cov = if dx.abs() < id.mouth_w && (dy - mouth_mid).abs() < 0.6 {
+                0.8
+            } else {
+                0.0
+            };
+            for ch in 0..3 {
+                let mut v = bg;
+                if face_cov > 0.0 {
+                    let skin = id.skin[ch] * illum;
+                    v = v * (1.0 - face_cov) + skin * face_cov;
+                    v *= 1.0 - hair_cov * face_cov;
+                    // Features darken the skin.
+                    let feat = eye_cov.max(nose_cov * 0.6).max(mouth_cov * 0.8);
+                    v *= 1.0 - 0.75 * feat * face_cov;
+                }
+                data[ch * SIDE * SIDE + y * SIDE + x] =
+                    (v + gauss(rng) * noise).clamp(0.0, 1.0);
+            }
+        }
+    }
+    Tensor::from_vec(data, &[3, SIDE, SIDE])
+}
+
+/// Generates a shuffled, identity-balanced face dataset of `n` photos.
+///
+/// Identities are derived deterministically from `seed`, so train/val splits
+/// generated with the same seed share the same people.
+pub fn synth_faces(n: usize, cfg: &FacesCfg, seed: u64) -> Dataset {
+    let mut id_rng = StdRng::seed_from_u64(seed);
+    let identities: Vec<FaceParams> = (0..cfg.identities)
+        .map(|_| FaceParams::random(&mut id_rng))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let who = i % cfg.identities;
+        images.push(render_face(&identities[who], cfg.noise, &mut rng));
+        labels.push(who);
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    use rand::seq::SliceRandom;
+    idx.shuffle(&mut rng);
+    let images: Vec<Tensor> = idx.iter().map(|&i| images[i].clone()).collect();
+    let labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+    Dataset::new(Tensor::stack(&images), labels, cfg.identities)
+}
+
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_and_balance() {
+        let cfg = FacesCfg {
+            identities: 5,
+            noise: 0.05,
+        };
+        let d = synth_faces(25, &cfg, 1);
+        assert_eq!(d.len(), 25);
+        assert_eq!(d.num_classes, 5);
+        assert_eq!(d.sample_shape(), [3, SIDE, SIDE]);
+        assert!(d.images.min() >= 0.0 && d.images.max() <= 1.0);
+        let mut counts = [0usize; 5];
+        for &l in &d.labels {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn same_identity_two_photos_differ_but_less_than_two_people() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let alice = FaceParams::random(&mut rng);
+        let bob = FaceParams::random(&mut rng);
+        let mut photo_rng = StdRng::seed_from_u64(3);
+        let a1 = render_face(&alice, 0.02, &mut photo_rng);
+        let a2 = render_face(&alice, 0.02, &mut photo_rng);
+        let b1 = render_face(&bob, 0.02, &mut photo_rng);
+        let within = a1.sub(&a2).norm2();
+        let across = a1.sub(&b1).norm2();
+        assert!(within > 0.0, "photos are identical");
+        assert!(
+            across > within,
+            "identities not separated: within {within}, across {across}"
+        );
+    }
+
+    #[test]
+    fn seed_determines_identities() {
+        let cfg = FacesCfg::default();
+        let a = synth_faces(50, &cfg, 7);
+        let b = synth_faces(50, &cfg, 7);
+        assert_eq!(a.images, b.images);
+        let c = synth_faces(50, &cfg, 8);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    fn faces_have_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let id = FaceParams::random(&mut rng);
+        let img = render_face(&id, 0.0, &mut rng);
+        assert!(img.max() - img.min() > 0.2, "face rendered flat");
+    }
+}

@@ -1,0 +1,145 @@
+//! `diva-data` — procedural image datasets standing in for ImageNet, MNIST
+//! and PubFig.
+//!
+//! The paper's data (50k ImageNet images, MNIST, 11,640 PubFig faces) is not
+//! available offline, so each dataset is replaced by a *procedural generator*
+//! with the properties the experiments actually rely on:
+//!
+//! * [`synth_imagenet`] — 16 visually confusable object classes
+//!   (shape × palette with heavy jitter and noise). Confusability matters:
+//!   the paper's phenomenon — instability between a model and its quantized
+//!   adaptation — lives on samples near decision boundaries, so the classes
+//!   must genuinely overlap.
+//! * [`synth_mnist`] — glyph-rendered digits for the PCA study (Fig. 4).
+//! * [`synth_faces`] — parametric face identities for the case study (§6).
+//!
+//! All generators are deterministic given their seed, and emit images in
+//! `[0, 1]` (the domain the attacks clip to).
+
+pub mod faces;
+pub mod imagenet;
+pub mod mnist;
+pub mod selection;
+
+pub use faces::synth_faces;
+pub use imagenet::synth_imagenet;
+pub use mnist::synth_mnist;
+pub use selection::select_validation;
+
+use diva_tensor::Tensor;
+
+/// A labelled image dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Batched images `[n, c, h, w]`, values in `[0, 1]`.
+    pub images: Tensor,
+    /// Class index per image.
+    pub labels: Vec<usize>,
+    /// Number of distinct classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, checking invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if labels and images disagree in count or a label is out of
+    /// range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.dims()[0], labels.len(), "images/labels mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample shape `[c, h, w]`.
+    pub fn sample_shape(&self) -> [usize; 3] {
+        let d = self.images.dims();
+        [d[1], d[2], d[3]]
+    }
+
+    /// Selects the subset at `idx` (cloning).
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let images = diva_nn::train::gather(&self.images, idx);
+        let labels = idx.iter().map(|&i| self.labels[i]).collect();
+        Dataset::new(images, labels, self.num_classes)
+    }
+
+    /// Restricts the dataset to labels `0..k` (useful for fast smoke tests
+    /// on an easier few-class version of a generator's task).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds `num_classes`.
+    pub fn retain_classes(&self, k: usize) -> Dataset {
+        assert!(k > 0 && k <= self.num_classes, "bad class count {k}");
+        let idx: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i] < k).collect();
+        let mut d = self.subset(&idx);
+        d.num_classes = k;
+        d
+    }
+
+    /// Splits off the first `n` samples as one dataset and the rest as
+    /// another (generators already shuffle, so this is a random split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split beyond dataset size");
+        let head: Vec<usize> = (0..n).collect();
+        let tail: Vec<usize> = (n..self.len()).collect();
+        (self.subset(&head), self.subset(&tail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_invariants() {
+        let images = Tensor::zeros(&[4, 1, 2, 2]);
+        let d = Dataset::new(images, vec![0, 1, 0, 1], 2);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.sample_shape(), [1, 2, 2]);
+        let (a, b) = d.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn retain_classes_filters_and_renumbers() {
+        let images = Tensor::zeros(&[6, 1, 2, 2]);
+        let d = Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3);
+        let r = d.retain_classes(2);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.num_classes, 2);
+        assert!(r.labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let _ = Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![5], 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! The MNIST stand-in: digits rendered from a 5×7 bitmap font with jitter.
+//!
+//! Used by the Fig. 4 PCA study, which needs many samples per digit whose
+//! learned representations cluster by class.
+
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::Dataset;
+
+/// Image side length (grayscale `1×16×16`).
+pub const SIDE: usize = 16;
+
+/// Classic 5×7 seven-segment-style bitmap font for digits 0–9, one string
+/// row per scanline ('#' = ink).
+const GLYPHS: [[&str; 7]; 10] = [
+    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
+    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
+    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
+    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
+    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
+    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
+    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
+    ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "], // 7
+    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
+    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+];
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MnistCfg {
+    /// Per-pixel Gaussian noise std-dev.
+    pub noise: f32,
+    /// Positional jitter in pixels.
+    pub pos_jitter: f32,
+}
+
+impl Default for MnistCfg {
+    fn default() -> Self {
+        MnistCfg {
+            noise: 0.08,
+            pos_jitter: 1.5,
+        }
+    }
+}
+
+/// Renders one digit sample with jittered placement, scale and stroke
+/// intensity.
+pub fn render_digit(digit: usize, cfg: &MnistCfg, rng: &mut StdRng) -> Tensor {
+    assert!(digit < 10, "digit {digit} out of range");
+    let glyph = &GLYPHS[digit];
+    // Scale factor ~2x with jitter; glyph is 5x7 -> ~10x14 on a 16x16 canvas.
+    let sx = rng.gen_range(1.7..2.2f32);
+    let sy = rng.gen_range(1.7..2.2f32);
+    let ox = (SIDE as f32 - 5.0 * sx) / 2.0 + jitter(rng, cfg.pos_jitter);
+    let oy = (SIDE as f32 - 7.0 * sy) / 2.0 + jitter(rng, cfg.pos_jitter);
+    let ink = rng.gen_range(0.75..1.0f32);
+    let bg = rng.gen_range(0.0..0.12f32);
+    let mut data = vec![0.0f32; SIDE * SIDE];
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            // Map pixel back into glyph space with bilinear-ish sampling.
+            let gx = (x as f32 + 0.5 - ox) / sx;
+            let gy = (y as f32 + 0.5 - oy) / sy;
+            let mut v = bg;
+            if gx >= 0.0 && gy >= 0.0 {
+                let (gi, gj) = (gx as usize, gy as usize);
+                if gi < 5 && gj < 7 && GLYPHS[digit][gj].as_bytes()[gi] == b'#' {
+                    v = ink;
+                }
+            }
+            let _ = glyph;
+            data[y * SIDE + x] = (v + gauss(rng) * cfg.noise).clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(data, &[1, SIDE, SIDE])
+}
+
+/// Generates a shuffled, class-balanced digit dataset of `n` samples.
+pub fn synth_mnist(n: usize, cfg: &MnistCfg, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = i % 10;
+        images.push(render_digit(digit, cfg, &mut rng));
+        labels.push(digit);
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    use rand::seq::SliceRandom;
+    idx.shuffle(&mut rng);
+    let images: Vec<Tensor> = idx.iter().map(|&i| images[i].clone()).collect();
+    let labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+    Dataset::new(Tensor::stack(&images), labels, 10)
+}
+
+/// Uniform jitter in `[-j, j)`, tolerating `j == 0`.
+fn jitter(rng: &mut StdRng, j: f32) -> f32 {
+    if j > 0.0 {
+        rng.gen_range(-j..j)
+    } else {
+        0.0
+    }
+}
+
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_and_balance() {
+        let d = synth_mnist(50, &MnistCfg::default(), 1);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.num_classes, 10);
+        assert_eq!(d.sample_shape(), [1, SIDE, SIDE]);
+        assert!(d.images.min() >= 0.0 && d.images.max() <= 1.0);
+        let mut counts = [0usize; 10];
+        for &l in &d.labels {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let cfg = MnistCfg {
+            noise: 0.0,
+            pos_jitter: 0.0,
+        };
+        for digit in 0..10 {
+            let mut rng = StdRng::seed_from_u64(2);
+            let img = render_digit(digit, &cfg, &mut rng);
+            // Ink pixels exist and background dominates.
+            let bright = img.data().iter().filter(|&&v| v > 0.5).count();
+            assert!(bright > 10, "digit {digit} has no ink");
+            assert!(bright < 180, "digit {digit} is mostly ink");
+        }
+    }
+
+    #[test]
+    fn distinct_digits_render_distinctly() {
+        let cfg = MnistCfg {
+            noise: 0.0,
+            pos_jitter: 0.0,
+        };
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let zero = render_digit(0, &cfg, &mut r1);
+        let one = render_digit(1, &cfg, &mut r2);
+        assert!(zero.sub(&one).norm1() > 5.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = synth_mnist(20, &MnistCfg::default(), 9);
+        let b = synth_mnist(20, &MnistCfg::default(), 9);
+        assert_eq!(a.images, b.images);
+    }
+}

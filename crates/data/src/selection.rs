@@ -1,0 +1,131 @@
+//! Validation-set selection, reproducing the paper's protocol (§5.1):
+//! "we randomly select 3,000 images ... covering all 1,000 classes ... we
+//! ensure that they are correctly classified by all relevant models".
+//!
+//! Attack success rates are only meaningful on samples every model under
+//! test gets right *before* the attack; this module picks such a
+//! class-balanced subset.
+
+use diva_nn::train::gather;
+use diva_nn::Infer;
+
+use crate::Dataset;
+
+/// Selects up to `per_class` samples of each class from `pool` that every
+/// model in `models` classifies correctly, returning the subset.
+///
+/// Classes without enough mutually-correct samples contribute fewer (a
+/// warning-worthy but non-fatal condition, mirroring real pools).
+pub fn select_validation(
+    pool: &Dataset,
+    models: &[&dyn Infer],
+    per_class: usize,
+) -> Dataset {
+    let n = pool.len();
+    // Evaluate all models batched once.
+    let mut all_correct = vec![true; n];
+    let bs = 64;
+    for model in models {
+        let mut i = 0;
+        while i < n {
+            let hi = (i + bs).min(n);
+            let idx: Vec<usize> = (i..hi).collect();
+            let x = gather(&pool.images, &idx);
+            for (j, pred) in model.predict(&x).into_iter().enumerate() {
+                if pred != pool.labels[i + j] {
+                    all_correct[i + j] = false;
+                }
+            }
+            i = hi;
+        }
+    }
+    let mut taken_per_class = vec![0usize; pool.num_classes];
+    let mut chosen = Vec::new();
+    for i in 0..n {
+        let c = pool.labels[i];
+        if all_correct[i] && taken_per_class[c] < per_class {
+            taken_per_class[c] += 1;
+            chosen.push(i);
+        }
+    }
+    pool.subset(&chosen)
+}
+
+/// Fraction of the pool on which all models agree with the label — a quick
+/// upper bound on how much validation data a selection can yield.
+pub fn mutual_accuracy(pool: &Dataset, models: &[&dyn Infer]) -> f32 {
+    if pool.is_empty() {
+        return 0.0;
+    }
+    let selected = select_validation(pool, models, usize::MAX);
+    selected.len() as f32 / pool.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_tensor::Tensor;
+
+    /// A fake model that labels by mean brightness threshold.
+    struct Thresh(f32);
+
+    impl Infer for Thresh {
+        fn logits(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let mut out = Tensor::zeros(&[n, 2]);
+            for i in 0..n {
+                let m = x.index_batch(i).mean();
+                let c = usize::from(m > self.0);
+                out.data_mut()[i * 2 + c] = 1.0;
+            }
+            out
+        }
+
+        fn num_classes(&self) -> usize {
+            2
+        }
+    }
+
+    fn pool() -> Dataset {
+        // 8 samples: brightness 0.1..0.8, class = brightness > 0.45.
+        let samples: Vec<Tensor> = (0..8)
+            .map(|i| Tensor::full(&[1, 2, 2], 0.1 + i as f32 * 0.1))
+            .collect();
+        let labels = (0..8).map(|i| usize::from(i >= 4)).collect();
+        Dataset::new(Tensor::stack(&samples), labels, 2)
+    }
+
+    #[test]
+    fn selects_only_mutually_correct() {
+        let p = pool();
+        // Model A: threshold 0.45 (all correct). Model B: threshold 0.65
+        // (misclassifies brightness 0.5 and 0.6 as class 0).
+        let a = Thresh(0.45);
+        let b = Thresh(0.65);
+        let sel = select_validation(&p, &[&a, &b], 10);
+        // Class-1 samples at 0.5/0.6 rejected; 0.7/0.8 kept; all class-0 kept.
+        assert_eq!(sel.len(), 6);
+        assert!(sel
+            .labels
+            .iter()
+            .zip(0..)
+            .all(|(&l, _)| l == 0 || l == 1));
+    }
+
+    #[test]
+    fn respects_per_class_cap() {
+        let p = pool();
+        let a = Thresh(0.45);
+        let sel = select_validation(&p, &[&a], 2);
+        assert_eq!(sel.len(), 4);
+        let c0 = sel.labels.iter().filter(|&&l| l == 0).count();
+        assert_eq!(c0, 2);
+    }
+
+    #[test]
+    fn mutual_accuracy_bounds() {
+        let p = pool();
+        assert_eq!(mutual_accuracy(&p, &[&Thresh(0.45)]), 1.0);
+        assert!(mutual_accuracy(&p, &[&Thresh(0.45), &Thresh(0.65)]) < 1.0);
+    }
+}

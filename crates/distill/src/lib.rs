@@ -1,0 +1,303 @@
+//! `diva-distill` — knowledge distillation and surrogate-model
+//! reconstruction for the semi-blackbox and blackbox attacks (§4.3/§4.4).
+//!
+//! In the semi-blackbox setting the attacker holds only the *adapted* model
+//! and some unlabelled attacker-collected data. They rebuild a full-precision
+//! stand-in for the original model by treating the adapted model as the
+//! *teacher* and a same-architecture fp32 *student* as the surrogate —
+//! inverted from ordinary distillation, exactly as the paper describes:
+//! "Unlike typical knowledge distillation that trains a model with less
+//! precision using an original model, we use knowledge distillation to
+//! create \[the\] semi-blackbox attack."
+//!
+//! In the blackbox setting the adapted model's parameters are unknown too:
+//! the attacker distills a surrogate fp32 model from query access only
+//! (teacher logits), then *adapts* that surrogate (calibration + QAT) to get
+//! a surrogate adapted model.
+
+use diva_nn::train::{gather, shuffled_batches, TrainCfg};
+use diva_nn::{losses, optim::Sgd, Infer, Network};
+use diva_quant::{extract_qat, Int8Engine, QatNetwork, QuantCfg};
+use diva_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Distillation hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistillCfg {
+    /// Softmax temperature of the KL term.
+    pub temperature: f32,
+    /// Weight of the hard-label term (labels taken from the teacher's
+    /// argmax, since the attacker has no ground truth).
+    pub hard_weight: f32,
+    /// Weight of the soft (KL) term.
+    pub soft_weight: f32,
+}
+
+impl Default for DistillCfg {
+    fn default() -> Self {
+        DistillCfg {
+            temperature: 4.0,
+            hard_weight: 0.3,
+            soft_weight: 0.7,
+        }
+    }
+}
+
+/// Trains `student` to imitate `teacher` on unlabelled `images`.
+///
+/// The loss is `soft_weight · KL(teacher ‖ student at temperature T) +
+/// hard_weight · CE(student, argmax(teacher))` — minimizing the distillation
+/// loss while matching the teacher's predicted labels (§4.3).
+///
+/// Returns the per-epoch mean combined loss.
+pub fn distill<T: Infer>(
+    student: &mut Network,
+    teacher: &T,
+    images: &Tensor,
+    cfg: &DistillCfg,
+    train_cfg: &TrainCfg,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    let n = images.dims()[0];
+    let mut opt = Sgd::new(train_cfg.lr, train_cfg.momentum, train_cfg.weight_decay);
+    let mut epoch_losses = Vec::with_capacity(train_cfg.epochs);
+    for _ in 0..train_cfg.epochs {
+        let mut loss_sum = 0.0;
+        for batch in shuffled_batches(n, train_cfg.batch_size, rng) {
+            let x = gather(images, &batch);
+            let t_logits = teacher.logits(&x);
+            let t_labels: Vec<usize> = (0..batch.len())
+                .map(|i| t_logits.row(i).argmax().unwrap_or(0))
+                .collect();
+            let exec = student.forward(&x);
+            let s_logits = exec.output(student.graph()).clone();
+            let (kl, d_kl) = losses::distillation_kl(&s_logits, &t_logits, cfg.temperature);
+            let (ce, d_ce) = losses::cross_entropy(&s_logits, &t_labels);
+            let loss = cfg.soft_weight * kl + cfg.hard_weight * ce;
+            let mut dlogits = d_kl.scale(cfg.soft_weight);
+            dlogits.axpy(cfg.hard_weight, &d_ce);
+            loss_sum += loss * batch.len() as f32;
+            student.backward(&exec, &dlogits);
+            opt.step(student.params_mut());
+        }
+        epoch_losses.push(loss_sum / n as f32);
+    }
+    epoch_losses
+}
+
+/// Semi-blackbox surrogate reconstruction (§4.3): given the deployed adapted
+/// model, recover a differentiable QAT copy by weight extraction, initialise
+/// a full-precision student from its (dequantized) weights, and distill the
+/// student against the adapted teacher on attacker data.
+///
+/// Returns `(surrogate_fp32, recovered_adapted)` — the pair the attacker
+/// plugs into the DIVA loss in place of `(original, adapted)`.
+pub fn reconstruct_surrogate_original(
+    deployed: &Int8Engine,
+    architecture: &diva_nn::Graph,
+    attacker_images: &Tensor,
+    cfg: &DistillCfg,
+    train_cfg: &TrainCfg,
+    rng: &mut StdRng,
+) -> (Network, QatNetwork) {
+    // Step 1: recover the differentiable adapted model from the device.
+    let recovered = extract_qat(deployed, architecture);
+    // Step 2: the surrogate's parameters are initialised from the adapted
+    // model (the paper uses pretrained weights "when possible or the
+    // parameters of the adapted model" — without a pretrained zoo, the
+    // latter).
+    let mut student = recovered.network().clone();
+    // Step 3: teach the surrogate to imitate the adapted model.
+    distill(&mut student, &recovered, attacker_images, cfg, train_cfg, rng);
+    (student, recovered)
+}
+
+/// Blackbox surrogate reconstruction (§4.4): with query access only, distill
+/// a freshly initialised fp32 surrogate from the deployed model's outputs,
+/// then adapt it (calibration + QAT on teacher labels) to obtain a surrogate
+/// adapted model.
+///
+/// Returns `(surrogate_fp32, surrogate_adapted)`.
+pub fn reconstruct_surrogate_pair(
+    deployed: &Int8Engine,
+    fresh_student: Network,
+    attacker_images: &Tensor,
+    cfg: &DistillCfg,
+    train_cfg: &TrainCfg,
+    quant_cfg: QuantCfg,
+    rng: &mut StdRng,
+) -> (Network, QatNetwork) {
+    let mut student = fresh_student;
+    distill(&mut student, deployed, attacker_images, cfg, train_cfg, rng);
+    // Adapt the surrogate the same way the victim would: calibrate + QAT,
+    // with labels taken from the teacher's predictions.
+    let teacher_labels: Vec<usize> = {
+        let mut labels = Vec::new();
+        let n = attacker_images.dims()[0];
+        let bs = 64;
+        let mut i = 0;
+        while i < n {
+            let hi = (i + bs).min(n);
+            let idx: Vec<usize> = (i..hi).collect();
+            let x = gather(attacker_images, &idx);
+            labels.extend(deployed.predict(&x));
+            i = hi;
+        }
+        labels
+    };
+    let mut surrogate_adapted = QatNetwork::new(student.clone(), quant_cfg);
+    surrogate_adapted.calibrate(attacker_images);
+    let qat_train = TrainCfg {
+        epochs: (train_cfg.epochs / 2).max(1),
+        ..train_cfg.clone()
+    };
+    surrogate_adapted.train_qat(attacker_images, &teacher_labels, &qat_train, rng);
+    (student, surrogate_adapted)
+}
+
+/// Agreement rate between two models' top-1 predictions on a dataset — the
+/// fidelity measure for judging surrogate quality.
+pub fn agreement<A: Infer, B: Infer>(a: &A, b: &B, images: &Tensor) -> f32 {
+    let n = images.dims()[0];
+    if n == 0 {
+        return 0.0;
+    }
+    let mut same = 0usize;
+    let bs = 64;
+    let mut i = 0;
+    while i < n {
+        let hi = (i + bs).min(n);
+        let idx: Vec<usize> = (i..hi).collect();
+        let x = gather(images, &idx);
+        same += a
+            .predict(&x)
+            .iter()
+            .zip(b.predict(&x))
+            .filter(|(p, q)| **p == *q)
+            .count();
+        i = hi;
+    }
+    same as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_models::{Architecture, ModelCfg};
+    use rand::{Rng, SeedableRng};
+
+    fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
+        let per: usize = dims.iter().product();
+        let samples: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims))
+            .collect();
+        Tensor::stack(&samples)
+    }
+
+    #[test]
+    fn distillation_reduces_loss_and_raises_agreement() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let cfg = ModelCfg::tiny(4);
+        let teacher = Architecture::ResNet.build(&cfg, &mut rng);
+        let mut student = Architecture::ResNet.build(&cfg, &mut rng); // different init
+        let images = rand_images(&mut rng, 96, &[3, 8, 8]);
+        let before = agreement(&teacher, &student, &images);
+        let train_cfg = TrainCfg {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        let losses = distill(
+            &mut student,
+            &teacher,
+            &images,
+            &DistillCfg::default(),
+            &train_cfg,
+            &mut rng,
+        );
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "distillation loss did not fall: {losses:?}"
+        );
+        let after = agreement(&teacher, &student, &images);
+        assert!(
+            after > before,
+            "agreement did not improve: {before} -> {after}"
+        );
+        assert!(after > 0.7, "final agreement too low: {after}");
+    }
+
+    #[test]
+    fn semi_blackbox_surrogate_matches_teacher() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = ModelCfg::tiny(4);
+        let victim = Architecture::ResNet.build(&cfg, &mut rng);
+        let graph = victim.graph().clone();
+        let calib = rand_images(&mut rng, 32, &[3, 8, 8]);
+        let mut qat = QatNetwork::new(victim, QuantCfg::default());
+        qat.calibrate(&calib);
+        let deployed = Int8Engine::from_qat(&qat);
+        let attacker_data = rand_images(&mut rng, 64, &[3, 8, 8]);
+        let train_cfg = TrainCfg {
+            epochs: 4,
+            batch_size: 16,
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        let (surrogate, recovered) = reconstruct_surrogate_original(
+            &deployed,
+            &graph,
+            &attacker_data,
+            &DistillCfg::default(),
+            &train_cfg,
+            &mut rng,
+        );
+        // The recovered adapted model mirrors the deployed one...
+        assert!(agreement(&recovered, &deployed, &attacker_data) > 0.9);
+        // ...and the surrogate fp32 model stays close to the teacher.
+        assert!(agreement(&surrogate, &deployed, &attacker_data) > 0.8);
+    }
+
+    #[test]
+    fn blackbox_pair_reconstruction_runs() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfg = ModelCfg::tiny(3);
+        let victim = Architecture::MobileNet.build(&cfg, &mut rng);
+        let calib = rand_images(&mut rng, 32, &[3, 8, 8]);
+        let mut qat = QatNetwork::new(victim, QuantCfg::default());
+        qat.calibrate(&calib);
+        let deployed = Int8Engine::from_qat(&qat);
+        let attacker_data = rand_images(&mut rng, 48, &[3, 8, 8]);
+        let fresh = Architecture::MobileNet.build(&cfg, &mut rng);
+        let train_cfg = TrainCfg {
+            epochs: 4,
+            batch_size: 16,
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        let (fp, adapted) = reconstruct_surrogate_pair(
+            &deployed,
+            fresh,
+            &attacker_data,
+            &DistillCfg::default(),
+            &train_cfg,
+            QuantCfg::default(),
+            &mut rng,
+        );
+        // Surrogates must at least beat chance-level agreement (1/3).
+        assert!(agreement(&fp, &deployed, &attacker_data) > 0.5);
+        assert!(agreement(&adapted, &deployed, &attacker_data) > 0.5);
+    }
+
+    #[test]
+    fn agreement_is_one_for_identical_models() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let net = Architecture::DenseNet.build(&ModelCfg::tiny(4), &mut rng);
+        let images = rand_images(&mut rng, 16, &[3, 8, 8]);
+        assert_eq!(agreement(&net, &net, &images), 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! SSIM / DSSIM image similarity (Hore & Ziou 2010), used to verify that
+//! adversarial images remain perceptually indistinguishable from their
+//! natural sources (§5.2: "The resulting DSSIM for all images are below
+//! 0.0092").
+
+use diva_tensor::Tensor;
+
+const C1: f32 = 0.01 * 0.01; // (k1·L)^2 with L = 1.0 dynamic range
+const C2: f32 = 0.03 * 0.03;
+
+/// Mean structural similarity between two same-shaped images (`[c, h, w]`
+/// or `[h, w]`), computed over sliding 8×8 windows per channel.
+///
+/// Returns a value in `[-1, 1]`; 1 means identical.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the image is smaller than one window.
+pub fn ssim(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "ssim requires identical shapes");
+    let (c, h, w) = match a.dims() {
+        [c, h, w] => (*c, *h, *w),
+        [h, w] => (1, *h, *w),
+        d => panic!("ssim expects [c,h,w] or [h,w], got {d:?}"),
+    };
+    let win = 8.min(h).min(w);
+    assert!(win >= 2, "image too small for SSIM");
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    for ch in 0..c {
+        let base = ch * h * w;
+        let mut y = 0;
+        while y + win <= h {
+            let mut x = 0;
+            while x + win <= w {
+                total += window_ssim(a.data(), b.data(), base, x, y, w, win);
+                windows += 1;
+                x += win / 2;
+            }
+            y += win / 2;
+        }
+    }
+    total / windows as f32
+}
+
+/// Structural dissimilarity: `(1 − SSIM) / 2`, in `[0, 1]`.
+pub fn dssim(a: &Tensor, b: &Tensor) -> f32 {
+    (1.0 - ssim(a, b)) / 2.0
+}
+
+fn window_ssim(a: &[f32], b: &[f32], base: usize, x0: usize, y0: usize, w: usize, win: usize) -> f32 {
+    let n = (win * win) as f32;
+    let (mut ma, mut mb) = (0.0f32, 0.0f32);
+    for y in 0..win {
+        for x in 0..win {
+            let i = base + (y0 + y) * w + x0 + x;
+            ma += a[i];
+            mb += b[i];
+        }
+    }
+    ma /= n;
+    mb /= n;
+    let (mut va, mut vb, mut cov) = (0.0f32, 0.0f32, 0.0f32);
+    for y in 0..win {
+        for x in 0..win {
+            let i = base + (y0 + y) * w + x0 + x;
+            let da = a[i] - ma;
+            let db = b[i] - mb;
+            va += da * da;
+            vb += db * db;
+            cov += da * db;
+        }
+    }
+    va /= n - 1.0;
+    vb /= n - 1.0;
+    cov /= n - 1.0;
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_img(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(0.0..1.0)).collect(), dims)
+    }
+
+    #[test]
+    fn identical_images_have_ssim_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = rand_img(&mut rng, &[3, 16, 16]);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-6);
+        assert!(dssim(&a, &a) < 1e-6);
+    }
+
+    #[test]
+    fn small_perturbations_give_small_dssim() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = rand_img(&mut rng, &[3, 16, 16]);
+        // 8/255 L∞ perturbation — the attack budget.
+        let eps = 8.0 / 255.0;
+        let b = a.zip(&rand_img(&mut rng, &[3, 16, 16]), |x, r| {
+            (x + (r - 0.5).signum() * eps).clamp(0.0, 1.0)
+        });
+        let d = dssim(&a, &b);
+        assert!(d < 0.05, "dssim {d} too large for an eps-ball perturbation");
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn unrelated_images_have_large_dssim() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = rand_img(&mut rng, &[1, 16, 16]);
+        let b = a.map(|x| 1.0 - x); // inverted
+        assert!(dssim(&a, &b) > 0.3);
+    }
+
+    #[test]
+    fn dssim_monotone_in_perturbation_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = rand_img(&mut rng, &[1, 16, 16]);
+        let noise = rand_img(&mut rng, &[1, 16, 16]).add_scalar(-0.5);
+        let d_small = dssim(&a, &a.add(&noise.scale(0.02)).clamp(0.0, 1.0));
+        let d_big = dssim(&a, &a.add(&noise.scale(0.3)).clamp(0.0, 1.0));
+        assert!(d_big > d_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn shape_mismatch_panics() {
+        let _ = ssim(&Tensor::zeros(&[1, 16, 16]), &Tensor::zeros(&[3, 16, 16]));
+    }
+}

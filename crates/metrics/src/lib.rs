@@ -1,0 +1,23 @@
+//! `diva-metrics` — the measurement toolkit of the evaluation (§5.1):
+//! attack success criteria, confidence deltas, model instability, DSSIM
+//! image similarity, and PCA for the representation study.
+
+pub mod dssim;
+pub mod pca;
+pub mod success;
+
+pub use dssim::{dssim, ssim};
+pub use pca::Pca;
+pub use success::{
+    confidence_delta, instability, AttackOutcome, SuccessCounts,
+};
+
+#[cfg(test)]
+mod tests {
+    // Integration-style checks across submodules live in each submodule;
+    // this module exists so `cargo test -p diva-metrics` always has a root.
+    #[test]
+    fn reexports_compile() {
+        let _ = crate::dssim::ssim;
+    }
+}

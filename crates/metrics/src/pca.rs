@@ -1,0 +1,230 @@
+//! Principal component analysis via power iteration with deflation, used to
+//! project penultimate-layer representations to 2-D for the Fig. 4 study.
+
+use diva_tensor::ops::{matmul, matmul_at_b};
+use diva_tensor::Tensor;
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    mean: Tensor,
+    /// `[k, d]`: one principal axis per row.
+    components: Tensor,
+    /// Eigenvalues (explained variance) per component, descending.
+    eigenvalues: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits `k` principal components to row-major samples `x` (`[n, d]`)
+    /// using power iteration with Hotelling deflation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank-2, has fewer than 2 samples, or `k`
+    /// exceeds the feature dimension.
+    pub fn fit(x: &Tensor, k: usize) -> Self {
+        assert_eq!(x.shape().rank(), 2, "PCA expects [n, d]");
+        let (n, d) = (x.dims()[0], x.dims()[1]);
+        assert!(n >= 2, "PCA needs at least two samples");
+        assert!(k <= d, "cannot extract {k} components from {d} dims");
+        // Center.
+        let mut mean = Tensor::zeros(&[d]);
+        for i in 0..n {
+            for j in 0..d {
+                mean.data_mut()[j] += x.data()[i * d + j];
+            }
+        }
+        mean = mean.scale(1.0 / n as f32);
+        let mut centered = x.clone();
+        for i in 0..n {
+            for j in 0..d {
+                centered.data_mut()[i * d + j] -= mean.data()[j];
+            }
+        }
+        // Covariance (d x d), scaled by 1/(n-1).
+        let mut cov = matmul_at_b(&centered, &centered).expect("covariance");
+        cov = cov.scale(1.0 / (n as f32 - 1.0));
+
+        let mut components = Tensor::zeros(&[k, d]);
+        let mut eigenvalues = Vec::with_capacity(k);
+        let mut work = cov;
+        for comp in 0..k {
+            let (v, lambda) = power_iterate(&work, 200, 1e-7, comp as u64);
+            for j in 0..d {
+                components.data_mut()[comp * d + j] = v.data()[j];
+            }
+            eigenvalues.push(lambda);
+            // Deflate: work -= lambda v v^T
+            for a in 0..d {
+                for b in 0..d {
+                    work.data_mut()[a * d + b] -= lambda * v.data()[a] * v.data()[b];
+                }
+            }
+        }
+        Pca {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Projects samples `x` (`[n, d]`) onto the fitted components,
+    /// returning `[n, k]` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension disagrees with the fit.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        let (n, d) = (x.dims()[0], x.dims()[1]);
+        assert_eq!(d, self.mean.len(), "dimension mismatch with fit");
+        let mut centered = x.clone();
+        for i in 0..n {
+            for j in 0..d {
+                centered.data_mut()[i * d + j] -= self.mean.data()[j];
+            }
+        }
+        // [n, d] x [k, d]^T -> [n, k]
+        diva_tensor::ops::matmul_a_bt(&centered, &self.components).expect("pca transform")
+    }
+
+    /// Explained variance per component, descending.
+    pub fn eigenvalues(&self) -> &[f32] {
+        &self.eigenvalues
+    }
+
+    /// The principal axes, one per row (`[k, d]`).
+    pub fn components(&self) -> &Tensor {
+        &self.components
+    }
+}
+
+/// Dominant eigenvector/eigenvalue of a symmetric matrix by power iteration.
+fn power_iterate(m: &Tensor, iters: usize, tol: f32, seed: u64) -> (Tensor, f32) {
+    let d = m.dims()[0];
+    // Deterministic pseudo-random start that differs per component.
+    let mut v = Tensor::from_vec(
+        (0..d)
+            .map(|i| ((i as u64 * 2654435761 + seed * 40503 + 1) % 1000) as f32 / 1000.0 - 0.5)
+            .collect(),
+        &[d, 1],
+    );
+    let norm = v.norm2().max(1e-12);
+    v = v.scale(1.0 / norm);
+    let mut lambda = 0.0;
+    for _ in 0..iters {
+        let mv = matmul(m, &v).expect("power iteration");
+        let norm = mv.norm2();
+        if norm < 1e-12 {
+            // Zero matrix (or fully deflated): any unit vector works.
+            return (v.reshape(&[d]).expect("reshape"), 0.0);
+        }
+        let next = mv.scale(1.0 / norm);
+        let delta = next.sub(&v).norm2().min(next.add(&v).norm2());
+        v = next;
+        lambda = norm;
+        if delta < tol {
+            break;
+        }
+    }
+    (v.reshape(&[d]).expect("reshape"), lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Samples stretched along a known direction.
+    fn anisotropic_data(rng: &mut StdRng, n: usize) -> Tensor {
+        // Dominant axis (1, 1, 0)/√2 with sd 5; minor axes sd 0.3.
+        let mut data = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            let major: f32 = rng.gen_range(-5.0..5.0);
+            let m1: f32 = rng.gen_range(-0.3..0.3);
+            let m2: f32 = rng.gen_range(-0.3..0.3);
+            let s = std::f32::consts::FRAC_1_SQRT_2;
+            data.push(major * s + m1);
+            data.push(major * s - m1);
+            data.push(m2 + 2.0); // offset checks centering
+        }
+        Tensor::from_vec(data, &[n, 3])
+    }
+
+    #[test]
+    fn recovers_dominant_direction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = anisotropic_data(&mut rng, 400);
+        let pca = Pca::fit(&x, 2);
+        let c0 = pca.components().row(0);
+        // First component ≈ ±(1,1,0)/√2.
+        let s = std::f32::consts::FRAC_1_SQRT_2;
+        let dot = (c0.data()[0] * s + c0.data()[1] * s).abs();
+        assert!(dot > 0.98, "first PC misaligned: {:?}", c0.data());
+        // Eigenvalues sorted descending and dominant is much larger.
+        let ev = pca.eigenvalues();
+        assert!(ev[0] > 10.0 * ev[1], "{ev:?}");
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = anisotropic_data(&mut rng, 200);
+        let pca = Pca::fit(&x, 2);
+        let proj = pca.transform(&x);
+        assert_eq!(proj.dims(), &[200, 2]);
+        // Projected coordinates are mean-centered.
+        let mean0: f32 = (0..200).map(|i| proj.data()[i * 2]).sum::<f32>() / 200.0;
+        assert!(mean0.abs() < 0.2, "mean {mean0}");
+        // Variance along PC1 far exceeds PC2.
+        let var = |k: usize| {
+            (0..200)
+                .map(|i| proj.data()[i * 2 + k].powi(2))
+                .sum::<f32>()
+                / 199.0
+        };
+        assert!(var(0) > 5.0 * var(1));
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = anisotropic_data(&mut rng, 300);
+        let pca = Pca::fit(&x, 2);
+        let c0 = pca.components().row(0);
+        let c1 = pca.components().row(1);
+        assert!((c0.norm2() - 1.0).abs() < 1e-3);
+        assert!((c1.norm2() - 1.0).abs() < 1e-3);
+        let dot: f32 = c0.mul(&c1).sum();
+        assert!(dot.abs() < 1e-2, "components not orthogonal: {dot}");
+    }
+
+    #[test]
+    fn separates_two_clusters() {
+        // Two Gaussian blobs along x: PCA-1 coordinates must separate them.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut data = Vec::new();
+        for i in 0..100 {
+            let cx = if i % 2 == 0 { -3.0 } else { 3.0 };
+            data.push(cx + rng.gen_range(-0.5..0.5f32));
+            data.push(rng.gen_range(-0.5..0.5f32));
+        }
+        let x = Tensor::from_vec(data, &[100, 2]);
+        let pca = Pca::fit(&x, 1);
+        let proj = pca.transform(&x);
+        let (mut a_mean, mut b_mean) = (0.0, 0.0);
+        for i in 0..100 {
+            if i % 2 == 0 {
+                a_mean += proj.data()[i];
+            } else {
+                b_mean += proj.data()[i];
+            }
+        }
+        assert!((a_mean / 50.0 - b_mean / 50.0).abs() > 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_sample_rejected() {
+        let _ = Pca::fit(&Tensor::zeros(&[1, 3]), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Attack success accounting, following the paper's definitions exactly
+//! (§5.1 "Success metrics").
+//!
+//! A successful *evasive* attack must simultaneously
+//! (a) leave the original model's prediction correct, and
+//! (b) flip the adapted model's prediction from correct to incorrect.
+//!
+//! *Top-1 success* uses criterion (b) on the adapted model's top-1 output;
+//! *top-5 success* additionally requires the adapted model's (wrong) top-1
+//! prediction not to appear in the original model's top-5.
+
+use diva_nn::Infer;
+use diva_tensor::ops::softmax_rows;
+use diva_tensor::Tensor;
+
+/// Outcome of attacking one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Original model still predicts the true label on the attacked image.
+    pub original_correct: bool,
+    /// Adapted model predicts the true label on the attacked image.
+    pub adapted_correct: bool,
+    /// Adapted model's top-1 prediction appears in the original model's
+    /// top-5 on the attacked image.
+    pub adapted_pred_in_original_top5: bool,
+}
+
+impl AttackOutcome {
+    /// Evaluates one attacked sample against both models.
+    ///
+    /// `x` is a single-sample batch `[1, c, h, w]`; `label` its true class.
+    pub fn evaluate<O: Infer + ?Sized, A: Infer + ?Sized>(
+        original: &O,
+        adapted: &A,
+        x: &Tensor,
+        label: usize,
+    ) -> Self {
+        let lo = original.logits(x);
+        let la = adapted.logits(x);
+        let o_pred = lo.row(0).argmax().unwrap_or(0);
+        let a_pred = la.row(0).argmax().unwrap_or(0);
+        let top5 = lo.row(0).topk(5);
+        AttackOutcome {
+            original_correct: o_pred == label,
+            adapted_correct: a_pred == label,
+            adapted_pred_in_original_top5: top5.contains(&a_pred),
+        }
+    }
+
+    /// The paper's joint success criterion (top-1): original stays right,
+    /// adapted goes wrong.
+    pub fn top1_success(&self) -> bool {
+        self.original_correct && !self.adapted_correct
+    }
+
+    /// The paper's top-5 criterion: top-1 success *and* the adapted model's
+    /// wrong label is not even in the original model's top-5.
+    pub fn top5_success(&self) -> bool {
+        self.top1_success() && !self.adapted_pred_in_original_top5
+    }
+
+    /// Attack-only success (Table 2's "evasion cost" comparison): the
+    /// adapted model mispredicts, regardless of the original model.
+    pub fn attack_only_success(&self) -> bool {
+        !self.adapted_correct
+    }
+}
+
+/// Aggregated outcome counts over a validation set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuccessCounts {
+    /// Samples attacked.
+    pub total: usize,
+    /// Joint top-1 successes.
+    pub top1: usize,
+    /// Joint top-5 successes.
+    pub top5: usize,
+    /// Attack-only successes (adapted fooled).
+    pub attack_only: usize,
+    /// Samples where the original model was also fooled (the detectable
+    /// collateral the paper's Fig. 1 counts).
+    pub original_fooled: usize,
+}
+
+impl SuccessCounts {
+    /// Folds one outcome into the counts.
+    pub fn add(&mut self, o: &AttackOutcome) {
+        self.total += 1;
+        self.top1 += usize::from(o.top1_success());
+        self.top5 += usize::from(o.top5_success());
+        self.attack_only += usize::from(o.attack_only_success());
+        self.original_fooled += usize::from(!o.original_correct);
+    }
+
+    /// Joint top-1 success rate.
+    pub fn top1_rate(&self) -> f32 {
+        ratio(self.top1, self.total)
+    }
+
+    /// Joint top-5 success rate.
+    pub fn top5_rate(&self) -> f32 {
+        ratio(self.top5, self.total)
+    }
+
+    /// Attack-only success rate (Table 2).
+    pub fn attack_only_rate(&self) -> f32 {
+        ratio(self.attack_only, self.total)
+    }
+
+    /// Rate at which the original model was collaterally fooled.
+    pub fn original_fooled_rate(&self) -> f32 {
+        ratio(self.original_fooled, self.total)
+    }
+}
+
+impl std::iter::FromIterator<AttackOutcome> for SuccessCounts {
+    fn from_iter<I: IntoIterator<Item = AttackOutcome>>(iter: I) -> Self {
+        let mut c = SuccessCounts::default();
+        for o in iter {
+            c.add(&o);
+        }
+        c
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f32 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f32 / den as f32
+    }
+}
+
+/// Confidence delta (§5.1): difference between the original and adapted
+/// models' softmax confidence in the **true** class, averaged over a batch.
+///
+/// On a clean dataset this measures the drift quantization alone causes
+/// (~7.9% in the paper); after an attack it separates DIVA (56.6–72.4%) from
+/// PGD (18.6–25%).
+pub fn confidence_delta<O: Infer + ?Sized, A: Infer + ?Sized>(
+    original: &O,
+    adapted: &A,
+    images: &Tensor,
+    labels: &[usize],
+) -> f32 {
+    let n = images.dims()[0];
+    assert_eq!(labels.len(), n, "labels/images mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let po = softmax_rows(&original.logits(images));
+    let pa = softmax_rows(&adapted.logits(images));
+    let c = po.dims()[1];
+    let mut sum = 0.0;
+    for (i, &y) in labels.iter().enumerate() {
+        sum += po.data()[i * c + y] - pa.data()[i * c + y];
+    }
+    sum / n as f32
+}
+
+/// Instability (§3, after Cidon et al.): the fraction of samples on which
+/// the two models *disagree about correctness* — one is right where the
+/// other is wrong.
+///
+/// Returns `(original_correct_adapted_wrong, original_wrong_adapted_correct,
+/// instability_rate)`, the three columns of Table 1.
+pub fn instability<O: Infer + ?Sized, A: Infer + ?Sized>(
+    original: &O,
+    adapted: &A,
+    images: &Tensor,
+    labels: &[usize],
+) -> (usize, usize, f32) {
+    let n = images.dims()[0];
+    assert_eq!(labels.len(), n, "labels/images mismatch");
+    if n == 0 {
+        return (0, 0, 0.0);
+    }
+    let mut o_right_a_wrong = 0usize;
+    let mut o_wrong_a_right = 0usize;
+    let bs = 64;
+    let mut i = 0;
+    while i < n {
+        let hi = (i + bs).min(n);
+        let idx: Vec<usize> = (i..hi).collect();
+        let x = diva_nn::train::gather(images, &idx);
+        let po = original.predict(&x);
+        let pa = adapted.predict(&x);
+        for j in 0..idx.len() {
+            let y = labels[i + j];
+            match (po[j] == y, pa[j] == y) {
+                (true, false) => o_right_a_wrong += 1,
+                (false, true) => o_wrong_a_right += 1,
+                _ => {}
+            }
+        }
+        i = hi;
+    }
+    let rate = (o_right_a_wrong + o_wrong_a_right) as f32 / n as f32;
+    (o_right_a_wrong, o_wrong_a_right, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic stub model: a fixed logits row per sample brightness
+    /// bucket.
+    struct Stub {
+        classes: usize,
+        /// Maps mean brightness to a predicted class.
+        rule: fn(f32) -> usize,
+    }
+
+    impl Infer for Stub {
+        fn logits(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let mut out = Tensor::zeros(&[n, self.classes]);
+            for i in 0..n {
+                let c = (self.rule)(x.index_batch(i).mean()).min(self.classes - 1);
+                out.data_mut()[i * self.classes + c] = 5.0;
+            }
+            out
+        }
+
+        fn num_classes(&self) -> usize {
+            self.classes
+        }
+    }
+
+    fn img(v: f32) -> Tensor {
+        Tensor::full(&[1, 1, 2, 2], v)
+    }
+
+    #[test]
+    fn outcome_criteria() {
+        // Original always says 0; adapted says 1 for bright images.
+        let original = Stub {
+            classes: 6,
+            rule: |_| 0,
+        };
+        let adapted = Stub {
+            classes: 6,
+            rule: |m| usize::from(m > 0.5),
+        };
+        // label 0, bright image: original right, adapted wrong -> success.
+        let o = AttackOutcome::evaluate(&original, &adapted, &img(0.9), 0);
+        assert!(o.top1_success());
+        assert!(o.attack_only_success());
+        // adapted's wrong pred (1) IS in original's top5 (6 classes, top5 of
+        // one-hot row includes ties) — top5 then fails.
+        // label 0, dark image: both right -> no success.
+        let o = AttackOutcome::evaluate(&original, &adapted, &img(0.1), 0);
+        assert!(!o.top1_success());
+        assert!(!o.attack_only_success());
+        // label 1, bright image: original wrong, adapted right.
+        let o = AttackOutcome::evaluate(&original, &adapted, &img(0.9), 1);
+        assert!(!o.top1_success());
+        assert!(!o.original_correct);
+    }
+
+    #[test]
+    fn counts_aggregate() {
+        let original = Stub {
+            classes: 6,
+            rule: |_| 0,
+        };
+        let adapted = Stub {
+            classes: 6,
+            rule: |m| usize::from(m > 0.5),
+        };
+        let outcomes = vec![
+            AttackOutcome::evaluate(&original, &adapted, &img(0.9), 0), // success
+            AttackOutcome::evaluate(&original, &adapted, &img(0.1), 0), // none
+            AttackOutcome::evaluate(&original, &adapted, &img(0.9), 1), // orig fooled
+        ];
+        let counts: SuccessCounts = outcomes.into_iter().collect();
+        assert_eq!(counts.total, 3);
+        assert_eq!(counts.top1, 1);
+        assert_eq!(counts.attack_only, 1); // only sample 1: adapted wrong
+        assert_eq!(counts.original_fooled, 1);
+        assert!((counts.top1_rate() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confidence_delta_signs() {
+        // Original confident in class 0, adapted confident in class 1.
+        let original = Stub {
+            classes: 2,
+            rule: |_| 0,
+        };
+        let adapted = Stub {
+            classes: 2,
+            rule: |_| 1,
+        };
+        let images = Tensor::stack(&[img(0.5).index_batch(0)]);
+        let d = confidence_delta(&original, &adapted, &images, &[0]);
+        assert!(d > 0.9, "delta {d}"); // orig ~0.99 on label, adapted ~0.01
+        let d_rev = confidence_delta(&adapted, &original, &images, &[0]);
+        assert!(d_rev < -0.9);
+        // Identical models: zero delta.
+        let d0 = confidence_delta(&original, &original, &images, &[0]);
+        assert_eq!(d0, 0.0);
+    }
+
+    #[test]
+    fn instability_counts_both_directions() {
+        let original = Stub {
+            classes: 2,
+            rule: |m| usize::from(m > 0.5),
+        };
+        let adapted = Stub {
+            classes: 2,
+            rule: |m| usize::from(m > 0.3),
+        };
+        // Brightness 0.4: original says 0, adapted says 1.
+        let images = Tensor::stack(&[
+            img(0.4).index_batch(0), // disagree
+            img(0.2).index_batch(0), // both 0
+            img(0.8).index_batch(0), // both 1
+            img(0.45).index_batch(0), // disagree
+        ]);
+        // Labels chosen so disagreements split both ways.
+        let (ow, wo, rate) = instability(&original, &adapted, &images, &[1, 0, 1, 0]);
+        assert_eq!(ow + wo, 2);
+        assert_eq!(ow, 1); // label 0 case: original right (0), adapted wrong
+        assert_eq!(wo, 1); // label 1 case: original wrong, adapted right
+        assert!((rate - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,348 @@
+//! `diva-models` — the model zoo of the DIVA reproduction.
+//!
+//! The paper evaluates ResNet50, MobileNet and DenseNet121 on ImageNet, plus
+//! a VGGFace (ResNet50-based) face model. Those architectures are rebuilt
+//! here as laptop-scale members of the same families over the `diva-nn`
+//! graph IR:
+//!
+//! * [`Architecture::ResNet`] — residual blocks with projection shortcuts
+//!   ([`mini_resnet`]);
+//! * [`Architecture::MobileNet`] — depthwise-separable convolution stacks
+//!   ([`mini_mobilenet`]);
+//! * [`Architecture::DenseNet`] — densely concatenated blocks with
+//!   transition layers ([`mini_densenet`]).
+//!
+//! [`face_net`] mirrors the paper's VGGFace choice by reusing the ResNet
+//! family for face identification, and [`mnist_cnn`] is the small model used
+//! for the PCA representation study (Fig. 4).
+//!
+//! ```
+//! use diva_models::{Architecture, ModelCfg};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let net = Architecture::ResNet.build(&ModelCfg::tiny(8), &mut rng);
+//! assert_eq!(net.graph().num_classes(), 8);
+//! ```
+
+use diva_nn::graph::{GraphBuilder, NodeId};
+use diva_nn::{Network, ParamId};
+use rand::rngs::StdRng;
+
+/// The three architecture families evaluated in the paper (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Residual network (the paper's ResNet50 stand-in).
+    ResNet,
+    /// Depthwise-separable network (the paper's MobileNet stand-in).
+    MobileNet,
+    /// Densely connected network (the paper's DenseNet121 stand-in).
+    DenseNet,
+}
+
+impl Architecture {
+    /// All three families, in the order the paper reports them.
+    pub const ALL: [Architecture; 3] = [
+        Architecture::ResNet,
+        Architecture::MobileNet,
+        Architecture::DenseNet,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::ResNet => "ResNet",
+            Architecture::MobileNet => "MobileNet",
+            Architecture::DenseNet => "DenseNet",
+        }
+    }
+
+    /// Builds a freshly initialised network of this family.
+    pub fn build(&self, cfg: &ModelCfg, rng: &mut StdRng) -> Network {
+        match self {
+            Architecture::ResNet => mini_resnet(cfg, rng),
+            Architecture::MobileNet => mini_mobilenet(cfg, rng),
+            Architecture::DenseNet => mini_densenet(cfg, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Size/shape configuration shared by all model builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCfg {
+    /// Per-sample input shape `[c, h, w]`.
+    pub input: [usize; 3],
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Base channel width; stage widths are multiples of this.
+    pub width: usize,
+}
+
+impl ModelCfg {
+    /// The default experiment scale: 3×16×16 input, base width 12.
+    pub fn standard(num_classes: usize) -> Self {
+        ModelCfg {
+            input: [3, 16, 16],
+            num_classes,
+            width: 12,
+        }
+    }
+
+    /// A very small configuration for fast unit tests: 3×8×8, width 6.
+    pub fn tiny(num_classes: usize) -> Self {
+        ModelCfg {
+            input: [3, 8, 8],
+            num_classes,
+            width: 6,
+        }
+    }
+}
+
+/// Scales down the classifier head's initial weights.
+///
+/// These networks train without normalization layers, so He-initialised
+/// logits start large and the first optimizer steps can collapse the
+/// features (a constant predictor at loss ln C). A small head — the Fixup
+/// trick — keeps early training stable; every builder applies it.
+fn temper_head(net: &mut Network) {
+    let n = net.params().len();
+    debug_assert!(n >= 2, "builders end with a dense head (weight + bias)");
+    let head = ParamId(n - 2);
+    let small = net.params().get(head).value.scale(0.1);
+    net.params_mut().get_mut(head).value = small;
+}
+
+/// A residual block: `relu(conv-relu-conv + shortcut)`.
+///
+/// When `stride > 1` or the channel count changes, the shortcut is a
+/// 1×1 strided projection convolution (as in ResNet); otherwise identity.
+fn residual_block(
+    b: &mut GraphBuilder<'_>,
+    x: NodeId,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+) -> NodeId {
+    let c1 = b.conv(x, out_ch, 3, stride, 1);
+    let r1 = b.relu(c1);
+    let c2 = b.conv(r1, out_ch, 3, 1, 1);
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        b.conv(x, out_ch, 1, stride, 0)
+    } else {
+        x
+    };
+    let sum = b.add(c2, shortcut);
+    b.relu(sum)
+}
+
+/// The ResNet-family model: stem + three stages of residual blocks +
+/// global average pooling + linear classifier.
+///
+/// With [`ModelCfg::standard`] this is an 11-conv network over 16×16 inputs
+/// whose stages run at 16×16, 8×8 and 4×4 — the same stage layout (at
+/// reduced depth/width) as ResNet50's.
+pub fn mini_resnet(cfg: &ModelCfg, rng: &mut StdRng) -> Network {
+    let w = cfg.width;
+    let mut b = GraphBuilder::new(cfg.input, rng);
+    let x = b.input();
+    let stem = b.conv(x, w, 3, 1, 1);
+    let stem = b.relu(stem);
+    // Stage 1: full resolution.
+    let s1 = residual_block(&mut b, stem, w, w, 1);
+    let s1 = residual_block(&mut b, s1, w, w, 1);
+    // Stage 2: stride-2 projection to 2w channels.
+    let s2 = residual_block(&mut b, s1, w, 2 * w, 2);
+    let s2 = residual_block(&mut b, s2, 2 * w, 2 * w, 1);
+    // Stage 3: stride-2 projection to 3w channels.
+    let s3 = residual_block(&mut b, s2, 2 * w, 3 * w, 2);
+    let feat = b.global_avg_pool(s3);
+    let out = b.dense(feat, cfg.num_classes);
+    let mut net = b.finish(out, Some(feat));
+    temper_head(&mut net);
+    net
+}
+
+/// A depthwise-separable block: `relu(dwconv) -> relu(pointwise conv)`.
+fn ds_block(b: &mut GraphBuilder<'_>, x: NodeId, out_ch: usize, stride: usize) -> NodeId {
+    let dw = b.dwconv(x, 3, stride, 1);
+    let dr = b.relu(dw);
+    let pw = b.conv(dr, out_ch, 1, 1, 0);
+    b.relu(pw)
+}
+
+/// The MobileNet-family model: a stem conv followed by depthwise-separable
+/// blocks with stride-2 downsampling, GAP and a linear classifier.
+pub fn mini_mobilenet(cfg: &ModelCfg, rng: &mut StdRng) -> Network {
+    let w = cfg.width;
+    let mut b = GraphBuilder::new(cfg.input, rng);
+    let x = b.input();
+    let stem = b.conv(x, w, 3, 1, 1);
+    let stem = b.relu(stem);
+    let d1 = ds_block(&mut b, stem, 2 * w, 1);
+    let d2 = ds_block(&mut b, d1, 2 * w, 2);
+    let d3 = ds_block(&mut b, d2, 3 * w, 1);
+    let d4 = ds_block(&mut b, d3, 4 * w, 2);
+    let d5 = ds_block(&mut b, d4, 4 * w, 1);
+    let feat = b.global_avg_pool(d5);
+    let out = b.dense(feat, cfg.num_classes);
+    let mut net = b.finish(out, Some(feat));
+    temper_head(&mut net);
+    net
+}
+
+/// A dense block: `layers` conv layers, each consuming the concatenation of
+/// everything before it and contributing `growth` channels.
+fn dense_block(b: &mut GraphBuilder<'_>, x: NodeId, layers: usize, growth: usize) -> NodeId {
+    let mut state = x;
+    for _ in 0..layers {
+        let c = b.conv(state, growth, 3, 1, 1);
+        let r = b.relu(c);
+        state = b.concat(&[state, r]);
+    }
+    state
+}
+
+/// The DenseNet-family model: stem + two dense blocks separated by a
+/// 1×1-conv + max-pool transition, GAP and a linear classifier.
+pub fn mini_densenet(cfg: &ModelCfg, rng: &mut StdRng) -> Network {
+    let w = cfg.width;
+    let growth = (w / 2).max(2);
+    let mut b = GraphBuilder::new(cfg.input, rng);
+    let x = b.input();
+    let stem = b.conv(x, w, 3, 1, 1);
+    let stem = b.relu(stem);
+    let blk1 = dense_block(&mut b, stem, 3, growth);
+    // Transition: compress channels and halve resolution.
+    let t1 = b.conv(blk1, w, 1, 1, 0);
+    let t1 = b.relu(t1);
+    let t1 = b.max_pool(t1, 2, 2);
+    let blk2 = dense_block(&mut b, t1, 3, growth);
+    let t2 = b.conv(blk2, 2 * w, 1, 1, 0);
+    let t2 = b.relu(t2);
+    let feat = b.global_avg_pool(t2);
+    let out = b.dense(feat, cfg.num_classes);
+    let mut net = b.finish(out, Some(feat));
+    temper_head(&mut net);
+    net
+}
+
+/// The face-recognition model of the case study (§6).
+///
+/// The paper's VGGFace internally uses the ResNet50 architecture, so the
+/// stand-in is the ResNet family at the face dataset's class count.
+pub fn face_net(num_identities: usize, rng: &mut StdRng) -> Network {
+    mini_resnet(&ModelCfg::standard(num_identities), rng)
+}
+
+/// The small CNN used for the MNIST PCA study (Fig. 4): grayscale input,
+/// two conv stages, GAP features.
+pub fn mnist_cnn(rng: &mut StdRng) -> Network {
+    let mut b = GraphBuilder::new([1, 16, 16], rng);
+    let x = b.input();
+    let c1 = b.conv(x, 8, 3, 1, 1);
+    let r1 = b.relu(c1);
+    let p1 = b.max_pool(r1, 2, 2);
+    let c2 = b.conv(p1, 16, 3, 1, 1);
+    let r2 = b.relu(c2);
+    let feat = b.global_avg_pool(r2);
+    let out = b.dense(feat, 10);
+    let mut net = b.finish(out, Some(feat));
+    temper_head(&mut net);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_nn::Infer;
+    use diva_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn all_families_build_and_run() {
+        let cfg = ModelCfg::standard(16);
+        for arch in Architecture::ALL {
+            let net = arch.build(&cfg, &mut rng());
+            let x = Tensor::zeros(&[2, 3, 16, 16]);
+            let logits = net.logits(&x);
+            assert_eq!(logits.dims(), &[2, 16], "{arch} logits shape");
+            let f = net.features(&x).expect("feature node");
+            assert_eq!(f.dims()[0], 2, "{arch} features batch");
+        }
+    }
+
+    #[test]
+    fn tiny_configs_build() {
+        let cfg = ModelCfg::tiny(4);
+        for arch in Architecture::ALL {
+            let net = arch.build(&cfg, &mut rng());
+            let logits = net.logits(&Tensor::zeros(&[1, 3, 8, 8]));
+            assert_eq!(logits.dims(), &[1, 4]);
+        }
+    }
+
+    #[test]
+    fn families_are_structurally_distinct() {
+        use diva_nn::Op;
+        let cfg = ModelCfg::tiny(4);
+        let res = Architecture::ResNet.build(&cfg, &mut rng());
+        let mob = Architecture::MobileNet.build(&cfg, &mut rng());
+        let den = Architecture::DenseNet.build(&cfg, &mut rng());
+        let has =
+            |n: &Network, pred: &dyn Fn(&Op) -> bool| n.graph().nodes().iter().any(|m| pred(&m.op));
+        assert!(has(&res, &|o| matches!(o, Op::Add)));
+        assert!(!has(&res, &|o| matches!(o, Op::Concat)));
+        assert!(has(&mob, &|o| matches!(o, Op::DwConv2d { .. })));
+        assert!(has(&den, &|o| matches!(o, Op::Concat)));
+        assert!(!has(&den, &|o| matches!(o, Op::Add)));
+    }
+
+    #[test]
+    fn parameter_counts_are_reasonable() {
+        let cfg = ModelCfg::standard(16);
+        for arch in Architecture::ALL {
+            let net = arch.build(&cfg, &mut rng());
+            let n = net.params().num_scalars();
+            assert!((1_000..2_000_000).contains(&n), "{arch} has {n} parameters");
+        }
+        // MobileNet should be the lightest family (that's its point).
+        let count = |a: Architecture| a.build(&cfg, &mut rng()).params().num_scalars();
+        assert!(count(Architecture::MobileNet) < count(Architecture::ResNet));
+    }
+
+    #[test]
+    fn mnist_and_face_models() {
+        let m = mnist_cnn(&mut rng());
+        assert_eq!(m.graph().num_classes(), 10);
+        assert_eq!(m.graph().input_shape(), [1, 16, 16]);
+        let logits = m.logits(&Tensor::zeros(&[1, 1, 16, 16]));
+        assert_eq!(logits.dims(), &[1, 10]);
+
+        let f = face_net(25, &mut rng());
+        assert_eq!(f.graph().num_classes(), 25);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_weights() {
+        let cfg = ModelCfg::tiny(4);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let a = mini_resnet(&cfg, &mut r1);
+        let b = mini_resnet(&cfg, &mut r2);
+        assert_ne!(a.params(), b.params());
+        // Same seed → identical weights.
+        let mut r3 = StdRng::seed_from_u64(1);
+        let c = mini_resnet(&cfg, &mut r3);
+        assert_eq!(a.params(), c.params());
+    }
+}

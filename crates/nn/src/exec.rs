@@ -1,0 +1,398 @@
+//! The graph executor: forward and reverse passes with quantization hooks.
+//!
+//! The executor walks the graph in topological order (forward) and reverse
+//! topological order (backward). Both passes are generic over a [`Hooks`]
+//! implementation, which is how `diva-quant` injects fake-quantization:
+//!
+//! * [`Hooks::weight`] transforms each parameter before use (weight
+//!   fake-quant);
+//! * [`Hooks::output`] transforms each node's output (activation fake-quant,
+//!   observer updates during QAT);
+//! * [`Hooks::output_grad`] implements the straight-through estimator on the
+//!   way back.
+//!
+//! The plain fp32 path uses [`NoHooks`], which the compiler erases entirely.
+
+use diva_tensor::conv::{
+    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward,
+};
+use diva_tensor::pool::{
+    global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward,
+};
+use diva_tensor::{ops, Tensor};
+
+use crate::graph::{Graph, NodeId, Op, ParamId};
+use crate::params::ParamStore;
+
+/// Interposition points for quantization-aware execution.
+///
+/// All methods default to identity, so `impl Hooks for MyType {}` starts from
+/// plain fp32 behaviour. Implementations that transform outputs must set
+/// [`Hooks::ACTIVE`] so the executor caches raw (pre-hook) outputs for the
+/// backward pass.
+pub trait Hooks {
+    /// Whether output hooks actually transform values. When `false` the
+    /// executor skips caching raw outputs.
+    const ACTIVE: bool = false;
+
+    /// Transforms a parameter value before the op consumes it.
+    ///
+    /// Takes `&self`: weight fake-quantization derives its range from the
+    /// weight itself, so it needs no running observer state (unlike
+    /// activation quantization in [`Hooks::output`]).
+    fn weight(&self, _id: ParamId, w: Tensor) -> Tensor {
+        w
+    }
+
+    /// Transforms a node output after the op produces it.
+    fn output(&mut self, _node: NodeId, _op: &Op, y: Tensor) -> Tensor {
+        y
+    }
+
+    /// Maps the gradient w.r.t. the hooked output back to a gradient w.r.t.
+    /// the raw output (straight-through estimator in the quantized case).
+    ///
+    /// `raw` is the pre-hook output cached during forward (only available
+    /// when [`Hooks::ACTIVE`]).
+    fn output_grad(&self, _node: NodeId, _raw: &Tensor, dy: Tensor) -> Tensor {
+        dy
+    }
+
+    /// Maps the gradient w.r.t. the hooked weight back to a gradient w.r.t.
+    /// the raw weight.
+    fn weight_grad(&self, _id: ParamId, _raw_w: &Tensor, dw: Tensor) -> Tensor {
+        dw
+    }
+}
+
+/// The identity hook set: plain fp32 execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl Hooks for NoHooks {}
+
+/// Cached state of one forward pass, consumed by [`backward`].
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Post-hook output of every node.
+    acts: Vec<Tensor>,
+    /// Pre-hook outputs (only cached when the hook set is ACTIVE).
+    raws: Vec<Option<Tensor>>,
+    /// Argmax caches for max-pool nodes.
+    pool_args: Vec<Option<Vec<usize>>>,
+    /// Batch size of the pass.
+    batch: usize,
+}
+
+impl Execution {
+    /// Post-hook activation of `node`.
+    pub fn activation(&self, node: NodeId) -> &Tensor {
+        &self.acts[node.0]
+    }
+
+    /// The graph output (logits) of this pass.
+    pub fn output(&self, graph: &Graph) -> &Tensor {
+        &self.acts[graph.output().0]
+    }
+
+    /// Batch size of the pass.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+/// Runs a forward pass over `graph` with parameters `params` on a batched
+/// input `x` (`[n, c, h, w]`), applying `hooks` at every interposition point.
+///
+/// # Panics
+///
+/// Panics if `x` does not match the graph's input shape, or if an internal
+/// kernel reports a shape mismatch (which would indicate a builder bug).
+pub fn forward<H: Hooks>(
+    graph: &Graph,
+    params: &ParamStore,
+    x: &Tensor,
+    hooks: &mut H,
+) -> Execution {
+    let [c, h, w] = graph.input_shape();
+    assert_eq!(
+        x.dims()[1..],
+        [c, h, w],
+        "input {:?} does not match graph input shape {:?}",
+        x.dims(),
+        [c, h, w]
+    );
+    let n = x.dims()[0];
+    let mut acts: Vec<Tensor> = Vec::with_capacity(graph.len());
+    let mut raws: Vec<Option<Tensor>> = vec![None; graph.len()];
+    let mut pool_args: Vec<Option<Vec<usize>>> = vec![None; graph.len()];
+
+    for (idx, node) in graph.nodes().iter().enumerate() {
+        let id = NodeId(idx);
+        let raw = match &node.op {
+            Op::Input => x.clone(),
+            Op::Conv2d { w, b, cfg } => {
+                let weight = hooks.weight(*w, params.effective(*w));
+                let bias = hooks.weight(*b, params.effective(*b));
+                conv2d(&acts[node.inputs[0].0], &weight, &bias, *cfg).expect("conv2d")
+            }
+            Op::DwConv2d { w, b, cfg } => {
+                let weight = hooks.weight(*w, params.effective(*w));
+                let bias = hooks.weight(*b, params.effective(*b));
+                depthwise_conv2d(&acts[node.inputs[0].0], &weight, &bias, *cfg)
+                    .expect("dwconv2d")
+            }
+            Op::Dense { w, b } => {
+                let weight = hooks.weight(*w, params.effective(*w));
+                let bias = hooks.weight(*b, params.effective(*b));
+                let xin = &acts[node.inputs[0].0];
+                let y = ops::matmul_a_bt(xin, &weight).expect("dense");
+                y.add(&bias)
+            }
+            Op::Relu => acts[node.inputs[0].0].relu(),
+            Op::Add => acts[node.inputs[0].0].add(&acts[node.inputs[1].0]),
+            Op::Concat => concat_channels(
+                &node.inputs.iter().map(|i| &acts[i.0]).collect::<Vec<_>>(),
+            ),
+            Op::MaxPool2d { k, stride } => {
+                let (y, arg) = max_pool2d(&acts[node.inputs[0].0], *k, *stride).expect("maxpool");
+                pool_args[idx] = Some(arg);
+                y
+            }
+            Op::GlobalAvgPool => global_avg_pool(&acts[node.inputs[0].0]).expect("gap"),
+            Op::Flatten => {
+                let xin = &acts[node.inputs[0].0];
+                let flat = node.shape.len();
+                xin.reshape(&[n, flat]).expect("flatten")
+            }
+        };
+        let hooked = hooks.output(id, &node.op, raw.clone());
+        if H::ACTIVE {
+            raws[idx] = Some(raw);
+        }
+        acts.push(hooked);
+    }
+    Execution {
+        acts,
+        raws,
+        pool_args,
+        batch: n,
+    }
+}
+
+/// Runs the reverse pass: given the gradient of a scalar objective w.r.t. the
+/// graph output, accumulates parameter gradients into `params` and returns
+/// the gradient w.r.t. the input batch.
+///
+/// # Panics
+///
+/// Panics if `d_output` does not match the output activation's shape.
+pub fn backward<H: Hooks>(
+    graph: &Graph,
+    params: &mut ParamStore,
+    exec: &Execution,
+    d_output: &Tensor,
+    hooks: &H,
+) -> Tensor {
+    let out_id = graph.output();
+    assert_eq!(
+        d_output.dims(),
+        exec.acts[out_id.0].dims(),
+        "d_output shape mismatch"
+    );
+    let mut grads: Vec<Option<Tensor>> = vec![None; graph.len()];
+    grads[out_id.0] = Some(d_output.clone());
+
+    for idx in (0..graph.len()).rev() {
+        let node = &graph.nodes()[idx];
+        let Some(dy_hooked) = grads[idx].take() else {
+            continue; // node does not influence the output
+        };
+        // Straight-through / dequant adjoint.
+        let dy = if H::ACTIVE {
+            let raw = exec.raws[idx]
+                .as_ref()
+                .expect("raw output missing for active hooks");
+            hooks.output_grad(NodeId(idx), raw, dy_hooked)
+        } else {
+            dy_hooked
+        };
+        match &node.op {
+            Op::Input => {
+                // handled after the loop; re-store for extraction
+                grads[idx] = Some(dy);
+            }
+            Op::Conv2d { w, b, cfg } => {
+                let xin = &exec.acts[node.inputs[0].0];
+                let raw_weight = params.effective(*w);
+                // Differentiate at the *hooked* (e.g. fake-quantized) weight:
+                // that is the value the forward pass actually used. The STE
+                // then treats d(quant(w))/dw = 1 via `weight_grad`.
+                let weight = hooks.weight(*w, raw_weight.clone());
+                let (dx, dw, db) = conv2d_backward(xin, &weight, &dy, *cfg).expect("conv2d bwd");
+                let dw = hooks.weight_grad(*w, &raw_weight, dw);
+                params.accumulate_grad(*w, &dw);
+                params.accumulate_grad(*b, &db);
+                accumulate(&mut grads, node.inputs[0], dx);
+            }
+            Op::DwConv2d { w, b, cfg } => {
+                let xin = &exec.acts[node.inputs[0].0];
+                let raw_weight = params.effective(*w);
+                let weight = hooks.weight(*w, raw_weight.clone());
+                let (dx, dw, db) =
+                    depthwise_conv2d_backward(xin, &weight, &dy, *cfg).expect("dwconv2d bwd");
+                let dw = hooks.weight_grad(*w, &raw_weight, dw);
+                params.accumulate_grad(*w, &dw);
+                params.accumulate_grad(*b, &db);
+                accumulate(&mut grads, node.inputs[0], dx);
+            }
+            Op::Dense { w, b } => {
+                let xin = &exec.acts[node.inputs[0].0];
+                let raw_weight = params.effective(*w);
+                let weight = hooks.weight(*w, raw_weight.clone());
+                // y = x W^T + b; dW = dy^T x; dx = dy W; db = col-sums(dy)
+                let dw = ops::matmul_at_b(&dy, xin).expect("dense dW");
+                let dw = hooks.weight_grad(*w, &raw_weight, dw);
+                let dx = ops::matmul(&dy, &weight).expect("dense dx");
+                let (rows, cols) = (dy.dims()[0], dy.dims()[1]);
+                let mut db = Tensor::zeros(&[cols]);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        db.data_mut()[c] += dy.data()[r * cols + c];
+                    }
+                }
+                params.accumulate_grad(*w, &dw);
+                params.accumulate_grad(*b, &db);
+                accumulate(&mut grads, node.inputs[0], dx);
+            }
+            Op::Relu => {
+                let xin = &exec.acts[node.inputs[0].0];
+                let dx = dy.zip(xin, |g, x| if x > 0.0 { g } else { 0.0 });
+                accumulate(&mut grads, node.inputs[0], dx);
+            }
+            Op::Add => {
+                accumulate(&mut grads, node.inputs[0], dy.clone());
+                accumulate(&mut grads, node.inputs[1], dy);
+            }
+            Op::Concat => {
+                let mut offset = 0;
+                let n = exec.batch;
+                let dims = dy.dims().to_vec();
+                let (c_total, hh, ww) = (dims[1], dims[2], dims[3]);
+                for &inp in &node.inputs {
+                    let ci = exec.acts[inp.0].dims()[1];
+                    let mut slice = Tensor::zeros(&[n, ci, hh, ww]);
+                    for ni in 0..n {
+                        for cc in 0..ci {
+                            let src = ((ni * c_total + offset + cc) * hh) * ww;
+                            let dst = ((ni * ci + cc) * hh) * ww;
+                            slice.data_mut()[dst..dst + hh * ww]
+                                .copy_from_slice(&dy.data()[src..src + hh * ww]);
+                        }
+                    }
+                    accumulate(&mut grads, inp, slice);
+                    offset += ci;
+                }
+            }
+            Op::MaxPool2d { .. } => {
+                let arg = exec.pool_args[idx].as_ref().expect("pool argmax cache");
+                let xin_dims = exec.acts[node.inputs[0].0].dims().to_vec();
+                let dx = max_pool2d_backward(&dy, arg, &xin_dims);
+                accumulate(&mut grads, node.inputs[0], dx);
+            }
+            Op::GlobalAvgPool => {
+                let xin_dims = exec.acts[node.inputs[0].0].dims().to_vec();
+                let dx = global_avg_pool_backward(&dy, &xin_dims);
+                accumulate(&mut grads, node.inputs[0], dx);
+            }
+            Op::Flatten => {
+                let xin_dims = exec.acts[node.inputs[0].0].dims().to_vec();
+                let dx = dy.reshape(&xin_dims).expect("flatten bwd");
+                accumulate(&mut grads, node.inputs[0], dx);
+            }
+        }
+    }
+    grads[0]
+        .take()
+        .unwrap_or_else(|| exec.acts[0].zeros_like())
+}
+
+/// Concatenates NCHW tensors along the channel axis.
+fn concat_channels(xs: &[&Tensor]) -> Tensor {
+    let n = xs[0].dims()[0];
+    let (h, w) = (xs[0].dims()[2], xs[0].dims()[3]);
+    let c_total: usize = xs.iter().map(|x| x.dims()[1]).sum();
+    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    let plane = h * w;
+    let od = out.data_mut();
+    for ni in 0..n {
+        let mut c_off = 0;
+        for x in xs {
+            let ci = x.dims()[1];
+            let src = ni * ci * plane;
+            let dst = (ni * c_total + c_off) * plane;
+            od[dst..dst + ci * plane].copy_from_slice(&x.data()[src..src + ci * plane]);
+            c_off += ci;
+        }
+    }
+    out
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], node: NodeId, g: Tensor) {
+    match &mut grads[node.0] {
+        Some(existing) => existing.axpy(1.0, &g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn forward_shapes_and_batch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = GraphBuilder::new([2, 6, 6], &mut rng);
+        let x = b.input();
+        let c = b.conv(x, 4, 3, 1, 1);
+        let r = b.relu(c);
+        let p = b.max_pool(r, 2, 2);
+        let g = b.global_avg_pool(p);
+        let d = b.dense(g, 5);
+        let net = b.finish(d, Some(g));
+        let input = Tensor::zeros(&[3, 2, 6, 6]);
+        let exec = forward(net.graph(), net.params(), &input, &mut NoHooks);
+        assert_eq!(exec.output(net.graph()).dims(), &[3, 5]);
+        assert_eq!(exec.batch(), 3);
+    }
+
+    #[test]
+    fn concat_layout() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[1, 1, 2, 2]);
+        let c = concat_channels(&[&a, &b]);
+        assert_eq!(c.dims(), &[1, 2, 2, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        // Batched: samples interleave channels correctly.
+        let a2 = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 1, 2, 2]);
+        let b2 = Tensor::from_vec((10..18).map(|v| v as f32).collect(), &[2, 1, 2, 2]);
+        let c2 = concat_channels(&[&a2, &b2]);
+        assert_eq!(c2.index_batch(0).data(), &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(c2.index_batch(1).data(), &[4.0, 5.0, 6.0, 7.0, 14.0, 15.0, 16.0, 17.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match graph input shape")]
+    fn wrong_input_shape_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = GraphBuilder::new([2, 6, 6], &mut rng);
+        let x = b.input();
+        let g = b.global_avg_pool(x);
+        let d = b.dense(g, 2);
+        let net = b.finish(d, None);
+        let bad = Tensor::zeros(&[1, 3, 6, 6]);
+        let _ = forward(net.graph(), net.params(), &bad, &mut NoHooks);
+    }
+}

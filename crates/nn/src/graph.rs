@@ -1,0 +1,501 @@
+//! The graph IR: ops, nodes, shape inference, and the builder API.
+//!
+//! A [`Graph`] is a DAG of [`Op`]s in topological order (guaranteed by
+//! construction: a node may only consume already-built nodes). Parameters are
+//! referenced by [`ParamId`] into a separate [`crate::ParamStore`], so the
+//! same graph can be executed against different parameter sets (fp32,
+//! quantization-aware, pruned, surrogate...).
+
+use serde::{Deserialize, Serialize};
+
+use diva_tensor::conv::Conv2dCfg;
+use diva_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+
+use crate::params::ParamStore;
+use crate::Network;
+
+/// Identifier of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a parameter tensor in a [`crate::ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// Per-sample shape of a node's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeShape {
+    /// Spatial activation `[c, h, w]`.
+    Chw([usize; 3]),
+    /// Flat feature vector of the given width.
+    Flat(usize),
+}
+
+impl NodeShape {
+    /// Number of elements per sample.
+    pub fn len(&self) -> usize {
+        match self {
+            NodeShape::Chw([c, h, w]) => c * h * w,
+            NodeShape::Flat(n) => *n,
+        }
+    }
+
+    /// True when the shape holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Batched dimension list for batch size `n`.
+    pub fn batched(&self, n: usize) -> Vec<usize> {
+        match self {
+            NodeShape::Chw([c, h, w]) => vec![n, *c, *h, *w],
+            NodeShape::Flat(f) => vec![n, *f],
+        }
+    }
+}
+
+/// One operation in the IR.
+///
+/// All spatial ops take and produce NCHW activations; `Dense` takes and
+/// produces `[n, features]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// The graph input (one per graph, always node 0).
+    Input,
+    /// Standard convolution with weight `[co, ci, kh, kw]` and bias `[co]`.
+    Conv2d {
+        /// Weight parameter.
+        w: ParamId,
+        /// Bias parameter.
+        b: ParamId,
+        /// Kernel / stride / padding configuration.
+        #[serde(with = "conv_cfg_serde")]
+        cfg: Conv2dCfg,
+    },
+    /// Depthwise convolution with weight `[c, kh, kw]` and bias `[c]`.
+    DwConv2d {
+        /// Weight parameter.
+        w: ParamId,
+        /// Bias parameter.
+        b: ParamId,
+        /// Kernel / stride / padding configuration.
+        #[serde(with = "conv_cfg_serde")]
+        cfg: Conv2dCfg,
+    },
+    /// Fully connected layer with weight `[out, in]` and bias `[out]`.
+    Dense {
+        /// Weight parameter.
+        w: ParamId,
+        /// Bias parameter.
+        b: ParamId,
+    },
+    /// Elementwise max(x, 0).
+    Relu,
+    /// Elementwise sum of exactly two same-shaped inputs (residual add).
+    Add,
+    /// Channel-axis concatenation of two or more inputs (dense blocks).
+    Concat,
+    /// Max pooling with a square window.
+    MaxPool2d {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling `[n,c,h,w] -> [n,c]`.
+    GlobalAvgPool,
+    /// Reshape `[n,c,h,w] -> [n, c*h*w]`.
+    Flatten,
+}
+
+impl Op {
+    /// Short mnemonic used in debug output and quantization reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv2d { .. } => "conv2d",
+            Op::DwConv2d { .. } => "dwconv2d",
+            Op::Dense { .. } => "dense",
+            Op::Relu => "relu",
+            Op::Add => "add",
+            Op::Concat => "concat",
+            Op::MaxPool2d { .. } => "maxpool2d",
+            Op::GlobalAvgPool => "gap",
+            Op::Flatten => "flatten",
+        }
+    }
+
+    /// True for ops that own parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(
+            self,
+            Op::Conv2d { .. } | Op::DwConv2d { .. } | Op::Dense { .. }
+        )
+    }
+}
+
+mod conv_cfg_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Repr {
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    }
+
+    pub fn serialize<S: Serializer>(cfg: &Conv2dCfg, s: S) -> Result<S::Ok, S::Error> {
+        Repr {
+            kh: cfg.kh,
+            kw: cfg.kw,
+            stride: cfg.stride,
+            pad: cfg.pad,
+        }
+        .serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Conv2dCfg, D::Error> {
+        let r = Repr::deserialize(d)?;
+        Ok(Conv2dCfg {
+            kh: r.kh,
+            kw: r.kw,
+            stride: r.stride,
+            pad: r.pad,
+        })
+    }
+}
+
+/// A node: an op plus the ids of the nodes it consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Input node ids (all strictly smaller than this node's id).
+    pub inputs: Vec<NodeId>,
+    /// Per-sample output shape.
+    pub shape: NodeShape,
+}
+
+/// An immutable computation graph in topological order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    input_shape: [usize; 3],
+    output: NodeId,
+    /// Node whose activation serves as the learned representation
+    /// (penultimate layer) for PCA analysis; usually the GAP output.
+    feature: Option<NodeId>,
+}
+
+impl Graph {
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Per-sample input shape `[c, h, w]`.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// The output (logits) node.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// The designated feature (penultimate representation) node, if any.
+    pub fn feature(&self) -> Option<NodeId> {
+        self.feature
+    }
+
+    /// Number of classes (width of the output node).
+    pub fn num_classes(&self) -> usize {
+        self.nodes[self.output.0].shape.len()
+    }
+
+    /// Ids of all parameters referenced by the graph, in node order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = Vec::new();
+        for n in &self.nodes {
+            match n.op {
+                Op::Conv2d { w, b, .. } | Op::DwConv2d { w, b, .. } | Op::Dense { w, b } => {
+                    ids.push(w);
+                    ids.push(b);
+                }
+                _ => {}
+            }
+        }
+        ids
+    }
+}
+
+/// Builds a [`Graph`] and its freshly initialised [`ParamStore`] together.
+///
+/// Construction order is the topological order; each method returns the
+/// [`NodeId`] of the node it appended.
+///
+/// # Panics
+///
+/// Builder methods panic on structural errors (wrong input rank for an op,
+/// mismatched shapes for `add`, ...) — a malformed architecture is a
+/// programming error, not a runtime condition.
+#[derive(Debug)]
+pub struct GraphBuilder<'r> {
+    nodes: Vec<Node>,
+    params: ParamStore,
+    input_shape: [usize; 3],
+    rng: &'r mut StdRng,
+}
+
+impl<'r> GraphBuilder<'r> {
+    /// Starts a graph for per-sample input shape `[c, h, w]`, drawing
+    /// parameter initialisations from `rng` (He init).
+    pub fn new(input_shape: [usize; 3], rng: &'r mut StdRng) -> Self {
+        GraphBuilder {
+            nodes: Vec::new(),
+            params: ParamStore::new(),
+            input_shape,
+            rng,
+        }
+    }
+
+    /// Appends the input node. Must be called first, exactly once.
+    pub fn input(&mut self) -> NodeId {
+        assert!(self.nodes.is_empty(), "input() must be the first node");
+        self.push(Op::Input, vec![], NodeShape::Chw(self.input_shape))
+    }
+
+    /// Appends a `k`×`k` convolution producing `co` channels.
+    pub fn conv(&mut self, x: NodeId, co: usize, k: usize, stride: usize, pad: usize) -> NodeId {
+        let [ci, h, w] = self.chw(x);
+        let cfg = Conv2dCfg::square(k, stride, pad);
+        let (oh, ow) = cfg.out_hw(h, w);
+        let wp = self.params.push(init::he(self.rng, &[co, ci, k, k]));
+        let bp = self.params.push(Tensor::zeros(&[co]));
+        self.push(
+            Op::Conv2d { w: wp, b: bp, cfg },
+            vec![x],
+            NodeShape::Chw([co, oh, ow]),
+        )
+    }
+
+    /// Appends a depthwise `k`×`k` convolution (channel multiplier 1).
+    pub fn dwconv(&mut self, x: NodeId, k: usize, stride: usize, pad: usize) -> NodeId {
+        let [c, h, w] = self.chw(x);
+        let cfg = Conv2dCfg::square(k, stride, pad);
+        let (oh, ow) = cfg.out_hw(h, w);
+        let wp = self.params.push(init::he(self.rng, &[c, k, k]));
+        let bp = self.params.push(Tensor::zeros(&[c]));
+        self.push(
+            Op::DwConv2d { w: wp, b: bp, cfg },
+            vec![x],
+            NodeShape::Chw([c, oh, ow]),
+        )
+    }
+
+    /// Appends a dense (fully connected) layer of width `out`.
+    pub fn dense(&mut self, x: NodeId, out: usize) -> NodeId {
+        let input_len = self.nodes[x.0].shape.len();
+        if let NodeShape::Chw(_) = self.nodes[x.0].shape {
+            panic!("dense() requires a flat input; insert flatten() or global_avg_pool() first");
+        }
+        let wp = self.params.push(init::he(self.rng, &[out, input_len]));
+        let bp = self.params.push(Tensor::zeros(&[out]));
+        self.push(Op::Dense { w: wp, b: bp }, vec![x], NodeShape::Flat(out))
+    }
+
+    /// Appends a ReLU.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let shape = self.nodes[x.0].shape;
+        self.push(Op::Relu, vec![x], shape)
+    }
+
+    /// Appends a residual add of two same-shaped nodes.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(
+            self.nodes[a.0].shape, self.nodes[b.0].shape,
+            "add() requires identical shapes"
+        );
+        let shape = self.nodes[a.0].shape;
+        self.push(Op::Add, vec![a, b], shape)
+    }
+
+    /// Appends a channel concatenation of two or more NCHW nodes.
+    pub fn concat(&mut self, xs: &[NodeId]) -> NodeId {
+        assert!(xs.len() >= 2, "concat() needs at least two inputs");
+        let [c0, h0, w0] = self.chw(xs[0]);
+        let mut c_total = c0;
+        for &x in &xs[1..] {
+            let [c, h, w] = self.chw(x);
+            assert_eq!((h, w), (h0, w0), "concat() requires equal spatial dims");
+            c_total += c;
+        }
+        self.push(Op::Concat, xs.to_vec(), NodeShape::Chw([c_total, h0, w0]))
+    }
+
+    /// Appends a max pool.
+    pub fn max_pool(&mut self, x: NodeId, k: usize, stride: usize) -> NodeId {
+        let [c, h, w] = self.chw(x);
+        assert!(h >= k && w >= k, "max_pool window does not fit");
+        let oh = (h - k) / stride + 1;
+        let ow = (w - k) / stride + 1;
+        self.push(
+            Op::MaxPool2d { k, stride },
+            vec![x],
+            NodeShape::Chw([c, oh, ow]),
+        )
+    }
+
+    /// Appends global average pooling.
+    pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
+        let [c, _, _] = self.chw(x);
+        self.push(Op::GlobalAvgPool, vec![x], NodeShape::Flat(c))
+    }
+
+    /// Appends a flatten.
+    pub fn flatten(&mut self, x: NodeId) -> NodeId {
+        let len = self.nodes[x.0].shape.len();
+        self.push(Op::Flatten, vec![x], NodeShape::Flat(len))
+    }
+
+    /// Finishes the graph, designating the output (logits) node and an
+    /// optional feature node, and bundles it with the initialised parameters.
+    pub fn finish(self, output: NodeId, feature: Option<NodeId>) -> Network {
+        let graph = Graph {
+            nodes: self.nodes,
+            input_shape: self.input_shape,
+            output,
+            feature,
+        };
+        Network::new(graph, self.params)
+    }
+
+    fn chw(&self, x: NodeId) -> [usize; 3] {
+        match self.nodes[x.0].shape {
+            NodeShape::Chw(chw) => chw,
+            NodeShape::Flat(_) => panic!(
+                "node {:?} is flat but op requires a spatial (NCHW) input",
+                x
+            ),
+        }
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<NodeId>, shape: NodeShape) -> NodeId {
+        assert!(
+            !self.nodes.is_empty() || matches!(op, Op::Input),
+            "first node must be input()"
+        );
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { op, inputs, shape });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn builds_shapes_through_a_small_cnn() {
+        let mut r = rng();
+        let mut b = GraphBuilder::new([3, 8, 8], &mut r);
+        let x = b.input();
+        let c1 = b.conv(x, 8, 3, 1, 1); // 8x8x8
+        let r1 = b.relu(c1);
+        let p = b.max_pool(r1, 2, 2); // 8x4x4
+        let c2 = b.conv(p, 16, 3, 2, 1); // 16x2x2
+        let g = b.global_avg_pool(c2); // 16
+        let out = b.dense(g, 10);
+        let net = b.finish(out, Some(g));
+        let gph = net.graph();
+        assert_eq!(gph.node(c1).shape, NodeShape::Chw([8, 8, 8]));
+        assert_eq!(gph.node(p).shape, NodeShape::Chw([8, 4, 4]));
+        assert_eq!(gph.node(c2).shape, NodeShape::Chw([16, 2, 2]));
+        assert_eq!(gph.node(g).shape, NodeShape::Flat(16));
+        assert_eq!(gph.num_classes(), 10);
+        assert_eq!(gph.feature(), Some(g));
+    }
+
+    #[test]
+    fn residual_and_concat_shapes() {
+        let mut r = rng();
+        let mut b = GraphBuilder::new([4, 6, 6], &mut r);
+        let x = b.input();
+        let c1 = b.conv(x, 4, 3, 1, 1);
+        let a = b.add(c1, x);
+        assert_eq!(b.nodes[a.0].shape, NodeShape::Chw([4, 6, 6]));
+        let cat = b.concat(&[a, x]);
+        assert_eq!(b.nodes[cat.0].shape, NodeShape::Chw([8, 6, 6]));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn add_shape_mismatch_panics() {
+        let mut r = rng();
+        let mut b = GraphBuilder::new([4, 6, 6], &mut r);
+        let x = b.input();
+        let c = b.conv(x, 8, 3, 1, 1);
+        let _ = b.add(c, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat input")]
+    fn dense_on_spatial_panics() {
+        let mut r = rng();
+        let mut b = GraphBuilder::new([4, 6, 6], &mut r);
+        let x = b.input();
+        let _ = b.dense(x, 10);
+    }
+
+    #[test]
+    fn param_ids_enumerates_in_node_order() {
+        let mut r = rng();
+        let mut b = GraphBuilder::new([1, 4, 4], &mut r);
+        let x = b.input();
+        let c = b.conv(x, 2, 3, 1, 1);
+        let g = b.global_avg_pool(c);
+        let d = b.dense(g, 2);
+        let net = b.finish(d, None);
+        assert_eq!(
+            net.graph().param_ids(),
+            vec![ParamId(0), ParamId(1), ParamId(2), ParamId(3)]
+        );
+    }
+
+    #[test]
+    fn graph_serde_round_trips() {
+        let mut r = rng();
+        let mut b = GraphBuilder::new([1, 4, 4], &mut r);
+        let x = b.input();
+        let c = b.conv(x, 2, 3, 1, 1);
+        let g = b.global_avg_pool(c);
+        let d = b.dense(g, 2);
+        let net = b.finish(d, Some(g));
+        let json = serde_json::to_string(net.graph()).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, net.graph());
+    }
+}

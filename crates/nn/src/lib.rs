@@ -1,0 +1,48 @@
+//! `diva-nn` — a small graph-IR neural-network framework with reverse-mode
+//! autodiff, built for the DIVA reproduction.
+//!
+//! The paper's attack needs three things from its ML framework:
+//!
+//! 1. differentiable inference through *two* models (gradients w.r.t. the
+//!    **input image**, not just the weights) — see [`Network::backward`],
+//!    which returns the input gradient;
+//! 2. an op set covering the ResNet / MobileNet / DenseNet families
+//!    (convolution, depthwise convolution, residual add, channel concat,
+//!    pooling, dense) — see [`graph::Op`];
+//! 3. a place to interpose quantization (fake-quant forward, straight-through
+//!    backward) without forking the executor — see [`exec::Hooks`], which the
+//!    `diva-quant` crate implements.
+//!
+//! A model is a [`graph::Graph`] (pure structure) plus a [`params::ParamStore`]
+//! (values, gradients, pruning masks), bundled as a [`Network`].
+//!
+//! ```
+//! use diva_nn::{Infer, Network, graph::GraphBuilder};
+//! use diva_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut b = GraphBuilder::new([1, 4, 4], &mut rng);
+//! let x = b.input();
+//! let c = b.conv(x, 2, 3, 1, 1);
+//! let r = b.relu(c);
+//! let g = b.global_avg_pool(r);
+//! let out = b.dense(g, 3);
+//! let net: Network = b.finish(out, Some(g));
+//! let logits = net.logits(&Tensor::zeros(&[2, 1, 4, 4]));
+//! assert_eq!(logits.dims(), &[2, 3]);
+//! ```
+
+pub mod exec;
+pub mod graph;
+pub mod losses;
+pub mod network;
+pub mod optim;
+pub mod params;
+pub mod persist;
+pub mod train;
+
+pub use exec::{Execution, Hooks, NoHooks};
+pub use graph::{Graph, GraphBuilder, NodeId, Op, ParamId};
+pub use network::{Infer, Network};
+pub use params::{Param, ParamStore};

@@ -1,0 +1,272 @@
+//! Loss functions and their logit-space gradients.
+//!
+//! Every loss returns `(value, d_value/d_logits)` so callers can seed
+//! [`crate::exec::backward`] directly. Attacks additionally use the
+//! probability-of-label gradient ([`prob_of_label_grad`]) and the CW margin
+//! ([`cw_margin`]).
+
+use diva_tensor::ops::{log_softmax_rows, softmax_rows};
+use diva_tensor::Tensor;
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// `logits` is `[n, c]`; `labels[i]` is the class index of sample `i`.
+/// Returns the scalar loss and its gradient w.r.t. `logits` (already divided
+/// by the batch size).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out of
+/// range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let log_p = log_softmax_rows(logits);
+    let p = softmax_rows(logits);
+    let mut loss = 0.0;
+    let mut grad = p;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range for {c} classes");
+        loss -= log_p.data()[i * c + y];
+        grad.data_mut()[i * c + y] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    (loss * inv_n, grad.scale(inv_n))
+}
+
+/// Mean KL divergence `KL(teacher ‖ student)` with temperature `t`, the
+/// distillation loss of Hinton et al. used for surrogate reconstruction.
+///
+/// Both inputs are raw logits `[n, c]`. Returns the scalar loss and its
+/// gradient w.r.t. the **student** logits. The gradient carries the standard
+/// `t^2` correction so its scale is comparable to the hard-label loss.
+pub fn distillation_kl(student_logits: &Tensor, teacher_logits: &Tensor, t: f32) -> (f32, Tensor) {
+    assert_eq!(
+        student_logits.dims(),
+        teacher_logits.dims(),
+        "student/teacher logits shape mismatch"
+    );
+    let (n, c) = (student_logits.dims()[0], student_logits.dims()[1]);
+    let ps = softmax_rows(&student_logits.scale(1.0 / t));
+    let log_ps = log_softmax_rows(&student_logits.scale(1.0 / t));
+    let pt = softmax_rows(&teacher_logits.scale(1.0 / t));
+    let log_pt = log_softmax_rows(&teacher_logits.scale(1.0 / t));
+    let mut loss = 0.0;
+    for i in 0..n * c {
+        let q = pt.data()[i];
+        if q > 0.0 {
+            loss += q * (log_pt.data()[i] - log_ps.data()[i]);
+        }
+    }
+    // dKL/d(student logit) = (ps - pt) / t; times t^2 correction = t*(ps-pt)
+    let grad = ps.sub(&pt).scale(t / n as f32);
+    (loss / n as f32, grad)
+}
+
+/// Gradient of the mean predicted probability of each sample's label w.r.t.
+/// the logits: `d(mean_i p_i[y_i]) / d logits`.
+///
+/// This is the building block of the DIVA loss (Eq. 5 uses *raw
+/// probabilities*, not log-probabilities). For row `i`:
+/// `d p[y] / d z_j = p[y] (δ_{jy} − p_j)`.
+pub fn prob_of_label_grad(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let p = softmax_rows(logits);
+    let mut value = 0.0;
+    let mut grad = Tensor::zeros(&[n, c]);
+    for (i, &y) in labels.iter().enumerate() {
+        let py = p.data()[i * c + y];
+        value += py;
+        for j in 0..c {
+            let delta = if j == y { 1.0 } else { 0.0 };
+            grad.data_mut()[i * c + j] = py * (delta - p.data()[i * c + j]);
+        }
+    }
+    let inv_n = 1.0 / n as f32;
+    (value * inv_n, grad.scale(inv_n))
+}
+
+/// The Carlini–Wagner margin `max(z_y − max_{j≠y} z_j, −κ)` averaged over the
+/// batch, with its gradient w.r.t. the logits.
+///
+/// An attacker *minimises* this (drives the true-class logit below the
+/// runner-up); equivalently PGD ascends its negation — which is what
+/// `diva-core` does, following the CW-loss-inside-PGD setup of Madry et al.
+pub fn cw_margin(logits: &Tensor, labels: &[usize], kappa: f32) -> (f32, Tensor) {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let mut value = 0.0;
+    let mut grad = Tensor::zeros(&[n, c]);
+    for (i, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let zy = row[y];
+        let (mut best_j, mut best) = (usize::MAX, f32::NEG_INFINITY);
+        for (j, &z) in row.iter().enumerate() {
+            if j != y && z > best {
+                best = z;
+                best_j = j;
+            }
+        }
+        let margin = zy - best;
+        if margin > -kappa {
+            value += margin;
+            grad.data_mut()[i * c + y] = 1.0;
+            grad.data_mut()[i * c + best_j] = -1.0;
+        } else {
+            value += -kappa; // clamped: zero gradient
+        }
+    }
+    let inv_n = 1.0 / n as f32;
+    (value * inv_n, grad.scale(inv_n))
+}
+
+/// Mean squared distance between the softmax of `logits` and the one-hot
+/// vector of `target`, with gradient w.r.t. logits.
+///
+/// Used by the targeted DIVA variant (§6) to pull the adapted model toward a
+/// chosen identity.
+pub fn onehot_distance(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert!(target < c, "target {target} out of range for {c} classes");
+    let p = softmax_rows(logits);
+    let mut value = 0.0;
+    let mut dp = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        for j in 0..c {
+            let t = if j == target { 1.0 } else { 0.0 };
+            let d = p.data()[i * c + j] - t;
+            value += d * d;
+            dp.data_mut()[i * c + j] = 2.0 * d;
+        }
+    }
+    // Chain through softmax: dL/dz_k = p_k * (dp_k - sum_j dp_j p_j)
+    let mut grad = Tensor::zeros(&[n, c]);
+    for i in 0..n {
+        let dot: f32 = (0..c)
+            .map(|j| dp.data()[i * c + j] * p.data()[i * c + j])
+            .sum();
+        for k in 0..c {
+            grad.data_mut()[i * c + k] = p.data()[i * c + k] * (dp.data()[i * c + k] - dot);
+        }
+    }
+    let inv_n = 1.0 / n as f32;
+    (value * inv_n, grad.scale(inv_n))
+}
+
+/// Top-1 accuracy of `logits` against `labels`.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let n = logits.dims()[0];
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let correct = (0..n)
+        .filter(|&i| logits.row(i).argmax() == Some(labels[i]))
+        .count();
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(
+        f: impl Fn(&Tensor) -> f32,
+        logits: &Tensor,
+        analytic: &Tensor,
+        tol: f32,
+    ) {
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (f(&lp) - f(&lm)) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[i]).abs() < tol,
+                "grad[{i}]: numeric {num} vs analytic {}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_checks() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.4], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, g) = cross_entropy(&logits, &labels);
+        finite_diff(|l| cross_entropy(l, &labels).0, &logits, &g, 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_small_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]);
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        let (bad_loss, _) = cross_entropy(&logits, &[1]);
+        assert!(bad_loss > 5.0);
+    }
+
+    #[test]
+    fn prob_of_label_gradient_checks() {
+        let logits = Tensor::from_vec(vec![0.3, 1.0, -0.7, 0.0, 0.5, 0.9], &[2, 3]);
+        let labels = [1usize, 2];
+        let (v, g) = prob_of_label_grad(&logits, &labels);
+        assert!(v > 0.0 && v < 1.0);
+        finite_diff(|l| prob_of_label_grad(l, &labels).0, &logits, &g, 1e-3);
+    }
+
+    #[test]
+    fn distillation_kl_gradient_checks() {
+        let s = Tensor::from_vec(vec![0.1, 0.9, -0.5, 0.3, -0.2, 0.8], &[2, 3]);
+        let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, -0.5, 0.5, 0.2], &[2, 3]);
+        let (v, g) = distillation_kl(&s, &t, 2.0);
+        assert!(v >= 0.0, "KL must be non-negative, got {v}");
+        // d(loss*t^2)/ds checked against numeric derivative of loss*t^2
+        finite_diff(|l| distillation_kl(l, &t, 2.0).0 * 4.0, &s, &g, 2e-3);
+    }
+
+    #[test]
+    fn kl_zero_when_identical() {
+        let s = Tensor::from_vec(vec![0.4, -0.6, 1.2], &[1, 3]);
+        let (v, g) = distillation_kl(&s, &s, 1.0);
+        assert!(v.abs() < 1e-6);
+        assert!(g.norm_inf() < 1e-6);
+    }
+
+    #[test]
+    fn cw_margin_gradient_and_clamp() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, -1.0], &[1, 3]);
+        let (v, g) = cw_margin(&logits, &[0], 0.0);
+        assert!((v - 1.0).abs() < 1e-6); // z0 - z1 = 1
+        assert_eq!(g.data(), &[1.0, -1.0, 0.0]);
+        // Clamped region: margin below -kappa gives zero grad.
+        let logits2 = Tensor::from_vec(vec![-5.0, 1.0, 0.0], &[1, 3]);
+        let (v2, g2) = cw_margin(&logits2, &[0], 2.0);
+        assert!((v2 + 2.0).abs() < 1e-6);
+        assert_eq!(g2.norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn onehot_distance_gradient_checks() {
+        let logits = Tensor::from_vec(vec![0.2, -0.3, 0.8, 0.0], &[1, 4]);
+        let (_, g) = onehot_distance(&logits, 2);
+        finite_diff(|l| onehot_distance(l, 2).0, &logits, &g, 1e-3);
+    }
+
+    #[test]
+    fn onehot_distance_minimised_at_target() {
+        let good = Tensor::from_vec(vec![-10.0, 10.0], &[1, 2]);
+        let bad = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+        assert!(onehot_distance(&good, 1).0 < onehot_distance(&bad, 1).0);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`Network`] bundle (graph + parameters) and the [`Infer`] trait that
+//! unifies fp32 networks, QAT networks, and the int8 engine for evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use diva_tensor::Tensor;
+
+use crate::exec::{self, Execution, Hooks, NoHooks};
+use crate::graph::Graph;
+use crate::params::ParamStore;
+
+/// Anything that maps a batch of images to logits.
+///
+/// Implemented by [`Network`] (fp32), the QAT network in `diva-quant`, and
+/// the int8 engine, so evaluation and metrics code is written once.
+pub trait Infer {
+    /// Computes logits for a batched input `[n, c, h, w]` → `[n, classes]`.
+    fn logits(&self, x: &Tensor) -> Tensor;
+
+    /// Number of classes in the output.
+    fn num_classes(&self) -> usize;
+
+    /// Softmax probabilities for a batched input.
+    fn probs(&self, x: &Tensor) -> Tensor {
+        diva_tensor::ops::softmax_rows(&self.logits(x))
+    }
+
+    /// Top-1 predictions for a batched input.
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let logits = self.logits(x);
+        let classes = self.num_classes();
+        (0..logits.dims()[0])
+            .map(|i| logits.row(i).argmax().unwrap_or(0))
+            .inspect(|&p| debug_assert!(p < classes))
+            .collect()
+    }
+}
+
+/// A model: an immutable [`Graph`] plus its mutable [`ParamStore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    graph: Graph,
+    params: ParamStore,
+}
+
+impl Network {
+    /// Bundles a graph with a parameter store.
+    pub fn new(graph: Graph, params: ParamStore) -> Self {
+        Network { graph, params }
+    }
+
+    /// The computation graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Parameter store (read).
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// Parameter store (write): used by optimizers, pruners, quantizers.
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.params
+    }
+
+    /// Splits the network into its parts.
+    pub fn into_parts(self) -> (Graph, ParamStore) {
+        (self.graph, self.params)
+    }
+
+    /// Full forward pass retaining all activations (fp32, no hooks).
+    pub fn forward(&self, x: &Tensor) -> Execution {
+        exec::forward(&self.graph, &self.params, x, &mut NoHooks)
+    }
+
+    /// Forward pass with a custom hook set (used by `diva-quant`).
+    pub fn forward_with<H: Hooks>(&self, x: &Tensor, hooks: &mut H) -> Execution {
+        exec::forward(&self.graph, &self.params, x, hooks)
+    }
+
+    /// Reverse pass: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the input batch (what adversarial attacks consume).
+    pub fn backward(&mut self, exec: &Execution, d_output: &Tensor) -> Tensor {
+        exec::backward(&self.graph, &mut self.params, exec, d_output, &NoHooks)
+    }
+
+    /// Reverse pass with a custom hook set.
+    pub fn backward_with<H: Hooks>(
+        &mut self,
+        exec: &Execution,
+        d_output: &Tensor,
+        hooks: &H,
+    ) -> Tensor {
+        exec::backward(&self.graph, &mut self.params, exec, d_output, hooks)
+    }
+
+    /// Gradient of a scalar objective w.r.t. the **input only**, leaving
+    /// parameter gradients untouched.
+    ///
+    /// This is the primitive every attack uses: parameters are borrowed
+    /// immutably (cloned gradient buffers are discarded), so a frozen victim
+    /// model can be attacked through `&Network`.
+    pub fn input_grad(&self, exec: &Execution, d_output: &Tensor) -> Tensor {
+        let mut scratch = self.params.clone();
+        exec::backward(&self.graph, &mut scratch, exec, d_output, &NoHooks)
+    }
+
+    /// Penultimate-layer (feature node) activations for a batch, if the
+    /// graph designates one.
+    pub fn features(&self, x: &Tensor) -> Option<Tensor> {
+        let node = self.graph.feature()?;
+        let exec = self.forward(x);
+        Some(exec.activation(node).clone())
+    }
+}
+
+impl Infer for Network {
+    fn logits(&self, x: &Tensor) -> Tensor {
+        self.forward(x).output(&self.graph).clone()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.graph.num_classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = GraphBuilder::new([1, 4, 4], &mut rng);
+        let x = b.input();
+        let c = b.conv(x, 3, 3, 1, 1);
+        let r = b.relu(c);
+        let g = b.global_avg_pool(r);
+        let d = b.dense(g, 4);
+        b.finish(d, Some(g))
+    }
+
+    #[test]
+    fn logits_and_predict() {
+        let net = tiny_net();
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let l = net.logits(&x);
+        assert_eq!(l.dims(), &[2, 4]);
+        let preds = net.predict(&x);
+        assert_eq!(preds.len(), 2);
+        // Same input -> same prediction for both samples.
+        assert_eq!(preds[0], preds[1]);
+    }
+
+    #[test]
+    fn probs_are_distributions() {
+        let net = tiny_net();
+        let p = net.probs(&Tensor::ones(&[1, 1, 4, 4]));
+        assert!((p.sum() - 1.0).abs() < 1e-5);
+        assert!(p.min() >= 0.0);
+    }
+
+    #[test]
+    fn input_grad_leaves_params_untouched() {
+        let net = tiny_net();
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let exec = net.forward(&x);
+        let before = net.params().clone();
+        let dy = Tensor::ones(&[1, 4]);
+        let gx = net.input_grad(&exec, &dy);
+        assert_eq!(gx.dims(), x.dims());
+        assert_eq!(net.params(), &before);
+    }
+
+    #[test]
+    fn features_come_from_feature_node() {
+        let net = tiny_net();
+        let f = net.features(&Tensor::ones(&[2, 1, 4, 4])).unwrap();
+        assert_eq!(f.dims(), &[2, 3]); // GAP over 3 channels
+    }
+}

@@ -1,0 +1,187 @@
+//! Parameter storage: values, gradients, and pruning masks.
+
+use serde::{Deserialize, Serialize};
+
+use diva_tensor::Tensor;
+
+use crate::graph::ParamId;
+
+/// One learnable tensor with its gradient accumulator and an optional
+/// pruning mask.
+///
+/// When a mask is present the *effective* value used by executors is
+/// `value ⊙ mask`, and gradients are masked too, so pruned weights stay
+/// exactly zero through fine-tuning (this is how `tfmot` sparsity
+/// preservation behaves).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulator (same shape as `value`).
+    pub grad: Tensor,
+    /// Optional binary pruning mask (same shape as `value`).
+    pub mask: Option<Tensor>,
+}
+
+impl Param {
+    /// Wraps a value with a zeroed gradient and no mask.
+    pub fn new(value: Tensor) -> Self {
+        let grad = value.zeros_like();
+        Param {
+            value,
+            grad,
+            mask: None,
+        }
+    }
+
+    /// The value the executor should use: masked if a mask is set.
+    pub fn effective(&self) -> Tensor {
+        match &self.mask {
+            Some(m) => self.value.mul(m),
+            None => self.value.clone(),
+        }
+    }
+
+    /// Fraction of entries zeroed by the mask (0 when unmasked).
+    pub fn sparsity(&self) -> f32 {
+        match &self.mask {
+            Some(m) => 1.0 - m.mean(),
+            None => 0.0,
+        }
+    }
+}
+
+/// The full set of parameters of one model.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Appends a parameter, returning its id.
+    pub fn push(&mut self, value: Tensor) -> ParamId {
+        self.params.push(Param::new(value));
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameter tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Immutable parameter access.
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutable parameter access.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Iterates over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Iterates mutably over all parameters.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.params.iter_mut()
+    }
+
+    /// Effective (masked) value of parameter `id`.
+    pub fn effective(&self, id: ParamId) -> Tensor {
+        self.params[id.0].effective()
+    }
+
+    /// Accumulates `g` into parameter `id`'s gradient, respecting the mask.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        let p = &mut self.params[id.0];
+        match &p.mask {
+            Some(m) => p.grad.axpy(1.0, &g.mul(m)),
+            None => p.grad.axpy(1.0, g),
+        }
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad = p.value.zeros_like();
+        }
+    }
+
+    /// Global fraction of scalars zeroed by masks.
+    pub fn global_sparsity(&self) -> f32 {
+        let total: usize = self.num_scalars();
+        if total == 0 {
+            return 0.0;
+        }
+        let zeroed: f32 = self
+            .params
+            .iter()
+            .map(|p| p.sparsity() * p.value.len() as f32)
+            .sum();
+        zeroed / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut s = ParamStore::new();
+        let id = s.push(Tensor::ones(&[2, 2]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_scalars(), 4);
+        assert_eq!(s.get(id).value.sum(), 4.0);
+        assert_eq!(s.get(id).grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn effective_applies_mask() {
+        let mut s = ParamStore::new();
+        let id = s.push(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]));
+        assert_eq!(s.effective(id).sum(), 10.0);
+        s.get_mut(id).mask = Some(Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]));
+        assert_eq!(s.effective(id).data(), &[1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(s.get(id).sparsity(), 0.5);
+    }
+
+    #[test]
+    fn grads_respect_mask() {
+        let mut s = ParamStore::new();
+        let id = s.push(Tensor::zeros(&[3]));
+        s.get_mut(id).mask = Some(Tensor::from_vec(vec![1.0, 0.0, 1.0], &[3]));
+        s.accumulate_grad(id, &Tensor::ones(&[3]));
+        assert_eq!(s.get(id).grad.data(), &[1.0, 0.0, 1.0]);
+        s.zero_grads();
+        assert_eq!(s.get(id).grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn global_sparsity_weighted_by_size() {
+        let mut s = ParamStore::new();
+        let a = s.push(Tensor::zeros(&[8]));
+        let _b = s.push(Tensor::zeros(&[2]));
+        s.get_mut(a).mask = Some(Tensor::zeros(&[8])); // fully pruned
+        // 8 of 10 scalars pruned
+        assert!((s.global_sparsity() - 0.8).abs() < 1e-6);
+    }
+}

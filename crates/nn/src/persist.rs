@@ -1,0 +1,128 @@
+//! Model persistence: save/load a [`Network`] as a JSON model file.
+//!
+//! The deployment story of the paper runs through model files — the operator
+//! pushes adapted model files to devices, and the attacker reads one back
+//! (§4.3). This module provides the fp32 side; `diva-quant` persists the
+//! deployed int8 engine the same way.
+
+use std::path::Path;
+
+use crate::Network;
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed model file.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "malformed model file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+impl Network {
+    /// Writes the network (graph + parameters + masks) to a JSON model file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a network back from a JSON model file written by
+    /// [`Network::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failures and
+    /// [`PersistError::Format`] if the file is not a valid model.
+    pub fn load(path: impl AsRef<Path>) -> Result<Network, PersistError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::Infer;
+    use diva_tensor::Tensor;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn tiny_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = GraphBuilder::new([1, 4, 4], &mut rng);
+        let x = b.input();
+        let c = b.conv(x, 3, 3, 1, 1);
+        let g = b.global_avg_pool(c);
+        let d = b.dense(g, 2);
+        b.finish(d, Some(g))
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let net = tiny_net();
+        let dir = std::env::temp_dir().join("diva_nn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        net.save(&path).unwrap();
+        let back = Network::load(&path).unwrap();
+        assert_eq!(&back, &net);
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        assert_eq!(back.logits(&x), net.logits(&x));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("diva_nn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not a model").unwrap();
+        assert!(matches!(
+            Network::load(&path),
+            Err(PersistError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            Network::load("/nonexistent/diva/model.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

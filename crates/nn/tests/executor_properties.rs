@@ -1,0 +1,94 @@
+//! Property-based tests of executor invariants the attack pipelines rely on:
+//! batch invariance (per-sample results don't depend on batching), gradient
+//! linearity in the output cotangent, and determinism.
+
+use diva_nn::graph::GraphBuilder;
+use diva_nn::{Infer, Network};
+use diva_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn make_net(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new([2, 6, 6], &mut rng);
+    let x = b.input();
+    let c1 = b.conv(x, 4, 3, 1, 1);
+    let r1 = b.relu(c1);
+    let c2 = b.conv(r1, 4, 3, 1, 1);
+    let a = b.add(c2, c1); // fan-out + residual
+    let p = b.max_pool(a, 2, 2);
+    let g = b.global_avg_pool(p);
+    let d = b.dense(g, 3);
+    b.finish(d, Some(g))
+}
+
+fn batch(data: Vec<f32>, n: usize) -> Tensor {
+    Tensor::from_vec(data, &[n, 2, 6, 6])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batching_does_not_change_per_sample_logits(
+        data in proptest::collection::vec(0.0f32..1.0, 3 * 72),
+        seed in 0u64..50,
+    ) {
+        let net = make_net(seed);
+        let full = net.logits(&batch(data.clone(), 3));
+        for i in 0..3 {
+            let single = net.logits(&batch(data[i * 72..(i + 1) * 72].to_vec(), 1));
+            for j in 0..3 {
+                let a = full.at(&[i, j]).unwrap();
+                let b = single.at(&[0, j]).unwrap();
+                prop_assert!((a - b).abs() < 1e-4, "sample {i} logit {j}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_is_linear_in_cotangent(
+        data in proptest::collection::vec(0.0f32..1.0, 72),
+        seed in 0u64..50,
+        alpha in 0.1f32..3.0,
+    ) {
+        let net = make_net(seed);
+        let x = batch(data, 1);
+        let exec = net.forward(&x);
+        let dy = Tensor::from_vec(vec![1.0, -0.5, 2.0], &[1, 3]);
+        let g1 = net.input_grad(&exec, &dy);
+        let g2 = net.input_grad(&exec, &dy.scale(alpha));
+        // grad(alpha * dy) == alpha * grad(dy)
+        prop_assert!(g2.allclose(&g1.scale(alpha), 1e-3 * (1.0 + alpha)));
+        // And additivity: grad(dy + dy') == grad(dy) + grad(dy')
+        let dy_b = Tensor::from_vec(vec![0.3, 0.7, -1.0], &[1, 3]);
+        let g_sum = net.input_grad(&exec, &dy.add(&dy_b));
+        let mut expected = net.input_grad(&exec, &dy_b);
+        expected.axpy(1.0, &g1);
+        prop_assert!(g_sum.allclose(&expected, 1e-3));
+    }
+
+    #[test]
+    fn forward_is_deterministic(
+        data in proptest::collection::vec(0.0f32..1.0, 72),
+        seed in 0u64..50,
+    ) {
+        let net = make_net(seed);
+        let x = batch(data, 1);
+        prop_assert_eq!(net.logits(&x), net.logits(&x));
+    }
+
+    #[test]
+    fn probabilities_are_well_formed(
+        data in proptest::collection::vec(0.0f32..1.0, 2 * 72),
+        seed in 0u64..50,
+    ) {
+        let net = make_net(seed);
+        let p = net.probs(&batch(data, 2));
+        for i in 0..2 {
+            let row = p.row(i);
+            prop_assert!(row.min() >= 0.0);
+            prop_assert!((row.sum() - 1.0).abs() < 1e-4);
+        }
+    }
+}

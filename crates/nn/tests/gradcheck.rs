@@ -1,0 +1,185 @@
+//! End-to-end gradient checks for the graph executor.
+//!
+//! For several graph topologies (plain CNN, residual, concat, depthwise,
+//! max-pool, flatten) we compare the analytic input gradient and parameter
+//! gradients of a scalar objective against central finite differences.
+//! The attacks live or die by the correctness of the *input* gradient, so
+//! this is the most load-bearing test in the workspace.
+
+use diva_nn::graph::GraphBuilder;
+use diva_nn::losses;
+use diva_nn::Network;
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Scalar objective: cross-entropy against fixed labels.
+fn objective(net: &Network, x: &Tensor, labels: &[usize]) -> f32 {
+    let exec = net.forward(x);
+    losses::cross_entropy(exec.output(net.graph()), labels).0
+}
+
+/// Checks analytic input and parameter gradients against finite differences.
+fn gradcheck(mut net: Network, x: &Tensor, labels: &[usize], tol: f32) {
+    let exec = net.forward(x);
+    let (_, dlogits) = losses::cross_entropy(exec.output(net.graph()), labels);
+    net.params_mut().zero_grads();
+    let dx = net.backward(&exec, &dlogits);
+
+    let eps = 1e-2;
+    // Input gradient: check a spread of coordinates.
+    let stride = (x.len() / 12).max(1);
+    for i in (0..x.len()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let num = (objective(&net, &xp, labels) - objective(&net, &xm, labels)) / (2.0 * eps);
+        let ana = dx.data()[i];
+        assert!(
+            (num - ana).abs() < tol * (1.0 + num.abs()),
+            "input grad [{i}]: numeric {num} vs analytic {ana}"
+        );
+    }
+
+    // Parameter gradients: sample a few coordinates of each parameter.
+    let n_params = net.params().len();
+    for pi in 0..n_params {
+        let id = diva_nn::ParamId(pi);
+        let len = net.params().get(id).value.len();
+        let ana_grad = net.params().get(id).grad.clone();
+        for i in (0..len).step_by((len / 4).max(1)) {
+            let orig = net.params().get(id).value.data()[i];
+            net.params_mut().get_mut(id).value.data_mut()[i] = orig + eps;
+            let fp = objective(&net, x, labels);
+            net.params_mut().get_mut(id).value.data_mut()[i] = orig - eps;
+            let fm = objective(&net, x, labels);
+            net.params_mut().get_mut(id).value.data_mut()[i] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = ana_grad.data()[i];
+            assert!(
+                (num - ana).abs() < tol * (1.0 + num.abs()),
+                "param {pi} grad [{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}
+
+fn rand_input(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(0.0..1.0)).collect(), dims)
+}
+
+#[test]
+fn plain_cnn_gradients() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut b = GraphBuilder::new([2, 6, 6], &mut rng);
+    let x = b.input();
+    let c1 = b.conv(x, 4, 3, 1, 1);
+    let r1 = b.relu(c1);
+    let c2 = b.conv(r1, 6, 3, 2, 1);
+    let r2 = b.relu(c2);
+    let g = b.global_avg_pool(r2);
+    let d = b.dense(g, 3);
+    let net = b.finish(d, Some(g));
+    let input = rand_input(&mut rng, &[2, 2, 6, 6]);
+    gradcheck(net, &input, &[0, 2], 5e-2);
+}
+
+#[test]
+fn residual_topology_gradients() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut b = GraphBuilder::new([3, 6, 6], &mut rng);
+    let x = b.input();
+    let c1 = b.conv(x, 3, 3, 1, 1);
+    let r1 = b.relu(c1);
+    let c2 = b.conv(r1, 3, 3, 1, 1);
+    let a = b.add(c2, x); // skip connection from the input (fan-out on x)
+    let r2 = b.relu(a);
+    let g = b.global_avg_pool(r2);
+    let d = b.dense(g, 4);
+    let net = b.finish(d, Some(g));
+    let input = rand_input(&mut rng, &[1, 3, 6, 6]);
+    gradcheck(net, &input, &[1], 5e-2);
+}
+
+#[test]
+fn concat_topology_gradients() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut b = GraphBuilder::new([2, 5, 5], &mut rng);
+    let x = b.input();
+    let c1 = b.conv(x, 3, 3, 1, 1);
+    let r1 = b.relu(c1);
+    let cat = b.concat(&[x, r1]); // densenet-style concat with fan-out
+    let c2 = b.conv(cat, 4, 3, 1, 1);
+    let g = b.global_avg_pool(c2);
+    let d = b.dense(g, 3);
+    let net = b.finish(d, Some(g));
+    let input = rand_input(&mut rng, &[2, 2, 5, 5]);
+    gradcheck(net, &input, &[2, 0], 5e-2);
+}
+
+#[test]
+fn depthwise_separable_gradients() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut b = GraphBuilder::new([3, 6, 6], &mut rng);
+    let x = b.input();
+    let dw = b.dwconv(x, 3, 1, 1);
+    let r1 = b.relu(dw);
+    let pw = b.conv(r1, 5, 1, 1, 0); // pointwise
+    let r2 = b.relu(pw);
+    let g = b.global_avg_pool(r2);
+    let d = b.dense(g, 3);
+    let net = b.finish(d, Some(g));
+    let input = rand_input(&mut rng, &[1, 3, 6, 6]);
+    gradcheck(net, &input, &[0], 5e-2);
+}
+
+#[test]
+fn maxpool_flatten_gradients() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut b = GraphBuilder::new([1, 8, 8], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 3, 3, 1, 1);
+    let r = b.relu(c);
+    let p = b.max_pool(r, 2, 2);
+    let f = b.flatten(p);
+    let d = b.dense(f, 4);
+    let net = b.finish(d, None);
+    let input = rand_input(&mut rng, &[1, 1, 8, 8]);
+    gradcheck(net, &input, &[3], 5e-2);
+}
+
+#[test]
+fn fan_out_accumulates_gradients() {
+    // x feeds two conv branches that are summed: d/dx must be the sum of
+    // both branch gradients. Compare against a single-branch graph scaled.
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut b = GraphBuilder::new([2, 4, 4], &mut rng);
+    let x = b.input();
+    let c1 = b.conv(x, 2, 3, 1, 1);
+    let c2 = b.conv(x, 2, 3, 1, 1);
+    let a = b.add(c1, c2);
+    let g = b.global_avg_pool(a);
+    let d = b.dense(g, 2);
+    let net = b.finish(d, None);
+    let input = rand_input(&mut rng, &[1, 2, 4, 4]);
+    gradcheck(net, &input, &[1], 5e-2);
+}
+
+#[test]
+fn input_grad_matches_backward_input_grad() {
+    // `Network::input_grad` (immutable) must agree with `backward`'s return.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = GraphBuilder::new([1, 4, 4], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 2, 3, 1, 1);
+    let g = b.global_avg_pool(c);
+    let d = b.dense(g, 2);
+    let mut net = b.finish(d, None);
+    let input = rand_input(&mut rng, &[2, 1, 4, 4]);
+    let exec = net.forward(&input);
+    let dlogits = Tensor::ones(&[2, 2]);
+    let gi = net.input_grad(&exec, &dlogits);
+    let gb = net.backward(&exec, &dlogits);
+    assert!(gi.allclose(&gb, 1e-6));
+}

@@ -1,0 +1,315 @@
+//! `diva-prune` — magnitude weight pruning, the paper's second
+//! edge-adaptation technique (§5.6).
+//!
+//! Mirrors Keras weight pruning (`tfmot.sparsity`): weights with the
+//! smallest magnitudes are zeroed via binary masks, sparsity ramps up along a
+//! polynomial schedule during fine-tuning, and masks are preserved through
+//! all later training (and through quantization, for the pruned+quantized
+//! models of Fig. 8c/d).
+//!
+//! ```
+//! use diva_prune::{prune_network, PruneCfg};
+//! use diva_models::{Architecture, ModelCfg};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+//! prune_network(&mut net, &PruneCfg::default());
+//! assert!(net.params().global_sparsity() > 0.5);
+//! ```
+
+use diva_nn::train::{gather, gather_labels, shuffled_batches, EpochStats, TrainCfg};
+use diva_nn::{losses, optim::Sgd, Network};
+use diva_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Pruning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneCfg {
+    /// Target fraction of weights to zero in each prunable tensor.
+    pub sparsity: f32,
+    /// Whether biases (rank-1 parameters) are pruned too. Keras prunes only
+    /// kernels, so this defaults to `false`.
+    pub prune_biases: bool,
+}
+
+impl Default for PruneCfg {
+    fn default() -> Self {
+        PruneCfg {
+            // The paper reports pruned models compressed to ~1/3 size; at a
+            // sparse-storage encoding that corresponds to zeroing about two
+            // thirds of the weights.
+            sparsity: 2.0 / 3.0,
+            prune_biases: false,
+        }
+    }
+}
+
+impl PruneCfg {
+    /// A configuration with the given target sparsity.
+    pub fn with_sparsity(sparsity: f32) -> Self {
+        PruneCfg {
+            sparsity,
+            ..PruneCfg::default()
+        }
+    }
+}
+
+/// Applies one-shot magnitude pruning at `cfg.sparsity` to every prunable
+/// parameter of `net`, installing masks in the parameter store.
+///
+/// # Panics
+///
+/// Panics if `cfg.sparsity` is outside `[0, 1)`.
+pub fn prune_network(net: &mut Network, cfg: &PruneCfg) {
+    set_sparsity(net, cfg.sparsity, cfg.prune_biases);
+}
+
+/// Sets every prunable parameter's mask to the given sparsity level,
+/// recomputed from current weight magnitudes (used by the schedule).
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1)`.
+pub fn set_sparsity(net: &mut Network, sparsity: f32, prune_biases: bool) {
+    assert!(
+        (0.0..1.0).contains(&sparsity),
+        "sparsity must be in [0, 1), got {sparsity}"
+    );
+    for p in net.params_mut().iter_mut() {
+        let is_kernel = p.value.shape().rank() >= 2;
+        if !is_kernel && !prune_biases {
+            continue;
+        }
+        p.mask = Some(magnitude_mask(&p.value, sparsity));
+        p.value = p.effective();
+    }
+}
+
+/// Builds a binary mask zeroing the `sparsity` fraction of smallest-|w|
+/// entries (ties broken by index for determinism).
+pub fn magnitude_mask(w: &Tensor, sparsity: f32) -> Tensor {
+    let n = w.len();
+    let k = ((n as f32) * sparsity).round() as usize;
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        w.data()[a]
+            .abs()
+            .partial_cmp(&w.data()[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut mask = Tensor::ones(w.dims());
+    for &i in idx.iter().take(k.min(n)) {
+        mask.data_mut()[i] = 0.0;
+    }
+    mask
+}
+
+/// The polynomial sparsity ramp of Zhu & Gupta (2018), used by tfmot:
+/// `s(t) = s_f + (s_i − s_f) (1 − t/T)^3`.
+pub fn polynomial_sparsity(step: usize, total_steps: usize, s_init: f32, s_final: f32) -> f32 {
+    if total_steps == 0 || step >= total_steps {
+        return s_final;
+    }
+    let frac = 1.0 - step as f32 / total_steps as f32;
+    s_final + (s_init - s_final) * frac.powi(3)
+}
+
+/// Prunes with a polynomial schedule while fine-tuning: each epoch raises
+/// sparsity (recomputing masks from current magnitudes) and then trains one
+/// epoch with masks enforced.
+///
+/// This is the paper's §5.1 pruned-model recipe ("applying Keras weight
+/// pruning on original models ... then fine-tuned to reach their highest
+/// accuracy"). Returns per-epoch stats.
+pub fn prune_with_finetune(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    prune_cfg: &PruneCfg,
+    train_cfg: &TrainCfg,
+    rng: &mut StdRng,
+) -> Vec<EpochStats> {
+    let n = images.dims()[0];
+    assert_eq!(labels.len(), n, "labels/images mismatch");
+    let mut opt = Sgd::new(train_cfg.lr, train_cfg.momentum, train_cfg.weight_decay);
+    let mut stats = Vec::with_capacity(train_cfg.epochs);
+    for epoch in 0..train_cfg.epochs {
+        let s = polynomial_sparsity(epoch, train_cfg.epochs.max(1) - 1, 0.0, prune_cfg.sparsity);
+        set_sparsity(net, s, prune_cfg.prune_biases);
+        let mut loss_sum = 0.0;
+        let mut correct = 0usize;
+        for batch in shuffled_batches(n, train_cfg.batch_size, rng) {
+            let x = gather(images, &batch);
+            let y = gather_labels(labels, &batch);
+            let exec = net.forward(&x);
+            let logits = exec.output(net.graph()).clone();
+            let (loss, dlogits) = losses::cross_entropy(&logits, &y);
+            loss_sum += loss * batch.len() as f32;
+            correct += (0..batch.len())
+                .filter(|&i| logits.row(i).argmax() == Some(y[i]))
+                .count();
+            net.backward(&exec, &dlogits);
+            opt.step(net.params_mut());
+        }
+        stats.push(EpochStats {
+            loss: loss_sum / n as f32,
+            accuracy: correct as f32 / n as f32,
+        });
+    }
+    stats
+}
+
+/// Size of the model if stored sparse (nonzero weights at 4 bytes plus one
+/// index byte each) relative to dense fp32 — the "compressed to one third"
+/// measurement the paper makes after pruning.
+pub fn sparse_size_ratio(net: &Network) -> f32 {
+    let mut dense_bytes = 0usize;
+    let mut sparse_bytes = 0usize;
+    for p in net.params().iter() {
+        dense_bytes += 4 * p.value.len();
+        let nonzero = p.value.data().iter().filter(|&&v| v != 0.0).count();
+        sparse_bytes += 5 * nonzero;
+    }
+    if dense_bytes == 0 {
+        return 1.0;
+    }
+    sparse_bytes as f32 / dense_bytes as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_models::{Architecture, ModelCfg};
+    use diva_nn::train::evaluate;
+    use diva_nn::Infer;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn magnitude_mask_zeroes_smallest() {
+        let w = Tensor::from_vec(vec![0.1, -3.0, 0.5, -0.01, 2.0, 0.0], &[6]);
+        let mask = magnitude_mask(&w, 0.5);
+        assert_eq!(mask.data(), &[0.0, 1.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn mask_sparsity_matches_request() {
+        let mut r = rng();
+        let w = diva_tensor::init::normal(&mut r, &[100], 1.0);
+        for s in [0.0, 0.25, 0.5, 0.9] {
+            let mask = magnitude_mask(&w, s);
+            let zeros = mask.data().iter().filter(|&&v| v == 0.0).count();
+            assert_eq!(zeros, (100.0 * s) as usize);
+        }
+    }
+
+    #[test]
+    fn polynomial_schedule_shape() {
+        // Starts at s_init, ends at s_final, monotone non-decreasing.
+        assert_eq!(polynomial_sparsity(0, 10, 0.0, 0.8), 0.0);
+        assert_eq!(polynomial_sparsity(10, 10, 0.0, 0.8), 0.8);
+        let mut prev = -1.0;
+        for t in 0..=10 {
+            let s = polynomial_sparsity(t, 10, 0.0, 0.8);
+            assert!(s >= prev);
+            prev = s;
+        }
+        // Ramps fast early: halfway point is past half the final sparsity.
+        assert!(polynomial_sparsity(5, 10, 0.0, 0.8) > 0.4);
+    }
+
+    #[test]
+    fn prune_network_reaches_target_sparsity() {
+        let mut net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng());
+        prune_network(&mut net, &PruneCfg::with_sparsity(0.7));
+        // Kernels pruned to 70%; biases unpruned, so global is slightly less.
+        let g = net.params().global_sparsity();
+        assert!((0.6..=0.7).contains(&g), "global sparsity {g}");
+        // Weights actually zeroed in the values, not just masked.
+        let zeros: usize = net
+            .params()
+            .iter()
+            .map(|p| p.value.data().iter().filter(|&&v| v == 0.0).count())
+            .sum();
+        assert!(zeros > net.params().num_scalars() / 2);
+    }
+
+    #[test]
+    fn pruned_model_still_runs_and_size_shrinks() {
+        let mut net = Architecture::DenseNet.build(&ModelCfg::tiny(4), &mut rng());
+        let before = sparse_size_ratio(&net);
+        assert!(before > 0.9);
+        prune_network(&mut net, &PruneCfg::default());
+        let after = sparse_size_ratio(&net);
+        // Paper: "model sizes were compressed to one third of their original
+        // size" — ours lands in the same ballpark at 2/3 sparsity.
+        assert!(after < 0.45, "sparse size ratio {after}");
+        let logits = net.logits(&Tensor::zeros(&[1, 3, 8, 8]));
+        assert_eq!(logits.dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn finetune_recovers_accuracy_under_masks() {
+        let mut r = rng();
+        // Simple separable data.
+        let n = 80;
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { 0.25 } else { 0.75 };
+            images.push(Tensor::from_vec(
+                (0..3 * 64)
+                    .map(|_| (base + r.gen_range(-0.15..0.15f32)).clamp(0.0, 1.0))
+                    .collect(),
+                &[3, 8, 8],
+            ));
+            labels.push(class);
+        }
+        let images = Tensor::stack(&images);
+        let mut net = Architecture::ResNet.build(&ModelCfg::tiny(2), &mut r);
+        // Pre-train dense, then prune with finetune.
+        let cfg = TrainCfg {
+            epochs: 10,
+            batch_size: 16,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        diva_nn::train::train_classifier(&mut net, &images, &labels, &cfg, &mut r);
+        prune_with_finetune(
+            &mut net,
+            &images,
+            &labels,
+            &PruneCfg::with_sparsity(0.5),
+            &cfg,
+            &mut r,
+        );
+        let acc = evaluate(&net, &images, &labels);
+        assert!(acc > 0.9, "pruned+finetuned accuracy {acc}");
+        let g = net.params().global_sparsity();
+        assert!(g > 0.4, "sparsity after finetune {g}");
+        // Masked weights stayed zero through training.
+        for p in net.params().iter() {
+            if let Some(mask) = &p.mask {
+                for (v, m) in p.value.data().iter().zip(mask.data()) {
+                    if *m == 0.0 {
+                        assert_eq!(*v, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in")]
+    fn bad_sparsity_rejected() {
+        let mut net = Architecture::ResNet.build(&ModelCfg::tiny(2), &mut rng());
+        prune_network(&mut net, &PruneCfg::with_sparsity(1.0));
+    }
+}

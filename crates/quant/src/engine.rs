@@ -1,0 +1,950 @@
+//! The int8 inference engine: the "deployed edge model".
+//!
+//! [`Int8Engine::from_qat`] converts a calibrated [`QatNetwork`] into a pure
+//! integer program, the analogue of the paper's TFLite conversion step
+//! ("Finally, we convert the QAT model to a real adapted int8 model with
+//! Tflite in order to evaluate it on a resource-constrained device"). All
+//! heavy ops run on `i8` data with `i32` accumulators and fixed-point
+//! requantization ([`crate::fixedpoint`]); no f32 appears between the input
+//! quantization and the final logit dequantization.
+//!
+//! The engine exposes no gradients — exactly the constraint that forces the
+//! attacker to differentiate through the QAT model instead (§6).
+
+use diva_nn::graph::{NodeShape, Op};
+use diva_nn::{Infer, Network};
+use diva_tensor::conv::Conv2dCfg;
+use diva_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::fixedpoint::FixedMultiplier;
+use crate::qat::QatNetwork;
+use crate::qparams::{weight_qparams, QuantParams};
+
+/// How accumulators are scaled back to the output grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequantMode {
+    /// Integer-only Q31 fixed-point (TFLite reference behaviour; default).
+    FixedPoint,
+    /// Double-precision float scaling (ablation baseline).
+    Float,
+}
+
+/// A quantized activation buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QTensor {
+    /// Row-major quantized values.
+    pub data: Vec<i8>,
+    /// Dimension sizes (batched, NCHW or `[n, f]`).
+    pub dims: Vec<usize>,
+}
+
+/// A requantizing multiplier kept in both encodings so either
+/// [`RequantMode`] can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Mult {
+    fixed: FixedMultiplier,
+    real: f64,
+}
+
+impl Mult {
+    fn new(real: f64) -> Self {
+        Mult {
+            fixed: FixedMultiplier::from_real(real),
+            real,
+        }
+    }
+
+    #[inline]
+    fn apply(&self, x: i32, mode: RequantMode) -> i32 {
+        match mode {
+            RequantMode::FixedPoint => self.fixed.apply(x),
+            RequantMode::Float => (x as f64 * self.real).round() as i32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum EngineOp {
+    Input,
+    Conv2d {
+        w: Vec<i8>,
+        w_dims: [usize; 4],
+        bias: Vec<i32>,
+        mult: Vec<Mult>,
+        #[serde(with = "cfg_serde")]
+        cfg: Conv2dCfg,
+    },
+    DwConv2d {
+        w: Vec<i8>,
+        w_dims: [usize; 3],
+        bias: Vec<i32>,
+        mult: Vec<Mult>,
+        #[serde(with = "cfg_serde")]
+        cfg: Conv2dCfg,
+    },
+    Dense {
+        w: Vec<i8>,
+        w_dims: [usize; 2],
+        bias: Vec<i32>,
+        mult: Vec<Mult>,
+    },
+    Relu {
+        mult: Mult,
+    },
+    Add {
+        /// Input multipliers after the precision left-shift (TFLite style).
+        ma: Mult,
+        mb: Mult,
+        /// Output multiplier folding the left-shift back out.
+        mout: Mult,
+    },
+    Concat {
+        mults: Vec<Mult>,
+    },
+    MaxPool2d {
+        k: usize,
+        stride: usize,
+    },
+    Gap {
+        mult: Mult,
+    },
+    Flatten,
+}
+
+mod cfg_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Repr {
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    }
+
+    pub fn serialize<S: Serializer>(cfg: &Conv2dCfg, s: S) -> Result<S::Ok, S::Error> {
+        Repr {
+            kh: cfg.kh,
+            kw: cfg.kw,
+            stride: cfg.stride,
+            pad: cfg.pad,
+        }
+        .serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Conv2dCfg, D::Error> {
+        let r = Repr::deserialize(d)?;
+        Ok(Conv2dCfg {
+            kh: r.kh,
+            kw: r.kw,
+            stride: r.stride,
+            pad: r.pad,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EngineNode {
+    op: EngineOp,
+    inputs: Vec<usize>,
+    /// Output quantization parameters.
+    qp: QuantParams,
+    /// Per-sample output shape.
+    shape: NodeShape,
+    /// Per-sample input quantization parameters (first input), kept for
+    /// weight extraction.
+    in_qp: QuantParams,
+}
+
+/// Precision left-shift used by the quantized add (TFLite uses 20).
+const ADD_LEFT_SHIFT: u32 = 20;
+
+/// The integer-only deployed model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Int8Engine {
+    nodes: Vec<EngineNode>,
+    output: usize,
+    feature: Option<usize>,
+    input_shape: [usize; 3],
+    num_classes: usize,
+    mode: RequantMode,
+}
+
+impl Int8Engine {
+    /// Converts a calibrated QAT network into an integer engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the QAT network is uncalibrated or uses more than 8 bits.
+    pub fn from_qat(qat: &QatNetwork) -> Self {
+        Self::from_qat_with_mode(qat, RequantMode::FixedPoint)
+    }
+
+    /// Conversion with an explicit requantization mode (for the ablation).
+    pub fn from_qat_with_mode(qat: &QatNetwork, mode: RequantMode) -> Self {
+        assert!(qat.cfg().bits <= 8, "engine stores i8: bits must be <= 8");
+        let net: &Network = qat.network();
+        let graph = net.graph();
+        let act_qps = qat.act_qparams();
+        let bits = qat.cfg().bits;
+        let gran = qat.cfg().weight_granularity;
+        let mut nodes = Vec::with_capacity(graph.len());
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            let out_qp = act_qps[idx];
+            let in_qp = node
+                .inputs
+                .first()
+                .map(|i| act_qps[i.0])
+                .unwrap_or(out_qp);
+            let op = match &node.op {
+                Op::Input => EngineOp::Input,
+                Op::Conv2d { w, b, cfg } => {
+                    let wt = net.params().effective(*w);
+                    let bias = net.params().effective(*b);
+                    let wqps = weight_qparams(&wt, bits, gran);
+                    let co = wt.dims()[0];
+                    let per = wt.len() / co;
+                    let mut wq = Vec::with_capacity(wt.len());
+                    for (c, qp) in wqps.iter().enumerate() {
+                        wq.extend(
+                            wt.data()[c * per..(c + 1) * per]
+                                .iter()
+                                .map(|&v| qp.quantize(v) as i8),
+                        );
+                    }
+                    let bias_q: Vec<i32> = (0..co)
+                        .map(|c| {
+                            (bias.data()[c] as f64 / (in_qp.scale as f64 * wqps[c].scale as f64))
+                                .round() as i32
+                        })
+                        .collect();
+                    let mult: Vec<Mult> = (0..co)
+                        .map(|c| {
+                            Mult::new(
+                                in_qp.scale as f64 * wqps[c].scale as f64 / out_qp.scale as f64,
+                            )
+                        })
+                        .collect();
+                    EngineOp::Conv2d {
+                        w: wq,
+                        w_dims: [wt.dims()[0], wt.dims()[1], wt.dims()[2], wt.dims()[3]],
+                        bias: bias_q,
+                        mult,
+                        cfg: *cfg,
+                    }
+                }
+                Op::DwConv2d { w, b, cfg } => {
+                    let wt = net.params().effective(*w);
+                    let bias = net.params().effective(*b);
+                    let wqps = weight_qparams(&wt, bits, gran);
+                    let c = wt.dims()[0];
+                    let per = wt.len() / c;
+                    let mut wq = Vec::with_capacity(wt.len());
+                    for (ci, qp) in wqps.iter().enumerate() {
+                        wq.extend(
+                            wt.data()[ci * per..(ci + 1) * per]
+                                .iter()
+                                .map(|&v| qp.quantize(v) as i8),
+                        );
+                    }
+                    let bias_q: Vec<i32> = (0..c)
+                        .map(|ci| {
+                            (bias.data()[ci] as f64
+                                / (in_qp.scale as f64 * wqps[ci].scale as f64))
+                                .round() as i32
+                        })
+                        .collect();
+                    let mult: Vec<Mult> = (0..c)
+                        .map(|ci| {
+                            Mult::new(
+                                in_qp.scale as f64 * wqps[ci].scale as f64 / out_qp.scale as f64,
+                            )
+                        })
+                        .collect();
+                    EngineOp::DwConv2d {
+                        w: wq,
+                        w_dims: [wt.dims()[0], wt.dims()[1], wt.dims()[2]],
+                        bias: bias_q,
+                        mult,
+                        cfg: *cfg,
+                    }
+                }
+                Op::Dense { w, b } => {
+                    let wt = net.params().effective(*w);
+                    let bias = net.params().effective(*b);
+                    let wqps = weight_qparams(&wt, bits, gran);
+                    let rows = wt.dims()[0];
+                    let cols = wt.dims()[1];
+                    let mut wq = Vec::with_capacity(wt.len());
+                    for (r, qp) in wqps.iter().enumerate() {
+                        wq.extend(
+                            wt.data()[r * cols..(r + 1) * cols]
+                                .iter()
+                                .map(|&v| qp.quantize(v) as i8),
+                        );
+                    }
+                    let bias_q: Vec<i32> = (0..rows)
+                        .map(|r| {
+                            (bias.data()[r] as f64 / (in_qp.scale as f64 * wqps[r].scale as f64))
+                                .round() as i32
+                        })
+                        .collect();
+                    let mult: Vec<Mult> = (0..rows)
+                        .map(|r| {
+                            Mult::new(
+                                in_qp.scale as f64 * wqps[r].scale as f64 / out_qp.scale as f64,
+                            )
+                        })
+                        .collect();
+                    EngineOp::Dense {
+                        w: wq,
+                        w_dims: [rows, cols],
+                        bias: bias_q,
+                        mult,
+                    }
+                }
+                Op::Relu => EngineOp::Relu {
+                    mult: Mult::new(in_qp.scale as f64 / out_qp.scale as f64),
+                },
+                Op::Add => {
+                    // TFLite's high-precision add: shift both inputs left by
+                    // ADD_LEFT_SHIFT bits, scale each relative to twice the
+                    // larger input scale, add, then requantize once. Keeping
+                    // ~2^20 fractional precision in the intermediate keeps
+                    // residual towers from accumulating per-add rounding.
+                    let qa = act_qps[node.inputs[0].0];
+                    let qb = act_qps[node.inputs[1].0];
+                    let twice_max = 2.0 * (qa.scale as f64).max(qb.scale as f64);
+                    EngineOp::Add {
+                        ma: Mult::new(qa.scale as f64 / twice_max),
+                        mb: Mult::new(qb.scale as f64 / twice_max),
+                        mout: Mult::new(
+                            twice_max
+                                / ((1i64 << ADD_LEFT_SHIFT) as f64 * out_qp.scale as f64),
+                        ),
+                    }
+                }
+                Op::Concat => EngineOp::Concat {
+                    mults: node
+                        .inputs
+                        .iter()
+                        .map(|i| Mult::new(act_qps[i.0].scale as f64 / out_qp.scale as f64))
+                        .collect(),
+                },
+                Op::MaxPool2d { k, stride } => EngineOp::MaxPool2d {
+                    k: *k,
+                    stride: *stride,
+                },
+                Op::GlobalAvgPool => {
+                    let in_shape = graph.node(node.inputs[0]).shape;
+                    let NodeShape::Chw([_, h, w]) = in_shape else {
+                        panic!("GAP input must be spatial")
+                    };
+                    let area = (h * w) as f64;
+                    EngineOp::Gap {
+                        mult: Mult::new(in_qp.scale as f64 / (area * out_qp.scale as f64)),
+                    }
+                }
+                Op::Flatten => EngineOp::Flatten,
+            };
+            nodes.push(EngineNode {
+                op,
+                inputs: node.inputs.iter().map(|i| i.0).collect(),
+                qp: out_qp,
+                shape: node.shape,
+                in_qp,
+            });
+        }
+        Int8Engine {
+            nodes,
+            output: graph.output().0,
+            feature: graph.feature().map(|f| f.0),
+            input_shape: graph.input_shape(),
+            num_classes: graph.num_classes(),
+            mode,
+        }
+    }
+
+    /// Per-sample input shape.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// Requantization mode in use.
+    pub fn mode(&self) -> RequantMode {
+        self.mode
+    }
+
+    /// Returns a copy running in the given requantization mode.
+    pub fn with_mode(&self, mode: RequantMode) -> Self {
+        let mut e = self.clone();
+        e.mode = mode;
+        e
+    }
+
+    /// Runs integer inference, returning all quantized node activations.
+    pub fn run(&self, x: &Tensor) -> Vec<QTensor> {
+        assert_eq!(
+            x.dims()[1..],
+            self.input_shape,
+            "input {:?} does not match engine input {:?}",
+            x.dims(),
+            self.input_shape
+        );
+        let n = x.dims()[0];
+        let mode = self.mode;
+        let mut acts: Vec<QTensor> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out_dims = node.shape.batched(n);
+            let qp = node.qp;
+            let out = match &node.op {
+                EngineOp::Input => QTensor {
+                    data: qp.quantize_tensor(x),
+                    dims: out_dims,
+                },
+                EngineOp::Conv2d {
+                    w,
+                    w_dims,
+                    bias,
+                    mult,
+                    cfg,
+                } => {
+                    let xin = &acts[node.inputs[0]];
+                    conv_int(xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode)
+                }
+                EngineOp::DwConv2d {
+                    w,
+                    w_dims,
+                    bias,
+                    mult,
+                    cfg,
+                } => {
+                    let xin = &acts[node.inputs[0]];
+                    dwconv_int(xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode)
+                }
+                EngineOp::Dense {
+                    w,
+                    w_dims,
+                    bias,
+                    mult,
+                } => {
+                    let xin = &acts[node.inputs[0]];
+                    dense_int(xin, node.in_qp, w, *w_dims, bias, mult, qp, out_dims, mode)
+                }
+                EngineOp::Relu { mult } => {
+                    let xin = &acts[node.inputs[0]];
+                    let zp_in = node.in_qp.zero_point;
+                    let data = xin
+                        .data
+                        .iter()
+                        .map(|&v| {
+                            let pos = (v as i32 - zp_in).max(0);
+                            clamp_q(qp, qp.zero_point + mult.apply(pos, mode))
+                        })
+                        .collect();
+                    QTensor {
+                        data,
+                        dims: out_dims,
+                    }
+                }
+                EngineOp::Add { ma, mb, mout } => {
+                    let a = &acts[node.inputs[0]];
+                    let b = &acts[node.inputs[1]];
+                    let zp_a = self.nodes[node.inputs[0]].qp.zero_point;
+                    let zp_b = self.nodes[node.inputs[1]].qp.zero_point;
+                    let data = a
+                        .data
+                        .iter()
+                        .zip(&b.data)
+                        .map(|(&av, &bv)| {
+                            let sa = ma.apply((av as i32 - zp_a) << ADD_LEFT_SHIFT, mode);
+                            let sb = mb.apply((bv as i32 - zp_b) << ADD_LEFT_SHIFT, mode);
+                            let s = mout.apply(sa + sb, mode);
+                            clamp_q(qp, qp.zero_point + s)
+                        })
+                        .collect();
+                    QTensor {
+                        data,
+                        dims: out_dims,
+                    }
+                }
+                EngineOp::Concat { mults } => {
+                    let mut data = vec![0i8; out_dims.iter().product()];
+                    let (c_total, h, w) = (out_dims[1], out_dims[2], out_dims[3]);
+                    let plane = h * w;
+                    let mut c_off = 0;
+                    for (ii, &inp) in node.inputs.iter().enumerate() {
+                        let xin = &acts[inp];
+                        let zp_in = self.nodes[inp].qp.zero_point;
+                        let ci = xin.dims[1];
+                        let m = &mults[ii];
+                        for ni in 0..n {
+                            for cc in 0..ci {
+                                for p in 0..plane {
+                                    let src = (ni * ci + cc) * plane + p;
+                                    let dst = (ni * c_total + c_off + cc) * plane + p;
+                                    let v = xin.data[src] as i32 - zp_in;
+                                    data[dst] = clamp_q(qp, qp.zero_point + m.apply(v, mode));
+                                }
+                            }
+                        }
+                        c_off += ci;
+                    }
+                    QTensor {
+                        data,
+                        dims: out_dims,
+                    }
+                }
+                EngineOp::MaxPool2d { k, stride } => {
+                    let xin = &acts[node.inputs[0]];
+                    let (c, h, w) = (xin.dims[1], xin.dims[2], xin.dims[3]);
+                    let (oh, ow) = (out_dims[2], out_dims[3]);
+                    let mut data = vec![0i8; out_dims.iter().product()];
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * h * w;
+                            let obase = (ni * c + ci) * oh * ow;
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut best = i8::MIN;
+                                    for ky in 0..*k {
+                                        for kx in 0..*k {
+                                            let v = xin.data
+                                                [base + (oy * stride + ky) * w + (ox * stride + kx)];
+                                            best = best.max(v);
+                                        }
+                                    }
+                                    data[obase + oy * ow + ox] = best;
+                                }
+                            }
+                        }
+                    }
+                    QTensor {
+                        data,
+                        dims: out_dims,
+                    }
+                }
+                EngineOp::Gap { mult } => {
+                    let xin = &acts[node.inputs[0]];
+                    let (c, h, w) = (xin.dims[1], xin.dims[2], xin.dims[3]);
+                    let zp_in = node.in_qp.zero_point;
+                    let mut data = vec![0i8; n * c];
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * h * w;
+                            let acc: i32 = xin.data[base..base + h * w]
+                                .iter()
+                                .map(|&v| v as i32 - zp_in)
+                                .sum();
+                            data[ni * c + ci] = clamp_q(qp, qp.zero_point + mult.apply(acc, mode));
+                        }
+                    }
+                    QTensor {
+                        data,
+                        dims: out_dims,
+                    }
+                }
+                EngineOp::Flatten => {
+                    let xin = &acts[node.inputs[0]];
+                    QTensor {
+                        data: xin.data.clone(),
+                        dims: out_dims,
+                    }
+                }
+            };
+            debug_assert_eq!(out.data.len(), out.dims.iter().product::<usize>());
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Dequantized activation of node `idx` from a [`Int8Engine::run`] result.
+    fn dequant_node(&self, acts: &[QTensor], idx: usize) -> Tensor {
+        let q = &acts[idx];
+        self.nodes[idx].qp.dequantize_tensor(&q.data, &q.dims)
+    }
+
+    /// Dequantized penultimate features, if the graph designated them.
+    pub fn features(&self, x: &Tensor) -> Option<Tensor> {
+        let f = self.feature?;
+        let acts = self.run(x);
+        Some(self.dequant_node(&acts, f))
+    }
+
+    /// Summary of quantization parameters per node (what an attacker reads
+    /// out of a deployed model file: §4.3 "extracting the zero points,
+    /// scales and weights for each layer").
+    pub fn qparams(&self) -> Vec<QuantParams> {
+        self.nodes.iter().map(|nd| nd.qp).collect()
+    }
+
+    /// Approximate serialized model size in bytes (weights + biases only),
+    /// used to report the compression the paper attributes to adaptation.
+    pub fn weight_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|nd| match &nd.op {
+                EngineOp::Conv2d { w, bias, .. }
+                | EngineOp::DwConv2d { w, bias, .. }
+                | EngineOp::Dense { w, bias, .. } => w.len() + 4 * bias.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl Int8Engine {
+    /// Number of engine nodes (crate-internal, used by extraction).
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of the output node (crate-internal, used by extraction).
+    pub(crate) fn output_index(&self) -> usize {
+        self.output
+    }
+
+    /// `(output, input)` quantization parameters of node `idx`.
+    pub(crate) fn node_qparams(&self, idx: usize) -> (QuantParams, QuantParams) {
+        (self.nodes[idx].qp, self.nodes[idx].in_qp)
+    }
+
+    /// Quantized weights of node `idx`, if it has any:
+    /// `(wq, w_dims, bias_q, real multipliers)`.
+    pub(crate) fn node_weights(&self, idx: usize) -> Option<(&[i8], Vec<usize>, &[i32], Vec<f64>)> {
+        match &self.nodes[idx].op {
+            EngineOp::Conv2d {
+                w, w_dims, bias, mult, ..
+            } => Some((w, w_dims.to_vec(), bias, mult.iter().map(|m| m.real).collect())),
+            EngineOp::DwConv2d {
+                w, w_dims, bias, mult, ..
+            } => Some((w, w_dims.to_vec(), bias, mult.iter().map(|m| m.real).collect())),
+            EngineOp::Dense { w, w_dims, bias, mult } => {
+                Some((w, w_dims.to_vec(), bias, mult.iter().map(|m| m.real).collect()))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Int8Engine {
+    /// Writes the deployed model to a JSON model file — what the operator
+    /// pushes to devices and the attacker later pulls off one (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`diva_nn::persist::PersistError::Io`] on filesystem errors.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), diva_nn::persist::PersistError> {
+        let json = serde_json::to_string(self).map_err(diva_nn::persist::PersistError::from)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a deployed model file back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`diva_nn::persist::PersistError::Format`] for malformed
+    /// files and [`diva_nn::persist::PersistError::Io`] on filesystem errors.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Int8Engine, diva_nn::persist::PersistError> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(diva_nn::persist::PersistError::from)
+    }
+}
+
+impl Infer for Int8Engine {
+    fn logits(&self, x: &Tensor) -> Tensor {
+        let acts = self.run(x);
+        self.dequant_node(&acts, self.output)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[inline]
+fn clamp_q(qp: QuantParams, v: i32) -> i8 {
+    v.clamp(qp.qmin, qp.qmax) as i8
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_int(
+    xin: &QTensor,
+    in_qp: QuantParams,
+    w: &[i8],
+    w_dims: [usize; 4],
+    bias: &[i32],
+    mult: &[Mult],
+    cfg: Conv2dCfg,
+    qp: QuantParams,
+    out_dims: Vec<usize>,
+    mode: RequantMode,
+) -> QTensor {
+    let (n, ci, h, wid) = (xin.dims[0], xin.dims[1], xin.dims[2], xin.dims[3]);
+    let [co, wci, kh, kw] = w_dims;
+    debug_assert_eq!(ci, wci);
+    let (oh, ow) = (out_dims[2], out_dims[3]);
+    let zp_in = in_qp.zero_point;
+    let mut data = vec![0i8; out_dims.iter().product()];
+    for ni in 0..n {
+        for oi in 0..co {
+            let wbase = oi * ci * kh * kw;
+            let obase = (ni * co + oi) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc: i32 = bias[oi];
+                    for c in 0..ci {
+                        let xbase = (ni * ci + c) * h * wid;
+                        let wcbase = wbase + c * kh * kw;
+                        for ky in 0..kh {
+                            let iy = oy * cfg.stride + ky;
+                            if iy < cfg.pad || iy - cfg.pad >= h {
+                                continue;
+                            }
+                            let row = xbase + (iy - cfg.pad) * wid;
+                            let wrow = wcbase + ky * kw;
+                            for kx in 0..kw {
+                                let ix = ox * cfg.stride + kx;
+                                if ix < cfg.pad || ix - cfg.pad >= wid {
+                                    continue;
+                                }
+                                acc += (xin.data[row + ix - cfg.pad] as i32 - zp_in)
+                                    * w[wrow + kx] as i32;
+                            }
+                        }
+                    }
+                    data[obase + oy * ow + ox] =
+                        clamp_q(qp, qp.zero_point + mult[oi].apply(acc, mode));
+                }
+            }
+        }
+    }
+    QTensor {
+        data,
+        dims: out_dims,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dwconv_int(
+    xin: &QTensor,
+    in_qp: QuantParams,
+    w: &[i8],
+    w_dims: [usize; 3],
+    bias: &[i32],
+    mult: &[Mult],
+    cfg: Conv2dCfg,
+    qp: QuantParams,
+    out_dims: Vec<usize>,
+    mode: RequantMode,
+) -> QTensor {
+    let (n, c, h, wid) = (xin.dims[0], xin.dims[1], xin.dims[2], xin.dims[3]);
+    let [wc, kh, kw] = w_dims;
+    debug_assert_eq!(c, wc);
+    let (oh, ow) = (out_dims[2], out_dims[3]);
+    let zp_in = in_qp.zero_point;
+    let mut data = vec![0i8; out_dims.iter().product()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let xbase = (ni * c + ci) * h * wid;
+            let wbase = ci * kh * kw;
+            let obase = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc: i32 = bias[ci];
+                    for ky in 0..kh {
+                        let iy = oy * cfg.stride + ky;
+                        if iy < cfg.pad || iy - cfg.pad >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = ox * cfg.stride + kx;
+                            if ix < cfg.pad || ix - cfg.pad >= wid {
+                                continue;
+                            }
+                            acc += (xin.data[xbase + (iy - cfg.pad) * wid + ix - cfg.pad] as i32
+                                - zp_in)
+                                * w[wbase + ky * kw + kx] as i32;
+                        }
+                    }
+                    data[obase + oy * ow + ox] =
+                        clamp_q(qp, qp.zero_point + mult[ci].apply(acc, mode));
+                }
+            }
+        }
+    }
+    QTensor {
+        data,
+        dims: out_dims,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dense_int(
+    xin: &QTensor,
+    in_qp: QuantParams,
+    w: &[i8],
+    w_dims: [usize; 2],
+    bias: &[i32],
+    mult: &[Mult],
+    qp: QuantParams,
+    out_dims: Vec<usize>,
+    mode: RequantMode,
+) -> QTensor {
+    let n = xin.dims[0];
+    let [rows, cols] = w_dims;
+    let zp_in = in_qp.zero_point;
+    let mut data = vec![0i8; n * rows];
+    for ni in 0..n {
+        let xrow = &xin.data[ni * cols..(ni + 1) * cols];
+        for r in 0..rows {
+            let wrow = &w[r * cols..(r + 1) * cols];
+            let mut acc: i32 = bias[r];
+            for (xv, wv) in xrow.iter().zip(wrow) {
+                acc += (*xv as i32 - zp_in) * *wv as i32;
+            }
+            data[ni * rows + r] = clamp_q(qp, qp.zero_point + mult[r].apply(acc, mode));
+        }
+    }
+    QTensor {
+        data,
+        dims: out_dims,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qat::QuantCfg;
+    use diva_models::{Architecture, ModelCfg};
+    use diva_nn::train::gather;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
+        let per: usize = dims.iter().product();
+        let samples: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims))
+            .collect();
+        Tensor::stack(&samples)
+    }
+
+    fn qat_model(arch: Architecture, rng: &mut StdRng, images: &Tensor) -> QatNetwork {
+        let net = arch.build(&ModelCfg::tiny(4), rng);
+        let mut q = QatNetwork::new(net, QuantCfg::default());
+        q.calibrate(images);
+        q
+    }
+
+    #[test]
+    fn engine_tracks_fakequant_logits_all_families() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let images = rand_images(&mut rng, 24, &[3, 8, 8]);
+        for arch in Architecture::ALL {
+            let q = qat_model(arch, &mut rng, &images);
+            let engine = Int8Engine::from_qat(&q);
+            let x = gather(&images, &(0..8).collect::<Vec<_>>());
+            let lq = q.logits(&x);
+            let le = engine.logits(&x);
+            let max_scale = engine.qparams().last().unwrap().scale;
+            let diff = lq.sub(&le).abs().max();
+            assert!(
+                diff <= 4.0 * max_scale,
+                "{arch}: fake-quant vs engine logits differ by {diff} (scale {max_scale})"
+            );
+            // Predictions should almost always agree.
+            let agree = q
+                .predict(&x)
+                .iter()
+                .zip(engine.predict(&x))
+                .filter(|(a, b)| **a == *b)
+                .count();
+            assert!(agree >= 7, "{arch}: only {agree}/8 predictions agree");
+        }
+    }
+
+    #[test]
+    fn fixed_point_tracks_float_requant() {
+        // Per-op agreement within 1 LSB is covered in `fixedpoint`; at the
+        // network level early ±1 LSB differences propagate, so assert the
+        // end-to-end effect stays small: identical predictions and logits
+        // within a few output steps.
+        let mut rng = StdRng::seed_from_u64(11);
+        let images = rand_images(&mut rng, 16, &[3, 8, 8]);
+        let q = qat_model(Architecture::ResNet, &mut rng, &images);
+        let fx = Int8Engine::from_qat_with_mode(&q, RequantMode::FixedPoint);
+        let fl = fx.with_mode(RequantMode::Float);
+        let x = gather(&images, &(0..8).collect::<Vec<_>>());
+        let scale = fx.qparams().last().unwrap().scale;
+        let diff = fx.logits(&x).sub(&fl.logits(&x)).abs().max();
+        assert!(diff <= 4.0 * scale, "fixed vs float logits diff {diff}");
+        assert_eq!(fx.predict(&x), fl.predict(&x));
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::MobileNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        let x = gather(&images, &[0, 1]);
+        assert_eq!(engine.logits(&x), engine.logits(&x));
+    }
+
+    #[test]
+    fn weight_bytes_reflect_compression() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::ResNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        let fp32_bytes = 4 * q.network().params().num_scalars();
+        let int8_bytes = engine.weight_bytes();
+        // ~4x compression on weights (biases stay 32-bit).
+        assert!(int8_bytes * 3 < fp32_bytes, "{int8_bytes} vs {fp32_bytes}");
+    }
+
+    #[test]
+    fn engine_model_file_round_trips() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::ResNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        let dir = std::env::temp_dir().join("diva_engine_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edge_model.json");
+        engine.save(&path).unwrap();
+        let back = Int8Engine::load(&path).unwrap();
+        let x = gather(&images, &[0, 1]);
+        assert_eq!(engine.logits(&x), back.logits(&x));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_serde_round_trips() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::DenseNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        let json = serde_json::to_string(&engine).unwrap();
+        let back: Int8Engine = serde_json::from_str(&json).unwrap();
+        let x = gather(&images, &[0]);
+        assert_eq!(engine.logits(&x), back.logits(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match engine input")]
+    fn wrong_input_shape_panics() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::ResNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        let _ = engine.logits(&Tensor::zeros(&[1, 1, 8, 8]));
+    }
+}

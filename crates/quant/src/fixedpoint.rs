@@ -1,0 +1,161 @@
+//! Integer fixed-point requantization arithmetic, following the
+//! gemmlowp/TFLite reference kernels: a real multiplier is encoded as a Q31
+//! mantissa plus a power-of-two exponent, and applied with
+//! saturating-rounding-doubling-high-multiply + rounding right shift.
+//!
+//! This is what makes the engine *integer-only* at inference time — the
+//! property that distinguishes a deployed edge model from its fake-quant
+//! training-time simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// A positive real multiplier `M` encoded as `mantissa / 2^31 * 2^exponent`
+/// with `mantissa` in `[2^30, 2^31)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedMultiplier {
+    /// Q31 mantissa in `[2^30, 2^31)` (or 0 for a zero multiplier).
+    pub mantissa: i32,
+    /// Power-of-two exponent.
+    pub exponent: i32,
+}
+
+impl FixedMultiplier {
+    /// Encodes a real multiplier. `m` must be finite and non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is negative, NaN or infinite.
+    pub fn from_real(m: f64) -> Self {
+        assert!(m.is_finite() && m >= 0.0, "bad multiplier {m}");
+        if m == 0.0 {
+            return FixedMultiplier {
+                mantissa: 0,
+                exponent: 0,
+            };
+        }
+        // m = m0 * 2^exp with m0 in [0.5, 1)
+        let exp = m.log2().floor() as i32 + 1;
+        let m0 = m / (2.0f64).powi(exp);
+        let mut mantissa = (m0 * (1i64 << 31) as f64).round() as i64;
+        let mut exponent = exp;
+        if mantissa == 1i64 << 31 {
+            mantissa >>= 1;
+            exponent += 1;
+        }
+        debug_assert!((1i64 << 30..1i64 << 31).contains(&mantissa));
+        FixedMultiplier {
+            mantissa: mantissa as i32,
+            exponent,
+        }
+    }
+
+    /// The real value this multiplier encodes.
+    pub fn to_real(self) -> f64 {
+        self.mantissa as f64 / (1i64 << 31) as f64 * (2.0f64).powi(self.exponent)
+    }
+
+    /// Applies the multiplier to an i32 accumulator with round-to-nearest,
+    /// the TFLite `MultiplyByQuantizedMultiplier` operation.
+    pub fn apply(self, x: i32) -> i32 {
+        if self.mantissa == 0 {
+            return 0;
+        }
+        let left_shift = self.exponent.max(0);
+        let right_shift = (-self.exponent).max(0);
+        let shifted = (x as i64) << left_shift;
+        debug_assert!(
+            shifted >= i32::MIN as i64 && shifted <= i32::MAX as i64,
+            "requantization overflow: {x} << {left_shift}"
+        );
+        let v = saturating_rounding_doubling_high_mul(shifted as i32, self.mantissa);
+        rounding_divide_by_pot(v, right_shift)
+    }
+}
+
+/// `round(a * b / 2^31)` with saturation, gemmlowp's SRDHM.
+pub fn saturating_rounding_doubling_high_mul(a: i32, b: i32) -> i32 {
+    if a == i32::MIN && b == i32::MIN {
+        return i32::MAX; // the single overflow case
+    }
+    let ab = a as i64 * b as i64;
+    let nudge: i64 = if ab >= 0 { 1 << 30 } else { 1 - (1 << 30) };
+    // NB: truncating division, not an arithmetic shift — gemmlowp rounds
+    // negative halves toward zero here.
+    ((ab + nudge) / (1i64 << 31)) as i32
+}
+
+/// `round(x / 2^exponent)` with round-half-away-from-zero ties like TFLite.
+pub fn rounding_divide_by_pot(x: i32, exponent: i32) -> i32 {
+    debug_assert!((0..=31).contains(&exponent));
+    if exponent == 0 {
+        return x;
+    }
+    let mask = (1i64 << exponent) - 1;
+    let remainder = (x as i64) & mask;
+    let threshold = (mask >> 1) + i64::from(x < 0);
+    ((x as i64 >> exponent) + i64::from(remainder > threshold)) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_common_multipliers_accurately() {
+        for &m in &[1.0f64, 0.5, 0.001234, 0.999999, 2.5, 1e-6, 3.99] {
+            let fm = FixedMultiplier::from_real(m);
+            let rel = (fm.to_real() - m).abs() / m;
+            assert!(rel < 1e-8, "m={m} encoded as {} (rel {rel})", fm.to_real());
+        }
+    }
+
+    #[test]
+    fn zero_multiplier() {
+        let fm = FixedMultiplier::from_real(0.0);
+        assert_eq!(fm.apply(12345), 0);
+        assert_eq!(fm.to_real(), 0.0);
+    }
+
+    #[test]
+    fn apply_matches_float_reference() {
+        for &m in &[0.0073, 0.5, 1.0, 1.7, 0.25] {
+            let fm = FixedMultiplier::from_real(m);
+            for &x in &[0i32, 1, -1, 100, -100, 32767, -32768, 1_000_000, -999_999] {
+                let want = (x as f64 * m).round() as i32;
+                let got = fm.apply(x);
+                assert!(
+                    (got - want).abs() <= 1,
+                    "m={m} x={x}: fixed {got} vs float {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn srdhm_basics() {
+        // a*b/2^31 for b = 2^30 is a/2.
+        assert_eq!(saturating_rounding_doubling_high_mul(4, 1 << 30), 2);
+        assert_eq!(saturating_rounding_doubling_high_mul(-4, 1 << 30), -2);
+        // Rounds to nearest: 3/2 -> 2 (half away from zero).
+        assert_eq!(saturating_rounding_doubling_high_mul(3, 1 << 30), 2);
+        assert_eq!(
+            saturating_rounding_doubling_high_mul(i32::MIN, i32::MIN),
+            i32::MAX
+        );
+    }
+
+    #[test]
+    fn rounding_divide_rounds_to_nearest() {
+        assert_eq!(rounding_divide_by_pot(5, 1), 3); // 2.5 -> 3 (away from 0)
+        assert_eq!(rounding_divide_by_pot(-5, 1), -3);
+        assert_eq!(rounding_divide_by_pot(4, 2), 1);
+        assert_eq!(rounding_divide_by_pot(6, 2), 2); // 1.5 -> 2
+        assert_eq!(rounding_divide_by_pot(7, 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad multiplier")]
+    fn negative_multiplier_rejected() {
+        let _ = FixedMultiplier::from_real(-0.5);
+    }
+}

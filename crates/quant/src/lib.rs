@@ -1,0 +1,59 @@
+//! `diva-quant` — the quantization substrate of the DIVA reproduction.
+//!
+//! This crate rebuilds, in pure Rust, the model-adaptation pipeline the paper
+//! runs on TensorFlow (`tfmot.quantize_model` → QAT → TFLite conversion →
+//! int8 edge deployment):
+//!
+//! 1. [`qparams`] — affine/symmetric quantization parameters, fake-quant,
+//!    per-channel weight quantization;
+//! 2. [`observer`] — activation-range observers (union for calibration,
+//!    EMA for QAT);
+//! 3. [`qat`] — the [`qat::QatNetwork`]: fake-quant execution with
+//!    straight-through gradients; this is the *differentiable* adapted model
+//!    that DIVA attacks;
+//! 4. [`engine`] — the [`engine::Int8Engine`]: integer-only inference with
+//!    fixed-point requantization; this is the *deployed* adapted model that
+//!    runs "on the edge";
+//! 5. [`extract`] — recovery of a differentiable QAT model from a deployed
+//!    engine (the attacker's §4.3 step);
+//! 6. [`fixedpoint`] — gemmlowp/TFLite-style Q31 requantization arithmetic.
+//!
+//! The reproduction's central object of study — the *divergence* between a
+//! model and its quantized adaptation — lives in the gap between a
+//! [`diva_nn::Network`] and the [`qat::QatNetwork`]/[`engine::Int8Engine`]
+//! built from it.
+
+pub mod engine;
+pub mod extract;
+pub mod fixedpoint;
+pub mod observer;
+pub mod qat;
+pub mod qparams;
+
+pub use engine::{Int8Engine, QTensor, RequantMode};
+pub use extract::extract_qat;
+pub use observer::MinMaxObserver;
+pub use qat::{QatNetwork, QuantCfg};
+pub use qparams::QuantParams;
+
+/// End-to-end adaptation pipeline: calibrate on `calib` images, run QAT
+/// fine-tuning, and return the adapted (QAT) model.
+///
+/// This mirrors the paper's §5.1 model-generation recipe: "first applying
+/// TensorFlow Model Optimization tfmot's `quantize_model` on the original
+/// models using int8 quantization. We then apply QAT to these models on our
+/// training dataset."
+pub fn quantize_model(
+    net: diva_nn::Network,
+    calib: &diva_tensor::Tensor,
+    train_images: &diva_tensor::Tensor,
+    train_labels: &[usize],
+    qat_cfg: QuantCfg,
+    train_cfg: &diva_nn::train::TrainCfg,
+    rng: &mut rand::rngs::StdRng,
+) -> QatNetwork {
+    let mut q = QatNetwork::new(net, qat_cfg);
+    q.calibrate(calib);
+    q.train_qat(train_images, train_labels, train_cfg, rng);
+    q
+}

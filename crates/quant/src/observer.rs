@@ -1,0 +1,132 @@
+//! Activation-range observers for calibration and quantization-aware
+//! training.
+
+use serde::{Deserialize, Serialize};
+
+use diva_tensor::Tensor;
+
+/// Tracks the running `[min, max]` range of an activation tensor.
+///
+/// During calibration the observer takes the running union of batch ranges;
+/// during QAT it switches to an exponential moving average (the TF/tfmot
+/// `MovingAverageQuantize` behaviour), which lets ranges adapt as weights
+/// move.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxObserver {
+    min: f32,
+    max: f32,
+    /// EMA momentum; 0 means pure running min/max union.
+    momentum: f32,
+    initialized: bool,
+}
+
+impl MinMaxObserver {
+    /// A union-mode observer (calibration).
+    pub fn union() -> Self {
+        MinMaxObserver {
+            min: 0.0,
+            max: 0.0,
+            momentum: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// An EMA-mode observer with the given momentum (QAT); `momentum` is the
+    /// weight of the *new* batch (tfmot uses ~0.01–0.1).
+    pub fn ema(momentum: f32) -> Self {
+        MinMaxObserver {
+            min: 0.0,
+            max: 0.0,
+            momentum,
+            initialized: false,
+        }
+    }
+
+    /// Folds one batch's range into the running range.
+    pub fn update(&mut self, t: &Tensor) {
+        if t.is_empty() {
+            return;
+        }
+        let bmin = t.min();
+        let bmax = t.max();
+        if !self.initialized {
+            self.min = bmin;
+            self.max = bmax;
+            self.initialized = true;
+        } else if self.momentum == 0.0 {
+            self.min = self.min.min(bmin);
+            self.max = self.max.max(bmax);
+        } else {
+            let a = self.momentum;
+            self.min = (1.0 - a) * self.min + a * bmin;
+            self.max = (1.0 - a) * self.max + a * bmax;
+        }
+    }
+
+    /// Switches this observer to EMA mode (after calibration).
+    pub fn set_momentum(&mut self, momentum: f32) {
+        self.momentum = momentum;
+    }
+
+    /// Whether any batch has been observed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// The observed range, nudged to include zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any update — using an uncalibrated observer is
+    /// a pipeline bug.
+    pub fn range(&self) -> (f32, f32) {
+        assert!(self.initialized, "observer used before calibration");
+        (self.min.min(0.0), self.max.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_mode_takes_running_extremes() {
+        let mut o = MinMaxObserver::union();
+        o.update(&Tensor::from_vec(vec![0.5, 1.0], &[2]));
+        o.update(&Tensor::from_vec(vec![-2.0, 0.2], &[2]));
+        assert_eq!(o.range(), (-2.0, 1.0));
+    }
+
+    #[test]
+    fn ema_mode_tracks_drift() {
+        let mut o = MinMaxObserver::ema(0.5);
+        o.update(&Tensor::from_vec(vec![0.0, 4.0], &[2]));
+        o.update(&Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        // max should have moved halfway toward 0.
+        let (_, max) = o.range();
+        assert!((max - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_includes_zero() {
+        let mut o = MinMaxObserver::union();
+        o.update(&Tensor::from_vec(vec![3.0, 5.0], &[2]));
+        assert_eq!(o.range(), (0.0, 5.0));
+        let mut o = MinMaxObserver::union();
+        o.update(&Tensor::from_vec(vec![-3.0, -1.0], &[2]));
+        assert_eq!(o.range(), (-3.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before calibration")]
+    fn uninitialized_range_panics() {
+        let _ = MinMaxObserver::union().range();
+    }
+
+    #[test]
+    fn empty_update_is_ignored() {
+        let mut o = MinMaxObserver::union();
+        o.update(&Tensor::zeros(&[0]));
+        assert!(!o.is_initialized());
+    }
+}

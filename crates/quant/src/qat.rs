@@ -1,0 +1,563 @@
+//! Quantization-aware training: fake-quant execution with straight-through
+//! gradients, the Rust analogue of `tfmot.quantization.keras.quantize_model`
+//! followed by QAT fine-tuning (§5.1 of the paper).
+//!
+//! A [`QatNetwork`] wraps a fp32 [`Network`] with per-node activation
+//! observers. Its forward pass fake-quantizes weights (per-channel symmetric)
+//! and activations (per-tensor affine), so its function is exactly the one
+//! the deployed int8 engine computes (up to ±1 LSB rounding), while staying
+//! differentiable — which is why the paper, like us, attacks through QAT
+//! gradients ("Since Tflite supports only inference and does not expose the
+//! gradients, we use QAT's gradients in constructing the DIVA attacks").
+
+use diva_nn::exec::{Execution, Hooks};
+use diva_nn::graph::{NodeId, Op, ParamId};
+use diva_nn::train::{gather, gather_labels, shuffled_batches, EpochStats, TrainCfg};
+use diva_nn::{losses, Infer, Network};
+use diva_tensor::Tensor;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::observer::MinMaxObserver;
+use crate::qparams::{fake_weight_quant, QuantParams, WeightGranularity};
+
+/// Quantization configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantCfg {
+    /// Bit width of weights and activations (8 = the paper's int8 setting).
+    pub bits: u8,
+    /// EMA momentum of activation observers during QAT.
+    pub ema_momentum: f32,
+    /// Weight-quantization granularity.
+    pub weight_granularity: WeightGranularity,
+}
+
+impl Default for QuantCfg {
+    fn default() -> Self {
+        QuantCfg {
+            bits: 8,
+            ema_momentum: 0.05,
+            weight_granularity: WeightGranularity::PerChannel,
+        }
+    }
+}
+
+impl QuantCfg {
+    /// An int-`bits` configuration with the default EMA momentum.
+    pub fn with_bits(bits: u8) -> Self {
+        QuantCfg {
+            bits,
+            ..QuantCfg::default()
+        }
+    }
+
+    /// The per-tensor weight-quantization ablation variant.
+    pub fn per_tensor(self) -> Self {
+        QuantCfg {
+            weight_granularity: WeightGranularity::PerTensor,
+            ..self
+        }
+    }
+}
+
+/// True for ops whose output is quantization-transparent: they permute or
+/// select already-quantized values, so they share their input's grid and
+/// need no observer of their own.
+fn is_transparent(op: &Op) -> bool {
+    matches!(op, Op::MaxPool2d { .. } | Op::Flatten)
+}
+
+/// A quantization-aware network: fp32 master weights + activation observers.
+///
+/// Lifecycle: [`QatNetwork::new`] → [`QatNetwork::calibrate`] →
+/// [`QatNetwork::train_qat`] (optional, repeatable) → use as a frozen model
+/// (`Infer`, [`QatNetwork::input_grad`]) or convert to the int8 engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QatNetwork {
+    net: Network,
+    cfg: QuantCfg,
+    observers: Vec<Option<MinMaxObserver>>,
+}
+
+impl QatNetwork {
+    /// Wraps `net` for quantization-aware execution. Observers start empty;
+    /// call [`QatNetwork::calibrate`] before inference.
+    pub fn new(net: Network, cfg: QuantCfg) -> Self {
+        let observers = net
+            .graph()
+            .nodes()
+            .iter()
+            .map(|n| {
+                if is_transparent(&n.op) {
+                    None
+                } else {
+                    Some(MinMaxObserver::union())
+                }
+            })
+            .collect();
+        QatNetwork {
+            net,
+            cfg,
+            observers,
+        }
+    }
+
+    /// Builds a frozen QAT network from explicit per-node ranges, as the
+    /// attacker does after extracting scales/zero-points from a deployed
+    /// model (§4.3). `ranges[i]` must be `Some` exactly for non-transparent
+    /// nodes.
+    pub fn from_frozen_ranges(
+        net: Network,
+        ranges: &[Option<(f32, f32)>],
+        cfg: QuantCfg,
+    ) -> Self {
+        assert_eq!(ranges.len(), net.graph().len(), "one range per node");
+        let observers = net
+            .graph()
+            .nodes()
+            .iter()
+            .zip(ranges)
+            .map(|(n, r)| match (is_transparent(&n.op), r) {
+                (true, None) => None,
+                (false, Some((min, max))) => {
+                    let mut o = MinMaxObserver::union();
+                    o.update(&Tensor::from_vec(vec![*min, *max], &[2]));
+                    Some(o)
+                }
+                (t, r) => panic!(
+                    "range presence mismatch at node (transparent={t}, given={})",
+                    r.is_some()
+                ),
+            })
+            .collect();
+        QatNetwork {
+            net,
+            cfg,
+            observers,
+        }
+    }
+
+    /// The wrapped network (graph + fp32 master weights).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the wrapped network (used by robust training).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Consumes the wrapper, returning the fp32 network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+
+    /// Quantization configuration.
+    pub fn cfg(&self) -> QuantCfg {
+        self.cfg
+    }
+
+    /// Runs calibration: observes activation ranges over `images` without
+    /// yet fake-quantizing downstream, then switches observers to EMA mode.
+    pub fn calibrate(&mut self, images: &Tensor) {
+        let n = images.dims()[0];
+        let bs = 64;
+        let mut i = 0;
+        while i < n {
+            let hi = (i + bs).min(n);
+            let idx: Vec<usize> = (i..hi).collect();
+            let x = gather(images, &idx);
+            let mut hooks = ObserveHooks {
+                observers: &mut self.observers,
+            };
+            let _ = self.net.forward_with(&x, &mut hooks);
+            i = hi;
+        }
+        for o in self.observers.iter_mut().flatten() {
+            o.set_momentum(self.cfg.ema_momentum);
+        }
+    }
+
+    /// Whether calibration has run.
+    pub fn is_calibrated(&self) -> bool {
+        self.observers
+            .iter()
+            .flatten()
+            .all(|o| o.is_initialized())
+    }
+
+    /// Resolved activation quantization parameters per node. Transparent
+    /// nodes inherit their input's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not calibrated.
+    pub fn act_qparams(&self) -> Vec<QuantParams> {
+        assert!(self.is_calibrated(), "act_qparams before calibration");
+        let graph = self.net.graph();
+        let mut out: Vec<QuantParams> = Vec::with_capacity(graph.len());
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let qp = match &self.observers[i] {
+                Some(o) => {
+                    let (min, max) = o.range();
+                    QuantParams::from_min_max(min, max, self.cfg.bits)
+                }
+                None => out[node.inputs[0].0],
+            };
+            out.push(qp);
+        }
+        out
+    }
+
+    /// Quantization-aware training: fake-quant forward (with observer EMA
+    /// updates), straight-through backward, SGD on the fp32 master weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not calibrated.
+    pub fn train_qat(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        cfg: &TrainCfg,
+        rng: &mut StdRng,
+    ) -> Vec<EpochStats> {
+        assert!(self.is_calibrated(), "train_qat before calibration");
+        let n = images.dims()[0];
+        assert_eq!(labels.len(), n, "labels/images mismatch");
+        let mut opt = diva_nn::optim::Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+        let mut stats = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            let mut loss_sum = 0.0;
+            let mut correct = 0usize;
+            for batch in shuffled_batches(n, cfg.batch_size, rng) {
+                let x = gather(images, &batch);
+                let y = gather_labels(labels, &batch);
+                let cfg = self.cfg;
+                let exec = {
+                    let mut hooks = QatTrainHooks {
+                        observers: &mut self.observers,
+                        cfg,
+                    };
+                    self.net.forward_with(&x, &mut hooks)
+                };
+                let logits = exec.output(self.net.graph()).clone();
+                let (loss, dlogits) = losses::cross_entropy(&logits, &y);
+                loss_sum += loss * batch.len() as f32;
+                correct += (0..batch.len())
+                    .filter(|&i| logits.row(i).argmax() == Some(y[i]))
+                    .count();
+                let frozen = FrozenHooks {
+                    observers: &self.observers,
+                    cfg,
+                };
+                self.net.backward_with(&exec, &dlogits, &frozen);
+                opt.step(self.net.params_mut());
+            }
+            stats.push(EpochStats {
+                loss: loss_sum / n as f32,
+                accuracy: correct as f32 / n as f32,
+            });
+        }
+        stats
+    }
+
+    /// Frozen fake-quant forward pass (no observer updates): the function the
+    /// attack differentiates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not calibrated.
+    pub fn forward(&self, x: &Tensor) -> Execution {
+        assert!(self.is_calibrated(), "forward before calibration");
+        let mut hooks = FrozenHooks {
+            observers: &self.observers,
+            cfg: self.cfg,
+        };
+        self.net.forward_with(x, &mut hooks)
+    }
+
+    /// Gradient of a scalar objective w.r.t. the input, through the frozen
+    /// fake-quant function with straight-through estimators.
+    pub fn input_grad(&self, exec: &Execution, d_output: &Tensor) -> Tensor {
+        let hooks = FrozenHooks {
+            observers: &self.observers,
+            cfg: self.cfg,
+        };
+        let mut scratch = self.net.params().clone();
+        diva_nn::exec::backward(self.net.graph(), &mut scratch, exec, d_output, &hooks)
+    }
+
+    /// Penultimate-layer features under the frozen fake-quant function.
+    pub fn features(&self, x: &Tensor) -> Option<Tensor> {
+        let node = self.net.graph().feature()?;
+        let exec = self.forward(x);
+        Some(exec.activation(node).clone())
+    }
+}
+
+impl Infer for QatNetwork {
+    fn logits(&self, x: &Tensor) -> Tensor {
+        let exec = self.forward(x);
+        exec.output(self.net.graph()).clone()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.net.graph().num_classes()
+    }
+}
+
+/// Shared helper: fake-quantize a weight parameter (rank ≥ 2); biases
+/// (rank 1) pass through, as in TFLite (biases are int32-quantized at
+/// conversion with no precision loss that QAT would need to model).
+fn fake_weight(cfg: QuantCfg, _id: ParamId, w: Tensor) -> Tensor {
+    if w.shape().rank() >= 2 {
+        fake_weight_quant(&w, cfg.bits, cfg.weight_granularity)
+    } else {
+        w
+    }
+}
+
+/// Calibration hooks: update observers, pass activations through unchanged.
+struct ObserveHooks<'a> {
+    observers: &'a mut Vec<Option<MinMaxObserver>>,
+}
+
+impl Hooks for ObserveHooks<'_> {
+    fn output(&mut self, node: NodeId, _op: &Op, y: Tensor) -> Tensor {
+        if let Some(o) = &mut self.observers[node.0] {
+            o.update(&y);
+        }
+        y
+    }
+}
+
+/// QAT training hooks: EMA-update observers, then fake-quantize.
+struct QatTrainHooks<'a> {
+    observers: &'a mut Vec<Option<MinMaxObserver>>,
+    cfg: QuantCfg,
+}
+
+impl Hooks for QatTrainHooks<'_> {
+    const ACTIVE: bool = true;
+
+    fn weight(&self, id: ParamId, w: Tensor) -> Tensor {
+        fake_weight(self.cfg, id, w)
+    }
+
+    fn output(&mut self, node: NodeId, _op: &Op, y: Tensor) -> Tensor {
+        match &mut self.observers[node.0] {
+            Some(o) => {
+                o.update(&y);
+                let (min, max) = o.range();
+                QuantParams::from_min_max(min, max, self.cfg.bits).fake_tensor(&y)
+            }
+            None => y,
+        }
+    }
+
+    fn output_grad(&self, node: NodeId, raw: &Tensor, dy: Tensor) -> Tensor {
+        ste_grad(&self.observers[node.0], self.cfg.bits, raw, dy)
+    }
+}
+
+/// Frozen inference/attack hooks: fake-quantize with stored ranges.
+struct FrozenHooks<'a> {
+    observers: &'a [Option<MinMaxObserver>],
+    cfg: QuantCfg,
+}
+
+impl Hooks for FrozenHooks<'_> {
+    const ACTIVE: bool = true;
+
+    fn weight(&self, id: ParamId, w: Tensor) -> Tensor {
+        fake_weight(self.cfg, id, w)
+    }
+
+    fn output(&mut self, node: NodeId, _op: &Op, y: Tensor) -> Tensor {
+        match &self.observers[node.0] {
+            Some(o) => {
+                let (min, max) = o.range();
+                QuantParams::from_min_max(min, max, self.cfg.bits).fake_tensor(&y)
+            }
+            None => y,
+        }
+    }
+
+    fn output_grad(&self, node: NodeId, raw: &Tensor, dy: Tensor) -> Tensor {
+        ste_grad(&self.observers[node.0], self.cfg.bits, raw, dy)
+    }
+}
+
+/// Straight-through estimator: gradients flow where the raw activation fell
+/// inside the representable range, and are cut where it saturated.
+fn ste_grad(obs: &Option<MinMaxObserver>, bits: u8, raw: &Tensor, dy: Tensor) -> Tensor {
+    match obs {
+        Some(o) => {
+            let (min, max) = o.range();
+            let qp = QuantParams::from_min_max(min, max, bits);
+            let (lo, hi) = qp.real_range();
+            dy.zip(raw, |g, x| if (lo..=hi).contains(&x) { g } else { 0.0 })
+        }
+        None => dy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_models::{mini_resnet, ModelCfg};
+    use diva_nn::graph::GraphBuilder;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_net(rng: &mut StdRng) -> Network {
+        let mut b = GraphBuilder::new([1, 4, 4], rng);
+        let x = b.input();
+        let c = b.conv(x, 3, 3, 1, 1);
+        let r = b.relu(c);
+        let g = b.global_avg_pool(r);
+        let d = b.dense(g, 3);
+        b.finish(d, Some(g))
+    }
+
+    fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
+        let per: usize = dims.iter().product();
+        let samples: Vec<Tensor> = (0..n)
+            .map(|_| {
+                Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims)
+            })
+            .collect();
+        Tensor::stack(&samples)
+    }
+
+    #[test]
+    fn calibration_initialises_all_observers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = tiny_net(&mut rng);
+        let mut q = QatNetwork::new(net, QuantCfg::default());
+        assert!(!q.is_calibrated());
+        let images = rand_images(&mut rng, 8, &[1, 4, 4]);
+        q.calibrate(&images);
+        assert!(q.is_calibrated());
+        let qps = q.act_qparams();
+        assert_eq!(qps.len(), q.network().graph().len());
+    }
+
+    #[test]
+    fn fake_quant_output_close_to_fp32_at_8_bits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = tiny_net(&mut rng);
+        let images = rand_images(&mut rng, 16, &[1, 4, 4]);
+        let mut q = QatNetwork::new(net.clone(), QuantCfg::default());
+        q.calibrate(&images);
+        let x = gather(&images, &[0, 1]);
+        let fq = q.logits(&x);
+        let fp = net.logits(&x);
+        // int8 fake-quant should track fp32 closely but not exactly.
+        assert!(fq.allclose(&fp, 0.2), "{:?} vs {:?}", fq.data(), fp.data());
+        assert!(!fq.allclose(&fp, 1e-7), "quantization had no effect at all");
+    }
+
+    #[test]
+    fn lower_bits_diverge_more() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = tiny_net(&mut rng);
+        let images = rand_images(&mut rng, 16, &[1, 4, 4]);
+        let x = gather(&images, &[0, 1, 2, 3]);
+        let fp = net.logits(&x);
+        let err = |bits: u8| {
+            let mut q = QatNetwork::new(net.clone(), QuantCfg::with_bits(bits));
+            q.calibrate(&images);
+            q.logits(&x).sub(&fp).abs().mean()
+        };
+        assert!(err(4) > err(8));
+    }
+
+    #[test]
+    fn qat_training_improves_quantized_accuracy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Separable two-class data.
+        let n = 64;
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { 0.25 } else { 0.75 };
+            images.push(Tensor::from_vec(
+                (0..16)
+                    .map(|_| (base + rng.gen_range(-0.15..0.15f32)).clamp(0.0, 1.0))
+                    .collect(),
+                &[1, 4, 4],
+            ));
+            labels.push(class);
+        }
+        let images = Tensor::stack(&images);
+        let net = tiny_net(&mut rng);
+        let mut q = QatNetwork::new(net, QuantCfg::default());
+        q.calibrate(&images);
+        let before = diva_nn::train::evaluate(&q, &images, &labels);
+        let cfg = TrainCfg {
+            epochs: 15,
+            batch_size: 16,
+            lr: 0.3,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        q.train_qat(&images, &labels, &cfg, &mut rng);
+        let after = diva_nn::train::evaluate(&q, &images, &labels);
+        assert!(
+            after > before.max(0.9) - 1e-6,
+            "QAT did not learn: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn input_grad_is_nonzero_and_shaped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = mini_resnet(&ModelCfg::tiny(4), &mut rng);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let mut q = QatNetwork::new(net, QuantCfg::default());
+        q.calibrate(&images);
+        let x = gather(&images, &[0]);
+        let exec = q.forward(&x);
+        let logits = exec.output(q.network().graph()).clone();
+        let (_, dlogits) = losses::cross_entropy(&logits, &[0]);
+        let gx = q.input_grad(&exec, &dlogits);
+        assert_eq!(gx.dims(), x.dims());
+        assert!(gx.norm_inf() > 0.0, "STE killed the whole gradient");
+    }
+
+    #[test]
+    fn frozen_ranges_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = tiny_net(&mut rng);
+        let images = rand_images(&mut rng, 8, &[1, 4, 4]);
+        let mut q = QatNetwork::new(net.clone(), QuantCfg::default());
+        q.calibrate(&images);
+        // Re-create from extracted ranges; logits must match exactly.
+        let ranges: Vec<Option<(f32, f32)>> = q
+            .observers
+            .iter()
+            .map(|o| o.as_ref().map(|o| o.range()))
+            .collect();
+        let q2 = QatNetwork::from_frozen_ranges(net, &ranges, QuantCfg::default());
+        let x = gather(&images, &[0, 3]);
+        assert!(q.logits(&x).allclose(&q2.logits(&x), 1e-6));
+    }
+
+    #[test]
+    fn transparent_nodes_have_no_observer() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut b = GraphBuilder::new([1, 8, 8], &mut rng);
+        let x = b.input();
+        let c = b.conv(x, 2, 3, 1, 1);
+        let p = b.max_pool(c, 2, 2);
+        let f = b.flatten(p);
+        let d = b.dense(f, 2);
+        let net = b.finish(d, None);
+        let q = QatNetwork::new(net, QuantCfg::default());
+        // input, conv, dense have observers; maxpool, flatten do not.
+        let have: Vec<bool> = q.observers.iter().map(|o| o.is_some()).collect();
+        assert_eq!(have, vec![true, true, false, false, true]);
+    }
+}

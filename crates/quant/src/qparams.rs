@@ -1,0 +1,262 @@
+//! Affine quantization parameters and the quantize / dequantize / fake-quant
+//! primitives.
+
+use serde::{Deserialize, Serialize};
+
+use diva_tensor::Tensor;
+
+/// Affine quantization parameters mapping reals to a signed integer grid:
+/// `q = clamp(round(x / scale) + zero_point, qmin, qmax)`.
+///
+/// The default experiment setting is int8 (`qmin = -128`, `qmax = 127`),
+/// matching the paper's TFLite int8 deployment; narrower widths (e.g. int4)
+/// are supported for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Real-value step between adjacent grid points (> 0).
+    pub scale: f32,
+    /// Integer the real value 0.0 maps to (exactly representable zero).
+    pub zero_point: i32,
+    /// Smallest representable integer.
+    pub qmin: i32,
+    /// Largest representable integer.
+    pub qmax: i32,
+}
+
+impl QuantParams {
+    /// Integer bounds of a `bits`-wide signed representation.
+    pub fn signed_range(bits: u8) -> (i32, i32) {
+        assert!((2..=8).contains(&bits), "bits must be in 2..=8");
+        (-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+    }
+
+    /// Derives asymmetric (affine) parameters covering `[min, max]` with a
+    /// `bits`-wide signed grid.
+    ///
+    /// The range is nudged to include 0 so zero padding quantizes exactly,
+    /// as TFLite requires.
+    pub fn from_min_max(mut min: f32, mut max: f32, bits: u8) -> Self {
+        let (qmin, qmax) = Self::signed_range(bits);
+        min = min.min(0.0);
+        max = max.max(0.0);
+        if max - min < 1e-8 {
+            max = min + 1e-8; // degenerate range: all-constant activations
+        }
+        let scale = (max - min) / (qmax - qmin) as f32;
+        let zero_point = (qmin as f32 - min / scale).round().clamp(qmin as f32, qmax as f32) as i32;
+        QuantParams {
+            scale,
+            zero_point,
+            qmin,
+            qmax,
+        }
+    }
+
+    /// Derives symmetric parameters (`zero_point = 0`) for `[-amax, amax]`,
+    /// as used for weights. The grid is `[-(qmax), qmax]` (no -128), the
+    /// TFLite per-channel weight convention.
+    pub fn symmetric(amax: f32, bits: u8) -> Self {
+        let (_, qmax) = Self::signed_range(bits);
+        let amax = amax.max(1e-8);
+        QuantParams {
+            scale: amax / qmax as f32,
+            zero_point: 0,
+            qmin: -qmax,
+            qmax,
+        }
+    }
+
+    /// Quantizes one real value to the integer grid.
+    pub fn quantize(&self, x: f32) -> i32 {
+        ((x / self.scale).round() as i32 + self.zero_point).clamp(self.qmin, self.qmax)
+    }
+
+    /// Dequantizes one grid integer back to a real value.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantize-then-dequantize of one value: the fake-quant operation.
+    pub fn fake(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Fake-quantizes a whole tensor.
+    pub fn fake_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.fake(x))
+    }
+
+    /// Quantizes a whole tensor to `i8` (valid when `qmax <= 127`).
+    pub fn quantize_tensor(&self, t: &Tensor) -> Vec<i8> {
+        debug_assert!(self.qmin >= -128 && self.qmax <= 127);
+        t.data().iter().map(|&x| self.quantize(x) as i8).collect()
+    }
+
+    /// Dequantizes an `i8` buffer into a tensor of the given dims.
+    pub fn dequantize_tensor(&self, q: &[i8], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(q.iter().map(|&v| self.dequantize(v as i32)).collect(), dims)
+    }
+
+    /// Smallest and largest representable real values.
+    pub fn real_range(&self) -> (f32, f32) {
+        (
+            self.dequantize(self.qmin),
+            self.dequantize(self.qmax),
+        )
+    }
+}
+
+/// Weight-quantization granularity (per-channel is the TFLite default; the
+/// per-tensor variant exists for the ablation in DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightGranularity {
+    /// One scale per output channel (axis 0).
+    PerChannel,
+    /// A single scale for the whole tensor.
+    PerTensor,
+}
+
+/// Symmetric weight quantization parameters at the given granularity:
+/// returns one [`QuantParams`] per output channel (identical entries in the
+/// per-tensor case, so consumers need not branch).
+pub fn weight_qparams(w: &Tensor, bits: u8, gran: WeightGranularity) -> Vec<QuantParams> {
+    match gran {
+        WeightGranularity::PerChannel => per_channel_symmetric(w, bits),
+        WeightGranularity::PerTensor => {
+            let channels = w.dims()[0].max(1);
+            let amax = w.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            vec![QuantParams::symmetric(amax, bits); channels]
+        }
+    }
+}
+
+/// Fake-quantizes a weight tensor at the given granularity.
+pub fn fake_weight_quant(w: &Tensor, bits: u8, gran: WeightGranularity) -> Tensor {
+    let qps = weight_qparams(w, bits, gran);
+    let channels = w.dims()[0];
+    let per = w.len() / channels.max(1);
+    let mut out = w.clone();
+    for (c, qp) in qps.iter().enumerate() {
+        for v in &mut out.data_mut()[c * per..(c + 1) * per] {
+            *v = qp.fake(*v);
+        }
+    }
+    out
+}
+
+/// Per-channel symmetric weight quantization along axis 0.
+///
+/// Returns one [`QuantParams`] per output channel (row of a dense weight,
+/// filter of a conv weight).
+pub fn per_channel_symmetric(w: &Tensor, bits: u8) -> Vec<QuantParams> {
+    let channels = w.dims()[0];
+    let per = w.len() / channels.max(1);
+    (0..channels)
+        .map(|c| {
+            let amax = w.data()[c * per..(c + 1) * per]
+                .iter()
+                .fold(0.0f32, |m, &x| m.max(x.abs()));
+            QuantParams::symmetric(amax, bits)
+        })
+        .collect()
+}
+
+/// Fake-quantizes a weight tensor per-channel (axis 0).
+pub fn fake_per_channel(w: &Tensor, bits: u8) -> Tensor {
+    let qps = per_channel_symmetric(w, bits);
+    let channels = w.dims()[0];
+    let per = w.len() / channels.max(1);
+    let mut out = w.clone();
+    for (c, qp) in qps.iter().enumerate() {
+        for v in &mut out.data_mut()[c * per..(c + 1) * per] {
+            *v = qp.fake(*v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_for_bit_widths() {
+        assert_eq!(QuantParams::signed_range(8), (-128, 127));
+        assert_eq!(QuantParams::signed_range(4), (-8, 7));
+        assert_eq!(QuantParams::signed_range(2), (-2, 1));
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for (min, max) in [(-1.0f32, 2.0), (0.5, 3.0), (-4.0, -1.0), (0.0, 0.0)] {
+            let qp = QuantParams::from_min_max(min, max, 8);
+            assert_eq!(qp.fake(0.0), 0.0, "range ({min},{max})");
+            assert!((qp.qmin..=qp.qmax).contains(&qp.zero_point));
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_scale() {
+        let qp = QuantParams::from_min_max(-1.0, 1.0, 8);
+        for i in 0..200 {
+            let x = -1.0 + i as f32 * 0.01;
+            let err = (qp.fake(x) - x).abs();
+            assert!(err <= qp.scale / 2.0 + 1e-6, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn values_outside_range_saturate() {
+        let qp = QuantParams::from_min_max(-1.0, 1.0, 8);
+        let (lo, hi) = qp.real_range();
+        assert!((qp.fake(10.0) - hi).abs() < 1e-6);
+        assert!((qp.fake(-10.0) - lo).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_has_zero_zero_point() {
+        let qp = QuantParams::symmetric(0.5, 8);
+        assert_eq!(qp.zero_point, 0);
+        assert_eq!(qp.qmin, -127);
+        assert_eq!(qp.qmax, 127);
+        assert!((qp.fake(0.5) - 0.5).abs() < 1e-3);
+        assert!((qp.fake(-0.5) + 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn coarser_bits_coarser_grid() {
+        let q8 = QuantParams::from_min_max(-1.0, 1.0, 8);
+        let q4 = QuantParams::from_min_max(-1.0, 1.0, 4);
+        assert!(q4.scale > q8.scale * 10.0);
+        // int4 fake-quant loses more information.
+        let x = 0.123f32;
+        assert!((q4.fake(x) - x).abs() >= (q8.fake(x) - x).abs());
+    }
+
+    #[test]
+    fn per_channel_scales_track_channel_magnitude() {
+        let w = Tensor::from_vec(vec![0.1, -0.1, 2.0, -2.0], &[2, 2]);
+        let qps = per_channel_symmetric(&w, 8);
+        assert!(qps[1].scale > 10.0 * qps[0].scale);
+        let fq = fake_per_channel(&w, 8);
+        // Small channel retains precision even next to a big channel.
+        assert!((fq.data()[0] - 0.1).abs() < 1e-3);
+        assert!((fq.data()[2] - 2.0).abs() < 1e-1);
+    }
+
+    #[test]
+    fn quantize_tensor_round_trips_within_scale() {
+        let qp = QuantParams::from_min_max(-2.0, 2.0, 8);
+        let t = Tensor::from_vec(vec![-1.5, 0.0, 0.7, 1.99], &[4]);
+        let q = qp.quantize_tensor(&t);
+        let back = qp.dequantize_tensor(&q, &[4]);
+        assert!(back.allclose(&t, qp.scale / 2.0 + 1e-6));
+    }
+
+    #[test]
+    fn degenerate_range_does_not_panic() {
+        let qp = QuantParams::from_min_max(0.0, 0.0, 8);
+        assert!(qp.scale > 0.0);
+        assert_eq!(qp.fake(0.0), 0.0);
+    }
+}

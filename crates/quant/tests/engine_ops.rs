@@ -1,0 +1,136 @@
+//! Per-op integration tests of the int8 engine against the fake-quant
+//! reference on purpose-built graphs, isolating each engine kernel
+//! (maxpool, concat, add, GAP, depthwise, dense-after-flatten).
+
+use diva_nn::graph::GraphBuilder;
+use diva_nn::{Infer, Network};
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
+    let per: usize = dims.iter().product();
+    let samples: Vec<Tensor> = (0..n)
+        .map(|_| Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims))
+        .collect();
+    Tensor::stack(&samples)
+}
+
+/// Builds, calibrates and converts `net`, then checks engine logits track
+/// the fake-quant reference within a few output LSBs on fresh inputs.
+fn assert_engine_tracks(net: Network, rng: &mut StdRng, tol_lsb: f32) {
+    let [c, h, w] = net.graph().input_shape();
+    let calib = rand_images(rng, 32, &[c, h, w]);
+    let mut qat = QatNetwork::new(net, QuantCfg::default());
+    qat.calibrate(&calib);
+    let engine = Int8Engine::from_qat(&qat);
+    let x = rand_images(rng, 8, &[c, h, w]);
+    let lq = qat.logits(&x);
+    let le = engine.logits(&x);
+    let scale = engine.qparams().last().unwrap().scale;
+    let diff = lq.sub(&le).abs().max();
+    assert!(
+        diff <= tol_lsb * scale,
+        "engine diverges from fake-quant by {diff} ({} LSB)",
+        diff / scale
+    );
+}
+
+#[test]
+fn maxpool_flatten_dense_path() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut b = GraphBuilder::new([2, 8, 8], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 4, 3, 1, 1);
+    let r = b.relu(c);
+    let p = b.max_pool(r, 2, 2);
+    let f = b.flatten(p);
+    let d = b.dense(f, 5);
+    let net = b.finish(d, None);
+    assert_engine_tracks(net, &mut rng, 3.0);
+}
+
+#[test]
+fn concat_path() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let mut b = GraphBuilder::new([2, 6, 6], &mut rng);
+    let x = b.input();
+    let c1 = b.conv(x, 3, 3, 1, 1);
+    let r1 = b.relu(c1);
+    let cat = b.concat(&[x, r1]);
+    let c2 = b.conv(cat, 4, 1, 1, 0);
+    let g = b.global_avg_pool(c2);
+    let d = b.dense(g, 3);
+    let net = b.finish(d, None);
+    assert_engine_tracks(net, &mut rng, 3.0);
+}
+
+#[test]
+fn residual_add_path() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let mut b = GraphBuilder::new([3, 6, 6], &mut rng);
+    let x = b.input();
+    let c1 = b.conv(x, 3, 3, 1, 1);
+    let a = b.add(c1, x);
+    let r = b.relu(a);
+    let g = b.global_avg_pool(r);
+    let d = b.dense(g, 3);
+    let net = b.finish(d, None);
+    assert_engine_tracks(net, &mut rng, 3.0);
+}
+
+#[test]
+fn depthwise_path() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let mut b = GraphBuilder::new([4, 6, 6], &mut rng);
+    let x = b.input();
+    let dw = b.dwconv(x, 3, 1, 1);
+    let r = b.relu(dw);
+    let pw = b.conv(r, 6, 1, 1, 0);
+    let g = b.global_avg_pool(pw);
+    let d = b.dense(g, 3);
+    let net = b.finish(d, None);
+    assert_engine_tracks(net, &mut rng, 3.0);
+}
+
+#[test]
+fn engine_maxpool_preserves_input_grid() {
+    // MaxPool must not requantize: its output qparams equal its input's.
+    let mut rng = StdRng::seed_from_u64(104);
+    let mut b = GraphBuilder::new([1, 8, 8], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 2, 3, 1, 1);
+    let p = b.max_pool(c, 2, 2);
+    let g = b.global_avg_pool(p);
+    let d = b.dense(g, 2);
+    let net = b.finish(d, None);
+    let calib = rand_images(&mut rng, 16, &[1, 8, 8]);
+    let mut qat = QatNetwork::new(net, QuantCfg::default());
+    qat.calibrate(&calib);
+    let engine = Int8Engine::from_qat(&qat);
+    let qps = engine.qparams();
+    // Node order: input(0) conv(1) maxpool(2) gap(3) dense(4).
+    assert_eq!(qps[2], qps[1], "maxpool must inherit its input's qparams");
+}
+
+#[test]
+fn lower_bit_engines_still_track_their_qat_reference() {
+    // At int4 the grid is coarse, but engine and fake-quant share it, so
+    // they must still agree tightly *with each other*.
+    let mut rng = StdRng::seed_from_u64(105);
+    let mut b = GraphBuilder::new([2, 6, 6], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 4, 3, 1, 1);
+    let r = b.relu(c);
+    let g = b.global_avg_pool(r);
+    let d = b.dense(g, 3);
+    let net = b.finish(d, None);
+    let calib = rand_images(&mut rng, 32, &[2, 6, 6]);
+    let mut qat = QatNetwork::new(net, QuantCfg::with_bits(4));
+    qat.calibrate(&calib);
+    let engine = Int8Engine::from_qat(&qat);
+    let xs = rand_images(&mut rng, 8, &[2, 6, 6]);
+    let diff = qat.logits(&xs).sub(&engine.logits(&xs)).abs().max();
+    let scale = engine.qparams().last().unwrap().scale;
+    assert!(diff <= 2.0 * scale, "int4 engine diverges by {diff}");
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the quantization substrate: the invariants in
+//! DESIGN.md §5 (round-trip error bounds, saturation monotonicity,
+//! fixed-point/float agreement) over randomized inputs.
+
+use diva_quant::fixedpoint::FixedMultiplier;
+use diva_quant::qparams::{fake_weight_quant, weight_qparams, WeightGranularity};
+use diva_quant::QuantParams;
+use diva_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fake_quant_error_bounded_by_half_scale(
+        min in -10.0f32..0.0,
+        width in 0.1f32..20.0,
+        x in -30.0f32..30.0,
+        bits in 2u8..=8,
+    ) {
+        let qp = QuantParams::from_min_max(min, min + width, bits);
+        let (lo, hi) = qp.real_range();
+        let y = qp.fake(x);
+        if x >= lo && x <= hi {
+            prop_assert!((y - x).abs() <= qp.scale / 2.0 + 1e-5);
+        } else {
+            // Saturation: result is the nearest representable endpoint.
+            let clamped = x.clamp(lo, hi);
+            prop_assert!((y - clamped).abs() <= qp.scale / 2.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent_and_monotone(
+        a in -5.0f32..5.0,
+        b in -5.0f32..5.0,
+        bits in 2u8..=8,
+    ) {
+        let qp = QuantParams::from_min_max(-4.0, 4.0, bits);
+        // Idempotent: quantizing a grid point returns it.
+        prop_assert!((qp.fake(qp.fake(a)) - qp.fake(a)).abs() < 1e-6);
+        // Monotone: order is preserved (weakly).
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(qp.fake(lo) <= qp.fake(hi) + 1e-6);
+    }
+
+    #[test]
+    fn quantize_tensor_round_trip(
+        data in proptest::collection::vec(-3.0f32..3.0, 1..64),
+    ) {
+        let t = Tensor::from_vec(data.clone(), &[data.len()]);
+        let qp = QuantParams::from_min_max(-3.0, 3.0, 8);
+        let q = qp.quantize_tensor(&t);
+        let back = qp.dequantize_tensor(&q, &[data.len()]);
+        prop_assert!(back.allclose(&t, qp.scale / 2.0 + 1e-5));
+    }
+
+    #[test]
+    fn fixed_multiplier_tracks_float_within_one(
+        m in 1e-6f64..3.9,
+        x in -2_000_000i32..2_000_000,
+    ) {
+        let fm = FixedMultiplier::from_real(m);
+        // Guard the left-shift overflow domain like the engine does.
+        prop_assume!((x as f64 * m).abs() < i32::MAX as f64 / 2.0);
+        if fm.exponent > 0 {
+            prop_assume!((x as i64) << fm.exponent <= i32::MAX as i64);
+            prop_assume!((x as i64) << fm.exponent >= i32::MIN as i64);
+        }
+        let want = (x as f64 * m).round() as i64;
+        let got = fm.apply(x) as i64;
+        prop_assert!((got - want).abs() <= 1, "m={m} x={x}: {got} vs {want}");
+    }
+
+    #[test]
+    fn per_channel_never_coarser_than_per_tensor(
+        rows in 1usize..6,
+        cols in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let w = Tensor::from_vec(data, &[rows, cols]);
+        let pc = weight_qparams(&w, 8, WeightGranularity::PerChannel);
+        let pt = weight_qparams(&w, 8, WeightGranularity::PerTensor);
+        for (a, b) in pc.iter().zip(&pt) {
+            prop_assert!(a.scale <= b.scale + 1e-9, "per-channel coarser than per-tensor");
+        }
+        // Per-element error is bounded by the (finer) per-channel half-step.
+        let fq = fake_weight_quant(&w, 8, WeightGranularity::PerChannel);
+        for r in 0..rows {
+            let half = pc[r].scale / 2.0 + 1e-6;
+            for c in 0..cols {
+                let e = (fq.data()[r * cols + c] - w.data()[r * cols + c]).abs();
+                prop_assert!(e <= half, "row {r}: err {e} > half-step {half}");
+            }
+        }
+    }
+}

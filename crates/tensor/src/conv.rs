@@ -1,0 +1,582 @@
+//! 2-D convolution kernels: im2col-based standard convolution and depthwise
+//! convolution, with the backward passes the attack stack needs (gradients
+//! w.r.t. weights *and* inputs).
+//!
+//! Layout conventions: activations are `[n, c, h, w]` (NCHW), standard conv
+//! weights are `[c_out, c_in, kh, kw]`, depthwise weights are `[c, kh, kw]`
+//! (channel multiplier fixed at 1, as in MobileNet-style blocks).
+
+use crate::{ops, Result, Tensor, TensorError};
+
+/// Hyper-parameters of a convolution: square-agnostic kernel, stride and
+/// symmetric zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dCfg {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same for both axes).
+    pub stride: usize,
+    /// Symmetric zero padding (same for both axes).
+    pub pad: usize,
+}
+
+impl Conv2dCfg {
+    /// A `k`×`k` kernel with the given stride and padding.
+    pub fn square(k: usize, stride: usize, pad: usize) -> Self {
+        Conv2dCfg {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an input of `h`×`w`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.kh) / self.stride + 1,
+            (w + 2 * self.pad - self.kw) / self.stride + 1,
+        )
+    }
+}
+
+/// Unfolds input patches into a `[n*oh*ow, c*kh*kw]` matrix (im2col).
+///
+/// Each row is the receptive field of one output pixel, so convolution
+/// becomes one big matmul against the reshaped weight matrix.
+pub fn im2col(x: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    let (n, c, h, w) = nchw(x);
+    let (oh, ow) = cfg.out_hw(h, w);
+    let cols_per_row = c * cfg.kh * cfg.kw;
+    let mut out = Tensor::zeros(&[n * oh * ow, cols_per_row]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols_per_row;
+                let iy0 = oy * cfg.stride;
+                let ix0 = ox * cfg.stride;
+                let mut col = 0;
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    for ky in 0..cfg.kh {
+                        let iy = iy0 + ky;
+                        for kx in 0..cfg.kw {
+                            let ix = ix0 + kx;
+                            // Padding applied virtually: out-of-range reads are 0.
+                            if iy >= cfg.pad && ix >= cfg.pad {
+                                let (yy, xx) = (iy - cfg.pad, ix - cfg.pad);
+                                if yy < h && xx < w {
+                                    od[row + col] = xd[base + yy * w + xx];
+                                }
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Folds an im2col matrix (gradient) back into an input-shaped tensor,
+/// accumulating overlapping patches — the adjoint of [`im2col`].
+pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, cfg: Conv2dCfg) -> Tensor {
+    let (oh, ow) = cfg.out_hw(h, w);
+    let cols_per_row = c * cfg.kh * cfg.kw;
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let cd = cols.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols_per_row;
+                let iy0 = oy * cfg.stride;
+                let ix0 = ox * cfg.stride;
+                let mut col = 0;
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    for ky in 0..cfg.kh {
+                        let iy = iy0 + ky;
+                        for kx in 0..cfg.kw {
+                            let ix = ix0 + kx;
+                            if iy >= cfg.pad && ix >= cfg.pad {
+                                let (yy, xx) = (iy - cfg.pad, ix - cfg.pad);
+                                if yy < h && xx < w {
+                                    od[base + yy * w + xx] += cd[row + col];
+                                }
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Standard 2-D convolution: `x [n,ci,h,w]` * `weight [co,ci,kh,kw]` + `bias [co]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when channel counts or ranks are
+/// inconsistent.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &Tensor, cfg: Conv2dCfg) -> Result<Tensor> {
+    check_conv_shapes(x, weight, bias, cfg)?;
+    let (n, _c, h, w) = nchw(x);
+    let co = weight.dims()[0];
+    let (oh, ow) = cfg.out_hw(h, w);
+    let cols = im2col(x, cfg);
+    let wk = weight.dims()[1] * weight.dims()[2] * weight.dims()[3];
+    let wmat = weight.reshape(&[co, wk]).expect("weight reshape");
+    // [n*oh*ow, k] x [co, k]^T -> [n*oh*ow, co]
+    let out_mat = ops::matmul_a_bt(&cols, &wmat)?;
+    // Rearrange to NCHW and add bias.
+    let mut out = Tensor::zeros(&[n, co, oh, ow]);
+    let om = out_mat.data();
+    let od = out.data_mut();
+    let bd = bias.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * co;
+                for ci in 0..co {
+                    od[((ni * co + ci) * oh + oy) * ow + ox] = om[row + ci] + bd[ci];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of [`conv2d`] given the upstream gradient `dy [n,co,oh,ow]`.
+///
+/// Returns `(dx, dweight, dbias)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    cfg: Conv2dCfg,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, w) = nchw(x);
+    let co = weight.dims()[0];
+    let (oh, ow) = cfg.out_hw(h, w);
+    if dy.dims() != [n, co, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: dy.dims().to_vec(),
+            rhs: vec![n, co, oh, ow],
+        });
+    }
+    // dy as [n*oh*ow, co]
+    let mut dy_mat = Tensor::zeros(&[n * oh * ow, co]);
+    {
+        let dd = dy.data();
+        let dm = dy_mat.data_mut();
+        for ni in 0..n {
+            for ci in 0..co {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        dm[((ni * oh + oy) * ow + ox) * co + ci] =
+                            dd[((ni * co + ci) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    let cols = im2col(x, cfg);
+    let wk = c * cfg.kh * cfg.kw;
+    // dW = dy_mat^T x cols -> [co, k]
+    let dw_mat = ops::matmul_at_b(&dy_mat, &cols)?;
+    let dweight = dw_mat.reshape(&[co, c, cfg.kh, cfg.kw])?;
+    // db = column sums of dy_mat
+    let mut dbias = Tensor::zeros(&[co]);
+    for row in 0..n * oh * ow {
+        for ci in 0..co {
+            dbias.data_mut()[ci] += dy_mat.data()[row * co + ci];
+        }
+    }
+    // dcols = dy_mat x W -> [n*oh*ow, k]; dx = col2im(dcols)
+    let wmat = weight.reshape(&[co, wk])?;
+    let dcols = ops::matmul(&dy_mat, &wmat)?;
+    let dx = col2im(&dcols, n, c, h, w, cfg);
+    Ok((dx, dweight, dbias))
+}
+
+/// Depthwise 2-D convolution: each channel convolved with its own
+/// `[kh, kw]` filter. `weight` is `[c, kh, kw]`, `bias` is `[c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on rank or channel mismatches.
+pub fn depthwise_conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    cfg: Conv2dCfg,
+) -> Result<Tensor> {
+    let (n, c, h, w) = nchw(x);
+    if weight.shape().rank() != 3 || weight.dims()[0] != c || bias.dims() != [c] {
+        return Err(TensorError::ShapeMismatch {
+            op: "depthwise_conv2d",
+            lhs: weight.dims().to_vec(),
+            rhs: vec![c, cfg.kh, cfg.kw],
+        });
+    }
+    let (oh, ow) = cfg.out_hw(h, w);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let xd = x.data();
+    let wd = weight.data();
+    let bd = bias.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let xbase = (ni * c + ci) * h * w;
+            let wbase = ci * cfg.kh * cfg.kw;
+            let obase = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bd[ci];
+                    for ky in 0..cfg.kh {
+                        let iy = oy * cfg.stride + ky;
+                        if iy < cfg.pad || iy - cfg.pad >= h {
+                            continue;
+                        }
+                        for kx in 0..cfg.kw {
+                            let ix = ox * cfg.stride + kx;
+                            if ix < cfg.pad || ix - cfg.pad >= w {
+                                continue;
+                            }
+                            acc += xd[xbase + (iy - cfg.pad) * w + (ix - cfg.pad)]
+                                * wd[wbase + ky * cfg.kw + kx];
+                        }
+                    }
+                    od[obase + oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of [`depthwise_conv2d`]; returns `(dx, dweight, dbias)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent shapes.
+pub fn depthwise_conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    cfg: Conv2dCfg,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, w) = nchw(x);
+    let (oh, ow) = cfg.out_hw(h, w);
+    if dy.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "depthwise_conv2d_backward",
+            lhs: dy.dims().to_vec(),
+            rhs: vec![n, c, oh, ow],
+        });
+    }
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let mut dweight = Tensor::zeros(&[c, cfg.kh, cfg.kw]);
+    let mut dbias = Tensor::zeros(&[c]);
+    let xd = x.data();
+    let wd = weight.data();
+    let dyd = dy.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let xbase = (ni * c + ci) * h * w;
+            let wbase = ci * cfg.kh * cfg.kw;
+            let obase = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dyd[obase + oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    dbias.data_mut()[ci] += g;
+                    for ky in 0..cfg.kh {
+                        let iy = oy * cfg.stride + ky;
+                        if iy < cfg.pad || iy - cfg.pad >= h {
+                            continue;
+                        }
+                        for kx in 0..cfg.kw {
+                            let ix = ox * cfg.stride + kx;
+                            if ix < cfg.pad || ix - cfg.pad >= w {
+                                continue;
+                            }
+                            let xi = xbase + (iy - cfg.pad) * w + (ix - cfg.pad);
+                            dweight.data_mut()[wbase + ky * cfg.kw + kx] += g * xd[xi];
+                            dx.data_mut()[xi] += g * wd[wbase + ky * cfg.kw + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((dx, dweight, dbias))
+}
+
+/// Reference (naive loop) convolution used by tests and the kernel ablation
+/// bench to validate the im2col fast path.
+pub fn conv2d_naive(x: &Tensor, weight: &Tensor, bias: &Tensor, cfg: Conv2dCfg) -> Result<Tensor> {
+    check_conv_shapes(x, weight, bias, cfg)?;
+    let (n, c, h, w) = nchw(x);
+    let co = weight.dims()[0];
+    let (oh, ow) = cfg.out_hw(h, w);
+    let mut out = Tensor::zeros(&[n, co, oh, ow]);
+    for ni in 0..n {
+        for oi in 0..co {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.data()[oi];
+                    for ci in 0..c {
+                        for ky in 0..cfg.kh {
+                            for kx in 0..cfg.kw {
+                                let iy = (oy * cfg.stride + ky) as isize - cfg.pad as isize;
+                                let ix = (ox * cfg.stride + kx) as isize - cfg.pad as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += x.at(&[ni, ci, iy as usize, ix as usize]).unwrap()
+                                    * weight.at(&[oi, ci, ky, kx]).unwrap();
+                            }
+                        }
+                    }
+                    out.data_mut()[((ni * co + oi) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn check_conv_shapes(x: &Tensor, weight: &Tensor, bias: &Tensor, _cfg: Conv2dCfg) -> Result<()> {
+    if x.shape().rank() != 4
+        || weight.shape().rank() != 4
+        || weight.dims()[1] != x.dims()[1]
+        || bias.dims() != [weight.dims()[0]]
+    {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: x.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+fn nchw(x: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(x.shape().rank(), 4, "expected NCHW tensor");
+    (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_tensor(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), dims)
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is a channel-last reshuffle.
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let cols = im2col(&x, Conv2dCfg::square(1, 1, 0));
+        assert_eq!(cols.dims(), &[4, 2]);
+        assert_eq!(cols.at(&[0, 0]).unwrap(), 0.0); // (0,0) ch0
+        assert_eq!(cols.at(&[0, 1]).unwrap(), 4.0); // (0,0) ch1
+        assert_eq!(cols.at(&[3, 1]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn conv_matches_naive_across_configs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (k, s, p) in [(3, 1, 1), (3, 2, 1), (1, 1, 0), (5, 1, 2), (3, 2, 0)] {
+            let x = rand_tensor(&mut rng, &[2, 3, 8, 8]);
+            let w = rand_tensor(&mut rng, &[4, 3, k, k]);
+            let b = rand_tensor(&mut rng, &[4]);
+            let cfg = Conv2dCfg::square(k, s, p);
+            let fast = conv2d(&x, &w, &b, cfg).unwrap();
+            let slow = conv2d_naive(&x, &w, &b, cfg).unwrap();
+            assert!(fast.allclose(&slow, 1e-4), "mismatch at k={k} s={s} p={p}");
+        }
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // Single-channel 3x3 input, 2x2 kernel of ones: output = patch sums.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, Conv2dCfg::square(2, 1, 0)).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let x = rand_tensor(&mut rng, &[1, 2, 5, 5]);
+        let w = rand_tensor(&mut rng, &[3, 2, 3, 3]);
+        let b = rand_tensor(&mut rng, &[3]);
+        // Scalar objective: sum of outputs -> dy = ones.
+        let y = conv2d(&x, &w, &b, cfg).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let (dx, dw, db) = conv2d_backward(&x, &w, &dy, cfg).unwrap();
+
+        let eps = 1e-3;
+        // Check a handful of coordinates of each gradient.
+        for &i in &[0usize, 7, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = conv2d(&xp, &w, &b, cfg).unwrap().sum();
+            let fm = conv2d(&xm, &w, &b, cfg).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < 1e-2,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+        for &i in &[0usize, 10, 35] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fp = conv2d(&x, &wp, &b, cfg).unwrap().sum();
+            let fm = conv2d(&x, &wm, &b, cfg).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dw.data()[i]).abs() < 1e-2);
+        }
+        for i in 0..3 {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let fp = conv2d(&x, &w, &bp, cfg).unwrap().sum();
+            let fm = conv2d(&x, &w, &bm, cfg).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - db.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
+        // property of an adjoint pair, which backward passes rely on.
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = Conv2dCfg::square(3, 2, 1);
+        let x = rand_tensor(&mut rng, &[2, 2, 6, 6]);
+        let cols = im2col(&x, cfg);
+        let y = rand_tensor(&mut rng, cols.dims());
+        let lhs: f32 = cols.mul(&y).sum();
+        let back = col2im(&y, 2, 2, 6, 6, cfg);
+        let rhs: f32 = x.mul(&back).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_naive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = rand_tensor(&mut rng, &[2, 3, 6, 6]);
+        let w = rand_tensor(&mut rng, &[3, 3, 3]);
+        let b = rand_tensor(&mut rng, &[3]);
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let y = depthwise_conv2d(&x, &w, &b, cfg).unwrap();
+        // Reference: run each channel through conv2d with a 1-channel kernel.
+        for ci in 0..3 {
+            let xc = {
+                let mut d = Vec::new();
+                for ni in 0..2 {
+                    let s = x.index_batch(ni);
+                    d.extend_from_slice(
+                        &s.data()[ci * 36..(ci + 1) * 36],
+                    );
+                }
+                Tensor::from_vec(d, &[2, 1, 6, 6])
+            };
+            let wc = Tensor::from_vec(w.data()[ci * 9..(ci + 1) * 9].to_vec(), &[1, 1, 3, 3]);
+            let bc = Tensor::from_vec(vec![b.data()[ci]], &[1]);
+            let yc = conv2d(&xc, &wc, &bc, cfg).unwrap();
+            for ni in 0..2 {
+                for p in 0..36 {
+                    let got = y.data()[((ni * 3 + ci) * 36) + p];
+                    let want = yc.data()[ni * 36 + p];
+                    assert!((got - want).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let x = rand_tensor(&mut rng, &[1, 2, 4, 4]);
+        let w = rand_tensor(&mut rng, &[2, 3, 3]);
+        let b = rand_tensor(&mut rng, &[2]);
+        let y = depthwise_conv2d(&x, &w, &b, cfg).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let (dx, dw, db) = depthwise_conv2d_backward(&x, &w, &dy, cfg).unwrap();
+        let eps = 1e-3;
+        for &i in &[0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (depthwise_conv2d(&xp, &w, &b, cfg).unwrap().sum()
+                - depthwise_conv2d(&xm, &w, &b, cfg).unwrap().sum())
+                / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-2);
+        }
+        for &i in &[0usize, 8, 17] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (depthwise_conv2d(&x, &wp, &b, cfg).unwrap().sum()
+                - depthwise_conv2d(&x, &wm, &b, cfg).unwrap().sum())
+                / (2.0 * eps);
+            assert!((num - dw.data()[i]).abs() < 1e-2);
+        }
+        for i in 0..2 {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let num = (depthwise_conv2d(&x, &w, &bp, cfg).unwrap().sum()
+                - depthwise_conv2d(&x, &w, &bm, cfg).unwrap().sum())
+                / (2.0 * eps);
+            assert!((num - db.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bad_shapes_error() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 4, 3, 3]); // wrong c_in
+        let b = Tensor::zeros(&[2]);
+        assert!(conv2d(&x, &w, &b, Conv2dCfg::square(3, 1, 1)).is_err());
+        let w = Tensor::zeros(&[2, 3, 3, 3]);
+        let bad_b = Tensor::zeros(&[3]);
+        assert!(conv2d(&x, &w, &bad_b, Conv2dCfg::square(3, 1, 1)).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Deterministic random initialisation used across the model zoo.
+//!
+//! Every experiment in the reproduction threads an explicit seeded
+//! [`StdRng`], so runs are bit-reproducible.
+
+use rand::{rngs::StdRng, Rng};
+
+use crate::Tensor;
+
+/// Uniform initialisation in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(lo..hi)).collect(), dims)
+}
+
+/// Standard normal initialisation scaled by `std`.
+pub fn normal(rng: &mut StdRng, dims: &[usize], std: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| gauss(rng) * std).collect(), dims)
+}
+
+/// He (Kaiming) initialisation for ReLU networks: normal with
+/// `std = sqrt(2 / fan_in)`.
+///
+/// `fan_in` is inferred from the shape: for a conv weight
+/// `[co, ci, kh, kw]` it is `ci*kh*kw`; for a dense weight `[out, in]` it is
+/// `in`; for a depthwise weight `[c, kh, kw]` it is `kh*kw`.
+pub fn he(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    let fan_in: usize = match dims.len() {
+        4 => dims[1] * dims[2] * dims[3],
+        3 => dims[1] * dims[2],
+        2 => dims[1],
+        _ => dims.iter().product(),
+    };
+    normal(rng, dims, (2.0 / fan_in.max(1) as f32).sqrt())
+}
+
+/// Box–Muller standard normal sample.
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(he(&mut a, &[4, 3, 3, 3]), he(&mut b, &[4, 3, 3, 3]));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[1000], -0.5, 0.5);
+        assert!(t.min() >= -0.5 && t.max() < 0.5);
+    }
+
+    #[test]
+    fn he_scale_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Large fan-in => smaller spread. Compare empirical stds.
+        let small_fan = he(&mut rng, &[64, 4]); // fan_in 4
+        let large_fan = he(&mut rng, &[64, 400]); // fan_in 400
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            (t.map(|x| (x - m) * (x - m)).mean()).sqrt()
+        };
+        assert!(std(&small_fan) > 3.0 * std(&large_fan));
+    }
+
+    #[test]
+    fn normal_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = normal(&mut rng, &[10_000], 1.0);
+        assert!(t.mean().abs() < 0.05);
+        let var = t.map(|x| x * x).mean();
+        assert!((var - 1.0).abs() < 0.1);
+    }
+}

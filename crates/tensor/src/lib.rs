@@ -1,0 +1,88 @@
+//! `diva-tensor` — the dense-tensor substrate for the DIVA reproduction.
+//!
+//! Everything in the stack (the graph-IR network executor, the quantization
+//! engine, the attacks) is built on the [`Tensor`] type defined here: a
+//! row-major, heap-allocated `f32` array with an explicit shape.
+//!
+//! The crate provides the numeric kernels the paper's models need:
+//!
+//! * broadcasted elementwise arithmetic ([`Tensor::add`], [`Tensor::mul`], ...)
+//! * matrix multiplication ([`ops::matmul`])
+//! * 2-D convolution via im2col ([`conv`]) plus depthwise convolution
+//! * pooling ([`pool`])
+//! * reductions and argmax/topk ([`Tensor::sum`], [`Tensor::argmax`], ...)
+//! * random initialisation ([`init`])
+//!
+//! # Example
+//!
+//! ```
+//! use diva_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.add(&b);
+//! assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+//! ```
+
+mod tensor;
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod pool;
+mod shape;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide error type.
+///
+/// All fallible public operations return [`Result<T, TensorError>`]. Shape
+/// mismatches are by far the most common failure and carry both shapes so the
+/// message pinpoints the offending call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left / primary operand.
+        lhs: Vec<usize>,
+        /// Shape of the right / secondary operand (or requested shape).
+        rhs: Vec<usize>,
+    },
+    /// A reshape asked for a different number of elements.
+    BadReshape {
+        /// Existing shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An index was out of range for the tensor's shape.
+    IndexOutOfRange {
+        /// The offending index.
+        index: Vec<usize>,
+        /// Shape it was checked against.
+        shape: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TensorError::IndexOutOfRange { index, shape } => {
+                write!(f, "index {index:?} out of range for shape {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T, E = TensorError> = std::result::Result<T, E>;

@@ -1,0 +1,247 @@
+//! Linear-algebra kernels: matrix multiplication and friends.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+///
+/// The kernel is a cache-friendly i-k-j loop ordering over the row-major
+/// buffers, which is the workhorse behind both dense layers and im2col
+/// convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a` is `[m, k]` and `b` is
+/// `[k, n]`.
+///
+/// ```
+/// use diva_tensor::{ops::matmul, Tensor};
+///
+/// # fn main() -> Result<(), diva_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 || a.dims()[1] != b.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let o_row = &mut od[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue; // skip: helps heavily pruned weights
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `a^T x b` without materialising the transpose: `[k, m]^T x [k, n] -> [m, n]`.
+///
+/// Used in dense-layer backward passes where the weight gradient is
+/// `x^T · dy`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a` is `[k, m]` and `b` is
+/// `[k, n]`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 || a.dims()[0] != b.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for kk in 0..k {
+        let a_row = &ad[kk * m..(kk + 1) * m];
+        let b_row = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let o_row = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `a x b^T`: `[m, k] x [n, k]^T -> [m, n]`.
+///
+/// Used in dense-layer backward passes where the input gradient is
+/// `dy · W` with `W` stored `[out, in]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a` is `[m, k]` and `b` is
+/// `[n, k]`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 || a.dims()[1] != b.dims()[1] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[0];
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let dot: f32 = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            od[i * n + j] = dot;
+        }
+    }
+    Ok(out)
+}
+
+/// Numerically stable softmax along the last dimension of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax_rows requires rank 2");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for i in 0..n {
+        let row = &mut data[i * c..(i + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    out
+}
+
+/// Natural-log of softmax along the last dimension of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "log_softmax_rows requires rank 2");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for i in 0..n {
+        let row = &mut data[i * c..(i + 1) * c];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= log_sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]).unwrap() * b.at(&[kk, j]).unwrap();
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5 - 2.0).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..20).map(|x| (x as f32).sin()).collect(), &[4, 5]);
+        let fast = matmul(&a, &b).unwrap();
+        assert!(fast.allclose(&naive_matmul(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.1).collect(), &[2, 6]);
+        // a^T b via explicit transpose
+        let expect = matmul(&a.transpose(), &b).unwrap();
+        assert!(matmul_at_b(&a, &b).unwrap().allclose(&expect, 1e-5));
+
+        let c = Tensor::from_vec((0..18).map(|x| x as f32 * 0.3).collect(), &[6, 3]);
+        let expect = matmul(&a, &c.transpose()).unwrap();
+        assert!(matmul_a_bt(&a, &c).unwrap().allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1001.0, 999.0], &[2, 3]);
+        let s = softmax_rows(&t);
+        for i in 0..2 {
+            let row_sum: f32 = s.row(i).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Stability: huge logits must not produce NaN.
+        assert!(s.data().iter().all(|x| x.is_finite()));
+        // Monotone: bigger logit, bigger probability.
+        assert!(s.at(&[0, 2]).unwrap() > s.at(&[0, 0]).unwrap());
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]);
+        let p = softmax_rows(&t);
+        let lp = log_softmax_rows(&t);
+        for j in 0..3 {
+            assert!((p.at(&[0, j]).unwrap().ln() - lp.at(&[0, j]).unwrap()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Pooling kernels: max pooling (with argmax-routing backward) and global
+//! average pooling.
+
+use crate::{Result, Tensor, TensorError};
+
+/// 2-D max pooling over NCHW input with a `k`×`k` window and given stride.
+///
+/// Returns the pooled tensor and the flat argmax index of each output element
+/// (into the input buffer), which the backward pass uses to route gradients.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the input is not rank 4 or the
+/// window does not fit.
+pub fn max_pool2d(x: &Tensor, k: usize, stride: usize) -> Result<(Tensor, Vec<usize>)> {
+    if x.shape().rank() != 4 || x.dims()[2] < k || x.dims()[3] < k {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_pool2d",
+            lhs: x.dims().to_vec(),
+            rhs: vec![k, k],
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = base + (oy * stride + ky) * w + (ox * stride + kx);
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_i = idx;
+                            }
+                        }
+                    }
+                    od[obase + oy * ow + ox] = best;
+                    arg[obase + oy * ow + ox] = best_i;
+                }
+            }
+        }
+    }
+    Ok((out, arg))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each upstream gradient to the
+/// input position that produced the max.
+pub fn max_pool2d_backward(dy: &Tensor, arg: &[usize], input_dims: &[usize]) -> Tensor {
+    let mut dx = Tensor::zeros(input_dims);
+    let dd = dy.data();
+    let dxd = dx.data_mut();
+    for (g, &src) in dd.iter().zip(arg) {
+        dxd[src] += g;
+    }
+    dx
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the input is not rank 4.
+pub fn global_avg_pool(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::ShapeMismatch {
+            op: "global_avg_pool",
+            lhs: x.dims().to_vec(),
+            rhs: vec![0, 0, 0, 0],
+        });
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let area = (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            od[ni * c + ci] = xd[base..base + h * w].iter().sum::<f32>() / area;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`global_avg_pool`]: spreads each gradient uniformly over
+/// the spatial positions it averaged.
+pub fn global_avg_pool_backward(dy: &Tensor, input_dims: &[usize]) -> Tensor {
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let area = (h * w) as f32;
+    let mut dx = Tensor::zeros(input_dims);
+    let dd = dy.data();
+    let dxd = dx.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = dd[ni * c + ci] / area;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut dxd[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, arg) = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (_, arg) = max_pool2d(&x, 2, 2).unwrap();
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let dx = max_pool2d_backward(&dy, &arg, &[1, 1, 4, 4]);
+        assert_eq!(dx.data()[5], 1.0);
+        assert_eq!(dx.data()[7], 2.0);
+        assert_eq!(dx.data()[13], 3.0);
+        assert_eq!(dx.data()[15], 4.0);
+        assert_eq!(dx.sum(), 10.0);
+    }
+
+    #[test]
+    fn gap_and_backward() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+        let dy = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let dx = global_avg_pool_backward(&dy, &[1, 2, 2, 2]);
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_shape_errors() {
+        assert!(max_pool2d(&Tensor::zeros(&[2, 2]), 2, 2).is_err());
+        assert!(max_pool2d(&Tensor::zeros(&[1, 1, 1, 1]), 2, 2).is_err());
+        assert!(global_avg_pool(&Tensor::zeros(&[3, 3])).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Shape bookkeeping: dimension lists, strides, and broadcasting rules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TensorError;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension sizes.
+///
+/// Shapes follow NumPy conventions: row-major (C order) layout, and
+/// right-aligned broadcasting where size-1 dimensions stretch.
+///
+/// ```
+/// use diva_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar shape `[]` (one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the shape holds no elements (some dimension is zero).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (stride, &dim) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *stride = acc;
+            acc *= dim;
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfRange`] if `index` has the wrong rank
+    /// or any coordinate exceeds its dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.0.len() || index.iter().zip(&self.0).any(|(&i, &d)| i >= d) {
+            return Err(TensorError::IndexOutOfRange {
+                index: index.to_vec(),
+                shape: self.0.clone(),
+            });
+        }
+        Ok(index
+            .iter()
+            .zip(self.strides())
+            .map(|(&i, s)| i * s)
+            .sum())
+    }
+
+    /// Broadcasts two shapes together under NumPy rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when a non-1 dimension pair
+    /// disagrees.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0; rank];
+        for i in 0..rank {
+            let a = dim_right_aligned(&self.0, rank, i);
+            let b = dim_right_aligned(&other.0, rank, i);
+            dims[i] = match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "broadcast",
+                        lhs: self.0.clone(),
+                        rhs: other.0.clone(),
+                    })
+                }
+            };
+        }
+        Ok(Shape(dims))
+    }
+}
+
+/// Dimension at result-position `i` (left-indexed in a rank-`rank` result)
+/// when `dims` is right-aligned against the result; missing dims are 1.
+fn dim_right_aligned(dims: &[usize], rank: usize, i: usize) -> usize {
+    let pad = rank - dims.len();
+    if i < pad {
+        1
+    } else {
+        dims[i - pad]
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offsets() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 5);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(&[4, 1, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[4, 2, 3]));
+        let c = Shape::new(&[5]);
+        assert!(a.broadcast(&c).is_err());
+        assert_eq!(
+            Shape::scalar().broadcast(&a).unwrap(),
+            Shape::new(&[4, 1, 3])
+        );
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Shape::new(&[2, 0, 3]).len(), 0);
+        assert!(Shape::new(&[2, 0, 3]).is_empty());
+        assert_eq!(Shape::scalar().len(), 1);
+    }
+}

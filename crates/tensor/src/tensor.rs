@@ -1,0 +1,633 @@
+//! The dense `f32` tensor type and its elementwise / reduction methods.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major, heap-allocated `f32` tensor.
+///
+/// `Tensor` is the single numeric currency of the DIVA reproduction: model
+/// parameters, activations, gradients, images, and adversarial perturbations
+/// are all `Tensor`s. Elementwise binary operations broadcast their operands
+/// under NumPy rules.
+///
+/// ```
+/// use diva_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+/// assert_eq!(x.relu().data(), &[1.0, 0.0, 3.0]);
+/// assert_eq!(x.abs().sum(), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count; a raw
+    /// length mismatch is always a programming error.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            dims
+        );
+        Tensor { shape, data }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.len()];
+        Tensor { shape, data }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Self::full(dims, 0.0)
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Zeros with the same shape as `self`.
+    pub fn zeros_like(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: vec![0.0; self.data.len()],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the raw buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfRange`] for a bad index.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Reshapes without copying data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadReshape`] if element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let new = Shape::new(dims);
+        if new.len() != self.shape.len() {
+            return Err(TensorError::BadReshape {
+                from: self.shape.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: new,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Broadcasted binary operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible; use
+    /// [`Tensor::try_zip`] for a fallible variant.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.try_zip(other, f)
+            .expect("broadcast-incompatible shapes in Tensor::zip")
+    }
+
+    /// Broadcasted binary operation, fallible variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes do not broadcast.
+    pub fn try_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape == other.shape {
+            // Fast path: identical shapes.
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Ok(Tensor {
+                shape: self.shape.clone(),
+                data,
+            });
+        }
+        let out_shape = self.shape.broadcast(&other.shape)?;
+        let mut out = Tensor::zeros(out_shape.dims());
+        let a_idx = BroadcastIndexer::new(&self.shape, &out_shape);
+        let b_idx = BroadcastIndexer::new(&other.shape, &out_shape);
+        for (flat, slot) in out.data.iter_mut().enumerate() {
+            *slot = f(self.data[a_idx.map(flat)], other.data[b_idx.map(flat)]);
+        }
+        Ok(out)
+    }
+
+    /// Elementwise (broadcasted) addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise (broadcasted) subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (broadcasted) multiplication.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise (broadcasted) division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Adds `other * scale` into `self` in place (shapes must match exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, scale: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "axpy requires identical shapes: {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Elementwise max(x, 0).
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise sign (-1, 0, +1).
+    pub fn signum(&self) -> Tensor {
+        self.map(|x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Minimum element (+inf for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum element (-inf for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element (first on ties); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .fold(None, |best, (i, &x)| match best {
+                Some((_, bx)) if bx >= x => best,
+                _ => Some((i, x)),
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Indices of the `k` largest elements, in descending value order.
+    pub fn topk(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.data.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.data[b]
+                .partial_cmp(&self.data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm2(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// L1 norm of the flattened tensor.
+    pub fn norm1(&self) -> f32 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// L∞ norm of the flattened tensor.
+    pub fn norm_inf(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Sums along axis `axis`, removing that dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        let dims = self.shape.dims();
+        assert!(axis < dims.len(), "axis {axis} out of range");
+        let out_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != axis)
+            .map(|(_, &d)| d)
+            .collect();
+        let mut out = Tensor::zeros(&out_dims);
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        for o in 0..outer {
+            for m in 0..mid {
+                let src = (o * mid + m) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    out.data[dst + i] += self.data[src + i];
+                }
+            }
+        }
+        out
+    }
+
+    /// Means along axis `axis`, removing that dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let d = self.shape.dims()[axis].max(1) as f32;
+        self.sum_axis(axis).scale(1.0 / d)
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a new rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or `i` is out of range.
+    pub fn row(&self, i: usize) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        Tensor::from_vec(self.data[i * cols..(i + 1) * cols].to_vec(), &[cols])
+    }
+
+    /// Extracts sample `i` along the leading (batch) dimension.
+    ///
+    /// For a `[n, c, h, w]` tensor this returns `[c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank-0 or `i` is out of range.
+    pub fn index_batch(&self, i: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1, "index_batch() requires rank >= 1");
+        let n = self.shape.dim(0);
+        assert!(i < n, "batch index {i} out of range for batch size {n}");
+        let rest: Vec<usize> = self.shape.dims()[1..].to_vec();
+        let stride: usize = rest.iter().product();
+        Tensor::from_vec(self.data[i * stride..(i + 1) * stride].to_vec(), &rest)
+    }
+
+    /// Stacks same-shaped tensors along a new leading batch dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "stack() of zero tensors");
+        let inner = items[0].shape.clone();
+        let mut data = Vec::with_capacity(items.len() * inner.len());
+        for t in items {
+            assert_eq!(t.shape, inner, "stack() requires identical shapes");
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(inner.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose() requires a rank-2 tensor");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// True when every pair of elements differs by at most `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Maps flat indices in a broadcast output back to a (smaller) operand.
+struct BroadcastIndexer {
+    /// For each output dimension: (output stride, operand stride or 0).
+    dims: Vec<(usize, usize, usize)>, // (out_dim, out_stride, src_stride)
+}
+
+impl BroadcastIndexer {
+    fn new(src: &Shape, out: &Shape) -> Self {
+        let out_strides = out.strides();
+        let src_strides = src.strides();
+        let pad = out.rank() - src.rank();
+        let dims = (0..out.rank())
+            .map(|i| {
+                let src_stride = if i < pad {
+                    0
+                } else if src.dim(i - pad) == 1 && out.dim(i) != 1 {
+                    0
+                } else {
+                    src_strides[i - pad]
+                };
+                (out.dim(i), out_strides[i], src_stride)
+            })
+            .collect();
+        BroadcastIndexer { dims }
+    }
+
+    fn map(&self, flat: usize) -> usize {
+        let mut rem = flat;
+        let mut src = 0;
+        for &(dim, out_stride, src_stride) in &self.dims {
+            let coord = (rem / out_stride) % dim;
+            src += coord * src_stride;
+            rem %= out_stride;
+        }
+        src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(t.at(&[1, 2]).unwrap(), 6.0);
+        assert!(t.at(&[2, 0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn elementwise_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(a.sub(&b).data(), &[-2.0, -3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        assert_eq!(b.div(&a).data(), &[3.0, 2.5]);
+    }
+
+    #[test]
+    fn broadcast_row_and_scalar() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let row = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let r = m.add(&row);
+        assert_eq!(r.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+
+        let col = Tensor::from_vec(vec![100.0, 200.0], &[2, 1]);
+        let r = m.add(&col);
+        assert_eq!(r.data(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+
+        let s = Tensor::scalar(1.0);
+        assert_eq!(m.add(&s).data(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn broadcast_incompatible_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4]);
+        assert!(a.try_zip(&b, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 2.0 / 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.norm1(), 6.0);
+        assert_eq!(t.norm_inf(), 3.0);
+        assert!((t.norm2() - (14.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_and_topk() {
+        let t = Tensor::from_vec(vec![0.1, 0.7, 0.3, 0.7], &[4]);
+        assert_eq!(t.argmax(), Some(1)); // first on ties
+        assert_eq!(t.topk(3), vec![1, 3, 2]);
+        assert_eq!(Tensor::zeros(&[0]).argmax(), None);
+    }
+
+    #[test]
+    fn reshape_checks_len() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.reshape(&[6]).is_ok());
+        assert!(t.reshape(&[3, 2]).is_ok());
+        assert!(t.reshape(&[4]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let tt = t.transpose();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]).unwrap(), t.at(&[1, 2]).unwrap());
+        assert_eq!(tt.transpose(), t);
+    }
+
+    #[test]
+    fn stack_and_index_batch() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.index_batch(0), a);
+        assert_eq!(s.index_batch(1), b);
+    }
+
+    #[test]
+    fn unary_ops() {
+        let t = Tensor::from_vec(vec![-1.5, 0.0, 2.5], &[3]);
+        assert_eq!(t.relu().data(), &[0.0, 0.0, 2.5]);
+        assert_eq!(t.signum().data(), &[-1.0, 0.0, 1.0]);
+        assert_eq!(t.clamp(-1.0, 1.0).data(), &[-1.0, 0.0, 1.0]);
+        assert_eq!(t.abs().data(), &[1.5, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn sum_and_mean_axis() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]);
+        let s0 = t.sum_axis(0);
+        assert_eq!(s0.dims(), &[3, 4]);
+        assert_eq!(s0.at(&[0, 0]).unwrap(), 0.0 + 12.0);
+        let s1 = t.sum_axis(1);
+        assert_eq!(s1.dims(), &[2, 4]);
+        assert_eq!(s1.at(&[0, 0]).unwrap(), 0.0 + 4.0 + 8.0);
+        let s2 = t.sum_axis(2);
+        assert_eq!(s2.dims(), &[2, 3]);
+        assert_eq!(s2.at(&[0, 0]).unwrap(), 0.0 + 1.0 + 2.0 + 3.0);
+        let m2 = t.mean_axis(2);
+        assert_eq!(m2.at(&[1, 2]).unwrap(), (20.0 + 21.0 + 22.0 + 23.0) / 4.0);
+        // Total is preserved by any axis sum.
+        assert_eq!(s0.sum(), t.sum());
+        assert_eq!(s1.sum(), t.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 3 out of range")]
+    fn sum_axis_bad_axis_panics() {
+        let _ = Tensor::zeros(&[2, 2, 2]).sum_axis(3);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[0.5, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0005, 2.0], &[2]);
+        assert!(a.allclose(&b, 1e-3));
+        assert!(!a.allclose(&b, 1e-4));
+        assert!(!a.allclose(&Tensor::zeros(&[3]), 1.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These exercise algebraic laws that the rest of the stack silently assumes:
+//! broadcasting commutativity, matmul linearity, im2col/col2im adjointness,
+//! and conv fast-path/naive agreement on arbitrary shapes.
+
+use diva_tensor::conv::{col2im, conv2d, conv2d_naive, im2col, Conv2dCfg};
+use diva_tensor::ops::{matmul, softmax_rows};
+use diva_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &dims))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in tensor_strategy(vec![3, 4]), b in tensor_strategy(vec![3, 4])) {
+        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-6));
+    }
+
+    #[test]
+    fn broadcast_add_row_matches_manual(
+        m in tensor_strategy(vec![3, 4]),
+        row in tensor_strategy(vec![4]),
+    ) {
+        let broadcasted = m.add(&row);
+        for i in 0..3 {
+            for j in 0..4 {
+                let want = m.at(&[i, j]).unwrap() + row.at(&[j]).unwrap();
+                prop_assert!((broadcasted.at(&[i, j]).unwrap() - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in tensor_strategy(vec![2, 3]),
+        b in tensor_strategy(vec![3, 4]),
+        c in tensor_strategy(vec![3, 4]),
+    ) {
+        let lhs = matmul(&a, &b.add(&c)).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap());
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_identity(a in tensor_strategy(vec![4, 4])) {
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 { eye.data_mut()[i * 4 + i] = 1.0; }
+        prop_assert!(matmul(&a, &eye).unwrap().allclose(&a, 1e-6));
+        prop_assert!(matmul(&eye, &a).unwrap().allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(logits in tensor_strategy(vec![5, 7])) {
+        let p = softmax_rows(&logits);
+        for i in 0..5 {
+            let row = p.row(i);
+            prop_assert!(row.min() >= 0.0);
+            prop_assert!((row.sum() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_fast_matches_naive(
+        x in tensor_strategy(vec![1, 2, 6, 6]),
+        w in tensor_strategy(vec![3, 2, 3, 3]),
+        b in tensor_strategy(vec![3]),
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let cfg = Conv2dCfg::square(3, stride, pad);
+        let fast = conv2d(&x, &w, &b, cfg).unwrap();
+        let slow = conv2d_naive(&x, &w, &b, cfg).unwrap();
+        prop_assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        x in tensor_strategy(vec![1, 2, 5, 5]),
+        stride in 1usize..3,
+    ) {
+        let cfg = Conv2dCfg::square(3, stride, 1);
+        let cols = im2col(&x, cfg);
+        // y = all-ones cotangent
+        let y = Tensor::ones(cols.dims());
+        let lhs = cols.sum();
+        let back = col2im(&y, 1, 2, 5, 5, cfg);
+        let rhs = x.mul(&back).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn clamp_idempotent(a in tensor_strategy(vec![10])) {
+        let c1 = a.clamp(-1.0, 1.0);
+        let c2 = c1.clamp(-1.0, 1.0);
+        prop_assert!(c1.allclose(&c2, 0.0));
+        prop_assert!(c1.min() >= -1.0 && c1.max() <= 1.0);
+    }
+
+    #[test]
+    fn signum_times_abs_recovers(a in tensor_strategy(vec![16])) {
+        let rebuilt = a.signum().mul(&a.abs());
+        prop_assert!(rebuilt.allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn topk_sorted_descending(a in tensor_strategy(vec![20]), k in 1usize..20) {
+        let idx = a.topk(k);
+        prop_assert_eq!(idx.len(), k);
+        for pair in idx.windows(2) {
+            prop_assert!(a.data()[pair[0]] >= a.data()[pair[1]]);
+        }
+        // topk(1) agrees with argmax
+        prop_assert_eq!(a.topk(1)[0], a.argmax().unwrap());
+    }
+
+    #[test]
+    fn stack_then_index_batch_round_trips(
+        a in tensor_strategy(vec![2, 3]),
+        b in tensor_strategy(vec![2, 3]),
+    ) {
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        prop_assert!(s.index_batch(0).allclose(&a, 0.0));
+        prop_assert!(s.index_batch(1).allclose(&b, 0.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! DIVA generalizes beyond quantization: attacking a *pruned* edge model
+//! (§5.6), including the pruned-then-quantized combination.
+//!
+//! ```sh
+//! cargo run --release --example pruning_attack
+//! ```
+
+use diva_repro::core::attack::{diva_attack, pgd_attack, AttackCfg};
+use diva_repro::core::pipeline::evaluate_attack;
+use diva_repro::data::imagenet::{synth_imagenet, ImagenetCfg};
+use diva_repro::data::select_validation;
+use diva_repro::metrics::instability;
+use diva_repro::models::{Architecture, ModelCfg};
+use diva_repro::nn::train::{train_classifier, TrainCfg};
+use diva_repro::prune::{prune_with_finetune, sparse_size_ratio, PruneCfg};
+use diva_repro::quant::{QatNetwork, QuantCfg};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let data_cfg = ImagenetCfg::default();
+    let train = synth_imagenet(1024, &data_cfg, 30);
+    let val = synth_imagenet(512, &data_cfg, 31);
+
+    println!("training the original model ...");
+    let mut original =
+        Architecture::DenseNet.build(&ModelCfg::standard(train.num_classes), &mut rng);
+    let tcfg = TrainCfg {
+        epochs: 14,
+        batch_size: 32,
+        lr: 0.02,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    train_classifier(&mut original, &train.images, &train.labels, &tcfg, &mut rng);
+    train_classifier(
+        &mut original,
+        &train.images,
+        &train.labels,
+        &TrainCfg { epochs: 6, lr: 0.005, ..tcfg.clone() },
+        &mut rng,
+    );
+
+    println!("pruning to 2/3 sparsity with fine-tuning ...");
+    let mut pruned = original.clone();
+    prune_with_finetune(
+        &mut pruned,
+        &train.images,
+        &train.labels,
+        &PruneCfg::default(),
+        &TrainCfg { epochs: 6, lr: 0.005, ..tcfg.clone() },
+        &mut rng,
+    );
+    println!(
+        "  sparse-storage size: {:.0}% of dense fp32",
+        100.0 * sparse_size_ratio(&pruned)
+    );
+
+    println!("then quantizing the pruned model (pruned+quantized variant) ...");
+    let mut pq = QatNetwork::new(pruned.clone(), QuantCfg::default());
+    pq.calibrate(&train.images);
+    pq.train_qat(
+        &train.images,
+        &train.labels,
+        &TrainCfg { epochs: 2, lr: 0.004, ..tcfg },
+        &mut rng,
+    );
+
+    let (_, _, inst) = instability(&original, &pruned, &val.images, &val.labels);
+    println!("  original-vs-pruned instability: {:.1}%", 100.0 * inst);
+
+    let atk = AttackCfg::paper_default();
+    // Pruned (fp32, sparse) edge model.
+    let set = select_validation(&val, &[&original, &pruned], 4);
+    println!("\nattacks on the pruned model ({} images):", set.len());
+    for name in ["PGD", "DIVA"] {
+        let adv = match name {
+            "PGD" => pgd_attack(&pruned, &set.images, &set.labels, &atk),
+            _ => diva_attack(&original, &pruned, &set.images, &set.labels, 1.0, &atk),
+        };
+        let counts = evaluate_attack(&original, &pruned, &adv, &set.labels);
+        println!(
+            "  {name}: evasive success {:5.1}%   server fooled {:5.1}%",
+            100.0 * counts.top1_rate(),
+            100.0 * counts.original_fooled_rate(),
+        );
+    }
+    // Pruned + quantized edge model.
+    let set = select_validation(&val, &[&original, &pq], 4);
+    println!("\nattacks on the pruned+quantized model ({} images):", set.len());
+    for name in ["PGD", "DIVA"] {
+        let adv = match name {
+            "PGD" => pgd_attack(&pq, &set.images, &set.labels, &atk),
+            _ => diva_attack(&original, &pq, &set.images, &set.labels, 1.0, &atk),
+        };
+        let counts = evaluate_attack(&original, &pq, &adv, &set.labels);
+        println!(
+            "  {name}: evasive success {:5.1}%   server fooled {:5.1}%",
+            100.0 * counts.top1_rate(),
+            100.0 * counts.original_fooled_rate(),
+        );
+    }
+}

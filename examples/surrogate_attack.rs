@@ -1,0 +1,125 @@
+//! Semi-blackbox and blackbox DIVA: attacking with *surrogate* models
+//! reconstructed from a deployed int8 engine (§4.3/§4.4).
+//!
+//! The attacker here never touches the victim's fp32 weights or training
+//! data: they pull the int8 model off a device, recover a differentiable
+//! copy, distill surrogates on their own data, and attack through those.
+//!
+//! ```sh
+//! cargo run --release --example surrogate_attack
+//! ```
+
+use diva_repro::core::attack::{diva_attack, AttackCfg};
+use diva_repro::core::pipeline::{
+    evaluate_attack, prepare_blackbox, prepare_semi_blackbox,
+};
+use diva_repro::data::imagenet::{synth_imagenet, ImagenetCfg};
+use diva_repro::data::select_validation;
+use diva_repro::distill::{agreement, DistillCfg};
+use diva_repro::models::{Architecture, ModelCfg};
+use diva_repro::nn::train::{train_classifier, TrainCfg};
+use diva_repro::quant::{Int8Engine, QatNetwork, QuantCfg};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data_cfg = ImagenetCfg::default();
+
+    // --- victim side ------------------------------------------------------
+    println!("[victim] training + adapting ...");
+    let victim_train = synth_imagenet(1024, &data_cfg, 20);
+    let model_cfg = ModelCfg::standard(victim_train.num_classes);
+    let mut original = Architecture::ResNet.build(&model_cfg, &mut rng);
+    let tcfg = TrainCfg {
+        epochs: 14,
+        batch_size: 32,
+        lr: 0.02,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    train_classifier(&mut original, &victim_train.images, &victim_train.labels, &tcfg, &mut rng);
+    train_classifier(
+        &mut original,
+        &victim_train.images,
+        &victim_train.labels,
+        &TrainCfg { epochs: 6, lr: 0.005, ..tcfg.clone() },
+        &mut rng,
+    );
+    let mut qat = QatNetwork::new(original.clone(), QuantCfg::default());
+    qat.calibrate(&victim_train.images);
+    qat.train_qat(
+        &victim_train.images,
+        &victim_train.labels,
+        &TrainCfg { epochs: 2, lr: 0.004, ..tcfg.clone() },
+        &mut rng,
+    );
+    // This is all the attacker can physically obtain: the deployed engine.
+    let deployed = Int8Engine::from_qat(&qat);
+
+    // --- attacker side ----------------------------------------------------
+    // Disjoint attacker-held data (different seed => different images).
+    let attacker_data = synth_imagenet(512, &data_cfg, 21);
+    let distill_cfg = DistillCfg::default();
+    let surr_train = TrainCfg {
+        epochs: 6,
+        batch_size: 32,
+        lr: 0.01,
+        momentum: 0.9,
+        weight_decay: 0.0,
+    };
+
+    println!("[attacker] semi-blackbox: extract engine + distill surrogate original ...");
+    let semi = prepare_semi_blackbox(
+        &deployed,
+        original.graph(),
+        &attacker_data.images,
+        &distill_cfg,
+        &surr_train,
+        &mut rng,
+    );
+    println!(
+        "  surrogate/teacher agreement: {:.1}%",
+        100.0 * agreement(&semi.surrogate_original, &deployed, &attacker_data.images)
+    );
+
+    println!("[attacker] blackbox: distill surrogate pair from query access ...");
+    let fresh = Architecture::ResNet.build(&model_cfg, &mut rng);
+    let black = prepare_blackbox(
+        &deployed,
+        fresh,
+        &attacker_data.images,
+        &distill_cfg,
+        &surr_train,
+        QuantCfg::default(),
+        &mut rng,
+    );
+
+    // --- evaluation against the TRUE models --------------------------------
+    let val = synth_imagenet(512, &data_cfg, 22);
+    let attack_set = select_validation(&val, &[&original, &qat], 4);
+    println!("[eval] attacking {} mutually-correct images", attack_set.len());
+    let atk = AttackCfg::paper_default();
+
+    let settings: [(&str, &diva_repro::nn::Network, &QatNetwork); 3] = [
+        ("whitebox      ", &original, &qat),
+        ("semi-blackbox ", &semi.surrogate_original, &semi.recovered_adapted),
+        ("blackbox      ", &black.surrogate_original, &black.surrogate_adapted),
+    ];
+    for (name, grad_orig, grad_adapted) in settings {
+        let adv = diva_attack(
+            grad_orig,
+            grad_adapted,
+            &attack_set.images,
+            &attack_set.labels,
+            1.0,
+            &atk,
+        );
+        let counts = evaluate_attack(&original, &qat, &adv, &attack_set.labels);
+        println!(
+            "  DIVA {name}: evasive success {:5.1}%   server fooled {:5.1}%",
+            100.0 * counts.top1_rate(),
+            100.0 * counts.original_fooled_rate(),
+        );
+    }
+    println!("\nLess attacker knowledge => lower (but still substantial) evasive success.");
+}

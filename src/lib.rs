@@ -1,0 +1,15 @@
+//! `diva-repro` — facade crate for the DIVA (MLSys 2022) reproduction.
+//!
+//! Re-exports every subsystem crate under one roof so the examples and
+//! integration tests can `use diva_repro::...`. See the repository README and
+//! DESIGN.md for the architecture, and `crates/core` for the attack itself.
+
+pub use diva_core as core;
+pub use diva_data as data;
+pub use diva_distill as distill;
+pub use diva_metrics as metrics;
+pub use diva_models as models;
+pub use diva_nn as nn;
+pub use diva_prune as prune;
+pub use diva_quant as quant;
+pub use diva_tensor as tensor;

@@ -1,0 +1,173 @@
+//! Integration tests of the adaptation pipeline spanning crates:
+//! training → QAT → int8 engine deployment → weight extraction, and
+//! training → pruning → quantization, across all architecture families.
+
+use diva_repro::data::imagenet::{synth_imagenet, ImagenetCfg};
+use diva_repro::distill::agreement;
+use diva_repro::models::{Architecture, ModelCfg};
+use diva_repro::nn::train::{evaluate, train_classifier, TrainCfg};
+use diva_repro::prune::{prune_with_finetune, PruneCfg};
+use diva_repro::quant::{extract_qat, Int8Engine, QatNetwork, QuantCfg};
+use rand::{rngs::StdRng, SeedableRng};
+
+type Trained = (diva_repro::nn::Network, diva_repro::data::Dataset, diva_repro::data::Dataset);
+
+/// Trains one small victim per architecture, cached across this binary's
+/// tests (training dominates the runtime).
+fn train_small(arch: Architecture) -> &'static Trained {
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<&'static str, &'static Trained>>> =
+        std::sync::OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    let mut guard = cache.lock().unwrap();
+    if let Some(t) = guard.get(arch.name()) {
+        return t;
+    }
+    let seed = 60;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Easy data + a hot learning rate: these tests check pipeline
+    // correctness, not the paper's accuracy regime.
+    let data_cfg = ImagenetCfg {
+        noise: 0.06,
+        color_jitter: 0.12,
+        ..ImagenetCfg::default()
+    };
+    // A 4-class subset converges quickly for every family; these tests
+    // check cross-crate correctness, not the paper's accuracy regime.
+    let train = synth_imagenet(1024, &data_cfg, seed).retain_classes(4);
+    let val = synth_imagenet(2048, &data_cfg, seed + 1).retain_classes(4);
+    let mut net = arch.build(&ModelCfg::standard(4), &mut rng);
+    let tcfg = TrainCfg {
+        epochs: 12,
+        batch_size: 32,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    train_classifier(&mut net, &train.images, &train.labels, &tcfg, &mut rng);
+    let acc = evaluate(&net, &val.images, &val.labels);
+    assert!(acc > 0.6, "{arch} failed to train: acc {acc}");
+    let leaked: &'static Trained = Box::leak(Box::new((net, train, val)));
+    guard.insert(arch.name(), leaked);
+    leaked
+}
+
+#[test]
+fn quantization_preserves_topline_accuracy_all_families() {
+    for arch in Architecture::ALL {
+        let (net, train, val) = train_small(arch).clone();
+        let fp_acc = evaluate(&net, &val.images, &val.labels);
+        let mut qat = QatNetwork::new(net, QuantCfg::default());
+        qat.calibrate(&train.images);
+        let q_acc = evaluate(&qat, &val.images, &val.labels);
+        // Table 1's premise: the quantized model retains ≥90% of the
+        // original's (already modest, small-model) accuracy.
+        assert!(
+            q_acc >= 0.9 * fp_acc - 0.02,
+            "{arch}: fp {fp_acc} vs int8 {q_acc}"
+        );
+    }
+}
+
+#[test]
+fn deployed_engine_matches_qat_for_every_family() {
+    for arch in Architecture::ALL {
+        let (net, train, val) = train_small(arch).clone();
+        let mut qat = QatNetwork::new(net, QuantCfg::default());
+        qat.calibrate(&train.images);
+        let engine = Int8Engine::from_qat(&qat);
+        let agree = agreement(&qat, &engine, &val.images);
+        // Rounding (±1 LSB per op) flips only low-confidence samples, so
+        // agreement is high but not perfect — as with QAT vs TFLite.
+        assert!(
+            agree > 0.82,
+            "{arch}: QAT/engine prediction agreement only {agree}"
+        );
+        let qat_acc = evaluate(&qat, &val.images, &val.labels);
+        let eng_acc = evaluate(&engine, &val.images, &val.labels);
+        assert!(
+            (qat_acc - eng_acc).abs() < 0.06,
+            "{arch}: QAT acc {qat_acc} vs engine acc {eng_acc}"
+        );
+    }
+}
+
+#[test]
+fn extraction_round_trips_through_deployment() {
+    // victim QAT -> engine -> attacker extraction -> same predictions:
+    // the §4.3 "recover the differentiable model ... retain its accuracy
+    // without any fine-tuning" property, end to end.
+    let (net, train, val) = train_small(Architecture::ResNet).clone();
+    let graph = net.graph().clone();
+    let mut qat = QatNetwork::new(net, QuantCfg::default());
+    qat.calibrate(&train.images);
+    let engine = Int8Engine::from_qat(&qat);
+    let recovered = extract_qat(&engine, &graph);
+    let engine_acc = evaluate(&engine, &val.images, &val.labels);
+    let recovered_acc = evaluate(&recovered, &val.images, &val.labels);
+    assert!(
+        (engine_acc - recovered_acc).abs() < 0.05,
+        "engine {engine_acc} vs recovered {recovered_acc}"
+    );
+    assert!(agreement(&recovered, &engine, &val.images) > 0.9);
+}
+
+#[test]
+fn pruning_then_quantization_preserves_sparsity() {
+    let (net, train, _val) = train_small(Architecture::MobileNet).clone();
+    let mut rng = StdRng::seed_from_u64(63);
+    let mut pruned = net;
+    prune_with_finetune(
+        &mut pruned,
+        &train.images,
+        &train.labels,
+        &PruneCfg::with_sparsity(0.5),
+        &TrainCfg {
+            epochs: 4,
+            batch_size: 32,
+            lr: 0.005,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        &mut rng,
+    );
+    let sparsity_before = pruned.params().global_sparsity();
+    assert!(sparsity_before > 0.4, "sparsity {sparsity_before}");
+
+    // Quantize the pruned model; QAT must not resurrect pruned weights.
+    let mut pq = QatNetwork::new(pruned, QuantCfg::default());
+    pq.calibrate(&train.images);
+    pq.train_qat(
+        &train.images,
+        &train.labels,
+        &TrainCfg {
+            epochs: 1,
+            batch_size: 32,
+            lr: 0.004,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        &mut rng,
+    );
+    let sparsity_after = pq.network().params().global_sparsity();
+    assert!(
+        (sparsity_after - sparsity_before).abs() < 1e-6,
+        "QAT changed sparsity: {sparsity_before} -> {sparsity_after}"
+    );
+    // And the engine's weights for masked positions are exactly zero.
+    let engine = Int8Engine::from_qat(&pq);
+    let (weights, _, _) = engine.export_parameters(pq.network().graph());
+    let zeros: usize = weights
+        .iter()
+        .filter(|t| t.shape().rank() >= 2)
+        .map(|t| t.data().iter().filter(|&&v| v == 0.0).count())
+        .sum();
+    let kernels: usize = weights
+        .iter()
+        .filter(|t| t.shape().rank() >= 2)
+        .map(|t| t.len())
+        .sum();
+    assert!(
+        zeros as f32 / kernels as f32 > 0.45,
+        "deployed weights lost sparsity: {zeros}/{kernels}"
+    );
+}

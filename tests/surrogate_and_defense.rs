@@ -1,0 +1,162 @@
+//! Integration tests for the reduced-knowledge settings (§4.3/§4.4) and the
+//! robust-training defense (§5.5), at smoke-test scale.
+
+use diva_repro::core::attack::{linf_distance, pgd_attack, AttackCfg};
+use diva_repro::core::pipeline::{
+    blackbox_diva, evaluate_attack, prepare_blackbox, prepare_semi_blackbox, semi_blackbox_diva,
+    BlackboxAssets, SemiBlackboxAssets,
+};
+use diva_repro::core::robust::{adversarial_training, RobustCfg};
+use diva_repro::data::imagenet::{synth_imagenet, ImagenetCfg};
+use diva_repro::data::select_validation;
+use diva_repro::distill::{agreement, DistillCfg};
+use diva_repro::models::{Architecture, ModelCfg};
+use diva_repro::nn::train::{evaluate, train_classifier, TrainCfg};
+use diva_repro::nn::{losses, Infer};
+use diva_repro::quant::{Int8Engine, QatNetwork, QuantCfg};
+use rand::{rngs::StdRng, SeedableRng};
+
+struct World {
+    original: diva_repro::nn::Network,
+    qat: QatNetwork,
+    deployed: Int8Engine,
+    semi: SemiBlackboxAssets,
+    black: BlackboxAssets,
+    attack_set: diva_repro::data::Dataset,
+    attacker_images: diva_repro::tensor::Tensor,
+}
+
+fn world() -> &'static World {
+    static W: std::sync::OnceLock<World> = std::sync::OnceLock::new();
+    W.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(60);
+        let data_cfg = ImagenetCfg {
+            noise: 0.06,
+            color_jitter: 0.12,
+            ..ImagenetCfg::default()
+        };
+        let train = synth_imagenet(1024, &data_cfg, 60).retain_classes(4);
+        let val = synth_imagenet(1024, &data_cfg, 61).retain_classes(4);
+        let attacker = synth_imagenet(512, &data_cfg, 62).retain_classes(4);
+        let mut original = Architecture::ResNet.build(&ModelCfg::standard(4), &mut rng);
+        let tcfg = TrainCfg {
+            epochs: 12,
+            batch_size: 32,
+            lr: 0.03,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        };
+        train_classifier(&mut original, &train.images, &train.labels, &tcfg, &mut rng);
+        let acc = evaluate(&original, &val.images, &val.labels);
+        assert!(acc > 0.6, "victim failed to train: {acc}");
+        let mut qat = QatNetwork::new(original.clone(), QuantCfg::default());
+        qat.calibrate(&train.images);
+        let deployed = Int8Engine::from_qat(&qat);
+
+        let distill_cfg = DistillCfg::default();
+        let surr_cfg = TrainCfg {
+            epochs: 6,
+            batch_size: 32,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
+        let semi = prepare_semi_blackbox(
+            &deployed,
+            original.graph(),
+            &attacker.images,
+            &distill_cfg,
+            &surr_cfg,
+            &mut rng,
+        );
+        let fresh = Architecture::ResNet.build(&ModelCfg::standard(4), &mut rng);
+        let black = prepare_blackbox(
+            &deployed,
+            fresh,
+            &attacker.images,
+            &distill_cfg,
+            &surr_cfg,
+            QuantCfg::default(),
+            &mut rng,
+        );
+        let attack_set = select_validation(&val, &[&original, &qat], 12);
+        assert!(attack_set.len() >= 24, "attack set: {}", attack_set.len());
+        World {
+            original,
+            qat,
+            deployed,
+            semi,
+            black,
+            attack_set,
+            attacker_images: attacker.images,
+        }
+    })
+}
+
+#[test]
+fn surrogates_imitate_the_deployed_model() {
+    let w = world();
+    // Semi-blackbox: the recovered adapted model is near-exact; the
+    // distilled surrogate close behind.
+    assert!(agreement(&w.semi.recovered_adapted, &w.deployed, &w.attacker_images) > 0.9);
+    assert!(agreement(&w.semi.surrogate_original, &w.deployed, &w.attacker_images) > 0.7);
+    // Blackbox surrogates (distilled from scratch through query access
+    // only) clear 4-class chance (0.25) by a wide margin.
+    assert!(agreement(&w.black.surrogate_original, &w.deployed, &w.attacker_images) > 0.4);
+    assert!(agreement(&w.black.surrogate_adapted, &w.deployed, &w.attacker_images) > 0.4);
+}
+
+#[test]
+fn reduced_knowledge_attacks_stay_within_budget_and_score() {
+    let w = world();
+    let cfg = AttackCfg::paper_default();
+    let semi_adv = semi_blackbox_diva(&w.semi, &w.attack_set.images, &w.attack_set.labels, 1.0, &cfg);
+    let black_adv = blackbox_diva(&w.black, &w.attack_set.images, &w.attack_set.labels, 1.0, &cfg);
+    for adv in [&semi_adv, &black_adv] {
+        assert!(linf_distance(adv, &w.attack_set.images) <= cfg.eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+    // Judged against the true models: the semi-blackbox attack must achieve
+    // some evasive success and stay stealthier than white-noise PGD.
+    let semi_counts = evaluate_attack(&w.original, &w.qat, &semi_adv, &w.attack_set.labels);
+    let pgd = pgd_attack(&w.qat, &w.attack_set.images, &w.attack_set.labels, &cfg);
+    let pgd_counts = evaluate_attack(&w.original, &w.qat, &pgd, &w.attack_set.labels);
+    assert!(
+        semi_counts.original_fooled_rate() <= pgd_counts.original_fooled_rate(),
+        "semi-blackbox fooled the original more than PGD: {} vs {}",
+        semi_counts.original_fooled_rate(),
+        pgd_counts.original_fooled_rate()
+    );
+}
+
+#[test]
+fn adversarial_finetuning_hardens_the_victim() {
+    let w = world();
+    let eval_cfg = AttackCfg::paper_default();
+    let x = &w.attack_set.images;
+    let labels = &w.attack_set.labels;
+    // Attack-only success against the undefended fp32 model.
+    let before_adv = pgd_attack(&w.original, x, labels, &eval_cfg);
+    let before_acc = losses::accuracy(&w.original.logits(&before_adv), labels);
+
+    // Short adversarial finetune of a copy.
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut hardened = w.original.clone();
+    let rcfg = RobustCfg {
+        train: TrainCfg {
+            epochs: 4,
+            batch_size: 32,
+            lr: 0.005,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        attack: AttackCfg::with_steps(5),
+    };
+    adversarial_training(&mut hardened, x, labels, &rcfg, &mut rng);
+    let after_adv = pgd_attack(&hardened, x, labels, &eval_cfg);
+    let after_acc = losses::accuracy(&hardened.logits(&after_adv), labels);
+    assert!(
+        after_acc >= before_acc,
+        "adversarial finetuning lowered robust accuracy: {before_acc} -> {after_acc}"
+    );
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration test of the headline result: whitebox DIVA fools
+//! the adapted model while evading the original, and does so far more
+//! stealthily than PGD.
+//!
+//! Runs a miniature version of the §5.2 pipeline (train → QAT → select →
+//! attack → evaluate) in under a minute.
+
+use diva_repro::core::attack::{diva_attack, linf_distance, pgd_attack, AttackCfg};
+use diva_repro::core::pipeline::evaluate_attack;
+use diva_repro::data::imagenet::{synth_imagenet, ImagenetCfg};
+use diva_repro::data::select_validation;
+use diva_repro::metrics::dssim;
+use diva_repro::models::{Architecture, ModelCfg};
+use diva_repro::nn::train::{evaluate, train_classifier, TrainCfg};
+use diva_repro::quant::{QatNetwork, QuantCfg};
+use rand::{rngs::StdRng, SeedableRng};
+
+struct Setup {
+    original: diva_repro::nn::Network,
+    adapted: QatNetwork,
+    attack_set: diva_repro::data::Dataset,
+}
+
+/// The victim is expensive to train; share it across this binary's tests.
+fn setup() -> &'static Setup {
+    static SETUP: std::sync::OnceLock<Setup> = std::sync::OnceLock::new();
+    SETUP.get_or_init(build_setup)
+}
+
+fn build_setup() -> Setup {
+    let mut rng = StdRng::seed_from_u64(42);
+    let data_cfg = ImagenetCfg {
+        noise: 0.13,
+        color_jitter: 0.26,
+        ..ImagenetCfg::default()
+    };
+    let train = synth_imagenet(1024, &data_cfg, 1);
+    let val = synth_imagenet(512, &data_cfg, 2);
+    let mut original = Architecture::ResNet.build(&ModelCfg::standard(16), &mut rng);
+    let tcfg = TrainCfg {
+        epochs: 16,
+        batch_size: 32,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+    train_classifier(&mut original, &train.images, &train.labels, &tcfg, &mut rng);
+    let acc = evaluate(&original, &val.images, &val.labels);
+    assert!(acc > 0.5, "victim failed to train (acc {acc})");
+
+    let mut adapted = QatNetwork::new(original.clone(), QuantCfg::default());
+    adapted.calibrate(&train.images);
+    adapted.train_qat(
+        &train.images,
+        &train.labels,
+        &TrainCfg {
+            epochs: 1,
+            lr: 0.004,
+            ..tcfg
+        },
+        &mut rng,
+    );
+    let attack_set = select_validation(&val, &[&original, &adapted], 6);
+    assert!(
+        attack_set.len() >= 32,
+        "attack set too small: {}",
+        attack_set.len()
+    );
+    Setup {
+        original,
+        adapted,
+        attack_set,
+    }
+}
+
+#[test]
+fn diva_is_evasive_where_pgd_is_not() {
+    let s = setup();
+    let cfg = AttackCfg::paper_default();
+    let x = &s.attack_set.images;
+    let labels = &s.attack_set.labels;
+
+    let pgd = pgd_attack(&s.adapted, x, labels, &cfg);
+    let diva = diva_attack(&s.original, &s.adapted, x, labels, 1.0, &cfg);
+
+    // Budget discipline for both attacks.
+    for adv in [&pgd, &diva] {
+        assert!(linf_distance(adv, x) <= cfg.eps + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    let pgd_counts = evaluate_attack(&s.original, &s.adapted, &pgd, labels);
+    let diva_counts = evaluate_attack(&s.original, &s.adapted, &diva, labels);
+
+    // Headline: DIVA's joint (evade + attack) success beats PGD's.
+    assert!(
+        diva_counts.top1_rate() > pgd_counts.top1_rate(),
+        "DIVA {} vs PGD {} joint success",
+        diva_counts.top1_rate(),
+        pgd_counts.top1_rate()
+    );
+    // Stealth: PGD collaterally fools the original far more often than DIVA.
+    assert!(
+        diva_counts.original_fooled_rate() < pgd_counts.original_fooled_rate(),
+        "DIVA fooled the original {} vs PGD {}",
+        diva_counts.original_fooled_rate(),
+        pgd_counts.original_fooled_rate()
+    );
+    // DIVA must actually attack: a decent share of the edge predictions flip.
+    assert!(
+        diva_counts.top1_rate() > 0.08,
+        "DIVA joint success too low: {}",
+        diva_counts.top1_rate()
+    );
+
+    // Imperceptibility (§5.2 DSSIM check).
+    for i in (0..s.attack_set.len()).step_by(7) {
+        let d = dssim(&x.index_batch(i), &diva.index_batch(i));
+        assert!(d < 0.05, "sample {i} dssim {d}");
+    }
+}
+
+#[test]
+fn attacked_images_evade_validation_on_the_original() {
+    // The operator's validation view: accuracy of the original model on
+    // DIVA-attacked images stays close to clean accuracy, while the adapted
+    // model's collapses.
+    let s = setup();
+    let cfg = AttackCfg::paper_default();
+    let x = &s.attack_set.images;
+    let labels = &s.attack_set.labels;
+    let diva = diva_attack(&s.original, &s.adapted, x, labels, 1.0, &cfg);
+    let orig_acc = evaluate(&s.original, &diva, labels);
+    let adapted_acc = evaluate(&s.adapted, &diva, labels);
+    assert!(
+        orig_acc > adapted_acc + 0.1,
+        "no gap between original ({orig_acc}) and adapted ({adapted_acc}) accuracy"
+    );
+    assert!(
+        orig_acc > 0.85,
+        "original model should still validate most attacked images, got {orig_acc}"
+    );
+}
