@@ -20,6 +20,7 @@
 //!   transfer    extension: cross-architecture transfer of PGD vs DIVA
 //!   bits        extension: divergence vs quantization bit width
 //!   detect      extension: differential detection defense
+//!   smoke       seconds-long pass through every instrumented layer
 //!   all         everything above, reusing trained victims
 //!
 //! flags:
@@ -30,11 +31,13 @@
 //!   --per-tensor     table1 ablation: per-tensor weight quantization
 //! ```
 //!
-//! Reports are printed and archived under `repro_out/`.
+//! Reports are printed and archived under `repro_out/`. With `DIVA_TRACE=1`
+//! (or higher) the run additionally writes `repro_out/trace.jsonl` and
+//! `repro_out/metrics.json` — see DESIGN.md's "Observability" section.
 
 use diva_bench::experiments::{
     self, archive, baselines, bits, detect, fig1, fig10, fig2, fig3, fig4, fig6, fig7, fig8,
-    robust, table1, transfer, VictimCache,
+    robust, smoke, table1, transfer, VictimCache,
 };
 use diva_bench::suite::ExperimentScale;
 
@@ -74,6 +77,7 @@ fn main() {
     let started = std::time::Instant::now();
 
     let run_one = |cache: &mut VictimCache, cmd: &str| -> Option<String> {
+        let _span = diva_trace::span(1, format!("experiment.{cmd}"));
         let report = match cmd {
             "table1" => table1::run(
                 cache,
@@ -102,6 +106,7 @@ fn main() {
             "transfer" => transfer::run(cache, &scale),
             "bits" => bits::run(cache, &scale),
             "detect" => detect::run(cache, &scale),
+            "smoke" => smoke::run(),
             _ => return None,
         };
         Some(archive(cmd, report))
@@ -113,7 +118,7 @@ fn main() {
                 "table1", "fig1", "fig2", "fig3", "fig4", "fig6", "fig6d", "fig7", "baselines",
                 "robust", "fig8", "fig10", "transfer", "bits", "detect",
             ] {
-                eprintln!("=== repro {c} ===");
+                diva_trace::progress!("=== repro {c} ===");
                 let report = run_one(&mut cache, c).expect("known experiment");
                 println!("{report}\n{}\n", "=".repeat(78));
             }
@@ -121,7 +126,7 @@ fn main() {
         "help" | "--help" | "-h" => {
             eprintln!("usage: repro <experiment> [--quick] [--no-blackbox] ...");
             eprintln!("experiments: table1 fig1 fig2 fig3 fig4 fig6 fig6d fig7 table2");
-            eprintln!("             baselines robust fig8 fig10 transfer bits detect all");
+            eprintln!("             baselines robust fig8 fig10 transfer bits detect smoke all");
             std::process::exit(2);
         }
         _ => {
@@ -137,7 +142,15 @@ fn main() {
         }
     }
     let _ = experiments::archive_csv; // keep module reachable for docs
-    eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f64());
+    let total = started.elapsed().as_secs_f64();
+    diva_trace::record_secs(1, "repro.total_seconds", total);
+    diva_trace::progress!("[done in {total:.1}s]");
+    if diva_trace::enabled(1) {
+        match diva_trace::write_artifacts("repro_out") {
+            Ok(path) => diva_trace::progress!("[trace] wrote {}", path.display()),
+            Err(e) => eprintln!("[trace] failed to write artifacts: {e}"),
+        }
+    }
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {

@@ -64,7 +64,7 @@ pub fn run(scale: &FaceScale) -> String {
     // NOTE: photos differ because the photo-rng continues; identities are
     // seed-determined, so train and val share people, like PubFig splits.
 
-    eprintln!("[faces] training VGGFace stand-in ...");
+    diva_trace::progress!("[faces] training VGGFace stand-in ...");
     let mut original = face_net(scale.identities, &mut rng);
     let tcfg = TrainCfg {
         epochs: 12,
@@ -179,7 +179,7 @@ pub fn run(scale: &FaceScale) -> String {
     }
 
     // Targeted attack (§6 "Targeted attack").
-    eprintln!("[faces] targeted attack sweep ...");
+    diva_trace::progress!("[faces] targeted attack sweep ...");
     let sources = scale.targeted_sources.min(attack_set.len());
     let mut reachable = Vec::with_capacity(sources);
     for i in 0..sources {

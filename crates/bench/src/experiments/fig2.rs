@@ -128,8 +128,8 @@ pub fn run(side: usize) -> String {
         momentum: 0.0,
         random_start: false,
     };
-    let adv = diva_attack_traced(&net, &qat, &x0, &[y0], 1.0, &atk, |x, _| {
-        traj.push((x.data()[0], x.data()[1]));
+    let adv = diva_attack_traced(&net, &qat, &x0, &[y0], 1.0, &atk, |info| {
+        traj.push((info.x.data()[0], info.x.data()[1]));
     });
     let final_orig = net.predict(&adv)[0];
     let final_adapted = qat.predict(&adv)[0];

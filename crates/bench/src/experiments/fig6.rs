@@ -115,8 +115,8 @@ pub fn success_vs_steps(cache: &mut VictimCache, scale: &ExperimentScale, steps:
         labels,
         1.0,
         &cfg,
-        |x_t, _| {
-            let counts = evaluate_attack(&victim.original, &victim.qat, x_t, labels);
+        |info| {
+            let counts = evaluate_attack(&victim.original, &victim.qat, info.x, labels);
             diva_curve.push(counts.top1_rate());
         },
     );

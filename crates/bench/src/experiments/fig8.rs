@@ -44,7 +44,7 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
             lr: scale.train_cfg.lr / 4.0,
             ..scale.train_cfg.clone()
         };
-        eprintln!("[fig8] pruning + fine-tuning {arch} ...");
+        diva_trace::progress!("[fig8] pruning + fine-tuning {arch} ...");
         prune_with_finetune(
             &mut pruned,
             &victim.train.images,

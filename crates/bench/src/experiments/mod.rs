@@ -17,6 +17,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig10;
 pub mod robust;
+pub mod smoke;
 pub mod table1;
 pub mod transfer;
 
@@ -45,7 +46,7 @@ impl VictimCache {
         self.victims
             .entry(arch.name())
             .or_insert_with(|| {
-                eprintln!("[prepare] training + adapting {arch} ...");
+                diva_trace::progress!("[prepare] training + adapting {arch} ...");
                 prepare_victim(arch, scale)
             })
     }
@@ -54,7 +55,7 @@ impl VictimCache {
     pub fn surrogates(&mut self, arch: Architecture, scale: &ExperimentScale) -> Surrogates {
         if !self.surrogates.contains_key(arch.name()) {
             let victim = self.victim(arch, scale).clone();
-            eprintln!("[prepare] distilling surrogates for {arch} ...");
+            diva_trace::progress!("[prepare] distilling surrogates for {arch} ...");
             let s = prepare_surrogates(&victim, scale);
             self.surrogates.insert(arch.name(), s);
         }

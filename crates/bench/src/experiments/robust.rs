@@ -32,7 +32,7 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
             ..AttackCfg::paper_default()
         },
     };
-    eprintln!("[robust] adversarially training ResNet ...");
+    diva_trace::progress!("[robust] adversarially training ResNet ...");
     adversarial_training(
         &mut robust_original,
         &victim.train.images,

@@ -3,10 +3,12 @@
 //! tables and figures.
 
 use diva_core::attack::{
-    cw_attack, diva_attack, momentum_pgd_attack, pgd_attack, AttackCfg,
+    cw_attack_traced, diva_attack_traced, momentum_pgd_attack_traced, pgd_attack_traced,
+    AttackCfg, StepInfo,
 };
 use diva_core::pipeline::{
-    evaluate_attack, prepare_blackbox, prepare_semi_blackbox, BlackboxAssets, SemiBlackboxAssets,
+    evaluate_attack, evaluate_outcomes_with_flips, prepare_blackbox, prepare_semi_blackbox,
+    BlackboxAssets, FirstFlipTracker, SemiBlackboxAssets,
 };
 use diva_data::imagenet::{synth_imagenet, ImagenetCfg};
 use diva_data::{select_validation, Dataset};
@@ -138,6 +140,7 @@ pub struct VictimModels {
 /// Trains an original model and adapts it, mirroring §5.1's model
 /// generation. Deterministic given `scale.seed`.
 pub fn prepare_victim(arch: Architecture, scale: &ExperimentScale) -> VictimModels {
+    let _span = diva_trace::span(1, "bench.prepare_victim");
     let mut rng = StdRng::seed_from_u64(scale.seed ^ arch_seed(arch));
     let train = synth_imagenet(scale.train_n, &scale.data_cfg, scale.seed.wrapping_add(1));
     let val_pool = synth_imagenet(scale.val_pool_n, &scale.data_cfg, scale.seed.wrapping_add(2));
@@ -314,39 +317,75 @@ pub fn attack_matrix_row_adv(
 ) -> (AttackRow, diva_tensor::Tensor) {
     let x = &attack_set.images;
     let labels = &attack_set.labels;
+    // When tracing is on, watch the deployed engine's prediction flip
+    // step-by-step; the per-image first-flip steps then ride through
+    // `SuccessCounts` (mean_first_flip_step).
+    let mut tracker = if diva_trace::enabled(1) {
+        Some(FirstFlipTracker::new(&victim.engine, x))
+    } else {
+        None
+    };
+    let mut hook = |info: &StepInfo| {
+        if let Some(t) = tracker.as_mut() {
+            t.observe(&victim.engine, info);
+        }
+    };
     let started = std::time::Instant::now();
     let adv = match kind {
-        AttackKind::Pgd => pgd_attack(&victim.qat, x, labels, cfg),
-        AttackKind::MomentumPgd => momentum_pgd_attack(&victim.qat, x, labels, cfg),
-        AttackKind::Cw => cw_attack(&victim.qat, x, labels, cfg),
+        AttackKind::Pgd => pgd_attack_traced(&victim.qat, x, labels, cfg, &mut hook),
+        AttackKind::MomentumPgd => {
+            momentum_pgd_attack_traced(&victim.qat, x, labels, cfg, &mut hook)
+        }
+        AttackKind::Cw => cw_attack_traced(&victim.qat, x, labels, cfg, &mut hook),
         AttackKind::DivaWhitebox(c) => {
-            diva_attack(&victim.original, &victim.qat, x, labels, c, cfg)
+            diva_attack_traced(&victim.original, &victim.qat, x, labels, c, cfg, &mut hook)
         }
         AttackKind::DivaSemiBlackbox(c) => {
             let s = surrogates.expect("semi-blackbox needs prepared surrogates");
-            diva_attack(
+            diva_attack_traced(
                 &s.semi.surrogate_original,
                 &s.semi.recovered_adapted,
                 x,
                 labels,
                 c,
                 cfg,
+                &mut hook,
             )
         }
         AttackKind::DivaBlackbox(c) => {
             let s = surrogates.expect("blackbox needs prepared surrogates");
-            diva_attack(
+            diva_attack_traced(
                 &s.black.surrogate_original,
                 &s.black.surrogate_adapted,
                 x,
                 labels,
                 c,
                 cfg,
+                &mut hook,
             )
         }
     };
     let gen_seconds = started.elapsed().as_secs_f64();
-    let counts = evaluate_attack(&victim.original, &victim.qat, &adv, labels);
+    diva_trace::record_secs(1, "bench.attack_gen_seconds", gen_seconds);
+    diva_trace::event!(
+        1,
+        "bench.attack_generated",
+        kind = kind.name(),
+        images = attack_set.len(),
+        gen_seconds = gen_seconds,
+    );
+    let counts = match tracker {
+        Some(ref t) => evaluate_outcomes_with_flips(
+            &victim.original,
+            &victim.qat,
+            &adv,
+            labels,
+            t.first_flips(),
+        )
+        .into_iter()
+        .collect(),
+        None => evaluate_attack(&victim.original, &victim.qat, &adv, labels),
+    };
     let cdelta = confidence_delta(&victim.original, &victim.qat, &adv, labels);
     let max_dssim = (0..attack_set.len())
         .map(|i| dssim(&x.index_batch(i), &adv.index_batch(i)))

@@ -1,0 +1,111 @@
+//! End-to-end check of the tracing pipeline: `repro smoke` under
+//! `DIVA_TRACE=1` must write a parseable `repro_out/metrics.json` covering
+//! every instrumented layer, and under `DIVA_TRACE=0` must write nothing.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use diva_trace::Json;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "diva-trace-smoke-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_repro(cwd: &Path, trace_level: &str) {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("smoke")
+        .current_dir(cwd)
+        .env("DIVA_TRACE", trace_level)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro smoke failed: {status}");
+}
+
+fn span_count(metrics: &Json, span: &str) -> u64 {
+    metrics
+        .get("spans")
+        .and_then(|s| s.get(span))
+        .and_then(|s| s.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn smoke_run_emits_metrics_for_every_instrumented_layer() {
+    let dir = scratch_dir("on");
+    run_repro(&dir, "1");
+
+    let path = dir.join("repro_out/metrics.json");
+    let raw = fs::read_to_string(&path).expect("metrics.json written");
+    let metrics = diva_trace::json::parse(&raw).expect("metrics.json parses");
+
+    // One span per instrumented layer: fp32 executor, attack loop, int8
+    // engine, experiment harness.
+    for span in [
+        "nn.forward",
+        "nn.fwd.conv2d",
+        "attack.run",
+        "attack.step",
+        "quant.engine.run",
+        "experiment.smoke",
+    ] {
+        assert!(
+            span_count(&metrics, span) > 0,
+            "span `{span}` missing from {}:\n{raw}",
+            path.display()
+        );
+    }
+    // Per-span summaries carry quantiles.
+    let step = metrics
+        .get("spans")
+        .and_then(|s| s.get("attack.step"))
+        .expect("attack.step summary");
+    for key in ["p50_ns", "p95_ns", "max_ns"] {
+        assert!(
+            step.get(key).and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0,
+            "attack.step missing {key}"
+        );
+    }
+    // The attack-step counter and the events file ride along.
+    let steps = metrics
+        .get("counters")
+        .and_then(|c| c.get("attack.steps"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(steps > 0, "attack.steps counter missing:\n{raw}");
+    assert!(
+        dir.join("repro_out/trace.jsonl").exists(),
+        "trace.jsonl missing"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_tracing_writes_no_artifacts() {
+    let dir = scratch_dir("off");
+    run_repro(&dir, "0");
+
+    assert!(
+        !dir.join("repro_out/metrics.json").exists(),
+        "metrics.json written despite DIVA_TRACE=0"
+    );
+    assert!(
+        !dir.join("repro_out/trace.jsonl").exists(),
+        "trace.jsonl written despite DIVA_TRACE=0"
+    );
+    // The report itself is still archived.
+    assert!(
+        dir.join("repro_out/smoke.txt").exists(),
+        "smoke report missing"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -49,6 +49,22 @@ impl AttackCfg {
     }
 }
 
+/// Per-step telemetry handed to the `on_step` hook of [`projected_ascent`].
+#[derive(Debug)]
+pub struct StepInfo<'a> {
+    /// The adversarial batch after this step's projection.
+    pub x: &'a Tensor,
+    /// 1-based step index.
+    pub step: usize,
+    /// The attack objective value reported by the gradient function at the
+    /// point where the gradient was taken (i.e. *before* this step's move).
+    pub loss: f32,
+    /// Fraction of pixels whose update direction sign matches the previous
+    /// step's — a cheap proxy for how stable the ascent direction is. The
+    /// first step has no predecessor and reports 1.0.
+    pub grad_sign_agreement: f32,
+}
+
 /// The projected gradient-ascent driver shared by every attack (Eq. 3):
 ///
 /// `x_{t+1} = Clip_{x,ε}( x_t + α · sign(g_t) )`
@@ -57,19 +73,26 @@ impl AttackCfg {
 /// momentum accumulator), and `Clip` projects both onto the ε-ball around
 /// the natural image and onto the valid pixel domain `[0, 1]`.
 ///
-/// `on_step` is called after every step with the current adversarial batch
-/// and the 1-based step index — the hook used to record success-vs-steps
-/// curves (Fig. 6d).
+/// `grad_fn` returns the objective value alongside its input gradient, so
+/// per-step loss curves come for free (every concrete attack already
+/// computes the value on the way to the gradient).
+///
+/// `on_step` is called after every step with a [`StepInfo`] — the hook used
+/// to record success-vs-steps curves (Fig. 6d), first-flip steps, and the
+/// `attack.step` trace events.
 pub fn projected_ascent(
     x_nat: &Tensor,
     cfg: &AttackCfg,
-    mut grad_fn: impl FnMut(&Tensor) -> Tensor,
-    mut on_step: impl FnMut(&Tensor, usize),
+    mut grad_fn: impl FnMut(&Tensor) -> (f32, Tensor),
+    mut on_step: impl FnMut(&StepInfo),
 ) -> Tensor {
+    let _run = diva_trace::span(1, "attack.run");
     let mut x = x_nat.clone();
     let mut velocity = x_nat.zeros_like();
+    let mut prev_sign: Option<Tensor> = None;
     for t in 1..=cfg.steps {
-        let g = grad_fn(&x);
+        let _step = diva_trace::span(1, "attack.step");
+        let (loss, g) = grad_fn(&x);
         let dir = if cfg.momentum > 0.0 {
             // Momentum PGD (Dong et al.): g/||g||_1 accumulated.
             let norm1 = g.norm1().max(1e-12);
@@ -79,9 +102,36 @@ pub fn projected_ascent(
         } else {
             g
         };
-        x.axpy(cfg.alpha, &dir.signum());
+        let sign = dir.signum();
+        let grad_sign_agreement = match &prev_sign {
+            Some(prev) => {
+                let same = sign
+                    .data()
+                    .iter()
+                    .zip(prev.data())
+                    .filter(|(a, b)| a == b)
+                    .count();
+                same as f32 / sign.data().len().max(1) as f32
+            }
+            None => 1.0,
+        };
+        x.axpy(cfg.alpha, &sign);
         x = clip_to_ball(&x, x_nat, cfg.eps);
-        on_step(&x, t);
+        diva_trace::counter!("attack.steps", 1);
+        diva_trace::event!(
+            2,
+            "attack.step",
+            step = t,
+            loss = loss,
+            grad_sign_agreement = grad_sign_agreement,
+        );
+        on_step(&StepInfo {
+            x: &x,
+            step: t,
+            loss,
+            grad_sign_agreement,
+        });
+        prev_sign = Some(sign);
     }
     x
 }
@@ -114,16 +164,44 @@ pub fn pgd_attack<M: DiffModel + ?Sized>(
         !cfg.random_start,
         "random_start requires pgd_attack_with_rng"
     );
-    projected_ascent(
-        x_nat,
-        cfg,
-        |x| {
-            target
-                .value_and_grad(x, &mut |l| losses::cross_entropy(l, labels).1)
-                .1
-        },
-        |_, _| {},
-    )
+    pgd_attack_traced(target, x_nat, labels, cfg, |_| {})
+}
+
+/// [`pgd_attack`] with a per-step hook.
+///
+/// # Panics
+///
+/// Panics if `cfg.random_start` is set (see [`pgd_attack`]).
+pub fn pgd_attack_traced<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    cfg: &AttackCfg,
+    on_step: impl FnMut(&StepInfo),
+) -> Tensor {
+    assert!(
+        !cfg.random_start,
+        "random_start requires pgd_attack_with_rng"
+    );
+    projected_ascent(x_nat, cfg, ce_grad_fn(target, labels), on_step)
+}
+
+/// Gradient function for cross-entropy ascent: returns the batch loss and
+/// its input gradient. The loss value is captured from inside the logits
+/// closure, where `cross_entropy` computes it anyway.
+fn ce_grad_fn<'a, M: DiffModel + ?Sized>(
+    target: &'a M,
+    labels: &'a [usize],
+) -> impl FnMut(&Tensor) -> (f32, Tensor) + 'a {
+    move |x| {
+        let mut loss = 0.0f32;
+        let (_, g) = target.value_and_grad(x, &mut |l| {
+            let (v, d) = losses::cross_entropy(l, labels);
+            loss = v;
+            d
+        });
+        (loss, g)
+    }
 }
 
 /// PGD with an explicit RNG, honouring `cfg.random_start`.
@@ -141,16 +219,7 @@ pub fn pgd_attack_with_rng<M: DiffModel + ?Sized>(
     };
     let mut det = *cfg;
     det.random_start = false;
-    let moved = projected_ascent(
-        &start,
-        &det,
-        |x| {
-            target
-                .value_and_grad(x, &mut |l| losses::cross_entropy(l, labels).1)
-                .1
-        },
-        |_, _| {},
-    );
+    let moved = projected_ascent(&start, &det, ce_grad_fn(target, labels), |_| {});
     // Project against the *natural* sample: the start offset must not widen
     // the budget.
     clip_to_ball(&moved, x_nat, cfg.eps)
@@ -207,12 +276,23 @@ pub fn momentum_pgd_attack<M: DiffModel + ?Sized>(
     labels: &[usize],
     cfg: &AttackCfg,
 ) -> Tensor {
+    momentum_pgd_attack_traced(target, x_nat, labels, cfg, |_| {})
+}
+
+/// [`momentum_pgd_attack`] with a per-step hook.
+pub fn momentum_pgd_attack_traced<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    cfg: &AttackCfg,
+    on_step: impl FnMut(&StepInfo),
+) -> Tensor {
     let cfg = AttackCfg {
         momentum: 0.5,
         random_start: false,
         ..*cfg
     };
-    pgd_attack(target, x_nat, labels, &cfg)
+    pgd_attack_traced(target, x_nat, labels, &cfg, on_step)
 }
 
 /// The L∞ CW attack in the Madry formulation (§5.4): PGD steps on the
@@ -223,16 +303,31 @@ pub fn cw_attack<M: DiffModel + ?Sized>(
     labels: &[usize],
     cfg: &AttackCfg,
 ) -> Tensor {
+    cw_attack_traced(target, x_nat, labels, cfg, |_| {})
+}
+
+/// [`cw_attack`] with a per-step hook.
+pub fn cw_attack_traced<M: DiffModel + ?Sized>(
+    target: &M,
+    x_nat: &Tensor,
+    labels: &[usize],
+    cfg: &AttackCfg,
+    on_step: impl FnMut(&StepInfo),
+) -> Tensor {
     projected_ascent(
         x_nat,
         cfg,
         |x| {
             // Ascend -margin == descend margin.
-            target
-                .value_and_grad(x, &mut |l| losses::cw_margin(l, labels, 0.0).1.scale(-1.0))
-                .1
+            let mut margin = 0.0f32;
+            let (_, g) = target.value_and_grad(x, &mut |l| {
+                let (v, d) = losses::cw_margin(l, labels, 0.0);
+                margin = v;
+                d.scale(-1.0)
+            });
+            (-margin, g)
         },
-        |_, _| {},
+        on_step,
     )
 }
 
@@ -248,10 +343,11 @@ pub fn diva_attack<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
     c: f32,
     cfg: &AttackCfg,
 ) -> Tensor {
-    diva_attack_traced(original, adapted, x_nat, labels, c, cfg, |_, _| {})
+    diva_attack_traced(original, adapted, x_nat, labels, c, cfg, |_| {})
 }
 
-/// [`diva_attack`] with a per-step hook (Fig. 6d's success-vs-steps curve).
+/// [`diva_attack`] with a per-step hook (Fig. 6d's success-vs-steps curve,
+/// first-flip tracking, trace events).
 pub fn diva_attack_traced<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
     original: &O,
     adapted: &A,
@@ -259,14 +355,42 @@ pub fn diva_attack_traced<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
     labels: &[usize],
     c: f32,
     cfg: &AttackCfg,
-    on_step: impl FnMut(&Tensor, usize),
+    on_step: impl FnMut(&StepInfo),
 ) -> Tensor {
     projected_ascent(
         x_nat,
         cfg,
-        |x| diva_grad(original, adapted, x, labels, c),
+        |x| diva_grad_with_loss(original, adapted, x, labels, c),
         on_step,
     )
+}
+
+/// One evaluation of (L_DIVA, ∇ₓ L_DIVA). The loss comes from the same
+/// softmax evaluations that produce the gradient, so monitoring it is free.
+pub fn diva_grad_with_loss<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x: &Tensor,
+    labels: &[usize],
+    c: f32,
+) -> (f32, Tensor) {
+    // d/dx p_orig[y]
+    let mut p_orig = 0.0f32;
+    let (_, g_orig) = original.value_and_grad(x, &mut |l| {
+        let (p, d) = losses::prob_of_label_grad(l, labels);
+        p_orig = p;
+        d
+    });
+    // d/dx p_adapted[y]
+    let mut p_adapted = 0.0f32;
+    let (_, g_adapted) = adapted.value_and_grad(x, &mut |l| {
+        let (p, d) = losses::prob_of_label_grad(l, labels);
+        p_adapted = p;
+        d
+    });
+    let mut g = g_orig;
+    g.axpy(-c, &g_adapted);
+    (p_orig - c * p_adapted, g)
 }
 
 /// One evaluation of ∇ₓ L_DIVA.
@@ -277,15 +401,7 @@ pub fn diva_grad<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
     labels: &[usize],
     c: f32,
 ) -> Tensor {
-    // d/dx p_orig[y]
-    let (_, g_orig) =
-        original.value_and_grad(x, &mut |l| losses::prob_of_label_grad(l, labels).1);
-    // d/dx p_adapted[y]
-    let (_, g_adapted) =
-        adapted.value_and_grad(x, &mut |l| losses::prob_of_label_grad(l, labels).1);
-    let mut g = g_orig;
-    g.axpy(-c, &g_adapted);
-    g
+    diva_grad_with_loss(original, adapted, x, labels, c).1
 }
 
 /// The scalar DIVA loss at `x` (useful for monitoring / tests).
@@ -322,15 +438,18 @@ pub fn diva_targeted_attack<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
         x_nat,
         cfg,
         |x| {
-            let mut g = diva_grad(original, adapted, x, labels, c);
+            let (base_loss, mut g) = diva_grad_with_loss(original, adapted, x, labels, c);
             // Ascend -distance(softmax_adapted, onehot_target).
+            let mut dist = 0.0f32;
             let (_, g_t) = adapted.value_and_grad(x, &mut |l| {
-                losses::onehot_distance(l, target).1.scale(-1.0)
+                let (v, d) = losses::onehot_distance(l, target);
+                dist = v;
+                d.scale(-1.0)
             });
             g.axpy(target_weight, &g_t);
-            g
+            (base_loss - target_weight * dist, g)
         },
-        |_, _| {},
+        |_| {},
     )
 }
 
@@ -416,8 +535,17 @@ mod tests {
         let (_, qat, x, labels) = setup();
         let cfg = AttackCfg::with_steps(7);
         let mut seen = Vec::new();
-        let _ = diva_attack_traced(&qat, &qat, &x, &labels, 1.0, &cfg, |_, t| seen.push(t));
+        let mut agreements = Vec::new();
+        let _ = diva_attack_traced(&qat, &qat, &x, &labels, 1.0, &cfg, |info| {
+            seen.push(info.step);
+            agreements.push(info.grad_sign_agreement);
+        });
         assert_eq!(seen, (1..=7).collect::<Vec<_>>());
+        assert_eq!(agreements[0], 1.0, "first step has no predecessor");
+        assert!(
+            agreements.iter().all(|a| (0.0..=1.0).contains(a)),
+            "agreement is a fraction: {agreements:?}"
+        );
     }
 
     #[test]

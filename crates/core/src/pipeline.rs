@@ -18,8 +18,50 @@ use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
 use diva_tensor::Tensor;
 use rand::rngs::StdRng;
 
-use crate::attack::{diva_attack, AttackCfg};
+use crate::attack::{diva_attack, AttackCfg, StepInfo};
 use crate::model::DiffModel;
+
+/// Tracks, per sample, the earliest attack step at which a model's label
+/// diverges from its clean prediction. Feed it every [`StepInfo`] from a
+/// traced attack (typically against the deployed edge model), then attach
+/// the result to outcomes with [`evaluate_outcomes_with_flips`].
+#[derive(Debug, Clone)]
+pub struct FirstFlipTracker {
+    clean_preds: Vec<usize>,
+    first_flip: Vec<Option<usize>>,
+}
+
+impl FirstFlipTracker {
+    /// Captures the model's clean predictions on the natural batch.
+    pub fn new<A: Infer + ?Sized>(model: &A, x_nat: &Tensor) -> Self {
+        let clean_preds = model.predict(x_nat);
+        let first_flip = vec![None; clean_preds.len()];
+        FirstFlipTracker {
+            clean_preds,
+            first_flip,
+        }
+    }
+
+    /// Re-predicts on the current adversarial batch and records the step
+    /// for any sample whose label just left its clean prediction. Each
+    /// observation costs one inference pass over the batch, so callers
+    /// usually gate tracking on `diva_trace::enabled(1)`.
+    pub fn observe<A: Infer + ?Sized>(&mut self, model: &A, info: &StepInfo) {
+        let preds = model.predict(info.x);
+        assert_eq!(preds.len(), self.clean_preds.len(), "batch size changed");
+        for (i, pred) in preds.iter().enumerate() {
+            if self.first_flip[i].is_none() && *pred != self.clean_preds[i] {
+                self.first_flip[i] = Some(info.step);
+                diva_trace::record_u64("attack.first_flip_step", info.step as u64);
+            }
+        }
+    }
+
+    /// Per-sample first-flip steps (`None` = never flipped).
+    pub fn first_flips(&self) -> &[Option<usize>] {
+        &self.first_flip
+    }
+}
 
 /// Evaluates a batch of attacked images against the true models, returning
 /// one [`AttackOutcome`] per sample.
@@ -41,8 +83,27 @@ pub fn evaluate_outcomes<O: Infer + ?Sized, A: Infer + ?Sized>(
                 original_correct: o_row.argmax() == Some(labels[i]),
                 adapted_correct: a_pred == labels[i],
                 adapted_pred_in_original_top5: o_row.topk(5).contains(&a_pred),
+                first_flip_step: None,
             }
         })
+        .collect()
+}
+
+/// [`evaluate_outcomes`] with per-sample first-flip annotations from a
+/// [`FirstFlipTracker`] that observed the attack.
+pub fn evaluate_outcomes_with_flips<O: Infer + ?Sized, A: Infer + ?Sized>(
+    original: &O,
+    adapted: &A,
+    x_adv: &Tensor,
+    labels: &[usize],
+    flips: &[Option<usize>],
+) -> Vec<AttackOutcome> {
+    let outcomes = evaluate_outcomes(original, adapted, x_adv, labels);
+    assert_eq!(flips.len(), outcomes.len(), "flips/batch mismatch");
+    outcomes
+        .into_iter()
+        .zip(flips)
+        .map(|(o, &f)| o.with_first_flip(f))
         .collect()
 }
 
@@ -203,6 +264,49 @@ mod tests {
             let xi = diva_nn::train::gather(&x, &[i]);
             let got = AttackOutcome::evaluate(&net, &qat, &xi, labels[i]);
             assert_eq!(&got, want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn first_flip_tracker_records_earliest_divergence() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+        let images = rand_images(&mut rng, 16, &[3, 8, 8]);
+        let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
+        qat.calibrate(&images);
+        let x = diva_nn::train::gather(&images, &(0..4).collect::<Vec<_>>());
+        let labels = net.predict(&x);
+
+        let mut tracker = FirstFlipTracker::new(&qat, &x);
+        let cfg = AttackCfg::with_steps(8);
+        let adv = crate::attack::diva_attack_traced(
+            &net,
+            &qat,
+            &x,
+            &labels,
+            1.0,
+            &cfg,
+            |info| tracker.observe(&qat, info),
+        );
+
+        let flips = tracker.first_flips().to_vec();
+        // Tracked steps are within the attack's step range.
+        for f in flips.iter().flatten() {
+            assert!((1..=8).contains(f), "flip step {f} out of range");
+        }
+        // Any sample whose final prediction differs from its clean one must
+        // have been caught (the final step is observed too).
+        let clean = qat.predict(&x);
+        let after = qat.predict(&adv);
+        for i in 0..clean.len() {
+            if after[i] != clean[i] {
+                assert!(flips[i].is_some(), "sample {i} flipped but untracked");
+            }
+        }
+        // Annotations ride through evaluation unchanged.
+        let outcomes = evaluate_outcomes_with_flips(&net, &qat, &adv, &labels, &flips);
+        for (o, f) in outcomes.iter().zip(&flips) {
+            assert_eq!(o.first_flip_step, *f);
         }
     }
 

@@ -23,6 +23,10 @@ pub struct AttackOutcome {
     /// Adapted model's top-1 prediction appears in the original model's
     /// top-5 on the attacked image.
     pub adapted_pred_in_original_top5: bool,
+    /// Earliest attack step (1-based) at which the adapted model's label
+    /// diverged from its clean prediction, when per-step telemetry tracked
+    /// it; `None` when untracked or when the label never flipped.
+    pub first_flip_step: Option<usize>,
 }
 
 impl AttackOutcome {
@@ -44,6 +48,15 @@ impl AttackOutcome {
             original_correct: o_pred == label,
             adapted_correct: a_pred == label,
             adapted_pred_in_original_top5: top5.contains(&a_pred),
+            first_flip_step: None,
+        }
+    }
+
+    /// Returns a copy annotated with a first-flip step.
+    pub fn with_first_flip(self, step: Option<usize>) -> Self {
+        AttackOutcome {
+            first_flip_step: step,
+            ..self
         }
     }
 
@@ -80,6 +93,10 @@ pub struct SuccessCounts {
     /// Samples where the original model was also fooled (the detectable
     /// collateral the paper's Fig. 1 counts).
     pub original_fooled: usize,
+    /// Samples whose adapted-model label flipped at a tracked step.
+    pub flipped: usize,
+    /// Sum of tracked first-flip steps (for the mean).
+    pub flip_step_sum: usize,
 }
 
 impl SuccessCounts {
@@ -90,6 +107,21 @@ impl SuccessCounts {
         self.top5 += usize::from(o.top5_success());
         self.attack_only += usize::from(o.attack_only_success());
         self.original_fooled += usize::from(!o.original_correct);
+        if let Some(step) = o.first_flip_step {
+            self.flipped += 1;
+            self.flip_step_sum += step;
+        }
+    }
+
+    /// Mean first-flip step over the samples that flipped, if any were
+    /// tracked. Lower means the attack needs fewer steps to move the edge
+    /// model off its clean label.
+    pub fn mean_first_flip_step(&self) -> Option<f32> {
+        if self.flipped == 0 {
+            None
+        } else {
+            Some(self.flip_step_sum as f32 / self.flipped as f32)
+        }
     }
 
     /// Joint top-1 success rate.
@@ -279,6 +311,28 @@ mod tests {
         assert_eq!(counts.attack_only, 1); // only sample 1: adapted wrong
         assert_eq!(counts.original_fooled, 1);
         assert!((counts.top1_rate() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_flip_steps_aggregate_into_mean() {
+        let base = AttackOutcome {
+            original_correct: true,
+            adapted_correct: false,
+            adapted_pred_in_original_top5: false,
+            first_flip_step: None,
+        };
+        let counts: SuccessCounts = vec![
+            base.with_first_flip(Some(3)),
+            base.with_first_flip(Some(7)),
+            base.with_first_flip(None), // tracked but never flipped
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(counts.flipped, 2);
+        assert_eq!(counts.mean_first_flip_step(), Some(5.0));
+        // Untracked runs report no mean at all.
+        let untracked: SuccessCounts = vec![base].into_iter().collect();
+        assert_eq!(untracked.mean_first_flip_step(), None);
     }
 
     #[test]

@@ -24,6 +24,37 @@ use diva_tensor::{ops, Tensor};
 use crate::graph::{Graph, NodeId, Op, ParamId};
 use crate::params::ParamStore;
 
+/// Static span names per op kind, so per-op timing costs no allocation.
+fn fwd_span_name(op: &Op) -> &'static str {
+    match op {
+        Op::Input => "nn.fwd.input",
+        Op::Conv2d { .. } => "nn.fwd.conv2d",
+        Op::DwConv2d { .. } => "nn.fwd.dwconv2d",
+        Op::Dense { .. } => "nn.fwd.dense",
+        Op::Relu => "nn.fwd.relu",
+        Op::Add => "nn.fwd.add",
+        Op::Concat => "nn.fwd.concat",
+        Op::MaxPool2d { .. } => "nn.fwd.maxpool2d",
+        Op::GlobalAvgPool => "nn.fwd.gap",
+        Op::Flatten => "nn.fwd.flatten",
+    }
+}
+
+fn bwd_span_name(op: &Op) -> &'static str {
+    match op {
+        Op::Input => "nn.bwd.input",
+        Op::Conv2d { .. } => "nn.bwd.conv2d",
+        Op::DwConv2d { .. } => "nn.bwd.dwconv2d",
+        Op::Dense { .. } => "nn.bwd.dense",
+        Op::Relu => "nn.bwd.relu",
+        Op::Add => "nn.bwd.add",
+        Op::Concat => "nn.bwd.concat",
+        Op::MaxPool2d { .. } => "nn.bwd.maxpool2d",
+        Op::GlobalAvgPool => "nn.bwd.gap",
+        Op::Flatten => "nn.bwd.flatten",
+    }
+}
+
 /// Interposition points for quantization-aware execution.
 ///
 /// All methods default to identity, so `impl Hooks for MyType {}` starts from
@@ -127,8 +158,10 @@ pub fn forward<H: Hooks>(
     let mut raws: Vec<Option<Tensor>> = vec![None; graph.len()];
     let mut pool_args: Vec<Option<Vec<usize>>> = vec![None; graph.len()];
 
+    let _pass = diva_trace::span(1, "nn.forward");
     for (idx, node) in graph.nodes().iter().enumerate() {
         let id = NodeId(idx);
+        let _op_span = diva_trace::span(1, fwd_span_name(&node.op));
         let raw = match &node.op {
             Op::Input => x.clone(),
             Op::Conv2d { w, b, cfg } => {
@@ -203,11 +236,13 @@ pub fn backward<H: Hooks>(
     let mut grads: Vec<Option<Tensor>> = vec![None; graph.len()];
     grads[out_id.0] = Some(d_output.clone());
 
+    let _pass = diva_trace::span(1, "nn.backward");
     for idx in (0..graph.len()).rev() {
         let node = &graph.nodes()[idx];
         let Some(dy_hooked) = grads[idx].take() else {
             continue; // node does not influence the output
         };
+        let _op_span = diva_trace::span(1, bwd_span_name(&node.op));
         // Straight-through / dequant adjoint.
         let dy = if H::ACTIVE {
             let raw = exec.raws[idx]

@@ -112,6 +112,40 @@ enum EngineOp {
     Flatten,
 }
 
+impl EngineOp {
+    /// Short kind label used in trace counter names.
+    fn kind(&self) -> &'static str {
+        match self {
+            EngineOp::Input => "input",
+            EngineOp::Conv2d { .. } => "conv2d",
+            EngineOp::DwConv2d { .. } => "dwconv2d",
+            EngineOp::Dense { .. } => "dense",
+            EngineOp::Relu { .. } => "relu",
+            EngineOp::Add { .. } => "add",
+            EngineOp::Concat { .. } => "concat",
+            EngineOp::MaxPool2d { .. } => "maxpool2d",
+            EngineOp::Gap { .. } => "gap",
+            EngineOp::Flatten => "flatten",
+        }
+    }
+}
+
+/// Static span names per op kind (level-2 per-op timing).
+fn op_span_name(op: &EngineOp) -> &'static str {
+    match op {
+        EngineOp::Input => "quant.op.input",
+        EngineOp::Conv2d { .. } => "quant.op.conv2d",
+        EngineOp::DwConv2d { .. } => "quant.op.dwconv2d",
+        EngineOp::Dense { .. } => "quant.op.dense",
+        EngineOp::Relu { .. } => "quant.op.relu",
+        EngineOp::Add { .. } => "quant.op.add",
+        EngineOp::Concat { .. } => "quant.op.concat",
+        EngineOp::MaxPool2d { .. } => "quant.op.maxpool2d",
+        EngineOp::Gap { .. } => "quant.op.gap",
+        EngineOp::Flatten => "quant.op.flatten",
+    }
+}
+
 mod cfg_serde {
     use super::*;
     use serde::{Deserializer, Serializer};
@@ -395,10 +429,18 @@ impl Int8Engine {
         );
         let n = x.dims()[0];
         let mode = self.mode;
+        let _run_span = diva_trace::span(1, "quant.engine.run");
+        let track_sat = diva_trace::enabled(1);
+        if track_sat {
+            diva_trace::counter!("quant.engine.samples", n);
+        }
         let mut acts: Vec<QTensor> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let out_dims = node.shape.batched(n);
             let qp = node.qp;
+            let kind = node.op.kind();
+            let _op_span = diva_trace::span(2, op_span_name(&node.op));
+            let mut sat = Saturation::new(track_sat);
             let out = match &node.op {
                 EngineOp::Input => QTensor {
                     data: qp.quantize_tensor(x),
@@ -412,7 +454,10 @@ impl Int8Engine {
                     cfg,
                 } => {
                     let xin = &acts[node.inputs[0]];
-                    conv_int(xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode)
+                    conv_int(
+                        xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode,
+                        &mut sat,
+                    )
                 }
                 EngineOp::DwConv2d {
                     w,
@@ -422,7 +467,10 @@ impl Int8Engine {
                     cfg,
                 } => {
                     let xin = &acts[node.inputs[0]];
-                    dwconv_int(xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode)
+                    dwconv_int(
+                        xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode,
+                        &mut sat,
+                    )
                 }
                 EngineOp::Dense {
                     w,
@@ -431,7 +479,7 @@ impl Int8Engine {
                     mult,
                 } => {
                     let xin = &acts[node.inputs[0]];
-                    dense_int(xin, node.in_qp, w, *w_dims, bias, mult, qp, out_dims, mode)
+                    dense_int(xin, node.in_qp, w, *w_dims, bias, mult, qp, out_dims, mode, &mut sat)
                 }
                 EngineOp::Relu { mult } => {
                     let xin = &acts[node.inputs[0]];
@@ -441,7 +489,7 @@ impl Int8Engine {
                         .iter()
                         .map(|&v| {
                             let pos = (v as i32 - zp_in).max(0);
-                            clamp_q(qp, qp.zero_point + mult.apply(pos, mode))
+                            sat.clamp(qp, qp.zero_point + mult.apply(pos, mode))
                         })
                         .collect();
                     QTensor {
@@ -462,7 +510,7 @@ impl Int8Engine {
                             let sa = ma.apply((av as i32 - zp_a) << ADD_LEFT_SHIFT, mode);
                             let sb = mb.apply((bv as i32 - zp_b) << ADD_LEFT_SHIFT, mode);
                             let s = mout.apply(sa + sb, mode);
-                            clamp_q(qp, qp.zero_point + s)
+                            sat.clamp(qp, qp.zero_point + s)
                         })
                         .collect();
                     QTensor {
@@ -486,7 +534,7 @@ impl Int8Engine {
                                     let src = (ni * ci + cc) * plane + p;
                                     let dst = (ni * c_total + c_off + cc) * plane + p;
                                     let v = xin.data[src] as i32 - zp_in;
-                                    data[dst] = clamp_q(qp, qp.zero_point + m.apply(v, mode));
+                                    data[dst] = sat.clamp(qp, qp.zero_point + m.apply(v, mode));
                                 }
                             }
                         }
@@ -538,7 +586,8 @@ impl Int8Engine {
                                 .iter()
                                 .map(|&v| v as i32 - zp_in)
                                 .sum();
-                            data[ni * c + ci] = clamp_q(qp, qp.zero_point + mult.apply(acc, mode));
+                            data[ni * c + ci] =
+                                sat.clamp(qp, qp.zero_point + mult.apply(acc, mode));
                         }
                     }
                     QTensor {
@@ -554,6 +603,7 @@ impl Int8Engine {
                     }
                 }
             };
+            sat.flush(kind);
             debug_assert_eq!(out.data.len(), out.dims.iter().product::<usize>());
             acts.push(out);
         }
@@ -675,6 +725,43 @@ fn clamp_q(qp: QuantParams, v: i32) -> i8 {
     v.clamp(qp.qmin, qp.qmax) as i8
 }
 
+/// Tracks requantization volume and accumulator saturation for one engine
+/// op, flushing to trace counters once at op end — the hot loops touch only
+/// two local integers, never the global recorder.
+struct Saturation {
+    track: bool,
+    requants: u64,
+    saturated: u64,
+}
+
+impl Saturation {
+    fn new(track: bool) -> Self {
+        Saturation {
+            track,
+            requants: 0,
+            saturated: 0,
+        }
+    }
+
+    /// Clamps a requantized accumulator to the output grid, counting the
+    /// requant and whether it saturated (value outside `[qmin, qmax]`).
+    #[inline]
+    fn clamp(&mut self, qp: QuantParams, v: i32) -> i8 {
+        if self.track {
+            self.requants += 1;
+            self.saturated += u64::from(v < qp.qmin || v > qp.qmax);
+        }
+        clamp_q(qp, v)
+    }
+
+    fn flush(self, kind: &'static str) {
+        if self.track && self.requants > 0 {
+            diva_trace::counter_add(&format!("quant.requant.{kind}"), self.requants);
+            diva_trace::counter_add(&format!("quant.saturate.{kind}"), self.saturated);
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn conv_int(
     xin: &QTensor,
@@ -687,6 +774,7 @@ fn conv_int(
     qp: QuantParams,
     out_dims: Vec<usize>,
     mode: RequantMode,
+    sat: &mut Saturation,
 ) -> QTensor {
     let (n, ci, h, wid) = (xin.dims[0], xin.dims[1], xin.dims[2], xin.dims[3]);
     let [co, wci, kh, kw] = w_dims;
@@ -722,7 +810,7 @@ fn conv_int(
                         }
                     }
                     data[obase + oy * ow + ox] =
-                        clamp_q(qp, qp.zero_point + mult[oi].apply(acc, mode));
+                        sat.clamp(qp, qp.zero_point + mult[oi].apply(acc, mode));
                 }
             }
         }
@@ -745,6 +833,7 @@ fn dwconv_int(
     qp: QuantParams,
     out_dims: Vec<usize>,
     mode: RequantMode,
+    sat: &mut Saturation,
 ) -> QTensor {
     let (n, c, h, wid) = (xin.dims[0], xin.dims[1], xin.dims[2], xin.dims[3]);
     let [wc, kh, kw] = w_dims;
@@ -776,7 +865,7 @@ fn dwconv_int(
                         }
                     }
                     data[obase + oy * ow + ox] =
-                        clamp_q(qp, qp.zero_point + mult[ci].apply(acc, mode));
+                        sat.clamp(qp, qp.zero_point + mult[ci].apply(acc, mode));
                 }
             }
         }
@@ -798,6 +887,7 @@ fn dense_int(
     qp: QuantParams,
     out_dims: Vec<usize>,
     mode: RequantMode,
+    sat: &mut Saturation,
 ) -> QTensor {
     let n = xin.dims[0];
     let [rows, cols] = w_dims;
@@ -811,7 +901,7 @@ fn dense_int(
             for (xv, wv) in xrow.iter().zip(wrow) {
                 acc += (*xv as i32 - zp_in) * *wv as i32;
             }
-            data[ni * rows + r] = clamp_q(qp, qp.zero_point + mult[r].apply(acc, mode));
+            data[ni * rows + r] = sat.clamp(qp, qp.zero_point + mult[r].apply(acc, mode));
         }
     }
     QTensor {

@@ -1,0 +1,216 @@
+//! Fixed log-bucket histograms for durations and other `u64` magnitudes.
+//!
+//! Values land in power-of-two buckets: bucket 0 holds exactly `0`, bucket
+//! `i >= 1` holds `[2^(i-1), 2^i)`. With 65 buckets the full `u64` range is
+//! covered, recording is a couple of integer ops, and quantile queries walk
+//! at most 65 counters — no allocation, no sorting, bounded memory per
+//! metric regardless of sample count.
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Returns the bucket index for a value.
+///
+/// `0 -> 0`; otherwise a value with highest set bit `b` (0-based) maps to
+/// bucket `b + 1`, i.e. bucket `i` covers `[2^(i-1), 2^i)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive-exclusive bounds `[lo, hi)` of bucket `i` (bucket 0 is `[0,1)`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (0, 1)
+    } else if i == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), 1u64 << i)
+    }
+}
+
+/// A log-bucket histogram with exact count/sum/min/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean observation, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`, clamped to
+    /// the exact observed `[min, max]`. Within a factor of 2 of the true
+    /// quantile by construction of the buckets.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.saturating_sub(1).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// p95 shorthand.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Per-bucket counts (test/inspection hook).
+    pub fn bucket_counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's bounds round-trip through bucket_index.
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi.saturating_sub(1).max(lo)), i, "hi-1 of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn records_track_exact_extremes() {
+        let mut h = Histogram::default();
+        for v in [5u64, 9, 120, 7, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 120);
+        assert_eq!(h.sum(), 141);
+        assert!((h.mean() - 28.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_factor() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // True p50 = 500; log-bucket answer must be in [500, 1000) bucket
+        // terms: within a factor of 2, and clamped to [min, max].
+        let p50 = h.p50();
+        assert!((500..=1000).contains(&p50), "p50 {p50}");
+        let p95 = h.p95();
+        assert!((950..=1000).contains(&p95), "p95 {p95}");
+        assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), h.min().max(1));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    /// Pure-std property sweep (mirrors tests/properties.rs so the law is
+    /// exercised even where proptest is unavailable): quantiles are monotone
+    /// in q and bounded by [min, max].
+    #[test]
+    fn quantile_monotonicity_sweep() {
+        // Deterministic LCG input stream.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut h = Histogram::default();
+        for _ in 0..4096 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record(state >> (state % 50));
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotone: {vals:?}");
+        }
+        assert!(vals[0] >= h.min());
+        assert_eq!(*vals.last().unwrap(), h.max());
+    }
+}

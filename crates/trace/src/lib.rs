@@ -1,0 +1,628 @@
+//! diva-trace: structured tracing + metrics for the DIVA reproduction.
+//!
+//! A small, dependency-free observability layer shared by the executor,
+//! attack loops, quantization engine, and bench suite:
+//!
+//! - **Level gate.** Everything is filtered by the `DIVA_TRACE` env var
+//!   (`0` = off, `1` = spans/counters/progress, `2` = verbose per-op and
+//!   per-step events). The disabled path is a single relaxed atomic load —
+//!   cheap enough to leave call sites in the hottest loops.
+//! - **Recorder.** A global registry of named counters and log-bucket
+//!   [`Histogram`]s (p50/p95/max without storing samples), plus a bounded
+//!   buffer of pre-rendered JSONL events.
+//! - **Spans.** RAII timers ([`span`]) that record wall-clock nanoseconds
+//!   into a histogram keyed by span name, and emit a `span` event at level
+//!   >= 2 with thread-local nesting depth.
+//! - **Artifacts.** [`write_artifacts`] serializes the buffered events to
+//!   `trace.jsonl` and a summary (per-span p50/p95/max, counter totals) to
+//!   `metrics.json`; [`json`] can parse them back for tests and tooling.
+//!
+//! ```
+//! diva_trace::set_level(1);
+//! {
+//!     let _s = diva_trace::span(1, "nn.fwd.conv2d");
+//!     diva_trace::counter!("quant.requant.conv", 1);
+//! }
+//! let summary = diva_trace::summary_json();
+//! assert!(summary.get("spans").is_some());
+//! # diva_trace::reset();
+//! # diva_trace::set_level(0);
+//! ```
+
+pub mod histogram;
+pub mod json;
+
+pub use histogram::Histogram;
+pub use json::Json;
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Maximum buffered events before new ones are dropped (and counted).
+/// 256Ki pre-rendered lines bounds memory at roughly tens of MB worst-case.
+pub const EVENT_BUFFER_CAP: usize = 262_144;
+
+/// Sentinel meaning "level not yet read from the environment".
+const LEVEL_UNINIT: u8 = 0xFF;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNINIT);
+
+/// Current trace level. First call reads `DIVA_TRACE` (unset, empty, or
+/// unparseable means 0); later calls are a single relaxed atomic load.
+#[inline]
+pub fn level() -> u8 {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v == LEVEL_UNINIT {
+        init_level_from_env()
+    } else {
+        v
+    }
+}
+
+#[cold]
+fn init_level_from_env() -> u8 {
+    let v = std::env::var("DIVA_TRACE")
+        .ok()
+        .and_then(|s| s.trim().parse::<u8>().ok())
+        .unwrap_or(0)
+        .min(LEVEL_UNINIT - 1);
+    LEVEL.store(v, Ordering::Relaxed);
+    v
+}
+
+/// True when tracing at `lvl` is active. `enabled(0)` is always true.
+#[inline]
+pub fn enabled(lvl: u8) -> bool {
+    level() >= lvl
+}
+
+/// Overrides the trace level (tests, or a CLI flag taking precedence over
+/// the environment).
+pub fn set_level(lvl: u8) {
+    LEVEL.store(lvl.min(LEVEL_UNINIT - 1), Ordering::Relaxed);
+}
+
+/// A field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::U64(v) => Json::Num(*v as f64),
+            Value::I64(v) => Json::Num(*v as f64),
+            Value::F64(v) => Json::Num(*v),
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+/// Global mutable trace state. One mutex guards everything: contention is
+/// acceptable because per-event critical sections are tiny (a BTreeMap
+/// lookup and an integer update), and disabled runs never reach it.
+struct Recorder {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Pre-rendered JSONL lines; rendering happens outside the lock.
+    events: Vec<String>,
+    events_dropped: u64,
+    /// Monotonic origin for event timestamps.
+    epoch: Instant,
+}
+
+impl Recorder {
+    fn new() -> Self {
+        Recorder {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn push_event(&mut self, line: String) {
+        if self.events.len() < EVENT_BUFFER_CAP {
+            self.events.push(line);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+}
+
+fn recorder() -> MutexGuard<'static, Recorder> {
+    static RECORDER: OnceLock<Mutex<Recorder>> = OnceLock::new();
+    RECORDER
+        .get_or_init(|| Mutex::new(Recorder::new()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    /// Current span nesting depth on this thread (for event output only).
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Adds `delta` to the named counter. No-op below level 1.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled(1) {
+        return;
+    }
+    let mut rec = recorder();
+    match rec.counters.get_mut(name) {
+        Some(c) => *c += delta,
+        None => {
+            rec.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Current value of a counter (0 if never touched). Test/inspection hook.
+pub fn counter_value(name: &str) -> u64 {
+    recorder().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Records a raw observation into the named histogram. No-op below level 1.
+#[inline]
+pub fn record_u64(name: &str, v: u64) {
+    if !enabled(1) {
+        return;
+    }
+    record_u64_unchecked(name, v);
+}
+
+fn record_u64_unchecked(name: &str, v: u64) {
+    let mut rec = recorder();
+    match rec.histograms.get_mut(name) {
+        Some(h) => h.record(v),
+        None => {
+            let mut h = Histogram::default();
+            h.record(v);
+            rec.histograms.insert(name.to_string(), h);
+        }
+    }
+}
+
+/// Records a duration in seconds into the named histogram (stored as
+/// nanoseconds), gated at `lvl`. Used to fold externally-measured timings
+/// (e.g. bench `gen_seconds`) into the same summary as spans.
+pub fn record_secs(lvl: u8, name: &str, secs: f64) {
+    if !enabled(lvl) {
+        return;
+    }
+    let ns = (secs.max(0.0) * 1e9).round();
+    record_u64_unchecked(name, if ns >= u64::MAX as f64 { u64::MAX } else { ns as u64 });
+}
+
+/// Snapshot of a named histogram, if any observations were recorded.
+pub fn histogram_snapshot(name: &str) -> Option<Histogram> {
+    recorder().histograms.get(name).cloned()
+}
+
+/// Emits a structured event with arbitrary fields, gated at `lvl`.
+/// Rendering to JSON happens before taking the recorder lock.
+pub fn event_at(lvl: u8, name: &str, fields: &[(&str, Value)]) {
+    if !enabled(lvl) {
+        return;
+    }
+    let depth = SPAN_DEPTH.with(|d| d.get());
+    let mut obj = Json::obj();
+    obj.set("ev", Json::Str(name.to_string()));
+    if depth > 0 {
+        obj.set("depth", Json::Num(depth as f64));
+    }
+    for (k, v) in fields {
+        obj.set(k, v.to_json());
+    }
+    let mut rec = recorder();
+    let t_us = rec.epoch.elapsed().as_micros() as f64;
+    obj.set("t_us", Json::Num(t_us));
+    rec.push_event(obj.to_string());
+}
+
+/// Emits a level-2 event. Shorthand for [`event_at`]`(2, ...)`.
+pub fn event_now(name: &str, fields: &[(&str, Value)]) {
+    event_at(2, name, fields);
+}
+
+/// An RAII span timer. When tracing is disabled at the span's level the
+/// guard is inert (no clock read, no lock). Otherwise dropping it records
+/// elapsed nanoseconds into the histogram named after the span, and at
+/// level >= 2 also emits a `span` event.
+pub struct Span {
+    name: Option<Cow<'static, str>>,
+    start: Instant,
+}
+
+/// Starts a span gated at `lvl`. Typical levels: 1 for run/experiment-scale
+/// spans, 2 for per-op and per-step spans.
+#[inline]
+pub fn span(lvl: u8, name: impl Into<Cow<'static, str>>) -> Span {
+    if !enabled(lvl) {
+        return Span { name: None, start: START_PLACEHOLDER.with(|s| *s) };
+    }
+    SPAN_DEPTH.with(|d| d.set(d.get() + 1));
+    Span { name: Some(name.into()), start: Instant::now() }
+}
+
+thread_local! {
+    /// A fixed Instant reused by inert spans so the disabled path never
+    /// reads the clock.
+    static START_PLACEHOLDER: Instant = Instant::now();
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else { return };
+        let elapsed_ns = self.start.elapsed().as_nanos();
+        let elapsed_ns = if elapsed_ns > u64::MAX as u128 { u64::MAX } else { elapsed_ns as u64 };
+        let depth = SPAN_DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_sub(1));
+            v
+        });
+        // The level may have been lowered while the span was open; record
+        // anyway — the span was live, and partial traces confuse more than
+        // a few extra samples.
+        record_u64_unchecked(&name, elapsed_ns);
+        if enabled(2) {
+            let mut obj = Json::obj();
+            obj.set("ev", Json::Str("span".into()));
+            obj.set("name", Json::Str(name.into_owned()));
+            obj.set("ns", Json::Num(elapsed_ns as f64));
+            obj.set("depth", Json::Num(depth as f64));
+            let mut rec = recorder();
+            let t_us = rec.epoch.elapsed().as_micros() as f64;
+            obj.set("t_us", Json::Num(t_us));
+            rec.push_event(obj.to_string());
+        }
+    }
+}
+
+/// Builds the metrics summary as a [`Json`] object:
+///
+/// ```json
+/// {
+///   "level": 1,
+///   "spans": {"nn.fwd.conv2d": {"count":..,"p50_ns":..,"p95_ns":..,
+///              "max_ns":..,"mean_ns":..,"total_ns":..}, ...},
+///   "counters": {"quant.saturate.conv": 12, ...},
+///   "events_buffered": 345,
+///   "events_dropped": 0
+/// }
+/// ```
+pub fn summary_json() -> Json {
+    let rec = recorder();
+    let mut spans = Json::obj();
+    for (name, h) in &rec.histograms {
+        let mut s = Json::obj();
+        s.set("count", Json::Num(h.count() as f64));
+        s.set("p50_ns", Json::Num(h.p50() as f64));
+        s.set("p95_ns", Json::Num(h.p95() as f64));
+        s.set("max_ns", Json::Num(h.max() as f64));
+        s.set("mean_ns", Json::Num(h.mean()));
+        s.set("total_ns", Json::Num(h.sum() as f64));
+        spans.set(name, s);
+    }
+    let mut counters = Json::obj();
+    for (name, v) in &rec.counters {
+        counters.set(name, Json::Num(*v as f64));
+    }
+    let mut out = Json::obj();
+    out.set("level", Json::Num(level() as f64));
+    out.set("spans", spans);
+    out.set("counters", counters);
+    out.set("events_buffered", Json::Num(rec.events.len() as f64));
+    out.set("events_dropped", Json::Num(rec.events_dropped as f64));
+    out
+}
+
+/// Writes `trace.jsonl` (buffered events, one JSON object per line) and
+/// `metrics.json` (pretty-printed [`summary_json`]) under `dir`, creating
+/// it if needed. Returns the path to `metrics.json`. Callers should gate
+/// on [`enabled`]`(1)` — a disabled run has nothing to write and the
+/// acceptance contract is that it writes no files.
+pub fn write_artifacts(dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    let events: Vec<String> = {
+        let rec = recorder();
+        rec.events.clone()
+    };
+    let trace_path = dir.join("trace.jsonl");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&trace_path)?);
+    for line in &events {
+        writeln!(f, "{line}")?;
+    }
+    f.into_inner().map_err(|e| e.into_error())?.sync_all().ok();
+
+    let metrics_path = dir.join("metrics.json");
+    let mut body = summary_json().to_string_pretty();
+    body.push('\n');
+    std::fs::write(&metrics_path, body)?;
+    Ok(metrics_path)
+}
+
+/// Clears all counters, histograms, and buffered events (tests and
+/// multi-run binaries that want per-run artifacts). Leaves the level as-is.
+pub fn reset() {
+    let mut rec = recorder();
+    rec.counters.clear();
+    rec.histograms.clear();
+    rec.events.clear();
+    rec.events_dropped = 0;
+    rec.epoch = Instant::now();
+}
+
+/// Number of currently buffered events. Test/inspection hook.
+pub fn events_buffered() -> usize {
+    recorder().events.len()
+}
+
+/// Emits a structured event at the given level:
+/// `event!(2, "attack.step", step = i, loss = l)`. Field values go through
+/// `Into<Value>`. Free below the gate except for argument evaluation.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::enabled($lvl) {
+            $crate::event_at(
+                $lvl,
+                $name,
+                &[$((stringify!($key), $crate::Value::from($val))),*],
+            );
+        }
+    };
+}
+
+/// Adds to a named counter: `counter!("quant.saturate.conv", 1)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {
+        $crate::counter_add($name, $delta as u64)
+    };
+}
+
+/// Progress line for humans plus a structured `progress` event, both at
+/// level >= 1. At level 0 this is silent — the bench suite relies on that
+/// to keep stdout/stderr machine-clean.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if $crate::enabled(1) {
+            let msg = format!($($arg)*);
+            eprintln!("{msg}");
+            $crate::event_at(1, "progress", &[("msg", $crate::Value::from(msg))]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The recorder and level are process-global; serialize tests touching
+    /// them so counts don't interleave.
+    fn lock_global() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_level_records_nothing() {
+        let _g = lock_global();
+        set_level(0);
+        reset();
+        counter_add("c.off", 5);
+        record_secs(1, "h.off", 0.5);
+        event!(1, "nothing", k = 1u64);
+        {
+            let _s = span(1, "span.off");
+        }
+        assert_eq!(counter_value("c.off"), 0);
+        assert!(histogram_snapshot("h.off").is_none());
+        assert!(histogram_snapshot("span.off").is_none());
+        assert_eq!(events_buffered(), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let _g = lock_global();
+        set_level(1);
+        reset();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        counter_add("c.racy", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter_value("c.racy"), 8000);
+        set_level(0);
+    }
+
+    #[test]
+    fn spans_record_durations_and_nest() {
+        let _g = lock_global();
+        set_level(2);
+        reset();
+        {
+            let _outer = span(1, "t.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span(2, "t.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let outer = histogram_snapshot("t.outer").expect("outer recorded");
+        let inner = histogram_snapshot("t.inner").expect("inner recorded");
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+        assert!(outer.max() >= inner.max(), "outer should contain inner");
+        assert!(inner.max() >= 1_000_000, "inner slept >= 1ms");
+
+        // Level-2 span events exist; the inner span closes first and has
+        // greater depth.
+        let rec_events: Vec<Json> = {
+            let rec = recorder();
+            rec.events.iter().map(|l| json::parse(l).unwrap()).collect()
+        };
+        let span_events: Vec<&Json> = rec_events
+            .iter()
+            .filter(|e| e.get("ev").and_then(Json::as_str) == Some("span"))
+            .collect();
+        assert_eq!(span_events.len(), 2);
+        assert_eq!(span_events[0].get("name").unwrap().as_str(), Some("t.inner"));
+        assert_eq!(span_events[0].get("depth").unwrap().as_u64(), Some(2));
+        assert_eq!(span_events[1].get("name").unwrap().as_str(), Some("t.outer"));
+        assert_eq!(span_events[1].get("depth").unwrap().as_u64(), Some(1));
+        set_level(0);
+        reset();
+    }
+
+    #[test]
+    fn summary_includes_percentiles_and_counters() {
+        let _g = lock_global();
+        set_level(1);
+        reset();
+        for i in 1..=100u64 {
+            record_u64("t.hist", i * 1000);
+        }
+        counter_add("t.counter", 7);
+        let s = summary_json();
+        let spans = s.get("spans").unwrap();
+        let h = spans.get("t.hist").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(100));
+        assert!(h.get("p50_ns").unwrap().as_u64().unwrap() >= 50_000);
+        assert!(h.get("p95_ns").unwrap().as_u64().unwrap() >= 95_000);
+        assert_eq!(h.get("max_ns").unwrap().as_u64(), Some(100_000));
+        assert_eq!(
+            s.get("counters").unwrap().get("t.counter").unwrap().as_u64(),
+            Some(7)
+        );
+        // Summary text is valid JSON that round-trips through the parser.
+        let parsed = json::parse(&s.to_string_pretty()).unwrap();
+        assert_eq!(parsed, s);
+        set_level(0);
+        reset();
+    }
+
+    #[test]
+    fn artifacts_written_and_parseable() {
+        let _g = lock_global();
+        set_level(2);
+        reset();
+        event!(1, "test.event", answer = 42u64, label = "x");
+        {
+            let _s = span(1, "t.art");
+        }
+        let dir = std::env::temp_dir().join(format!("diva-trace-test-{}", std::process::id()));
+        let metrics = write_artifacts(&dir).expect("write");
+        let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = json::parse(&metrics_text).expect("metrics parses");
+        assert!(parsed.get("spans").unwrap().get("t.art").is_some());
+
+        let trace_text = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+        let lines: Vec<&str> = trace_text.lines().collect();
+        assert_eq!(lines.len(), events_buffered());
+        let first = json::parse(lines[0]).expect("event line parses");
+        assert_eq!(first.get("ev").unwrap().as_str(), Some("test.event"));
+        assert_eq!(first.get("answer").unwrap().as_u64(), Some(42));
+        std::fs::remove_dir_all(&dir).ok();
+        set_level(0);
+        reset();
+    }
+
+    #[test]
+    fn event_buffer_drops_beyond_cap_without_losing_count() {
+        let _g = lock_global();
+        set_level(1);
+        reset();
+        {
+            let mut rec = recorder();
+            // Simulate a full buffer without paying for 256k renders.
+            rec.events = vec![String::new(); EVENT_BUFFER_CAP];
+        }
+        event!(1, "overflow");
+        let s = summary_json();
+        assert_eq!(
+            s.get("events_dropped").unwrap().as_u64(),
+            Some(1),
+            "overflow event should be counted as dropped"
+        );
+        set_level(0);
+        reset();
+    }
+}

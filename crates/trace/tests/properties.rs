@@ -1,0 +1,81 @@
+//! Property tests for the log-bucket histogram and JSON round-trips.
+
+use diva_trace::histogram::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+use diva_trace::json;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value lands in a bucket whose bounds contain it.
+    #[test]
+    fn bucket_index_respects_bounds(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(v >= lo, "{v} below bucket {i} lo {lo}");
+        // Bucket 64's upper bound is u64::MAX inclusive.
+        prop_assert!(v < hi || (i == 64 && v <= hi), "{v} above bucket {i} hi {hi}");
+    }
+
+    /// bucket_index is monotone: larger values never map to smaller buckets.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Quantiles are monotone in q and always within [min, max].
+    #[test]
+    fn quantiles_monotone_and_bounded(values in proptest::collection::vec(any::<u64>(), 1..256)) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let true_min = *values.iter().min().unwrap();
+        let true_max = *values.iter().max().unwrap();
+        prop_assert_eq!(h.min(), true_min);
+        prop_assert_eq!(h.max(), true_max);
+        prop_assert_eq!(h.count(), values.len() as u64);
+
+        let mut prev = 0u64;
+        for step in 0..=20u32 {
+            let q = step as f64 / 20.0;
+            let qv = h.quantile(q);
+            prop_assert!(qv >= true_min && qv <= true_max,
+                "q={q} gave {qv} outside [{true_min}, {true_max}]");
+            prop_assert!(qv >= prev, "quantile not monotone at q={q}");
+            prev = qv;
+        }
+        prop_assert_eq!(h.quantile(1.0), true_max);
+    }
+
+    /// The log-bucket quantile is within a factor of 2 of the exact one
+    /// (the defining accuracy bound of power-of-two buckets).
+    #[test]
+    fn quantile_within_factor_two(values in proptest::collection::vec(1u64..1_000_000, 1..128)) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &(q, _name) in &[(0.5, "p50"), (0.95, "p95")] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.quantile(q);
+            prop_assert!(approx >= exact / 2 && approx <= exact.saturating_mul(2).max(exact),
+                "q={q}: approx {approx} not within 2x of exact {exact}");
+        }
+    }
+
+    /// JSON writer output always parses back to an equal value.
+    #[test]
+    fn json_number_string_round_trip(n in any::<i32>(), s in "[ -~]{0,40}") {
+        let mut obj = json::Json::obj();
+        obj.set("n", json::Json::Num(n as f64));
+        obj.set("s", json::Json::Str(s));
+        let compact = json::parse(&obj.to_string()).unwrap();
+        let pretty = json::parse(&obj.to_string_pretty()).unwrap();
+        prop_assert_eq!(&compact, &obj);
+        prop_assert_eq!(&pretty, &obj);
+    }
+}
