@@ -22,7 +22,9 @@ fn bench_conv_kernels(c: &mut Criterion) {
     let cfg = Conv2dCfg::square(3, 1, 1);
     let mut g = c.benchmark_group("conv_kernels");
     g.sample_size(10);
-    g.bench_function("im2col", |bch| bch.iter(|| conv2d(&x, &w, &b, cfg).unwrap()));
+    g.bench_function("im2col", |bch| {
+        bch.iter(|| conv2d(&x, &w, &b, cfg).unwrap())
+    });
     g.bench_function("naive", |bch| {
         bch.iter(|| conv2d_naive(&x, &w, &b, cfg).unwrap())
     });

@@ -9,8 +9,14 @@ use diva_quant::{Int8Engine, QatNetwork, QuantCfg, RequantMode};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
-    let args: Vec<usize> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
-    let (n, epochs) = (args.first().copied().unwrap_or(512), args.get(1).copied().unwrap_or(6));
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let (n, epochs) = (
+        args.first().copied().unwrap_or(512),
+        args.get(1).copied().unwrap_or(6),
+    );
     let noise = args.get(2).copied().unwrap_or(10) as f32 / 100.0;
     let cj = args.get(3).copied().unwrap_or(22) as f32 / 100.0;
     let lr = args.get(4).copied().unwrap_or(20) as f32 / 1000.0;
@@ -21,7 +27,11 @@ fn main() {
         _ => Architecture::ResNet,
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let data_cfg = ImagenetCfg { noise, color_jitter: cj, ..ImagenetCfg::default() };
+    let data_cfg = ImagenetCfg {
+        noise,
+        color_jitter: cj,
+        ..ImagenetCfg::default()
+    };
     let train = synth_imagenet(n, &data_cfg, 61);
     let val = synth_imagenet(256, &data_cfg, 62);
     let mut net = arch.build(&ModelCfg::standard(16), &mut rng);

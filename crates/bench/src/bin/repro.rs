@@ -32,8 +32,10 @@
 //! ```
 //!
 //! Reports are printed and archived under `repro_out/`. With `DIVA_TRACE=1`
-//! (or higher) the run additionally writes `repro_out/trace.jsonl` and
-//! `repro_out/metrics.json` — see DESIGN.md's "Observability" section.
+//! (or higher) the run additionally writes `trace.jsonl` and `metrics.json`
+//! under `repro_out/` (or `DIVA_TRACE_DIR` when set) — see DESIGN.md's
+//! "Observability" section. `DIVA_JOBS` controls the worker count of the
+//! deterministic fan-out (see README "Parallelism").
 
 use diva_bench::experiments::{
     self, archive, baselines, bits, detect, fig1, fig10, fig2, fig3, fig4, fig6, fig7, fig8,
@@ -115,8 +117,21 @@ fn main() {
     match cmd {
         "all" => {
             for c in [
-                "table1", "fig1", "fig2", "fig3", "fig4", "fig6", "fig6d", "fig7", "baselines",
-                "robust", "fig8", "fig10", "transfer", "bits", "detect",
+                "table1",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig6",
+                "fig6d",
+                "fig7",
+                "baselines",
+                "robust",
+                "fig8",
+                "fig10",
+                "transfer",
+                "bits",
+                "detect",
             ] {
                 diva_trace::progress!("=== repro {c} ===");
                 let report = run_one(&mut cache, c).expect("known experiment");
@@ -146,7 +161,11 @@ fn main() {
     diva_trace::record_secs(1, "repro.total_seconds", total);
     diva_trace::progress!("[done in {total:.1}s]");
     if diva_trace::enabled(1) {
-        match diva_trace::write_artifacts("repro_out") {
+        // DIVA_TRACE_DIR overrides the artifact directory so concurrent
+        // invocations (e.g. parallel test binaries) don't race on
+        // trace.jsonl/metrics.json.
+        let trace_dir = std::env::var("DIVA_TRACE_DIR").unwrap_or_else(|_| "repro_out".to_string());
+        match diva_trace::write_artifacts(&trace_dir) {
             Ok(path) => diva_trace::progress!("[trace] wrote {}", path.display()),
             Err(e) => eprintln!("[trace] failed to write artifacts: {e}"),
         }

@@ -49,15 +49,19 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
             &victim.val_pool.images,
             &victim.val_pool.labels,
         );
-        let attack_set =
-            select_validation(&victim.val_pool, &[&victim.original, &qat], scale.per_class_val);
+        let attack_set = select_validation(
+            &victim.val_pool,
+            &[&victim.original, &qat],
+            scale.per_class_val,
+        );
         if attack_set.is_empty() {
-            out.push_str(&format!("{bits:4} | (no mutually-correct samples at this width)\n"));
+            out.push_str(&format!(
+                "{bits:4} | (no mutually-correct samples at this width)\n"
+            ));
             continue;
         }
         let pgd = pgd_attack(&qat, &attack_set.images, &attack_set.labels, &cfg);
-        let pgd_counts =
-            evaluate_attack(&victim.original, &qat, &pgd, &attack_set.labels);
+        let pgd_counts = evaluate_attack(&victim.original, &qat, &pgd, &attack_set.labels);
         let diva = diva_attack(
             &victim.original,
             &qat,
@@ -66,8 +70,7 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
             1.0,
             &cfg,
         );
-        let diva_counts =
-            evaluate_attack(&victim.original, &qat, &diva, &attack_set.labels);
+        let diva_counts = evaluate_attack(&victim.original, &qat, &diva, &attack_set.labels);
         out.push_str(&format!(
             "{bits:4} | {}      | {}      | {}    | {}     | {}\n",
             pct(acc),

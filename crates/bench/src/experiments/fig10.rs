@@ -61,8 +61,8 @@ pub fn run(scale: &FaceScale) -> String {
     };
     let train = synth_faces(scale.identities * scale.photos_per_id, &faces_cfg, 300);
     let val_pool = synth_faces(scale.identities * 12, &faces_cfg, 300); // same ids, later photos
-    // NOTE: photos differ because the photo-rng continues; identities are
-    // seed-determined, so train and val share people, like PubFig splits.
+                                                                        // NOTE: photos differ because the photo-rng continues; identities are
+                                                                        // seed-determined, so train and val share people, like PubFig splits.
 
     diva_trace::progress!("[faces] training VGGFace stand-in ...");
     let mut original = face_net(scale.identities, &mut rng);
@@ -100,11 +100,7 @@ pub fn run(scale: &FaceScale) -> String {
 
     let orig_acc = evaluate(&original, &val_pool.images, &val_pool.labels);
     let engine_acc = evaluate(&engine, &val_pool.images, &val_pool.labels);
-    let attack_set = select_validation(
-        &val_pool,
-        &[&original, &qat, &engine],
-        scale.val_per_id,
-    );
+    let attack_set = select_validation(&val_pool, &[&original, &qat, &engine], scale.val_per_id);
 
     let cfg = AttackCfg::paper_default();
     let mut out = String::new();
@@ -191,7 +187,13 @@ pub fn run(scale: &FaceScale) -> String {
                 continue;
             }
             let adv = diva_targeted_attack(
-                &original, &qat, &x, &[y], target, 1.0, 4.0,
+                &original,
+                &qat,
+                &x,
+                &[y],
+                target,
+                1.0,
+                4.0,
                 &AttackCfg::with_steps(30),
             );
             if engine.predict(&adv)[0] == target && original.predict(&adv)[0] == y {
@@ -200,8 +202,7 @@ pub fn run(scale: &FaceScale) -> String {
         }
         reachable.push(hits);
     }
-    let avg: f32 =
-        reachable.iter().sum::<usize>() as f32 / reachable.len().max(1) as f32;
+    let avg: f32 = reachable.iter().sum::<usize>() as f32 / reachable.len().max(1) as f32;
     out.push_str(&format!(
         "\ntargeted attack: over {} source photos, the evasive attack can steer\n\
          the edge model to an average of {:.1} of the {} other identities\n\

@@ -47,9 +47,8 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
         let o_pred = victim.original.predict(&adv)[0];
         let a_pred = victim.qat.predict(&adv)[0];
         if o_pred == y && a_pred != y {
-            let conf = |logits: &diva_tensor::Tensor, class: usize| {
-                softmax_rows(logits).data()[class]
-            };
+            let conf =
+                |logits: &diva_tensor::Tensor, class: usize| softmax_rows(logits).data()[class];
             let lo_nat = victim.original.logits(&x);
             let la_nat = victim.qat.logits(&x);
             let lo_adv = victim.original.logits(&adv);

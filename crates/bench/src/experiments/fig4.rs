@@ -53,7 +53,12 @@ pub fn run(samples_per_digit: usize) -> (String, PcaShift) {
     train_classifier(&mut net, &train.images, &train.labels, &tcfg, &mut rng);
     let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
     qat.calibrate(&train.images);
-    qat.train_qat(&train.images, &train.labels, &TrainCfg { epochs: 1, ..tcfg }, &mut rng);
+    qat.train_qat(
+        &train.images,
+        &train.labels,
+        &TrainCfg { epochs: 1, ..tcfg },
+        &mut rng,
+    );
 
     // Select digit-0 and digit-2 samples both models classify correctly.
     let select = |digit: usize| -> Vec<usize> {
@@ -98,12 +103,8 @@ pub fn run(samples_per_digit: usize) -> (String, PcaShift) {
         4.0,
         &AttackCfg::with_steps(30),
     );
-    let toward_two = qat
-        .predict(&adv0)
-        .iter()
-        .filter(|&&p| p == 2)
-        .count() as f32
-        / zeros.len().max(1) as f32;
+    let toward_two =
+        qat.predict(&adv0).iter().filter(|&&p| p == 2).count() as f32 / zeros.len().max(1) as f32;
 
     // Representations from both models on both digits, natural and attacked.
     let feats = |model: &dyn Fn(&Tensor) -> Tensor, x: &Tensor| model(x);

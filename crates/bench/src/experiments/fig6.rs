@@ -19,8 +19,7 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale, with_blackbox: bool
     out.push_str(&format!(
         "Figure 6a/b/c + Table 2 — attacks on quantized models\n\
          (eps=8/255, alpha=1/255, t={}, c=1; per-arch attack sets of up to {} per class)\n\n",
-        cfg.steps,
-        scale.per_class_val
+        cfg.steps, scale.per_class_val
     ));
     out.push_str(
         "Arch      | Attack                | Top-1  | Top-5  | ConfΔ  | Attack-only | Orig-fooled | s/step\n",

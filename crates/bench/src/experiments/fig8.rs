@@ -4,13 +4,13 @@
 use diva_core::attack::{diva_attack, pgd_attack, AttackCfg};
 use diva_core::pipeline::evaluate_attack;
 use diva_core::DiffModel;
+use diva_data::select_validation;
 use diva_metrics::{confidence_delta, instability};
 use diva_models::Architecture;
 use diva_nn::train::TrainCfg;
 use diva_nn::Infer;
 use diva_prune::{prune_with_finetune, sparse_size_ratio, PruneCfg};
 use diva_quant::{QatNetwork, QuantCfg};
-use diva_data::select_validation;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::experiments::{archive_csv, VictimCache};

@@ -9,13 +9,13 @@ pub mod baselines;
 pub mod bits;
 pub mod detect;
 pub mod fig1;
+pub mod fig10;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
-pub mod fig10;
 pub mod robust;
 pub mod smoke;
 pub mod table1;
@@ -43,12 +43,10 @@ impl VictimCache {
 
     /// Returns the prepared victim for `arch`, training it on first use.
     pub fn victim(&mut self, arch: Architecture, scale: &ExperimentScale) -> &VictimModels {
-        self.victims
-            .entry(arch.name())
-            .or_insert_with(|| {
-                diva_trace::progress!("[prepare] training + adapting {arch} ...");
-                prepare_victim(arch, scale)
-            })
+        self.victims.entry(arch.name()).or_insert_with(|| {
+            diva_trace::progress!("[prepare] training + adapting {arch} ...");
+            prepare_victim(arch, scale)
+        })
     }
 
     /// Returns the surrogate bundle for `arch`, distilling it on first use.

@@ -88,19 +88,9 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
     }
     // Robust accuracy of the adapted model under PGD (the paper's
     // "Robust_acc" readout), non-robust pair for contrast.
-    let rob_acc = robust_accuracy(
-        &robust_qat,
-        &attack_set.images,
-        &attack_set.labels,
-        &cfg,
-    );
+    let rob_acc = robust_accuracy(&robust_qat, &attack_set.images, &attack_set.labels, &cfg);
     let nonrob_set = victim.attack_set(scale.per_class_val);
-    let nonrob_acc = robust_accuracy(
-        &victim.qat,
-        &nonrob_set.images,
-        &nonrob_set.labels,
-        &cfg,
-    );
+    let nonrob_acc = robust_accuracy(&victim.qat, &nonrob_set.images, &nonrob_set.labels, &cfg);
     // And the undefended pair's DIVA success for comparison.
     let undefended = attack_matrix_row(
         &victim,

@@ -5,7 +5,8 @@
 //! family), not reproducing a paper figure.
 
 use diva_core::attack::{diva_attack_traced, pgd_attack_traced, AttackCfg};
-use diva_core::pipeline::{evaluate_outcomes_with_flips, FirstFlipTracker};
+use diva_core::parallel::par_attack_images;
+use diva_core::pipeline::evaluate_outcomes_with_flips;
 use diva_metrics::success::SuccessCounts;
 use diva_models::{Architecture, ModelCfg};
 use diva_nn::Infer;
@@ -38,24 +39,25 @@ pub fn run() -> String {
     qat.calibrate(&images);
     let engine = Int8Engine::from_qat(&qat);
 
-    // Short PGD then DIVA, both watched by the first-flip tracker against
-    // the deployed engine (exercises attack.step + quant.engine.run).
+    // Short PGD then DIVA, generated per-image through the diva-par fan-out
+    // (sized by DIVA_JOBS; results identical for every job count), both
+    // watched by the first-flip tracker against the deployed engine
+    // (exercises attack.step + quant.engine.run).
     let cfg = AttackCfg::with_steps(6);
-    let mut pgd_tracker = FirstFlipTracker::new(&engine, &images);
-    let adv_pgd = pgd_attack_traced(&qat, &images, &labels, &cfg, |info| {
-        pgd_tracker.observe(&engine, info)
+    let gen_pgd = par_attack_images(&images, &labels, Some(&engine), |_, xi, yi, hook| {
+        pgd_attack_traced(&qat, xi, yi, &cfg, hook)
     });
-    let mut diva_tracker = FirstFlipTracker::new(&engine, &images);
-    let adv_diva = diva_attack_traced(&net, &qat, &images, &labels, 1.0, &cfg, |info| {
-        diva_tracker.observe(&engine, info)
+    let gen_diva = par_attack_images(&images, &labels, Some(&engine), |_, xi, yi, hook| {
+        diva_attack_traced(&net, &qat, xi, yi, 1.0, &cfg, hook)
     });
+    let (adv_pgd, adv_diva) = (gen_pgd.adv, gen_diva.adv);
 
     let pgd: SuccessCounts =
-        evaluate_outcomes_with_flips(&net, &qat, &adv_pgd, &labels, pgd_tracker.first_flips())
+        evaluate_outcomes_with_flips(&net, &qat, &adv_pgd, &labels, &gen_pgd.first_flips)
             .into_iter()
             .collect();
     let diva: SuccessCounts =
-        evaluate_outcomes_with_flips(&net, &qat, &adv_diva, &labels, diva_tracker.first_flips())
+        evaluate_outcomes_with_flips(&net, &qat, &adv_diva, &labels, &gen_diva.first_flips)
             .into_iter()
             .collect();
     // One final engine pass on the adversarial batch for good measure.

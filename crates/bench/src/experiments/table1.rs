@@ -3,9 +3,9 @@
 //! out (bit width, weight-quantization granularity, QAT epochs).
 
 use diva_metrics::{confidence_delta, instability};
+use diva_models::Architecture;
 use diva_nn::train::{evaluate, TrainCfg};
 use diva_quant::{QatNetwork, QuantCfg};
-use diva_models::Architecture;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::experiments::VictimCache;
@@ -62,18 +62,9 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale, opts: &Table1Option
         {
             // Default setting: reuse the cached victim.
             let v = cache.victim(arch, scale);
-            let (ow, wo, inst) = instability(
-                &v.original,
-                &v.qat,
-                &v.val_pool.images,
-                &v.val_pool.labels,
-            );
-            let cd = confidence_delta(
-                &v.original,
-                &v.qat,
-                &v.val_pool.images,
-                &v.val_pool.labels,
-            );
+            let (ow, wo, inst) =
+                instability(&v.original, &v.qat, &v.val_pool.images, &v.val_pool.labels);
+            let cd = confidence_delta(&v.original, &v.qat, &v.val_pool.images, &v.val_pool.labels);
             (v.original_acc, v.qat_acc, ow, wo, inst, cd)
         } else {
             // Ablation: re-adapt the cached original with modified settings.
@@ -93,8 +84,7 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale, opts: &Table1Option
             let qat_acc = evaluate(&qat, &v.val_pool.images, &v.val_pool.labels);
             let (ow, wo, inst) =
                 instability(&v.original, &qat, &v.val_pool.images, &v.val_pool.labels);
-            let cd =
-                confidence_delta(&v.original, &qat, &v.val_pool.images, &v.val_pool.labels);
+            let cd = confidence_delta(&v.original, &qat, &v.val_pool.images, &v.val_pool.labels);
             (v.original_acc, qat_acc, ow, wo, inst, cd)
         };
         out.push_str(&format!(

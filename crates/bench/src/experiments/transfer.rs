@@ -40,7 +40,12 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
             let src_victim = cache.victim(src, scale).clone();
             let attack_set = src_victim.attack_set(scale.per_class_val);
             let adv = match attack {
-                "PGD" => pgd_attack(&src_victim.qat, &attack_set.images, &attack_set.labels, &cfg),
+                "PGD" => pgd_attack(
+                    &src_victim.qat,
+                    &attack_set.images,
+                    &attack_set.labels,
+                    &cfg,
+                ),
                 _ => diva_attack(
                     &src_victim.original,
                     &src_victim.qat,

@@ -10,6 +10,4 @@
 pub mod experiments;
 pub mod suite;
 
-pub use suite::{
-    attack_matrix_row, prepare_victim, AttackKind, ExperimentScale, VictimModels,
-};
+pub use suite::{attack_matrix_row, prepare_victim, AttackKind, ExperimentScale, VictimModels};

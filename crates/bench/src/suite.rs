@@ -3,12 +3,12 @@
 //! tables and figures.
 
 use diva_core::attack::{
-    cw_attack_traced, diva_attack_traced, momentum_pgd_attack_traced, pgd_attack_traced,
-    AttackCfg, StepInfo,
+    cw_attack_traced, diva_attack_traced, momentum_pgd_attack_traced, pgd_attack_traced, AttackCfg,
 };
+use diva_core::parallel::par_attack_images;
 use diva_core::pipeline::{
     evaluate_attack, evaluate_outcomes_with_flips, prepare_blackbox, prepare_semi_blackbox,
-    BlackboxAssets, FirstFlipTracker, SemiBlackboxAssets,
+    BlackboxAssets, SemiBlackboxAssets,
 };
 use diva_data::imagenet::{synth_imagenet, ImagenetCfg};
 use diva_data::{select_validation, Dataset};
@@ -143,8 +143,16 @@ pub fn prepare_victim(arch: Architecture, scale: &ExperimentScale) -> VictimMode
     let _span = diva_trace::span(1, "bench.prepare_victim");
     let mut rng = StdRng::seed_from_u64(scale.seed ^ arch_seed(arch));
     let train = synth_imagenet(scale.train_n, &scale.data_cfg, scale.seed.wrapping_add(1));
-    let val_pool = synth_imagenet(scale.val_pool_n, &scale.data_cfg, scale.seed.wrapping_add(2));
-    let attacker = synth_imagenet(scale.attacker_n, &scale.data_cfg, scale.seed.wrapping_add(3));
+    let val_pool = synth_imagenet(
+        scale.val_pool_n,
+        &scale.data_cfg,
+        scale.seed.wrapping_add(2),
+    );
+    let attacker = synth_imagenet(
+        scale.attacker_n,
+        &scale.data_cfg,
+        scale.seed.wrapping_add(3),
+    );
 
     let mut original = arch.build(&scale.model_cfg, &mut rng);
     // Two-phase schedule: full rate for ~70% of the epochs, then a 4x decay
@@ -158,8 +166,20 @@ pub fn prepare_victim(arch: Architecture, scale: &ExperimentScale) -> VictimMode
         lr: scale.train_cfg.lr / 4.0,
         ..scale.train_cfg.clone()
     };
-    train_classifier(&mut original, &train.images, &train.labels, &phase1, &mut rng);
-    train_classifier(&mut original, &train.images, &train.labels, &phase2, &mut rng);
+    train_classifier(
+        &mut original,
+        &train.images,
+        &train.labels,
+        &phase1,
+        &mut rng,
+    );
+    train_classifier(
+        &mut original,
+        &train.images,
+        &train.labels,
+        &phase2,
+        &mut rng,
+    );
 
     // Adapt: calibrate on training data, then QAT fine-tune.
     let mut qat = QatNetwork::new(original.clone(), QuantCfg::default());
@@ -320,36 +340,31 @@ pub fn attack_matrix_row_adv(
     // When tracing is on, watch the deployed engine's prediction flip
     // step-by-step; the per-image first-flip steps then ride through
     // `SuccessCounts` (mean_first_flip_step).
-    let mut tracker = if diva_trace::enabled(1) {
-        Some(FirstFlipTracker::new(&victim.engine, x))
+    let watch = if diva_trace::enabled(1) {
+        Some(&victim.engine)
     } else {
         None
     };
-    let mut hook = |info: &StepInfo| {
-        if let Some(t) = tracker.as_mut() {
-            t.observe(&victim.engine, info);
-        }
-    };
     let started = std::time::Instant::now();
-    let adv = match kind {
-        AttackKind::Pgd => pgd_attack_traced(&victim.qat, x, labels, cfg, &mut hook),
-        AttackKind::MomentumPgd => {
-            momentum_pgd_attack_traced(&victim.qat, x, labels, cfg, &mut hook)
-        }
-        AttackKind::Cw => cw_attack_traced(&victim.qat, x, labels, cfg, &mut hook),
+    // Fan out one trajectory per image (diva-par; sized by DIVA_JOBS).
+    // Results merge in image order, so counts/flips/counters match serial.
+    let gen = par_attack_images(x, labels, watch, |_i, xi, yi, hook| match kind {
+        AttackKind::Pgd => pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
+        AttackKind::MomentumPgd => momentum_pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
+        AttackKind::Cw => cw_attack_traced(&victim.qat, xi, yi, cfg, hook),
         AttackKind::DivaWhitebox(c) => {
-            diva_attack_traced(&victim.original, &victim.qat, x, labels, c, cfg, &mut hook)
+            diva_attack_traced(&victim.original, &victim.qat, xi, yi, c, cfg, hook)
         }
         AttackKind::DivaSemiBlackbox(c) => {
             let s = surrogates.expect("semi-blackbox needs prepared surrogates");
             diva_attack_traced(
                 &s.semi.surrogate_original,
                 &s.semi.recovered_adapted,
-                x,
-                labels,
+                xi,
+                yi,
                 c,
                 cfg,
-                &mut hook,
+                hook,
             )
         }
         AttackKind::DivaBlackbox(c) => {
@@ -357,14 +372,15 @@ pub fn attack_matrix_row_adv(
             diva_attack_traced(
                 &s.black.surrogate_original,
                 &s.black.surrogate_adapted,
-                x,
-                labels,
+                xi,
+                yi,
                 c,
                 cfg,
-                &mut hook,
+                hook,
             )
         }
-    };
+    });
+    let adv = gen.adv;
     let gen_seconds = started.elapsed().as_secs_f64();
     diva_trace::record_secs(1, "bench.attack_gen_seconds", gen_seconds);
     diva_trace::event!(
@@ -372,19 +388,21 @@ pub fn attack_matrix_row_adv(
         "bench.attack_generated",
         kind = kind.name(),
         images = attack_set.len(),
+        jobs = diva_par::jobs().min(attack_set.len().max(1)),
         gen_seconds = gen_seconds,
     );
-    let counts = match tracker {
-        Some(ref t) => evaluate_outcomes_with_flips(
+    let counts = if gen.tracked {
+        evaluate_outcomes_with_flips(
             &victim.original,
             &victim.qat,
             &adv,
             labels,
-            t.first_flips(),
+            &gen.first_flips,
         )
         .into_iter()
-        .collect(),
-        None => evaluate_attack(&victim.original, &victim.qat, &adv, labels),
+        .collect()
+    } else {
+        evaluate_attack(&victim.original, &victim.qat, &adv, labels)
     };
     let cdelta = confidence_delta(&victim.original, &victim.qat, &adv, labels);
     let max_dssim = (0..attack_set.len())

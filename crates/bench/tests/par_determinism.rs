@@ -1,0 +1,86 @@
+//! The diva-par determinism contract, end to end: `repro smoke` must
+//! produce byte-identical output and identical `metrics.json` counter
+//! totals under `DIVA_JOBS=1` (exact serial fallback) and `DIVA_JOBS=4`
+//! (threaded fan-out). See DESIGN.md §7 for the fixed-order-reduction rule
+//! that makes this hold.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use diva_trace::Json;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("diva-par-det-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `repro smoke` with the given job count, tracing into
+/// `<dir>/trace`, and returns its stdout bytes.
+fn run_smoke(dir: &Path, jobs: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("smoke")
+        .current_dir(dir)
+        .env("DIVA_TRACE", "1")
+        .env("DIVA_TRACE_DIR", dir.join("trace"))
+        .env("DIVA_JOBS", jobs)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro smoke failed under DIVA_JOBS={jobs}: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// Counter totals from a run's `metrics.json`.
+fn counters(dir: &Path) -> BTreeMap<String, u64> {
+    let raw = fs::read_to_string(dir.join("trace/metrics.json")).expect("metrics.json written");
+    let metrics = diva_trace::json::parse(&raw).expect("metrics.json parses");
+    let Some(Json::Obj(map)) = metrics.get("counters") else {
+        panic!("metrics.json missing counters object:\n{raw}");
+    };
+    map.iter()
+        .map(|(k, v)| (k.clone(), v.as_u64().expect("counter is integral")))
+        .collect()
+}
+
+#[test]
+fn smoke_is_byte_identical_across_job_counts() {
+    let serial_dir = scratch_dir("serial");
+    let parallel_dir = scratch_dir("parallel");
+
+    let serial_stdout = run_smoke(&serial_dir, "1");
+    let parallel_stdout = run_smoke(&parallel_dir, "4");
+
+    assert!(
+        !serial_stdout.is_empty(),
+        "smoke produced no output under DIVA_JOBS=1"
+    );
+    assert_eq!(
+        serial_stdout,
+        parallel_stdout,
+        "smoke output differs between DIVA_JOBS=1 and DIVA_JOBS=4:\n--- serial ---\n{}\n--- parallel ---\n{}",
+        String::from_utf8_lossy(&serial_stdout),
+        String::from_utf8_lossy(&parallel_stdout)
+    );
+
+    let serial_counters = counters(&serial_dir);
+    let parallel_counters = counters(&parallel_dir);
+    assert!(
+        serial_counters.contains_key("attack.steps"),
+        "expected attack.steps among counters: {serial_counters:?}"
+    );
+    assert_eq!(
+        serial_counters, parallel_counters,
+        "metrics.json counter totals differ between job counts"
+    );
+
+    let _ = fs::remove_dir_all(&serial_dir);
+    let _ = fs::remove_dir_all(&parallel_dir);
+}

@@ -2,9 +2,7 @@
 //! runs end-to-end at a tiny scale and produces structurally valid output.
 
 use diva_bench::experiments::{fig2, fig4};
-use diva_bench::suite::{
-    attack_matrix_row, prepare_victim, AttackKind, ExperimentScale,
-};
+use diva_bench::suite::{attack_matrix_row, prepare_victim, AttackKind, ExperimentScale};
 use diva_core::attack::AttackCfg;
 use diva_models::Architecture;
 use diva_nn::train::TrainCfg;

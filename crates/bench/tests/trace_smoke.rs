@@ -1,6 +1,8 @@
 //! End-to-end check of the tracing pipeline: `repro smoke` under
-//! `DIVA_TRACE=1` must write a parseable `repro_out/metrics.json` covering
-//! every instrumented layer, and under `DIVA_TRACE=0` must write nothing.
+//! `DIVA_TRACE=1` must write a parseable `metrics.json` covering every
+//! instrumented layer, and under `DIVA_TRACE=0` must write nothing. Trace
+//! artifacts go to a per-test directory via `DIVA_TRACE_DIR`, so this suite
+//! never races concurrent invocations on `trace.jsonl`/`metrics.json`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -9,10 +11,7 @@ use std::process::Command;
 use diva_trace::Json;
 
 fn scratch_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "diva-trace-smoke-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("diva-trace-smoke-{tag}-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).expect("create scratch dir");
     dir
@@ -23,6 +22,7 @@ fn run_repro(cwd: &Path, trace_level: &str) {
         .arg("smoke")
         .current_dir(cwd)
         .env("DIVA_TRACE", trace_level)
+        .env("DIVA_TRACE_DIR", cwd.join("trace"))
         .status()
         .expect("spawn repro");
     assert!(status.success(), "repro smoke failed: {status}");
@@ -42,7 +42,7 @@ fn smoke_run_emits_metrics_for_every_instrumented_layer() {
     let dir = scratch_dir("on");
     run_repro(&dir, "1");
 
-    let path = dir.join("repro_out/metrics.json");
+    let path = dir.join("trace/metrics.json");
     let raw = fs::read_to_string(&path).expect("metrics.json written");
     let metrics = diva_trace::json::parse(&raw).expect("metrics.json parses");
 
@@ -81,7 +81,7 @@ fn smoke_run_emits_metrics_for_every_instrumented_layer() {
         .unwrap_or(0);
     assert!(steps > 0, "attack.steps counter missing:\n{raw}");
     assert!(
-        dir.join("repro_out/trace.jsonl").exists(),
+        dir.join("trace/trace.jsonl").exists(),
         "trace.jsonl missing"
     );
 
@@ -94,11 +94,11 @@ fn disabled_tracing_writes_no_artifacts() {
     run_repro(&dir, "0");
 
     assert!(
-        !dir.join("repro_out/metrics.json").exists(),
+        !dir.join("trace/metrics.json").exists(),
         "metrics.json written despite DIVA_TRACE=0"
     );
     assert!(
-        !dir.join("repro_out/trace.jsonl").exists(),
+        !dir.join("trace/trace.jsonl").exists(),
         "trace.jsonl written despite DIVA_TRACE=0"
     );
     // The report itself is still archived.

@@ -424,6 +424,7 @@ pub fn diva_loss<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
 /// between its softmax and the target's one-hot vector.
 ///
 /// `target_weight` scales the extra term.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameterisation
 pub fn diva_targeted_attack<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
     original: &O,
     adapted: &A,
@@ -464,12 +465,7 @@ mod tests {
     fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
         let per: usize = dims.iter().product();
         let samples: Vec<Tensor> = (0..n)
-            .map(|_| {
-                Tensor::from_vec(
-                    (0..per).map(|_| rng.gen_range(0.2..0.8)).collect(),
-                    dims,
-                )
-            })
+            .map(|_| Tensor::from_vec((0..per).map(|_| rng.gen_range(0.2..0.8)).collect(), dims))
             .collect();
         Tensor::stack(&samples)
     }
@@ -623,14 +619,17 @@ mod tests {
         // Pick a target different from every label.
         let target = (0..4).find(|t| !labels.contains(t)).unwrap_or(0);
         let before = diva_tensor::ops::softmax_rows(&qat.logits(&x));
-        let adv =
-            diva_targeted_attack(&net, &qat, &x, &labels, target, 1.0, 4.0, &cfg);
+        let adv = diva_targeted_attack(&net, &qat, &x, &labels, target, 1.0, 4.0, &cfg);
         let after = diva_tensor::ops::softmax_rows(&qat.logits(&adv));
         let c = 4;
-        let mean_before: f32 =
-            (0..x.dims()[0]).map(|i| before.data()[i * c + target]).sum::<f32>() / 4.0;
-        let mean_after: f32 =
-            (0..x.dims()[0]).map(|i| after.data()[i * c + target]).sum::<f32>() / 4.0;
+        let mean_before: f32 = (0..x.dims()[0])
+            .map(|i| before.data()[i * c + target])
+            .sum::<f32>()
+            / 4.0;
+        let mean_after: f32 = (0..x.dims()[0])
+            .map(|i| after.data()[i * c + target])
+            .sum::<f32>()
+            / 4.0;
         assert!(
             mean_after > mean_before,
             "target prob did not rise: {mean_before} -> {mean_after}"

@@ -40,6 +40,7 @@
 
 pub mod attack;
 pub mod model;
+pub mod parallel;
 pub mod pipeline;
 pub mod robust;
 
@@ -48,5 +49,6 @@ pub use attack::{
     AttackCfg,
 };
 pub use model::DiffModel;
+pub use parallel::{par_attack_images, ParAttackOutput};
 pub use pipeline::{evaluate_attack, evaluate_outcomes};
 pub use robust::{adversarial_training, RobustCfg};

@@ -1,0 +1,159 @@
+//! Deterministic per-image parallel attack generation.
+//!
+//! DIVA's workload (PAPER.md §4) is per-image: each adversarial example is
+//! a projected-ascent trajectory that depends only on its own natural image
+//! and label. [`par_attack_images`] fans those trajectories out across
+//! diva-par workers and merges them back in fixed image order, so the
+//! stacked adversarial batch, first-flip annotations, and trace counter
+//! totals are identical for every `DIVA_JOBS` setting — including `1`,
+//! which runs the exact serial loop.
+//!
+//! Per-image generation is also *semantically* cleaner than the historical
+//! whole-batch loop: batch-mean losses scale every image's gradient by the
+//! same positive `1/n`, so sign-based steps (PGD, CW, DIVA) take identical
+//! trajectories either way, while batch-coupled normalizations (momentum
+//! PGD's L1 rescale) now see each image on its own, matching the paper's
+//! single-image formulation.
+
+use diva_nn::train::gather;
+use diva_nn::Infer;
+use diva_tensor::Tensor;
+
+use crate::attack::StepInfo;
+use crate::pipeline::FirstFlipTracker;
+
+/// Merged result of a per-image attack fan-out.
+#[derive(Debug, Clone)]
+pub struct ParAttackOutput {
+    /// Adversarial batch, stacked in the natural images' order.
+    pub adv: Tensor,
+    /// Per-image earliest step at which the watched model's prediction left
+    /// its clean label (`None` = never flipped, or no watch model).
+    pub first_flips: Vec<Option<usize>>,
+    /// Whether a watch model observed the trajectories (i.e. whether
+    /// `first_flips` carries information).
+    pub tracked: bool,
+}
+
+/// Generates one adversarial example per image of `x_nat`, in parallel.
+///
+/// `attack` is invoked once per image with `(index, single-image batch,
+/// single-label slice, step hook)` and must return the adversarial
+/// single-image batch; it sees the same 1-image tensors a serial per-image
+/// loop would, so any `*_attack_traced` driver slots in directly. When
+/// `watch` is `Some`, each image gets its own [`FirstFlipTracker`] against
+/// that model, fed from the attack's step hook — this is the per-step
+/// inference cost that callers usually gate on `diva_trace::enabled(1)`.
+///
+/// Determinism: results are merged in image order and each trajectory
+/// depends only on its own index, so the output is bit-identical for every
+/// worker count.
+pub fn par_attack_images<W, F>(
+    x_nat: &Tensor,
+    labels: &[usize],
+    watch: Option<&W>,
+    attack: F,
+) -> ParAttackOutput
+where
+    W: Infer + Sync + ?Sized,
+    F: Fn(usize, &Tensor, &[usize], &mut dyn FnMut(&StepInfo)) -> Tensor + Sync,
+{
+    let n = x_nat.dims()[0];
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let _span = diva_trace::span(1, "attack.par_images");
+    let per_image = diva_par::par_map_indexed(n, |i| {
+        let xi = gather(x_nat, &[i]);
+        let yi = [labels[i]];
+        let mut tracker = watch.map(|m| FirstFlipTracker::new(m, &xi));
+        let adv_i = {
+            let mut hook = |info: &StepInfo| {
+                if let (Some(t), Some(m)) = (tracker.as_mut(), watch) {
+                    t.observe(m, info);
+                }
+            };
+            attack(i, &xi, &yi, &mut hook)
+        };
+        let flip = tracker.and_then(|t| t.first_flips()[0]);
+        (adv_i.index_batch(0), flip)
+    });
+    let mut samples = Vec::with_capacity(n);
+    let mut first_flips = Vec::with_capacity(n);
+    for (sample, flip) in per_image {
+        samples.push(sample);
+        first_flips.push(flip);
+    }
+    ParAttackOutput {
+        adv: Tensor::stack(&samples),
+        first_flips,
+        tracked: watch.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{diva_attack_traced, pgd_attack_traced, AttackCfg};
+    use diva_models::{Architecture, ModelCfg};
+    use diva_quant::{QatNetwork, QuantCfg};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
+        let per: usize = dims.iter().product();
+        let samples: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims))
+            .collect();
+        Tensor::stack(&samples)
+    }
+
+    fn victim() -> (diva_nn::Network, QatNetwork, Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(44);
+        let net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+        let images = rand_images(&mut rng, 6, &[3, 8, 8]);
+        let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
+        qat.calibrate(&images);
+        let labels = net.predict(&images);
+        (net, qat, images, labels)
+    }
+
+    #[test]
+    fn parallel_equals_serial_bitwise() {
+        let (net, qat, x, labels) = victim();
+        let cfg = AttackCfg::with_steps(4);
+        let run = |jobs: usize| {
+            diva_par::set_jobs(jobs);
+            let out = par_attack_images(&x, &labels, Some(&qat), |_, xi, yi, hook| {
+                diva_attack_traced(&net, &qat, xi, yi, 1.0, &cfg, hook)
+            });
+            diva_par::set_jobs(0);
+            out
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.adv.data(), parallel.adv.data(), "adv batch differs");
+        assert_eq!(serial.first_flips, parallel.first_flips);
+        assert!(serial.tracked && parallel.tracked);
+    }
+
+    #[test]
+    fn matches_handwritten_per_image_loop() {
+        let (_net, qat, x, labels) = victim();
+        let cfg = AttackCfg::with_steps(3);
+        diva_par::set_jobs(2);
+        let out = par_attack_images(&x, &labels, None::<&QatNetwork>, |_, xi, yi, hook| {
+            pgd_attack_traced(&qat, xi, yi, &cfg, hook)
+        });
+        diva_par::set_jobs(0);
+        assert!(!out.tracked);
+        assert_eq!(out.first_flips, vec![None; labels.len()]);
+        for (i, &label) in labels.iter().enumerate() {
+            let xi = gather(&x, &[i]);
+            let want = pgd_attack_traced(&qat, &xi, &[label], &cfg, |_| {});
+            assert_eq!(
+                out.adv.index_batch(i).data(),
+                want.index_batch(0).data(),
+                "image {i} differs from the serial per-image loop"
+            );
+        }
+    }
+}

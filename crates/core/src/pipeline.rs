@@ -279,15 +279,9 @@ mod tests {
 
         let mut tracker = FirstFlipTracker::new(&qat, &x);
         let cfg = AttackCfg::with_steps(8);
-        let adv = crate::attack::diva_attack_traced(
-            &net,
-            &qat,
-            &x,
-            &labels,
-            1.0,
-            &cfg,
-            |info| tracker.observe(&qat, info),
-        );
+        let adv = crate::attack::diva_attack_traced(&net, &qat, &x, &labels, 1.0, &cfg, |info| {
+            tracker.observe(&qat, info)
+        });
 
         let flips = tracker.first_flips().to_vec();
         // Tracked steps are within the attack's step range.

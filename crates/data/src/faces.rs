@@ -97,11 +97,12 @@ pub fn render_face(id: &FaceParams, noise: f32, rng: &mut StdRng) -> Tensor {
             let eye_r_ = ((dx - id.eye_dx).powi(2) + (dy - id.eye_y).powi(2)).sqrt() - id.eye_r;
             let eye_cov = soft(eye_l).max(soft(eye_r_));
             // Nose: a vertical bar from eye line downward.
-            let nose_cov = if dx.abs() < 0.5 && dy > id.eye_y + 0.8 && dy < id.eye_y + 0.8 + id.nose_len {
-                0.6
-            } else {
-                0.0
-            };
+            let nose_cov =
+                if dx.abs() < 0.5 && dy > id.eye_y + 0.8 && dy < id.eye_y + 0.8 + id.nose_len {
+                    0.6
+                } else {
+                    0.0
+                };
             // Mouth: a horizontal curved band.
             let curve = id.mouth_curve + expression;
             let mouth_mid = id.mouth_y + curve * (dx / id.mouth_w).powi(2);
@@ -120,8 +121,7 @@ pub fn render_face(id: &FaceParams, noise: f32, rng: &mut StdRng) -> Tensor {
                     let feat = eye_cov.max(nose_cov * 0.6).max(mouth_cov * 0.8);
                     v *= 1.0 - 0.75 * feat * face_cov;
                 }
-                data[ch * SIDE * SIDE + y * SIDE + x] =
-                    (v + gauss(rng) * noise).clamp(0.0, 1.0);
+                data[ch * SIDE * SIDE + y * SIDE + x] = (v + gauss(rng) * noise).clamp(0.0, 1.0);
             }
         }
     }

@@ -105,10 +105,7 @@ pub fn render_sample(class: usize, cfg: &ImagenetCfg, rng: &mut StdRng) -> Tenso
         .collect();
     let bg_base = rng.gen_range(0.25..0.55f32);
     // Low-frequency background texture: two random sinusoids.
-    let (fx, fy) = (
-        rng.gen_range(0.2..0.9f32),
-        rng.gen_range(0.2..0.9f32),
-    );
+    let (fx, fy) = (rng.gen_range(0.2..0.9f32), rng.gen_range(0.2..0.9f32));
     let (px, py) = (
         rng.gen_range(0.0..std::f32::consts::TAU),
         rng.gen_range(0.0..std::f32::consts::TAU),

@@ -16,11 +16,7 @@ use crate::Dataset;
 ///
 /// Classes without enough mutually-correct samples contribute fewer (a
 /// warning-worthy but non-fatal condition, mirroring real pools).
-pub fn select_validation(
-    pool: &Dataset,
-    models: &[&dyn Infer],
-    per_class: usize,
-) -> Dataset {
+pub fn select_validation(pool: &Dataset, models: &[&dyn Infer], per_class: usize) -> Dataset {
     let n = pool.len();
     // Evaluate all models batched once.
     let mut all_correct = vec![true; n];
@@ -41,9 +37,8 @@ pub fn select_validation(
     }
     let mut taken_per_class = vec![0usize; pool.num_classes];
     let mut chosen = Vec::new();
-    for i in 0..n {
-        let c = pool.labels[i];
-        if all_correct[i] && taken_per_class[c] < per_class {
+    for (i, (&c, &correct)) in pool.labels.iter().zip(&all_correct).enumerate() {
+        if correct && taken_per_class[c] < per_class {
             taken_per_class[c] += 1;
             chosen.push(i);
         }
@@ -105,11 +100,7 @@ mod tests {
         let sel = select_validation(&p, &[&a, &b], 10);
         // Class-1 samples at 0.5/0.6 rejected; 0.7/0.8 kept; all class-0 kept.
         assert_eq!(sel.len(), 6);
-        assert!(sel
-            .labels
-            .iter()
-            .zip(0..)
-            .all(|(&l, _)| l == 0 || l == 1));
+        assert!(sel.labels.iter().zip(0..).all(|(&l, _)| l == 0 || l == 1));
     }
 
     #[test]

@@ -108,7 +108,14 @@ pub fn reconstruct_surrogate_original(
     // latter).
     let mut student = recovered.network().clone();
     // Step 3: teach the surrogate to imitate the adapted model.
-    distill(&mut student, &recovered, attacker_images, cfg, train_cfg, rng);
+    distill(
+        &mut student,
+        &recovered,
+        attacker_images,
+        cfg,
+        train_cfg,
+        rng,
+    );
     (student, recovered)
 }
 

@@ -48,7 +48,15 @@ pub fn dssim(a: &Tensor, b: &Tensor) -> f32 {
     (1.0 - ssim(a, b)) / 2.0
 }
 
-fn window_ssim(a: &[f32], b: &[f32], base: usize, x0: usize, y0: usize, w: usize, win: usize) -> f32 {
+fn window_ssim(
+    a: &[f32],
+    b: &[f32],
+    base: usize,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    win: usize,
+) -> f32 {
     let n = (win * win) as f32;
     let (mut ma, mut mb) = (0.0f32, 0.0f32);
     for y in 0..win {

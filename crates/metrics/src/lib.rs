@@ -8,9 +8,7 @@ pub mod success;
 
 pub use dssim::{dssim, ssim};
 pub use pca::Pca;
-pub use success::{
-    confidence_delta, instability, AttackOutcome, SuccessCounts,
-};
+pub use success::{confidence_delta, instability, AttackOutcome, SuccessCounts};
 
 #[cfg(test)]
 mod tests {

@@ -368,9 +368,9 @@ mod tests {
         };
         // Brightness 0.4: original says 0, adapted says 1.
         let images = Tensor::stack(&[
-            img(0.4).index_batch(0), // disagree
-            img(0.2).index_batch(0), // both 0
-            img(0.8).index_batch(0), // both 1
+            img(0.4).index_batch(0),  // disagree
+            img(0.2).index_batch(0),  // both 0
+            img(0.8).index_batch(0),  // both 1
             img(0.45).index_batch(0), // disagree
         ]);
         // Labels chosen so disagreements split both ways.

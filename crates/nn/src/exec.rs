@@ -13,9 +13,7 @@
 //!
 //! The plain fp32 path uses [`NoHooks`], which the compiler erases entirely.
 
-use diva_tensor::conv::{
-    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward,
-};
+use diva_tensor::conv::{conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward};
 use diva_tensor::pool::{
     global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward,
 };
@@ -172,8 +170,7 @@ pub fn forward<H: Hooks>(
             Op::DwConv2d { w, b, cfg } => {
                 let weight = hooks.weight(*w, params.effective(*w));
                 let bias = hooks.weight(*b, params.effective(*b));
-                depthwise_conv2d(&acts[node.inputs[0].0], &weight, &bias, *cfg)
-                    .expect("dwconv2d")
+                depthwise_conv2d(&acts[node.inputs[0].0], &weight, &bias, *cfg).expect("dwconv2d")
             }
             Op::Dense { w, b } => {
                 let weight = hooks.weight(*w, params.effective(*w));
@@ -184,9 +181,9 @@ pub fn forward<H: Hooks>(
             }
             Op::Relu => acts[node.inputs[0].0].relu(),
             Op::Add => acts[node.inputs[0].0].add(&acts[node.inputs[1].0]),
-            Op::Concat => concat_channels(
-                &node.inputs.iter().map(|i| &acts[i.0]).collect::<Vec<_>>(),
-            ),
+            Op::Concat => {
+                concat_channels(&node.inputs.iter().map(|i| &acts[i.0]).collect::<Vec<_>>())
+            }
             Op::MaxPool2d { k, stride } => {
                 let (y, arg) = max_pool2d(&acts[node.inputs[0].0], *k, *stride).expect("maxpool");
                 pool_args[idx] = Some(arg);
@@ -347,9 +344,7 @@ pub fn backward<H: Hooks>(
             }
         }
     }
-    grads[0]
-        .take()
-        .unwrap_or_else(|| exec.acts[0].zeros_like())
+    grads[0].take().unwrap_or_else(|| exec.acts[0].zeros_like())
 }
 
 /// Concatenates NCHW tensors along the channel axis.
@@ -414,8 +409,14 @@ mod tests {
         let a2 = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 1, 2, 2]);
         let b2 = Tensor::from_vec((10..18).map(|v| v as f32).collect(), &[2, 1, 2, 2]);
         let c2 = concat_channels(&[&a2, &b2]);
-        assert_eq!(c2.index_batch(0).data(), &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]);
-        assert_eq!(c2.index_batch(1).data(), &[4.0, 5.0, 6.0, 7.0, 14.0, 15.0, 16.0, 17.0]);
+        assert_eq!(
+            c2.index_batch(0).data(),
+            &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]
+        );
+        assert_eq!(
+            c2.index_batch(1).data(),
+            &[4.0, 5.0, 6.0, 7.0, 14.0, 15.0, 16.0, 17.0]
+        );
     }
 
     #[test]

@@ -171,12 +171,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
 mod tests {
     use super::*;
 
-    fn finite_diff(
-        f: impl Fn(&Tensor) -> f32,
-        logits: &Tensor,
-        analytic: &Tensor,
-        tol: f32,
-    ) {
+    fn finite_diff(f: impl Fn(&Tensor) -> f32, logits: &Tensor, analytic: &Tensor, tol: f32) {
         let eps = 1e-3;
         for i in 0..logits.len() {
             let mut lp = logits.clone();

@@ -181,7 +181,7 @@ mod tests {
         let a = s.push(Tensor::zeros(&[8]));
         let _b = s.push(Tensor::zeros(&[2]));
         s.get_mut(a).mask = Some(Tensor::zeros(&[8])); // fully pruned
-        // 8 of 10 scalars pruned
+                                                       // 8 of 10 scalars pruned
         assert!((s.global_sparsity() - 0.8).abs() < 1e-6);
     }
 }

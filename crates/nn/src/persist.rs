@@ -111,10 +111,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.json");
         std::fs::write(&path, "not a model").unwrap();
-        assert!(matches!(
-            Network::load(&path),
-            Err(PersistError::Format(_))
-        ));
+        assert!(matches!(Network::load(&path), Err(PersistError::Format(_))));
         std::fs::remove_file(&path).ok();
     }
 

@@ -5,9 +5,27 @@ use diva_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
+use crate::exec::{self, NoHooks};
 use crate::losses;
 use crate::network::{Infer, Network};
 use crate::optim::Sgd;
+
+/// Gradient-shard size for data-parallel training, from `DIVA_GRAD_SHARD`.
+///
+/// The default (`None`) is one shard per minibatch: the whole-batch
+/// forward/backward, bit-identical to the historical serial loop — sharding
+/// changes the float summation order of the accumulated gradient, which
+/// shifts long training trajectories, so it must be opted into. When set,
+/// the shard size is fixed (independent of the worker count) so the shard
+/// boundaries — and therefore the fixed-order float reduction of the shard
+/// gradients — are identical for every `DIVA_JOBS` setting. See
+/// DESIGN.md §7.
+fn grad_shard() -> Option<usize> {
+    std::env::var("DIVA_GRAD_SHARD")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+}
 
 /// Configuration of a supervised training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,23 +94,17 @@ pub fn train_classifier(
     let n = images.dims()[0];
     assert_eq!(labels.len(), n, "labels/images mismatch");
     let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+    let shard = grad_shard();
     let mut stats = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {
         let mut loss_sum = 0.0;
         let mut correct = 0usize;
         let batches = shuffled_batches(n, cfg.batch_size, rng);
         for batch in &batches {
-            let x = gather(images, batch);
-            let y = gather_labels(labels, batch);
-            let exec = net.forward(&x);
-            let logits = exec.output(net.graph()).clone();
-            let (loss, dlogits) = losses::cross_entropy(&logits, &y);
-            loss_sum += loss * batch.len() as f32;
-            correct += (0..batch.len())
-                .filter(|&i| logits.row(i).argmax() == Some(y[i]))
-                .count();
-            net.backward(&exec, &dlogits);
-            opt.step(net.params_mut());
+            let (batch_loss, batch_correct) =
+                train_step(net, images, labels, batch, &mut opt, shard);
+            loss_sum += batch_loss;
+            correct += batch_correct;
         }
         stats.push(EpochStats {
             loss: loss_sum / n as f32,
@@ -102,27 +114,87 @@ pub fn train_classifier(
     stats
 }
 
-/// Evaluates top-1 accuracy of any [`Infer`] implementation, batched.
-pub fn evaluate<M: Infer + ?Sized>(model: &M, images: &Tensor, labels: &[usize]) -> f32 {
+/// One optimizer step on `batch`, with the forward/backward fanned out over
+/// fixed-size gradient shards (diva-par; shard size from `DIVA_GRAD_SHARD`,
+/// default one shard = the exact whole-batch computation).
+///
+/// Each shard runs an independent forward + backward into a scratch copy of
+/// the parameter store, with its mean cross-entropy gradient rescaled by
+/// `shard_len / batch_len` so the shard gradients *sum* to the whole-batch
+/// mean gradient. The shard gradients are then reduced into the live
+/// parameter store in shard order — a fixed-order reduction over fixed
+/// shard boundaries, so the accumulated gradient (and everything downstream
+/// of it) is bit-identical for every worker count.
+///
+/// Returns `(summed loss, correct count)` for the batch.
+fn train_step(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    batch: &[usize],
+    opt: &mut Sgd,
+    shard: Option<usize>,
+) -> (f32, usize) {
+    let b = batch.len();
+    let shards: Vec<&[usize]> = batch.chunks(shard.unwrap_or(b).min(b).max(1)).collect();
+    let shard_results = {
+        let graph = net.graph();
+        let params = net.params();
+        diva_par::par_map_indexed(shards.len(), |s| {
+            let idx = shards[s];
+            let x = gather(images, idx);
+            let y = gather_labels(labels, idx);
+            let exec = exec::forward(graph, params, &x, &mut NoHooks);
+            let logits = exec.output(graph).clone();
+            let (loss, dlogits) = losses::cross_entropy(&logits, &y);
+            let shard_correct = (0..idx.len())
+                .filter(|&i| logits.row(i).argmax() == Some(y[i]))
+                .count();
+            // cross_entropy averages over its batch; rescale so the shard
+            // gradients sum to the whole-batch mean gradient.
+            let dlogits = dlogits.scale(idx.len() as f32 / b as f32);
+            let mut scratch = params.clone();
+            scratch.zero_grads();
+            exec::backward(graph, &mut scratch, &exec, &dlogits, &NoHooks);
+            let grads: Vec<Tensor> = scratch.iter().map(|p| p.grad.clone()).collect();
+            (loss * idx.len() as f32, shard_correct, grads)
+        })
+    };
+    let mut loss_sum = 0.0;
+    let mut correct = 0usize;
+    // Fixed-order reduction: shard s always folds in before shard s+1.
+    for (shard_loss, shard_correct, grads) in &shard_results {
+        loss_sum += shard_loss;
+        correct += shard_correct;
+        for (p, g) in net.params_mut().iter_mut().zip(grads) {
+            p.grad.axpy(1.0, g);
+        }
+    }
+    opt.step(net.params_mut());
+    (loss_sum, correct)
+}
+
+/// Evaluates top-1 accuracy of any [`Infer`] implementation, with fixed
+/// 64-sample chunks fanned out across diva-par workers. Chunk boundaries
+/// (and the integer reduction) are independent of the worker count, so the
+/// result is identical for every `DIVA_JOBS` setting.
+pub fn evaluate<M: Infer + Sync + ?Sized>(model: &M, images: &Tensor, labels: &[usize]) -> f32 {
     let n = images.dims()[0];
     assert_eq!(labels.len(), n, "labels/images mismatch");
     if n == 0 {
         return 0.0;
     }
-    let mut correct = 0usize;
-    let bs = 64;
-    let mut i = 0;
-    while i < n {
-        let hi = (i + bs).min(n);
-        let idx: Vec<usize> = (i..hi).collect();
+    let chunks = diva_par::fixed_chunks(n, 64);
+    let per_chunk = diva_par::par_map_indexed(chunks.len(), |c| {
+        let (lo, hi) = chunks[c];
+        let idx: Vec<usize> = (lo..hi).collect();
         let x = gather(images, &idx);
         let logits = model.logits(&x);
-        correct += (0..idx.len())
-            .filter(|&j| logits.row(j).argmax() == Some(labels[i + j]))
-            .count();
-        i = hi;
-    }
-    correct as f32 / n as f32
+        (0..idx.len())
+            .filter(|&j| logits.row(j).argmax() == Some(labels[lo + j]))
+            .count()
+    });
+    per_chunk.iter().sum::<usize>() as f32 / n as f32
 }
 
 #[cfg(test)]
@@ -197,6 +269,56 @@ mod tests {
         let a = run();
         let b = run();
         assert!(a.allclose(&b, 0.0));
+    }
+
+    /// One `train_step` with explicit sharding, returning the updated
+    /// parameter values flattened.
+    fn step_params(shard: Option<usize>, jobs: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (images, labels) = blob_data(&mut rng, 24);
+        let mut net = tiny_net(&mut rng);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let batch: Vec<usize> = (0..24).collect();
+        diva_par::set_jobs(jobs);
+        train_step(&mut net, &images, &labels, &batch, &mut opt, shard);
+        diva_par::set_jobs(0);
+        net.params()
+            .iter()
+            .flat_map(|p| p.value.data().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_step_is_identical_across_job_counts() {
+        // The fixed-order-reduction rule (DESIGN.md §7): shard boundaries
+        // and the reduction order are independent of the worker count, so
+        // the updated parameters are bit-identical.
+        let serial = step_params(Some(8), 1);
+        let threaded = step_params(Some(8), 4);
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn single_shard_matches_whole_batch_exactly() {
+        // `None` (the default) and an over-large explicit shard are the
+        // same whole-batch computation, bit for bit.
+        assert_eq!(step_params(None, 1), step_params(Some(1024), 4));
+    }
+
+    #[test]
+    fn sharded_gradient_tracks_whole_batch() {
+        // Sharding only reorders the float summation of per-sample
+        // gradients, so one step lands within float-accumulation noise of
+        // the whole-batch step (exact equality is NOT expected).
+        let whole = step_params(None, 1);
+        let sharded = step_params(Some(8), 4);
+        assert_eq!(whole.len(), sharded.len());
+        for (i, (a, b)) in whole.iter().zip(&sharded).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                "param value [{i}] diverged: whole-batch {a} vs sharded {b}"
+            );
+        }
     }
 
     #[test]

@@ -1,10 +1,23 @@
 //! End-to-end gradient checks for the graph executor.
 //!
-//! For several graph topologies (plain CNN, residual, concat, depthwise,
-//! max-pool, flatten) we compare the analytic input gradient and parameter
-//! gradients of a scalar objective against central finite differences.
+//! Two layers of defense:
+//!
+//! 1. **Topology checks** (`gradcheck`): for several graph topologies
+//!    (plain CNN, residual, concat, depthwise, max-pool, flatten) the
+//!    analytic input and parameter gradients of a cross-entropy objective
+//!    are compared per-coordinate against central finite differences at a
+//!    loose f32 tolerance.
+//! 2. **Per-op directional checks** (`directional_gradcheck`): every op
+//!    kind in isolation (conv, depthwise conv, dense, relu, residual add,
+//!    concat, max/global-avg pooling), comparing the reverse-mode
+//!    Jacobian-vector product against a central-difference directional
+//!    derivative of a fixed linear functional of the output, at relative
+//!    error < 1e-3. The linear functional keeps the objective piecewise
+//!    linear in a relu network, so the central difference is exact up to
+//!    float noise and the tight tolerance is meaningful in f32.
+//!
 //! The attacks live or die by the correctness of the *input* gradient, so
-//! this is the most load-bearing test in the workspace.
+//! these are the most load-bearing tests in the workspace.
 
 use diva_nn::graph::GraphBuilder;
 use diva_nn::losses;
@@ -68,6 +81,225 @@ fn rand_input(rng: &mut StdRng, dims: &[usize]) -> Tensor {
     let n: usize = dims.iter().product();
     Tensor::from_vec((0..n).map(|_| rng.gen_range(0.0..1.0)).collect(), dims)
 }
+
+/// A random ±1 direction with the given shape.
+fn rand_signs(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(
+        (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect(),
+        dims,
+    )
+}
+
+/// f64 dot product (the f32 sums would eat the 1e-3 tolerance).
+fn dot_f64(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum::<f64>()
+}
+
+/// Relative error with a small floor so near-zero derivatives don't blow up
+/// the ratio.
+fn rel_err(num: f64, ana: f64) -> f64 {
+    (num - ana).abs() / num.abs().max(ana.abs()).max(1e-3)
+}
+
+/// Directional gradient check at relative error < 1e-3.
+///
+/// Objective: `J = <w, output>` for a fixed random ±1 tensor `w` — linear
+/// in the output, so for relu networks `J` is piecewise linear in both the
+/// input and the parameters and central differences carry no truncation
+/// error. The analytic side is the reverse-mode vector-Jacobian product
+/// `backward(w)`: its inner product with a random ±1 direction must match
+/// `(J(+h·v) - J(-h·v)) / 2h`. Checks the input-gradient path (what the
+/// attacks differentiate) and every parameter tensor.
+fn directional_gradcheck(mut net: Network, x: &Tensor, seed: u64) {
+    let h = 1e-2f32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out_dims = net.forward(x).output(net.graph()).dims().to_vec();
+    let w = rand_signs(&mut rng, &out_dims);
+    let objective = |net: &Network, x: &Tensor| -> f64 {
+        let exec = net.forward(x);
+        dot_f64(exec.output(net.graph()).data(), w.data())
+    };
+
+    let exec = net.forward(x);
+    net.params_mut().zero_grads();
+    let dx = net.backward(&exec, &w);
+
+    // Input-gradient path.
+    let v = rand_signs(&mut rng, x.dims());
+    let mut xp = x.clone();
+    xp.axpy(h, &v);
+    let mut xm = x.clone();
+    xm.axpy(-h, &v);
+    let num = (objective(&net, &xp) - objective(&net, &xm)) / (2.0 * h as f64);
+    let ana = dot_f64(dx.data(), v.data());
+    let rel = rel_err(num, ana);
+    assert!(
+        rel < 1e-3,
+        "input directional derivative: numeric {num} vs analytic {ana} (rel {rel:.2e})"
+    );
+
+    // One direction per parameter tensor, so a failure names the op.
+    for pi in 0..net.params().len() {
+        let id = diva_nn::ParamId(pi);
+        let dims = net.params().get(id).value.dims().to_vec();
+        let vp = rand_signs(&mut rng, &dims);
+        let ana = dot_f64(net.params().get(id).grad.data(), vp.data());
+        net.params_mut().get_mut(id).value.axpy(h, &vp);
+        let fp = objective(&net, x);
+        net.params_mut().get_mut(id).value.axpy(-2.0 * h, &vp);
+        let fm = objective(&net, x);
+        net.params_mut().get_mut(id).value.axpy(h, &vp);
+        let num = (fp - fm) / (2.0 * h as f64);
+        let rel = rel_err(num, ana);
+        assert!(
+            rel < 1e-3,
+            "param {pi} directional derivative: numeric {num} vs analytic {ana} (rel {rel:.2e})"
+        );
+    }
+}
+
+/// Input with all values spaced `step` apart (a shuffled arithmetic grid,
+/// offset by `step/2` so no value sits exactly on zero). Used for the relu
+/// and max-pool checks: with the spacing wider than the finite-difference
+/// step, no kink (relu zero-crossing, max-pool winner change) can be
+/// crossed between `x - h·v` and `x + h·v`, so the objective stays linear
+/// over the stencil and the tight tolerance holds.
+fn spaced_input(rng: &mut StdRng, dims: &[usize], step: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    let mut vals: Vec<f32> = (0..n)
+        .map(|i| (i as f32 - n as f32 / 2.0) * step + step / 2.0)
+        .collect();
+    // Fisher-Yates shuffle so spatial position is uncorrelated with value.
+    for i in (1..n).rev() {
+        vals.swap(i, rng.gen_range(0..=i));
+    }
+    Tensor::from_vec(vals, dims)
+}
+
+// ---------------------------------------------------------------------------
+// Per-op directional checks: one minimal graph per op kind, rel error < 1e-3.
+// Linear ops get uniform random inputs (exactly linear objective); relu and
+// max-pool get spaced inputs so the ±h stencil cannot straddle a kink.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn directional_conv() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let mut b = GraphBuilder::new([3, 5, 5], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 4, 3, 1, 1);
+    let net = b.finish(c, None);
+    let input = rand_input(&mut rng, &[2, 3, 5, 5]);
+    directional_gradcheck(net, &input, 120);
+}
+
+#[test]
+fn directional_conv_strided() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut b = GraphBuilder::new([2, 6, 6], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 3, 3, 2, 1);
+    let net = b.finish(c, None);
+    let input = rand_input(&mut rng, &[2, 2, 6, 6]);
+    directional_gradcheck(net, &input, 121);
+}
+
+#[test]
+fn directional_depthwise_conv() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut b = GraphBuilder::new([4, 6, 6], &mut rng);
+    let x = b.input();
+    let dw = b.dwconv(x, 3, 1, 1);
+    let net = b.finish(dw, None);
+    let input = rand_input(&mut rng, &[2, 4, 6, 6]);
+    directional_gradcheck(net, &input, 122);
+}
+
+#[test]
+fn directional_dense() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut b = GraphBuilder::new([2, 4, 4], &mut rng);
+    let x = b.input();
+    let f = b.flatten(x);
+    let d = b.dense(f, 5);
+    let net = b.finish(d, None);
+    let input = rand_input(&mut rng, &[3, 2, 4, 4]);
+    directional_gradcheck(net, &input, 123);
+}
+
+#[test]
+fn directional_relu() {
+    let mut rng = StdRng::seed_from_u64(24);
+    let mut b = GraphBuilder::new([3, 4, 4], &mut rng);
+    let x = b.input();
+    let r = b.relu(x);
+    let net = b.finish(r, None);
+    // Values spaced 0.05 apart, straddling zero: both branches of relu are
+    // exercised, and no unit can cross zero inside the ±1e-2 stencil.
+    let input = spaced_input(&mut rng, &[2, 3, 4, 4], 0.05);
+    directional_gradcheck(net, &input, 124);
+}
+
+#[test]
+fn directional_residual_add() {
+    let mut rng = StdRng::seed_from_u64(25);
+    let mut b = GraphBuilder::new([3, 5, 5], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 3, 3, 1, 1);
+    let a = b.add(c, x); // fan-out on x: gradient must accumulate
+    let net = b.finish(a, None);
+    let input = rand_input(&mut rng, &[2, 3, 5, 5]);
+    directional_gradcheck(net, &input, 125);
+}
+
+#[test]
+fn directional_concat() {
+    let mut rng = StdRng::seed_from_u64(26);
+    let mut b = GraphBuilder::new([2, 5, 5], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 3, 3, 1, 1);
+    let cat = b.concat(&[x, c]); // fan-out on x through two paths
+    let net = b.finish(cat, None);
+    let input = rand_input(&mut rng, &[2, 2, 5, 5]);
+    directional_gradcheck(net, &input, 126);
+}
+
+#[test]
+fn directional_max_pool() {
+    let mut rng = StdRng::seed_from_u64(27);
+    let mut b = GraphBuilder::new([2, 8, 8], &mut rng);
+    let x = b.input();
+    let p = b.max_pool(x, 2, 2);
+    let net = b.finish(p, None);
+    // Spaced values: every pool window's winner is decided by ≥ 0.05, so a
+    // ±1e-2 perturbation cannot change the argmax.
+    let input = spaced_input(&mut rng, &[2, 2, 8, 8], 0.05);
+    directional_gradcheck(net, &input, 127);
+}
+
+#[test]
+fn directional_global_avg_pool() {
+    let mut rng = StdRng::seed_from_u64(28);
+    let mut b = GraphBuilder::new([3, 6, 6], &mut rng);
+    let x = b.input();
+    let g = b.global_avg_pool(x);
+    let net = b.finish(g, None);
+    let input = rand_input(&mut rng, &[2, 3, 6, 6]);
+    directional_gradcheck(net, &input, 128);
+}
+
+// Deep composites are deliberately *not* directional-checked at 1e-3: a ±h
+// input perturbation across every coordinate shifts interior relu/max-pool
+// pre-activations past their kinks with probability ≈ 1, so the central
+// difference no longer measures the derivative. The loose-tolerance
+// topology checks below cover composition; the per-op checks above carry
+// the tight bound.
 
 #[test]
 fn plain_cnn_gradients() {

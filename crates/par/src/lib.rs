@@ -1,0 +1,280 @@
+//! diva-par: a tiny deterministic scoped worker pool.
+//!
+//! Every hot path in this repo — the per-image attack matrix, minibatch
+//! gradient accumulation, int8 batch inference — is embarrassingly parallel
+//! *per index*: item `i`'s result depends only on `i`, never on which worker
+//! computed it or in what order. [`par_map_indexed`] exploits exactly that
+//! shape and nothing more:
+//!
+//! - **Deterministic by construction.** Results are collected per index and
+//!   merged in index order after all workers join, so the output `Vec` is
+//!   identical for any worker count and any schedule. Callers keep the
+//!   stronger guarantee (bit-identical floats) by making `f(i)` itself
+//!   schedule-independent — see DESIGN.md §7 for the fixed-order-reduction
+//!   rule.
+//! - **`DIVA_JOBS` sizing.** Worker count comes from [`jobs`]: an in-process
+//!   override ([`set_jobs`]), else the `DIVA_JOBS` env var, else
+//!   `std::thread::available_parallelism()`. `DIVA_JOBS=1` is an *exact*
+//!   serial fallback: no threads are spawned at all and `f` runs inline on
+//!   the caller's thread.
+//! - **No nesting explosion.** A fan-out from inside a worker runs inline
+//!   serially (tracked by a thread-local flag), so e.g. the chunked
+//!   `Int8Engine` running inside a per-image attack worker does not spawn
+//!   workers-times-workers threads.
+//! - **Observability.** Each worker installs a [`diva_trace::counter_shard`]
+//!   so counters incremented in worker threads are buffered locally and
+//!   flushed once at join — totals match a serial run exactly, without the
+//!   workers contending on the global recorder mutex.
+//!
+//! The crate is std-only (scoped threads + atomics); there is no channel,
+//! no work-stealing deque, and no persistent pool. Fan-outs here wrap work
+//! items that cost milliseconds to seconds (a full attack trajectory, a
+//! forward/backward over a gradient shard), so spawn overhead is noise and
+//! a shared atomic cursor is all the load balancing required.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// In-process worker-count override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while this thread is a diva-par worker; nested fan-outs run
+    /// inline serially instead of spawning another layer of threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Overrides the worker count for this process, taking precedence over
+/// `DIVA_JOBS`. `set_jobs(0)` clears the override. Intended for tests and
+/// CLI flags; normal configuration goes through the environment.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Effective worker count: the [`set_jobs`] override if set, else the
+/// `DIVA_JOBS` env var (values >= 1; unset, empty, `0`, or unparseable fall
+/// through), else `std::thread::available_parallelism()`. Always >= 1.
+///
+/// The env var is re-read on every call (fan-outs are coarse, so this is
+/// off any hot path) so tests can flip it between runs.
+pub fn jobs() -> usize {
+    let o = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    match std::env::var("DIVA_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// True when called from inside a diva-par worker thread. A fan-out issued
+/// here would run inline serially; callers sensitive to that (e.g. chunked
+/// inference) can use this to skip chunking overhead entirely.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// With an effective worker count of 1 (or when already inside a worker)
+/// this is exactly `(0..n).map(f).collect()` on the calling thread.
+/// Otherwise `min(jobs(), n)` scoped workers pull indices from a shared
+/// atomic cursor, stash `(index, result)` pairs locally, and the caller
+/// merges them by index after joining — so the returned `Vec` is the same
+/// for every schedule. A panic in any `f(i)` is propagated to the caller
+/// after all workers have been joined.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs().min(n);
+    if workers <= 1 || in_worker() {
+        return (0..n).map(f).collect();
+    }
+    let _span = diva_trace::span(2, "par.fan_out");
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let shard = diva_trace::counter_shard();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    drop(shard);
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (i, v) in local {
+                        slots[i] = Some(v);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map_indexed: every index computed exactly once"))
+        .collect()
+}
+
+/// Splits `0..n` into fixed-size chunks of `chunk` (the last may be short),
+/// returned as `(start, end)` ranges. Chunk boundaries depend only on `n`
+/// and `chunk` — never on the worker count — which is what keeps chunked
+/// float reductions bit-identical across `DIVA_JOBS` settings.
+pub fn fixed_chunks(n: usize, chunk: usize) -> Vec<(usize, usize)> {
+    assert!(chunk > 0, "chunk size must be >= 1");
+    (0..n.div_ceil(chunk))
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `set_jobs` and the env var are process-global; serialize tests.
+    fn lock_global() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn results_are_in_index_order_for_any_job_count() {
+        let _g = lock_global();
+        for jobs in [1, 2, 3, 8, 64] {
+            set_jobs(jobs);
+            let out = par_map_indexed(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn serial_fallback_runs_on_calling_thread() {
+        let _g = lock_global();
+        set_jobs(1);
+        let caller = std::thread::current().id();
+        let out = par_map_indexed(8, |i| (i, std::thread::current().id()));
+        for (_, id) in out {
+            assert_eq!(id, caller, "DIVA_JOBS=1 must not spawn threads");
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline() {
+        let _g = lock_global();
+        set_jobs(4);
+        let out = par_map_indexed(4, |i| {
+            assert!(in_worker());
+            // Inner fan-out must not spawn another layer of workers.
+            let inner_caller = std::thread::current().id();
+            let inner = par_map_indexed(3, move |j| {
+                assert_eq!(std::thread::current().id(), inner_caller);
+                i * 10 + j
+            });
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![3, 33, 63, 93]);
+        assert!(!in_worker(), "flag must not leak to the caller");
+        set_jobs(0);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let _g = lock_global();
+        set_jobs(4);
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let _g = lock_global();
+        set_jobs(4);
+        let result = std::panic::catch_unwind(|| {
+            par_map_indexed(16, |i| {
+                if i == 5 {
+                    panic!("worker bug");
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+        set_jobs(0);
+    }
+
+    #[test]
+    fn worker_counters_flush_at_join() {
+        let _g = lock_global();
+        diva_trace::set_level(1);
+        diva_trace::reset();
+        set_jobs(4);
+        let before = diva_trace::counter_value("par.test.items");
+        assert_eq!(before, 0);
+        par_map_indexed(100, |_| diva_trace::counter_add("par.test.items", 1));
+        assert_eq!(
+            diva_trace::counter_value("par.test.items"),
+            100,
+            "worker-shard counters must be flushed when workers join"
+        );
+        set_jobs(0);
+        diva_trace::set_level(0);
+        diva_trace::reset();
+    }
+
+    #[test]
+    fn fixed_chunks_cover_range_independent_of_jobs() {
+        let chunks = fixed_chunks(10, 4);
+        assert_eq!(chunks, vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(fixed_chunks(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(fixed_chunks(4, 4), vec![(0, 4)]);
+        assert_eq!(fixed_chunks(4, 64), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn jobs_env_var_is_honored() {
+        let _g = lock_global();
+        set_jobs(0);
+        // Env manipulation is process-global; restore afterwards.
+        let prev = std::env::var("DIVA_JOBS").ok();
+        std::env::set_var("DIVA_JOBS", "3");
+        assert_eq!(jobs(), 3);
+        std::env::set_var("DIVA_JOBS", "0");
+        assert!(jobs() >= 1, "DIVA_JOBS=0 falls back to a sane default");
+        std::env::set_var("DIVA_JOBS", "not-a-number");
+        assert!(jobs() >= 1);
+        // The in-process override wins over the environment.
+        std::env::set_var("DIVA_JOBS", "2");
+        set_jobs(7);
+        assert_eq!(jobs(), 7);
+        set_jobs(0);
+        match prev {
+            Some(v) => std::env::set_var("DIVA_JOBS", v),
+            None => std::env::remove_var("DIVA_JOBS"),
+        }
+    }
+}

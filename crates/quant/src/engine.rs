@@ -227,11 +227,7 @@ impl Int8Engine {
         let mut nodes = Vec::with_capacity(graph.len());
         for (idx, node) in graph.nodes().iter().enumerate() {
             let out_qp = act_qps[idx];
-            let in_qp = node
-                .inputs
-                .first()
-                .map(|i| act_qps[i.0])
-                .unwrap_or(out_qp);
+            let in_qp = node.inputs.first().map(|i| act_qps[i.0]).unwrap_or(out_qp);
             let op = match &node.op {
                 Op::Input => EngineOp::Input,
                 Op::Conv2d { w, b, cfg } => {
@@ -285,8 +281,7 @@ impl Int8Engine {
                     }
                     let bias_q: Vec<i32> = (0..c)
                         .map(|ci| {
-                            (bias.data()[ci] as f64
-                                / (in_qp.scale as f64 * wqps[ci].scale as f64))
+                            (bias.data()[ci] as f64 / (in_qp.scale as f64 * wqps[ci].scale as f64))
                                 .round() as i32
                         })
                         .collect();
@@ -355,8 +350,7 @@ impl Int8Engine {
                         ma: Mult::new(qa.scale as f64 / twice_max),
                         mb: Mult::new(qb.scale as f64 / twice_max),
                         mout: Mult::new(
-                            twice_max
-                                / ((1i64 << ADD_LEFT_SHIFT) as f64 * out_qp.scale as f64),
+                            twice_max / ((1i64 << ADD_LEFT_SHIFT) as f64 * out_qp.scale as f64),
                         ),
                     }
                 }
@@ -455,8 +449,7 @@ impl Int8Engine {
                 } => {
                     let xin = &acts[node.inputs[0]];
                     conv_int(
-                        xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode,
-                        &mut sat,
+                        xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode, &mut sat,
                     )
                 }
                 EngineOp::DwConv2d {
@@ -468,8 +461,7 @@ impl Int8Engine {
                 } => {
                     let xin = &acts[node.inputs[0]];
                     dwconv_int(
-                        xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode,
-                        &mut sat,
+                        xin, node.in_qp, w, *w_dims, bias, mult, *cfg, qp, out_dims, mode, &mut sat,
                     )
                 }
                 EngineOp::Dense {
@@ -479,7 +471,9 @@ impl Int8Engine {
                     mult,
                 } => {
                     let xin = &acts[node.inputs[0]];
-                    dense_int(xin, node.in_qp, w, *w_dims, bias, mult, qp, out_dims, mode, &mut sat)
+                    dense_int(
+                        xin, node.in_qp, w, *w_dims, bias, mult, qp, out_dims, mode, &mut sat,
+                    )
                 }
                 EngineOp::Relu { mult } => {
                     let xin = &acts[node.inputs[0]];
@@ -559,8 +553,9 @@ impl Int8Engine {
                                     let mut best = i8::MIN;
                                     for ky in 0..*k {
                                         for kx in 0..*k {
-                                            let v = xin.data
-                                                [base + (oy * stride + ky) * w + (ox * stride + kx)];
+                                            let v = xin.data[base
+                                                + (oy * stride + ky) * w
+                                                + (ox * stride + kx)];
                                             best = best.max(v);
                                         }
                                     }
@@ -645,6 +640,9 @@ impl Int8Engine {
     }
 }
 
+/// A node's quantized weights: `(wq, w_dims, bias_q, real multipliers)`.
+pub(crate) type NodeWeights<'a> = (&'a [i8], Vec<usize>, &'a [i32], Vec<f64>);
+
 impl Int8Engine {
     /// Number of engine nodes (crate-internal, used by extraction).
     pub(crate) fn node_count(&self) -> usize {
@@ -661,19 +659,44 @@ impl Int8Engine {
         (self.nodes[idx].qp, self.nodes[idx].in_qp)
     }
 
-    /// Quantized weights of node `idx`, if it has any:
-    /// `(wq, w_dims, bias_q, real multipliers)`.
-    pub(crate) fn node_weights(&self, idx: usize) -> Option<(&[i8], Vec<usize>, &[i32], Vec<f64>)> {
+    /// Quantized weights of node `idx`, if it has any.
+    pub(crate) fn node_weights(&self, idx: usize) -> Option<NodeWeights<'_>> {
         match &self.nodes[idx].op {
             EngineOp::Conv2d {
-                w, w_dims, bias, mult, ..
-            } => Some((w, w_dims.to_vec(), bias, mult.iter().map(|m| m.real).collect())),
+                w,
+                w_dims,
+                bias,
+                mult,
+                ..
+            } => Some((
+                w,
+                w_dims.to_vec(),
+                bias,
+                mult.iter().map(|m| m.real).collect(),
+            )),
             EngineOp::DwConv2d {
-                w, w_dims, bias, mult, ..
-            } => Some((w, w_dims.to_vec(), bias, mult.iter().map(|m| m.real).collect())),
-            EngineOp::Dense { w, w_dims, bias, mult } => {
-                Some((w, w_dims.to_vec(), bias, mult.iter().map(|m| m.real).collect()))
-            }
+                w,
+                w_dims,
+                bias,
+                mult,
+                ..
+            } => Some((
+                w,
+                w_dims.to_vec(),
+                bias,
+                mult.iter().map(|m| m.real).collect(),
+            )),
+            EngineOp::Dense {
+                w,
+                w_dims,
+                bias,
+                mult,
+            } => Some((
+                w,
+                w_dims.to_vec(),
+                bias,
+                mult.iter().map(|m| m.real).collect(),
+            )),
             _ => None,
         }
     }
@@ -709,10 +732,36 @@ impl Int8Engine {
     }
 }
 
+/// Batch-chunk size for parallel engine inference. Fixed (independent of
+/// the worker count): integer inference is strictly per-sample, so a
+/// chunked run is bitwise identical to a whole-batch run — chunking is
+/// purely a scheduling decision (DESIGN.md §7).
+const ENGINE_CHUNK: usize = 16;
+
 impl Infer for Int8Engine {
     fn logits(&self, x: &Tensor) -> Tensor {
-        let acts = self.run(x);
-        self.dequant_node(&acts, self.output)
+        let n = x.dims()[0];
+        // Small batches, serial configs, and calls already inside a diva-par
+        // worker (e.g. a per-image attack trajectory watching this engine)
+        // skip the fan-out; the result is the same either way.
+        if n <= ENGINE_CHUNK || diva_par::jobs() <= 1 || diva_par::in_worker() {
+            let acts = self.run(x);
+            return self.dequant_node(&acts, self.output);
+        }
+        let chunks = diva_par::fixed_chunks(n, ENGINE_CHUNK);
+        let parts = diva_par::par_map_indexed(chunks.len(), |c| {
+            let (lo, hi) = chunks[c];
+            let samples: Vec<Tensor> = (lo..hi).map(|i| x.index_batch(i)).collect();
+            let xc = Tensor::stack(&samples);
+            let acts = self.run(&xc);
+            self.dequant_node(&acts, self.output)
+        });
+        let classes = self.num_classes;
+        let mut data = Vec::with_capacity(n * classes);
+        for part in &parts {
+            data.extend_from_slice(part.data());
+        }
+        Tensor::from_vec(data, &[n, classes])
     }
 
     fn num_classes(&self) -> usize {

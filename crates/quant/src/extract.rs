@@ -38,6 +38,11 @@ pub fn extract_qat(engine: &Int8Engine, graph: &Graph) -> QatNetwork {
     QatNetwork::from_frozen_ranges(net, &ranges, QuantCfg::with_bits(bits))
 }
 
+/// What [`Int8Engine::export_parameters`] reads out of a model file:
+/// dequantized weights (graph parameter order), per-node real activation
+/// ranges, and the bit width.
+pub type ExportedParameters = (Vec<Tensor>, Vec<Option<(f32, f32)>>, u8);
+
 impl Int8Engine {
     /// Exports dequantized parameters (in graph parameter order), per-node
     /// real activation ranges, and the inferred bit width.
@@ -48,10 +53,7 @@ impl Int8Engine {
     /// # Panics
     ///
     /// Panics if `graph` does not structurally match the engine.
-    pub fn export_parameters(
-        &self,
-        graph: &Graph,
-    ) -> (Vec<Tensor>, Vec<Option<(f32, f32)>>, u8) {
+    pub fn export_parameters(&self, graph: &Graph) -> ExportedParameters {
         assert_eq!(
             graph.len(),
             self.node_count(),

@@ -106,11 +106,7 @@ impl QatNetwork {
     /// attacker does after extracting scales/zero-points from a deployed
     /// model (§4.3). `ranges[i]` must be `Some` exactly for non-transparent
     /// nodes.
-    pub fn from_frozen_ranges(
-        net: Network,
-        ranges: &[Option<(f32, f32)>],
-        cfg: QuantCfg,
-    ) -> Self {
+    pub fn from_frozen_ranges(net: Network, ranges: &[Option<(f32, f32)>], cfg: QuantCfg) -> Self {
         assert_eq!(ranges.len(), net.graph().len(), "one range per node");
         let observers = net
             .graph()
@@ -180,10 +176,7 @@ impl QatNetwork {
 
     /// Whether calibration has run.
     pub fn is_calibrated(&self) -> bool {
-        self.observers
-            .iter()
-            .flatten()
-            .all(|o| o.is_initialized())
+        self.observers.iter().flatten().all(|o| o.is_initialized())
     }
 
     /// Resolved activation quantization parameters per node. Transparent
@@ -423,9 +416,7 @@ mod tests {
     fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
         let per: usize = dims.iter().product();
         let samples: Vec<Tensor> = (0..n)
-            .map(|_| {
-                Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims)
-            })
+            .map(|_| Tensor::from_vec((0..per).map(|_| rng.gen_range(0.0..1.0)).collect(), dims))
             .collect();
         Tensor::stack(&samples)
     }

@@ -43,7 +43,9 @@ impl QuantParams {
             max = min + 1e-8; // degenerate range: all-constant activations
         }
         let scale = (max - min) / (qmax - qmin) as f32;
-        let zero_point = (qmin as f32 - min / scale).round().clamp(qmin as f32, qmax as f32) as i32;
+        let zero_point = (qmin as f32 - min / scale)
+            .round()
+            .clamp(qmin as f32, qmax as f32) as i32;
         QuantParams {
             scale,
             zero_point,
@@ -99,10 +101,7 @@ impl QuantParams {
 
     /// Smallest and largest representable real values.
     pub fn real_range(&self) -> (f32, f32) {
-        (
-            self.dequantize(self.qmin),
-            self.dequantize(self.qmax),
-        )
+        (self.dequantize(self.qmin), self.dequantize(self.qmax))
     }
 }
 

@@ -1,0 +1,158 @@
+//! Differential test: QAT fake-quant simulation vs. the integer engine.
+//!
+//! The paper's attack transfers because the fake-quant network the attacker
+//! differentiates through is a faithful simulation of the int8 engine the
+//! victim deploys. This file pins that faithfulness down as a contract:
+//!
+//! 1. **Argmax agreement** ≥ 99% pooled across all architecture families
+//!    and several weight draws.
+//! 2. **Logit agreement** within requantization error: the engine rounds at
+//!    every layer boundary (≤ ½ LSB each), so end-to-end logits may differ
+//!    from the float simulation by a few *output* quanta — never more.
+//! 3. **Golden vector**: the engine's dequantized logits for one fixed
+//!    weight draw are checked against constants embedded below, so a change
+//!    in rounding mode, requant multiplier, or observer placement shows up
+//!    as a diff in review rather than a silent drift.
+//!
+//! All weights and images come from a tiny in-file LCG, *not* from `rand`,
+//! so every value — including the golden vector — is identical on any
+//! platform and toolchain.
+
+use diva_models::{Architecture, ModelCfg};
+use diva_nn::Infer;
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Deterministic uniform values in [-1, 1): a 32-bit LCG (Numerical Recipes
+/// constants), independent of the `rand` crate.
+struct Lcg(u32);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f32 {
+        self.0 = self.0.wrapping_mul(1664525).wrapping_add(1013904223);
+        // Top 24 bits → [0, 1) exactly representable in f32, then shift.
+        (self.0 >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+    }
+}
+
+/// Overwrites every parameter with LCG values scaled fan-in style
+/// (`1/sqrt(fan_in)` for weight tensors, small constants for 1-D biases),
+/// erasing whatever `rand`-dependent init `Architecture::build` produced.
+fn lcg_reinit(net: &mut diva_nn::Network, seed: u32) {
+    let mut lcg = Lcg(seed.wrapping_mul(2654435761).wrapping_add(1));
+    for p in net.params_mut().iter_mut() {
+        let dims = p.value.dims().to_vec();
+        let scale = if dims.len() >= 2 {
+            let fan_in = (p.value.len() / dims[0]).max(1);
+            1.0 / (fan_in as f32).sqrt()
+        } else {
+            0.1
+        };
+        for v in p.value.data_mut() {
+            *v = lcg.next_unit() * scale;
+        }
+    }
+}
+
+/// `n` images in [0, 1) from the LCG, shaped `[n, c, h, w]`.
+fn lcg_images(seed: u32, n: usize, dims: &[usize]) -> Tensor {
+    let mut lcg = Lcg(seed.wrapping_mul(40503).wrapping_add(7));
+    let per: usize = dims.iter().product();
+    let mut full = vec![0.0f32; n * per];
+    for v in &mut full {
+        *v = lcg.next_unit() * 0.5 + 0.5;
+    }
+    let mut shape = vec![n];
+    shape.extend_from_slice(dims);
+    Tensor::from_vec(full, &shape)
+}
+
+/// Builds an arch with LCG weights, calibrates QAT on `images`, and lowers
+/// to the integer engine.
+fn build_pair(arch: Architecture, seed: u32, images: &Tensor) -> (QatNetwork, Int8Engine) {
+    // `build` wants an RNG for its init, but every value it writes is
+    // overwritten by `lcg_reinit`, so the draw below never reaches the test.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = arch.build(&ModelCfg::tiny(4), &mut rng);
+    lcg_reinit(&mut net, seed);
+    let mut qat = QatNetwork::new(net, QuantCfg::default());
+    qat.calibrate(images);
+    let engine = Int8Engine::from_qat(&qat);
+    (qat, engine)
+}
+
+#[test]
+fn argmax_agreement_at_least_99_percent() {
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    let mut worst: Option<(Architecture, u32, usize, usize)> = None;
+    for arch in Architecture::ALL {
+        for seed in 0..4u32 {
+            let images = lcg_images(seed * 31 + arch as u32, 16, &[3, 8, 8]);
+            let (qat, engine) = build_pair(arch, seed, &images);
+            let a = qat
+                .predict(&images)
+                .iter()
+                .zip(engine.predict(&images))
+                .filter(|(p, q)| **p == *q)
+                .count();
+            if a < 16 {
+                let prev = worst.map(|(_, _, a, _)| a).unwrap_or(usize::MAX);
+                if a < prev {
+                    worst = Some((arch, seed, a, 16));
+                }
+            }
+            agree += a;
+            total += 16;
+        }
+    }
+    assert!(
+        agree * 100 >= total * 99,
+        "fake-quant vs engine argmax agreement {agree}/{total} < 99% (worst case: {worst:?})"
+    );
+}
+
+#[test]
+fn logits_within_requantization_error() {
+    // Each layer's requant rounds to the nearest step (≤ ½ LSB); the tiny
+    // models are ≤ 8 quantized ops deep, so end-to-end drift beyond 6
+    // output quanta means the engine is *not* computing the same network.
+    for arch in Architecture::ALL {
+        for seed in 0..4u32 {
+            let images = lcg_images(seed * 31 + arch as u32 + 100, 8, &[3, 8, 8]);
+            let (qat, engine) = build_pair(arch, seed, &images);
+            let out_scale = engine.qparams().last().expect("output qparams").scale;
+            let diff = qat.logits(&images).sub(&engine.logits(&images)).abs().max();
+            assert!(
+                diff <= 6.0 * out_scale,
+                "{arch} seed {seed}: logits differ by {diff} (= {} output quanta, scale {out_scale})",
+                diff / out_scale
+            );
+        }
+    }
+}
+
+/// Engine logits for `Architecture::ResNet`, LCG seed 2022, two images —
+/// regenerate by running this test and copying the values from the failure
+/// message if an *intentional* quantization change lands.
+const GOLDEN_LOGITS: [[f32; 4]; 2] = [
+    [-0.127339, -0.065359846, -0.046202652, 0.15100378],
+    [-0.12057765, -0.052964013, -0.032679923, 0.16001894],
+];
+
+#[test]
+fn golden_vector_fixed_seed() {
+    let images = lcg_images(2022, 2, &[3, 8, 8]);
+    let (_, engine) = build_pair(Architecture::ResNet, 2022, &images);
+    let logits = engine.logits(&images);
+    let mut actual = [[0.0f32; 4]; 2];
+    for (i, row) in actual.iter_mut().enumerate() {
+        row.copy_from_slice(logits.row(i).data());
+    }
+    assert_eq!(
+        actual, GOLDEN_LOGITS,
+        "engine logits drifted from the golden vector; if the quantization \
+         change is intentional, update GOLDEN_LOGITS to the left-hand values"
+    );
+}

@@ -239,13 +239,13 @@ pub fn depthwise_conv2d(
     let bd = bias.data();
     let od = out.data_mut();
     for ni in 0..n {
-        for ci in 0..c {
+        for (ci, &bias_c) in bd.iter().enumerate().take(c) {
             let xbase = (ni * c + ci) * h * w;
             let wbase = ci * cfg.kh * cfg.kw;
             let obase = (ni * c + ci) * oh * ow;
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let mut acc = bd[ci];
+                    let mut acc = bias_c;
                     for ky in 0..cfg.kh {
                         let iy = oy * cfg.stride + ky;
                         if iy < cfg.pad || iy - cfg.pad >= h {
@@ -507,9 +507,7 @@ mod tests {
                 let mut d = Vec::new();
                 for ni in 0..2 {
                     let s = x.index_batch(ni);
-                    d.extend_from_slice(
-                        &s.data()[ci * 36..(ci + 1) * 36],
-                    );
+                    d.extend_from_slice(&s.data()[ci * 36..(ci + 1) * 36]);
                 }
                 Tensor::from_vec(d, &[2, 1, 6, 6])
             };

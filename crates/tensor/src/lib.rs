@@ -24,12 +24,12 @@
 //! assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
 //! ```
 
-mod tensor;
 pub mod conv;
 pub mod init;
 pub mod ops;
 pub mod pool;
 mod shape;
+mod tensor;
 
 pub use shape::Shape;
 pub use tensor::Tensor;
@@ -73,7 +73,10 @@ impl std::fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
             }
             TensorError::BadReshape { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
             TensorError::IndexOutOfRange { index, shape } => {
                 write!(f, "index {index:?} out of range for shape {shape:?}")

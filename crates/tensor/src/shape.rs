@@ -83,11 +83,7 @@ impl Shape {
                 shape: self.0.clone(),
             });
         }
-        Ok(index
-            .iter()
-            .zip(self.strides())
-            .map(|(&i, s)| i * s)
-            .sum())
+        Ok(index.iter().zip(self.strides()).map(|(&i, s)| i * s).sum())
     }
 
     /// Broadcasts two shapes together under NumPy rules.
@@ -99,10 +95,10 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0; rank];
-        for i in 0..rank {
+        for (i, d) in dims.iter_mut().enumerate() {
             let a = dim_right_aligned(&self.0, rank, i);
             let b = dim_right_aligned(&other.0, rank, i);
-            dims[i] = match (a, b) {
+            *d = match (a, b) {
                 (x, y) if x == y => x,
                 (1, y) => y,
                 (x, 1) => x,

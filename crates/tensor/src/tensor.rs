@@ -458,13 +458,8 @@ impl BroadcastIndexer {
         let pad = out.rank() - src.rank();
         let dims = (0..out.rank())
             .map(|i| {
-                let src_stride = if i < pad {
-                    0
-                } else if src.dim(i - pad) == 1 && out.dim(i) != 1 {
-                    0
-                } else {
-                    src_strides[i - pad]
-                };
+                let broadcasts = i < pad || (src.dim(i - pad) == 1 && out.dim(i) != 1);
+                let src_stride = if broadcasts { 0 } else { src_strides[i - pad] };
                 (out.dim(i), out_strides[i], src_stride)
             })
             .collect();

@@ -11,8 +11,7 @@ use proptest::prelude::*;
 
 fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = dims.iter().product();
-    proptest::collection::vec(-10.0f32..10.0, n)
-        .prop_map(move |data| Tensor::from_vec(data, &dims))
+    proptest::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &dims))
 }
 
 proptest! {

@@ -149,7 +149,11 @@ mod tests {
         for i in 0..NUM_BUCKETS {
             let (lo, hi) = bucket_bounds(i);
             assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
-            assert_eq!(bucket_index(hi.saturating_sub(1).max(lo)), i, "hi-1 of bucket {i}");
+            assert_eq!(
+                bucket_index(hi.saturating_sub(1).max(lo)),
+                i,
+                "hi-1 of bucket {i}"
+            );
         }
     }
 
@@ -202,7 +206,9 @@ mod tests {
         let mut state = 0x1234_5678_9ABC_DEF0u64;
         let mut h = Histogram::default();
         for _ in 0..4096 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h.record(state >> (state % 50));
         }
         let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];

@@ -36,7 +36,7 @@ pub use histogram::Histogram;
 pub use json::Json;
 
 use std::borrow::Cow;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -207,10 +207,78 @@ thread_local! {
     static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
-/// Adds `delta` to the named counter. No-op below level 1.
+thread_local! {
+    /// Worker-local counter buffer. While `Some`, `counter_add` on this
+    /// thread accumulates here instead of taking the global lock; the
+    /// buffered totals are folded into the recorder when the owning
+    /// [`CounterShard`] is dropped (i.e. when the worker joins).
+    static COUNTER_SHARD: RefCell<Option<BTreeMap<String, u64>>> =
+        const { RefCell::new(None) };
+}
+
+/// RAII guard that buffers this thread's counters locally until dropped.
+///
+/// Worker pools (diva-par) install one of these per worker thread so hot
+/// loops never contend on the global recorder mutex; totals are flushed in
+/// one batch at join. Counter *totals* are therefore schedule-independent,
+/// but [`counter_value`] only reflects a worker's contribution after its
+/// shard drops.
+pub struct CounterShard {
+    active: bool,
+}
+
+/// Starts buffering counters on the current thread. Nested shards are
+/// inert (the outermost one owns the buffer), as is a shard opened while
+/// tracing is disabled.
+pub fn counter_shard() -> CounterShard {
+    if !enabled(1) {
+        return CounterShard { active: false };
+    }
+    COUNTER_SHARD.with(|s| {
+        let mut slot = s.borrow_mut();
+        if slot.is_some() {
+            CounterShard { active: false }
+        } else {
+            *slot = Some(BTreeMap::new());
+            CounterShard { active: true }
+        }
+    })
+}
+
+impl Drop for CounterShard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let buffered = COUNTER_SHARD.with(|s| s.borrow_mut().take());
+        if let Some(buffered) = buffered {
+            if !buffered.is_empty() {
+                let mut rec = recorder();
+                for (name, delta) in buffered {
+                    *rec.counters.entry(name).or_insert(0) += delta;
+                }
+            }
+        }
+    }
+}
+
+/// Adds `delta` to the named counter. No-op below level 1. Inside a
+/// [`counter_shard`] the update is buffered thread-locally and flushed at
+/// shard drop; otherwise it goes straight to the global recorder.
 #[inline]
 pub fn counter_add(name: &str, delta: u64) {
     if !enabled(1) {
+        return;
+    }
+    let buffered = COUNTER_SHARD.with(|s| {
+        if let Some(map) = s.borrow_mut().as_mut() {
+            *map.entry(name.to_string()).or_insert(0) += delta;
+            true
+        } else {
+            false
+        }
+    });
+    if buffered {
         return;
     }
     let mut rec = recorder();
@@ -256,7 +324,14 @@ pub fn record_secs(lvl: u8, name: &str, secs: f64) {
         return;
     }
     let ns = (secs.max(0.0) * 1e9).round();
-    record_u64_unchecked(name, if ns >= u64::MAX as f64 { u64::MAX } else { ns as u64 });
+    record_u64_unchecked(
+        name,
+        if ns >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ns as u64
+        },
+    );
 }
 
 /// Snapshot of a named histogram, if any observations were recorded.
@@ -304,10 +379,16 @@ pub struct Span {
 #[inline]
 pub fn span(lvl: u8, name: impl Into<Cow<'static, str>>) -> Span {
     if !enabled(lvl) {
-        return Span { name: None, start: START_PLACEHOLDER.with(|s| *s) };
+        return Span {
+            name: None,
+            start: START_PLACEHOLDER.with(|s| *s),
+        };
     }
     SPAN_DEPTH.with(|d| d.set(d.get() + 1));
-    Span { name: Some(name.into()), start: Instant::now() }
+    Span {
+        name: Some(name.into()),
+        start: Instant::now(),
+    }
 }
 
 thread_local! {
@@ -320,7 +401,11 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(name) = self.name.take() else { return };
         let elapsed_ns = self.start.elapsed().as_nanos();
-        let elapsed_ns = if elapsed_ns > u64::MAX as u128 { u64::MAX } else { elapsed_ns as u64 };
+        let elapsed_ns = if elapsed_ns > u64::MAX as u128 {
+            u64::MAX
+        } else {
+            elapsed_ns as u64
+        };
         let depth = SPAN_DEPTH.with(|d| {
             let v = d.get();
             d.set(v.saturating_sub(1));
@@ -544,9 +629,15 @@ mod tests {
             .filter(|e| e.get("ev").and_then(Json::as_str) == Some("span"))
             .collect();
         assert_eq!(span_events.len(), 2);
-        assert_eq!(span_events[0].get("name").unwrap().as_str(), Some("t.inner"));
+        assert_eq!(
+            span_events[0].get("name").unwrap().as_str(),
+            Some("t.inner")
+        );
         assert_eq!(span_events[0].get("depth").unwrap().as_u64(), Some(2));
-        assert_eq!(span_events[1].get("name").unwrap().as_str(), Some("t.outer"));
+        assert_eq!(
+            span_events[1].get("name").unwrap().as_str(),
+            Some("t.outer")
+        );
         assert_eq!(span_events[1].get("depth").unwrap().as_u64(), Some(1));
         set_level(0);
         reset();
@@ -569,7 +660,11 @@ mod tests {
         assert!(h.get("p95_ns").unwrap().as_u64().unwrap() >= 95_000);
         assert_eq!(h.get("max_ns").unwrap().as_u64(), Some(100_000));
         assert_eq!(
-            s.get("counters").unwrap().get("t.counter").unwrap().as_u64(),
+            s.get("counters")
+                .unwrap()
+                .get("t.counter")
+                .unwrap()
+                .as_u64(),
             Some(7)
         );
         // Summary text is valid JSON that round-trips through the parser.

@@ -40,7 +40,11 @@ fn main() {
         &mut original,
         &train.images,
         &train.labels,
-        &TrainCfg { epochs: 4, lr: 0.005, ..tcfg },
+        &TrainCfg {
+            epochs: 4,
+            lr: 0.005,
+            ..tcfg
+        },
         &mut rng,
     );
 
@@ -49,7 +53,11 @@ fn main() {
     qat.train_qat(
         &train.images,
         &train.labels,
-        &TrainCfg { epochs: 2, lr: 0.004, ..tcfg },
+        &TrainCfg {
+            epochs: 2,
+            lr: 0.004,
+            ..tcfg
+        },
         &mut rng,
     );
     let camera = Int8Engine::from_qat(&qat); // the edge device
@@ -66,7 +74,14 @@ fn main() {
     for name in ["PGD", "DIVA"] {
         let adv = match name {
             "PGD" => pgd_attack(&qat, &attack_set.images, &attack_set.labels, &atk),
-            _ => diva_attack(&original, &qat, &attack_set.images, &attack_set.labels, 1.0, &atk),
+            _ => diva_attack(
+                &original,
+                &qat,
+                &attack_set.images,
+                &attack_set.labels,
+                1.0,
+                &atk,
+            ),
         };
         let counts = evaluate_attack(&original, &camera, &adv, &attack_set.labels);
         let max_d = (0..attack_set.len())
@@ -86,7 +101,13 @@ fn main() {
         let who = attack_set.labels[0];
         let target = (who + 1) % faces.identities;
         let adv = diva_targeted_attack(
-            &original, &qat, &x, &[who], target, 1.0, 4.0,
+            &original,
+            &qat,
+            &x,
+            &[who],
+            target,
+            1.0,
+            4.0,
             &AttackCfg::with_steps(30),
         );
         println!(

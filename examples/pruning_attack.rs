@@ -37,7 +37,11 @@ fn main() {
         &mut original,
         &train.images,
         &train.labels,
-        &TrainCfg { epochs: 6, lr: 0.005, ..tcfg.clone() },
+        &TrainCfg {
+            epochs: 6,
+            lr: 0.005,
+            ..tcfg.clone()
+        },
         &mut rng,
     );
 
@@ -48,7 +52,11 @@ fn main() {
         &train.images,
         &train.labels,
         &PruneCfg::default(),
-        &TrainCfg { epochs: 6, lr: 0.005, ..tcfg.clone() },
+        &TrainCfg {
+            epochs: 6,
+            lr: 0.005,
+            ..tcfg.clone()
+        },
         &mut rng,
     );
     println!(
@@ -62,7 +70,11 @@ fn main() {
     pq.train_qat(
         &train.images,
         &train.labels,
-        &TrainCfg { epochs: 2, lr: 0.004, ..tcfg },
+        &TrainCfg {
+            epochs: 2,
+            lr: 0.004,
+            ..tcfg
+        },
         &mut rng,
     );
 
@@ -87,7 +99,10 @@ fn main() {
     }
     // Pruned + quantized edge model.
     let set = select_validation(&val, &[&original, &pq], 4);
-    println!("\nattacks on the pruned+quantized model ({} images):", set.len());
+    println!(
+        "\nattacks on the pruned+quantized model ({} images):",
+        set.len()
+    );
     for name in ["PGD", "DIVA"] {
         let adv = match name {
             "PGD" => pgd_attack(&pq, &set.images, &set.labels, &atk),

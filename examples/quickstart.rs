@@ -39,7 +39,11 @@ fn main() {
         &mut original,
         &train.images,
         &train.labels,
-        &TrainCfg { epochs: 6, lr: 0.005, ..cfg },
+        &TrainCfg {
+            epochs: 6,
+            lr: 0.005,
+            ..cfg
+        },
         &mut rng,
     );
 

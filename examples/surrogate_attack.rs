@@ -10,9 +10,7 @@
 //! ```
 
 use diva_repro::core::attack::{diva_attack, AttackCfg};
-use diva_repro::core::pipeline::{
-    evaluate_attack, prepare_blackbox, prepare_semi_blackbox,
-};
+use diva_repro::core::pipeline::{evaluate_attack, prepare_blackbox, prepare_semi_blackbox};
 use diva_repro::data::imagenet::{synth_imagenet, ImagenetCfg};
 use diva_repro::data::select_validation;
 use diva_repro::distill::{agreement, DistillCfg};
@@ -37,12 +35,22 @@ fn main() {
         momentum: 0.9,
         weight_decay: 1e-4,
     };
-    train_classifier(&mut original, &victim_train.images, &victim_train.labels, &tcfg, &mut rng);
     train_classifier(
         &mut original,
         &victim_train.images,
         &victim_train.labels,
-        &TrainCfg { epochs: 6, lr: 0.005, ..tcfg.clone() },
+        &tcfg,
+        &mut rng,
+    );
+    train_classifier(
+        &mut original,
+        &victim_train.images,
+        &victim_train.labels,
+        &TrainCfg {
+            epochs: 6,
+            lr: 0.005,
+            ..tcfg.clone()
+        },
         &mut rng,
     );
     let mut qat = QatNetwork::new(original.clone(), QuantCfg::default());
@@ -50,7 +58,11 @@ fn main() {
     qat.train_qat(
         &victim_train.images,
         &victim_train.labels,
-        &TrainCfg { epochs: 2, lr: 0.004, ..tcfg.clone() },
+        &TrainCfg {
+            epochs: 2,
+            lr: 0.004,
+            ..tcfg.clone()
+        },
         &mut rng,
     );
     // This is all the attacker can physically obtain: the deployed engine.
@@ -97,13 +109,24 @@ fn main() {
     // --- evaluation against the TRUE models --------------------------------
     let val = synth_imagenet(512, &data_cfg, 22);
     let attack_set = select_validation(&val, &[&original, &qat], 4);
-    println!("[eval] attacking {} mutually-correct images", attack_set.len());
+    println!(
+        "[eval] attacking {} mutually-correct images",
+        attack_set.len()
+    );
     let atk = AttackCfg::paper_default();
 
     let settings: [(&str, &diva_repro::nn::Network, &QatNetwork); 3] = [
         ("whitebox      ", &original, &qat),
-        ("semi-blackbox ", &semi.surrogate_original, &semi.recovered_adapted),
-        ("blackbox      ", &black.surrogate_original, &black.surrogate_adapted),
+        (
+            "semi-blackbox ",
+            &semi.surrogate_original,
+            &semi.recovered_adapted,
+        ),
+        (
+            "blackbox      ",
+            &black.surrogate_original,
+            &black.surrogate_adapted,
+        ),
     ];
     for (name, grad_orig, grad_adapted) in settings {
         let adv = diva_attack(

@@ -10,13 +10,18 @@ use diva_repro::prune::{prune_with_finetune, PruneCfg};
 use diva_repro::quant::{extract_qat, Int8Engine, QatNetwork, QuantCfg};
 use rand::{rngs::StdRng, SeedableRng};
 
-type Trained = (diva_repro::nn::Network, diva_repro::data::Dataset, diva_repro::data::Dataset);
+type Trained = (
+    diva_repro::nn::Network,
+    diva_repro::data::Dataset,
+    diva_repro::data::Dataset,
+);
 
 /// Trains one small victim per architecture, cached across this binary's
 /// tests (training dominates the runtime).
 fn train_small(arch: Architecture) -> &'static Trained {
-    static CACHE: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<&'static str, &'static Trained>>> =
-        std::sync::OnceLock::new();
+    static CACHE: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::HashMap<&'static str, &'static Trained>>,
+    > = std::sync::OnceLock::new();
     let cache = CACHE.get_or_init(Default::default);
     let mut guard = cache.lock().unwrap();
     if let Some(t) = guard.get(arch.name()) {

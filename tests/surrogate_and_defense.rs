@@ -110,8 +110,20 @@ fn surrogates_imitate_the_deployed_model() {
 fn reduced_knowledge_attacks_stay_within_budget_and_score() {
     let w = world();
     let cfg = AttackCfg::paper_default();
-    let semi_adv = semi_blackbox_diva(&w.semi, &w.attack_set.images, &w.attack_set.labels, 1.0, &cfg);
-    let black_adv = blackbox_diva(&w.black, &w.attack_set.images, &w.attack_set.labels, 1.0, &cfg);
+    let semi_adv = semi_blackbox_diva(
+        &w.semi,
+        &w.attack_set.images,
+        &w.attack_set.labels,
+        1.0,
+        &cfg,
+    );
+    let black_adv = blackbox_diva(
+        &w.black,
+        &w.attack_set.images,
+        &w.attack_set.labels,
+        1.0,
+        &cfg,
+    );
     for adv in [&semi_adv, &black_adv] {
         assert!(linf_distance(adv, &w.attack_set.images) <= cfg.eps + 1e-6);
         assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
