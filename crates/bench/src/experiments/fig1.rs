@@ -29,7 +29,8 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
         "-------|--------------|----------------------------|--------------|--------------------------\n",
     );
     for kind in [AttackKind::Pgd, AttackKind::DivaWhitebox(1.0)] {
-        let (_, adv) = attack_matrix_row_adv(&victim, &attack_set, kind, &cfg, None);
+        let (_, adv) = attack_matrix_row_adv(&victim, &attack_set, kind, &cfg, None)
+            .expect("no surrogate-based kinds are queued here");
         let outcomes = evaluate_outcomes(&victim.original, &victim.qat, &adv, &attack_set.labels);
         let n = outcomes.len() as f32;
         let q = |oc: bool, ac: bool| {

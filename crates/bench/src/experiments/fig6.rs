@@ -52,7 +52,18 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale, with_blackbox: bool
             None
         };
         for kind in kinds {
-            let row = attack_matrix_row(&victim, &attack_set, kind, &cfg, surrogates.as_ref());
+            let row = match attack_matrix_row(&victim, &attack_set, kind, &cfg, surrogates.as_ref())
+            {
+                Ok(row) => row,
+                Err(e) => {
+                    out.push_str(&format!(
+                        "{:9} | {:21} | skipped: {e}\n",
+                        arch.name(),
+                        kind.name()
+                    ));
+                    continue;
+                }
+            };
             out.push_str(&format!(
                 "{:9} | {:21} | {} | {} | {} | {}      | {}      | {:.2}\n",
                 arch.name(),

@@ -33,7 +33,8 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
                 AttackKind::DivaWhitebox(c),
                 &cfg,
                 None,
-            );
+            )
+            .expect("whitebox DIVA needs no surrogates");
             if row.counts.top1_rate() > best.1 {
                 best = (c, row.counts.top1_rate());
             }

@@ -22,13 +22,42 @@ pub mod table1;
 pub mod transfer;
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use diva_models::Architecture;
 
-use crate::suite::{prepare_surrogates, prepare_victim, ExperimentScale, Surrogates, VictimModels};
+use crate::suite::{
+    prepare_surrogates_resumable, prepare_victim_resumable, ExperimentScale, Surrogates,
+    VictimModels,
+};
+
+/// The checkpoint directory for phase-level resume, or `None` when resume
+/// is off. Enabled by `DIVA_RESUME=1`; the directory defaults to
+/// `repro_out/ckpt` and can be overridden with `DIVA_CKPT_DIR`. With
+/// resume off nothing is read or written, so default runs stay
+/// byte-identical.
+pub fn resume_ckpt_dir() -> Option<PathBuf> {
+    let on = std::env::var("DIVA_RESUME")
+        .map(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+        .unwrap_or(false);
+    if !on {
+        return None;
+    }
+    let dir = std::env::var("DIVA_CKPT_DIR")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| "repro_out/ckpt".to_string());
+    Some(PathBuf::from(dir))
+}
 
 /// Caches prepared victims and surrogate bundles per architecture for one
-/// process.
+/// process. With `DIVA_RESUME=1` the cache also checkpoints each prepared
+/// phase to disk and reloads it (after validation) on the next run, so an
+/// interrupted experiment skips retraining.
 #[derive(Default)]
 pub struct VictimCache {
     victims: HashMap<&'static str, VictimModels>,
@@ -41,20 +70,31 @@ impl VictimCache {
         VictimCache::default()
     }
 
-    /// Returns the prepared victim for `arch`, training it on first use.
+    /// Returns the prepared victim for `arch`, training it on first use
+    /// (or resuming it from a checkpoint under `DIVA_RESUME=1`).
     pub fn victim(&mut self, arch: Architecture, scale: &ExperimentScale) -> &VictimModels {
         self.victims.entry(arch.name()).or_insert_with(|| {
             diva_trace::progress!("[prepare] training + adapting {arch} ...");
-            prepare_victim(arch, scale)
+            let (victim, resumed) =
+                prepare_victim_resumable(arch, scale, resume_ckpt_dir().as_deref());
+            if resumed {
+                diva_trace::progress!("[prepare] resumed {arch} victim from checkpoint");
+            }
+            victim
         })
     }
 
-    /// Returns the surrogate bundle for `arch`, distilling it on first use.
+    /// Returns the surrogate bundle for `arch`, distilling it on first use
+    /// (or resuming it from a checkpoint under `DIVA_RESUME=1`).
     pub fn surrogates(&mut self, arch: Architecture, scale: &ExperimentScale) -> Surrogates {
         if !self.surrogates.contains_key(arch.name()) {
             let victim = self.victim(arch, scale).clone();
             diva_trace::progress!("[prepare] distilling surrogates for {arch} ...");
-            let s = prepare_surrogates(&victim, scale);
+            let (s, resumed) =
+                prepare_surrogates_resumable(&victim, scale, resume_ckpt_dir().as_deref());
+            if resumed {
+                diva_trace::progress!("[prepare] resumed {arch} surrogates from checkpoint");
+            }
             self.surrogates.insert(arch.name(), s);
         }
         self.surrogates[arch.name()].clone()

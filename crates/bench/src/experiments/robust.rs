@@ -73,7 +73,8 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
         AttackKind::DivaWhitebox(1.5),
         AttackKind::DivaWhitebox(5.0),
     ] {
-        let row = attack_matrix_row(&robust_victim, &attack_set, kind, &cfg, None);
+        let row = attack_matrix_row(&robust_victim, &attack_set, kind, &cfg, None)
+            .expect("no surrogate-based kinds are queued here");
         let label = match kind {
             AttackKind::DivaWhitebox(c) => format!("DIVA (c={c})"),
             _ => kind.name(),
@@ -98,7 +99,8 @@ pub fn run(cache: &mut VictimCache, scale: &ExperimentScale) -> String {
         AttackKind::DivaWhitebox(1.0),
         &cfg,
         None,
-    );
+    )
+    .expect("whitebox DIVA needs no surrogates");
     out.push_str(&format!(
         "\nrobust accuracy of adapted model under PGD: {} (undefended: {})\n\
          undefended DIVA (c=1) top-1 joint success for contrast: {}\n",

@@ -7,7 +7,7 @@
 use diva_core::attack::{diva_attack_traced, pgd_attack_traced, AttackCfg};
 use diva_core::parallel::par_attack_images;
 use diva_core::pipeline::evaluate_outcomes_with_flips;
-use diva_metrics::success::SuccessCounts;
+use diva_metrics::success::{AttackOutcome, SuccessCounts};
 use diva_models::{Architecture, ModelCfg};
 use diva_nn::Infer;
 use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
@@ -52,14 +52,24 @@ pub fn run() -> String {
     });
     let (adv_pgd, adv_diva) = (gen_pgd.adv, gen_diva.adv);
 
-    let pgd: SuccessCounts =
-        evaluate_outcomes_with_flips(&net, &qat, &adv_pgd, &labels, &gen_pgd.first_flips)
+    // Images whose generation failed (guard budget exhausted, worker panic)
+    // carry the natural sample; mark them so the counts report them as
+    // `failed` instead of scoring the unperturbed image.
+    let mark = |outcomes: Vec<AttackOutcome>, failed: &[bool]| -> SuccessCounts {
+        outcomes
             .into_iter()
-            .collect();
-    let diva: SuccessCounts =
-        evaluate_outcomes_with_flips(&net, &qat, &adv_diva, &labels, &gen_diva.first_flips)
-            .into_iter()
-            .collect();
+            .zip(failed)
+            .map(|(o, &f)| if f { o.as_failed() } else { o })
+            .collect()
+    };
+    let pgd = mark(
+        evaluate_outcomes_with_flips(&net, &qat, &adv_pgd, &labels, &gen_pgd.first_flips),
+        &gen_pgd.failed,
+    );
+    let diva = mark(
+        evaluate_outcomes_with_flips(&net, &qat, &adv_diva, &labels, &gen_diva.first_flips),
+        &gen_diva.failed,
+    );
     // One final engine pass on the adversarial batch for good measure.
     let engine_preds = engine.predict(&adv_diva);
     let engine_flips = engine_preds
@@ -90,6 +100,39 @@ pub fn run() -> String {
         diva_trace::level(),
         diva_trace::events_buffered()
     ));
+
+    // Fault evidence, printed only when a fault plan is armed so the
+    // default run stays byte-identical. Three degradation surfaces:
+    // per-image generation failures (guard budget / worker panics), the
+    // deployed engine's weight checksum (bit flips land here), and a
+    // checkpoint round-trip (file faults land here).
+    if diva_fault::armed() {
+        let image_failures = pgd.failed + diva.failed;
+        let integrity_failures = usize::from(!engine.integrity_ok());
+        if integrity_failures > 0 {
+            diva_trace::event!(1, "smoke.integrity_failed", surface = "engine");
+        }
+        let ckpt_path =
+            std::env::temp_dir().join(format!("diva-smoke-ckpt-{}.bin", std::process::id()));
+        let ckpt_failures = match diva_fault::ckpt::write_atomic(&ckpt_path, out.as_bytes())
+            .and_then(|()| diva_fault::ckpt::read_verified(&ckpt_path))
+        {
+            Ok(_) => 0usize,
+            Err(e) => {
+                diva_trace::event!(1, "smoke.ckpt_rejected", reason = format!("{e}"));
+                1
+            }
+        };
+        let _ = std::fs::remove_file(&ckpt_path);
+        let total = image_failures + integrity_failures + ckpt_failures;
+        out.push_str(&format!(
+            "  fault: plan '{}' armed\n",
+            diva_fault::armed_spec().unwrap_or_default()
+        ));
+        out.push_str(&format!(
+            "  fault: failed={total} (images {image_failures}, integrity {integrity_failures}, checkpoint {ckpt_failures})\n"
+        ));
+    }
     out
 }
 

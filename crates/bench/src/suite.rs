@@ -7,7 +7,7 @@ use diva_core::attack::{
 };
 use diva_core::parallel::par_attack_images;
 use diva_core::pipeline::{
-    evaluate_attack, evaluate_outcomes_with_flips, prepare_blackbox, prepare_semi_blackbox,
+    evaluate_outcomes, evaluate_outcomes_with_flips, prepare_blackbox, prepare_semi_blackbox,
     BlackboxAssets, SemiBlackboxAssets,
 };
 use diva_data::imagenet::{synth_imagenet, ImagenetCfg};
@@ -142,17 +142,7 @@ pub struct VictimModels {
 pub fn prepare_victim(arch: Architecture, scale: &ExperimentScale) -> VictimModels {
     let _span = diva_trace::span(1, "bench.prepare_victim");
     let mut rng = StdRng::seed_from_u64(scale.seed ^ arch_seed(arch));
-    let train = synth_imagenet(scale.train_n, &scale.data_cfg, scale.seed.wrapping_add(1));
-    let val_pool = synth_imagenet(
-        scale.val_pool_n,
-        &scale.data_cfg,
-        scale.seed.wrapping_add(2),
-    );
-    let attacker = synth_imagenet(
-        scale.attacker_n,
-        &scale.data_cfg,
-        scale.seed.wrapping_add(3),
-    );
+    let (train, val_pool, attacker) = datasets(scale);
 
     let mut original = arch.build(&scale.model_cfg, &mut rng);
     // Two-phase schedule: full rate for ~70% of the epochs, then a 4x decay
@@ -208,6 +198,23 @@ fn arch_seed(arch: Architecture) -> u64 {
         Architecture::MobileNet => 0x2000,
         Architecture::DenseNet => 0x3000,
     }
+}
+
+/// The three deterministic data splits of a scale. Cheap relative to
+/// training, so checkpoints persist only models and regenerate data.
+fn datasets(scale: &ExperimentScale) -> (Dataset, Dataset, Dataset) {
+    let train = synth_imagenet(scale.train_n, &scale.data_cfg, scale.seed.wrapping_add(1));
+    let val_pool = synth_imagenet(
+        scale.val_pool_n,
+        &scale.data_cfg,
+        scale.seed.wrapping_add(2),
+    );
+    let attacker = synth_imagenet(
+        scale.attacker_n,
+        &scale.data_cfg,
+        scale.seed.wrapping_add(3),
+    );
+    (train, val_pool, attacker)
 }
 
 impl VictimModels {
@@ -306,35 +313,257 @@ pub fn prepare_surrogates(victim: &VictimModels, scale: &ExperimentScale) -> Sur
     Surrogates { semi, black }
 }
 
+/// Checkpointed victim state: the trained models plus a fingerprint of the
+/// `(arch, scale)` they were built from. The data splits are regenerated
+/// from the seed on resume instead of being persisted.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct VictimCkpt {
+    fingerprint: u64,
+    original: Network,
+    qat: QatNetwork,
+    engine: Int8Engine,
+    original_acc: f32,
+    qat_acc: f32,
+}
+
+/// Checkpointed surrogate bundles, fingerprinted like [`VictimCkpt`].
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SurrogateCkpt {
+    fingerprint: u64,
+    semi: SemiBlackboxAssets,
+    black: BlackboxAssets,
+}
+
+fn scale_fingerprint(arch: Architecture, scale: &ExperimentScale) -> u64 {
+    diva_fault::fnv1a64(format!("{arch:?}|{scale:?}").as_bytes())
+}
+
+fn reject_ckpt(path: &std::path::Path, why: &str) {
+    diva_trace::counter!("bench.ckpt_rejected", 1);
+    diva_trace::event!(
+        1,
+        "bench.ckpt_rejected",
+        path = path.display().to_string(),
+        reason = why.to_string(),
+    );
+}
+
+/// Reads and verifies a checkpoint payload, expecting `fingerprint`.
+/// Returns `None` (silently for a missing file, with a `bench.ckpt_rejected`
+/// trace event otherwise) when the checkpoint cannot be used, in which case
+/// the caller rebuilds and rewrites it.
+fn load_ckpt_payload(path: &std::path::Path) -> Option<Vec<u8>> {
+    match diva_fault::ckpt::read_verified(path) {
+        Ok(p) => Some(p),
+        Err(diva_fault::ckpt::CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            None
+        }
+        Err(e) => {
+            reject_ckpt(path, &e.to_string());
+            None
+        }
+    }
+}
+
+fn store_ckpt(path: &std::path::Path, payload: &[u8]) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match diva_fault::ckpt::write_atomic(path, payload) {
+        Ok(()) => {
+            diva_trace::counter!("bench.ckpt_written", 1);
+            diva_trace::event!(
+                1,
+                "bench.ckpt_written",
+                path = path.display().to_string(),
+                bytes = payload.len(),
+            );
+        }
+        Err(e) => {
+            // A failed checkpoint write must not fail the experiment.
+            diva_trace::event!(
+                1,
+                "bench.ckpt_write_failed",
+                path = path.display().to_string(),
+                error = e.to_string(),
+            );
+        }
+    }
+}
+
+/// [`prepare_victim`] with phase-level checkpoint/resume. With `ckpt_dir`
+/// set, a valid checkpoint whose fingerprint matches `(arch, scale)` and
+/// whose engine passes [`Int8Engine::validate`] skips the (re)training;
+/// otherwise the victim is rebuilt and the checkpoint rewritten. Returns
+/// the victim and whether it was resumed from disk.
+pub fn prepare_victim_resumable(
+    arch: Architecture,
+    scale: &ExperimentScale,
+    ckpt_dir: Option<&std::path::Path>,
+) -> (VictimModels, bool) {
+    let Some(dir) = ckpt_dir else {
+        return (prepare_victim(arch, scale), false);
+    };
+    let path = dir.join(format!("victim-{arch:?}.ckpt"));
+    let fingerprint = scale_fingerprint(arch, scale);
+    if let Some(payload) = load_ckpt_payload(&path) {
+        match serde_json::from_slice::<VictimCkpt>(&payload) {
+            Ok(ck) if ck.fingerprint != fingerprint => {
+                reject_ckpt(&path, "fingerprint mismatch (arch or scale changed)")
+            }
+            Ok(ck) => match ck.engine.validate() {
+                Ok(()) => {
+                    let (train, val_pool, attacker) = datasets(scale);
+                    diva_trace::counter!("bench.ckpt_resumed", 1);
+                    diva_trace::event!(
+                        1,
+                        "bench.ckpt_resumed",
+                        path = path.display().to_string(),
+                        phase = "victim",
+                    );
+                    return (
+                        VictimModels {
+                            arch,
+                            original: ck.original,
+                            qat: ck.qat,
+                            engine: ck.engine,
+                            train,
+                            val_pool,
+                            attacker,
+                            original_acc: ck.original_acc,
+                            qat_acc: ck.qat_acc,
+                        },
+                        true,
+                    );
+                }
+                Err(e) => reject_ckpt(&path, &format!("engine validation: {e}")),
+            },
+            Err(e) => reject_ckpt(&path, &format!("payload parse: {e}")),
+        }
+    }
+    let victim = prepare_victim(arch, scale);
+    let ck = VictimCkpt {
+        fingerprint,
+        original: victim.original.clone(),
+        qat: victim.qat.clone(),
+        engine: victim.engine.clone(),
+        original_acc: victim.original_acc,
+        qat_acc: victim.qat_acc,
+    };
+    if let Ok(payload) = serde_json::to_vec(&ck) {
+        store_ckpt(&path, &payload);
+    }
+    (victim, false)
+}
+
+/// [`prepare_surrogates`] with the same checkpoint/resume contract as
+/// [`prepare_victim_resumable`].
+pub fn prepare_surrogates_resumable(
+    victim: &VictimModels,
+    scale: &ExperimentScale,
+    ckpt_dir: Option<&std::path::Path>,
+) -> (Surrogates, bool) {
+    let Some(dir) = ckpt_dir else {
+        return (prepare_surrogates(victim, scale), false);
+    };
+    let path = dir.join(format!("surrogates-{:?}.ckpt", victim.arch));
+    let fingerprint = scale_fingerprint(victim.arch, scale);
+    if let Some(payload) = load_ckpt_payload(&path) {
+        match serde_json::from_slice::<SurrogateCkpt>(&payload) {
+            Ok(ck) if ck.fingerprint != fingerprint => {
+                reject_ckpt(&path, "fingerprint mismatch (arch or scale changed)")
+            }
+            Ok(ck) => {
+                diva_trace::counter!("bench.ckpt_resumed", 1);
+                diva_trace::event!(
+                    1,
+                    "bench.ckpt_resumed",
+                    path = path.display().to_string(),
+                    phase = "surrogates",
+                );
+                return (
+                    Surrogates {
+                        semi: ck.semi,
+                        black: ck.black,
+                    },
+                    true,
+                );
+            }
+            Err(e) => reject_ckpt(&path, &format!("payload parse: {e}")),
+        }
+    }
+    let surrogates = prepare_surrogates(victim, scale);
+    let ck = SurrogateCkpt {
+        fingerprint,
+        semi: surrogates.semi.clone(),
+        black: surrogates.black.clone(),
+    };
+    if let Ok(payload) = serde_json::to_vec(&ck) {
+        store_ckpt(&path, &payload);
+    }
+    (surrogates, false)
+}
+
+/// A recoverable experiment-plumbing error, surfaced through the suite
+/// result instead of panicking inside a worker fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteError {
+    /// A black-box attack kind was requested without prepared surrogates.
+    MissingSurrogates(AttackKind),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::MissingSurrogates(kind) => write!(
+                f,
+                "{} requires prepared surrogates (prepare_surrogates) but none were supplied",
+                kind.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
 /// Generates the adversarial batch for `kind` and evaluates it against the
 /// true (original, adapted) pair.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a black-box kind is requested without `surrogates`.
+/// Returns [`SuiteError::MissingSurrogates`] if a black-box kind is
+/// requested without `surrogates`.
 pub fn attack_matrix_row(
     victim: &VictimModels,
     attack_set: &Dataset,
     kind: AttackKind,
     cfg: &AttackCfg,
     surrogates: Option<&Surrogates>,
-) -> AttackRow {
-    attack_matrix_row_adv(victim, attack_set, kind, cfg, surrogates).0
+) -> Result<AttackRow, SuiteError> {
+    Ok(attack_matrix_row_adv(victim, attack_set, kind, cfg, surrogates)?.0)
 }
 
 /// [`attack_matrix_row`] that also returns the adversarial batch, for
 /// experiments that inspect individual attacked images.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a black-box kind is requested without `surrogates`.
+/// Returns [`SuiteError::MissingSurrogates`] if a black-box kind is
+/// requested without `surrogates` (see [`attack_matrix_row`]).
 pub fn attack_matrix_row_adv(
     victim: &VictimModels,
     attack_set: &Dataset,
     kind: AttackKind,
     cfg: &AttackCfg,
     surrogates: Option<&Surrogates>,
-) -> (AttackRow, diva_tensor::Tensor) {
+) -> Result<(AttackRow, diva_tensor::Tensor), SuiteError> {
+    if matches!(
+        kind,
+        AttackKind::DivaSemiBlackbox(_) | AttackKind::DivaBlackbox(_)
+    ) && surrogates.is_none()
+    {
+        return Err(SuiteError::MissingSurrogates(kind));
+    }
     let x = &attack_set.images;
     let labels = &attack_set.labels;
     // When tracing is on, watch the deployed engine's prediction flip
@@ -356,7 +585,7 @@ pub fn attack_matrix_row_adv(
             diva_attack_traced(&victim.original, &victim.qat, xi, yi, c, cfg, hook)
         }
         AttackKind::DivaSemiBlackbox(c) => {
-            let s = surrogates.expect("semi-blackbox needs prepared surrogates");
+            let s = surrogates.expect("checked before the fan-out");
             diva_attack_traced(
                 &s.semi.surrogate_original,
                 &s.semi.recovered_adapted,
@@ -368,7 +597,7 @@ pub fn attack_matrix_row_adv(
             )
         }
         AttackKind::DivaBlackbox(c) => {
-            let s = surrogates.expect("blackbox needs prepared surrogates");
+            let s = surrogates.expect("checked before the fan-out");
             diva_attack_traced(
                 &s.black.surrogate_original,
                 &s.black.surrogate_adapted,
@@ -391,7 +620,7 @@ pub fn attack_matrix_row_adv(
         jobs = diva_par::jobs().min(attack_set.len().max(1)),
         gen_seconds = gen_seconds,
     );
-    let counts = if gen.tracked {
+    let outcomes = if gen.tracked {
         evaluate_outcomes_with_flips(
             &victim.original,
             &victim.qat,
@@ -399,16 +628,21 @@ pub fn attack_matrix_row_adv(
             labels,
             &gen.first_flips,
         )
-        .into_iter()
-        .collect()
     } else {
-        evaluate_attack(&victim.original, &victim.qat, &adv, labels)
+        evaluate_outcomes(&victim.original, &victim.qat, &adv, labels)
     };
+    // Samples whose trajectory failed (worker panic, divergence budget) are
+    // counted explicitly instead of polluting the success metrics.
+    let counts: SuccessCounts = outcomes
+        .into_iter()
+        .zip(&gen.failed)
+        .map(|(o, &f)| if f { o.as_failed() } else { o })
+        .collect();
     let cdelta = confidence_delta(&victim.original, &victim.qat, &adv, labels);
     let max_dssim = (0..attack_set.len())
         .map(|i| dssim(&x.index_batch(i), &adv.index_batch(i)))
         .fold(0.0f32, f32::max);
-    (
+    Ok((
         AttackRow {
             counts,
             confidence_delta: cdelta,
@@ -416,7 +650,7 @@ pub fn attack_matrix_row_adv(
             gen_seconds,
         },
         adv,
-    )
+    ))
 }
 
 /// Formats a percentage for table output.

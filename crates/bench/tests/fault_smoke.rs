@@ -1,0 +1,154 @@
+//! End-to-end fault drills: run `repro smoke` as a subprocess under each
+//! `DIVA_FAULT` class and assert the run *completes* (exit 0), reports an
+//! explicit nonzero `failed` count, and leaves trace evidence of the
+//! injected fault in `metrics.json`. Also pins the flip side: with no plan
+//! armed, smoke output is byte-identical across `DIVA_JOBS` settings and
+//! prints no fault lines at all.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs `repro smoke` with the given env pairs, returning (stdout, trace
+/// dir). Panics if the process fails to spawn or exits nonzero.
+fn run_smoke(tag: &str, envs: &[(&str, &str)]) -> (String, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "diva_fault_smoke_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.arg("smoke")
+        .env_remove("DIVA_FAULT")
+        .env_remove("DIVA_TRACE")
+        .env_remove("DIVA_RESUME")
+        .env("DIVA_TRACE_DIR", &dir)
+        // Archive reports into the scratch dir too, so parallel tests (and
+        // the developer's own repro_out/) never collide.
+        .current_dir(&dir);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn repro smoke");
+    assert!(
+        out.status.success(),
+        "repro smoke under {envs:?} must exit 0 (graceful degradation), got {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (String::from_utf8_lossy(&out.stdout).into_owned(), dir)
+}
+
+/// Parses `failed=N` out of the smoke report's fault summary line.
+fn failed_count(stdout: &str) -> usize {
+    let line = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("fault: failed="))
+        .unwrap_or_else(|| panic!("no fault summary line in:\n{stdout}"));
+    line.trim_start()
+        .trim_start_matches("fault: failed=")
+        .split_whitespace()
+        .next()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable fault line: {line}"))
+}
+
+/// Reads the named counter from the run's metrics.json.
+fn counter(dir: &std::path::Path, name: &str) -> u64 {
+    let text = std::fs::read_to_string(dir.join("metrics.json"))
+        .expect("faulted run must still write metrics.json");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("metrics.json parses");
+    v["counters"][name].as_f64().unwrap_or(0.0) as u64
+}
+
+fn drill(tag: &str, plan: &str, evidence_counter: &str) -> (String, PathBuf) {
+    let (stdout, dir) = run_smoke(tag, &[("DIVA_FAULT", plan), ("DIVA_TRACE", "1")]);
+    assert!(
+        stdout.contains(&format!("fault: plan '{plan}' armed")),
+        "armed plan must be reported:\n{stdout}"
+    );
+    assert!(
+        failed_count(&stdout) > 0,
+        "plan `{plan}` must produce a nonzero failed count:\n{stdout}"
+    );
+    assert!(
+        counter(&dir, evidence_counter) > 0,
+        "plan `{plan}` must bump {evidence_counter} in metrics.json"
+    );
+    (stdout, dir)
+}
+
+#[test]
+fn grad_nan_sticky_fails_images_but_completes() {
+    let (stdout, _) = drill(
+        "grad_nan",
+        "grad-nan:sticky=1",
+        "fault.injected.grad_nan",
+    );
+    // Sticky step-1 poison exhausts the guard budget on every image of
+    // both fan-outs: 16 PGD + 16 DIVA.
+    assert!(stdout.contains("(images 32,"), "all images fail:\n{stdout}");
+}
+
+#[test]
+fn grad_inf_transient_recovers_with_zero_failures() {
+    // A transient (non-sticky) poison is recovered by one guard retry, so
+    // the run is degraded-but-successful: failed counts stay zero.
+    let (stdout, dir) = run_smoke(
+        "grad_inf",
+        &[("DIVA_FAULT", "grad-inf:step=2"), ("DIVA_TRACE", "1")],
+    );
+    assert_eq!(failed_count(&stdout), 0, "{stdout}");
+    assert!(counter(&dir, "fault.injected.grad_inf") > 0);
+    assert!(
+        counter(&dir, "attack.guard_recoveries") > 0,
+        "guard must log its recoveries"
+    );
+}
+
+#[test]
+fn worker_panic_fails_one_item_per_fanout() {
+    let (stdout, dir) = drill(
+        "worker_panic",
+        "worker-panic:item=3",
+        "fault.injected.worker_panic",
+    );
+    // Item 3 dies in the PGD fan-out and the DIVA fan-out; the other 15
+    // images of each batch still complete.
+    assert!(stdout.contains("(images 2,"), "{stdout}");
+    assert_eq!(counter(&dir, "par.item_panics"), 2);
+    assert_eq!(counter(&dir, "attack.failed_images"), 2);
+}
+
+#[test]
+fn bitflip_is_caught_by_the_weight_checksum() {
+    let (stdout, _) = drill("bitflip", "bitflip:count=8", "fault.injected.bitflip");
+    assert!(stdout.contains("integrity 1"), "{stdout}");
+}
+
+#[test]
+fn file_faults_are_caught_by_the_checkpoint_footer() {
+    let (stdout, _) = drill(
+        "file_truncate",
+        "file-truncate:bytes=64",
+        "fault.injected.file_truncate",
+    );
+    assert!(stdout.contains("checkpoint 1"), "{stdout}");
+    let (stdout, _) = drill(
+        "file_corrupt",
+        "file-corrupt:count=4",
+        "fault.injected.file_corrupt",
+    );
+    assert!(stdout.contains("checkpoint 1"), "{stdout}");
+}
+
+#[test]
+fn unarmed_smoke_is_byte_identical_across_job_counts() {
+    // The fault/degradation machinery must be invisible when disarmed: no
+    // fault lines, and the exact same bytes whether the fan-out runs
+    // serially or on 4 workers.
+    let (serial, _) = run_smoke("jobs1", &[("DIVA_JOBS", "1")]);
+    let (parallel, _) = run_smoke("jobs4", &[("DIVA_JOBS", "4")]);
+    assert!(!serial.contains("fault:"), "{serial}");
+    assert_eq!(serial, parallel, "smoke output must not depend on DIVA_JOBS");
+}

@@ -1,0 +1,115 @@
+//! Checkpoint/resume drills for the prepare phases: a second run reloads
+//! the persisted victim instead of retraining, a corrupted checkpoint is
+//! rejected (typed, not a panic) and transparently rebuilt, and a
+//! fingerprint mismatch (changed scale) never resurrects stale state.
+
+use diva_bench::suite::{
+    prepare_surrogates_resumable, prepare_victim_resumable, ExperimentScale,
+};
+use diva_models::Architecture;
+use diva_nn::train::TrainCfg;
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        train_n: 160,
+        val_pool_n: 128,
+        attacker_n: 64,
+        per_class_val: 2,
+        train_cfg: TrainCfg {
+            epochs: 2,
+            batch_size: 32,
+            lr: 0.03,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+        qat_cfg: TrainCfg {
+            epochs: 1,
+            batch_size: 32,
+            lr: 0.004,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        ..ExperimentScale::quick()
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("diva_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn victim_checkpoint_resumes_rejects_corruption_and_rebuilds() {
+    let scale = tiny_scale();
+    let dir = scratch_dir("victim");
+    let arch = Architecture::MobileNet;
+
+    // First run builds and checkpoints.
+    let (built, resumed) = prepare_victim_resumable(arch, &scale, Some(&dir));
+    assert!(!resumed, "nothing to resume on the first run");
+    let ckpt = dir.join(format!("victim-{arch:?}.ckpt"));
+    assert!(ckpt.exists(), "first run must leave a checkpoint");
+
+    // Second run resumes bit-identical model state (data splits are
+    // regenerated from the seed, not persisted).
+    let (reloaded, resumed) = prepare_victim_resumable(arch, &scale, Some(&dir));
+    assert!(resumed, "second run must resume from the checkpoint");
+    assert_eq!(reloaded.original.params(), built.original.params());
+    assert_eq!(reloaded.original_acc, built.original_acc);
+    assert_eq!(reloaded.qat_acc, built.qat_acc);
+    assert_eq!(
+        serde_json::to_string(&reloaded.engine).unwrap(),
+        serde_json::to_string(&built.engine).unwrap(),
+        "deployed engine must round-trip exactly (incl. its weight checksum)"
+    );
+    assert_eq!(reloaded.train.len(), built.train.len());
+
+    // Corrupt a payload byte: the footer checksum must reject it and the
+    // phase must rebuild (no panic, no half-loaded state) and re-seal a
+    // valid checkpoint.
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    let (rebuilt, resumed) = prepare_victim_resumable(arch, &scale, Some(&dir));
+    assert!(!resumed, "a corrupt checkpoint must not be resumed");
+    assert_eq!(rebuilt.original.params(), built.original.params());
+    let (_, resumed) = prepare_victim_resumable(arch, &scale, Some(&dir));
+    assert!(resumed, "the rebuild must have re-sealed a valid checkpoint");
+
+    // A different scale fingerprints differently: the stale checkpoint is
+    // rejected instead of silently reusing the wrong models.
+    let other = ExperimentScale {
+        seed: scale.seed ^ 1,
+        ..tiny_scale()
+    };
+    let (_, resumed) = prepare_victim_resumable(arch, &other, Some(&dir));
+    assert!(!resumed, "fingerprint mismatch must force a rebuild");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn surrogate_checkpoint_round_trips() {
+    let scale = tiny_scale();
+    let dir = scratch_dir("surrogates");
+    let (victim, _) = prepare_victim_resumable(Architecture::ResNet, &scale, Some(&dir));
+
+    let (built, resumed) = prepare_surrogates_resumable(&victim, &scale, Some(&dir));
+    assert!(!resumed);
+    assert!(dir.join("surrogates-ResNet.ckpt").exists());
+    let (reloaded, resumed) = prepare_surrogates_resumable(&victim, &scale, Some(&dir));
+    assert!(resumed, "second run must resume the surrogate bundle");
+    assert_eq!(
+        serde_json::to_string(&reloaded.semi).unwrap(),
+        serde_json::to_string(&built.semi).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&reloaded.black).unwrap(),
+        serde_json::to_string(&built.black).unwrap()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -43,7 +43,8 @@ fn victim_preparation_and_attack_rows() {
     }
     let cfg = AttackCfg::with_steps(3);
     for kind in [AttackKind::Pgd, AttackKind::DivaWhitebox(1.0)] {
-        let row = attack_matrix_row(&victim, &attack_set, kind, &cfg, None);
+        let row = attack_matrix_row(&victim, &attack_set, kind, &cfg, None)
+            .expect("no surrogate-based kinds are queued here");
         assert_eq!(row.counts.total, attack_set.len());
         assert!(row.counts.top1 <= row.counts.total);
         assert!(row.counts.top5 <= row.counts.top1);

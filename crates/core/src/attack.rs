@@ -65,6 +65,32 @@ pub struct StepInfo<'a> {
     pub grad_sign_agreement: f32,
 }
 
+/// Outcome of the divergence guard for the most recent [`projected_ascent`]
+/// call on this thread (fetch with [`take_guard_report`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardReport {
+    /// Times the guard rolled back to the last finite iterate.
+    pub recoveries: usize,
+    /// The recovery budget ran out: the returned image is the last finite
+    /// iterate and the sample should be reported as failed.
+    pub failed: bool,
+}
+
+/// How many rollbacks the divergence guard attempts before giving up on a
+/// sample.
+const RECOVERY_BUDGET: usize = 6;
+
+thread_local! {
+    static GUARD_REPORT: std::cell::Cell<GuardReport> =
+        const { std::cell::Cell::new(GuardReport { recoveries: 0, failed: false }) };
+}
+
+/// Takes (and resets) the guard report left by the last
+/// [`projected_ascent`] run on the calling thread.
+pub fn take_guard_report() -> GuardReport {
+    GUARD_REPORT.with(|c| c.take())
+}
+
 /// The projected gradient-ascent driver shared by every attack (Eq. 3):
 ///
 /// `x_{t+1} = Clip_{x,ε}( x_t + α · sign(g_t) )`
@@ -80,6 +106,16 @@ pub struct StepInfo<'a> {
 /// `on_step` is called after every step with a [`StepInfo`] — the hook used
 /// to record success-vs-steps curves (Fig. 6d), first-flip steps, and the
 /// `attack.step` trace events.
+///
+/// # Divergence guard
+///
+/// A non-finite loss or gradient (from numerical blow-up, or injected via
+/// `diva-fault`) does not poison the trajectory: the driver rolls back to
+/// the last finite iterate, halves the step size, and retries the step,
+/// up to a fixed budget. When the budget runs out, the last finite iterate
+/// is returned and the thread-local [`GuardReport`] is marked failed so
+/// callers can record the sample as `failed` instead of trusting a
+/// corrupted image.
 pub fn projected_ascent(
     x_nat: &Tensor,
     cfg: &AttackCfg,
@@ -88,11 +124,46 @@ pub fn projected_ascent(
 ) -> Tensor {
     let _run = diva_trace::span(1, "attack.run");
     let mut x = x_nat.clone();
+    let mut last_good = x.clone();
     let mut velocity = x_nat.zeros_like();
     let mut prev_sign: Option<Tensor> = None;
-    for t in 1..=cfg.steps {
+    let mut alpha = cfg.alpha;
+    let mut report = GuardReport::default();
+    // Whether this is the first attempt at the current step; a rollback
+    // clears it so transient (non-sticky) injected faults fire only once.
+    let mut fresh = true;
+    let mut t = 1;
+    while t <= cfg.steps {
         let _step = diva_trace::span(1, "attack.step");
-        let (loss, g) = grad_fn(&x);
+        let (loss, mut g) = grad_fn(&x);
+        if diva_fault::armed() {
+            if let Some(poison) = diva_fault::grad_fault(t, fresh) {
+                g.data_mut()[0] = poison;
+            }
+        }
+        if !loss.is_finite() || g.data().iter().any(|v| !v.is_finite()) {
+            report.recoveries += 1;
+            diva_trace::counter!("attack.guard_recoveries", 1);
+            diva_trace::event!(
+                1,
+                "attack.divergence",
+                step = t,
+                recoveries = report.recoveries,
+                loss_finite = loss.is_finite(),
+            );
+            if report.recoveries > RECOVERY_BUDGET {
+                report.failed = true;
+                diva_trace::counter!("attack.guard_failures", 1);
+                diva_trace::event!(1, "attack.guard_failed", step = t);
+                x = last_good;
+                break;
+            }
+            x = last_good.clone();
+            alpha *= 0.5;
+            fresh = false;
+            continue;
+        }
+        fresh = true;
         let dir = if cfg.momentum > 0.0 {
             // Momentum PGD (Dong et al.): g/||g||_1 accumulated.
             let norm1 = g.norm1().max(1e-12);
@@ -115,8 +186,9 @@ pub fn projected_ascent(
             }
             None => 1.0,
         };
-        x.axpy(cfg.alpha, &sign);
+        x.axpy(alpha, &sign);
         x = clip_to_ball(&x, x_nat, cfg.eps);
+        last_good = x.clone();
         diva_trace::counter!("attack.steps", 1);
         diva_trace::event!(
             2,
@@ -132,7 +204,9 @@ pub fn projected_ascent(
             grad_sign_agreement,
         });
         prev_sign = Some(sign);
+        t += 1;
     }
+    GUARD_REPORT.with(|c| c.set(report));
     x
 }
 
@@ -542,6 +616,65 @@ mod tests {
             agreements.iter().all(|a| (0.0..=1.0).contains(a)),
             "agreement is a fraction: {agreements:?}"
         );
+    }
+
+    #[test]
+    fn divergence_guard_recovers_then_fails_when_sticky() {
+        let _lock = diva_fault::test_lock();
+        let (_, qat, x, labels) = setup();
+        let cfg = AttackCfg::with_steps(6);
+        // Scope the injected faults to a synthetic item id so concurrently
+        // running tests (which never enter item 777) are unaffected.
+        let _scope = diva_fault::ItemScope::enter(777);
+
+        // Transient poison at step 3: one rollback, then the retry is clean.
+        let plan = diva_fault::FaultPlan::parse("grad-nan:step=3,item=777").unwrap();
+        diva_fault::set_plan(Some(plan));
+        let mut steps = Vec::new();
+        let adv = pgd_attack_traced(&qat, &x, &labels, &cfg, |info| steps.push(info.step));
+        let rep = take_guard_report();
+        assert_eq!(rep.recoveries, 1);
+        assert!(!rep.failed);
+        assert_eq!(steps, (1..=6).collect::<Vec<_>>(), "all steps completed");
+        assert!(linf_distance(&adv, &x) <= cfg.eps + 1e-6);
+
+        // Sticky poison refires on every retry: the budget runs out and the
+        // sample is marked failed, but the output is still a finite iterate
+        // inside the budget ball.
+        let plan = diva_fault::FaultPlan::parse("grad-inf:step=2,item=777,sticky=1").unwrap();
+        diva_fault::set_plan(Some(plan));
+        let adv = pgd_attack_traced(&qat, &x, &labels, &cfg, |_| {});
+        diva_fault::set_plan(None);
+        let rep = take_guard_report();
+        assert!(rep.failed);
+        assert!(rep.recoveries > 1);
+        assert!(adv.data().iter().all(|v| v.is_finite()));
+        assert!(linf_distance(&adv, &x) <= cfg.eps + 1e-6);
+    }
+
+    #[test]
+    fn guard_handles_natural_nan_loss() {
+        // No fault plan at all: a grad_fn that genuinely returns NaN on one
+        // step must be recovered from by the always-on finiteness scan.
+        let x = Tensor::full(&[1, 1, 2, 2], 0.5);
+        let mut calls = 0usize;
+        let adv = projected_ascent(
+            &x,
+            &AttackCfg::with_steps(3),
+            |xi| {
+                calls += 1;
+                if calls == 2 {
+                    (f32::NAN, xi.zeros_like())
+                } else {
+                    (0.0, xi.zeros_like().add_scalar(1.0))
+                }
+            },
+            |_| {},
+        );
+        let rep = take_guard_report();
+        assert_eq!(rep.recoveries, 1);
+        assert!(!rep.failed);
+        assert!(adv.data().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use diva_nn::train::gather;
 use diva_nn::Infer;
 use diva_tensor::Tensor;
 
-use crate::attack::StepInfo;
+use crate::attack::{take_guard_report, StepInfo};
 use crate::pipeline::FirstFlipTracker;
 
 /// Merged result of a per-image attack fan-out.
@@ -33,6 +33,12 @@ pub struct ParAttackOutput {
     /// Whether a watch model observed the trajectories (i.e. whether
     /// `first_flips` carries information).
     pub tracked: bool,
+    /// Per-image failure flags: `true` where the trajectory's worker
+    /// panicked or the divergence guard's recovery budget ran out. Failed
+    /// slots carry the *natural* image in `adv` (a failed attack is a
+    /// no-op attack), so downstream evaluation stays shape-stable while
+    /// `SuccessCounts::failed` reports the loss honestly.
+    pub failed: Vec<bool>,
 }
 
 /// Generates one adversarial example per image of `x_nat`, in parallel.
@@ -61,7 +67,9 @@ where
     let n = x_nat.dims()[0];
     assert_eq!(labels.len(), n, "labels/batch mismatch");
     let _span = diva_trace::span(1, "attack.par_images");
-    let per_image = diva_par::par_map_indexed(n, |i| {
+    let per_image = diva_par::par_map_indexed_catch(n, |i| {
+        let _scope = diva_fault::ItemScope::enter(i);
+        diva_fault::maybe_panic(i);
         let xi = gather(x_nat, &[i]);
         let yi = [labels[i]];
         let mut tracker = watch.map(|m| FirstFlipTracker::new(m, &xi));
@@ -74,18 +82,38 @@ where
             attack(i, &xi, &yi, &mut hook)
         };
         let flip = tracker.and_then(|t| t.first_flips()[0]);
-        (adv_i.index_batch(0), flip)
+        let guard_failed = take_guard_report().failed;
+        (adv_i.index_batch(0), flip, guard_failed)
     });
     let mut samples = Vec::with_capacity(n);
     let mut first_flips = Vec::with_capacity(n);
-    for (sample, flip) in per_image {
-        samples.push(sample);
-        first_flips.push(flip);
+    let mut failed = Vec::with_capacity(n);
+    for (i, item) in per_image.into_iter().enumerate() {
+        match item {
+            Ok((sample, flip, guard_failed)) => {
+                samples.push(sample);
+                first_flips.push(flip);
+                failed.push(guard_failed);
+            }
+            Err(message) => {
+                // The worker died mid-trajectory; keep the batch whole with
+                // the untouched natural image and record the failure.
+                samples.push(x_nat.index_batch(i));
+                first_flips.push(None);
+                failed.push(true);
+                diva_trace::event!(1, "attack.image_failed", item = i, message = message);
+            }
+        }
+    }
+    let n_failed = failed.iter().filter(|&&f| f).count();
+    if n_failed > 0 {
+        diva_trace::counter!("attack.failed_images", n_failed as u64);
     }
     ParAttackOutput {
         adv: Tensor::stack(&samples),
         first_flips,
         tracked: watch.is_some(),
+        failed,
     }
 }
 
@@ -118,6 +146,7 @@ mod tests {
 
     #[test]
     fn parallel_equals_serial_bitwise() {
+        let _lock = diva_fault::test_lock(); // an armed panic plan would poison this
         let (net, qat, x, labels) = victim();
         let cfg = AttackCfg::with_steps(4);
         let run = |jobs: usize| {
@@ -137,6 +166,7 @@ mod tests {
 
     #[test]
     fn matches_handwritten_per_image_loop() {
+        let _lock = diva_fault::test_lock(); // an armed panic plan would poison this
         let (_net, qat, x, labels) = victim();
         let cfg = AttackCfg::with_steps(3);
         diva_par::set_jobs(2);
@@ -155,5 +185,37 @@ mod tests {
                 "image {i} differs from the serial per-image loop"
             );
         }
+    }
+
+    #[test]
+    fn worker_panic_fails_one_image_and_completes_batch() {
+        let _lock = diva_fault::test_lock();
+        let (_net, qat, x, labels) = victim();
+        let cfg = AttackCfg::with_steps(2);
+        let plan = diva_fault::FaultPlan::parse("worker-panic:item=3").unwrap();
+        diva_fault::set_plan(Some(plan));
+        for jobs in [1, 4] {
+            diva_par::set_jobs(jobs);
+            let out = par_attack_images(&x, &labels, None::<&QatNetwork>, |_, xi, yi, hook| {
+                pgd_attack_traced(&qat, xi, yi, &cfg, hook)
+            });
+            diva_par::set_jobs(0);
+            assert_eq!(
+                out.failed,
+                vec![false, false, false, true, false, false],
+                "exactly item 3 fails at jobs={jobs}"
+            );
+            // The failed slot carries the untouched natural image; every
+            // other image was still attacked.
+            assert_eq!(out.adv.index_batch(3).data(), x.index_batch(3).data());
+            for i in [0usize, 1, 2, 4, 5] {
+                assert_ne!(
+                    out.adv.index_batch(i).data(),
+                    x.index_batch(i).data(),
+                    "image {i} should have been perturbed"
+                );
+            }
+        }
+        diva_fault::set_plan(None);
     }
 }

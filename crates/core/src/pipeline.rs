@@ -84,6 +84,7 @@ pub fn evaluate_outcomes<O: Infer + ?Sized, A: Infer + ?Sized>(
                 adapted_correct: a_pred == labels[i],
                 adapted_pred_in_original_top5: o_row.topk(5).contains(&a_pred),
                 first_flip_step: None,
+                failed: false,
             }
         })
         .collect()
@@ -132,7 +133,9 @@ pub fn whitebox_diva<O: DiffModel + ?Sized, A: DiffModel + ?Sized>(
 }
 
 /// Everything the semi-blackbox attacker builds before attacking.
-#[derive(Debug, Clone)]
+/// Serializable so the bench suite can checkpoint prepared surrogates and
+/// resume an interrupted experiment without re-distilling.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SemiBlackboxAssets {
     /// The distilled full-precision surrogate of the original model.
     pub surrogate_original: Network,
@@ -183,7 +186,9 @@ pub fn semi_blackbox_diva(
 }
 
 /// Everything the blackbox attacker builds before attacking.
-#[derive(Debug, Clone)]
+/// Serializable for the same checkpoint/resume path as
+/// [`SemiBlackboxAssets`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct BlackboxAssets {
     /// Query-distilled full-precision surrogate.
     pub surrogate_original: Network,

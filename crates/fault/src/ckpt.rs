@@ -1,0 +1,189 @@
+//! Checkpoint files with a length+checksum footer and atomic write-rename.
+//!
+//! Format: `payload bytes` followed by a fixed 24-byte footer —
+//! `b"DIVACKP1"` (magic + version), payload length as `u64` LE, and the
+//! FNV-1a 64 checksum of the payload as `u64` LE. The footer makes
+//! truncation (length mismatch) and corruption (checksum mismatch)
+//! detectable without parsing the payload, and the tmp-sibling + rename
+//! write means a crash mid-write leaves either the old file or no file,
+//! never a half-written one.
+//!
+//! Armed file faults ([`crate::corrupt_file_bytes`]) are applied to the
+//! complete on-disk image (payload + footer) just before the write, so a
+//! faulted save produces exactly the corrupt artifact the read side must
+//! reject.
+
+use std::path::Path;
+
+/// Footer magic + format version.
+pub const MAGIC: &[u8; 8] = b"DIVACKP1";
+
+/// Total footer size in bytes.
+pub const FOOTER_LEN: usize = 24;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Structurally invalid checkpoint (bad magic, truncated, checksum
+    /// mismatch); the message says which check failed.
+    Format(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            CkptError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// Writes `payload` to `path` with the integrity footer, atomically: the
+/// bytes land in a tmp sibling first and are renamed into place. Armed file
+/// faults corrupt the on-disk image (that is the point of injecting them);
+/// the fault fires on the *file*, not on the caller's payload.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Io`] on filesystem failures.
+pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), CkptError> {
+    let path = path.as_ref();
+    let mut image = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    image.extend_from_slice(payload);
+    image.extend_from_slice(MAGIC);
+    image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    image.extend_from_slice(&crate::fnv1a64(payload).to_le_bytes());
+    crate::corrupt_file_bytes(&mut image);
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, &image)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e.into())
+        }
+    }
+}
+
+/// Reads a checkpoint written by [`write_atomic`], returning the verified
+/// payload.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Io`] when the file cannot be read and
+/// [`CkptError::Format`] when the footer is missing, the magic or length
+/// does not match, or the checksum disagrees with the payload.
+pub fn read_verified(path: impl AsRef<Path>) -> Result<Vec<u8>, CkptError> {
+    let mut image = std::fs::read(path.as_ref())?;
+    if image.len() < FOOTER_LEN {
+        return Err(CkptError::Format(format!(
+            "{} bytes is too short for the {FOOTER_LEN}-byte footer",
+            image.len()
+        )));
+    }
+    let footer_at = image.len() - FOOTER_LEN;
+    let (magic, rest) = image[footer_at..].split_at(8);
+    if magic != MAGIC {
+        return Err(CkptError::Format("bad magic / unsupported version".into()));
+    }
+    let len = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes")) as usize;
+    let crc = u64::from_le_bytes(rest[8..].try_into().expect("8 bytes"));
+    if len != footer_at {
+        return Err(CkptError::Format(format!(
+            "length mismatch: footer says {len}, file holds {footer_at}"
+        )));
+    }
+    image.truncate(footer_at);
+    let got = crate::fnv1a64(&image);
+    if got != crc {
+        return Err(CkptError::Format(format!(
+            "checksum mismatch: footer {crc:#018x}, payload {got:#018x}"
+        )));
+    }
+    Ok(image)
+}
+
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "ckpt".into());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("diva_fault_ckpt_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_leaves_no_tmp_file() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("a.ckpt");
+        let payload = b"the quick brown fox".to_vec();
+        write_atomic(&path, &payload).unwrap();
+        assert_eq!(read_verified(&path).unwrap(), payload);
+        assert!(!tmp_sibling(&path).exists(), "tmp sibling must be renamed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_truncation_corruption_and_bad_magic() {
+        let dir = tmp_dir("detect");
+        let path = dir.join("b.ckpt");
+        let payload = vec![7u8; 256];
+        write_atomic(&path, &payload).unwrap();
+
+        // Truncation: length check fires.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert!(matches!(read_verified(&path), Err(CkptError::Format(_))));
+
+        // Flipped payload byte: checksum check fires.
+        let mut flipped = full.clone();
+        flipped[10] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(read_verified(&path), Err(CkptError::Format(_))));
+
+        // Wrong version in the magic: magic check fires.
+        let mut wrong = full.clone();
+        let at = wrong.len() - FOOTER_LEN + 7;
+        wrong[at] = b'9';
+        std::fs::write(&path, &wrong).unwrap();
+        assert!(matches!(read_verified(&path), Err(CkptError::Format(_))));
+
+        // Too short for any footer.
+        std::fs::write(&path, b"tiny").unwrap();
+        assert!(matches!(read_verified(&path), Err(CkptError::Format(_))));
+
+        // Missing file is Io, not Format.
+        assert!(matches!(
+            read_verified(dir.join("missing.ckpt")),
+            Err(CkptError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

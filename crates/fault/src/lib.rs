@@ -1,0 +1,643 @@
+//! diva-fault: deterministic fault injection + checkpoint integrity.
+//!
+//! The paper's deployment story (§4.3) pushes model files to flaky edge
+//! devices and reads them back; a robust reproduction harness must survive
+//! the failure modes that story implies — NaNs mid-ascent, a crashed
+//! worker, a truncated model file — and report partial results instead of
+//! dying. This crate provides the *injection* half: an env-gated,
+//! deterministic fault plan that the instrumented layers (attack driver,
+//! parallel fan-out, engine deployment, persistence) consult at well-defined
+//! points. The *degradation* half lives at those call sites.
+//!
+//! - **Off by default, zero-cost when off.** [`armed`] is a single relaxed
+//!   atomic load; no plan is parsed and no call site changes behaviour
+//!   unless `DIVA_FAULT` is set (or a test installs a plan via
+//!   [`set_plan`]).
+//! - **Deterministic and replayable.** Faults are keyed by *predicates*
+//!   (item index, step index, seeded bit positions), never by wall-clock or
+//!   global countdowns, so the same plan produces the same faults for every
+//!   `DIVA_JOBS` setting — the fault plan is part of the seed (DESIGN.md
+//!   §7/§8).
+//! - **Observable.** Every injected fault emits a `diva-trace` event and
+//!   bumps a `fault.injected.*` counter, so a faulted run leaves evidence.
+//!
+//! # Plan grammar
+//!
+//! `DIVA_FAULT` holds `;`-separated fault specs, each
+//! `class[:key=value,...]`:
+//!
+//! | class           | keys                  | effect                                      |
+//! |-----------------|-----------------------|---------------------------------------------|
+//! | `grad-nan`      | `step`, `item`, `sticky` | NaN into the attack gradient at `step`   |
+//! | `grad-inf`      | `step`, `item`, `sticky` | +inf into the attack gradient at `step`  |
+//! | `worker-panic`  | `item`                | panic the worker processing item `item`     |
+//! | `bitflip`       | `count`, `seed`       | flip `count` bits in deployed int8 weights  |
+//! | `file-truncate` | `bytes`               | drop the last `bytes` bytes of saved files  |
+//! | `file-corrupt`  | `count`, `seed`       | flip `count` bits in saved file payloads    |
+//!
+//! `sticky=1` re-injects on retries, guaranteeing the divergence guard's
+//! budget is exhausted (a deterministic *failure*); the default transient
+//! fault fires once per `(item, step)` and is recovered by a single retry.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+pub mod ckpt;
+
+/// 0 = not yet read from env, 1 = disarmed, 2 = armed.
+static ARMED: AtomicU8 = AtomicU8::new(0);
+
+/// The installed plan (env-parsed or test-injected).
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+thread_local! {
+    /// Index of the work item the current thread is processing, for
+    /// item-filtered fault predicates.
+    static CURRENT_ITEM: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// True when a fault plan is installed. The disarmed path is a single
+/// relaxed atomic load after the first call.
+#[inline]
+pub fn armed() -> bool {
+    match ARMED.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        1 => false,
+        _ => true,
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let parsed = std::env::var("DIVA_FAULT")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| FaultPlan::parse(&s));
+    let mut guard = lock_plan();
+    // A plan installed by set_plan between the atomic read and here wins.
+    if ARMED.load(Ordering::Relaxed) != 0 {
+        return guard.is_some();
+    }
+    match parsed {
+        Some(Ok(plan)) => {
+            diva_trace::event!(1, "fault.armed", spec = plan.spec.clone());
+            *guard = Some(plan);
+            ARMED.store(2, Ordering::Relaxed);
+            true
+        }
+        Some(Err(e)) => {
+            eprintln!("[diva-fault] ignoring invalid DIVA_FAULT: {e}");
+            ARMED.store(1, Ordering::Relaxed);
+            false
+        }
+        None => {
+            ARMED.store(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+fn lock_plan() -> std::sync::MutexGuard<'static, Option<FaultPlan>> {
+    PLAN.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Installs (or clears, with `None`) a fault plan in-process, taking
+/// precedence over the environment. Intended for tests.
+pub fn set_plan(plan: Option<FaultPlan>) {
+    let mut guard = lock_plan();
+    ARMED.store(if plan.is_some() { 2 } else { 1 }, Ordering::Relaxed);
+    *guard = plan;
+}
+
+/// Runs `f` with a snapshot of the installed plan.
+fn with_plan<R>(f: impl FnOnce(&FaultPlan) -> R) -> Option<R> {
+    if !armed() {
+        return None;
+    }
+    lock_plan().as_ref().map(f)
+}
+
+/// One fault spec from the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Poison the attack gradient at a chosen step (1-based).
+    GradPoison {
+        /// NaN (`true`) or +inf (`false`).
+        nan: bool,
+        /// 1-based attack step to poison.
+        step: usize,
+        /// Restrict to one work item; `None` poisons every item.
+        item: Option<usize>,
+        /// Re-inject on guard retries (guaranteed failure) instead of
+        /// firing once per `(item, step)`.
+        sticky: bool,
+    },
+    /// Panic the worker processing a given item.
+    WorkerPanic {
+        /// Item index whose worker panics.
+        item: usize,
+    },
+    /// Flip bits in deployed int8 engine weights.
+    BitFlip {
+        /// Number of bits to flip.
+        count: usize,
+        /// Seed for the bit positions.
+        seed: u64,
+    },
+    /// Drop the last `bytes` bytes of persisted files.
+    FileTruncate {
+        /// Bytes to drop (clamped to the file size).
+        bytes: usize,
+    },
+    /// Flip bits in persisted file payloads.
+    FileCorrupt {
+        /// Number of bits to flip.
+        count: usize,
+        /// Seed for the bit positions.
+        seed: u64,
+    },
+}
+
+/// A parsed `DIVA_FAULT` plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults, in spec order.
+    pub faults: Vec<Fault>,
+    /// The original spec string (for reporting).
+    pub spec: String,
+}
+
+impl FaultPlan {
+    /// Parses the `DIVA_FAULT` grammar (see the crate docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown classes, unknown keys,
+    /// or unparseable values.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (class, args) = match part.split_once(':') {
+                Some((c, a)) => (c.trim(), a),
+                None => (part, ""),
+            };
+            let mut kv = std::collections::BTreeMap::new();
+            for pair in args.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("`{pair}` is not key=value (in `{part}`)"))?;
+                kv.insert(k.trim().to_string(), v.trim().to_string());
+            }
+            let get_usize = |kv: &std::collections::BTreeMap<String, String>,
+                             key: &str,
+                             default: usize|
+             -> Result<usize, String> {
+                match kv.get(key) {
+                    Some(v) => v.parse().map_err(|_| format!("bad {key}={v} in `{part}`")),
+                    None => Ok(default),
+                }
+            };
+            let get_u64 = |kv: &std::collections::BTreeMap<String, String>,
+                           key: &str,
+                           default: u64|
+             -> Result<u64, String> {
+                match kv.get(key) {
+                    Some(v) => v.parse().map_err(|_| format!("bad {key}={v} in `{part}`")),
+                    None => Ok(default),
+                }
+            };
+            let known = |allowed: &[&str]| -> Result<(), String> {
+                for k in kv.keys() {
+                    if !allowed.contains(&k.as_str()) {
+                        return Err(format!("unknown key `{k}` in `{part}`"));
+                    }
+                }
+                Ok(())
+            };
+            let fault = match class {
+                "grad-nan" | "grad-inf" => {
+                    known(&["step", "item", "sticky"])?;
+                    Fault::GradPoison {
+                        nan: class == "grad-nan",
+                        step: get_usize(&kv, "step", 1)?,
+                        item: kv
+                            .get("item")
+                            .map(|v| v.parse().map_err(|_| format!("bad item={v} in `{part}`")))
+                            .transpose()?,
+                        sticky: get_usize(&kv, "sticky", 0)? != 0,
+                    }
+                }
+                "worker-panic" => {
+                    known(&["item"])?;
+                    Fault::WorkerPanic {
+                        item: get_usize(&kv, "item", 0)?,
+                    }
+                }
+                "bitflip" => {
+                    known(&["count", "seed"])?;
+                    Fault::BitFlip {
+                        count: get_usize(&kv, "count", 1)?,
+                        seed: get_u64(&kv, "seed", 0x5EED)?,
+                    }
+                }
+                "file-truncate" => {
+                    known(&["bytes"])?;
+                    Fault::FileTruncate {
+                        bytes: get_usize(&kv, "bytes", 16)?,
+                    }
+                }
+                "file-corrupt" => {
+                    known(&["count", "seed"])?;
+                    Fault::FileCorrupt {
+                        count: get_usize(&kv, "count", 1)?,
+                        seed: get_u64(&kv, "seed", 0x5EED)?,
+                    }
+                }
+                other => return Err(format!("unknown fault class `{other}`")),
+            };
+            faults.push(fault);
+        }
+        if faults.is_empty() {
+            return Err("empty fault plan".into());
+        }
+        Ok(FaultPlan {
+            faults,
+            spec: spec.to_string(),
+        })
+    }
+}
+
+/// The armed plan's original spec string, for reports.
+pub fn armed_spec() -> Option<String> {
+    with_plan(|p| p.spec.clone())
+}
+
+/// Serializes tests that install fault plans. The plan set by [`set_plan`]
+/// is process-global, so a test that arms one — or that must observe a
+/// quiescent plan while exercising a fault-sensitive code path — takes this
+/// lock first to keep concurrently running tests from seeing its faults.
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Marks the current thread as processing work item `item` until the guard
+/// drops. Item-filtered fault predicates ([`grad_fault`], [`maybe_panic`])
+/// match against this scope.
+pub struct ItemScope {
+    prev: Option<usize>,
+}
+
+impl ItemScope {
+    /// Enters item `item` on this thread.
+    pub fn enter(item: usize) -> ItemScope {
+        let prev = CURRENT_ITEM.with(|c| c.replace(Some(item)));
+        ItemScope { prev }
+    }
+}
+
+impl Drop for ItemScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT_ITEM.with(|c| c.set(prev));
+    }
+}
+
+/// The work item the current thread is inside, if any.
+pub fn current_item() -> Option<usize> {
+    CURRENT_ITEM.with(|c| c.get())
+}
+
+fn item_matches(filter: Option<usize>) -> bool {
+    match filter {
+        None => true,
+        Some(want) => current_item() == Some(want),
+    }
+}
+
+/// Poison value for an attack-gradient fault at `step` (1-based), if one is
+/// armed for the current item. `fresh` is false on divergence-guard retries
+/// of the same step: transient faults fire only on the fresh evaluation (so
+/// one retry recovers), sticky faults fire every time (so the guard budget
+/// is deterministically exhausted).
+pub fn grad_fault(step: usize, fresh: bool) -> Option<f32> {
+    if !armed() {
+        return None;
+    }
+    with_plan(|plan| {
+        for f in &plan.faults {
+            if let Fault::GradPoison {
+                nan,
+                step: s,
+                item,
+                sticky,
+            } = f
+            {
+                if *s == step && item_matches(*item) && (fresh || *sticky) {
+                    diva_trace::counter!(
+                        if *nan {
+                            "fault.injected.grad_nan"
+                        } else {
+                            "fault.injected.grad_inf"
+                        },
+                        1
+                    );
+                    diva_trace::event!(
+                        1,
+                        "fault.injected",
+                        class = if *nan { "grad-nan" } else { "grad-inf" },
+                        step = step,
+                        item = current_item().map(|i| i as u64).unwrap_or(u64::MAX),
+                    );
+                    return Some(if *nan { f32::NAN } else { f32::INFINITY });
+                }
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+/// Panics if a `worker-panic` fault is armed for `item`. Call from inside
+/// the per-item closure of a catching fan-out.
+pub fn maybe_panic(item: usize) {
+    if !armed() {
+        return;
+    }
+    let fire = with_plan(|plan| {
+        plan.faults
+            .iter()
+            .any(|f| matches!(f, Fault::WorkerPanic { item: i } if *i == item))
+    })
+    .unwrap_or(false);
+    if fire {
+        diva_trace::counter!("fault.injected.worker_panic", 1);
+        diva_trace::event!(1, "fault.injected", class = "worker-panic", item = item);
+        panic!("injected worker panic on item {item}");
+    }
+}
+
+/// Seeded bit positions to flip in a store of `total_bits` bits, if a
+/// `bitflip` fault is armed. Positions are deterministic in `(seed,
+/// total_bits)` and deduplicated.
+pub fn bit_flips(total_bits: u64) -> Option<Vec<u64>> {
+    if !armed() || total_bits == 0 {
+        return None;
+    }
+    with_plan(|plan| {
+        for f in &plan.faults {
+            if let Fault::BitFlip { count, seed } = f {
+                let positions = seeded_positions(*seed, *count, total_bits);
+                diva_trace::counter!("fault.injected.bitflip", positions.len() as u64);
+                diva_trace::event!(
+                    1,
+                    "fault.injected",
+                    class = "bitflip",
+                    bits = positions.len(),
+                    total_bits = total_bits,
+                );
+                return Some(positions);
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+/// Applies any armed file fault to `bytes` (truncation, then bit flips),
+/// returning whether a fault fired. Persistence layers call this on the
+/// final serialized image immediately before the atomic write, so checksum
+/// validation on the read side must reject the result.
+pub fn corrupt_file_bytes(bytes: &mut Vec<u8>) -> bool {
+    if !armed() {
+        return false;
+    }
+    with_plan(|plan| {
+        let mut fired = false;
+        for f in &plan.faults {
+            match f {
+                Fault::FileTruncate { bytes: drop } => {
+                    let keep = bytes.len().saturating_sub(*drop);
+                    bytes.truncate(keep);
+                    fired = true;
+                    diva_trace::counter!("fault.injected.file_truncate", 1);
+                    diva_trace::event!(
+                        1,
+                        "fault.injected",
+                        class = "file-truncate",
+                        dropped = *drop,
+                        kept = keep,
+                    );
+                }
+                Fault::FileCorrupt { count, seed } => {
+                    let total_bits = bytes.len() as u64 * 8;
+                    for pos in seeded_positions(*seed, *count, total_bits) {
+                        bytes[(pos / 8) as usize] ^= 1 << (pos % 8);
+                    }
+                    fired = true;
+                    diva_trace::counter!("fault.injected.file_corrupt", 1);
+                    diva_trace::event!(
+                        1,
+                        "fault.injected",
+                        class = "file-corrupt",
+                        bits = *count,
+                    );
+                }
+                _ => {}
+            }
+        }
+        fired
+    })
+    .unwrap_or(false)
+}
+
+/// `count` distinct positions in `[0, total)` from a splitmix-style stream.
+fn seeded_positions(seed: u64, count: usize, total: u64) -> Vec<u64> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 16 + 64 {
+        attempts += 1;
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let pos = z % total;
+        if !out.contains(&pos) {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// FNV-1a 64-bit checksum, the integrity primitive shared by the checkpoint
+/// footer ([`ckpt`]), model-file envelopes, and engine weight checksums.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The plan store is process-global; serialize plan-touching tests.
+    fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn parse_accepts_every_class_and_rejects_garbage() {
+        let plan = FaultPlan::parse(
+            "grad-nan:step=3,item=2,sticky=1; grad-inf; worker-panic:item=5; \
+             bitflip:count=4,seed=9; file-truncate:bytes=32; file-corrupt:count=2",
+        )
+        .unwrap();
+        assert_eq!(plan.faults.len(), 6);
+        assert_eq!(
+            plan.faults[0],
+            Fault::GradPoison {
+                nan: true,
+                step: 3,
+                item: Some(2),
+                sticky: true
+            }
+        );
+        assert_eq!(
+            plan.faults[1],
+            Fault::GradPoison {
+                nan: false,
+                step: 1,
+                item: None,
+                sticky: false
+            }
+        );
+        assert_eq!(plan.faults[2], Fault::WorkerPanic { item: 5 });
+        assert_eq!(plan.faults[3], Fault::BitFlip { count: 4, seed: 9 });
+        assert_eq!(plan.faults[4], Fault::FileTruncate { bytes: 32 });
+
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("meteor-strike").is_err());
+        assert!(FaultPlan::parse("grad-nan:step=x").is_err());
+        assert!(FaultPlan::parse("grad-nan:bogus=1").is_err());
+        assert!(FaultPlan::parse("grad-nan:step").is_err());
+    }
+
+    #[test]
+    fn disarmed_predicates_are_inert() {
+        let _g = lock_tests();
+        set_plan(None);
+        assert!(!armed());
+        assert_eq!(grad_fault(1, true), None);
+        maybe_panic(0); // must not panic
+        assert_eq!(bit_flips(1024), None);
+        let mut bytes = vec![1, 2, 3];
+        assert!(!corrupt_file_bytes(&mut bytes));
+        assert_eq!(bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn grad_fault_honours_step_item_and_stickiness() {
+        let _g = lock_tests();
+        set_plan(Some(
+            FaultPlan::parse("grad-nan:step=2,item=1").unwrap(),
+        ));
+        {
+            let _scope = ItemScope::enter(1);
+            assert_eq!(grad_fault(1, true), None, "wrong step");
+            let v = grad_fault(2, true).expect("fires on the fresh eval");
+            assert!(v.is_nan());
+            assert_eq!(grad_fault(2, false), None, "transient: retry recovers");
+        }
+        {
+            let _scope = ItemScope::enter(0);
+            assert_eq!(grad_fault(2, true), None, "wrong item");
+        }
+        set_plan(Some(
+            FaultPlan::parse("grad-inf:step=2,sticky=1").unwrap(),
+        ));
+        let _scope = ItemScope::enter(7);
+        assert_eq!(grad_fault(2, false), Some(f32::INFINITY), "sticky re-fires");
+        set_plan(None);
+    }
+
+    #[test]
+    fn item_scope_nests_and_restores() {
+        assert_eq!(current_item(), None);
+        let outer = ItemScope::enter(4);
+        assert_eq!(current_item(), Some(4));
+        {
+            let _inner = ItemScope::enter(9);
+            assert_eq!(current_item(), Some(9));
+        }
+        assert_eq!(current_item(), Some(4));
+        drop(outer);
+        assert_eq!(current_item(), None);
+    }
+
+    #[test]
+    fn worker_panic_fires_only_on_its_item() {
+        let _g = lock_tests();
+        set_plan(Some(FaultPlan::parse("worker-panic:item=3").unwrap()));
+        maybe_panic(2);
+        let caught = std::panic::catch_unwind(|| maybe_panic(3));
+        assert!(caught.is_err());
+        set_plan(None);
+    }
+
+    #[test]
+    fn bit_positions_are_deterministic_distinct_and_in_range() {
+        let _g = lock_tests();
+        set_plan(Some(FaultPlan::parse("bitflip:count=8,seed=3").unwrap()));
+        let a = bit_flips(1000).unwrap();
+        let b = bit_flips(1000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "positions must be distinct");
+        assert!(a.iter().all(|&p| p < 1000));
+        set_plan(None);
+    }
+
+    #[test]
+    fn file_faults_mutate_bytes() {
+        let _g = lock_tests();
+        set_plan(Some(FaultPlan::parse("file-truncate:bytes=4").unwrap()));
+        let mut bytes = (0u8..32).collect::<Vec<_>>();
+        assert!(corrupt_file_bytes(&mut bytes));
+        assert_eq!(bytes.len(), 28);
+
+        set_plan(Some(FaultPlan::parse("file-corrupt:count=3").unwrap()));
+        let clean = (0u8..32).collect::<Vec<_>>();
+        let mut corrupted = clean.clone();
+        assert!(corrupt_file_bytes(&mut corrupted));
+        assert_eq!(corrupted.len(), clean.len());
+        assert_ne!(corrupted, clean);
+        set_plan(None);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -27,6 +27,10 @@ pub struct AttackOutcome {
     /// diverged from its clean prediction, when per-step telemetry tracked
     /// it; `None` when untracked or when the label never flipped.
     pub first_flip_step: Option<usize>,
+    /// The attack on this sample failed (diverged past the recovery budget
+    /// or its worker panicked); the sample counts toward `total`/`failed`
+    /// but toward no success metric.
+    pub failed: bool,
 }
 
 impl AttackOutcome {
@@ -49,6 +53,7 @@ impl AttackOutcome {
             adapted_correct: a_pred == label,
             adapted_pred_in_original_top5: top5.contains(&a_pred),
             first_flip_step: None,
+            failed: false,
         }
     }
 
@@ -56,6 +61,14 @@ impl AttackOutcome {
     pub fn with_first_flip(self, step: Option<usize>) -> Self {
         AttackOutcome {
             first_flip_step: step,
+            ..self
+        }
+    }
+
+    /// Returns a copy marked as failed (see [`AttackOutcome::failed`]).
+    pub fn as_failed(self) -> Self {
+        AttackOutcome {
+            failed: true,
             ..self
         }
     }
@@ -97,12 +110,20 @@ pub struct SuccessCounts {
     pub flipped: usize,
     /// Sum of tracked first-flip steps (for the mean).
     pub flip_step_sum: usize,
+    /// Samples whose attack failed (divergence past the recovery budget,
+    /// or a worker panic). Counted in `total` but in no success metric, so
+    /// partial results stay honest: rates are over all attempted samples.
+    pub failed: usize,
 }
 
 impl SuccessCounts {
     /// Folds one outcome into the counts.
     pub fn add(&mut self, o: &AttackOutcome) {
         self.total += 1;
+        if o.failed {
+            self.failed += 1;
+            return;
+        }
         self.top1 += usize::from(o.top1_success());
         self.top5 += usize::from(o.top5_success());
         self.attack_only += usize::from(o.attack_only_success());
@@ -320,6 +341,7 @@ mod tests {
             adapted_correct: false,
             adapted_pred_in_original_top5: false,
             first_flip_step: None,
+            failed: false,
         };
         let counts: SuccessCounts = vec![
             base.with_first_flip(Some(3)),
@@ -333,6 +355,25 @@ mod tests {
         // Untracked runs report no mean at all.
         let untracked: SuccessCounts = vec![base].into_iter().collect();
         assert_eq!(untracked.mean_first_flip_step(), None);
+    }
+
+    #[test]
+    fn failed_outcomes_count_only_toward_total_and_failed() {
+        let success = AttackOutcome {
+            original_correct: true,
+            adapted_correct: false,
+            adapted_pred_in_original_top5: false,
+            first_flip_step: Some(4),
+            failed: false,
+        };
+        // A would-be success marked failed must contribute to no metric.
+        let counts: SuccessCounts = vec![success, success.as_failed()].into_iter().collect();
+        assert_eq!(counts.total, 2);
+        assert_eq!(counts.failed, 1);
+        assert_eq!(counts.top1, 1);
+        assert_eq!(counts.attack_only, 1);
+        assert_eq!(counts.flipped, 1);
+        assert!((counts.top1_rate() - 0.5).abs() < 1e-6);
     }
 
     #[test]

@@ -1,28 +1,51 @@
-//! Model persistence: save/load a [`Network`] as a JSON model file.
+//! Model persistence: save/load a [`Network`] as a checksummed model file.
 //!
 //! The deployment story of the paper runs through model files — the operator
 //! pushes adapted model files to devices, and the attacker reads one back
 //! (§4.3). This module provides the fp32 side; `diva-quant` persists the
-//! deployed int8 engine the same way.
+//! deployed int8 engine through the same envelope.
+//!
+//! # File format
+//!
+//! A model file is a one-line JSON header followed by the JSON payload:
+//!
+//! ```text
+//! {"format":"diva-model","version":1,"kind":"network","len":N,"crc":"<fnv1a64 hex>"}
+//! <payload JSON, N bytes>
+//! ```
+//!
+//! The header pins the envelope version and the payload kind, and carries
+//! the payload's length and FNV-1a 64 checksum, so truncation, bit rot, and
+//! wrong-kind/wrong-version files are all rejected with a typed
+//! [`PersistError::Format`] — never a panic — before the payload is parsed.
+//! Writes go to a tmp sibling and are renamed into place, so a crash
+//! mid-save leaves the old file (or none), never a torn one. Armed
+//! `DIVA_FAULT` file faults corrupt the on-disk image at this layer (see
+//! `diva-fault`), which is exactly what the load-side checks must catch.
 
 use std::path::Path;
 
+use serde::Deserialize;
+
 use crate::Network;
+
+/// Envelope version written by [`save_versioned`].
+pub const FORMAT_VERSION: u32 = 1;
 
 /// Errors from model persistence.
 #[derive(Debug)]
 pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// Malformed model file.
-    Format(serde_json::Error),
+    /// Malformed model file; the message says which check failed.
+    Format(String),
 }
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "model file I/O error: {e}"),
-            PersistError::Format(e) => write!(f, "malformed model file: {e}"),
+            PersistError::Format(m) => write!(f, "malformed model file: {m}"),
         }
     }
 }
@@ -31,7 +54,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::Io(e) => Some(e),
-            PersistError::Format(e) => Some(e),
+            PersistError::Format(_) => None,
         }
     }
 }
@@ -44,31 +67,129 @@ impl From<std::io::Error> for PersistError {
 
 impl From<serde_json::Error> for PersistError {
     fn from(e: serde_json::Error) -> Self {
-        PersistError::Format(e)
+        PersistError::Format(e.to_string())
     }
 }
 
+#[derive(Deserialize)]
+struct Header {
+    format: String,
+    version: u32,
+    kind: String,
+    len: usize,
+    crc: String,
+}
+
+/// Writes `payload` to `path` inside the versioned envelope, atomically
+/// (tmp sibling + rename). `kind` tags what the payload is (`"network"`,
+/// `"int8-engine"`, ...) and is checked on load.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failures.
+pub fn save_versioned(
+    path: impl AsRef<Path>,
+    kind: &str,
+    payload: &str,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let header = format!(
+        "{{\"format\":\"diva-model\",\"version\":{FORMAT_VERSION},\"kind\":\"{kind}\",\
+         \"len\":{},\"crc\":\"{:016x}\"}}\n",
+        payload.len(),
+        diva_fault::fnv1a64(payload.as_bytes()),
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(payload.as_bytes());
+    diva_fault::corrupt_file_bytes(&mut bytes);
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "model".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, &bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e.into())
+        }
+    }
+}
+
+/// Reads a model file written by [`save_versioned`], returning the verified
+/// payload.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] when the file cannot be read and
+/// [`PersistError::Format`] when the header is missing or malformed, the
+/// envelope version or `kind` does not match, the payload is truncated, or
+/// the checksum disagrees.
+pub fn load_versioned(path: impl AsRef<Path>, kind: &str) -> Result<String, PersistError> {
+    let text = std::fs::read_to_string(path.as_ref())?;
+    let (header_line, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| PersistError::Format("missing header line".into()))?;
+    let header: Header = serde_json::from_str(header_line)
+        .map_err(|e| PersistError::Format(format!("bad header: {e}")))?;
+    if header.format != "diva-model" {
+        return Err(PersistError::Format(format!(
+            "not a diva model file (format `{}`)",
+            header.format
+        )));
+    }
+    if header.version != FORMAT_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported envelope version {} (expected {FORMAT_VERSION})",
+            header.version
+        )));
+    }
+    if header.kind != kind {
+        return Err(PersistError::Format(format!(
+            "kind mismatch: file holds `{}`, expected `{kind}`",
+            header.kind
+        )));
+    }
+    if header.len != payload.len() {
+        return Err(PersistError::Format(format!(
+            "length mismatch: header says {}, file holds {} (truncated?)",
+            header.len,
+            payload.len()
+        )));
+    }
+    let got = format!("{:016x}", diva_fault::fnv1a64(payload.as_bytes()));
+    if got != header.crc {
+        return Err(PersistError::Format(format!(
+            "checksum mismatch: header {}, payload {got}",
+            header.crc
+        )));
+    }
+    Ok(payload.to_string())
+}
+
 impl Network {
-    /// Writes the network (graph + parameters + masks) to a JSON model file.
+    /// Writes the network (graph + parameters + masks) to a checksummed
+    /// model file (see the module docs for the envelope).
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let json = serde_json::to_string(self)?;
-        std::fs::write(path, json)?;
-        Ok(())
+        save_versioned(path, "network", &json)
     }
 
-    /// Reads a network back from a JSON model file written by
-    /// [`Network::save`].
+    /// Reads a network back from a model file written by [`Network::save`].
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on filesystem failures and
-    /// [`PersistError::Format`] if the file is not a valid model.
+    /// [`PersistError::Format`] if the envelope or payload is not a valid
+    /// model.
     pub fn load(path: impl AsRef<Path>) -> Result<Network, PersistError> {
-        let json = std::fs::read_to_string(path)?;
+        let json = load_versioned(path, "network")?;
         Ok(serde_json::from_str(&json)?)
     }
 }
@@ -91,12 +212,16 @@ mod tests {
         b.finish(d, Some(g))
     }
 
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("diva_nn_persist_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn save_load_round_trips_exactly() {
         let net = tiny_net();
-        let dir = std::env::temp_dir().join("diva_nn_persist_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
+        let path = tmp_dir("roundtrip").join("model.json");
         net.save(&path).unwrap();
         let back = Network::load(&path).unwrap();
         assert_eq!(&back, &net);
@@ -107,10 +232,10 @@ mod tests {
 
     #[test]
     fn load_rejects_garbage() {
-        let dir = std::env::temp_dir().join("diva_nn_persist_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("garbage.json");
+        let path = tmp_dir("garbage").join("garbage.json");
         std::fs::write(&path, "not a model").unwrap();
+        assert!(matches!(Network::load(&path), Err(PersistError::Format(_))));
+        std::fs::write(&path, "not a header\nnot a payload").unwrap();
         assert!(matches!(Network::load(&path), Err(PersistError::Format(_))));
         std::fs::remove_file(&path).ok();
     }
@@ -121,5 +246,78 @@ mod tests {
             Network::load("/nonexistent/diva/model.json"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn truncated_file_is_format_error_not_panic() {
+        let net = tiny_net();
+        let path = tmp_dir("trunc").join("model.json");
+        net.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        for keep in [full.len() - 1, full.len() / 2, full.find('\n').unwrap() + 3] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            assert!(
+                matches!(Network::load(&path), Err(PersistError::Format(_))),
+                "truncation to {keep} bytes must be a Format error"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_format_error() {
+        let net = tiny_net();
+        let path = tmp_dir("flip").join("model.json");
+        net.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let at = header_end + (bytes.len() - header_end) / 2;
+        bytes[at] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Network::load(&path), Err(PersistError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_and_wrong_kind_are_format_errors() {
+        let net = tiny_net();
+        let path = tmp_dir("version").join("model.json");
+        net.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        let (_, payload) = full.split_once('\n').unwrap();
+
+        // Same valid payload under a future envelope version.
+        let crc = format!("{:016x}", diva_fault::fnv1a64(payload.as_bytes()));
+        let futuristic = format!(
+            "{{\"format\":\"diva-model\",\"version\":99,\"kind\":\"network\",\
+             \"len\":{},\"crc\":\"{crc}\"}}\n{payload}",
+            payload.len()
+        );
+        std::fs::write(&path, futuristic).unwrap();
+        match Network::load(&path) {
+            Err(PersistError::Format(m)) => assert!(m.contains("version"), "msg: {m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+
+        // Right envelope, wrong payload kind.
+        save_versioned(&path, "int8-engine", payload).unwrap();
+        match Network::load(&path) {
+            Err(PersistError::Format(m)) => assert!(m.contains("kind"), "msg: {m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_over_existing_file() {
+        let net = tiny_net();
+        let path = tmp_dir("atomic").join("model.json");
+        net.save(&path).unwrap();
+        // Overwrite through the same path; the tmp sibling must be gone and
+        // the file must load.
+        net.save(&path).unwrap();
+        assert!(Network::load(&path).is_ok());
+        assert!(!path.with_file_name("model.json.tmp").exists());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -170,6 +170,27 @@ fn train_step(
             p.grad.axpy(1.0, g);
         }
     }
+    // Divergence guard: a non-finite batch loss or gradient would poison
+    // the parameters through the optimizer and every step after it. Skip
+    // the update (zeroing the accumulated gradient) and keep training on
+    // the remaining batches instead of propagating NaN to the whole run.
+    // On healthy runs both checks pass and nothing changes bit-wise.
+    let grads_finite = || {
+        net.params()
+            .iter()
+            .all(|p| p.grad.data().iter().all(|v| v.is_finite()))
+    };
+    if !loss_sum.is_finite() || !grads_finite() {
+        net.params_mut().zero_grads();
+        diva_trace::counter!("train.steps_skipped_nonfinite", 1);
+        diva_trace::event!(
+            1,
+            "train.step_skipped",
+            reason = "non-finite loss or gradient",
+            batch = b,
+        );
+        return (0.0, correct);
+    }
     opt.step(net.params_mut());
     (loss_sum, correct)
 }

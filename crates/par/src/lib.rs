@@ -138,6 +138,42 @@ where
         .collect()
 }
 
+/// [`par_map_indexed`] with per-item panic isolation: a panic in `f(i)` is
+/// caught and surfaced as `Err(message)` for that index while every other
+/// item still completes and merges in order. This is the degradation path
+/// for fan-outs that must report partial results (e.g. the per-image attack
+/// matrix) instead of aborting a multi-minute run on one poisoned item.
+///
+/// The catch is per *item*, not per worker: the worker thread survives and
+/// keeps pulling indices, so panic isolation does not change which items
+/// run or in what order — determinism is preserved for every job count,
+/// including the serial `DIVA_JOBS=1` path.
+pub fn par_map_indexed_catch<T, F>(n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_indexed(n, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|payload| {
+            let msg = panic_message(payload.as_ref());
+            diva_trace::counter!("par.item_panics", 1);
+            diva_trace::event!(1, "par.item_panic", item = i, message = msg.clone());
+            msg
+        })
+    })
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Splits `0..n` into fixed-size chunks of `chunk` (the last may be short),
 /// returned as `(start, end)` ranges. Chunk boundaries depend only on `n`
 /// and `chunk` — never on the worker count — which is what keeps chunked
@@ -224,6 +260,30 @@ mod tests {
             })
         });
         assert!(result.is_err(), "worker panic must reach the caller");
+        set_jobs(0);
+    }
+
+    #[test]
+    fn catch_variant_isolates_per_item_panics() {
+        let _g = lock_global();
+        for jobs in [1, 4] {
+            set_jobs(jobs);
+            let out = par_map_indexed_catch(12, |i| {
+                if i == 3 {
+                    panic!("boom on {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 12);
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("boom on 3"), "unexpected message {msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "item {i} must complete");
+                }
+            }
+        }
         set_jobs(0);
     }
 

@@ -50,7 +50,11 @@ struct Mult {
 impl Mult {
     fn new(real: f64) -> Self {
         Mult {
-            fixed: FixedMultiplier::from_real(real),
+            // Scales computed from a calibrated QAT network are finite and
+            // non-negative by construction; only file loads can carry
+            // garbage, and those go through `Int8Engine::validate`.
+            fixed: FixedMultiplier::from_real(real)
+                .expect("engine scales are finite and non-negative"),
             real,
         }
     }
@@ -204,6 +208,10 @@ pub struct Int8Engine {
     input_shape: [usize; 3],
     num_classes: usize,
     mode: RequantMode,
+    /// FNV-1a 64 over all node weight bytes in node order, taken at
+    /// conversion time. [`Int8Engine::integrity_ok`] recomputes it to catch
+    /// in-memory weight corruption (e.g. injected bit flips).
+    checksum: u64,
 }
 
 impl Int8Engine {
@@ -385,14 +393,123 @@ impl Int8Engine {
                 in_qp,
             });
         }
-        Int8Engine {
+        let mut engine = Int8Engine {
             nodes,
             output: graph.output().0,
             feature: graph.feature().map(|f| f.0),
             input_shape: graph.input_shape(),
             num_classes: graph.num_classes(),
             mode,
+            checksum: 0,
+        };
+        engine.checksum = engine.weight_checksum();
+        // Armed bit-flip faults land here, after the checksum is taken, so
+        // the corruption is detectable by `integrity_ok`.
+        engine.inject_weight_faults();
+        engine
+    }
+
+    /// FNV-1a 64 over all node weight bytes in node order.
+    fn weight_checksum(&self) -> u64 {
+        let mut bytes = Vec::new();
+        for node in &self.nodes {
+            match &node.op {
+                EngineOp::Conv2d { w, .. }
+                | EngineOp::DwConv2d { w, .. }
+                | EngineOp::Dense { w, .. } => bytes.extend(w.iter().map(|&v| v as u8)),
+                _ => {}
+            }
         }
+        diva_fault::fnv1a64(&bytes)
+    }
+
+    /// Flips seeded bits in the stored weights when a `bitflip` fault is
+    /// armed (see `diva-fault`). No-op otherwise.
+    fn inject_weight_faults(&mut self) {
+        if !diva_fault::armed() {
+            return;
+        }
+        let total_bytes: u64 = self
+            .nodes
+            .iter()
+            .map(|n| match &n.op {
+                EngineOp::Conv2d { w, .. }
+                | EngineOp::DwConv2d { w, .. }
+                | EngineOp::Dense { w, .. } => w.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        let Some(positions) = diva_fault::bit_flips(total_bytes * 8) else {
+            return;
+        };
+        for pos in positions {
+            let mut off = (pos / 8) as usize;
+            let bit = (pos % 8) as u8;
+            for node in &mut self.nodes {
+                let w = match &mut node.op {
+                    EngineOp::Conv2d { w, .. }
+                    | EngineOp::DwConv2d { w, .. }
+                    | EngineOp::Dense { w, .. } => w,
+                    _ => continue,
+                };
+                if off < w.len() {
+                    w[off] = (w[off] as u8 ^ (1 << bit)) as i8;
+                    break;
+                }
+                off -= w.len();
+            }
+        }
+    }
+
+    /// Whether the stored weights still match the conversion-time checksum.
+    pub fn integrity_ok(&self) -> bool {
+        self.weight_checksum() == self.checksum
+    }
+
+    /// Structural validation of a (possibly untrusted) engine: every
+    /// requantization multiplier must be finite, non-negative, and in the
+    /// canonical Q31 encoding, and the weight checksum must match. Run on
+    /// every [`Int8Engine::load`] so a tampered model file is a recoverable
+    /// error, not a wrong answer or a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first failed check.
+    pub fn validate(&self) -> Result<(), String> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut mults: Vec<&Mult> = Vec::new();
+            match &node.op {
+                EngineOp::Conv2d { mult, .. }
+                | EngineOp::DwConv2d { mult, .. }
+                | EngineOp::Dense { mult, .. } => mults.extend(mult.iter()),
+                EngineOp::Relu { mult } | EngineOp::Gap { mult } => mults.push(mult),
+                EngineOp::Add { ma, mb, mout } => mults.extend([ma, mb, mout]),
+                EngineOp::Concat { mults: ms } => mults.extend(ms.iter()),
+                EngineOp::Input | EngineOp::MaxPool2d { .. } | EngineOp::Flatten => {}
+            }
+            for m in mults {
+                if !(m.real.is_finite() && m.real >= 0.0) {
+                    return Err(format!(
+                        "node {idx}: requantization multiplier {} is not finite/non-negative",
+                        m.real
+                    ));
+                }
+                if !m.fixed.is_canonical() {
+                    return Err(format!(
+                        "node {idx}: fixed-point mantissa {} out of canonical range",
+                        m.fixed.mantissa
+                    ));
+                }
+            }
+        }
+        if !self.integrity_ok() {
+            return Err(format!(
+                "weight checksum mismatch: stored {:016x}, recomputed {:016x}",
+                self.checksum,
+                self.weight_checksum()
+            ));
+        }
+        Ok(())
     }
 
     /// Per-sample input shape.
@@ -703,8 +820,11 @@ impl Int8Engine {
 }
 
 impl Int8Engine {
-    /// Writes the deployed model to a JSON model file — what the operator
-    /// pushes to devices and the attacker later pulls off one (§4.3).
+    /// Writes the deployed model to a checksummed model file — what the
+    /// operator pushes to devices and the attacker later pulls off one
+    /// (§4.3). Uses the shared versioned envelope (`diva_nn::persist`), so
+    /// the write is atomic and the load side can reject truncation or bit
+    /// rot.
     ///
     /// # Errors
     ///
@@ -714,21 +834,27 @@ impl Int8Engine {
         path: impl AsRef<std::path::Path>,
     ) -> Result<(), diva_nn::persist::PersistError> {
         let json = serde_json::to_string(self).map_err(diva_nn::persist::PersistError::from)?;
-        std::fs::write(path, json)?;
-        Ok(())
+        diva_nn::persist::save_versioned(path, "int8-engine", &json)
     }
 
-    /// Reads a deployed model file back.
+    /// Reads a deployed model file back and validates it
+    /// ([`Int8Engine::validate`]).
     ///
     /// # Errors
     ///
-    /// Returns [`diva_nn::persist::PersistError::Format`] for malformed
-    /// files and [`diva_nn::persist::PersistError::Io`] on filesystem errors.
+    /// Returns [`diva_nn::persist::PersistError::Format`] for malformed,
+    /// truncated, corrupted, or structurally invalid files and
+    /// [`diva_nn::persist::PersistError::Io`] on filesystem errors.
     pub fn load(
         path: impl AsRef<std::path::Path>,
     ) -> Result<Int8Engine, diva_nn::persist::PersistError> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(diva_nn::persist::PersistError::from)
+        let json = diva_nn::persist::load_versioned(path, "int8-engine")?;
+        let engine: Int8Engine =
+            serde_json::from_str(&json).map_err(diva_nn::persist::PersistError::from)?;
+        engine
+            .validate()
+            .map_err(diva_nn::persist::PersistError::Format)?;
+        Ok(engine)
     }
 }
 
@@ -1062,6 +1188,146 @@ mod tests {
         let back = Int8Engine::load(&path).unwrap();
         let x = gather(&images, &[0, 1]);
         assert_eq!(engine.logits(&x), back.logits(&x));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Sets the first `mantissa` field found anywhere in the JSON tree.
+    fn set_first_mantissa(v: &mut serde_json::Value, to: i64) -> bool {
+        match v {
+            serde_json::Value::Object(m) => {
+                if let Some(x) = m.get_mut("mantissa") {
+                    *x = serde_json::json!(to);
+                    return true;
+                }
+                m.values_mut().any(|c| set_first_mantissa(c, to))
+            }
+            serde_json::Value::Array(a) => a.iter_mut().any(|c| set_first_mantissa(c, to)),
+            _ => false,
+        }
+    }
+
+    /// Sets the first `real` multiplier field found anywhere in the tree.
+    fn set_first_real(v: &mut serde_json::Value, to: f64) -> bool {
+        match v {
+            serde_json::Value::Object(m) => {
+                if let Some(x) = m.get_mut("real") {
+                    *x = serde_json::json!(to);
+                    return true;
+                }
+                m.values_mut().any(|c| set_first_real(c, to))
+            }
+            serde_json::Value::Array(a) => a.iter_mut().any(|c| set_first_real(c, to)),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn tampered_weight_fails_validation_and_load() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::ResNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        assert!(engine.integrity_ok());
+        assert!(engine.validate().is_ok());
+
+        // Flip one weight value in the serialized form, keeping everything
+        // else (including the stored checksum) intact.
+        let mut v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&engine).unwrap()).unwrap();
+        let mut hit = false;
+        for node in v["nodes"].as_array_mut().unwrap() {
+            let Some(op) = node["op"].as_object_mut() else {
+                continue; // unit variants (Input, Flatten) serialize as strings
+            };
+            for body in op.values_mut() {
+                if let Some(w) = body.get_mut("w").and_then(|w| w.as_array_mut()) {
+                    let cur = w[0].as_i64().unwrap();
+                    w[0] = serde_json::json!(if cur == 5 { 6 } else { 5 });
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                break;
+            }
+        }
+        assert!(hit, "no weight array found to tamper with");
+        let tampered: Int8Engine = serde_json::from_str(&v.to_string()).unwrap();
+        assert!(!tampered.integrity_ok());
+        let err = tampered.validate().unwrap_err();
+        assert!(err.contains("checksum"), "msg: {err}");
+
+        // The same tampering inside a validly sealed envelope must be
+        // rejected by load, not executed.
+        let dir = std::env::temp_dir().join("diva_engine_tamper_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edge_model.json");
+        diva_nn::persist::save_versioned(&path, "int8-engine", &v.to_string()).unwrap();
+        match Int8Engine::load(&path) {
+            Err(diva_nn::persist::PersistError::Format(m)) => {
+                assert!(m.contains("checksum"), "msg: {m}")
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_multiplier_fails_validation() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::ResNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        let json = serde_json::to_string(&engine).unwrap();
+
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(set_first_mantissa(&mut v, 123));
+        let bad: Int8Engine = serde_json::from_str(&v.to_string()).unwrap();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("mantissa"), "msg: {err}");
+
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(set_first_real(&mut v, -1.0));
+        let bad: Int8Engine = serde_json::from_str(&v.to_string()).unwrap();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("multiplier"), "msg: {err}");
+    }
+
+    #[test]
+    fn corrupt_engine_file_is_format_error_not_panic() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let images = rand_images(&mut rng, 8, &[3, 8, 8]);
+        let q = qat_model(Architecture::ResNet, &mut rng, &images);
+        let engine = Int8Engine::from_qat(&q);
+        let dir = std::env::temp_dir().join("diva_engine_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edge_model.json");
+        engine.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncation.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            Int8Engine::load(&path),
+            Err(diva_nn::persist::PersistError::Format(_))
+        ));
+
+        // A flipped payload byte.
+        let mut flipped = full.clone();
+        let at = flipped.len() - 10;
+        flipped[at] ^= 0x04;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            Int8Engine::load(&path),
+            Err(diva_nn::persist::PersistError::Format(_))
+        ));
+
+        // Wrong payload kind under a valid envelope.
+        diva_nn::persist::save_versioned(&path, "network", "{}").unwrap();
+        assert!(matches!(
+            Int8Engine::load(&path),
+            Err(diva_nn::persist::PersistError::Format(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -19,19 +19,39 @@ pub struct FixedMultiplier {
     pub exponent: i32,
 }
 
+/// A requantization multiplier that cannot be encoded: negative, NaN, or
+/// infinite. Surfaces when a scale read from a tampered model file is
+/// garbage — a recoverable load error, not an abort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BadMultiplier(pub f64);
+
+impl std::fmt::Display for BadMultiplier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad requantization multiplier {}: must be finite and non-negative",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for BadMultiplier {}
+
 impl FixedMultiplier {
-    /// Encodes a real multiplier. `m` must be finite and non-negative.
+    /// Encodes a real multiplier.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `m` is negative, NaN or infinite.
-    pub fn from_real(m: f64) -> Self {
-        assert!(m.is_finite() && m >= 0.0, "bad multiplier {m}");
+    /// Returns [`BadMultiplier`] if `m` is negative, NaN or infinite.
+    pub fn from_real(m: f64) -> Result<Self, BadMultiplier> {
+        if !(m.is_finite() && m >= 0.0) {
+            return Err(BadMultiplier(m));
+        }
         if m == 0.0 {
-            return FixedMultiplier {
+            return Ok(FixedMultiplier {
                 mantissa: 0,
                 exponent: 0,
-            };
+            });
         }
         // m = m0 * 2^exp with m0 in [0.5, 1)
         let exp = m.log2().floor() as i32 + 1;
@@ -43,10 +63,19 @@ impl FixedMultiplier {
             exponent += 1;
         }
         debug_assert!((1i64 << 30..1i64 << 31).contains(&mantissa));
-        FixedMultiplier {
+        Ok(FixedMultiplier {
             mantissa: mantissa as i32,
             exponent,
-        }
+        })
+    }
+
+    /// Whether the encoded fields are in the canonical range `from_real`
+    /// produces: zero, or a Q31 mantissa in `[2^30, 2^31)`. Engine
+    /// validation uses this to reject tampered model files whose multiplier
+    /// fields were edited directly.
+    pub fn is_canonical(self) -> bool {
+        (self.mantissa == 0 && self.exponent == 0)
+            || (1i32 << 30..=i32::MAX).contains(&self.mantissa)
     }
 
     /// The real value this multiplier encodes.
@@ -103,7 +132,7 @@ mod tests {
     #[test]
     fn encodes_common_multipliers_accurately() {
         for &m in &[1.0f64, 0.5, 0.001234, 0.999999, 2.5, 1e-6, 3.99] {
-            let fm = FixedMultiplier::from_real(m);
+            let fm = FixedMultiplier::from_real(m).unwrap();
             let rel = (fm.to_real() - m).abs() / m;
             assert!(rel < 1e-8, "m={m} encoded as {} (rel {rel})", fm.to_real());
         }
@@ -111,7 +140,7 @@ mod tests {
 
     #[test]
     fn zero_multiplier() {
-        let fm = FixedMultiplier::from_real(0.0);
+        let fm = FixedMultiplier::from_real(0.0).unwrap();
         assert_eq!(fm.apply(12345), 0);
         assert_eq!(fm.to_real(), 0.0);
     }
@@ -119,7 +148,7 @@ mod tests {
     #[test]
     fn apply_matches_float_reference() {
         for &m in &[0.0073, 0.5, 1.0, 1.7, 0.25] {
-            let fm = FixedMultiplier::from_real(m);
+            let fm = FixedMultiplier::from_real(m).unwrap();
             for &x in &[0i32, 1, -1, 100, -100, 32767, -32768, 1_000_000, -999_999] {
                 let want = (x as f64 * m).round() as i32;
                 let got = fm.apply(x);
@@ -154,8 +183,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad multiplier")]
-    fn negative_multiplier_rejected() {
-        let _ = FixedMultiplier::from_real(-0.5);
+    fn bad_multipliers_are_errors_not_panics() {
+        for m in [-0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FixedMultiplier::from_real(m).unwrap_err();
+            assert!(err.to_string().contains("multiplier"), "msg: {err}");
+        }
+    }
+
+    #[test]
+    fn canonical_range_check() {
+        assert!(FixedMultiplier::from_real(0.0).unwrap().is_canonical());
+        assert!(FixedMultiplier::from_real(0.37).unwrap().is_canonical());
+        let bad = FixedMultiplier {
+            mantissa: 123, // below 2^30: not a canonical Q31 mantissa
+            exponent: 0,
+        };
+        assert!(!bad.is_canonical());
     }
 }

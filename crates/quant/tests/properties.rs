@@ -60,7 +60,7 @@ proptest! {
         m in 1e-6f64..3.9,
         x in -2_000_000i32..2_000_000,
     ) {
-        let fm = FixedMultiplier::from_real(m);
+        let fm = FixedMultiplier::from_real(m).unwrap();
         // Guard the left-shift overflow domain like the engine does.
         prop_assume!((x as f64 * m).abs() < i32::MAX as f64 / 2.0);
         if fm.exponent > 0 {

@@ -72,6 +72,16 @@ fn init_level_from_env() -> u8 {
         .and_then(|s| s.trim().parse::<u8>().ok())
         .unwrap_or(0)
         .min(LEVEL_UNINIT - 1);
+    // Create the artifact directory up front when one is requested, so the
+    // first traced run of a fresh checkout (or a faulted run that aborts
+    // before `write_artifacts`) never ENOENTs on it.
+    if v >= 1 {
+        if let Ok(dir) = std::env::var("DIVA_TRACE_DIR") {
+            if !dir.trim().is_empty() {
+                let _ = std::fs::create_dir_all(dir.trim());
+            }
+        }
+    }
     LEVEL.store(v, Ordering::Relaxed);
     v
 }
