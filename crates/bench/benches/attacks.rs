@@ -1,117 +1,32 @@
-//! Criterion benches for the attack path: per-step attack cost (the paper's
-//! §5.2 "Attack speed" measurement — PGD and DIVA should run at a similar
-//! per-step cost), inference across the three model forms, and the
-//! quantization pipeline itself.
+//! Criterion front-end for the `attacks` microbench area: per-step attack
+//! cost (the paper's §5.2 "attack speed" measurement — PGD and DIVA should
+//! run at a similar per-step cost), full 20-step attacks, inference across
+//! the three model forms, and the quantization pipeline. The case list
+//! lives in `diva_bench::microbench` so the same workloads back
+//! `repro regress`.
+//!
+//! With `DIVA_BENCH_JSON` set (`1` = current directory, else an output
+//! directory) Criterion is skipped entirely and the median-of-N harness
+//! writes `BENCH_attacks.json` — the committed regression baseline format.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use diva_core::attack::{diva_grad, AttackCfg};
-use diva_core::DiffModel;
-use diva_models::{Architecture, ModelCfg};
-use diva_nn::{losses, Infer, Network};
-use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
-use diva_tensor::Tensor;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use criterion::Criterion;
+use diva_bench::microbench;
 
-struct Fixture {
-    original: Network,
-    qat: QatNetwork,
-    engine: Int8Engine,
-    x: Tensor,
-    labels: Vec<usize>,
-}
-
-fn fixture() -> Fixture {
-    let mut rng = StdRng::seed_from_u64(0);
-    let original = Architecture::ResNet.build(&ModelCfg::standard(16), &mut rng);
-    let n = 8;
-    let per = 3 * 16 * 16;
-    let samples: Vec<Tensor> = (0..32)
-        .map(|_| {
-            Tensor::from_vec(
-                (0..per).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
-                &[3, 16, 16],
-            )
-        })
-        .collect();
-    let calib = Tensor::stack(&samples);
-    let mut qat = QatNetwork::new(original.clone(), QuantCfg::default());
-    qat.calibrate(&calib);
-    let engine = Int8Engine::from_qat(&qat);
-    let x = diva_nn::train::gather(&calib, &(0..n).collect::<Vec<_>>());
-    let labels = original.predict(&x);
-    Fixture {
-        original,
-        qat,
-        engine,
-        x,
-        labels,
+fn main() {
+    if let Some(path) = microbench::json_env_path("attacks") {
+        let summary = microbench::run_area("attacks", &microbench::MeasureCfg::default())
+            .expect("attacks is a known area");
+        summary.save(&path).expect("write bench summary");
+        eprintln!("wrote {}", path.display());
+        return;
     }
-}
-
-fn bench_attack_step(c: &mut Criterion) {
-    let f = fixture();
-    let mut g = c.benchmark_group("attack_step");
+    let mut c = Criterion::default().configure_from_args();
+    let mut g = c.benchmark_group("attacks");
     g.sample_size(10);
-    // One PGD step = one CE gradient through the adapted model.
-    g.bench_function("pgd_grad", |b| {
-        b.iter(|| {
-            f.qat
-                .value_and_grad(&f.x, &mut |l| losses::cross_entropy(l, &f.labels).1)
-                .1
-        })
-    });
-    // One DIVA step = probability gradients through both models.
-    g.bench_function("diva_grad", |b| {
-        b.iter(|| diva_grad(&f.original, &f.qat, &f.x, &f.labels, 1.0))
-    });
-    // Full 20-step attacks for the wall-clock comparison.
-    let cfg = AttackCfg::paper_default();
-    g.bench_function("pgd_20_steps", |b| {
-        b.iter_batched(
-            || f.x.clone(),
-            |x| diva_core::attack::pgd_attack(&f.qat, &x, &f.labels, &cfg),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("diva_20_steps", |b| {
-        b.iter_batched(
-            || f.x.clone(),
-            |x| diva_core::attack::diva_attack(&f.original, &f.qat, &x, &f.labels, 1.0, &cfg),
-            BatchSize::SmallInput,
-        )
-    });
+    for case in microbench::attack_cases() {
+        let mut run = case.run;
+        g.bench_function(case.id.as_str(), move |b| b.iter(&mut run));
+    }
     g.finish();
+    Criterion::default().configure_from_args().final_summary();
 }
-
-fn bench_inference(c: &mut Criterion) {
-    let f = fixture();
-    let mut g = c.benchmark_group("inference");
-    g.sample_size(10);
-    g.bench_function("fp32", |b| b.iter(|| f.original.logits(&f.x)));
-    g.bench_function("fake_quant", |b| b.iter(|| f.qat.logits(&f.x)));
-    g.bench_function("int8_engine", |b| b.iter(|| f.engine.logits(&f.x)));
-    g.finish();
-}
-
-fn bench_quantize(c: &mut Criterion) {
-    let f = fixture();
-    let mut g = c.benchmark_group("quantize");
-    g.sample_size(10);
-    g.bench_function("calibrate", |b| {
-        b.iter_batched(
-            || QatNetwork::new(f.original.clone(), QuantCfg::default()),
-            |mut q| {
-                q.calibrate(&f.x);
-                q
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("convert_to_engine", |b| {
-        b.iter(|| Int8Engine::from_qat(&f.qat))
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_attack_step, bench_inference, bench_quantize);
-criterion_main!(benches);

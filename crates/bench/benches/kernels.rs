@@ -1,54 +1,30 @@
-//! Criterion benches for the DESIGN.md §4 kernel ablations: im2col vs naive
-//! convolution, and fixed-point vs float requantization in the engine.
+//! Criterion front-end for the `kernels` microbench area (DESIGN.md §4
+//! kernel ablations: im2col vs naive convolution, fixed-point vs float
+//! requantization). The case list lives in `diva_bench::microbench` so the
+//! same workloads back `repro regress`.
+//!
+//! With `DIVA_BENCH_JSON` set (`1` = current directory, else an output
+//! directory) Criterion is skipped entirely and the median-of-N harness
+//! writes `BENCH_kernels.json` — the committed regression baseline format.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use diva_models::{Architecture, ModelCfg};
-use diva_nn::Infer;
-use diva_quant::{Int8Engine, QatNetwork, QuantCfg, RequantMode};
-use diva_tensor::conv::{conv2d, conv2d_naive, Conv2dCfg};
-use diva_tensor::Tensor;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use criterion::Criterion;
+use diva_bench::microbench;
 
-fn rand_tensor(rng: &mut StdRng, dims: &[usize]) -> Tensor {
-    let n: usize = dims.iter().product();
-    Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), dims)
-}
-
-fn bench_conv_kernels(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
-    let x = rand_tensor(&mut rng, &[8, 12, 16, 16]);
-    let w = rand_tensor(&mut rng, &[24, 12, 3, 3]);
-    let b = rand_tensor(&mut rng, &[24]);
-    let cfg = Conv2dCfg::square(3, 1, 1);
-    let mut g = c.benchmark_group("conv_kernels");
+fn main() {
+    if let Some(path) = microbench::json_env_path("kernels") {
+        let summary = microbench::run_area("kernels", &microbench::MeasureCfg::default())
+            .expect("kernels is a known area");
+        summary.save(&path).expect("write bench summary");
+        eprintln!("wrote {}", path.display());
+        return;
+    }
+    let mut c = Criterion::default().configure_from_args();
+    let mut g = c.benchmark_group("kernels");
     g.sample_size(10);
-    g.bench_function("im2col", |bch| {
-        bch.iter(|| conv2d(&x, &w, &b, cfg).unwrap())
-    });
-    g.bench_function("naive", |bch| {
-        bch.iter(|| conv2d_naive(&x, &w, &b, cfg).unwrap())
-    });
+    for case in microbench::kernel_cases() {
+        let mut run = case.run;
+        g.bench_function(case.id.as_str(), move |b| b.iter(&mut run));
+    }
     g.finish();
+    Criterion::default().configure_from_args().final_summary();
 }
-
-fn bench_engine_requant(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
-    let net = Architecture::ResNet.build(&ModelCfg::standard(16), &mut rng);
-    let samples: Vec<Tensor> = (0..16)
-        .map(|_| rand_tensor(&mut rng, &[3, 16, 16]).map(|v| (v + 1.0) / 2.0))
-        .collect();
-    let calib = Tensor::stack(&samples);
-    let mut qat = QatNetwork::new(net, QuantCfg::default());
-    qat.calibrate(&calib);
-    let fixed = Int8Engine::from_qat_with_mode(&qat, RequantMode::FixedPoint);
-    let float = fixed.with_mode(RequantMode::Float);
-    let x = diva_nn::train::gather(&calib, &(0..8).collect::<Vec<_>>());
-    let mut g = c.benchmark_group("engine_requant");
-    g.sample_size(10);
-    g.bench_function("fixed_point", |b| b.iter(|| fixed.logits(&x)));
-    g.bench_function("float", |b| b.iter(|| float.logits(&x)));
-    g.finish();
-}
-
-criterion_group!(benches, bench_conv_kernels, bench_engine_requant);
-criterion_main!(benches);

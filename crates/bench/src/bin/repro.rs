@@ -23,6 +23,12 @@
 //!   smoke       seconds-long pass through every instrumented layer
 //!   all         everything above, reusing trained victims
 //!
+//! analysis subcommands (no training; see DESIGN.md §6):
+//!   profile     per-op time profile + attack-convergence CSVs from the
+//!               trace artifacts of a previous DIVA_TRACE=2 run
+//!   regress     re-measure the microbench catalog and compare against the
+//!               committed BENCH_<area>.json baselines
+//!
 //! flags:
 //!   --quick          small smoke-test scale
 //!   --no-blackbox    skip surrogate settings in fig6
@@ -45,6 +51,13 @@ use diva_bench::suite::ExperimentScale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The analysis subcommands parse their own flags and never touch the
+    // experiment machinery; dispatch them before the experiment parsing.
+    match args.first().map(String::as_str) {
+        Some("profile") => std::process::exit(diva_bench::profcmd::run_profile(&args[1..])),
+        Some("regress") => std::process::exit(diva_bench::profcmd::run_regress(&args[1..])),
+        _ => {}
+    }
     // All leading non-flag arguments are experiment names; several can be
     // given at once to share trained victims (e.g. `repro fig1 fig3 bits`).
     let cmds: Vec<&str> = args
@@ -80,6 +93,9 @@ fn main() {
 
     let run_one = |cache: &mut VictimCache, cmd: &str| -> Option<String> {
         let _span = diva_trace::span(1, format!("experiment.{cmd}"));
+        // Suite telemetry recorded inside (e.g. attack generation seconds)
+        // additionally lands in per-experiment histograms for diva-prof.
+        let _exp = diva_bench::suite::ExperimentScope::enter(cmd);
         let report = match cmd {
             "table1" => table1::run(
                 cache,
@@ -142,6 +158,8 @@ fn main() {
             eprintln!("usage: repro <experiment> [--quick] [--no-blackbox] ...");
             eprintln!("experiments: table1 fig1 fig2 fig3 fig4 fig6 fig6d fig7 table2");
             eprintln!("             baselines robust fig8 fig10 transfer bits detect smoke all");
+            eprintln!("analysis:    profile [--trace-dir DIR] [--out DIR]");
+            eprintln!("             regress [--area A] [--threshold PCT] [--update] [--enforce]");
             std::process::exit(2);
         }
         _ => {

@@ -44,12 +44,16 @@ pub fn run() -> String {
     // watched by the first-flip tracker against the deployed engine
     // (exercises attack.step + quant.engine.run).
     let cfg = AttackCfg::with_steps(6);
-    let gen_pgd = par_attack_images(&images, &labels, Some(&engine), |_, xi, yi, hook| {
+    let gen_pgd = par_attack_images("PGD", &images, &labels, Some(&engine), |_, xi, yi, hook| {
         pgd_attack_traced(&qat, xi, yi, &cfg, hook)
     });
-    let gen_diva = par_attack_images(&images, &labels, Some(&engine), |_, xi, yi, hook| {
-        diva_attack_traced(&net, &qat, xi, yi, 1.0, &cfg, hook)
-    });
+    let gen_diva = par_attack_images(
+        "DIVA (whitebox)",
+        &images,
+        &labels,
+        Some(&engine),
+        |_, xi, yi, hook| diva_attack_traced(&net, &qat, xi, yi, 1.0, &cfg, hook),
+    );
     let (adv_pgd, adv_diva) = (gen_pgd.adv, gen_diva.adv);
 
     // Images whose generation failed (guard budget exhausted, worker panic)

@@ -8,6 +8,11 @@
 //! results.
 
 pub mod experiments;
+pub mod microbench;
+pub mod profcmd;
 pub mod suite;
 
-pub use suite::{attack_matrix_row, prepare_victim, AttackKind, ExperimentScale, VictimModels};
+pub use suite::{
+    attack_matrix_row, current_experiment, prepare_victim, AttackKind, ExperimentScale,
+    ExperimentScope, VictimModels,
+};

@@ -1,0 +1,312 @@
+//! The shared microbenchmark catalog behind `cargo bench` and
+//! `repro regress`.
+//!
+//! Criterion produces rich statistics but no machine-comparable artifact,
+//! and it is a dev-dependency — unavailable to the `repro` binary. This
+//! module owns the case list (stable ids, fixed shapes, seeded fixtures)
+//! and a small median-of-N harness, so the same workloads back three
+//! consumers:
+//!
+//! - `cargo bench -p diva-bench` — Criterion iterates the same closures
+//!   for interactive exploration;
+//! - `DIVA_BENCH_JSON=<dir> cargo bench` — the bench binaries skip
+//!   Criterion and emit `BENCH_<area>.json` via [`run_area`];
+//! - `repro regress` — re-measures and compares against the committed
+//!   `BENCH_<area>.json` baselines with `diva_prof`'s comparator.
+//!
+//! Bench ids are `group/variant/shape` (e.g.
+//! `conv_kernels/im2col/n8_c12_s16_co24_k3`): the shape suffix keeps ids
+//! stable under catalog growth, so baselines only churn when a workload
+//! actually changes.
+
+use std::rc::Rc;
+
+use diva_core::attack::{diva_grad, pgd_attack, AttackCfg};
+use diva_core::{diva_attack, DiffModel};
+use diva_models::{Architecture, ModelCfg};
+use diva_nn::train::gather;
+use diva_nn::{losses, Infer, Network};
+use diva_prof::BenchSummary;
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg, RequantMode};
+use diva_tensor::conv::{conv2d, conv2d_naive, Conv2dCfg};
+use diva_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The bench areas, one committed `BENCH_<area>.json` baseline each.
+pub const AREAS: &[&str] = &["kernels", "attacks"];
+
+/// The baseline filename for an area.
+pub fn baseline_file(area: &str) -> String {
+    format!("BENCH_{area}.json")
+}
+
+/// One benchmark: a stable id plus a closure running the workload once.
+pub struct BenchCase {
+    /// Stable id (`group/variant/shape`), the key in `BENCH_<area>.json`.
+    pub id: String,
+    /// Runs one iteration of the workload.
+    pub run: Box<dyn FnMut()>,
+}
+
+impl BenchCase {
+    fn new(id: String, run: impl FnMut() + 'static) -> BenchCase {
+        BenchCase {
+            id,
+            run: Box::new(run),
+        }
+    }
+}
+
+fn rand_tensor(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), dims)
+}
+
+/// The `kernels` area: im2col vs naive convolution at two shapes, and
+/// fixed-point vs float requantization in the deployed engine (the
+/// DESIGN.md §4 kernel ablations).
+pub fn kernel_cases() -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for (n, c_in, side, c_out) in [(8usize, 12usize, 16usize, 24usize), (4, 16, 8, 16)] {
+        let cfg = Conv2dCfg::square(3, 1, 1);
+        let args = Rc::new((
+            rand_tensor(&mut rng, &[n, c_in, side, side]),
+            rand_tensor(&mut rng, &[c_out, c_in, 3, 3]),
+            rand_tensor(&mut rng, &[c_out]),
+        ));
+        let shape = format!("n{n}_c{c_in}_s{side}_co{c_out}_k3");
+        let a = Rc::clone(&args);
+        cases.push(BenchCase::new(
+            format!("conv_kernels/im2col/{shape}"),
+            move || {
+                std::hint::black_box(conv2d(&a.0, &a.1, &a.2, cfg).unwrap());
+            },
+        ));
+        let a = args;
+        cases.push(BenchCase::new(
+            format!("conv_kernels/naive/{shape}"),
+            move || {
+                std::hint::black_box(conv2d_naive(&a.0, &a.1, &a.2, cfg).unwrap());
+            },
+        ));
+    }
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = Architecture::ResNet.build(&ModelCfg::standard(16), &mut rng);
+    let samples: Vec<Tensor> = (0..16)
+        .map(|_| rand_tensor(&mut rng, &[3, 16, 16]).map(|v| (v + 1.0) / 2.0))
+        .collect();
+    let calib = Tensor::stack(&samples);
+    let mut qat = QatNetwork::new(net, QuantCfg::default());
+    qat.calibrate(&calib);
+    let fixed = Int8Engine::from_qat_with_mode(&qat, RequantMode::FixedPoint);
+    let float = fixed.with_mode(RequantMode::Float);
+    let x = Rc::new(gather(&calib, &(0..8).collect::<Vec<_>>()));
+    let xf = Rc::clone(&x);
+    cases.push(BenchCase::new(
+        "engine_requant/fixed_point/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(fixed.logits(&xf));
+        },
+    ));
+    cases.push(BenchCase::new(
+        "engine_requant/float/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(float.logits(&x));
+        },
+    ));
+    cases
+}
+
+/// Fixture shared by the `attacks` area: one trained-shape ResNet victim
+/// in all three deployment forms plus a calibrated attack batch.
+struct AttackFixture {
+    original: Network,
+    qat: QatNetwork,
+    engine: Int8Engine,
+    x: Tensor,
+    labels: Vec<usize>,
+}
+
+fn attack_fixture() -> Rc<AttackFixture> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let original = Architecture::ResNet.build(&ModelCfg::standard(16), &mut rng);
+    let per = 3 * 16 * 16;
+    let samples: Vec<Tensor> = (0..32)
+        .map(|_| {
+            Tensor::from_vec(
+                (0..per).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
+                &[3, 16, 16],
+            )
+        })
+        .collect();
+    let calib = Tensor::stack(&samples);
+    let mut qat = QatNetwork::new(original.clone(), QuantCfg::default());
+    qat.calibrate(&calib);
+    let engine = Int8Engine::from_qat(&qat);
+    let x = gather(&calib, &(0..8).collect::<Vec<_>>());
+    let labels = original.predict(&x);
+    Rc::new(AttackFixture {
+        original,
+        qat,
+        engine,
+        x,
+        labels,
+    })
+}
+
+/// The `attacks` area: per-step gradient cost (the paper's §5.2 "attack
+/// speed" comparison), full 20-step attacks, inference across the three
+/// model forms, and the quantization pipeline. `quantize/calibrate`
+/// includes `QatNetwork` construction — calibration consumes the network,
+/// so building it is part of the measured operation.
+pub fn attack_cases() -> Vec<BenchCase> {
+    let f = attack_fixture();
+    let cfg = AttackCfg::paper_default();
+    let mut cases = Vec::new();
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "attack_step/pgd_grad/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(
+                g.qat
+                    .value_and_grad(&g.x, &mut |l| losses::cross_entropy(l, &g.labels).1)
+                    .1,
+            );
+        },
+    ));
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "attack_step/diva_grad/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(diva_grad(&g.original, &g.qat, &g.x, &g.labels, 1.0));
+        },
+    ));
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "attack_step/pgd_20_steps/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(pgd_attack(&g.qat, &g.x, &g.labels, &cfg));
+        },
+    ));
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "attack_step/diva_20_steps/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(diva_attack(&g.original, &g.qat, &g.x, &g.labels, 1.0, &cfg));
+        },
+    ));
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "inference/fp32/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(g.original.logits(&g.x));
+        },
+    ));
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "inference/fake_quant/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(g.qat.logits(&g.x));
+        },
+    ));
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "inference/int8_engine/resnet16_b8".into(),
+        move || {
+            std::hint::black_box(g.engine.logits(&g.x));
+        },
+    ));
+    let g = Rc::clone(&f);
+    cases.push(BenchCase::new(
+        "quantize/calibrate/resnet16_b8".into(),
+        move || {
+            let mut q = QatNetwork::new(g.original.clone(), QuantCfg::default());
+            q.calibrate(&g.x);
+            std::hint::black_box(q);
+        },
+    ));
+    let g = f;
+    cases.push(BenchCase::new(
+        "quantize/convert_to_engine/resnet16".into(),
+        move || {
+            std::hint::black_box(Int8Engine::from_qat(&g.qat));
+        },
+    ));
+    cases
+}
+
+/// The case list for a named area, or `None` for unknown areas.
+pub fn cases_for_area(area: &str) -> Option<Vec<BenchCase>> {
+    match area {
+        "kernels" => Some(kernel_cases()),
+        "attacks" => Some(attack_cases()),
+        _ => None,
+    }
+}
+
+/// Measurement plan for [`run_area`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureCfg {
+    /// Untimed iterations before sampling (cache/branch warm-up).
+    pub warmup: u32,
+    /// Timed iterations; the summary keeps their median and mean.
+    pub iters: u32,
+}
+
+impl Default for MeasureCfg {
+    fn default() -> Self {
+        // An odd count makes the median an actual sample.
+        MeasureCfg {
+            warmup: 2,
+            iters: 9,
+        }
+    }
+}
+
+/// Measures every case of `area` and returns the summary ready to save as
+/// `BENCH_<area>.json`. Returns `None` for unknown areas.
+pub fn run_area(area: &str, cfg: &MeasureCfg) -> Option<BenchSummary> {
+    let cases = cases_for_area(area)?;
+    let mut summary = BenchSummary::new(area);
+    for mut case in cases {
+        for _ in 0..cfg.warmup {
+            (case.run)();
+        }
+        let mut samples = Vec::with_capacity(cfg.iters as usize);
+        for _ in 0..cfg.iters.max(1) {
+            let start = std::time::Instant::now();
+            (case.run)();
+            let ns = start.elapsed().as_nanos();
+            samples.push(if ns > u64::MAX as u128 {
+                u64::MAX
+            } else {
+                ns as u64
+            });
+        }
+        summary.record_samples(&case.id, &samples);
+        if let Some(entry) = summary.benches.get(&case.id) {
+            diva_trace::progress!(
+                "[bench] {}: median {}ns over {} iters",
+                case.id,
+                entry.median_ns,
+                entry.iters
+            );
+        }
+    }
+    Some(summary)
+}
+
+/// JSON-emission mode for the Criterion bench binaries, driven by
+/// `DIVA_BENCH_JSON`: unset/`0` → `None` (run Criterion normally); `1` →
+/// write `BENCH_<area>.json` into the current directory; anything else →
+/// treat the value as the output *directory*.
+pub fn json_env_path(area: &str) -> Option<std::path::PathBuf> {
+    let v = std::env::var("DIVA_BENCH_JSON").ok()?;
+    match v.as_str() {
+        "" | "0" => None,
+        "1" => Some(std::path::PathBuf::from(baseline_file(area))),
+        dir => Some(std::path::Path::new(dir).join(baseline_file(area))),
+    }
+}

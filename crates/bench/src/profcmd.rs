@@ -1,0 +1,181 @@
+//! The `repro profile` and `repro regress` analysis subcommands.
+//!
+//! Unlike the experiment subcommands these never train models: `profile`
+//! post-processes the trace artifacts an instrumented run already wrote,
+//! and `regress` re-measures the microbench catalog and compares it
+//! against the committed `BENCH_<area>.json` baselines. Both are thin
+//! argument-parsing shells over `diva_prof`.
+
+use std::path::{Path, PathBuf};
+
+use diva_prof::{Analysis, BenchSummary, RegressReport};
+
+use crate::microbench::{self, MeasureCfg};
+
+/// `repro profile [--trace-dir DIR] [--out DIR]`
+///
+/// Reads `metrics.json` + `trace.jsonl` from the trace directory
+/// (`--trace-dir`, else `DIVA_TRACE_DIR`, else `repro_out`), prints the
+/// per-op profile, and writes the report files (profile table, collapsed
+/// stacks, convergence CSVs) under `--out` (default `repro_out/prof`).
+/// Returns the process exit code.
+pub fn run_profile(args: &[String]) -> i32 {
+    let trace_dir = flag_value(args, "--trace-dir")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var("DIVA_TRACE_DIR").ok().map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("repro_out"));
+    let out_dir = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("repro_out/prof"));
+
+    let analysis = match Analysis::load_dir(&trace_dir) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "profile: cannot read trace artifacts in `{}`: {e}",
+                trace_dir.display()
+            );
+            eprintln!(
+                "hint: run an instrumented experiment first, e.g. `DIVA_TRACE=2 repro smoke`"
+            );
+            return 1;
+        }
+    };
+
+    print!("{}", analysis.profile.render());
+    println!();
+    if analysis.convergence.is_empty() {
+        println!(
+            "no attack telemetry in this trace (level {} artifact, {} events); \
+             self time and convergence need DIVA_TRACE=2",
+            analysis.summary.level, analysis.events
+        );
+    } else {
+        print!("{}", analysis.convergence.render_summary());
+    }
+
+    match analysis.write_reports(&out_dir) {
+        Ok(paths) => {
+            println!(
+                "wrote {} report file(s) under {}",
+                paths.len(),
+                out_dir.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!(
+                "profile: cannot write reports under `{}`: {e}",
+                out_dir.display()
+            );
+            1
+        }
+    }
+}
+
+/// `repro regress [--area kernels|attacks] [--threshold PCT] [--iters N]
+/// [--baseline-dir DIR] [--update] [--enforce]`
+///
+/// Re-measures the microbench catalog and compares medians against the
+/// committed `BENCH_<area>.json` baselines. Informational by default: the
+/// table always prints and the fresh measurements are archived under
+/// `repro_out/prof/BENCH_<area>.fresh.json`, but the exit code only turns
+/// non-zero with `--enforce`. `--update` rewrites the baselines in place
+/// (run it on the reference machine when a deliberate perf change lands).
+/// Returns the process exit code.
+pub fn run_regress(args: &[String]) -> i32 {
+    let threshold: f64 = match flag_value(args, "--threshold").map(str::parse) {
+        None => 10.0,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("regress: --threshold wants a number (percent)");
+            return 2;
+        }
+    };
+    let iters: u32 = match flag_value(args, "--iters").map(str::parse) {
+        None => MeasureCfg::default().iters,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("regress: --iters wants a positive integer");
+            return 2;
+        }
+    };
+    let area_filter = flag_value(args, "--area");
+    if let Some(a) = area_filter {
+        if !microbench::AREAS.contains(&a) {
+            eprintln!(
+                "regress: unknown area `{a}` (known: {})",
+                microbench::AREAS.join(", ")
+            );
+            return 2;
+        }
+    }
+    let baseline_dir = PathBuf::from(flag_value(args, "--baseline-dir").unwrap_or("."));
+    let update = args.iter().any(|a| a == "--update");
+    let enforce = args.iter().any(|a| a == "--enforce");
+    let out_dir = Path::new("repro_out").join("prof");
+    let cfg = MeasureCfg {
+        iters,
+        ..MeasureCfg::default()
+    };
+
+    let mut regressions = 0usize;
+    let mut broken = 0usize;
+    for area in microbench::AREAS {
+        if area_filter.is_some_and(|f| f != *area) {
+            continue;
+        }
+        let fresh = microbench::run_area(area, &cfg).expect("area comes from AREAS");
+        if std::fs::create_dir_all(&out_dir).is_ok() {
+            let archive = out_dir.join(format!("BENCH_{area}.fresh.json"));
+            if let Err(e) = fresh.save(&archive) {
+                eprintln!("regress: cannot archive {}: {e}", archive.display());
+            }
+        }
+        let baseline_path = baseline_dir.join(microbench::baseline_file(area));
+        if update {
+            match fresh.save(&baseline_path) {
+                Ok(()) => println!("updated {}", baseline_path.display()),
+                Err(e) => {
+                    eprintln!("regress: cannot update {}: {e}", baseline_path.display());
+                    broken += 1;
+                }
+            }
+            continue;
+        }
+        match BenchSummary::load(&baseline_path) {
+            Ok(baseline) => {
+                let report = RegressReport::compare(&baseline, &fresh, threshold);
+                print!("{}", report.render());
+                println!();
+                regressions += report.regressions();
+            }
+            Err(e) => {
+                eprintln!(
+                    "regress: no usable baseline at {} ({e}); \
+                     run `repro regress --update` to create one",
+                    baseline_path.display()
+                );
+                broken += 1;
+            }
+        }
+    }
+
+    if regressions > 0 {
+        println!("{regressions} bench(es) regressed beyond {threshold:.1}%");
+    }
+    if enforce && (regressions > 0 || broken > 0) {
+        return 1;
+    }
+    if regressions > 0 || broken > 0 {
+        println!("informational mode: exit 0 (pass --enforce to gate)");
+    }
+    0
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

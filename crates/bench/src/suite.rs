@@ -226,6 +226,42 @@ impl VictimModels {
     }
 }
 
+thread_local! {
+    static CURRENT_EXPERIMENT: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// RAII label naming the experiment currently running on this thread.
+///
+/// While held, suite-level telemetry that aggregates across experiments
+/// (today: `bench.attack_gen_seconds`) is *also* recorded into a
+/// per-experiment histogram (`bench.attack_gen_seconds.<id>`), so
+/// `repro profile` can report attack-generation p50/p95 per experiment
+/// from `metrics.json` alone. The `repro` driver enters one scope per
+/// subcommand; scopes nest and drop restores the outer one.
+pub struct ExperimentScope {
+    prev: Option<String>,
+}
+
+impl ExperimentScope {
+    /// Labels this thread's suite telemetry with the experiment `id`.
+    pub fn enter(id: &str) -> ExperimentScope {
+        let prev = CURRENT_EXPERIMENT.with(|s| s.replace(Some(id.to_string())));
+        ExperimentScope { prev }
+    }
+}
+
+impl Drop for ExperimentScope {
+    fn drop(&mut self) {
+        CURRENT_EXPERIMENT.with(|s| *s.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The experiment id labelling the calling thread, if any.
+pub fn current_experiment() -> Option<String> {
+    CURRENT_EXPERIMENT.with(|s| s.borrow().clone())
+}
+
 /// The attacks compared across the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AttackKind {
@@ -282,6 +318,7 @@ pub struct Surrogates {
 
 /// Builds both surrogate bundles from the deployed engine and attacker data.
 pub fn prepare_surrogates(victim: &VictimModels, scale: &ExperimentScale) -> Surrogates {
+    let _span = diva_trace::span(1, "bench.prepare_surrogates");
     let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xBB);
     let distill_cfg = DistillCfg::default();
     let surrogate_train = TrainCfg {
@@ -355,9 +392,7 @@ fn reject_ckpt(path: &std::path::Path, why: &str) {
 fn load_ckpt_payload(path: &std::path::Path) -> Option<Vec<u8>> {
     match diva_fault::ckpt::read_verified(path) {
         Ok(p) => Some(p),
-        Err(diva_fault::ckpt::CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-            None
-        }
+        Err(diva_fault::ckpt::CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
         Err(e) => {
             reject_ckpt(path, &e.to_string());
             None
@@ -575,47 +610,57 @@ pub fn attack_matrix_row_adv(
         None
     };
     let started = std::time::Instant::now();
+    let kind_name = kind.name();
     // Fan out one trajectory per image (diva-par; sized by DIVA_JOBS).
     // Results merge in image order, so counts/flips/counters match serial.
-    let gen = par_attack_images(x, labels, watch, |_i, xi, yi, hook| match kind {
-        AttackKind::Pgd => pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
-        AttackKind::MomentumPgd => momentum_pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
-        AttackKind::Cw => cw_attack_traced(&victim.qat, xi, yi, cfg, hook),
-        AttackKind::DivaWhitebox(c) => {
-            diva_attack_traced(&victim.original, &victim.qat, xi, yi, c, cfg, hook)
-        }
-        AttackKind::DivaSemiBlackbox(c) => {
-            let s = surrogates.expect("checked before the fan-out");
-            diva_attack_traced(
-                &s.semi.surrogate_original,
-                &s.semi.recovered_adapted,
-                xi,
-                yi,
-                c,
-                cfg,
-                hook,
-            )
-        }
-        AttackKind::DivaBlackbox(c) => {
-            let s = surrogates.expect("checked before the fan-out");
-            diva_attack_traced(
-                &s.black.surrogate_original,
-                &s.black.surrogate_adapted,
-                xi,
-                yi,
-                c,
-                cfg,
-                hook,
-            )
-        }
-    });
+    let gen = par_attack_images(
+        &kind_name,
+        x,
+        labels,
+        watch,
+        |_i, xi, yi, hook| match kind {
+            AttackKind::Pgd => pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
+            AttackKind::MomentumPgd => momentum_pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
+            AttackKind::Cw => cw_attack_traced(&victim.qat, xi, yi, cfg, hook),
+            AttackKind::DivaWhitebox(c) => {
+                diva_attack_traced(&victim.original, &victim.qat, xi, yi, c, cfg, hook)
+            }
+            AttackKind::DivaSemiBlackbox(c) => {
+                let s = surrogates.expect("checked before the fan-out");
+                diva_attack_traced(
+                    &s.semi.surrogate_original,
+                    &s.semi.recovered_adapted,
+                    xi,
+                    yi,
+                    c,
+                    cfg,
+                    hook,
+                )
+            }
+            AttackKind::DivaBlackbox(c) => {
+                let s = surrogates.expect("checked before the fan-out");
+                diva_attack_traced(
+                    &s.black.surrogate_original,
+                    &s.black.surrogate_adapted,
+                    xi,
+                    yi,
+                    c,
+                    cfg,
+                    hook,
+                )
+            }
+        },
+    );
     let adv = gen.adv;
     let gen_seconds = started.elapsed().as_secs_f64();
     diva_trace::record_secs(1, "bench.attack_gen_seconds", gen_seconds);
+    if let Some(exp) = current_experiment() {
+        diva_trace::record_secs(1, &format!("bench.attack_gen_seconds.{exp}"), gen_seconds);
+    }
     diva_trace::event!(
         1,
         "bench.attack_generated",
-        kind = kind.name(),
+        kind = kind_name,
         images = attack_set.len(),
         jobs = diva_par::jobs().min(attack_set.len().max(1)),
         gen_seconds = gen_seconds,

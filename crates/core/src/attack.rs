@@ -91,6 +91,43 @@ pub fn take_guard_report() -> GuardReport {
     GUARD_REPORT.with(|c| c.take())
 }
 
+thread_local! {
+    static TRACE_SCOPE: std::cell::RefCell<Option<(String, u64)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// RAII label giving attack trace events a stable identity.
+///
+/// While held, `attack.step` events emitted by [`projected_ascent`] on this
+/// thread (and the `attack.trajectory` events from
+/// [`crate::par_attack_images`]) carry `attack` and `item` fields, so
+/// offline tooling (diva-prof) can key trajectories by
+/// `(attack, item, step)` — ids that depend only on the attack label and
+/// the image's batch index, never on thread scheduling or `DIVA_JOBS`.
+/// Scopes nest; dropping restores the previous scope.
+pub struct TraceScope {
+    prev: Option<(String, u64)>,
+}
+
+impl TraceScope {
+    /// Labels this thread's attack events as `(attack, item)` until drop.
+    pub fn enter(attack: &str, item: u64) -> TraceScope {
+        let prev = TRACE_SCOPE.with(|s| s.replace(Some((attack.to_string(), item))));
+        TraceScope { prev }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        TRACE_SCOPE.with(|s| *s.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The calling thread's current `(attack, item)` label, if any.
+pub(crate) fn trace_scope() -> Option<(String, u64)> {
+    TRACE_SCOPE.with(|s| s.borrow().clone())
+}
+
 /// The projected gradient-ascent driver shared by every attack (Eq. 3):
 ///
 /// `x_{t+1} = Clip_{x,ε}( x_t + α · sign(g_t) )`
@@ -190,13 +227,21 @@ pub fn projected_ascent(
         x = clip_to_ball(&x, x_nat, cfg.eps);
         last_good = x.clone();
         diva_trace::counter!("attack.steps", 1);
-        diva_trace::event!(
-            2,
-            "attack.step",
-            step = t,
-            loss = loss,
-            grad_sign_agreement = grad_sign_agreement,
-        );
+        if diva_trace::enabled(2) {
+            let mut fields = vec![
+                ("step", diva_trace::Value::from(t)),
+                ("loss", diva_trace::Value::from(loss)),
+                (
+                    "grad_sign_agreement",
+                    diva_trace::Value::from(grad_sign_agreement),
+                ),
+            ];
+            if let Some((attack, item)) = trace_scope() {
+                fields.push(("attack", diva_trace::Value::from(attack)));
+                fields.push(("item", diva_trace::Value::from(item)));
+            }
+            diva_trace::event_at(2, "attack.step", &fields);
+        }
         on_step(&StepInfo {
             x: &x,
             step: t,

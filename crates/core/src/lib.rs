@@ -46,7 +46,7 @@ pub mod robust;
 
 pub use attack::{
     cw_attack, diva_attack, diva_targeted_attack, fgsm_attack, momentum_pgd_attack, pgd_attack,
-    AttackCfg,
+    AttackCfg, TraceScope,
 };
 pub use model::DiffModel;
 pub use parallel::{par_attack_images, ParAttackOutput};

@@ -43,6 +43,13 @@ pub struct ParAttackOutput {
 
 /// Generates one adversarial example per image of `x_nat`, in parallel.
 ///
+/// `kind` is a stable attack label (`"PGD"`, `"DIVA (whitebox)"`, ...): each
+/// trajectory runs inside a [`crate::attack::TraceScope`]`(kind, i)`, so at
+/// `DIVA_TRACE=2` its `attack.step` events are attributed to
+/// `(attack, item)` and one `attack.trajectory` event summarises the image
+/// (first-flip step, guard outcome) — the raw material for diva-prof's
+/// convergence analytics.
+///
 /// `attack` is invoked once per image with `(index, single-image batch,
 /// single-label slice, step hook)` and must return the adversarial
 /// single-image batch; it sees the same 1-image tensors a serial per-image
@@ -55,6 +62,7 @@ pub struct ParAttackOutput {
 /// depends only on its own index, so the output is bit-identical for every
 /// worker count.
 pub fn par_attack_images<W, F>(
+    kind: &str,
     x_nat: &Tensor,
     labels: &[usize],
     watch: Option<&W>,
@@ -69,6 +77,7 @@ where
     let _span = diva_trace::span(1, "attack.par_images");
     let per_image = diva_par::par_map_indexed_catch(n, |i| {
         let _scope = diva_fault::ItemScope::enter(i);
+        let _tscope = crate::attack::TraceScope::enter(kind, i as u64);
         diva_fault::maybe_panic(i);
         let xi = gather(x_nat, &[i]);
         let yi = [labels[i]];
@@ -83,6 +92,14 @@ where
         };
         let flip = tracker.and_then(|t| t.first_flips()[0]);
         let guard_failed = take_guard_report().failed;
+        diva_trace::event!(
+            2,
+            "attack.trajectory",
+            attack = kind,
+            item = i,
+            first_flip = flip.map(|s| s as i64).unwrap_or(-1),
+            failed = guard_failed,
+        );
         (adv_i.index_batch(0), flip, guard_failed)
     });
     let mut samples = Vec::with_capacity(n);
@@ -151,7 +168,7 @@ mod tests {
         let cfg = AttackCfg::with_steps(4);
         let run = |jobs: usize| {
             diva_par::set_jobs(jobs);
-            let out = par_attack_images(&x, &labels, Some(&qat), |_, xi, yi, hook| {
+            let out = par_attack_images("DIVA", &x, &labels, Some(&qat), |_, xi, yi, hook| {
                 diva_attack_traced(&net, &qat, xi, yi, 1.0, &cfg, hook)
             });
             diva_par::set_jobs(0);
@@ -170,9 +187,13 @@ mod tests {
         let (_net, qat, x, labels) = victim();
         let cfg = AttackCfg::with_steps(3);
         diva_par::set_jobs(2);
-        let out = par_attack_images(&x, &labels, None::<&QatNetwork>, |_, xi, yi, hook| {
-            pgd_attack_traced(&qat, xi, yi, &cfg, hook)
-        });
+        let out = par_attack_images(
+            "PGD",
+            &x,
+            &labels,
+            None::<&QatNetwork>,
+            |_, xi, yi, hook| pgd_attack_traced(&qat, xi, yi, &cfg, hook),
+        );
         diva_par::set_jobs(0);
         assert!(!out.tracked);
         assert_eq!(out.first_flips, vec![None; labels.len()]);
@@ -196,9 +217,13 @@ mod tests {
         diva_fault::set_plan(Some(plan));
         for jobs in [1, 4] {
             diva_par::set_jobs(jobs);
-            let out = par_attack_images(&x, &labels, None::<&QatNetwork>, |_, xi, yi, hook| {
-                pgd_attack_traced(&qat, xi, yi, &cfg, hook)
-            });
+            let out = par_attack_images(
+                "PGD",
+                &x,
+                &labels,
+                None::<&QatNetwork>,
+                |_, xi, yi, hook| pgd_attack_traced(&qat, xi, yi, &cfg, hook),
+            );
             diva_par::set_jobs(0);
             assert_eq!(
                 out.failed,

@@ -1,0 +1,447 @@
+//! Bench baseline files (`BENCH_*.json`) and the regression comparator.
+//!
+//! The bench suites emit one summary file per area (`kernels`, `attacks`)
+//! with a median ns/iter per stable bench id. Baselines are committed at
+//! the repo root; `repro regress` re-measures and compares against them
+//! with a configurable threshold, so perf regressions show up in review
+//! instead of months later.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use diva_trace::json::{self, Json};
+use diva_trace::ArtifactError;
+
+/// Schema tag written into every summary file; bumps on layout changes.
+pub const BENCH_SCHEMA: &str = "diva-bench/1";
+
+/// Measurements for one bench id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Number of measured iterations behind the statistics.
+    pub iters: u64,
+}
+
+/// One `BENCH_<area>.json` file: an area plus its per-bench medians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Suite area, e.g. `kernels` or `attacks`.
+    pub area: String,
+    /// Per-bench measurements keyed by stable bench id.
+    pub benches: BTreeMap<String, BenchEntry>,
+}
+
+impl BenchSummary {
+    /// An empty summary for `area`.
+    pub fn new(area: &str) -> BenchSummary {
+        BenchSummary {
+            area: area.to_string(),
+            benches: BTreeMap::new(),
+        }
+    }
+
+    /// Records raw per-iteration samples for `id`, reducing them to
+    /// median/mean. Empty samples are ignored.
+    pub fn record_samples(&mut self, id: &str, samples_ns: &[u64]) {
+        if samples_ns.is_empty() {
+            return;
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let median_ns = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            // Midpoint of the two central samples, rounding down.
+            let lo = sorted[n / 2 - 1];
+            let hi = sorted[n / 2];
+            lo + (hi - lo) / 2
+        };
+        let mean_ns = sorted.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        self.benches.insert(
+            id.to_string(),
+            BenchEntry {
+                median_ns,
+                mean_ns,
+                iters: n as u64,
+            },
+        );
+    }
+
+    /// Serializes to the `BENCH_<area>.json` layout (sorted keys, so the
+    /// committed baseline diffs cleanly).
+    pub fn to_json(&self) -> Json {
+        let mut benches = Json::obj();
+        for (id, e) in &self.benches {
+            let mut obj = Json::obj();
+            obj.set("median_ns", Json::Num(e.median_ns as f64));
+            obj.set("mean_ns", Json::Num(e.mean_ns));
+            obj.set("iters", Json::Num(e.iters as f64));
+            benches.set(id, obj);
+        }
+        let mut out = Json::obj();
+        out.set("schema", Json::Str(BENCH_SCHEMA.to_string()));
+        out.set("area", Json::Str(self.area.clone()));
+        out.set("benches", benches);
+        out
+    }
+
+    /// Parses a summary from a JSON tree, validating the schema tag.
+    pub fn from_json(v: &Json) -> Result<BenchSummary, ArtifactError> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ArtifactError::Schema("`schema` missing or not a string".into()))?;
+        if schema != BENCH_SCHEMA {
+            return Err(ArtifactError::Schema(format!(
+                "unsupported bench schema `{schema}` (want `{BENCH_SCHEMA}`)"
+            )));
+        }
+        let area = v
+            .get("area")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ArtifactError::Schema("`area` missing or not a string".into()))?
+            .to_string();
+        let mut benches = BTreeMap::new();
+        let bench_map = v
+            .get("benches")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| ArtifactError::Schema("`benches` missing or not an object".into()))?;
+        for (id, e) in bench_map {
+            let field = |key: &str| -> Result<u64, ArtifactError> {
+                e.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                    ArtifactError::Schema(format!(
+                        "`benches.{id}.{key}` missing or not a non-negative integer"
+                    ))
+                })
+            };
+            let mean_ns = e.get("mean_ns").and_then(Json::as_f64).ok_or_else(|| {
+                ArtifactError::Schema(format!("`benches.{id}.mean_ns` missing or not a number"))
+            })?;
+            benches.insert(
+                id.clone(),
+                BenchEntry {
+                    median_ns: field("median_ns")?,
+                    mean_ns,
+                    iters: field("iters")?,
+                },
+            );
+        }
+        Ok(BenchSummary { area, benches })
+    }
+
+    /// Parses `BENCH_<area>.json` text.
+    pub fn parse(text: &str) -> Result<BenchSummary, ArtifactError> {
+        BenchSummary::from_json(&json::parse(text)?)
+    }
+
+    /// Loads and parses a summary file.
+    pub fn load(path: impl AsRef<Path>) -> Result<BenchSummary, ArtifactError> {
+        BenchSummary::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Writes the summary (pretty, trailing newline) to `path`, creating
+    /// missing parent directories (`DIVA_BENCH_JSON` may name a fresh dir).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut body = self.to_json().to_string_pretty();
+        body.push('\n');
+        std::fs::write(path, body)
+    }
+}
+
+/// Outcome of comparing one bench id between baseline and fresh runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressStatus {
+    /// Delta within the threshold (either direction).
+    Ok,
+    /// Fresh median slower than baseline by more than the threshold.
+    Regressed,
+    /// Fresh median faster than baseline by more than the threshold.
+    Improved,
+    /// Present only in the fresh run (new bench, stale baseline).
+    New,
+    /// Present only in the baseline (bench removed or skipped).
+    Missing,
+}
+
+impl RegressStatus {
+    fn label(self) -> &'static str {
+        match self {
+            RegressStatus::Ok => "ok",
+            RegressStatus::Regressed => "REGRESSED",
+            RegressStatus::Improved => "improved",
+            RegressStatus::New => "new",
+            RegressStatus::Missing => "missing",
+        }
+    }
+}
+
+/// One comparator row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressRow {
+    /// Bench id.
+    pub id: String,
+    /// Baseline median, if the id existed in the baseline.
+    pub baseline_ns: Option<u64>,
+    /// Fresh median, if the id was measured this run.
+    pub fresh_ns: Option<u64>,
+    /// Percent change fresh vs baseline (`+` = slower); `None` when either
+    /// side is absent or the baseline median is 0.
+    pub delta_pct: Option<f64>,
+    /// Classification against the threshold.
+    pub status: RegressStatus,
+}
+
+/// Full comparison of a fresh [`BenchSummary`] against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressReport {
+    /// Area the comparison covers.
+    pub area: String,
+    /// Regression threshold in percent.
+    pub threshold_pct: f64,
+    /// One row per bench id in either summary, sorted by id.
+    pub rows: Vec<RegressRow>,
+}
+
+impl RegressReport {
+    /// Compares `fresh` against `baseline`: a delta beyond
+    /// `threshold_pct` percent is a regression (slower) or an improvement
+    /// (faster); ids on only one side are flagged, never silently dropped.
+    pub fn compare(baseline: &BenchSummary, fresh: &BenchSummary, threshold_pct: f64) -> Self {
+        let mut ids: Vec<&String> = baseline.benches.keys().collect();
+        for id in fresh.benches.keys() {
+            if !baseline.benches.contains_key(id) {
+                ids.push(id);
+            }
+        }
+        ids.sort();
+        let rows = ids
+            .into_iter()
+            .map(|id| {
+                let base = baseline.benches.get(id).map(|e| e.median_ns);
+                let new = fresh.benches.get(id).map(|e| e.median_ns);
+                let (delta_pct, status) = match (base, new) {
+                    (Some(b), Some(f)) if b > 0 => {
+                        let delta = 100.0 * (f as f64 - b as f64) / b as f64;
+                        let status = if delta > threshold_pct {
+                            RegressStatus::Regressed
+                        } else if delta < -threshold_pct {
+                            RegressStatus::Improved
+                        } else {
+                            RegressStatus::Ok
+                        };
+                        (Some(delta), status)
+                    }
+                    (Some(_), Some(_)) => (None, RegressStatus::Ok),
+                    (None, Some(_)) => (None, RegressStatus::New),
+                    (Some(_), None) => (None, RegressStatus::Missing),
+                    (None, None) => unreachable!("id came from one of the maps"),
+                };
+                RegressRow {
+                    id: id.clone(),
+                    baseline_ns: base,
+                    fresh_ns: new,
+                    delta_pct,
+                    status,
+                }
+            })
+            .collect();
+        RegressReport {
+            area: fresh.area.clone(),
+            threshold_pct,
+            rows,
+        }
+    }
+
+    /// Number of rows classified as regressions.
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.status == RegressStatus::Regressed)
+            .count()
+    }
+
+    /// Renders the aligned comparison table.
+    pub fn render(&self) -> String {
+        let id_w = self
+            .rows
+            .iter()
+            .map(|r| r.id.len())
+            .max()
+            .unwrap_or(5)
+            .max("bench".len());
+        let fmt_opt = |v: Option<u64>| match v {
+            Some(ns) => crate::profile::fmt_ns(ns),
+            None => "-".to_string(),
+        };
+        let mut out = format!(
+            "area {} (threshold {:.1}%)\n{:<id_w$}  {:>10}  {:>10}  {:>8}  {}\n",
+            self.area, self.threshold_pct, "bench", "baseline", "fresh", "delta", "status"
+        );
+        for r in &self.rows {
+            let delta = match r.delta_pct {
+                Some(d) => format!("{d:+.1}%"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<id_w$}  {:>10}  {:>10}  {:>8}  {}\n",
+                r.id,
+                fmt_opt(r.baseline_ns),
+                fmt_opt(r.fresh_ns),
+                delta,
+                r.status.label()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(area: &str, entries: &[(&str, u64)]) -> BenchSummary {
+        let mut s = BenchSummary::new(area);
+        for (id, median) in entries {
+            s.benches.insert(
+                id.to_string(),
+                BenchEntry {
+                    median_ns: *median,
+                    mean_ns: *median as f64,
+                    iters: 9,
+                },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn record_samples_reduces_to_median_and_mean() {
+        let mut s = BenchSummary::new("kernels");
+        s.record_samples("conv/a", &[30, 10, 20]);
+        s.record_samples("conv/b", &[10, 20, 30, 100]);
+        s.record_samples("conv/none", &[]);
+        let a = &s.benches["conv/a"];
+        assert_eq!((a.median_ns, a.iters), (20, 3));
+        assert!((a.mean_ns - 20.0).abs() < 1e-12);
+        // Even count: midpoint of the two central samples.
+        assert_eq!(s.benches["conv/b"].median_ns, 25);
+        assert!((s.benches["conv/b"].mean_ns - 40.0).abs() < 1e-12);
+        assert!(!s.benches.contains_key("conv/none"));
+    }
+
+    #[test]
+    fn bench_summary_round_trips_through_json() {
+        let mut s = BenchSummary::new("attacks");
+        s.record_samples("attack/pgd_grad/r16_b8", &[1_000, 1_200, 1_100]);
+        s.record_samples("infer/fp32/r16_b8", &[500_000, 480_000, 520_000]);
+        let text = {
+            let mut t = s.to_json().to_string_pretty();
+            t.push('\n');
+            t
+        };
+        assert!(text.contains("\"schema\": \"diva-bench/1\""), "{text}");
+        let back = BenchSummary::parse(&text).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn bench_summary_save_load_round_trip_on_disk() {
+        let mut s = BenchSummary::new("kernels");
+        s.record_samples("conv2d/im2col/x", &[10, 20, 30]);
+        // Save into a directory that does not exist yet: `save` must create
+        // it (DIVA_BENCH_JSON can point at a fresh output dir).
+        let dir = std::env::temp_dir().join(format!("diva_prof_bench_rt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("nested").join("BENCH_kernels.json");
+        s.save(&path).expect("save creates parent dirs");
+        let back = BenchSummary::load(&path).expect("load");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_bench_files_are_typed_errors() {
+        assert!(matches!(
+            BenchSummary::parse("{nope"),
+            Err(ArtifactError::Json(_))
+        ));
+        match BenchSummary::parse(r#"{"schema":"other/9","area":"x","benches":{}}"#) {
+            Err(ArtifactError::Schema(msg)) => assert!(msg.contains("other/9"), "{msg}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        match BenchSummary::parse(
+            r#"{"schema":"diva-bench/1","area":"x","benches":{"b":{"iters":3}}}"#,
+        ) {
+            Err(ArtifactError::Schema(msg)) => assert!(msg.contains("benches.b"), "{msg}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        assert!(matches!(
+            BenchSummary::load("/nonexistent/BENCH_x.json"),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn comparator_classifies_all_statuses() {
+        let baseline = summary(
+            "kernels",
+            &[
+                ("steady", 1_000),
+                ("slower", 1_000),
+                ("faster", 1_000),
+                ("gone", 1_000),
+            ],
+        );
+        let fresh = summary(
+            "kernels",
+            &[
+                ("steady", 1_030),
+                ("slower", 1_200),
+                ("faster", 700),
+                ("added", 42),
+            ],
+        );
+        let report = RegressReport::compare(&baseline, &fresh, 5.0);
+        let by_id = |id: &str| report.rows.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(by_id("steady").status, RegressStatus::Ok);
+        assert_eq!(by_id("slower").status, RegressStatus::Regressed);
+        assert!((by_id("slower").delta_pct.unwrap() - 20.0).abs() < 1e-9);
+        assert_eq!(by_id("faster").status, RegressStatus::Improved);
+        assert_eq!(by_id("added").status, RegressStatus::New);
+        assert_eq!(by_id("gone").status, RegressStatus::Missing);
+        assert_eq!(report.regressions(), 1);
+        let table = report.render();
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("threshold 5.0%"), "{table}");
+    }
+
+    #[test]
+    fn comparator_threshold_is_configurable() {
+        let baseline = summary("kernels", &[("b", 1_000)]);
+        let fresh = summary("kernels", &[("b", 1_200)]);
+        assert_eq!(
+            RegressReport::compare(&baseline, &fresh, 5.0).regressions(),
+            1
+        );
+        assert_eq!(
+            RegressReport::compare(&baseline, &fresh, 25.0).regressions(),
+            0
+        );
+        // Zero-median baselines cannot produce a ratio; they stay `Ok`.
+        let zero = summary("kernels", &[("b", 0)]);
+        let report = RegressReport::compare(&zero, &fresh, 5.0);
+        assert_eq!(report.rows[0].status, RegressStatus::Ok);
+        assert_eq!(report.rows[0].delta_pct, None);
+    }
+}

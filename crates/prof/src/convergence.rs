@@ -1,0 +1,317 @@
+//! Attack-convergence analytics from `attack.step` / `attack.trajectory`
+//! events.
+//!
+//! At `DIVA_TRACE=2` the projected-ascent driver emits one `attack.step`
+//! event per optimizer step (loss, FP/quantized gradient sign agreement)
+//! and the parallel attack runner emits one `attack.trajectory` event per
+//! finished image (first label-flip step, guard outcome). Both are stamped
+//! with a stable `(attack, item)` id, so the interleaved multi-thread
+//! stream aggregates into per-attack curves regardless of `DIVA_JOBS`.
+
+use std::collections::BTreeMap;
+
+use diva_trace::{Json, TraceEvent};
+
+/// Aggregate over all `attack.step` events for one `(attack, step)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepAgg {
+    /// Number of step events with a loss sample.
+    pub n: u64,
+    /// Sum of losses (for the mean).
+    pub loss_sum: f64,
+    /// Smallest observed loss.
+    pub loss_min: f64,
+    /// Largest observed loss.
+    pub loss_max: f64,
+    /// Sum of gradient-sign-agreement samples.
+    pub agree_sum: f64,
+    /// Number of agreement samples (absent for single-model attacks).
+    pub agree_n: u64,
+}
+
+impl Default for StepAgg {
+    fn default() -> Self {
+        StepAgg {
+            n: 0,
+            loss_sum: 0.0,
+            loss_min: f64::INFINITY,
+            loss_max: f64::NEG_INFINITY,
+            agree_sum: 0.0,
+            agree_n: 0,
+        }
+    }
+}
+
+impl StepAgg {
+    /// Mean loss at this step (0 if no samples).
+    pub fn loss_mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.loss_sum / self.n as f64
+        }
+    }
+
+    /// Mean gradient sign agreement at this step, if sampled.
+    pub fn agree_mean(&self) -> Option<f64> {
+        if self.agree_n == 0 {
+            None
+        } else {
+            Some(self.agree_sum / self.agree_n as f64)
+        }
+    }
+}
+
+/// Per-attack trajectory outcomes from `attack.trajectory` events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrajStats {
+    /// Trajectories (images) attacked.
+    pub n: u64,
+    /// Trajectories where the victim label flipped at some step.
+    pub flipped: u64,
+    /// Trajectories aborted by the divergence guard.
+    pub failed: u64,
+    /// First-flip step of each flipped trajectory (unordered).
+    pub first_flip_steps: Vec<u64>,
+}
+
+/// All convergence analytics for one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Convergence {
+    /// `(attack, step)` loss/agreement aggregates.
+    pub steps: BTreeMap<(String, u64), StepAgg>,
+    /// Per-attack trajectory outcomes.
+    pub trajectories: BTreeMap<String, TrajStats>,
+}
+
+/// Attack label used when an event carries no `attack` field (events
+/// recorded outside a labelled scope, or pre-label artifacts).
+pub const UNATTRIBUTED: &str = "unattributed";
+
+/// Folds the event stream into convergence aggregates. Non-attack events
+/// are ignored; malformed attack events (missing `step`) are skipped
+/// rather than failing the whole analysis.
+pub fn analyze(events: &[TraceEvent]) -> Convergence {
+    let mut out = Convergence::default();
+    for e in events {
+        match e.name.as_str() {
+            "attack.step" => {
+                let Some(step) = e.u64("step") else { continue };
+                let attack = e.str("attack").unwrap_or(UNATTRIBUTED).to_string();
+                let agg = out.steps.entry((attack, step)).or_default();
+                if let Some(loss) = e.f64("loss") {
+                    agg.n += 1;
+                    agg.loss_sum += loss;
+                    agg.loss_min = agg.loss_min.min(loss);
+                    agg.loss_max = agg.loss_max.max(loss);
+                }
+                if let Some(a) = e.f64("grad_sign_agreement") {
+                    agg.agree_sum += a;
+                    agg.agree_n += 1;
+                }
+            }
+            "attack.trajectory" => {
+                let attack = e.str("attack").unwrap_or(UNATTRIBUTED).to_string();
+                let t = out.trajectories.entry(attack).or_default();
+                t.n += 1;
+                if matches!(e.fields.get("failed"), Some(Json::Bool(true))) {
+                    t.failed += 1;
+                }
+                // `first_flip` is -1 when the label never flipped.
+                if let Some(step) = e.f64("first_flip").filter(|s| *s >= 0.0) {
+                    t.flipped += 1;
+                    t.first_flip_steps.push(step as u64);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+impl Convergence {
+    /// True when the trace carried no attack telemetry at all.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty() && self.trajectories.is_empty()
+    }
+
+    /// Per-attack loss curve: `attack,step,n,loss_mean,loss_min,loss_max`.
+    pub fn loss_csv(&self) -> String {
+        let mut out = String::from("attack,step,n,loss_mean,loss_min,loss_max\n");
+        for ((attack, step), agg) in &self.steps {
+            if agg.n == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{attack},{step},{},{:.6},{:.6},{:.6}\n",
+                agg.n,
+                agg.loss_mean(),
+                agg.loss_min,
+                agg.loss_max
+            ));
+        }
+        out
+    }
+
+    /// Gradient-sign-agreement trajectory:
+    /// `attack,step,n,grad_sign_agreement_mean`.
+    pub fn agreement_csv(&self) -> String {
+        let mut out = String::from("attack,step,n,grad_sign_agreement_mean\n");
+        for ((attack, step), agg) in &self.steps {
+            let Some(mean) = agg.agree_mean() else {
+                continue;
+            };
+            out.push_str(&format!("{attack},{step},{},{mean:.6}\n", agg.agree_n));
+        }
+        out
+    }
+
+    /// First-flip-step distribution: `attack,first_flip_step,count`, with a
+    /// trailing `never` row counting trajectories that never flipped.
+    pub fn first_flip_csv(&self) -> String {
+        let mut out = String::from("attack,first_flip_step,count\n");
+        for (attack, t) in &self.trajectories {
+            let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+            for &s in &t.first_flip_steps {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+            for (step, n) in counts {
+                out.push_str(&format!("{attack},{step},{n}\n"));
+            }
+            let never = t.n - t.flipped.min(t.n);
+            if never > 0 {
+                out.push_str(&format!("{attack},never,{never}\n"));
+            }
+        }
+        out
+    }
+
+    /// One-line-per-attack human summary of trajectory outcomes.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        for (attack, t) in &self.trajectories {
+            let mut flips = t.first_flip_steps.clone();
+            flips.sort_unstable();
+            let median = flips
+                .get(flips.len() / 2)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{attack}: {} trajectories, {} flipped, {} guard-failed, median first flip {median}\n",
+                t.n, t.flipped, t.failed
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, fields: &[(&str, Json)]) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            t_us: 0.0,
+            depth: 0,
+            tid: 1,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn step(attack: &str, item: u64, step: u64, loss: f64, agree: Option<f64>) -> TraceEvent {
+        let mut fields = vec![
+            ("attack", Json::Str(attack.to_string())),
+            ("item", Json::Num(item as f64)),
+            ("step", Json::Num(step as f64)),
+            ("loss", Json::Num(loss)),
+        ];
+        if let Some(a) = agree {
+            fields.push(("grad_sign_agreement", Json::Num(a)));
+        }
+        ev("attack.step", &fields)
+    }
+
+    fn trajectory(attack: &str, item: u64, first_flip: i64, failed: bool) -> TraceEvent {
+        ev(
+            "attack.trajectory",
+            &[
+                ("attack", Json::Str(attack.to_string())),
+                ("item", Json::Num(item as f64)),
+                ("first_flip", Json::Num(first_flip as f64)),
+                ("failed", Json::Bool(failed)),
+            ],
+        )
+    }
+
+    #[test]
+    fn step_events_aggregate_into_per_attack_curves() {
+        let events = vec![
+            step("PGD", 0, 0, 2.0, None),
+            step("PGD", 1, 0, 4.0, None),
+            step("PGD", 0, 1, 1.0, None),
+            step("DIVA", 0, 0, 8.0, Some(0.75)),
+            step("DIVA", 0, 1, 6.0, Some(0.25)),
+            // Ignored: unrelated event and a step event with no step field.
+            ev("nn.forward", &[]),
+            ev("attack.step", &[("loss", Json::Num(9.0))]),
+        ];
+        let c = analyze(&events);
+        let pgd0 = &c.steps[&("PGD".to_string(), 0)];
+        assert_eq!(pgd0.n, 2);
+        assert!((pgd0.loss_mean() - 3.0).abs() < 1e-12);
+        assert_eq!(pgd0.loss_min, 2.0);
+        assert_eq!(pgd0.loss_max, 4.0);
+        assert_eq!(pgd0.agree_mean(), None);
+        let diva1 = &c.steps[&("DIVA".to_string(), 1)];
+        assert_eq!(diva1.agree_mean(), Some(0.25));
+
+        let loss = c.loss_csv();
+        assert!(loss.starts_with("attack,step,n,loss_mean"), "{loss}");
+        assert!(
+            loss.contains("PGD,0,2,3.000000,2.000000,4.000000\n"),
+            "{loss}"
+        );
+        let agree = c.agreement_csv();
+        // PGD rows carry no agreement samples and are omitted entirely.
+        assert!(!agree.contains("PGD"), "{agree}");
+        assert!(agree.contains("DIVA,1,1,0.250000\n"), "{agree}");
+    }
+
+    #[test]
+    fn trajectories_build_first_flip_distribution() {
+        let events = vec![
+            trajectory("DIVA", 0, 3, false),
+            trajectory("DIVA", 1, 3, false),
+            trajectory("DIVA", 2, 7, false),
+            trajectory("DIVA", 3, -1, true),
+        ];
+        let c = analyze(&events);
+        let t = &c.trajectories["DIVA"];
+        assert_eq!((t.n, t.flipped, t.failed), (4, 3, 1));
+        let csv = c.first_flip_csv();
+        assert!(csv.contains("DIVA,3,2\n"), "{csv}");
+        assert!(csv.contains("DIVA,7,1\n"), "{csv}");
+        assert!(csv.contains("DIVA,never,1\n"), "{csv}");
+        let summary = c.render_summary();
+        assert!(
+            summary.contains("DIVA: 4 trajectories, 3 flipped, 1 guard-failed"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn events_without_attack_field_fall_back_to_unattributed() {
+        let events = vec![ev(
+            "attack.step",
+            &[("step", Json::Num(0.0)), ("loss", Json::Num(1.0))],
+        )];
+        let c = analyze(&events);
+        assert!(c.steps.contains_key(&(UNATTRIBUTED.to_string(), 0)));
+        assert!(!c.is_empty());
+        assert!(Convergence::default().is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! diva-prof: offline analysis of diva-trace artifacts.
+//!
+//! The tracing layer (diva-trace) records; this crate *explains*. It is
+//! the analysis half of the observability stack, and — like the recorder —
+//! dependency-free, so it builds anywhere the workspace does:
+//!
+//! - [`profile`]: per-op time tables (total/self/p50/p95) and
+//!   collapsed-stack output for flamegraph tooling, reconstructed from
+//!   span-close events.
+//! - [`convergence`]: per-attack loss curves, gradient-sign-agreement
+//!   trajectories, and first-flip-step distributions from `attack.*`
+//!   events, written as CSVs.
+//! - [`bench`]: the `BENCH_<area>.json` baseline format and the
+//!   threshold-based regression comparator behind `repro regress`.
+//!
+//! The `repro profile` subcommand is a thin CLI over [`Analysis`]: load a
+//! trace directory, write the report files, print the table.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub mod bench;
+pub mod convergence;
+pub mod profile;
+
+pub use bench::{BenchEntry, BenchSummary, RegressReport, RegressRow, RegressStatus, BENCH_SCHEMA};
+pub use convergence::Convergence;
+pub use profile::{CallNode, OpProfile, OpRow};
+
+use diva_trace::{ArtifactError, MetricsSummary};
+
+/// Everything `repro profile` derives from one trace directory.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The parsed `metrics.json`.
+    pub summary: MetricsSummary,
+    /// Per-op table joining metrics with call-tree self times.
+    pub profile: OpProfile,
+    /// Attack convergence aggregates (empty below `DIVA_TRACE=2`).
+    pub convergence: Convergence,
+    /// Collapsed stacks (`a;b;c -> self ns`), empty without span events.
+    pub collapsed: BTreeMap<String, u64>,
+    /// Number of trace events consumed.
+    pub events: usize,
+}
+
+impl Analysis {
+    /// Builds the full analysis from already-loaded artifacts.
+    pub fn from_artifacts(summary: MetricsSummary, events: &[diva_trace::TraceEvent]) -> Analysis {
+        let roots = profile::build_call_trees(events);
+        Analysis {
+            profile: OpProfile::build(&summary, &roots),
+            convergence: convergence::analyze(events),
+            collapsed: profile::collapsed_stacks(&roots),
+            events: events.len(),
+            summary,
+        }
+    }
+
+    /// Loads `metrics.json` + `trace.jsonl` from a trace directory.
+    ///
+    /// `metrics.json` is required; a missing `trace.jsonl` (or one with no
+    /// span events — a level-1 run) degrades to a metrics-only profile
+    /// rather than failing.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Analysis, ArtifactError> {
+        let dir = dir.as_ref();
+        let summary = MetricsSummary::load(dir.join("metrics.json"))?;
+        let events = match diva_trace::summary::load_events(dir.join("trace.jsonl")) {
+            Ok(events) => events,
+            Err(ArtifactError::Io(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(Analysis::from_artifacts(summary, &events))
+    }
+
+    /// Writes all report files under `out_dir` (created if needed) and
+    /// returns their paths: `profile.txt`, `collapsed_stacks.txt`, and —
+    /// when the trace carried attack telemetry — `loss_curves.csv`,
+    /// `grad_agreement.csv`, `first_flip.csv`.
+    pub fn write_reports(&self, out_dir: impl AsRef<Path>) -> std::io::Result<Vec<PathBuf>> {
+        let out_dir = out_dir.as_ref();
+        std::fs::create_dir_all(out_dir)?;
+        let mut written = Vec::new();
+        let mut emit = |name: &str, body: &str| -> std::io::Result<()> {
+            let path = out_dir.join(name);
+            std::fs::write(&path, body)?;
+            written.push(path);
+            Ok(())
+        };
+        emit("profile.txt", &self.profile.render())?;
+        emit(
+            "collapsed_stacks.txt",
+            &profile::render_collapsed(&self.collapsed),
+        )?;
+        if !self.convergence.is_empty() {
+            emit("loss_curves.csv", &self.convergence.loss_csv())?;
+            emit("grad_agreement.csv", &self.convergence.agreement_csv())?;
+            emit("first_flip.csv", &self.convergence.first_flip_csv())?;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End to end against the live recorder: record real nested spans and
+    /// attack events, write artifacts, re-load them through `Analysis`.
+    /// The only test in this crate that touches the (global) recorder.
+    #[test]
+    fn analysis_round_trips_real_artifacts() {
+        diva_trace::set_level(2);
+        diva_trace::reset();
+        {
+            let _outer = diva_trace::span(1, "experiment.test");
+            for _ in 0..3 {
+                let _inner = diva_trace::span(2, "nn.forward");
+                std::hint::black_box(());
+            }
+            diva_trace::event_at(
+                2,
+                "attack.step",
+                &[
+                    ("attack", diva_trace::Value::from("PGD")),
+                    ("item", diva_trace::Value::from(0u64)),
+                    ("step", diva_trace::Value::from(0u64)),
+                    ("loss", diva_trace::Value::from(1.5f64)),
+                ],
+            );
+            diva_trace::event_at(
+                2,
+                "attack.trajectory",
+                &[
+                    ("attack", diva_trace::Value::from("PGD")),
+                    ("item", diva_trace::Value::from(0u64)),
+                    ("first_flip", diva_trace::Value::from(0i64)),
+                    ("failed", diva_trace::Value::from(false)),
+                ],
+            );
+        }
+        let dir = std::env::temp_dir().join(format!("diva_prof_e2e_{}", std::process::id()));
+        diva_trace::write_artifacts(&dir).expect("write artifacts");
+        diva_trace::set_level(0);
+        diva_trace::reset();
+
+        let analysis = Analysis::load_dir(&dir).expect("load");
+        assert!(analysis.events >= 5, "events: {}", analysis.events);
+        let fwd = analysis
+            .profile
+            .rows
+            .iter()
+            .find(|r| r.name == "nn.forward")
+            .expect("nn.forward row");
+        assert_eq!(fwd.count, 3);
+        assert!(fwd.self_ns.is_some(), "span events give self time");
+        assert!(
+            analysis
+                .collapsed
+                .keys()
+                .any(|k| k == "experiment.test;nn.forward"),
+            "collapsed: {:?}",
+            analysis.collapsed
+        );
+        assert_eq!(analysis.convergence.trajectories["PGD"].n, 1);
+
+        let out = dir.join("prof");
+        let written = analysis.write_reports(&out).expect("write reports");
+        assert_eq!(written.len(), 5, "{written:?}");
+        for path in &written {
+            assert!(path.exists(), "{path:?}");
+        }
+        let table = std::fs::read_to_string(out.join("profile.txt")).unwrap();
+        assert!(table.contains("nn.forward"), "{table}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A level-1 style artifact set (metrics only, no events) degrades to
+    /// a metrics-only profile instead of erroring.
+    #[test]
+    fn metrics_only_directory_degrades_gracefully() {
+        let dir = std::env::temp_dir().join(format!("diva_prof_l1_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("metrics.json"),
+            r#"{"level":1,"spans":{"attack.run":{"count":2,"p50_ns":10,"p95_ns":20,"max_ns":20,"mean_ns":15.0,"total_ns":30}},"counters":{},"events_buffered":0,"events_dropped":0}"#,
+        )
+        .unwrap();
+        let analysis = Analysis::load_dir(&dir).expect("load");
+        assert_eq!(analysis.events, 0);
+        assert!(analysis.convergence.is_empty());
+        assert_eq!(analysis.profile.rows[0].self_ns, None);
+        let written = analysis.write_reports(dir.join("prof")).expect("reports");
+        // No attack telemetry: only the profile + (empty) stacks files.
+        assert_eq!(written.len(), 2, "{written:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_metrics_is_an_io_error() {
+        let dir = std::env::temp_dir().join(format!("diva_prof_missing_{}", std::process::id()));
+        assert!(matches!(
+            Analysis::load_dir(&dir),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+}

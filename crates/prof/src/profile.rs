@@ -1,0 +1,360 @@
+//! Per-op time profiles reconstructed from trace artifacts.
+//!
+//! `metrics.json` alone gives per-span totals and percentiles but no
+//! structure: `nn.forward` *includes* every `nn.fwd.conv2d` beneath it, so
+//! totals double-count and never answer "where did the time actually go?".
+//! At `DIVA_TRACE=2` every span close is also an event carrying its
+//! duration, depth, and thread ordinal — enough to rebuild the dynamic
+//! call tree offline and split each op's time into *total* (inclusive)
+//! and *self* (exclusive of traced children).
+
+use std::collections::BTreeMap;
+
+use diva_trace::{MetricsSummary, TraceEvent};
+
+/// One reconstructed span invocation in the dynamic call tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallNode {
+    /// Span name (`nn.fwd.conv2d`, `attack.run`, ...).
+    pub name: String,
+    /// Inclusive duration in nanoseconds.
+    pub ns: u64,
+    /// Directly nested spans, in completion order.
+    pub children: Vec<CallNode>,
+}
+
+impl CallNode {
+    /// Time spent in this span but not in any traced child.
+    ///
+    /// Saturates at 0: children are timed by their own clock reads, so
+    /// rounding can make their sum exceed the parent by a few ns.
+    pub fn self_ns(&self) -> u64 {
+        let children: u64 = self
+            .children
+            .iter()
+            .fold(0u64, |acc, c| acc.saturating_add(c.ns));
+        self.ns.saturating_sub(children)
+    }
+}
+
+/// Rebuilds per-thread call trees from span-close events.
+///
+/// Span closes appear in completion order, and RAII nesting guarantees a
+/// span's children close before it does *on the same thread*. So per
+/// thread we keep completed-but-unclaimed nodes keyed by depth: when a
+/// span at depth `d` closes, everything pending at depth `d + 1` is its
+/// direct children. Nodes whose parent never closed (crash, truncated
+/// buffer) surface as extra roots rather than being dropped.
+pub fn build_call_trees(events: &[TraceEvent]) -> Vec<CallNode> {
+    let mut per_tid: BTreeMap<u64, BTreeMap<u32, Vec<CallNode>>> = BTreeMap::new();
+    for e in events {
+        if e.name != "span" {
+            continue;
+        }
+        let (Some(name), Some(ns)) = (e.str("name"), e.u64("ns")) else {
+            continue;
+        };
+        let pending = per_tid.entry(e.tid).or_default();
+        let children = pending.remove(&(e.depth + 1)).unwrap_or_default();
+        pending.entry(e.depth).or_default().push(CallNode {
+            name: name.to_string(),
+            ns,
+            children,
+        });
+    }
+    let mut roots = Vec::new();
+    for (_tid, pending) in per_tid {
+        for (_depth, nodes) in pending {
+            roots.extend(nodes);
+        }
+    }
+    roots
+}
+
+/// Aggregates self time per span name across all trees.
+pub fn self_time_by_name(roots: &[CallNode]) -> BTreeMap<String, u64> {
+    fn walk(node: &CallNode, out: &mut BTreeMap<String, u64>) {
+        let slot = out.entry(node.name.clone()).or_insert(0);
+        *slot = slot.saturating_add(node.self_ns());
+        for c in &node.children {
+            walk(c, out);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for r in roots {
+        walk(r, &mut out);
+    }
+    out
+}
+
+/// Folds the trees into collapsed-stack lines (`a;b;c self_ns`), the input
+/// format of standard flamegraph tooling. Weights are self time in
+/// nanoseconds; identical paths are merged.
+pub fn collapsed_stacks(roots: &[CallNode]) -> BTreeMap<String, u64> {
+    fn walk(node: &CallNode, prefix: &str, out: &mut BTreeMap<String, u64>) {
+        let frame = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        let self_ns = node.self_ns();
+        if self_ns > 0 || node.children.is_empty() {
+            let slot = out.entry(frame.clone()).or_insert(0);
+            *slot = slot.saturating_add(self_ns);
+        }
+        for c in &node.children {
+            walk(c, &frame, out);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for r in roots {
+        walk(r, "", &mut out);
+    }
+    out
+}
+
+/// Renders collapsed stacks, one `path weight` line each, sorted by path.
+pub fn render_collapsed(stacks: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (path, ns) in stacks {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the per-op profile table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRow {
+    /// Span/histogram name.
+    pub name: String,
+    /// Number of recorded invocations.
+    pub count: u64,
+    /// Inclusive total, nanoseconds.
+    pub total_ns: u64,
+    /// Exclusive total from the call tree; `None` when the name never
+    /// appeared as a span event (level-1 artifact, or a plain histogram
+    /// such as `bench.attack_gen_seconds.*`).
+    pub self_ns: Option<u64>,
+    /// Approximate median invocation, nanoseconds.
+    pub p50_ns: u64,
+    /// Approximate 95th-percentile invocation, nanoseconds.
+    pub p95_ns: u64,
+    /// Slowest invocation, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// The per-op profile: one row per metrics histogram, self time filled in
+/// from the call trees where available, sorted by inclusive total.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    /// Rows sorted by `total_ns` descending (name as tie-break).
+    pub rows: Vec<OpRow>,
+}
+
+impl OpProfile {
+    /// Joins `metrics.json` stats with call-tree self times.
+    pub fn build(summary: &MetricsSummary, roots: &[CallNode]) -> OpProfile {
+        let self_time = self_time_by_name(roots);
+        let mut rows: Vec<OpRow> = summary
+            .spans
+            .iter()
+            .map(|(name, s)| OpRow {
+                name: name.clone(),
+                count: s.count,
+                total_ns: s.total_ns,
+                self_ns: self_time.get(name).copied(),
+                p50_ns: s.p50_ns,
+                p95_ns: s.p95_ns,
+                max_ns: s.max_ns,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        OpProfile { rows }
+    }
+
+    /// Renders the aligned text table. Durations use adaptive units;
+    /// histogram-only rows (no span events) show `-` for self time.
+    /// `self%` is each row's share of the summed self time.
+    pub fn render(&self) -> String {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(2)
+            .max("op".len());
+        let total_self: u64 = self
+            .rows
+            .iter()
+            .filter_map(|r| r.self_ns)
+            .fold(0u64, |a, b| a.saturating_add(b));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_w$}  {:>9}  {:>10}  {:>10}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+            "op", "count", "total", "self", "self%", "p50", "p95", "max"
+        ));
+        for r in &self.rows {
+            let (self_s, pct_s) = match r.self_ns {
+                Some(s) => {
+                    let pct = if total_self > 0 {
+                        format!("{:.1}", 100.0 * s as f64 / total_self as f64)
+                    } else {
+                        "0.0".to_string()
+                    };
+                    (fmt_ns(s), pct)
+                }
+                None => ("-".to_string(), "-".to_string()),
+            };
+            out.push_str(&format!(
+                "{:<name_w$}  {:>9}  {:>10}  {:>10}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+                r.name,
+                r.count,
+                fmt_ns(r.total_ns),
+                self_s,
+                pct_s,
+                fmt_ns(r.p50_ns),
+                fmt_ns(r.p95_ns),
+                fmt_ns(r.max_ns),
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond count with an adaptive unit (`ns`, `us`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", v / 1e6)
+    } else {
+        format!("{:.3}s", v / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_trace::Json;
+
+    fn span_event(tid: u64, depth: u32, name: &str, ns: u64) -> TraceEvent {
+        let mut fields = std::collections::BTreeMap::new();
+        fields.insert("name".to_string(), Json::Str(name.to_string()));
+        fields.insert("ns".to_string(), Json::Num(ns as f64));
+        TraceEvent {
+            name: "span".to_string(),
+            t_us: 0.0,
+            depth,
+            tid,
+            fields,
+        }
+    }
+
+    /// Simulated close order for `root{ a{ leaf } b }` on one thread plus
+    /// an unrelated span on a second thread.
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            span_event(1, 2, "leaf", 30),
+            span_event(1, 1, "a", 50),
+            span_event(1, 1, "b", 40),
+            span_event(2, 0, "other", 25),
+            span_event(1, 0, "root", 100),
+        ]
+    }
+
+    #[test]
+    fn call_tree_reconstruction_nests_by_depth_and_tid() {
+        let roots = build_call_trees(&sample_events());
+        assert_eq!(roots.len(), 2);
+        let root = roots.iter().find(|r| r.name == "root").expect("root");
+        assert_eq!(root.ns, 100);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "a");
+        assert_eq!(root.children[0].children[0].name, "leaf");
+        assert_eq!(root.children[1].name, "b");
+        // `other` ran on another thread: depth numbering there is
+        // independent and it must not be adopted by tid 1's tree.
+        let other = roots.iter().find(|r| r.name == "other").expect("other");
+        assert!(other.children.is_empty());
+        // Self time: root spent 100 - (50 + 40) = 10ns itself.
+        assert_eq!(root.self_ns(), 10);
+        assert_eq!(root.children[0].self_ns(), 20);
+    }
+
+    #[test]
+    fn orphaned_children_become_roots() {
+        // A deep span closed but its parent never did (truncated trace).
+        let events = vec![span_event(1, 3, "deep", 7)];
+        let roots = build_call_trees(&events);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "deep");
+    }
+
+    #[test]
+    fn collapsed_stacks_merge_paths_and_weight_by_self_time() {
+        let stacks = collapsed_stacks(&build_call_trees(&sample_events()));
+        assert_eq!(stacks.get("root"), Some(&10));
+        assert_eq!(stacks.get("root;a"), Some(&20));
+        assert_eq!(stacks.get("root;a;leaf"), Some(&30));
+        assert_eq!(stacks.get("root;b"), Some(&40));
+        assert_eq!(stacks.get("other"), Some(&25));
+        let text = render_collapsed(&stacks);
+        assert!(text.contains("root;a;leaf 30\n"), "{text}");
+        // Total self time equals total inclusive root time.
+        let sum: u64 = stacks.values().sum();
+        assert_eq!(sum, 125);
+    }
+
+    #[test]
+    fn profile_rows_join_metrics_with_self_time() {
+        let mut summary = MetricsSummary::default();
+        for (name, total) in [("root", 100u64), ("a", 50), ("b", 40), ("leaf", 30)] {
+            summary.spans.insert(
+                name.to_string(),
+                diva_trace::SpanStats {
+                    count: 1,
+                    p50_ns: total,
+                    p95_ns: total,
+                    max_ns: total,
+                    mean_ns: total as f64,
+                    total_ns: total,
+                },
+            );
+        }
+        // A histogram that never appears as a span event.
+        summary.spans.insert(
+            "bench.attack_gen_seconds".to_string(),
+            diva_trace::SpanStats {
+                count: 4,
+                p50_ns: 2_000_000_000,
+                p95_ns: 3_000_000_000,
+                max_ns: 3_000_000_000,
+                mean_ns: 2e9,
+                total_ns: 8_000_000_000,
+            },
+        );
+        let roots = build_call_trees(&sample_events());
+        let prof = OpProfile::build(&summary, &roots);
+        assert_eq!(prof.rows[0].name, "bench.attack_gen_seconds");
+        assert_eq!(prof.rows[0].self_ns, None);
+        let root = prof.rows.iter().find(|r| r.name == "root").unwrap();
+        assert_eq!(root.self_ns, Some(10));
+        let table = prof.render();
+        assert!(table.contains("bench.attack_gen_seconds"), "{table}");
+        assert!(table.lines().next().unwrap().contains("self%"), "{table}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_adaptive_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+    }
+}

@@ -104,6 +104,12 @@ impl Histogram {
             return 0;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The final rank is the exact maximum; the bucket walk would
+            // report the bucket's upper bound instead (visible in the top
+            // bucket, whose `hi - 1` is `u64::MAX - 1`).
+            return self.max;
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -195,6 +201,71 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.p50(), 0);
         assert_eq!(h.mean(), 0.0);
+        // Every quantile of an empty histogram is 0 — not a panic, not MAX.
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty quantile({q})");
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // With one observation, every quantile clamps to that exact value,
+        // even though its log2 bucket spans [4, 8).
+        for v in [0u64, 1, 5, 1023, u64::MAX] {
+            let mut h = Histogram::default();
+            h.record(v);
+            for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+                assert_eq!(h.quantile(q), v, "quantile({q}) of single sample {v}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            assert_eq!(h.mean(), v as f64);
+        }
+    }
+
+    #[test]
+    fn saturating_sum_keeps_quantiles_sane() {
+        // Two MAX observations overflow the exact sum; it must saturate
+        // (not wrap) and quantiles must stay inside [min, max].
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.0), 1);
+        let p50 = h.p50();
+        assert!((1..=u64::MAX).contains(&p50));
+        // The top bucket (index 64) is populated and its bounds hold MAX.
+        assert_eq!(h.bucket_counts()[NUM_BUCKETS - 1], 2);
+        let (lo, hi) = bucket_bounds(NUM_BUCKETS - 1);
+        assert_eq!(lo, 1 << 63, "top bucket starts at 2^63");
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn two_point_distribution_percentiles() {
+        // 99 fast observations and 1 slow one: p50 stays in the fast
+        // bucket's range, p95 likewise, quantile(1.0) finds the outlier.
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert!(
+            h.p50() < 256,
+            "p50 {} should sit near the fast mode",
+            h.p50()
+        );
+        assert!(
+            h.p95() < 256,
+            "p95 {} should sit near the fast mode",
+            h.p95()
+        );
+        assert_eq!(h.quantile(1.0), 1_000_000);
     }
 
     /// Pure-std property sweep (mirrors tests/properties.rs so the law is

@@ -180,18 +180,109 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// What went wrong while parsing, without position information (that lives
+/// on [`ParseError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended where a value, delimiter, or closing quote was required.
+    UnexpectedEof,
+    /// A complete value was followed by non-whitespace bytes.
+    TrailingData,
+    /// A `t`/`f`/`n` byte did not begin `true`/`false`/`null`.
+    InvalidLiteral,
+    /// A number token failed to parse as `f64`.
+    InvalidNumber,
+    /// A string ran to end of input without a closing quote.
+    UnterminatedString,
+    /// A backslash escape was not one of the supported forms.
+    BadEscape,
+    /// Raw bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// Something else was found where `expected` was required.
+    Expected(&'static str),
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ErrorKind::TrailingData => write!(f, "trailing data after value"),
+            ErrorKind::InvalidLiteral => write!(f, "invalid literal"),
+            ErrorKind::InvalidNumber => write!(f, "invalid number"),
+            ErrorKind::UnterminatedString => write!(f, "unterminated string"),
+            ErrorKind::BadEscape => write!(f, "invalid escape sequence"),
+            ErrorKind::InvalidUtf8 => write!(f, "invalid UTF-8"),
+            ErrorKind::Expected(what) => write!(f, "expected {what}"),
+        }
+    }
+}
+
+/// A parse failure with its position: byte offset plus the 1-based
+/// line/column derived from it, so errors in multi-line artifacts
+/// (`metrics.json`) point at the offending spot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// 1-based line number of the failure.
+    pub line: usize,
+    /// 1-based column (in bytes) within that line.
+    pub col: usize,
+    /// The failure class.
+    pub kind: ErrorKind,
+}
+
+impl ParseError {
+    fn at(input: &[u8], offset: usize, kind: ErrorKind) -> ParseError {
+        let offset = offset.min(input.len());
+        let mut line = 1usize;
+        let mut col = 1usize;
+        for &b in &input[..offset] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError {
+            offset,
+            line,
+            col,
+            kind,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at line {}, column {} (byte {})",
+            self.kind, self.line, self.col, self.offset
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parses a JSON document. Strict enough for our own artifacts; rejects
-/// trailing garbage.
-pub fn parse(input: &str) -> Result<Json, String> {
+/// trailing garbage. Errors carry the line/column of the failure.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value =
+        parse_value(bytes, &mut pos).map_err(|(off, kind)| ParseError::at(bytes, off, kind))?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(ParseError::at(bytes, pos, ErrorKind::TrailingData));
     }
     Ok(value)
 }
+
+/// Internal error form: (byte offset, kind). Converted to [`ParseError`]
+/// (with line/column) at the public boundary.
+type RawError = (usize, ErrorKind);
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
     while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
@@ -199,10 +290,10 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, RawError> {
     skip_ws(b, pos);
     match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
+        None => Err((*pos, ErrorKind::UnexpectedEof)),
         Some(b'{') => parse_object(b, pos),
         Some(b'[') => parse_array(b, pos),
         Some(b'"') => parse_string(b, pos).map(Json::Str),
@@ -213,33 +304,34 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, RawError> {
     if b[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(v)
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err((*pos, ErrorKind::InvalidLiteral))
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, RawError> {
     let start = *pos;
     while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| (start, ErrorKind::InvalidUtf8))?;
     text.parse::<f64>()
         .map(Json::Num)
-        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        .map_err(|_| (start, ErrorKind::InvalidNumber))
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, RawError> {
     debug_assert_eq!(b[*pos], b'"');
+    let opened = *pos;
     *pos += 1;
     let mut out = String::new();
     loop {
         match b.get(*pos) {
-            None => return Err("unterminated string".into()),
+            None => return Err((opened, ErrorKind::UnterminatedString)),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -256,24 +348,27 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or((*pos, ErrorKind::BadEscape))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            std::str::from_utf8(hex).map_err(|_| (*pos, ErrorKind::BadEscape))?,
                             16,
                         )
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|_| (*pos, ErrorKind::BadEscape))?;
                         // Surrogate pairs don't occur in our own output;
                         // map lone surrogates to the replacement char.
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                    _ => return Err((*pos, ErrorKind::BadEscape)),
                 }
                 *pos += 1;
             }
             Some(_) => {
                 // Consume one full UTF-8 scalar.
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| (*pos, ErrorKind::InvalidUtf8))?;
                 let c = rest.chars().next().unwrap();
                 out.push(c);
                 *pos += c.len_utf8();
@@ -282,7 +377,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, RawError> {
     *pos += 1; // '['
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -299,12 +394,12 @@ fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            _ => return Err((*pos, ErrorKind::Expected("',' or ']'"))),
         }
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, RawError> {
     *pos += 1; // '{'
     let mut map = BTreeMap::new();
     skip_ws(b, pos);
@@ -315,12 +410,12 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     loop {
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string key at byte {}", *pos));
+            return Err((*pos, ErrorKind::Expected("string key")));
         }
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at byte {}", *pos));
+            return Err((*pos, ErrorKind::Expected("':'")));
         }
         *pos += 1;
         let value = parse_value(b, pos)?;
@@ -332,7 +427,7 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(map));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            _ => return Err((*pos, ErrorKind::Expected("',' or '}'"))),
         }
     }
 }
@@ -381,6 +476,40 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_kind_and_position() {
+        let e = parse("{} x").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::TrailingData);
+        assert_eq!((e.line, e.col, e.offset), (1, 4, 3));
+
+        let e = parse("[1, 2").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Expected("',' or ']'"));
+
+        let e = parse("\"open").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnterminatedString);
+        assert_eq!(e.offset, 0);
+
+        let e = parse("nul").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::InvalidLiteral);
+
+        let e = parse("1e").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::InvalidNumber);
+
+        let e = parse("").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::UnexpectedEof);
+
+        // Multi-line input: the position points into the right line.
+        let e = parse("{\n  \"a\": 1,\n  \"b\" 2\n}").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Expected("':'"));
+        assert_eq!(e.line, 3);
+        assert_eq!(e.col, 7);
+
+        // Errors render as human-readable text with the position inline.
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("':'"), "{msg}");
     }
 
     #[test]

@@ -31,9 +31,11 @@
 
 pub mod histogram;
 pub mod json;
+pub mod summary;
 
 pub use histogram::Histogram;
 pub use json::Json;
+pub use summary::{ArtifactError, MetricsSummary, SpanStats, TraceEvent};
 
 use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
@@ -218,6 +220,28 @@ thread_local! {
 }
 
 thread_local! {
+    /// This thread's ordinal (see [`thread_ordinal`]); 0 = unassigned.
+    static THREAD_ORDINAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A small, stable, in-process id for the calling thread: threads are
+/// numbered 1, 2, 3, … in first-use order. Events carry it as `tid` so
+/// offline tooling (diva-prof) can re-thread the interleaved stream —
+/// span nesting is only meaningful within one thread.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|c| {
+        let v = c.get();
+        if v != 0 {
+            return v;
+        }
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let v = NEXT.fetch_add(1, Ordering::Relaxed);
+        c.set(v);
+        v
+    })
+}
+
+thread_local! {
     /// Worker-local counter buffer. While `Some`, `counter_add` on this
     /// thread accumulates here instead of taking the global lock; the
     /// buffered totals are folded into the recorder when the owning
@@ -361,6 +385,7 @@ pub fn event_at(lvl: u8, name: &str, fields: &[(&str, Value)]) {
     if depth > 0 {
         obj.set("depth", Json::Num(depth as f64));
     }
+    obj.set("tid", Json::Num(thread_ordinal() as f64));
     for (k, v) in fields {
         obj.set(k, v.to_json());
     }
@@ -431,6 +456,7 @@ impl Drop for Span {
             obj.set("name", Json::Str(name.into_owned()));
             obj.set("ns", Json::Num(elapsed_ns as f64));
             obj.set("depth", Json::Num(depth as f64));
+            obj.set("tid", Json::Num(thread_ordinal() as f64));
             let mut rec = recorder();
             let t_us = rec.epoch.elapsed().as_micros() as f64;
             obj.set("t_us", Json::Num(t_us));
@@ -565,7 +591,7 @@ mod tests {
 
     /// The recorder and level are process-global; serialize tests touching
     /// them so counts don't interleave.
-    fn lock_global() -> MutexGuard<'static, ()> {
+    pub(crate) fn lock_global() -> MutexGuard<'static, ()> {
         static GUARD: Mutex<()> = Mutex::new(());
         GUARD.lock().unwrap_or_else(|p| p.into_inner())
     }

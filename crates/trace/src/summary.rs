@@ -1,0 +1,342 @@
+//! Typed readers for the trace artifacts.
+//!
+//! `trace.jsonl` and `metrics.json` were originally consumed as raw
+//! [`Json`] trees, which pushed schema knowledge (and `unwrap`s) into every
+//! consumer. This module is the one place that knows the artifact schema:
+//! [`MetricsSummary`] mirrors `metrics.json`, [`TraceEvent`] mirrors one
+//! `trace.jsonl` line, and both return typed [`ArtifactError`]s — never
+//! panics — on malformed input, so tooling (diva-prof, tests) can report
+//! *where* an artifact is broken.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::{self, Json, ParseError};
+
+/// Why an artifact could not be read.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// A whole-document JSON parse failure (`metrics.json`).
+    Json(ParseError),
+    /// A JSONL line failed to parse (`trace.jsonl`); `line` is 1-based.
+    Line {
+        /// 1-based line number within the JSONL file.
+        line: usize,
+        /// The parse failure on that line.
+        error: ParseError,
+    },
+    /// The JSON parsed but did not match the artifact schema.
+    Schema(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "io error: {e}"),
+            ArtifactError::Json(e) => write!(f, "json error: {e}"),
+            ArtifactError::Line { line, error } => {
+                write!(f, "jsonl line {line}: {error}")
+            }
+            ArtifactError::Schema(what) => write!(f, "schema error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            ArtifactError::Json(e) => Some(e),
+            ArtifactError::Line { error, .. } => Some(error),
+            ArtifactError::Schema(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<ParseError> for ArtifactError {
+    fn from(e: ParseError) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+
+/// Per-span (or per-histogram) statistics, one `metrics.json` `spans` entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStats {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Approximate median, nanoseconds.
+    pub p50_ns: u64,
+    /// Approximate 95th percentile, nanoseconds.
+    pub p95_ns: u64,
+    /// Exact maximum, nanoseconds.
+    pub max_ns: u64,
+    /// Exact mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Exact (saturating) total, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Typed form of `metrics.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// Trace level the run was recorded at.
+    pub level: u8,
+    /// Per-span/histogram statistics, keyed by span name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Counter totals, keyed by counter name.
+    pub counters: BTreeMap<String, u64>,
+    /// Events held in the buffer when the summary was taken.
+    pub events_buffered: u64,
+    /// Events dropped after the buffer filled.
+    pub events_dropped: u64,
+}
+
+fn schema_err(path: &str, what: &str) -> ArtifactError {
+    ArtifactError::Schema(format!("`{path}` {what}"))
+}
+
+fn req_u64(obj: &Json, path: &str, key: &str) -> Result<u64, ArtifactError> {
+    obj.get(key)
+        .ok_or_else(|| schema_err(&format!("{path}.{key}"), "missing"))?
+        .as_u64()
+        .ok_or_else(|| schema_err(&format!("{path}.{key}"), "not a non-negative integer"))
+}
+
+impl MetricsSummary {
+    /// Builds a summary from a parsed `metrics.json` tree.
+    pub fn from_json(v: &Json) -> Result<MetricsSummary, ArtifactError> {
+        let level = req_u64(v, "", "level")?.min(u8::MAX as u64) as u8;
+        let mut spans = BTreeMap::new();
+        let span_map = v
+            .get("spans")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| schema_err("spans", "missing or not an object"))?;
+        for (name, s) in span_map {
+            let path = format!("spans.{name}");
+            let mean_ns = s
+                .get("mean_ns")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| schema_err(&format!("{path}.mean_ns"), "missing or not a number"))?;
+            spans.insert(
+                name.clone(),
+                SpanStats {
+                    count: req_u64(s, &path, "count")?,
+                    p50_ns: req_u64(s, &path, "p50_ns")?,
+                    p95_ns: req_u64(s, &path, "p95_ns")?,
+                    max_ns: req_u64(s, &path, "max_ns")?,
+                    mean_ns,
+                    total_ns: req_u64(s, &path, "total_ns")?,
+                },
+            );
+        }
+        let mut counters = BTreeMap::new();
+        let counter_map = v
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| schema_err("counters", "missing or not an object"))?;
+        for (name, c) in counter_map {
+            let val = c
+                .as_u64()
+                .ok_or_else(|| schema_err(&format!("counters.{name}"), "not an integer"))?;
+            counters.insert(name.clone(), val);
+        }
+        Ok(MetricsSummary {
+            level,
+            spans,
+            counters,
+            events_buffered: req_u64(v, "", "events_buffered").unwrap_or(0),
+            events_dropped: req_u64(v, "", "events_dropped").unwrap_or(0),
+        })
+    }
+
+    /// Parses `metrics.json` text.
+    pub fn parse(text: &str) -> Result<MetricsSummary, ArtifactError> {
+        MetricsSummary::from_json(&json::parse(text)?)
+    }
+
+    /// Loads and parses a `metrics.json` file.
+    pub fn load(path: impl AsRef<Path>) -> Result<MetricsSummary, ArtifactError> {
+        MetricsSummary::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Snapshot of the live recorder in this process (cannot fail: the
+    /// in-memory summary always matches its own schema).
+    pub fn current() -> MetricsSummary {
+        MetricsSummary::from_json(&crate::summary_json())
+            .expect("in-process summary matches its own schema")
+    }
+
+    /// Statistics for one span, if recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// A counter total (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// One parsed `trace.jsonl` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (the `ev` field).
+    pub name: String,
+    /// Microseconds since recorder start.
+    pub t_us: f64,
+    /// Span nesting depth on the emitting thread (0 = outside all spans).
+    pub depth: u32,
+    /// Stable in-process id of the emitting thread (see
+    /// [`crate::thread_ordinal`]). 0 when absent (pre-`tid` artifacts).
+    pub tid: u64,
+    /// All remaining fields, verbatim.
+    pub fields: BTreeMap<String, Json>,
+}
+
+impl TraceEvent {
+    /// A numeric field.
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(Json::as_f64)
+    }
+
+    /// A non-negative integer field.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.fields.get(key).and_then(Json::as_u64)
+    }
+
+    /// A string field.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Json::as_str)
+    }
+
+    fn from_json(v: Json, line: usize) -> Result<TraceEvent, ArtifactError> {
+        let Json::Obj(mut map) = v else {
+            return Err(schema_err(&format!("line {line}"), "not an object"));
+        };
+        let name = match map.remove("ev") {
+            Some(Json::Str(s)) => s,
+            _ => {
+                return Err(schema_err(
+                    &format!("line {line}.ev"),
+                    "missing or not a string",
+                ))
+            }
+        };
+        let t_us = map.remove("t_us").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let depth = map
+            .remove("depth")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+            .min(u32::MAX as u64) as u32;
+        let tid = map.remove("tid").and_then(|v| v.as_u64()).unwrap_or(0);
+        Ok(TraceEvent {
+            name,
+            t_us,
+            depth,
+            tid,
+            fields: map,
+        })
+    }
+}
+
+/// Parses `trace.jsonl` text: one event per non-empty line. Errors carry
+/// the 1-based line number.
+pub fn parse_events(text: &str) -> Result<Vec<TraceEvent>, ArtifactError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(raw).map_err(|error| ArtifactError::Line { line, error })?;
+        out.push(TraceEvent::from_json(v, line)?);
+    }
+    Ok(out)
+}
+
+/// Loads and parses a `trace.jsonl` file.
+pub fn load_events(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, ArtifactError> {
+    parse_events(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_summary_round_trips_live_recorder() {
+        let _g = crate::tests::lock_global();
+        crate::set_level(1);
+        crate::reset();
+        crate::record_u64("s.round", 500);
+        crate::record_u64("s.round", 700);
+        crate::counter_add("c.round", 3);
+        let text = crate::summary_json().to_string_pretty();
+        let summary = MetricsSummary::parse(&text).expect("parses");
+        assert_eq!(summary.level, 1);
+        let s = summary.span("s.round").expect("span present");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 1200);
+        assert_eq!(s.max_ns, 700);
+        assert_eq!(summary.counter("c.round"), 3);
+        assert_eq!(summary.counter("c.absent"), 0);
+        assert_eq!(summary, MetricsSummary::current());
+        crate::set_level(0);
+        crate::reset();
+    }
+
+    #[test]
+    fn malformed_metrics_is_err_not_panic() {
+        // Truncated document: parse error with a position.
+        match MetricsSummary::parse("{\"level\": 1,") {
+            Err(ArtifactError::Json(e)) => assert_eq!(e.line, 1),
+            other => panic!("expected Json error, got {other:?}"),
+        }
+        // Parses but violates the schema.
+        match MetricsSummary::parse("{\"level\": \"high\"}") {
+            Err(ArtifactError::Schema(msg)) => assert!(msg.contains("level"), "{msg}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        match MetricsSummary::parse(r#"{"level":1,"spans":{"x":{"count":1}},"counters":{}}"#) {
+            Err(ArtifactError::Schema(msg)) => assert!(msg.contains("spans.x"), "{msg}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+        // Missing file: Io, not panic.
+        assert!(matches!(
+            MetricsSummary::load("/nonexistent/metrics.json"),
+            Err(ArtifactError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn events_parse_with_line_numbers_on_error() {
+        let good =
+            "{\"ev\":\"a\",\"t_us\":10,\"step\":3}\n\n{\"ev\":\"b\",\"depth\":2,\"tid\":7}\n";
+        let events = parse_events(good).expect("parses");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].u64("step"), Some(3));
+        assert_eq!(events[1].depth, 2);
+        assert_eq!(events[1].tid, 7);
+
+        let bad = "{\"ev\":\"a\"}\n{broken\n";
+        match parse_events(bad) {
+            Err(ArtifactError::Line { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Line error, got {other:?}"),
+        }
+
+        // A line that parses but isn't an event object.
+        match parse_events("[1,2,3]\n") {
+            Err(ArtifactError::Schema(msg)) => assert!(msg.contains("line 1"), "{msg}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+    }
+}
