@@ -29,6 +29,7 @@ use diva_nn::{losses, Infer, Network};
 use diva_prof::BenchSummary;
 use diva_quant::{Int8Engine, QatNetwork, QuantCfg, RequantMode};
 use diva_tensor::conv::{conv2d, conv2d_naive, Conv2dCfg};
+use diva_tensor::gemm::{self, Layout};
 use diva_tensor::Tensor;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -88,6 +89,87 @@ pub fn kernel_cases() -> Vec<BenchCase> {
             format!("conv_kernels/naive/{shape}"),
             move || {
                 std::hint::black_box(conv2d_naive(&a.0, &a.1, &a.2, cfg).unwrap());
+            },
+        ));
+    }
+
+    // Bare GEMM cores, blocked vs retained naive reference, at one shape
+    // per dtype sized well past the small-product cutoff.
+    let mut rng = StdRng::seed_from_u64(3);
+    {
+        let (m, n, k) = (96usize, 96usize, 128usize);
+        let a = Rc::new(rand_tensor(&mut rng, &[m, k]));
+        let b = Rc::new(rand_tensor(&mut rng, &[k, n]));
+        let (ab, bb) = (Rc::clone(&a), Rc::clone(&b));
+        cases.push(BenchCase::new(
+            format!("gemm_kernels/f32_blocked/m{m}_n{n}_k{k}"),
+            move || {
+                let mut out = vec![0.0f32; m * n];
+                gemm::gemm_f32(
+                    m,
+                    n,
+                    k,
+                    ab.data(),
+                    Layout::RowMajor,
+                    bb.data(),
+                    Layout::RowMajor,
+                    &mut out,
+                    &mut gemm::NoEpilogue,
+                );
+                std::hint::black_box(out);
+            },
+        ));
+        cases.push(BenchCase::new(
+            format!("gemm_kernels/f32_naive/m{m}_n{n}_k{k}"),
+            move || {
+                std::hint::black_box(gemm::naive_f32(
+                    m,
+                    n,
+                    k,
+                    a.data(),
+                    Layout::RowMajor,
+                    b.data(),
+                    Layout::RowMajor,
+                ));
+            },
+        ));
+    }
+    {
+        let (m, n, k) = (32usize, 256usize, 144usize);
+        let a: Rc<Vec<i8>> = Rc::new(
+            (0..m * k)
+                .map(|_| rng.gen_range(-127i32..=127) as i8)
+                .collect(),
+        );
+        let b: Rc<Vec<i8>> = Rc::new(
+            (0..k * n)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect(),
+        );
+        let (ab, bb) = (Rc::clone(&a), Rc::clone(&b));
+        cases.push(BenchCase::new(
+            format!("gemm_kernels/i8_blocked/m{m}_n{n}_k{k}"),
+            move || {
+                let mut acc = vec![0i32; m * n];
+                let mut sink: Vec<i8> = Vec::new();
+                gemm::gemm_i8(
+                    m,
+                    n,
+                    k,
+                    &ab,
+                    &bb,
+                    Layout::RowMajor,
+                    -5,
+                    &mut sink,
+                    &mut gemm::CaptureAcc { acc: &mut acc, n },
+                );
+                std::hint::black_box(acc);
+            },
+        ));
+        cases.push(BenchCase::new(
+            format!("gemm_kernels/i8_naive/m{m}_n{n}_k{k}"),
+            move || {
+                std::hint::black_box(gemm::naive_i8_i32(m, n, k, &a, &b, Layout::RowMajor, -5));
             },
         ));
     }

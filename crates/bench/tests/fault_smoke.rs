@@ -11,10 +11,7 @@ use std::process::Command;
 /// Runs `repro smoke` with the given env pairs, returning (stdout, trace
 /// dir). Panics if the process fails to spawn or exits nonzero.
 fn run_smoke(tag: &str, envs: &[(&str, &str)]) -> (String, PathBuf) {
-    let dir = std::env::temp_dir().join(format!(
-        "diva_fault_smoke_{tag}_{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("diva_fault_smoke_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
@@ -80,11 +77,7 @@ fn drill(tag: &str, plan: &str, evidence_counter: &str) -> (String, PathBuf) {
 
 #[test]
 fn grad_nan_sticky_fails_images_but_completes() {
-    let (stdout, _) = drill(
-        "grad_nan",
-        "grad-nan:sticky=1",
-        "fault.injected.grad_nan",
-    );
+    let (stdout, _) = drill("grad_nan", "grad-nan:sticky=1", "fault.injected.grad_nan");
     // Sticky step-1 poison exhausts the guard budget on every image of
     // both fan-outs: 16 PGD + 16 DIVA.
     assert!(stdout.contains("(images 32,"), "all images fail:\n{stdout}");
@@ -150,5 +143,8 @@ fn unarmed_smoke_is_byte_identical_across_job_counts() {
     let (serial, _) = run_smoke("jobs1", &[("DIVA_JOBS", "1")]);
     let (parallel, _) = run_smoke("jobs4", &[("DIVA_JOBS", "4")]);
     assert!(!serial.contains("fault:"), "{serial}");
-    assert_eq!(serial, parallel, "smoke output must not depend on DIVA_JOBS");
+    assert_eq!(
+        serial, parallel,
+        "smoke output must not depend on DIVA_JOBS"
+    );
 }

@@ -3,9 +3,7 @@
 //! rejected (typed, not a panic) and transparently rebuilt, and a
 //! fingerprint mismatch (changed scale) never resurrects stale state.
 
-use diva_bench::suite::{
-    prepare_surrogates_resumable, prepare_victim_resumable, ExperimentScale,
-};
+use diva_bench::suite::{prepare_surrogates_resumable, prepare_victim_resumable, ExperimentScale};
 use diva_models::Architecture;
 use diva_nn::train::TrainCfg;
 
@@ -77,7 +75,10 @@ fn victim_checkpoint_resumes_rejects_corruption_and_rebuilds() {
     assert!(!resumed, "a corrupt checkpoint must not be resumed");
     assert_eq!(rebuilt.original.params(), built.original.params());
     let (_, resumed) = prepare_victim_resumable(arch, &scale, Some(&dir));
-    assert!(resumed, "the rebuild must have re-sealed a valid checkpoint");
+    assert!(
+        resumed,
+        "the rebuild must have re-sealed a valid checkpoint"
+    );
 
     // A different scale fingerprints differently: the stale checkpoint is
     // rejected instead of silently reusing the wrong models.

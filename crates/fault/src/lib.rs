@@ -445,12 +445,7 @@ pub fn corrupt_file_bytes(bytes: &mut Vec<u8>) -> bool {
                     }
                     fired = true;
                     diva_trace::counter!("fault.injected.file_corrupt", 1);
-                    diva_trace::event!(
-                        1,
-                        "fault.injected",
-                        class = "file-corrupt",
-                        bits = *count,
-                    );
+                    diva_trace::event!(1, "fault.injected", class = "file-corrupt", bits = *count,);
                 }
                 _ => {}
             }
@@ -555,9 +550,7 @@ mod tests {
     #[test]
     fn grad_fault_honours_step_item_and_stickiness() {
         let _g = lock_tests();
-        set_plan(Some(
-            FaultPlan::parse("grad-nan:step=2,item=1").unwrap(),
-        ));
+        set_plan(Some(FaultPlan::parse("grad-nan:step=2,item=1").unwrap()));
         {
             let _scope = ItemScope::enter(1);
             assert_eq!(grad_fault(1, true), None, "wrong step");
@@ -569,9 +562,7 @@ mod tests {
             let _scope = ItemScope::enter(0);
             assert_eq!(grad_fault(2, true), None, "wrong item");
         }
-        set_plan(Some(
-            FaultPlan::parse("grad-inf:step=2,sticky=1").unwrap(),
-        ));
+        set_plan(Some(FaultPlan::parse("grad-inf:step=2,sticky=1").unwrap()));
         let _scope = ItemScope::enter(7);
         assert_eq!(grad_fault(2, false), Some(f32::INFINITY), "sticky re-fires");
         set_plan(None);

@@ -176,8 +176,7 @@ pub fn forward<H: Hooks>(
                 let weight = hooks.weight(*w, params.effective(*w));
                 let bias = hooks.weight(*b, params.effective(*b));
                 let xin = &acts[node.inputs[0].0];
-                let y = ops::matmul_a_bt(xin, &weight).expect("dense");
-                y.add(&bias)
+                ops::dense_forward(xin, &weight, &bias).expect("dense")
             }
             Op::Relu => acts[node.inputs[0].0].relu(),
             Op::Add => acts[node.inputs[0].0].add(&acts[node.inputs[1].0]),

@@ -294,6 +294,151 @@ fn directional_global_avg_pool() {
     directional_gradcheck(net, &input, 128);
 }
 
+// ---------------------------------------------------------------------------
+// Blocked-GEMM coverage: the cases above are small enough that `gemm_f32`
+// takes its plain ascending-k path (m·n·k ≤ 32³). The cases below are sized
+// past that threshold with ragged tile edges (rows ∤ MR=4, cols ∤ NR=8), so
+// forward conv/dense and the `matmul`/`matmul_at_b` calls in their backward
+// passes all run the packed blocked core. Weights, inputs, and probe
+// directions come from an in-file LCG (not `rand`), so these checks are
+// identical on any platform.
+// ---------------------------------------------------------------------------
+
+/// 32-bit LCG (Numerical Recipes constants), mirroring the qat_vs_engine
+/// fixture so the checks don't depend on the `rand` crate's stream.
+struct Lcg(u32);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f32 {
+        self.0 = self.0.wrapping_mul(1664525).wrapping_add(1013904223);
+        (self.0 >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+    }
+
+    fn input(&mut self, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| self.next_unit() * 0.5 + 0.5).collect(), dims)
+    }
+
+    fn signs(&mut self, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(
+            (0..n)
+                .map(|_| if self.next_unit() >= 0.0 { 1.0 } else { -1.0 })
+                .collect(),
+            dims,
+        )
+    }
+}
+
+/// Overwrites every parameter with fan-in-scaled LCG values, erasing the
+/// `rand`-dependent init from `GraphBuilder`.
+fn lcg_reinit(net: &mut Network, seed: u32) {
+    let mut lcg = Lcg(seed.wrapping_mul(2654435761).wrapping_add(1));
+    for p in net.params_mut().iter_mut() {
+        let dims = p.value.dims().to_vec();
+        let scale = if dims.len() >= 2 {
+            let fan_in = (p.value.len() / dims[0]).max(1);
+            1.0 / (fan_in as f32).sqrt()
+        } else {
+            0.1
+        };
+        for v in p.value.data_mut() {
+            *v = lcg.next_unit() * scale;
+        }
+    }
+}
+
+/// `directional_gradcheck` with all randomness drawn from the in-file LCG.
+fn directional_gradcheck_lcg(mut net: Network, x: &Tensor, seed: u32) {
+    let h = 1e-2f32;
+    let mut lcg = Lcg(seed.wrapping_mul(747796405).wrapping_add(11));
+    let out_dims = net.forward(x).output(net.graph()).dims().to_vec();
+    let w = lcg.signs(&out_dims);
+    let objective = |net: &Network, x: &Tensor| -> f64 {
+        let exec = net.forward(x);
+        dot_f64(exec.output(net.graph()).data(), w.data())
+    };
+
+    let exec = net.forward(x);
+    net.params_mut().zero_grads();
+    let dx = net.backward(&exec, &w);
+
+    let v = lcg.signs(x.dims());
+    let mut xp = x.clone();
+    xp.axpy(h, &v);
+    let mut xm = x.clone();
+    xm.axpy(-h, &v);
+    let num = (objective(&net, &xp) - objective(&net, &xm)) / (2.0 * h as f64);
+    let ana = dot_f64(dx.data(), v.data());
+    let rel = rel_err(num, ana);
+    assert!(
+        rel < 1e-3,
+        "input directional derivative: numeric {num} vs analytic {ana} (rel {rel:.2e})"
+    );
+
+    for pi in 0..net.params().len() {
+        let id = diva_nn::ParamId(pi);
+        let dims = net.params().get(id).value.dims().to_vec();
+        let vp = lcg.signs(&dims);
+        let ana = dot_f64(net.params().get(id).grad.data(), vp.data());
+        net.params_mut().get_mut(id).value.axpy(h, &vp);
+        let fp = objective(&net, x);
+        net.params_mut().get_mut(id).value.axpy(-2.0 * h, &vp);
+        let fm = objective(&net, x);
+        net.params_mut().get_mut(id).value.axpy(h, &vp);
+        let num = (fp - fm) / (2.0 * h as f64);
+        let rel = rel_err(num, ana);
+        assert!(
+            rel < 1e-3,
+            "param {pi} directional derivative: numeric {num} vs analytic {ana} (rel {rel:.2e})"
+        );
+    }
+}
+
+#[test]
+fn directional_conv_strided_padded_blocked_core() {
+    // co=9 rows (2·MR+1), oh·ow=100 cols (12·NR+4), k-depth 54:
+    // 9·100·54 = 48600 > 32³, so the im2col GEMM takes the blocked path with
+    // ragged edge tiles in both m and n, through stride 2 + padding.
+    let mut rng = StdRng::seed_from_u64(30);
+    let mut b = GraphBuilder::new([6, 20, 20], &mut rng);
+    let x = b.input();
+    let c = b.conv(x, 9, 3, 2, 1);
+    let mut net = b.finish(c, None);
+    lcg_reinit(&mut net, 301);
+    let input = Lcg(0x5EED1).input(&[2, 6, 20, 20]);
+    directional_gradcheck_lcg(net, &input, 302);
+}
+
+#[test]
+fn directional_dense_wide_blocked_core() {
+    // batch 40 × out 13 × in 108 = 56160 > 32³: `dense_forward`'s fused
+    // bias GEMM and the `matmul_at_b`/`matmul` backward both run blocked;
+    // 13 columns leave a 5-wide ragged NR strip.
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut b = GraphBuilder::new([3, 6, 6], &mut rng);
+    let x = b.input();
+    let f = b.flatten(x);
+    let d = b.dense(f, 13);
+    let mut net = b.finish(d, None);
+    lcg_reinit(&mut net, 311);
+    let input = Lcg(0x5EED2).input(&[40, 3, 6, 6]);
+    directional_gradcheck_lcg(net, &input, 312);
+}
+
+#[test]
+fn directional_depthwise_strided_lcg() {
+    // Depthwise with stride 2 + padding (the MobileNet backbone shape).
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut b = GraphBuilder::new([4, 9, 9], &mut rng);
+    let x = b.input();
+    let dw = b.dwconv(x, 3, 2, 1);
+    let mut net = b.finish(dw, None);
+    lcg_reinit(&mut net, 321);
+    let input = Lcg(0x5EED3).input(&[2, 4, 9, 9]);
+    directional_gradcheck_lcg(net, &input, 322);
+}
+
 // Deep composites are deliberately *not* directional-checked at 1e-3: a ±h
 // input perturbation across every coordinate shifts interior relu/max-pool
 // pre-activations past their kinks with probability ≈ 1, so the central

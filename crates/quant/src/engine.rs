@@ -14,6 +14,7 @@
 use diva_nn::graph::{NodeShape, Op};
 use diva_nn::{Infer, Network};
 use diva_tensor::conv::Conv2dCfg;
+use diva_tensor::gemm::{self, EpilogueI32, Layout};
 use diva_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -531,6 +532,24 @@ impl Int8Engine {
 
     /// Runs integer inference, returning all quantized node activations.
     pub fn run(&self, x: &Tensor) -> Vec<QTensor> {
+        self.run_collect(x, None)
+    }
+
+    /// Runs the whole batch serially and returns the per-node saturation
+    /// statistics alongside nothing else — the observable contract of the
+    /// fused requantization epilogue. Counting is forced on regardless of
+    /// trace level, so goldens pinned on these numbers are reproducible in
+    /// any environment.
+    pub fn saturation_stats(&self, x: &Tensor) -> Vec<SatStats> {
+        let mut stats = Vec::with_capacity(self.nodes.len());
+        self.run_collect(x, Some(&mut stats));
+        stats
+    }
+
+    /// Shared body of [`Int8Engine::run`] / [`Int8Engine::saturation_stats`]:
+    /// when `stats` is given, saturation counting is forced on and one
+    /// [`SatStats`] entry is pushed per node in execution order.
+    fn run_collect(&self, x: &Tensor, mut stats: Option<&mut Vec<SatStats>>) -> Vec<QTensor> {
         assert_eq!(
             x.dims()[1..],
             self.input_shape,
@@ -541,8 +560,9 @@ impl Int8Engine {
         let n = x.dims()[0];
         let mode = self.mode;
         let _run_span = diva_trace::span(1, "quant.engine.run");
-        let track_sat = diva_trace::enabled(1);
-        if track_sat {
+        let trace_sat = diva_trace::enabled(1);
+        let track_sat = trace_sat || stats.is_some();
+        if trace_sat {
             diva_trace::counter!("quant.engine.samples", n);
         }
         let mut acts: Vec<QTensor> = Vec::with_capacity(self.nodes.len());
@@ -715,7 +735,14 @@ impl Int8Engine {
                     }
                 }
             };
-            sat.flush(kind);
+            if let Some(collected) = stats.as_deref_mut() {
+                collected.push(SatStats {
+                    kind,
+                    requants: sat.requants,
+                    saturated: sat.saturated,
+                });
+            }
+            sat.flush(kind, trace_sat);
             debug_assert_eq!(out.data.len(), out.dims.iter().product::<usize>());
             acts.push(out);
         }
@@ -929,10 +956,134 @@ impl Saturation {
         clamp_q(qp, v)
     }
 
-    fn flush(self, kind: &'static str) {
-        if self.track && self.requants > 0 {
+    /// Emits the totals as trace counters. `trace` distinguishes "counting
+    /// because the recorder is on" from "counting because a stats collector
+    /// asked": only the former may touch the recorder.
+    fn flush(self, kind: &'static str, trace: bool) {
+        if trace && self.track && self.requants > 0 {
             diva_trace::counter_add(&format!("quant.requant.{kind}"), self.requants);
             diva_trace::counter_add(&format!("quant.saturate.{kind}"), self.saturated);
+        }
+    }
+}
+
+/// Per-node saturation totals from [`Int8Engine::saturation_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatStats {
+    /// Engine op kind label (`"conv2d"`, `"relu"`, ...).
+    pub kind: &'static str,
+    /// Requantizations performed (one per produced output element for
+    /// requantizing ops; 0 for input/flatten/maxpool).
+    pub requants: u64,
+    /// How many of those requantizations clamped (left `[qmin, qmax]`).
+    pub saturated: u64,
+}
+
+/// The fused conv/dwconv requantization epilogue: maps finished `i32` GEMM
+/// accumulators of output-channel row `i` straight to clamped `i8` output
+/// pixels — bias add, per-channel multiplier, zero-point shift, clamp, and
+/// saturation counting happen while the accumulator row is still hot, in
+/// place of the old separate per-element pass.
+struct RequantRows<'a> {
+    bias: &'a [i32],
+    mult: &'a [Mult],
+    mode: RequantMode,
+    qp: QuantParams,
+    sat: &'a mut Saturation,
+    /// Offset of the current image (or image×channel) slab in `out`.
+    base: usize,
+    /// Output row length (`oh*ow`).
+    n: usize,
+}
+
+impl EpilogueI32 for RequantRows<'_> {
+    #[inline]
+    fn row(&mut self, i: usize, j0: usize, acc: &[i32], out: &mut [i8]) {
+        let qp = self.qp;
+        let m = self.mult[i];
+        let b = self.bias[i];
+        let dst = &mut out[self.base + i * self.n + j0..][..acc.len()];
+        for (o, &a) in dst.iter_mut().zip(acc) {
+            // Bias joins here instead of seeding the accumulator: integer
+            // addition commutes, so the result is identical to the
+            // pre-fusion engine bit for bit.
+            *o = self
+                .sat
+                .clamp(qp, qp.zero_point + m.apply(a + b, self.mode));
+        }
+    }
+}
+
+/// Dense sibling of [`RequantRows`]: GEMM rows are output features and GEMM
+/// columns are batch samples, so the writeback transposes into the `[n,
+/// rows]` activation layout.
+struct RequantDense<'a> {
+    bias: &'a [i32],
+    mult: &'a [Mult],
+    mode: RequantMode,
+    qp: QuantParams,
+    sat: &'a mut Saturation,
+    /// Output features per sample (the stride between samples in `out`).
+    rows: usize,
+}
+
+impl EpilogueI32 for RequantDense<'_> {
+    #[inline]
+    fn row(&mut self, i: usize, j0: usize, acc: &[i32], out: &mut [i8]) {
+        let qp = self.qp;
+        let m = self.mult[i];
+        let b = self.bias[i];
+        for (jj, &a) in acc.iter().enumerate() {
+            out[(j0 + jj) * self.rows + i] = self
+                .sat
+                .clamp(qp, qp.zero_point + m.apply(a + b, self.mode));
+        }
+    }
+}
+
+/// Quantized im2col into `[c*kh*kw, oh*ow]` (GEMM `B`, row-major): row `r`
+/// holds one kernel tap across all output pixels. Padding taps keep
+/// `pad_val` (the input zero point), so after the GEMM core subtracts the
+/// zero point they contribute exactly 0 — the same as the old skip-the-tap
+/// loops.
+#[allow(clippy::too_many_arguments)]
+fn im2col_q(
+    x: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    cfg: Conv2dCfg,
+    oh: usize,
+    ow: usize,
+    pad_val: i8,
+    out: &mut Vec<i8>,
+) {
+    let ohow = oh * ow;
+    out.clear();
+    out.resize(c * cfg.kh * cfg.kw * ohow, pad_val);
+    let mut r = 0;
+    for ci in 0..c {
+        let base = ci * h * w;
+        for ky in 0..cfg.kh {
+            for kx in 0..cfg.kw {
+                let dst = &mut out[r * ohow..(r + 1) * ohow];
+                for oy in 0..oh {
+                    let iy = oy * cfg.stride + ky;
+                    if iy < cfg.pad || iy - cfg.pad >= h {
+                        continue;
+                    }
+                    let xrow = base + (iy - cfg.pad) * w;
+                    let drow = &mut dst[oy * ow..(oy + 1) * ow];
+                    for (ox, d) in drow.iter_mut().enumerate() {
+                        let ix = ox * cfg.stride + kx;
+                        if ix < cfg.pad || ix - cfg.pad >= w {
+                            continue;
+                        }
+                        *d = x[xrow + ix - cfg.pad];
+                    }
+                }
+                r += 1;
+            }
         }
     }
 }
@@ -955,40 +1106,35 @@ fn conv_int(
     let [co, wci, kh, kw] = w_dims;
     debug_assert_eq!(ci, wci);
     let (oh, ow) = (out_dims[2], out_dims[3]);
+    let (ohow, k) = (oh * ow, ci * kh * kw);
     let zp_in = in_qp.zero_point;
     let mut data = vec![0i8; out_dims.iter().product()];
+    let mut cols: Vec<i8> = Vec::new();
+    // One i8 GEMM per image: W [co, k] · cols [k, oh*ow], requantized by
+    // the fused epilogue straight into the image's NCHW slab.
     for ni in 0..n {
-        for oi in 0..co {
-            let wbase = oi * ci * kh * kw;
-            let obase = (ni * co + oi) * oh * ow;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc: i32 = bias[oi];
-                    for c in 0..ci {
-                        let xbase = (ni * ci + c) * h * wid;
-                        let wcbase = wbase + c * kh * kw;
-                        for ky in 0..kh {
-                            let iy = oy * cfg.stride + ky;
-                            if iy < cfg.pad || iy - cfg.pad >= h {
-                                continue;
-                            }
-                            let row = xbase + (iy - cfg.pad) * wid;
-                            let wrow = wcbase + ky * kw;
-                            for kx in 0..kw {
-                                let ix = ox * cfg.stride + kx;
-                                if ix < cfg.pad || ix - cfg.pad >= wid {
-                                    continue;
-                                }
-                                acc += (xin.data[row + ix - cfg.pad] as i32 - zp_in)
-                                    * w[wrow + kx] as i32;
-                            }
-                        }
-                    }
-                    data[obase + oy * ow + ox] =
-                        sat.clamp(qp, qp.zero_point + mult[oi].apply(acc, mode));
-                }
-            }
-        }
+        let img = &xin.data[ni * ci * h * wid..(ni + 1) * ci * h * wid];
+        im2col_q(img, ci, h, wid, cfg, oh, ow, zp_in as i8, &mut cols);
+        let mut epi = RequantRows {
+            bias,
+            mult,
+            mode,
+            qp,
+            sat: &mut *sat,
+            base: ni * co * ohow,
+            n: ohow,
+        };
+        gemm::gemm_i8(
+            co,
+            ohow,
+            k,
+            w,
+            &cols,
+            Layout::RowMajor,
+            zp_in,
+            &mut data,
+            &mut epi,
+        );
     }
     QTensor {
         data,
@@ -1014,35 +1160,36 @@ fn dwconv_int(
     let [wc, kh, kw] = w_dims;
     debug_assert_eq!(c, wc);
     let (oh, ow) = (out_dims[2], out_dims[3]);
+    let (ohow, khkw) = (oh * ow, kh * kw);
     let zp_in = in_qp.zero_point;
     let mut data = vec![0i8; out_dims.iter().product()];
+    let mut cols: Vec<i8> = Vec::new();
+    // Depthwise = one 1×(kh*kw) GEMM per (image, channel) plane, sharing
+    // the conv epilogue with single-element bias/mult slices.
     for ni in 0..n {
         for ci in 0..c {
-            let xbase = (ni * c + ci) * h * wid;
-            let wbase = ci * kh * kw;
-            let obase = (ni * c + ci) * oh * ow;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc: i32 = bias[ci];
-                    for ky in 0..kh {
-                        let iy = oy * cfg.stride + ky;
-                        if iy < cfg.pad || iy - cfg.pad >= h {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = ox * cfg.stride + kx;
-                            if ix < cfg.pad || ix - cfg.pad >= wid {
-                                continue;
-                            }
-                            acc += (xin.data[xbase + (iy - cfg.pad) * wid + ix - cfg.pad] as i32
-                                - zp_in)
-                                * w[wbase + ky * kw + kx] as i32;
-                        }
-                    }
-                    data[obase + oy * ow + ox] =
-                        sat.clamp(qp, qp.zero_point + mult[ci].apply(acc, mode));
-                }
-            }
+            let plane = &xin.data[(ni * c + ci) * h * wid..(ni * c + ci + 1) * h * wid];
+            im2col_q(plane, 1, h, wid, cfg, oh, ow, zp_in as i8, &mut cols);
+            let mut epi = RequantRows {
+                bias: &bias[ci..ci + 1],
+                mult: &mult[ci..ci + 1],
+                mode,
+                qp,
+                sat: &mut *sat,
+                base: (ni * c + ci) * ohow,
+                n: ohow,
+            };
+            gemm::gemm_i8(
+                1,
+                ohow,
+                khkw,
+                &w[ci * khkw..(ci + 1) * khkw],
+                &cols,
+                Layout::RowMajor,
+                zp_in,
+                &mut data,
+                &mut epi,
+            );
         }
     }
     QTensor {
@@ -1068,17 +1215,27 @@ fn dense_int(
     let [rows, cols] = w_dims;
     let zp_in = in_qp.zero_point;
     let mut data = vec![0i8; n * rows];
-    for ni in 0..n {
-        let xrow = &xin.data[ni * cols..(ni + 1) * cols];
-        for r in 0..rows {
-            let wrow = &w[r * cols..(r + 1) * cols];
-            let mut acc: i32 = bias[r];
-            for (xv, wv) in xrow.iter().zip(wrow) {
-                acc += (*xv as i32 - zp_in) * *wv as i32;
-            }
-            data[ni * rows + r] = sat.clamp(qp, qp.zero_point + mult[r].apply(acc, mode));
-        }
-    }
+    // W [rows, cols] · X^T [cols, n]: activations stored [n, cols] are the
+    // transposed GEMM B; the epilogue transposes back on writeback.
+    let mut epi = RequantDense {
+        bias,
+        mult,
+        mode,
+        qp,
+        sat,
+        rows,
+    };
+    gemm::gemm_i8(
+        rows,
+        n,
+        cols,
+        w,
+        &xin.data,
+        Layout::Transposed,
+        zp_in,
+        &mut data,
+        &mut epi,
+    );
     QTensor {
         data,
         dims: out_dims,

@@ -30,7 +30,7 @@ pub mod observer;
 pub mod qat;
 pub mod qparams;
 
-pub use engine::{Int8Engine, QTensor, RequantMode};
+pub use engine::{Int8Engine, QTensor, RequantMode, SatStats};
 pub use extract::extract_qat;
 pub use observer::MinMaxObserver;
 pub use qat::{QatNetwork, QuantCfg};

@@ -156,3 +156,116 @@ fn golden_vector_fixed_seed() {
          change is intentional, update GOLDEN_LOGITS to the left-hand values"
     );
 }
+
+/// Per-node `(kind, requants, saturated)` captured from the **pre-fusion**
+/// engine (separate per-element requant pass) on the `golden_vector` fixture
+/// — ResNet, LCG seed 2022, two images. The fused GEMM epilogue must
+/// reproduce these totals and the logits above exactly; any drift means the
+/// fusion changed observable arithmetic, not just its schedule.
+const GOLDEN_SAT_RESNET: [(&str, u64, u64); 32] = [
+    ("input", 0, 0),
+    ("conv2d", 768, 1),
+    ("relu", 768, 1),
+    ("conv2d", 768, 0),
+    ("relu", 768, 0),
+    ("conv2d", 768, 1),
+    ("add", 768, 1),
+    ("relu", 768, 0),
+    ("conv2d", 768, 0),
+    ("relu", 768, 0),
+    ("conv2d", 768, 0),
+    ("add", 768, 1),
+    ("relu", 768, 0),
+    ("conv2d", 384, 0),
+    ("relu", 384, 0),
+    ("conv2d", 384, 0),
+    ("conv2d", 384, 0),
+    ("add", 384, 0),
+    ("relu", 384, 0),
+    ("conv2d", 384, 0),
+    ("relu", 384, 0),
+    ("conv2d", 384, 0),
+    ("add", 384, 0),
+    ("relu", 384, 0),
+    ("conv2d", 144, 0),
+    ("relu", 144, 0),
+    ("conv2d", 144, 0),
+    ("conv2d", 144, 0),
+    ("add", 144, 0),
+    ("relu", 144, 0),
+    ("gap", 36, 1),
+    ("dense", 8, 1),
+];
+
+/// Same capture for MobileNet (depthwise path), LCG seed 77, two images.
+const GOLDEN_SAT_MOBILENET: [(&str, u64, u64); 25] = [
+    ("input", 0, 0),
+    ("conv2d", 768, 0),
+    ("relu", 768, 1),
+    ("dwconv2d", 768, 0),
+    ("relu", 768, 0),
+    ("conv2d", 1536, 0),
+    ("relu", 1536, 0),
+    ("dwconv2d", 384, 0),
+    ("relu", 384, 0),
+    ("conv2d", 384, 0),
+    ("relu", 384, 0),
+    ("dwconv2d", 384, 0),
+    ("relu", 384, 0),
+    ("conv2d", 576, 0),
+    ("relu", 576, 0),
+    ("dwconv2d", 144, 0),
+    ("relu", 144, 0),
+    ("conv2d", 192, 0),
+    ("relu", 192, 0),
+    ("dwconv2d", 192, 0),
+    ("relu", 192, 0),
+    ("conv2d", 192, 0),
+    ("relu", 192, 0),
+    ("gap", 48, 0),
+    ("dense", 8, 2),
+];
+
+/// Pre-fusion engine logits for the MobileNet saturation fixture (both
+/// images quantize identically at this seed).
+const GOLDEN_LOGITS_MOBILENET: [f32; 4] = [0.060304, -0.084657535, -0.08755677, -0.03479077];
+
+fn assert_sat_matches(
+    arch: Architecture,
+    seed: u32,
+    golden: &[(&str, u64, u64)],
+) -> (Int8Engine, Tensor) {
+    let images = lcg_images(seed, 2, &[3, 8, 8]);
+    let (_, engine) = build_pair(arch, seed, &images);
+    let stats = engine.saturation_stats(&images);
+    assert_eq!(stats.len(), golden.len(), "{arch}: node count changed");
+    for (idx, (got, want)) in stats.iter().zip(golden).enumerate() {
+        assert_eq!(
+            (got.kind, got.requants, got.saturated),
+            *want,
+            "{arch} node {idx}: fused-epilogue saturation differs from the \
+             pre-fusion engine capture"
+        );
+    }
+    (engine, images)
+}
+
+#[test]
+fn fused_epilogue_saturation_matches_prefusion_resnet() {
+    let (engine, images) = assert_sat_matches(Architecture::ResNet, 2022, &GOLDEN_SAT_RESNET);
+    // Same fixture as `golden_vector_fixed_seed`: logits must stay pinned
+    // too, so counts and values are checked on the same run.
+    let logits = engine.logits(&images);
+    for (i, want) in GOLDEN_LOGITS.iter().enumerate() {
+        assert_eq!(logits.row(i).data(), want);
+    }
+}
+
+#[test]
+fn fused_epilogue_saturation_matches_prefusion_mobilenet() {
+    let (engine, images) = assert_sat_matches(Architecture::MobileNet, 77, &GOLDEN_SAT_MOBILENET);
+    let logits = engine.logits(&images);
+    for i in 0..2 {
+        assert_eq!(logits.row(i).data(), &GOLDEN_LOGITS_MOBILENET);
+    }
+}

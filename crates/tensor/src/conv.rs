@@ -6,6 +6,7 @@
 //! weights are `[c_out, c_in, kh, kw]`, depthwise weights are `[c, kh, kw]`
 //! (channel multiplier fixed at 1, as in MobileNet-style blocks).
 
+use crate::gemm::{self, Layout};
 use crate::{ops, Result, Tensor, TensorError};
 
 /// Hyper-parameters of a convolution: square-agnostic kernel, stride and
@@ -128,28 +129,34 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, cfg: Conv2d
 /// inconsistent.
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &Tensor, cfg: Conv2dCfg) -> Result<Tensor> {
     check_conv_shapes(x, weight, bias, cfg)?;
-    let (n, _c, h, w) = nchw(x);
+    let (n, c, h, w) = nchw(x);
     let co = weight.dims()[0];
     let (oh, ow) = cfg.out_hw(h, w);
+    let ohow = oh * ow;
+    let wk = c * cfg.kh * cfg.kw;
     let cols = im2col(x, cfg);
-    let wk = weight.dims()[1] * weight.dims()[2] * weight.dims()[3];
-    let wmat = weight.reshape(&[co, wk]).expect("weight reshape");
-    // [n*oh*ow, k] x [co, k]^T -> [n*oh*ow, co]
-    let out_mat = ops::matmul_a_bt(&cols, &wmat)?;
-    // Rearrange to NCHW and add bias.
+    // One GEMM per image: W [co, k] · cols_i^T [k, oh*ow] lands directly in
+    // the image's NCHW slab (rows are channels), with the bias added by the
+    // epilogue while each output row is still hot — no rearrange pass.
     let mut out = Tensor::zeros(&[n, co, oh, ow]);
-    let om = out_mat.data();
+    let cd = cols.data();
     let od = out.data_mut();
+    let wd = weight.data();
     let bd = bias.data();
     for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * co;
-                for ci in 0..co {
-                    od[((ni * co + ci) * oh + oy) * ow + ox] = om[row + ci] + bd[ci];
-                }
-            }
-        }
+        let bcols = &cd[ni * ohow * wk..(ni + 1) * ohow * wk]; // [oh*ow, k] = Bᵀ
+        let oslice = &mut od[ni * co * ohow..(ni + 1) * co * ohow];
+        gemm::gemm_f32(
+            co,
+            ohow,
+            wk,
+            wd,
+            Layout::RowMajor,
+            bcols,
+            Layout::Transposed,
+            oslice,
+            &mut gemm::BiasRows(bd),
+        );
     }
     Ok(out)
 }

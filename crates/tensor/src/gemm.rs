@@ -1,0 +1,886 @@
+//! Cache-blocked GEMM cores: the shared hot path under every dense layer,
+//! im2col convolution, and the int8 engine.
+//!
+//! Two siblings live here:
+//!
+//! * [`gemm_f32`] — `f32` matrix multiply with BLIS-style `MC`/`KC`/`NC`
+//!   blocking, packed `MR`×`NR` micro-kernel panels, and an [`EpilogueF32`]
+//!   hook applied to each finished output row segment (bias fusion);
+//! * [`gemm_i8`] — `i8`×`i8`→`i32` with the same blocking, operands widened
+//!   to `i16` during packing (the activation zero-point offset is folded into
+//!   the pack step), and an [`EpilogueI32`] hook that owns the writeback —
+//!   the quantization engine fuses requantization, zero-point shift, clamp,
+//!   and saturation counting into it instead of running a separate
+//!   per-element pass.
+//!
+//! Transposed operands are handled in the pack step ([`Layout`]), so the
+//! micro-kernel only ever sees contiguous panels; `matmul`, `matmul_at_b`,
+//! and `matmul_a_bt` are all the same core with different packers.
+//!
+//! # Determinism rule (DESIGN.md §9)
+//!
+//! The accumulation order is fixed by the tiling, not by data or thread
+//! count: every output element is a single accumulator folded over `k` in
+//! ascending order (the micro-kernel reloads its accumulators from `C`
+//! between `KC` blocks rather than summing per-block partials). That makes
+//! the blocked result *bit-identical* to a naive ascending-`k` scalar loop
+//! for `f32`, and exactly equal to any-order accumulation for integers. The
+//! small-size fallback and the pruned-sparse path in `ops` preserve the same
+//! per-element fold, so kernel dispatch never changes numerics.
+
+use std::cell::Cell;
+
+/// Micro-kernel tile rows (output rows accumulated in registers at once).
+pub const MR: usize = 4;
+/// Micro-kernel tile columns (output columns accumulated in registers).
+pub const NR: usize = 8;
+/// Rows of `A` packed per block (sized for L2 residency of the `A` panel).
+const MC: usize = 64;
+/// Shared depth per block (`A` and `B` panel depth).
+const KC: usize = 256;
+/// Columns of `B` packed per block.
+const NC: usize = 512;
+
+/// Below this many multiply-adds (`m·n·k`) the packed path costs more than
+/// it saves; a plain ascending-`k` loop runs instead. Dispatch depends only
+/// on the shape, so it is deterministic and preserves the fold order.
+const SMALL_MNK: usize = 32 * 32 * 32;
+
+/// How an operand's storage relates to its mathematical orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Stored row-major in the mathematical shape (`A`: `[m, k]`,
+    /// `B`: `[k, n]`).
+    RowMajor,
+    /// Stored row-major as the transpose of the mathematical shape
+    /// (`A`: `[k, m]`, `B`: `[n, k]`); the pack step untransposes.
+    Transposed,
+}
+
+/// Hook applied to each finished `f32` output row segment.
+///
+/// Called exactly once per `(row, column-block)` pair, after the full depth
+/// `k` has been accumulated into `row` (so the hook sees final sums). With
+/// the default blocking a row is a single segment unless `n > 512`.
+pub trait EpilogueF32 {
+    /// `i` is the output row, `j0` the first column of `row` within the
+    /// output matrix.
+    fn finish(&mut self, i: usize, j0: usize, row: &mut [f32]);
+}
+
+/// The identity epilogue: plain `C = A·B`.
+pub struct NoEpilogue;
+
+impl EpilogueF32 for NoEpilogue {
+    #[inline]
+    fn finish(&mut self, _i: usize, _j0: usize, _row: &mut [f32]) {}
+}
+
+/// Adds `bias[i]` to every element of output row `i` (convolution bias,
+/// where rows are output channels).
+pub struct BiasRows<'a>(pub &'a [f32]);
+
+impl EpilogueF32 for BiasRows<'_> {
+    #[inline]
+    fn finish(&mut self, i: usize, _j0: usize, row: &mut [f32]) {
+        let b = self.0[i];
+        for v in row {
+            *v += b;
+        }
+    }
+}
+
+/// Adds `bias[j]` to every element of output column `j` (dense-layer bias,
+/// where columns are output features).
+pub struct BiasCols<'a>(pub &'a [f32]);
+
+impl EpilogueF32 for BiasCols<'_> {
+    #[inline]
+    fn finish(&mut self, _i: usize, j0: usize, row: &mut [f32]) {
+        for (v, &b) in row.iter_mut().zip(&self.0[j0..]) {
+            *v += b;
+        }
+    }
+}
+
+/// Hook that owns the writeback of finished `i32` accumulator row segments.
+///
+/// [`gemm_i8`] never writes `out` itself: after row `i`'s columns
+/// `j0..j0 + acc.len()` have accumulated the full depth, the hook maps the
+/// raw `i32` sums to output bytes (requantization, zero-point shift, clamp,
+/// saturation counting) and stores them wherever `out`'s layout demands.
+pub trait EpilogueI32 {
+    /// `acc` holds the finished accumulators for output row `i`, columns
+    /// `j0..j0 + acc.len()`.
+    fn row(&mut self, i: usize, j0: usize, acc: &[i32], out: &mut [i8]);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace: reusable packing buffers, one set per thread.
+// ---------------------------------------------------------------------------
+
+/// Scratch buffers reused across calls on the same thread.
+#[derive(Default)]
+struct Workspace {
+    ap_f32: Vec<f32>,
+    bp_f32: Vec<f32>,
+    ap_i16: Vec<i16>,
+    bp_i16: Vec<i16>,
+    c_i32: Vec<i32>,
+}
+
+thread_local! {
+    /// Taken (not borrowed) for the duration of a call so a reentrant GEMM
+    /// from inside an epilogue allocates fresh buffers instead of panicking.
+    static WORKSPACE: Cell<Option<Box<Workspace>>> = const { Cell::new(None) };
+}
+
+fn with_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    let mut ws = WORKSPACE
+        .with(|slot| slot.take())
+        .unwrap_or_else(|| Box::new(Workspace::default()));
+    let r = f(&mut ws);
+    WORKSPACE.with(|slot| slot.set(Some(ws)));
+    r
+}
+
+// ---------------------------------------------------------------------------
+// f32 core
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn a_at(a: &[f32], layout: Layout, m: usize, k: usize, i: usize, p: usize) -> f32 {
+    match layout {
+        Layout::RowMajor => a[i * k + p],
+        Layout::Transposed => a[p * m + i],
+    }
+}
+
+/// Blocked `C[m,n] = A[m,k] · B[k,n]`, with `epi` applied to each finished
+/// row segment. See the module docs for the determinism contract.
+///
+/// # Panics
+///
+/// Panics if an operand slice is shorter than its shape requires.
+#[allow(clippy::too_many_arguments)] // a GEMM is (shape, A, B, C, epilogue); grouping would obscure it
+pub fn gemm_f32<E: EpilogueF32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    out: &mut [f32],
+    epi: &mut E,
+) {
+    assert!(a.len() >= m * k, "gemm_f32: A shorter than m*k");
+    assert!(b.len() >= k * n, "gemm_f32: B shorter than k*n");
+    assert!(out.len() >= m * n, "gemm_f32: out shorter than m*n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for i in 0..m {
+            let row = &mut out[i * n..(i + 1) * n];
+            row.fill(0.0);
+            epi.finish(i, 0, row);
+        }
+        return;
+    }
+    if m * n * k <= SMALL_MNK {
+        gemm_f32_small(m, n, k, a, a_layout, b, b_layout, out, epi);
+        return;
+    }
+    with_workspace(|ws| {
+        gemm_f32_blocked(m, n, k, a, a_layout, b, b_layout, out, epi, ws);
+    });
+}
+
+/// Ascending-`k` loop for shapes where packing cannot pay for itself.
+#[allow(clippy::too_many_arguments)]
+fn gemm_f32_small<E: EpilogueF32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    out: &mut [f32],
+    epi: &mut E,
+) {
+    for i in 0..m {
+        let row = &mut out[i * n..(i + 1) * n];
+        row.fill(0.0);
+        for p in 0..k {
+            let av = a_at(a, a_layout, m, k, i, p);
+            match b_layout {
+                Layout::RowMajor => {
+                    for (o, &bv) in row.iter_mut().zip(&b[p * n..(p + 1) * n]) {
+                        *o += av * bv;
+                    }
+                }
+                Layout::Transposed => {
+                    for (j, o) in row.iter_mut().enumerate() {
+                        *o += av * b[j * k + p];
+                    }
+                }
+            }
+        }
+        epi.finish(i, 0, row);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_f32_blocked<E: EpilogueF32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    out: &mut [f32],
+    epi: &mut E,
+    ws: &mut Workspace,
+) {
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let n_strips = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let first = pc == 0;
+            let last = pc + kc == k;
+            ws.bp_f32.resize(n_strips * kc * NR, 0.0);
+            pack_b_f32(b, b_layout, n, k, pc, kc, jc, nc, &mut ws.bp_f32);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let m_strips = mc.div_ceil(MR);
+                ws.ap_f32.resize(m_strips * kc * MR, 0.0);
+                pack_a_f32(a, a_layout, m, k, ic, mc, pc, kc, &mut ws.ap_f32);
+                for js in 0..n_strips {
+                    let j0 = jc + js * NR;
+                    let nr = NR.min(jc + nc - j0);
+                    let bpanel = &ws.bp_f32[js * kc * NR..(js + 1) * kc * NR];
+                    for is in 0..m_strips {
+                        let i0 = ic + is * MR;
+                        let mr = MR.min(ic + mc - i0);
+                        let apanel = &ws.ap_f32[is * kc * MR..(is + 1) * kc * MR];
+                        if mr == MR && nr == NR {
+                            kern_f32(kc, apanel, bpanel, &mut out[i0 * n + j0..], n, first);
+                        } else {
+                            // Edge tile: stage through a padded MR×NR buffer.
+                            let mut tile = [0.0f32; MR * NR];
+                            if !first {
+                                for (r, trow) in tile.chunks_mut(NR).enumerate().take(mr) {
+                                    let src = (i0 + r) * n + j0;
+                                    trow[..nr].copy_from_slice(&out[src..src + nr]);
+                                }
+                            }
+                            kern_f32(kc, apanel, bpanel, &mut tile, NR, first);
+                            for (r, trow) in tile.chunks(NR).enumerate().take(mr) {
+                                let dst = (i0 + r) * n + j0;
+                                out[dst..dst + nr].copy_from_slice(&trow[..nr]);
+                            }
+                        }
+                    }
+                }
+                if last {
+                    for i in ic..ic + mc {
+                        epi.finish(i, jc, &mut out[i * n + jc..i * n + jc + nc]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `MR`×`NR` micro-kernel: accumulators live in registers, are seeded
+/// from `c` when this is not the first `KC` block (continuing the per-element
+/// ascending-`k` fold), and vectorize across the `NR` lanes.
+#[inline]
+fn kern_f32(kc: usize, apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usize, first: bool) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (r, row) in acc.iter_mut().enumerate() {
+            row.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+        }
+    }
+    for p in 0..kc {
+        let av: &[f32; MR] = apanel[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f32; NR] = bpanel[p * NR..p * NR + NR].try_into().unwrap();
+        for (row, &al) in acc.iter_mut().zip(av) {
+            for (x, &bl) in row.iter_mut().zip(bv) {
+                *x += al * bl;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(row);
+    }
+}
+
+/// Packs `A[ic..ic+mc, pc..pc+kc]` into `MR`-row strips (`ap[strip][p][r]`),
+/// zero-padding the ragged strip so the micro-kernel never branches.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_f32(
+    a: &[f32],
+    layout: Layout,
+    m: usize,
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    ap: &mut [f32],
+) {
+    for (is, strip) in ap.chunks_mut(kc * MR).enumerate() {
+        let i0 = ic + is * MR;
+        let mr = MR.min(ic + mc - i0);
+        if mr < MR {
+            strip.fill(0.0);
+        }
+        match layout {
+            Layout::RowMajor => {
+                for r in 0..mr {
+                    let arow = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+                    for (p, &v) in arow.iter().enumerate() {
+                        strip[p * MR + r] = v;
+                    }
+                }
+            }
+            Layout::Transposed => {
+                for (p, dst) in strip.chunks_mut(MR).enumerate() {
+                    let arow = &a[(pc + p) * m + i0..(pc + p) * m + i0 + mr];
+                    dst[..mr].copy_from_slice(arow);
+                }
+            }
+        }
+    }
+}
+
+/// Packs `B[pc..pc+kc, jc..jc+nc]` into `NR`-column strips
+/// (`bp[strip][p][c]`), zero-padding the ragged strip.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_f32(
+    b: &[f32],
+    layout: Layout,
+    n: usize,
+    k: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    bp: &mut [f32],
+) {
+    for (js, strip) in bp.chunks_mut(kc * NR).enumerate() {
+        let j0 = jc + js * NR;
+        let nr = NR.min(jc + nc - j0);
+        if nr < NR {
+            strip.fill(0.0);
+        }
+        match layout {
+            Layout::RowMajor => {
+                for (p, dst) in strip.chunks_mut(NR).enumerate() {
+                    let brow = &b[(pc + p) * n + j0..(pc + p) * n + j0 + nr];
+                    dst[..nr].copy_from_slice(brow);
+                }
+            }
+            Layout::Transposed => {
+                for c in 0..nr {
+                    let bcol = &b[(j0 + c) * k + pc..(j0 + c) * k + pc + kc];
+                    for (p, &v) in bcol.iter().enumerate() {
+                        strip[p * NR + c] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// i8 core
+// ---------------------------------------------------------------------------
+
+/// Blocked `i8`×`i8`→`i32` GEMM: `acc[m,n] = A[m,k] · (B[k,n] - b_offset)`.
+///
+/// `A` (weights) is `[m, k]` row-major `i8` with no offset (symmetric weight
+/// quantization). `B` (activations) carries the activation zero point, which
+/// the pack step subtracts while widening to `i16`. `out` is never written by
+/// the core itself — every finished accumulator row segment goes through
+/// `epi`, which owns requantization and placement.
+///
+/// Integer accumulation is associative, so the result is exactly equal to a
+/// naive triple loop regardless of blocking.
+///
+/// # Panics
+///
+/// Panics if an operand slice is shorter than its shape requires.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8<E: EpilogueI32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    b_layout: Layout,
+    b_offset: i32,
+    out: &mut [i8],
+    epi: &mut E,
+) {
+    assert!(a.len() >= m * k, "gemm_i8: A shorter than m*k");
+    assert!(b.len() >= k * n, "gemm_i8: B shorter than k*n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    with_workspace(|ws| {
+        ws.c_i32.clear();
+        ws.c_i32.resize(m * n, 0);
+        let mut scratch = std::mem::take(&mut ws.c_i32);
+        if k == 0 {
+            for i in 0..m {
+                epi.row(i, 0, &scratch[i * n..(i + 1) * n], out);
+            }
+        } else if m * n * k <= SMALL_MNK {
+            gemm_i8_small(m, n, k, a, b, b_layout, b_offset, &mut scratch);
+            for i in 0..m {
+                epi.row(i, 0, &scratch[i * n..(i + 1) * n], out);
+            }
+        } else {
+            gemm_i8_blocked(
+                m,
+                n,
+                k,
+                a,
+                b,
+                b_layout,
+                b_offset,
+                out,
+                &mut scratch,
+                epi,
+                ws,
+            );
+        }
+        ws.c_i32 = scratch;
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_i8_small(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    b_layout: Layout,
+    b_offset: i32,
+    acc: &mut [i32],
+) {
+    for i in 0..m {
+        let row = &mut acc[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a[i * k + p] as i32;
+            if av == 0 {
+                continue; // exact for integers: skips the whole lane pass
+            }
+            match b_layout {
+                Layout::RowMajor => {
+                    for (o, &bv) in row.iter_mut().zip(&b[p * n..(p + 1) * n]) {
+                        *o += av * (bv as i32 - b_offset);
+                    }
+                }
+                Layout::Transposed => {
+                    for (j, o) in row.iter_mut().enumerate() {
+                        *o += av * (b[j * k + p] as i32 - b_offset);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_i8_blocked<E: EpilogueI32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    b_layout: Layout,
+    b_offset: i32,
+    out: &mut [i8],
+    scratch: &mut [i32],
+    epi: &mut E,
+    ws: &mut Workspace,
+) {
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let n_strips = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let first = pc == 0;
+            let last = pc + kc == k;
+            ws.bp_i16.resize(n_strips * kc * NR, 0);
+            pack_b_i16(b, b_layout, n, k, pc, kc, jc, nc, b_offset, &mut ws.bp_i16);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let m_strips = mc.div_ceil(MR);
+                ws.ap_i16.resize(m_strips * kc * MR, 0);
+                pack_a_i16(a, k, ic, mc, pc, kc, &mut ws.ap_i16);
+                for js in 0..n_strips {
+                    let j0 = jc + js * NR;
+                    let nr = NR.min(jc + nc - j0);
+                    let bpanel = &ws.bp_i16[js * kc * NR..(js + 1) * kc * NR];
+                    for is in 0..m_strips {
+                        let i0 = ic + is * MR;
+                        let mr = MR.min(ic + mc - i0);
+                        let apanel = &ws.ap_i16[is * kc * MR..(is + 1) * kc * MR];
+                        if mr == MR && nr == NR {
+                            kern_i16(kc, apanel, bpanel, &mut scratch[i0 * n + j0..], n, first);
+                        } else {
+                            let mut tile = [0i32; MR * NR];
+                            if !first {
+                                for (r, trow) in tile.chunks_mut(NR).enumerate().take(mr) {
+                                    let src = (i0 + r) * n + j0;
+                                    trow[..nr].copy_from_slice(&scratch[src..src + nr]);
+                                }
+                            }
+                            kern_i16(kc, apanel, bpanel, &mut tile, NR, first);
+                            for (r, trow) in tile.chunks(NR).enumerate().take(mr) {
+                                let dst = (i0 + r) * n + j0;
+                                scratch[dst..dst + nr].copy_from_slice(&trow[..nr]);
+                            }
+                        }
+                    }
+                }
+                if last {
+                    for i in ic..ic + mc {
+                        epi.row(i, jc, &scratch[i * n + jc..i * n + jc + nc], out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn kern_i16(kc: usize, apanel: &[i16], bpanel: &[i16], c: &mut [i32], ldc: usize, first: bool) {
+    let mut acc = [[0i32; NR]; MR];
+    if !first {
+        for (r, row) in acc.iter_mut().enumerate() {
+            row.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+        }
+    }
+    for p in 0..kc {
+        let av: &[i16; MR] = apanel[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[i16; NR] = bpanel[p * NR..p * NR + NR].try_into().unwrap();
+        for (row, &al) in acc.iter_mut().zip(av) {
+            let al = al as i32;
+            for (x, &bl) in row.iter_mut().zip(bv) {
+                *x += al * bl as i32;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(row);
+    }
+}
+
+/// Packs weights (`[m, k]` row-major `i8`) into `MR`-row `i16` strips.
+fn pack_a_i16(a: &[i8], k: usize, ic: usize, mc: usize, pc: usize, kc: usize, ap: &mut [i16]) {
+    for (is, strip) in ap.chunks_mut(kc * MR).enumerate() {
+        let i0 = ic + is * MR;
+        let mr = MR.min(ic + mc - i0);
+        if mr < MR {
+            strip.fill(0);
+        }
+        for r in 0..mr {
+            let arow = &a[(i0 + r) * k + pc..(i0 + r) * k + pc + kc];
+            for (p, &v) in arow.iter().enumerate() {
+                strip[p * MR + r] = v as i16;
+            }
+        }
+    }
+}
+
+/// Packs activations into `NR`-column `i16` strips, subtracting the zero
+/// point while widening (`i8 - zp` always fits `i16`). Padding lanes hold 0
+/// and therefore contribute nothing.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_i16(
+    b: &[i8],
+    layout: Layout,
+    n: usize,
+    k: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    offset: i32,
+    bp: &mut [i16],
+) {
+    let off = offset as i16;
+    for (js, strip) in bp.chunks_mut(kc * NR).enumerate() {
+        let j0 = jc + js * NR;
+        let nr = NR.min(jc + nc - j0);
+        if nr < NR {
+            strip.fill(0);
+        }
+        match layout {
+            Layout::RowMajor => {
+                for (p, dst) in strip.chunks_mut(NR).enumerate() {
+                    let brow = &b[(pc + p) * n + j0..(pc + p) * n + j0 + nr];
+                    for (d, &v) in dst.iter_mut().zip(brow) {
+                        *d = v as i16 - off;
+                    }
+                }
+            }
+            Layout::Transposed => {
+                for c in 0..nr {
+                    let bcol = &b[(j0 + c) * k + pc..(j0 + c) * k + pc + kc];
+                    for (p, &v) in bcol.iter().enumerate() {
+                        strip[p * NR + c] = v as i16 - off;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive references: the differential oracles for tests and benches.
+// ---------------------------------------------------------------------------
+
+/// Naive `f32` reference (`j`-inner ascending-`k` fold). Used by the
+/// differential battery and the microbench catalog; never by production code.
+pub fn naive_f32(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = a_at(a, a_layout, m, k, i, p);
+                let bv = match b_layout {
+                    Layout::RowMajor => b[p * n + j],
+                    Layout::Transposed => b[j * k + p],
+                };
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Naive `i32`-accumulate reference for the int8 core. Returns the raw
+/// accumulators (pre-epilogue); [`gemm_i8`] must match these **exactly**.
+pub fn naive_i8_i32(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    b_layout: Layout,
+    b_offset: i32,
+) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                let bv = match b_layout {
+                    Layout::RowMajor => b[p * n + j],
+                    Layout::Transposed => b[j * k + p],
+                } as i32;
+                acc += a[i * k + p] as i32 * (bv - b_offset);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Epilogue that copies raw accumulators out (used by tests and benches to
+/// observe pre-requantization sums through the public entry point).
+pub struct CaptureAcc<'a> {
+    /// Destination for the raw accumulators, `m*n` row-major.
+    pub acc: &'a mut [i32],
+    /// Output row length `n`.
+    pub n: usize,
+}
+
+impl EpilogueI32 for CaptureAcc<'_> {
+    fn row(&mut self, i: usize, j0: usize, acc: &[i32], _out: &mut [i8]) {
+        self.acc[i * self.n + j0..i * self.n + j0 + acc.len()].copy_from_slice(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic value stream (SplitMix64) independent of `rand`.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        fn f32(&mut self) -> f32 {
+            (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
+        }
+
+        fn i8(&mut self) -> i8 {
+            (self.next_u64() & 0xff) as u8 as i8
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_f32_across_shapes_and_layouts() {
+        let mut mix = Mix(7);
+        for (m, n, k) in [(1, 1, 1), (5, 9, 3), (33, 65, 17), (64, 96, 300)] {
+            let a: Vec<f32> = (0..m * k).map(|_| mix.f32()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| mix.f32()).collect();
+            for al in [Layout::RowMajor, Layout::Transposed] {
+                for bl in [Layout::RowMajor, Layout::Transposed] {
+                    let want = naive_f32(m, n, k, &a, al, &b, bl);
+                    let mut got = vec![0.0f32; m * n];
+                    gemm_f32(m, n, k, &a, al, &b, bl, &mut got, &mut NoEpilogue);
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!(
+                            (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                            "m={m} n={n} k={k} {al:?}/{bl:?}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_f32_is_bitwise_ascending_k() {
+        // The determinism contract: the blocked path equals the naive
+        // ascending-k fold bit for bit, not just within tolerance.
+        let mut mix = Mix(11);
+        let (m, n, k) = (37, 41, 530); // several KC blocks, ragged tiles
+        let a: Vec<f32> = (0..m * k).map(|_| mix.f32()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| mix.f32()).collect();
+        let want = naive_f32(m, n, k, &a, Layout::RowMajor, &b, Layout::RowMajor);
+        let mut got = vec![0.0f32; m * n];
+        gemm_f32(
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut got,
+            &mut NoEpilogue,
+        );
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn i8_matches_naive_exactly() {
+        let mut mix = Mix(13);
+        for (m, n, k) in [(1, 64, 9), (24, 256, 108), (7, 5, 1), (4, 1000, 600)] {
+            let a: Vec<i8> = (0..m * k).map(|_| mix.i8()).collect();
+            let b: Vec<i8> = (0..k * n).map(|_| mix.i8()).collect();
+            for bl in [Layout::RowMajor, Layout::Transposed] {
+                for off in [0i32, -7, 13] {
+                    let want = naive_i8_i32(m, n, k, &a, &b, bl, off);
+                    let mut got = vec![0i32; m * n];
+                    let mut sink = vec![0i8; 0];
+                    gemm_i8(
+                        m,
+                        n,
+                        k,
+                        &a,
+                        &b,
+                        bl,
+                        off,
+                        &mut sink,
+                        &mut CaptureAcc { acc: &mut got, n },
+                    );
+                    assert_eq!(got, want, "m={m} n={n} k={k} {bl:?} off={off}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_dims_are_no_ops() {
+        let mut out = vec![7.0f32; 0];
+        gemm_f32(
+            0,
+            4,
+            3,
+            &[],
+            Layout::RowMajor,
+            &[0.0; 12],
+            Layout::RowMajor,
+            &mut out,
+            &mut NoEpilogue,
+        );
+        let mut out = vec![1.0f32; 6];
+        // k = 0: output is all zeros (empty sum), epilogue still runs.
+        gemm_f32(
+            2,
+            3,
+            0,
+            &[],
+            Layout::RowMajor,
+            &[],
+            Layout::RowMajor,
+            &mut out,
+            &mut BiasRows(&[1.0, 2.0]),
+        );
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn epilogue_sees_final_sums_once_per_segment() {
+        struct CountRows<'a>(&'a mut Vec<(usize, usize, usize)>);
+        impl EpilogueF32 for CountRows<'_> {
+            fn finish(&mut self, i: usize, j0: usize, row: &mut [f32]) {
+                self.0.push((i, j0, row.len()));
+            }
+        }
+        let (m, n, k) = (9, 20, 700); // multiple KC blocks: epilogue must not repeat
+        let a = vec![0.5f32; m * k];
+        let b = vec![0.25f32; k * n];
+        let mut out = vec![0.0f32; m * n];
+        let mut calls = Vec::new();
+        gemm_f32(
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            &mut out,
+            &mut CountRows(&mut calls),
+        );
+        assert_eq!(calls.len(), m);
+        assert!(calls.iter().all(|&(_, j0, len)| j0 == 0 && len == n));
+    }
+}

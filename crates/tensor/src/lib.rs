@@ -7,7 +7,8 @@
 //! The crate provides the numeric kernels the paper's models need:
 //!
 //! * broadcasted elementwise arithmetic ([`Tensor::add`], [`Tensor::mul`], ...)
-//! * matrix multiplication ([`ops::matmul`])
+//! * matrix multiplication ([`ops::matmul`]), backed by the cache-blocked
+//!   f32/int8 GEMM cores in [`gemm`]
 //! * 2-D convolution via im2col ([`conv`]) plus depthwise convolution
 //! * pooling ([`pool`])
 //! * reductions and argmax/topk ([`Tensor::sum`], [`Tensor::argmax`], ...)
@@ -25,6 +26,7 @@
 //! ```
 
 pub mod conv;
+pub mod gemm;
 pub mod init;
 pub mod ops;
 pub mod pool;

@@ -1,0 +1,351 @@
+//! Differential battery for the cache-blocked GEMM core.
+//!
+//! The tentpole rewrite (ISSUE 7) moved every matmul variant, im2col
+//! convolution, and the int8 engine onto `diva_tensor::gemm`. The paper's
+//! attacks run thousands of forward/backward passes through these kernels,
+//! so "fast but subtly wrong" is the failure mode to fear — this battery
+//! pins the blocked paths against retained naive references on seeded-LCG
+//! random shapes, deliberately crossing every tile boundary (MR=4, NR=8,
+//! KC=256) plus the k=1, 1×N, and empty degenerate shapes:
+//!
+//! * f32 paths match the naive ascending-k fold within 1e-4 relative error
+//!   (in fact bitwise, but the tolerance contract is what callers rely on);
+//! * the i8×i8→i32 core matches a naive i32 accumulate **exactly**;
+//! * NaN/Inf in either operand propagates to the output — the regression
+//!   guard for the old pruned-path bug where skipping `a == 0.0` silently
+//!   turned `0·NaN` into `0` and hid non-finite activations.
+//!
+//! All data comes from an in-file LCG, never `rand`, so every shape and
+//! value is identical on any platform.
+
+use diva_tensor::conv::{conv2d, conv2d_naive, Conv2dCfg};
+use diva_tensor::gemm::{self, CaptureAcc, Layout, NoEpilogue};
+use diva_tensor::ops;
+use diva_tensor::Tensor;
+
+/// 32-bit LCG (Numerical Recipes constants), the same generator family the
+/// QAT golden-vector suite uses.
+struct Lcg(u32);
+
+impl Lcg {
+    fn next_u32(&mut self) -> u32 {
+        self.0 = self.0.wrapping_mul(1664525).wrapping_add(1013904223);
+        self.0
+    }
+
+    /// Uniform in [-1, 1).
+    fn unit(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+    }
+
+    /// Uniform in [0, bound).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u32() as usize) % bound
+    }
+
+    fn i8(&mut self) -> i8 {
+        (self.next_u32() >> 16) as u8 as i8
+    }
+
+    fn tensor(&mut self, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| self.unit()).collect(), dims)
+    }
+}
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (idx, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+            "{what}[{idx}]: blocked {g} vs naive {w}"
+        );
+    }
+}
+
+/// Shape list: LCG-random draws spanning below/at/above each tile edge,
+/// plus the degenerate shapes the blocking must special-case.
+fn shapes(lcg: &mut Lcg) -> Vec<(usize, usize, usize)> {
+    let mut s = vec![
+        (1, 1, 1),
+        (1, 1, 300),    // k crosses KC? no (KC=256 needs k>256) — k=300 does
+        (1, 97, 1),     // 1×N with ragged NR strip
+        (3, 8, 1),      // k = 1
+        (4, 8, 256),    // exact MR/NR/KC multiples
+        (5, 9, 257),    // one past every tile edge
+        (0, 7, 5),      // empty m
+        (7, 0, 5),      // empty n
+        (7, 5, 0),      // empty k
+        (67, 130, 530), // several blocks in every dimension, all ragged
+    ];
+    for _ in 0..8 {
+        s.push((1 + lcg.below(70), 1 + lcg.below(90), 1 + lcg.below(310)));
+    }
+    s
+}
+
+#[test]
+fn matmul_matches_naive_reference() {
+    let mut lcg = Lcg(0xD1FF);
+    for (m, n, k) in shapes(&mut lcg) {
+        let a = lcg.tensor(&[m, k]);
+        let b = lcg.tensor(&[k, n]);
+        let got = ops::matmul(&a, &b).unwrap();
+        let want = gemm::naive_f32(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::RowMajor,
+            b.data(),
+            Layout::RowMajor,
+        );
+        assert_close(got.data(), &want, &format!("matmul {m}x{k}·{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_at_b_matches_naive_reference() {
+    let mut lcg = Lcg(0xA7B);
+    for (m, n, k) in shapes(&mut lcg) {
+        let a = lcg.tensor(&[k, m]); // stored transposed
+        let b = lcg.tensor(&[k, n]);
+        let got = ops::matmul_at_b(&a, &b).unwrap();
+        let want = gemm::naive_f32(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::Transposed,
+            b.data(),
+            Layout::RowMajor,
+        );
+        assert_close(got.data(), &want, &format!("matmul_at_b {k}x{m}ᵀ·{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_a_bt_matches_naive_reference() {
+    let mut lcg = Lcg(0xAB7);
+    for (m, n, k) in shapes(&mut lcg) {
+        let a = lcg.tensor(&[m, k]);
+        let b = lcg.tensor(&[n, k]); // stored transposed
+        let got = ops::matmul_a_bt(&a, &b).unwrap();
+        let want = gemm::naive_f32(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::RowMajor,
+            b.data(),
+            Layout::Transposed,
+        );
+        assert_close(got.data(), &want, &format!("matmul_a_bt {m}x{k}·{n}x{k}ᵀ"));
+    }
+}
+
+#[test]
+fn conv2d_matches_naive_reference() {
+    let mut lcg = Lcg(0xC0);
+    // Fixed grid of configs crossing tile edges in co (rows) and oh*ow
+    // (cols), plus random draws; empty batch included.
+    let mut cases = vec![
+        (2usize, 3usize, 9usize, 17usize, 3usize, 2usize, 1usize), // co=17 ragged MR, ohow=25 ragged NR
+        (1, 1, 5, 1, 1, 1, 0),                                     // 1×1 kernel
+        (1, 4, 8, 8, 5, 1, 2),                                     // big kernel, heavy pad
+        (0, 2, 6, 3, 3, 1, 1),                                     // empty batch
+        (2, 2, 7, 4, 3, 3, 0),                                     // stride > kernel step
+    ];
+    for _ in 0..4 {
+        cases.push((
+            1 + lcg.below(2),
+            1 + lcg.below(4),
+            5 + lcg.below(6),
+            1 + lcg.below(20),
+            1 + 2 * lcg.below(2), // k ∈ {1, 3}
+            1 + lcg.below(2),
+            lcg.below(2),
+        ));
+    }
+    for (n, c, side, co, k, s, p) in cases {
+        if side + 2 * p < k {
+            continue;
+        }
+        let cfg = Conv2dCfg::square(k, s, p);
+        let x = lcg.tensor(&[n, c, side, side]);
+        let w = lcg.tensor(&[co, c, k, k]);
+        let b = lcg.tensor(&[co]);
+        let fast = conv2d(&x, &w, &b, cfg).unwrap();
+        let slow = conv2d_naive(&x, &w, &b, cfg).unwrap();
+        assert_eq!(fast.dims(), slow.dims());
+        assert_close(
+            fast.data(),
+            slow.data(),
+            &format!("conv2d n{n} c{c} s{side} co{co} k{k} st{s} p{p}"),
+        );
+    }
+}
+
+#[test]
+fn i8_gemm_matches_naive_i32_accumulate_exactly() {
+    let mut lcg = Lcg(0x18);
+    let mut cases = vec![
+        (1usize, 1usize, 1usize),
+        (1, 64, 9),     // depthwise shape
+        (24, 256, 108), // engine conv shape
+        (4, 2, 120),    // dense shape (features × batch)
+        (5, 9, 257),    // past every tile edge
+        (0, 4, 4),
+        (4, 0, 4),
+        (4, 4, 0),
+    ];
+    for _ in 0..6 {
+        cases.push((1 + lcg.below(40), 1 + lcg.below(300), 1 + lcg.below(200)));
+    }
+    for (m, n, k) in cases {
+        let a: Vec<i8> = (0..m * k).map(|_| lcg.i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| lcg.i8()).collect();
+        for layout in [Layout::RowMajor, Layout::Transposed] {
+            for off in [0i32, -128, 127, 11] {
+                let want = gemm::naive_i8_i32(m, n, k, &a, &b, layout, off);
+                let mut got = vec![0i32; m * n];
+                let mut sink: Vec<i8> = Vec::new();
+                gemm::gemm_i8(
+                    m,
+                    n,
+                    k,
+                    &a,
+                    &b,
+                    layout,
+                    off,
+                    &mut sink,
+                    &mut CaptureAcc { acc: &mut got, n },
+                );
+                assert_eq!(got, want, "i8 gemm m={m} n={n} k={k} {layout:?} off={off}");
+            }
+        }
+    }
+}
+
+/// Builds a `[dim, dim]` tensor that is ~94% zeros (the pruned-weight
+/// pattern that makes the sparse fast path eligible).
+fn mostly_zero(lcg: &mut Lcg, dim: usize) -> Tensor {
+    let mut data = vec![0.0f32; dim * dim];
+    for (i, v) in data.iter_mut().enumerate() {
+        if i % 16 == 0 {
+            *v = lcg.unit();
+        }
+    }
+    Tensor::from_vec(data, &[dim, dim])
+}
+
+#[test]
+fn nan_and_inf_in_b_propagate_through_pruned_matmul() {
+    // Regression for the old zero-skip bug: with `a` heavily pruned and a
+    // NaN/Inf sitting in `b` where every `a` multiplier is zero, the skip
+    // turned 0·NaN into 0 and the non-finite value vanished. The sparse
+    // path now refuses non-finite `b`, so the dense core runs and IEEE
+    // semantics (0·NaN = NaN, 0·Inf = NaN) propagate.
+    let dim = 48; // above the sparsity-scan threshold (m·n·k > 32³)
+    for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let mut lcg = Lcg(0xBAD);
+        let a = mostly_zero(&mut lcg, dim);
+        let mut b = lcg.tensor(&[dim, dim]);
+        // Column 5, a k-row where a is zero for every i (k=1: 1 % 16 != 0).
+        b.data_mut()[dim + 5] = bad;
+        let out = ops::matmul(&a, &b).unwrap();
+        for i in 0..dim {
+            assert!(
+                out.data()[i * dim + 5].is_nan(),
+                "matmul: {bad} in b was swallowed at row {i}"
+            );
+        }
+        let out = ops::matmul_at_b(&a.transpose(), &b).unwrap();
+        for i in 0..dim {
+            assert!(
+                out.data()[i * dim + 5].is_nan(),
+                "matmul_at_b: {bad} in b was swallowed at row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nan_in_a_propagates_through_pruned_matmul() {
+    // The pruned path itself must also propagate: NaN is not `== 0.0`, so
+    // it is never skipped, and the finite-b guard keeps the path eligible.
+    let dim = 48;
+    let mut lcg = Lcg(0xF00D);
+    let mut a = mostly_zero(&mut lcg, dim);
+    a.data_mut()[3 * dim + 7] = f32::NAN; // row 3, k = 7
+    let b = lcg.tensor(&[dim, dim]);
+    let out = ops::matmul(&a, &b).unwrap();
+    for j in 0..dim {
+        assert!(
+            out.data()[3 * dim + j].is_nan(),
+            "matmul: NaN in a was swallowed at column {j}"
+        );
+    }
+    assert!(
+        out.data()[..3 * dim].iter().all(|v| v.is_finite()),
+        "NaN leaked into unrelated rows"
+    );
+}
+
+#[test]
+fn dense_forward_matches_unfused_reference() {
+    let mut lcg = Lcg(0xDE);
+    for (batch, features, inputs) in [(1usize, 1usize, 1usize), (3, 13, 108), (9, 40, 530)] {
+        let x = lcg.tensor(&[batch, inputs]);
+        let w = lcg.tensor(&[features, inputs]);
+        let bias = lcg.tensor(&[features]);
+        let fused = ops::dense_forward(&x, &w, &bias).unwrap();
+        let unfused = ops::matmul_a_bt(&x, &w).unwrap().add(&bias);
+        assert_eq!(
+            fused.data(),
+            unfused.data(),
+            "dense_forward b{batch} f{features} i{inputs}"
+        );
+    }
+}
+
+#[test]
+fn blocked_f32_accumulation_order_is_thread_invariant() {
+    // Determinism contract (DESIGN.md §9): accumulation order is fixed by
+    // the tiling, so repeated runs — and runs under any DIVA_JOBS, since
+    // the core is single-threaded per call — are bitwise identical.
+    let mut lcg = Lcg(0x5EED);
+    let (m, n, k) = (37, 41, 530);
+    let a = lcg.tensor(&[m, k]);
+    let b = lcg.tensor(&[k, n]);
+    let mut first = vec![0.0f32; m * n];
+    gemm::gemm_f32(
+        m,
+        n,
+        k,
+        a.data(),
+        Layout::RowMajor,
+        b.data(),
+        Layout::RowMajor,
+        &mut first,
+        &mut NoEpilogue,
+    );
+    for _ in 0..3 {
+        let mut again = vec![0.0f32; m * n];
+        gemm::gemm_f32(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::RowMajor,
+            b.data(),
+            Layout::RowMajor,
+            &mut again,
+            &mut NoEpilogue,
+        );
+        assert_eq!(
+            first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
