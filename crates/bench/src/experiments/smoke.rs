@@ -7,7 +7,7 @@
 use diva_core::attack::{diva_attack_traced, pgd_attack_traced, AttackCfg};
 use diva_core::parallel::par_attack_images;
 use diva_core::pipeline::evaluate_outcomes_with_flips;
-use diva_metrics::success::{AttackOutcome, SuccessCounts};
+use diva_metrics::success::{AttackOutcome, JobStatus, SuccessCounts};
 use diva_models::{Architecture, ModelCfg};
 use diva_nn::Infer;
 use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
@@ -56,23 +56,24 @@ pub fn run() -> String {
     );
     let (adv_pgd, adv_diva) = (gen_pgd.adv, gen_diva.adv);
 
-    // Images whose generation failed (guard budget exhausted, worker panic)
-    // carry the natural sample; mark them so the counts report them as
-    // `failed` instead of scoring the unperturbed image.
-    let mark = |outcomes: Vec<AttackOutcome>, failed: &[bool]| -> SuccessCounts {
+    // Images whose generation did not complete (guard budget exhausted,
+    // worker panic, deadline, cancellation) carry the natural sample; mark
+    // them with their terminal status so the counts bucket them instead of
+    // scoring the unperturbed image.
+    let mark = |outcomes: Vec<AttackOutcome>, statuses: &[JobStatus]| -> SuccessCounts {
         outcomes
             .into_iter()
-            .zip(failed)
-            .map(|(o, &f)| if f { o.as_failed() } else { o })
+            .zip(statuses)
+            .map(|(o, &s)| o.with_status(s))
             .collect()
     };
     let pgd = mark(
         evaluate_outcomes_with_flips(&net, &qat, &adv_pgd, &labels, &gen_pgd.first_flips),
-        &gen_pgd.failed,
+        &gen_pgd.statuses,
     );
     let diva = mark(
         evaluate_outcomes_with_flips(&net, &qat, &adv_diva, &labels, &gen_diva.first_flips),
-        &gen_diva.failed,
+        &gen_diva.statuses,
     );
     // One final engine pass on the adversarial batch for good measure.
     let engine_preds = engine.predict(&adv_diva);
@@ -110,8 +111,22 @@ pub fn run() -> String {
     // per-image generation failures (guard budget / worker panics), the
     // deployed engine's weight checksum (bit flips land here), and a
     // checkpoint round-trip (file faults land here).
+    // Supervision evidence, printed only when the env armed a deadline or
+    // any item actually hit a supervision bucket, so unsupervised runs stay
+    // byte-identical. CI's deadline-enforcement smoke greps this line.
+    let (t, c, q) = (
+        pgd.timed_out + diva.timed_out,
+        pgd.cancelled + diva.cancelled,
+        pgd.quarantined + diva.quarantined,
+    );
+    if std::env::var("DIVA_DEADLINE_MS").is_ok() || t + c + q > 0 {
+        out.push_str(&format!(
+            "  supervision: timed_out={t} cancelled={c} quarantined={q}\n"
+        ));
+    }
+
     if diva_fault::armed() {
-        let image_failures = pgd.failed + diva.failed;
+        let image_failures = pgd.unscored() + diva.unscored();
         let integrity_failures = usize::from(!engine.integrity_ok());
         if integrity_failures > 0 {
             diva_trace::event!(1, "smoke.integrity_failed", surface = "engine");

@@ -5,7 +5,7 @@
 use diva_core::attack::{
     cw_attack_traced, diva_attack_traced, momentum_pgd_attack_traced, pgd_attack_traced, AttackCfg,
 };
-use diva_core::parallel::par_attack_images;
+use diva_core::parallel::par_attack_images_supervised;
 use diva_core::pipeline::{
     evaluate_outcomes, evaluate_outcomes_with_flips, prepare_blackbox, prepare_semi_blackbox,
     BlackboxAssets, SemiBlackboxAssets,
@@ -13,11 +13,13 @@ use diva_core::pipeline::{
 use diva_data::imagenet::{synth_imagenet, ImagenetCfg};
 use diva_data::{select_validation, Dataset};
 use diva_distill::DistillCfg;
+use diva_fault::ckpt::ItemStore;
 use diva_metrics::success::SuccessCounts;
 use diva_metrics::{confidence_delta, dssim};
 use diva_models::{Architecture, ModelCfg};
 use diva_nn::train::{evaluate, train_classifier, TrainCfg};
 use diva_nn::Network;
+use diva_par::supervise::SupervisePolicy;
 use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
 
 use rand::{rngs::StdRng, SeedableRng};
@@ -383,6 +385,15 @@ fn reject_ckpt(path: &std::path::Path, why: &str) {
         path = path.display().to_string(),
         reason = why.to_string(),
     );
+    // Every rejection under DIVA_RESUME is followed by a silent rebuild of
+    // the phase; make the rebuild itself visible in trace artifacts.
+    diva_trace::counter!("ckpt.rebuild", 1);
+    diva_trace::event!(
+        1,
+        "ckpt.rebuild",
+        path = path.display().to_string(),
+        reason = why.to_string(),
+    );
 }
 
 /// Reads and verifies a checkpoint payload, expecting `fingerprint`.
@@ -611,13 +622,45 @@ pub fn attack_matrix_row_adv(
     };
     let started = std::time::Instant::now();
     let kind_name = kind.name();
-    // Fan out one trajectory per image (diva-par; sized by DIVA_JOBS).
-    // Results merge in image order, so counts/flips/counters match serial.
-    let gen = par_attack_images(
+    // Item-granularity resume: under DIVA_RESUME every completed image is
+    // checkpointed in an ItemStore keyed by a fingerprint of everything
+    // that determines its bytes (models, attack kind + config, labels,
+    // natural images), so a cancelled or killed matrix run recomputes only
+    // the images it never finished.
+    let store = crate::experiments::resume_ckpt_dir().map(|dir| {
+        let mut key = format!(
+            "{:?}|{:08x}|{:08x}|{kind_name}|{cfg:?}|{labels:?}",
+            victim.arch,
+            victim.original_acc.to_bits(),
+            victim.qat_acc.to_bits(),
+        )
+        .into_bytes();
+        for &v in x.data() {
+            key.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let fp = diva_fault::fnv1a64(&key);
+        let slug: String = kind_name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        ItemStore::new(dir.join("items").join(format!("{slug}-{fp:016x}")), fp)
+    });
+    // Fan out one trajectory per image (diva-par; sized by DIVA_JOBS) under
+    // the env supervision policy (DIVA_DEADLINE_MS / DIVA_RETRY). Results
+    // merge in image order, so counts/flips/counters match serial.
+    let gen = par_attack_images_supervised(
         &kind_name,
         x,
         labels,
         watch,
+        &SupervisePolicy::from_env(),
+        store.as_ref(),
         |_i, xi, yi, hook| match kind {
             AttackKind::Pgd => pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
             AttackKind::MomentumPgd => momentum_pgd_attack_traced(&victim.qat, xi, yi, cfg, hook),
@@ -676,12 +719,13 @@ pub fn attack_matrix_row_adv(
     } else {
         evaluate_outcomes(&victim.original, &victim.qat, &adv, labels)
     };
-    // Samples whose trajectory failed (worker panic, divergence budget) are
-    // counted explicitly instead of polluting the success metrics.
+    // Samples whose trajectory did not complete (worker panic, divergence
+    // budget, deadline, cancellation, quarantine) are bucketed explicitly
+    // by their terminal status instead of polluting the success metrics.
     let counts: SuccessCounts = outcomes
         .into_iter()
-        .zip(&gen.failed)
-        .map(|(o, &f)| if f { o.as_failed() } else { o })
+        .zip(&gen.statuses)
+        .map(|(o, &s)| o.with_status(s))
         .collect();
     let cdelta = confidence_delta(&victim.original, &victim.qat, &adv, labels);
     let max_dssim = (0..attack_set.len())

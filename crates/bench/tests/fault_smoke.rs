@@ -19,6 +19,9 @@ fn run_smoke(tag: &str, envs: &[(&str, &str)]) -> (String, PathBuf) {
         .env_remove("DIVA_FAULT")
         .env_remove("DIVA_TRACE")
         .env_remove("DIVA_RESUME")
+        .env_remove("DIVA_DEADLINE_MS")
+        .env_remove("DIVA_RETRY")
+        .env_remove("DIVA_BACKOFF_MS")
         .env("DIVA_TRACE_DIR", &dir)
         // Archive reports into the scratch dir too, so parallel tests (and
         // the developer's own repro_out/) never collide.
@@ -133,6 +136,56 @@ fn file_faults_are_caught_by_the_checkpoint_footer() {
         "fault.injected.file_corrupt",
     );
     assert!(stdout.contains("checkpoint 1"), "{stdout}");
+}
+
+#[test]
+fn worker_stall_is_killed_by_the_deadline_within_budget() {
+    // A worker wedged for 30 s on one item of each fan-out, under a 1.5 s
+    // per-item deadline: the watchdog must cancel it, the run must finish
+    // well inside the stall duration, and the report must say exactly
+    // which items timed out.
+    let started = std::time::Instant::now();
+    let (stdout, dir) = run_smoke(
+        "worker_stall",
+        &[
+            ("DIVA_FAULT", "worker-stall:item=3,ms=30000"),
+            ("DIVA_DEADLINE_MS", "1500"),
+            ("DIVA_TRACE", "1"),
+            ("DIVA_JOBS", "4"),
+        ],
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(60),
+        "stalled run must finish within the deadline budget, took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        stdout.contains("supervision: timed_out=2 cancelled=0 quarantined=0"),
+        "item 3 of each fan-out must be reported TimedOut:\n{stdout}"
+    );
+    // The unscored items also show up in the fault summary.
+    assert!(stdout.contains("(images 2,"), "{stdout}");
+    assert!(counter(&dir, "fault.injected.worker_stall") > 0);
+    assert_eq!(counter(&dir, "job.timed_out"), 2);
+    assert!(
+        counter(&dir, "job.watchdog_cancels") > 0,
+        "the token-only stall can only end via the watchdog"
+    );
+}
+
+#[test]
+fn slow_io_delays_checkpoints_without_failing_anything() {
+    // Latency-only injection: every checkpoint read/write sleeps, nothing
+    // corrupts, so the run degrades in time, not in results.
+    let (stdout, dir) = run_smoke(
+        "slow_io",
+        &[("DIVA_FAULT", "slow-io:ms=40"), ("DIVA_TRACE", "1")],
+    );
+    assert_eq!(failed_count(&stdout), 0, "{stdout}");
+    assert!(
+        counter(&dir, "fault.injected.slow_io") >= 2,
+        "smoke's ckpt write + read must both hit the delay"
+    );
 }
 
 #[test]

@@ -84,3 +84,145 @@ fn smoke_is_byte_identical_across_job_counts() {
     let _ = fs::remove_dir_all(&serial_dir);
     let _ = fs::remove_dir_all(&parallel_dir);
 }
+
+/// The determinism contract under *supervision*: when some items time out,
+/// retry, or are cancelled mid-batch, every item that completes `Ok` is
+/// still byte-identical across `DIVA_JOBS` counts — and identical to an
+/// unsupervised serial run. Supervision checkpoints only read state; they
+/// never perturb the math (DESIGN.md §10).
+#[test]
+fn ok_items_stay_byte_identical_under_supervision() {
+    use diva_core::attack::{pgd_attack_traced, AttackCfg, StepInfo};
+    use diva_core::parallel::{par_attack_images_supervised, ParAttackOutput};
+    use diva_models::{Architecture, ModelCfg};
+    use diva_nn::Infer;
+    use diva_par::supervise::{JobStatus, RetryPolicy, SupervisePolicy};
+    use diva_quant::{QatNetwork, QuantCfg};
+    use diva_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Duration;
+
+    let _lock = diva_fault::test_lock(); // set_plan / set_jobs are global
+    let mut rng = StdRng::seed_from_u64(61);
+    let net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+    let per: usize = 3 * 8 * 8;
+    let samples: Vec<Tensor> = (0..8)
+        .map(|_| {
+            Tensor::from_vec(
+                (0..per).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                &[3, 8, 8],
+            )
+        })
+        .collect();
+    let x = Tensor::stack(&samples);
+    let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
+    qat.calibrate(&x);
+    let labels = net.predict(&x);
+    let cfg = AttackCfg::with_steps(3);
+    let attack = |_: usize, xi: &Tensor, yi: &[usize], hook: &mut dyn FnMut(&StepInfo)| {
+        pgd_attack_traced(&qat, xi, yi, &cfg, hook)
+    };
+    let run = |jobs: usize, policy: &SupervisePolicy| -> ParAttackOutput {
+        diva_par::set_jobs(jobs);
+        let out = par_attack_images_supervised(
+            "PGD",
+            &x,
+            &labels,
+            None::<&QatNetwork>,
+            policy,
+            None,
+            attack,
+        );
+        diva_par::set_jobs(0);
+        out
+    };
+    let baseline = run(1, &SupervisePolicy::default());
+    assert!(baseline.statuses.iter().all(|s| s.is_ok()));
+    let assert_ok_items_match = |out: &ParAttackOutput, scenario: &str| {
+        for (i, s) in out.statuses.iter().enumerate() {
+            if s.is_ok() {
+                assert_eq!(
+                    out.adv.index_batch(i).data(),
+                    baseline.adv.index_batch(i).data(),
+                    "[{scenario}] Ok item {i} must match the unsupervised serial run"
+                );
+            } else {
+                assert_eq!(
+                    out.adv.index_batch(i).data(),
+                    x.index_batch(i).data(),
+                    "[{scenario}] non-Ok item {i} must carry the natural image"
+                );
+            }
+        }
+    };
+
+    // Scenario 1: one item stalls and times out mid-batch.
+    diva_fault::set_plan(Some(
+        diva_fault::FaultPlan::parse("worker-stall:item=2,ms=30000").unwrap(),
+    ));
+    let stall_policy = SupervisePolicy {
+        item_deadline: Some(Duration::from_millis(250)),
+        ..SupervisePolicy::default()
+    };
+    for jobs in [1, 4] {
+        let out = run(jobs, &stall_policy);
+        assert_eq!(out.statuses[2], JobStatus::TimedOut, "jobs={jobs}");
+        assert_ok_items_match(&out, "timeout");
+    }
+    diva_fault::set_plan(None);
+
+    // Scenario 2: one item panics on every retry and is quarantined.
+    diva_fault::set_plan(Some(
+        diva_fault::FaultPlan::parse("worker-panic:item=5").unwrap(),
+    ));
+    let retry_policy = SupervisePolicy {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 1,
+            seed: 9,
+        },
+        ..SupervisePolicy::default()
+    };
+    for jobs in [1, 4] {
+        let out = run(jobs, &retry_policy);
+        assert_eq!(out.statuses[5], JobStatus::Quarantined, "jobs={jobs}");
+        assert_ok_items_match(&out, "retry");
+    }
+    diva_fault::set_plan(None);
+
+    // Scenario 3: the run is cancelled mid-batch (item 0 cancels after it
+    // finishes). Which later items complete is schedule-dependent, but
+    // every item that does complete must still match the baseline.
+    for jobs in [1, 4] {
+        let policy = SupervisePolicy::default();
+        let token = policy.cancel.clone();
+        diva_par::set_jobs(jobs);
+        let out = par_attack_images_supervised(
+            "PGD",
+            &x,
+            &labels,
+            None::<&QatNetwork>,
+            &policy,
+            None,
+            |i, xi: &Tensor, yi: &[usize], hook: &mut dyn FnMut(&StepInfo)| {
+                let adv = pgd_attack_traced(&qat, xi, yi, &cfg, hook);
+                if i == 0 {
+                    token.cancel();
+                }
+                adv
+            },
+        );
+        diva_par::set_jobs(0);
+        assert_eq!(
+            out.statuses[0],
+            JobStatus::Ok,
+            "completion beats cancellation (jobs={jobs})"
+        );
+        assert!(
+            out.statuses.iter().any(|s| *s == JobStatus::Cancelled),
+            "later items must observe the cancel (jobs={jobs})"
+        );
+        assert_ok_items_match(&out, "cancel");
+    }
+}

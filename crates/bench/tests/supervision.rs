@@ -1,0 +1,203 @@
+//! Chaos proof for the supervision layer (ISSUE 8 acceptance criteria):
+//! under an injected `worker-stall` plan a quick-class attack run must
+//! complete within its deadline budget, report explicit `TimedOut` /
+//! `Quarantined` counts, resume the remaining items from per-item
+//! checkpoints after a cancellation, and keep every `Ok` item bit-identical
+//! to an unsupervised serial run.
+
+use std::time::{Duration, Instant};
+
+use diva_core::attack::{pgd_attack_traced, AttackCfg, StepInfo};
+use diva_core::parallel::{par_attack_images_supervised, ParAttackOutput};
+use diva_core::pipeline::evaluate_outcomes;
+use diva_fault::ckpt::ItemStore;
+use diva_metrics::success::SuccessCounts;
+use diva_models::{Architecture, ModelCfg};
+use diva_nn::Infer;
+use diva_par::supervise::{JobStatus, RetryPolicy, SupervisePolicy};
+use diva_quant::{QatNetwork, QuantCfg};
+use diva_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Fixture {
+    net: diva_nn::Network,
+    qat: QatNetwork,
+    x: Tensor,
+    labels: Vec<usize>,
+    cfg: AttackCfg,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(77);
+    let net = Architecture::ResNet.build(&ModelCfg::tiny(4), &mut rng);
+    let per: usize = 3 * 8 * 8;
+    let samples: Vec<Tensor> = (0..8)
+        .map(|_| {
+            Tensor::from_vec(
+                (0..per).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                &[3, 8, 8],
+            )
+        })
+        .collect();
+    let x = Tensor::stack(&samples);
+    let mut qat = QatNetwork::new(net.clone(), QuantCfg::default());
+    qat.calibrate(&x);
+    let labels = net.predict(&x);
+    Fixture {
+        net,
+        qat,
+        x,
+        labels,
+        cfg: AttackCfg::with_steps(6),
+    }
+}
+
+fn attack_run(
+    f: &Fixture,
+    jobs: usize,
+    policy: &SupervisePolicy,
+    store: Option<&ItemStore>,
+) -> ParAttackOutput {
+    diva_par::set_jobs(jobs);
+    let out = par_attack_images_supervised(
+        "PGD",
+        &f.x,
+        &f.labels,
+        None::<&QatNetwork>,
+        policy,
+        store,
+        |_, xi: &Tensor, yi: &[usize], hook: &mut dyn FnMut(&StepInfo)| {
+            pgd_attack_traced(&f.qat, xi, yi, &f.cfg, hook)
+        },
+    );
+    diva_par::set_jobs(0);
+    out
+}
+
+fn counts_for(f: &Fixture, out: &ParAttackOutput) -> SuccessCounts {
+    evaluate_outcomes(&f.net, &f.qat, &out.adv, &f.labels)
+        .into_iter()
+        .zip(&out.statuses)
+        .map(|(o, &s)| o.with_status(s))
+        .collect()
+}
+
+#[test]
+fn chaos_proof_stall_quarantine_cancel_resume() {
+    let _lock = diva_fault::test_lock(); // set_plan / set_jobs are global
+    let f = fixture();
+
+    // Ground truth: unsupervised serial run, everything Ok.
+    let baseline = attack_run(&f, 1, &SupervisePolicy::default(), None);
+    assert!(baseline.statuses.iter().all(|s| s.is_ok()));
+
+    // Phase 1 — deadline budget. One item wedges in token-only polling code
+    // for 30 s; with an 800 ms per-item deadline the whole batch must finish
+    // orders of magnitude sooner, with the stalled item explicitly TimedOut
+    // and every other item bit-identical to the baseline.
+    diva_fault::set_plan(Some(
+        diva_fault::FaultPlan::parse("worker-stall:item=2,ms=30000").unwrap(),
+    ));
+    let deadline_policy = SupervisePolicy {
+        item_deadline: Some(Duration::from_millis(800)),
+        ..SupervisePolicy::default()
+    };
+    let started = Instant::now();
+    let stalled = attack_run(&f, 4, &deadline_policy, None);
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "stalled batch must finish within the deadline budget, took {:?}",
+        started.elapsed()
+    );
+    let counts = counts_for(&f, &stalled);
+    assert_eq!(counts.timed_out, 1, "explicit TimedOut count");
+    assert_eq!(counts.unscored(), 1);
+    assert_eq!(stalled.statuses[2], JobStatus::TimedOut);
+    for i in [0usize, 1, 3, 4, 5, 6, 7] {
+        assert_eq!(stalled.statuses[i], JobStatus::Ok);
+        assert_eq!(
+            stalled.adv.index_batch(i).data(),
+            baseline.adv.index_batch(i).data(),
+            "Ok item {i} must be bit-identical to the unsupervised serial run"
+        );
+    }
+    diva_fault::set_plan(None);
+
+    // Phase 2 — quarantine. An item that panics on every attempt of a
+    // 3-attempt retry policy is explicitly Quarantined, not silently lost.
+    diva_fault::set_plan(Some(
+        diva_fault::FaultPlan::parse("worker-panic:item=6").unwrap(),
+    ));
+    let retry_policy = SupervisePolicy {
+        retry: RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 1,
+            seed: 11,
+        },
+        ..SupervisePolicy::default()
+    };
+    let quarantined = attack_run(&f, 2, &retry_policy, None);
+    assert_eq!(quarantined.statuses[6], JobStatus::Quarantined);
+    assert_eq!(counts_for(&f, &quarantined).quarantined, 1);
+    diva_fault::set_plan(None);
+
+    // Phase 3 — cancellation, then per-item resume. Serial run that cancels
+    // itself after item 2 completes: items 0-2 finish (and are stored),
+    // items 3-7 are Cancelled and never stored.
+    let dir = std::env::temp_dir().join(format!("diva_supervision_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ItemStore::new(&dir, 0xC0FFEE);
+    let cancel_policy = SupervisePolicy::default();
+    let token = cancel_policy.cancel.clone();
+    diva_par::set_jobs(1);
+    let cancelled = par_attack_images_supervised(
+        "PGD",
+        &f.x,
+        &f.labels,
+        None::<&QatNetwork>,
+        &cancel_policy,
+        Some(&store),
+        |i, xi: &Tensor, yi: &[usize], hook: &mut dyn FnMut(&StepInfo)| {
+            let adv = pgd_attack_traced(&f.qat, xi, yi, &f.cfg, hook);
+            if i == 2 {
+                token.cancel();
+            }
+            adv
+        },
+    );
+    diva_par::set_jobs(0);
+    for i in 0..3 {
+        assert_eq!(cancelled.statuses[i], JobStatus::Ok, "item {i}");
+    }
+    for i in 3..8 {
+        assert_eq!(cancelled.statuses[i], JobStatus::Cancelled, "item {i}");
+        assert_eq!(
+            cancelled.adv.index_batch(i).data(),
+            f.x.index_batch(i).data(),
+            "cancelled item {i} must carry the natural image"
+        );
+    }
+    assert_eq!(counts_for(&f, &cancelled).cancelled, 5);
+
+    // Resume: a fresh supervised run over the same store recomputes only
+    // the cancelled items. A panic armed for item 1 proves the completed
+    // items are loaded from their checkpoints, not re-attacked.
+    diva_fault::set_plan(Some(
+        diva_fault::FaultPlan::parse("worker-panic:item=1").unwrap(),
+    ));
+    let resumed = attack_run(&f, 4, &SupervisePolicy::default(), Some(&store));
+    diva_fault::set_plan(None);
+    assert!(
+        resumed.statuses.iter().all(|s| s.is_ok()),
+        "resume must complete every item: {:?}",
+        resumed.statuses
+    );
+    assert_eq!(
+        resumed.adv.data(),
+        baseline.adv.data(),
+        "resumed batch must be bit-identical to the unsupervised serial run"
+    );
+    assert_eq!(resumed.first_flips, baseline.first_flips);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -171,6 +171,15 @@ pub fn projected_ascent(
     let mut fresh = true;
     let mut t = 1;
     while t <= cfg.steps {
+        // Cooperative supervision point: a lapsed deadline or cancelled
+        // token stops the trajectory between steps. The last finite iterate
+        // is returned; the supervisor, not this loop, decides what the
+        // partial result is worth.
+        if let Some(reason) = diva_par::supervise::interrupted() {
+            diva_trace::counter!("attack.interrupted", 1);
+            diva_trace::event!(1, "attack.interrupted", step = t, reason = reason.name());
+            break;
+        }
         let _step = diva_trace::span(1, "attack.step");
         let (loss, mut g) = grad_fn(&x);
         if diva_fault::armed() {

@@ -49,6 +49,6 @@ pub use attack::{
     AttackCfg, TraceScope,
 };
 pub use model::DiffModel;
-pub use parallel::{par_attack_images, ParAttackOutput};
+pub use parallel::{par_attack_images, par_attack_images_supervised, ParAttackOutput};
 pub use pipeline::{evaluate_attack, evaluate_outcomes};
 pub use robust::{adversarial_training, RobustCfg};

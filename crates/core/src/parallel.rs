@@ -14,9 +14,18 @@
 //! trajectories either way, while batch-coupled normalizations (momentum
 //! PGD's L1 rescale) now see each image on its own, matching the paper's
 //! single-image formulation.
+//!
+//! The fan-out runs under diva-par's supervision layer
+//! ([`par_attack_images_supervised`]): per-image deadlines, cancellation,
+//! retry/backoff, and per-item checkpoints all apply at this granularity,
+//! and every image comes back with an explicit [`JobStatus`]. Non-`Ok`
+//! slots carry the *natural* image (a failed attack is a no-op attack), so
+//! downstream evaluation stays shape-stable while the report is honest.
 
+use diva_fault::ckpt::ItemStore;
 use diva_nn::train::gather;
 use diva_nn::Infer;
+use diva_par::supervise::{self, JobStatus, SupervisePolicy};
 use diva_tensor::Tensor;
 
 use crate::attack::{take_guard_report, StepInfo};
@@ -33,12 +42,12 @@ pub struct ParAttackOutput {
     /// Whether a watch model observed the trajectories (i.e. whether
     /// `first_flips` carries information).
     pub tracked: bool,
-    /// Per-image failure flags: `true` where the trajectory's worker
-    /// panicked or the divergence guard's recovery budget ran out. Failed
-    /// slots carry the *natural* image in `adv` (a failed attack is a
-    /// no-op attack), so downstream evaluation stays shape-stable while
-    /// `SuccessCounts::failed` reports the loss honestly.
-    pub failed: Vec<bool>,
+    /// Per-image terminal status. Non-`Ok` slots (worker panic or guard
+    /// budget exhaustion → `Failed`/`Quarantined`, deadline → `TimedOut`,
+    /// cancellation → `Cancelled`) carry the untouched natural image in
+    /// `adv` so the batch stays whole; `SuccessCounts` buckets them
+    /// explicitly instead of scoring them.
+    pub statuses: Vec<JobStatus>,
 }
 
 /// Generates one adversarial example per image of `x_nat`, in parallel.
@@ -58,6 +67,12 @@ pub struct ParAttackOutput {
 /// that model, fed from the attack's step hook — this is the per-step
 /// inference cost that callers usually gate on `diva_trace::enabled(1)`.
 ///
+/// Supervision comes from the environment ([`SupervisePolicy::from_env`]:
+/// `DIVA_DEADLINE_MS`, `DIVA_RETRY`, `DIVA_BACKOFF_MS`); with none of those
+/// set the policy is inert and this is exactly the historical unsupervised
+/// fan-out. No per-item checkpoint store is attached — the bench suite
+/// wires one via [`par_attack_images_supervised`].
+///
 /// Determinism: results are merged in image order and each trajectory
 /// depends only on its own index, so the output is bit-identical for every
 /// worker count.
@@ -72,13 +87,59 @@ where
     W: Infer + Sync + ?Sized,
     F: Fn(usize, &Tensor, &[usize], &mut dyn FnMut(&StepInfo)) -> Tensor + Sync,
 {
+    par_attack_images_supervised(
+        kind,
+        x_nat,
+        labels,
+        watch,
+        &SupervisePolicy::from_env(),
+        None,
+        attack,
+    )
+}
+
+/// [`par_attack_images`] with an explicit supervision policy and an
+/// optional per-item checkpoint store.
+///
+/// When `store` is `Some`, each image that completes cleanly is persisted
+/// (fingerprint-prefixed, atomically) and a later run over the same inputs
+/// resumes it from disk instead of recomputing — item-granularity resume
+/// for cancelled or killed attack-matrix runs. Stopped items are *not*
+/// stored: a partial trajectory must never masquerade as a finished one.
+pub fn par_attack_images_supervised<W, F>(
+    kind: &str,
+    x_nat: &Tensor,
+    labels: &[usize],
+    watch: Option<&W>,
+    policy: &SupervisePolicy,
+    store: Option<&ItemStore>,
+    attack: F,
+) -> ParAttackOutput
+where
+    W: Infer + Sync + ?Sized,
+    F: Fn(usize, &Tensor, &[usize], &mut dyn FnMut(&StepInfo)) -> Tensor + Sync,
+{
     let n = x_nat.dims()[0];
     assert_eq!(labels.len(), n, "labels/batch mismatch");
     let _span = diva_trace::span(1, "attack.par_images");
-    let per_image = diva_par::par_map_indexed_catch(n, |i| {
+    let reports = supervise::par_map_supervised(n, policy, |i| {
         let _scope = diva_fault::ItemScope::enter(i);
         let _tscope = crate::attack::TraceScope::enter(kind, i as u64);
+        if let Some(store) = store {
+            if let Some(payload) = store.load(i) {
+                if let Some((sample, flip)) = decode_item(&payload) {
+                    diva_trace::counter!("job.items_resumed", 1);
+                    diva_trace::event!(1, "job.item_resumed", attack = kind, item = i);
+                    return Ok((sample, flip));
+                }
+            }
+        }
         diva_fault::maybe_panic(i);
+        if let Some(d) = diva_fault::stall_duration(i) {
+            // Injected worker stall: wedge in token-only polling code so
+            // the watchdog — not this closure — has to break the stall.
+            supervise::cooperative_stall(d);
+        }
         let xi = gather(x_nat, &[i]);
         let yi = [labels[i]];
         let mut tracker = watch.map(|m| FirstFlipTracker::new(m, &xi));
@@ -91,38 +152,57 @@ where
             attack(i, &xi, &yi, &mut hook)
         };
         let flip = tracker.and_then(|t| t.first_flips()[0]);
-        let guard_failed = take_guard_report().failed;
+        let report = take_guard_report();
         diva_trace::event!(
             2,
             "attack.trajectory",
             attack = kind,
             item = i,
             first_flip = flip.map(|s| s as i64).unwrap_or(-1),
-            failed = guard_failed,
+            failed = report.failed,
         );
-        (adv_i.index_batch(0), flip, guard_failed)
+        if report.failed {
+            return Err(format!(
+                "divergence guard budget exhausted after {} recoveries",
+                report.recoveries
+            ));
+        }
+        let sample = adv_i.index_batch(0);
+        if let Some(store) = store {
+            if supervise::stop_observed().is_none() {
+                store.store(i, &encode_item(&sample, flip));
+            }
+        }
+        Ok((sample, flip))
     });
     let mut samples = Vec::with_capacity(n);
     let mut first_flips = Vec::with_capacity(n);
-    let mut failed = Vec::with_capacity(n);
-    for (i, item) in per_image.into_iter().enumerate() {
-        match item {
-            Ok((sample, flip, guard_failed)) => {
+    let mut statuses = Vec::with_capacity(n);
+    for (i, report) in reports.into_iter().enumerate() {
+        match (report.status, report.value) {
+            (JobStatus::Ok, Some((sample, flip))) => {
                 samples.push(sample);
                 first_flips.push(flip);
-                failed.push(guard_failed);
+                statuses.push(JobStatus::Ok);
             }
-            Err(message) => {
-                // The worker died mid-trajectory; keep the batch whole with
-                // the untouched natural image and record the failure.
+            (status, _) => {
+                // Keep the batch whole with the untouched natural image;
+                // partial values from stopped items are deliberately
+                // discarded — a half-run trajectory is not an attack.
                 samples.push(x_nat.index_batch(i));
                 first_flips.push(None);
-                failed.push(true);
-                diva_trace::event!(1, "attack.image_failed", item = i, message = message);
+                statuses.push(status);
+                diva_trace::event!(
+                    1,
+                    "attack.image_failed",
+                    item = i,
+                    status = status.name(),
+                    message = report.error.unwrap_or_default(),
+                );
             }
         }
     }
-    let n_failed = failed.iter().filter(|&&f| f).count();
+    let n_failed = statuses.iter().filter(|s| !s.is_ok()).count();
     if n_failed > 0 {
         diva_trace::counter!("attack.failed_images", n_failed as u64);
     }
@@ -130,8 +210,57 @@ where
         adv: Tensor::stack(&samples),
         first_flips,
         tracked: watch.is_some(),
-        failed,
+        statuses,
     }
+}
+
+/// Serializes one finished image for the per-item checkpoint store:
+/// `[first_flip as i64 LE (-1 = none)][ndims u64 LE][dims u64 LE...]
+/// [f32 bits LE...]`.
+fn encode_item(sample: &Tensor, flip: Option<usize>) -> Vec<u8> {
+    let dims = sample.dims();
+    let data = sample.data();
+    let mut out = Vec::with_capacity(8 + 8 + 8 * dims.len() + 4 * data.len());
+    out.extend_from_slice(&flip.map(|s| s as i64).unwrap_or(-1).to_le_bytes());
+    out.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in data {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_item`]; `None` on any structural mismatch (the
+/// caller recomputes, it never trusts a malformed payload).
+fn decode_item(payload: &[u8]) -> Option<(Tensor, Option<usize>)> {
+    let read_u64 = |at: usize| -> Option<u64> {
+        payload
+            .get(at..at + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    };
+    let flip_raw = read_u64(0)? as i64;
+    let flip = usize::try_from(flip_raw).ok();
+    let ndims = read_u64(8)? as usize;
+    if ndims == 0 || ndims > 8 {
+        return None;
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for d in 0..ndims {
+        dims.push(read_u64(16 + 8 * d)? as usize);
+    }
+    let len: usize = dims.iter().product();
+    let data_at = 16 + 8 * ndims;
+    let bytes = payload.get(data_at..)?;
+    if bytes.len() != 4 * len {
+        return None;
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().expect("4 bytes"))))
+        .collect();
+    Some((Tensor::from_vec(data, &dims), flip))
 }
 
 #[cfg(test)]
@@ -139,9 +268,11 @@ mod tests {
     use super::*;
     use crate::attack::{diva_attack_traced, pgd_attack_traced, AttackCfg};
     use diva_models::{Architecture, ModelCfg};
+    use diva_par::supervise::RetryPolicy;
     use diva_quant::{QatNetwork, QuantCfg};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::time::Duration;
 
     fn rand_images(rng: &mut StdRng, n: usize, dims: &[usize]) -> Tensor {
         let per: usize = dims.iter().product();
@@ -225,9 +356,10 @@ mod tests {
                 |_, xi, yi, hook| pgd_attack_traced(&qat, xi, yi, &cfg, hook),
             );
             diva_par::set_jobs(0);
+            use JobStatus::{Failed, Ok};
             assert_eq!(
-                out.failed,
-                vec![false, false, false, true, false, false],
+                out.statuses,
+                vec![Ok, Ok, Ok, Failed, Ok, Ok],
                 "exactly item 3 fails at jobs={jobs}"
             );
             // The failed slot carries the untouched natural image; every
@@ -242,5 +374,143 @@ mod tests {
             }
         }
         diva_fault::set_plan(None);
+    }
+
+    #[test]
+    fn stalled_image_times_out_and_the_rest_stay_bit_identical() {
+        let _lock = diva_fault::test_lock();
+        let (_net, qat, x, labels) = victim();
+        let cfg = AttackCfg::with_steps(2);
+        let attack = |_: usize, xi: &Tensor, yi: &[usize], hook: &mut dyn FnMut(&StepInfo)| {
+            pgd_attack_traced(&qat, xi, yi, &cfg, hook)
+        };
+        diva_par::set_jobs(1);
+        let baseline = par_attack_images("PGD", &x, &labels, None::<&QatNetwork>, attack);
+        let plan = diva_fault::FaultPlan::parse("worker-stall:item=2,ms=30000").unwrap();
+        diva_fault::set_plan(Some(plan));
+        let policy = SupervisePolicy {
+            item_deadline: Some(Duration::from_millis(250)),
+            ..SupervisePolicy::default()
+        };
+        for jobs in [1, 4] {
+            diva_par::set_jobs(jobs);
+            let started = std::time::Instant::now();
+            let out = par_attack_images_supervised(
+                "PGD",
+                &x,
+                &labels,
+                None::<&QatNetwork>,
+                &policy,
+                None,
+                attack,
+            );
+            diva_par::set_jobs(0);
+            assert!(
+                started.elapsed() < Duration::from_secs(20),
+                "watchdog must break the injected 30 s stall (jobs={jobs})"
+            );
+            assert_eq!(out.statuses[2], JobStatus::TimedOut, "jobs={jobs}");
+            assert_eq!(
+                out.adv.index_batch(2).data(),
+                x.index_batch(2).data(),
+                "timed-out slot must carry the natural image"
+            );
+            for i in [0usize, 1, 3, 4, 5] {
+                assert_eq!(out.statuses[i], JobStatus::Ok, "item {i} at jobs={jobs}");
+                assert_eq!(
+                    out.adv.index_batch(i).data(),
+                    baseline.adv.index_batch(i).data(),
+                    "Ok item {i} must be bit-identical to the unsupervised run"
+                );
+            }
+        }
+        diva_fault::set_plan(None);
+    }
+
+    #[test]
+    fn persistent_panic_is_quarantined_under_retry() {
+        let _lock = diva_fault::test_lock();
+        let (_net, qat, x, labels) = victim();
+        let cfg = AttackCfg::with_steps(2);
+        // worker-panic fires on every attempt, so the retry budget drains.
+        let plan = diva_fault::FaultPlan::parse("worker-panic:item=1").unwrap();
+        diva_fault::set_plan(Some(plan));
+        let policy = SupervisePolicy {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_base_ms: 1,
+                seed: 7,
+            },
+            ..SupervisePolicy::default()
+        };
+        diva_par::set_jobs(2);
+        let out = par_attack_images_supervised(
+            "PGD",
+            &x,
+            &labels,
+            None::<&QatNetwork>,
+            &policy,
+            None,
+            |_, xi, yi, hook| pgd_attack_traced(&qat, xi, yi, &cfg, hook),
+        );
+        diva_par::set_jobs(0);
+        diva_fault::set_plan(None);
+        assert_eq!(out.statuses[1], JobStatus::Quarantined);
+        assert_eq!(out.adv.index_batch(1).data(), x.index_batch(1).data());
+        for i in [0usize, 2, 3, 4, 5] {
+            assert_eq!(out.statuses[i], JobStatus::Ok, "item {i}");
+        }
+    }
+
+    #[test]
+    fn item_store_resumes_completed_images_bitwise() {
+        let _lock = diva_fault::test_lock();
+        let (_net, qat, x, labels) = victim();
+        let cfg = AttackCfg::with_steps(2);
+        let attack = |_: usize, xi: &Tensor, yi: &[usize], hook: &mut dyn FnMut(&StepInfo)| {
+            pgd_attack_traced(&qat, xi, yi, &cfg, hook)
+        };
+        let dir = std::env::temp_dir().join("diva_core_item_resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ItemStore::new(&dir, 0xA77A);
+        let policy = SupervisePolicy::default();
+        diva_par::set_jobs(2);
+        let first = par_attack_images_supervised(
+            "PGD",
+            &x,
+            &labels,
+            None::<&QatNetwork>,
+            &policy,
+            Some(&store),
+            attack,
+        );
+        assert!(first.statuses.iter().all(|s| s.is_ok()));
+        // Second run: every item must load from the store rather than
+        // recompute — proven by arming a panic that would fail item 0 if
+        // the trajectory actually ran.
+        let plan = diva_fault::FaultPlan::parse("worker-panic:item=0").unwrap();
+        diva_fault::set_plan(Some(plan));
+        let second = par_attack_images_supervised(
+            "PGD",
+            &x,
+            &labels,
+            None::<&QatNetwork>,
+            &policy,
+            Some(&store),
+            attack,
+        );
+        diva_fault::set_plan(None);
+        diva_par::set_jobs(0);
+        assert!(
+            second.statuses.iter().all(|s| s.is_ok()),
+            "armed panic must be bypassed by the checkpoint load"
+        );
+        assert_eq!(
+            second.adv.data(),
+            first.adv.data(),
+            "resume must be bitwise"
+        );
+        assert_eq!(second.first_flips, first.first_flips);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,7 +11,7 @@
 //! | blackbox       | distilled surrogate    | surrogate, re-adapted     |
 
 use diva_distill::{reconstruct_surrogate_original, reconstruct_surrogate_pair, DistillCfg};
-use diva_metrics::success::{AttackOutcome, SuccessCounts};
+use diva_metrics::success::{AttackOutcome, JobStatus, SuccessCounts};
 use diva_nn::train::TrainCfg;
 use diva_nn::{Infer, Network};
 use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
@@ -84,7 +84,7 @@ pub fn evaluate_outcomes<O: Infer + ?Sized, A: Infer + ?Sized>(
                 adapted_correct: a_pred == labels[i],
                 adapted_pred_in_original_top5: o_row.topk(5).contains(&a_pred),
                 first_flip_step: None,
-                failed: false,
+                status: JobStatus::Ok,
             }
         })
         .collect()

@@ -65,6 +65,7 @@ impl From<std::io::Error> for CkptError {
 /// Returns [`CkptError::Io`] on filesystem failures.
 pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), CkptError> {
     let path = path.as_ref();
+    maybe_slow_io();
     let mut image = Vec::with_capacity(payload.len() + FOOTER_LEN);
     image.extend_from_slice(payload);
     image.extend_from_slice(MAGIC);
@@ -91,6 +92,7 @@ pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), CkptEr
 /// [`CkptError::Format`] when the footer is missing, the magic or length
 /// does not match, or the checksum disagrees with the payload.
 pub fn read_verified(path: impl AsRef<Path>) -> Result<Vec<u8>, CkptError> {
+    maybe_slow_io();
     let mut image = std::fs::read(path.as_ref())?;
     if image.len() < FOOTER_LEN {
         return Err(CkptError::Format(format!(
@@ -118,6 +120,110 @@ pub fn read_verified(path: impl AsRef<Path>) -> Result<Vec<u8>, CkptError> {
         )));
     }
     Ok(image)
+}
+
+/// Armed `slow-io` faults delay every checkpoint read/write by the planned
+/// amount — latency injection for the supervision layer's chaos tests.
+fn maybe_slow_io() {
+    if let Some(d) = crate::slow_io_delay() {
+        std::thread::sleep(d);
+    }
+}
+
+/// Per-item incremental checkpoints for a fan-out: one small file per work
+/// item under a store directory, each payload prefixed with the store's
+/// fingerprint and sealed with the standard footer. A cancelled or killed
+/// run resumes at *item* granularity — completed items load, everything
+/// else recomputes — and a fingerprint or integrity mismatch silently
+/// recomputes rather than resurrecting stale bytes.
+///
+/// All operations are best-effort: a store that cannot write never fails
+/// the run, it only loses resumability (and says so in trace events).
+#[derive(Debug, Clone)]
+pub struct ItemStore {
+    dir: std::path::PathBuf,
+    fingerprint: u64,
+}
+
+impl ItemStore {
+    /// A store rooted at `dir` for inputs identified by `fingerprint`
+    /// (hash of everything that determines the items' bytes).
+    pub fn new(dir: impl Into<std::path::PathBuf>, fingerprint: u64) -> ItemStore {
+        ItemStore {
+            dir: dir.into(),
+            fingerprint,
+        }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, item: usize) -> std::path::PathBuf {
+        self.dir.join(format!("item-{item}.ckpt"))
+    }
+
+    /// Loads item `item`'s payload if a valid checkpoint with a matching
+    /// fingerprint exists. Missing files are silent; corrupt or mismatched
+    /// ones emit a `ckpt.item_rejected` event and return `None` so the
+    /// caller recomputes.
+    pub fn load(&self, item: usize) -> Option<Vec<u8>> {
+        let path = self.path(item);
+        match read_verified(&path) {
+            Ok(image) => {
+                if image.len() < 8 {
+                    self.reject(item, "payload shorter than the fingerprint");
+                    return None;
+                }
+                let (fp, payload) = image.split_at(8);
+                let fp = u64::from_le_bytes(fp.try_into().expect("8 bytes"));
+                if fp != self.fingerprint {
+                    self.reject(item, "fingerprint mismatch (inputs changed)");
+                    return None;
+                }
+                diva_trace::counter!("ckpt.items_loaded", 1);
+                Some(payload.to_vec())
+            }
+            Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                self.reject(item, &e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Stores item `item`'s payload (fingerprint-prefixed, atomically
+    /// written). Best effort: failures emit a `ckpt.item_write_failed`
+    /// event and are otherwise ignored.
+    pub fn store(&self, item: usize, payload: &[u8]) {
+        let _ = std::fs::create_dir_all(&self.dir);
+        let mut image = Vec::with_capacity(8 + payload.len());
+        image.extend_from_slice(&self.fingerprint.to_le_bytes());
+        image.extend_from_slice(payload);
+        match write_atomic(self.path(item), &image) {
+            Ok(()) => diva_trace::counter!("ckpt.items_written", 1),
+            Err(e) => {
+                diva_trace::event!(
+                    1,
+                    "ckpt.item_write_failed",
+                    item = item,
+                    error = e.to_string(),
+                );
+            }
+        }
+    }
+
+    fn reject(&self, item: usize, why: &str) {
+        diva_trace::counter!("ckpt.item_rejected", 1);
+        diva_trace::event!(
+            1,
+            "ckpt.item_rejected",
+            item = item,
+            path = self.path(item).display().to_string(),
+            reason = why.to_string(),
+        );
+    }
 }
 
 fn tmp_sibling(path: &Path) -> std::path::PathBuf {
@@ -185,5 +291,37 @@ mod tests {
             Err(CkptError::Io(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn item_store_round_trips_per_item_payloads() {
+        let dir = tmp_dir("items_roundtrip");
+        let store = ItemStore::new(dir.join("store"), 0xFEED_F00D);
+        assert_eq!(store.load(3), None, "empty store is a silent miss");
+        store.store(3, b"item three");
+        store.store(7, b"item seven");
+        assert_eq!(store.load(3).as_deref(), Some(&b"item three"[..]));
+        assert_eq!(store.load(7).as_deref(), Some(&b"item seven"[..]));
+        assert_eq!(store.load(4), None, "unstored items stay misses");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn item_store_rejects_mismatched_fingerprint_and_corruption() {
+        let dir = tmp_dir("items_reject");
+        let store = ItemStore::new(dir.join("store"), 1);
+        store.store(0, b"payload");
+
+        // Same directory, different fingerprint: inputs changed, recompute.
+        let stale = ItemStore::new(dir.join("store"), 2);
+        assert_eq!(stale.load(0), None);
+
+        // Corrupt the file on disk: integrity check fires, recompute.
+        let path = store.dir().join("item-0.ckpt");
+        let mut image = std::fs::read(&path).unwrap();
+        image[9] ^= 0x01;
+        std::fs::write(&path, &image).unwrap();
+        assert_eq!(store.load(0), None);
+        std::fs::remove_dir_all(store.dir()).ok();
     }
 }

@@ -31,6 +31,8 @@
 //! | `grad-nan`      | `step`, `item`, `sticky` | NaN into the attack gradient at `step`   |
 //! | `grad-inf`      | `step`, `item`, `sticky` | +inf into the attack gradient at `step`  |
 //! | `worker-panic`  | `item`                | panic the worker processing item `item`     |
+//! | `worker-stall`  | `item`, `ms`          | stall the worker processing item `item`     |
+//! | `slow-io`       | `ms`                  | delay checkpoint reads/writes by `ms`       |
 //! | `bitflip`       | `count`, `seed`       | flip `count` bits in deployed int8 weights  |
 //! | `file-truncate` | `bytes`               | drop the last `bytes` bytes of saved files  |
 //! | `file-corrupt`  | `count`, `seed`       | flip `count` bits in saved file payloads    |
@@ -38,6 +40,13 @@
 //! `sticky=1` re-injects on retries, guaranteeing the divergence guard's
 //! budget is exhausted (a deterministic *failure*); the default transient
 //! fault fires once per `(item, step)` and is recovered by a single retry.
+//!
+//! `worker-stall` and `slow-io` are the chaos tests for the supervision
+//! layer (DESIGN.md §10): the stall is executed by the fan-out as a
+//! cooperative sleep that polls only the cancel token, so only the
+//! supervisor's watchdog can end it early; `slow-io` delays checkpoint I/O
+//! without corrupting anything. Both inject *latency*, never values, so
+//! they cannot change any item's bytes — the determinism rule holds.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -137,6 +146,20 @@ pub enum Fault {
         /// Item index whose worker panics.
         item: usize,
     },
+    /// Stall the worker processing an item: the fan-out sleeps, polling
+    /// only its cancel token, until `ms` elapse or the supervisor's
+    /// watchdog signals it.
+    WorkerStall {
+        /// Restrict to one work item; `None` stalls every item.
+        item: Option<usize>,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Delay checkpoint reads and writes (slow storage).
+    SlowIo {
+        /// Delay per I/O operation in milliseconds.
+        ms: u64,
+    },
     /// Flip bits in deployed int8 engine weights.
     BitFlip {
         /// Number of bits to flip.
@@ -167,14 +190,77 @@ pub struct FaultPlan {
     pub spec: String,
 }
 
+/// A typed `DIVA_FAULT` parse error carrying the offending clause, so the
+/// message pinpoints which `;`-separated spec was wrong (the same
+/// convention as diva-trace's `ArtifactError`: typed variants, offending
+/// input attached).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The offending clause (one `;`-separated spec), or the whole spec
+    /// for plan-level errors like an empty plan.
+    pub clause: String,
+    /// What was wrong with it.
+    pub kind: FaultParseErrorKind,
+}
+
+/// The ways a fault clause can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultParseErrorKind {
+    /// The clause names a class the grammar does not know.
+    UnknownClass(String),
+    /// The clause uses a key its class does not accept.
+    UnknownKey(String),
+    /// An argument is not of the form `key=value`.
+    NotKeyValue(String),
+    /// A value failed to parse for its key.
+    BadValue {
+        /// The key whose value was rejected.
+        key: String,
+        /// The rejected value text.
+        value: String,
+    },
+    /// The spec contained no fault clauses at all.
+    EmptyPlan,
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let clause = &self.clause;
+        match &self.kind {
+            FaultParseErrorKind::UnknownClass(c) => {
+                write!(f, "unknown fault class `{c}` in `{clause}`")
+            }
+            FaultParseErrorKind::UnknownKey(k) => write!(f, "unknown key `{k}` in `{clause}`"),
+            FaultParseErrorKind::NotKeyValue(p) => {
+                write!(f, "`{p}` is not key=value (in `{clause}`)")
+            }
+            FaultParseErrorKind::BadValue { key, value } => {
+                write!(f, "bad {key}={value} in `{clause}`")
+            }
+            FaultParseErrorKind::EmptyPlan => write!(f, "empty fault plan"),
+        }
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+impl FaultParseError {
+    fn new(clause: &str, kind: FaultParseErrorKind) -> FaultParseError {
+        FaultParseError {
+            clause: clause.to_string(),
+            kind,
+        }
+    }
+}
+
 impl FaultPlan {
     /// Parses the `DIVA_FAULT` grammar (see the crate docs).
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message for unknown classes, unknown keys,
-    /// or unparseable values.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    /// Returns a [`FaultParseError`] naming the offending clause for
+    /// unknown classes, unknown keys, or unparseable values.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultParseError> {
         let mut faults = Vec::new();
         for part in spec.split(';') {
             let part = part.trim();
@@ -191,33 +277,45 @@ impl FaultPlan {
                 if pair.is_empty() {
                     continue;
                 }
-                let (k, v) = pair
-                    .split_once('=')
-                    .ok_or_else(|| format!("`{pair}` is not key=value (in `{part}`)"))?;
+                let (k, v) = pair.split_once('=').ok_or_else(|| {
+                    FaultParseError::new(part, FaultParseErrorKind::NotKeyValue(pair.to_string()))
+                })?;
                 kv.insert(k.trim().to_string(), v.trim().to_string());
             }
+            let bad = |key: &str, value: &str| {
+                FaultParseError::new(
+                    part,
+                    FaultParseErrorKind::BadValue {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    },
+                )
+            };
             let get_usize = |kv: &std::collections::BTreeMap<String, String>,
                              key: &str,
                              default: usize|
-             -> Result<usize, String> {
+             -> Result<usize, FaultParseError> {
                 match kv.get(key) {
-                    Some(v) => v.parse().map_err(|_| format!("bad {key}={v} in `{part}`")),
+                    Some(v) => v.parse().map_err(|_| bad(key, v)),
                     None => Ok(default),
                 }
             };
             let get_u64 = |kv: &std::collections::BTreeMap<String, String>,
                            key: &str,
                            default: u64|
-             -> Result<u64, String> {
+             -> Result<u64, FaultParseError> {
                 match kv.get(key) {
-                    Some(v) => v.parse().map_err(|_| format!("bad {key}={v} in `{part}`")),
+                    Some(v) => v.parse().map_err(|_| bad(key, v)),
                     None => Ok(default),
                 }
             };
-            let known = |allowed: &[&str]| -> Result<(), String> {
+            let known = |allowed: &[&str]| -> Result<(), FaultParseError> {
                 for k in kv.keys() {
                     if !allowed.contains(&k.as_str()) {
-                        return Err(format!("unknown key `{k}` in `{part}`"));
+                        return Err(FaultParseError::new(
+                            part,
+                            FaultParseErrorKind::UnknownKey(k.clone()),
+                        ));
                     }
                 }
                 Ok(())
@@ -230,7 +328,7 @@ impl FaultPlan {
                         step: get_usize(&kv, "step", 1)?,
                         item: kv
                             .get("item")
-                            .map(|v| v.parse().map_err(|_| format!("bad item={v} in `{part}`")))
+                            .map(|v| v.parse().map_err(|_| bad("item", v)))
                             .transpose()?,
                         sticky: get_usize(&kv, "sticky", 0)? != 0,
                     }
@@ -239,6 +337,22 @@ impl FaultPlan {
                     known(&["item"])?;
                     Fault::WorkerPanic {
                         item: get_usize(&kv, "item", 0)?,
+                    }
+                }
+                "worker-stall" => {
+                    known(&["item", "ms"])?;
+                    Fault::WorkerStall {
+                        item: kv
+                            .get("item")
+                            .map(|v| v.parse().map_err(|_| bad("item", v)))
+                            .transpose()?,
+                        ms: get_u64(&kv, "ms", 10_000)?,
+                    }
+                }
+                "slow-io" => {
+                    known(&["ms"])?;
+                    Fault::SlowIo {
+                        ms: get_u64(&kv, "ms", 25)?,
                     }
                 }
                 "bitflip" => {
@@ -261,12 +375,17 @@ impl FaultPlan {
                         seed: get_u64(&kv, "seed", 0x5EED)?,
                     }
                 }
-                other => return Err(format!("unknown fault class `{other}`")),
+                other => {
+                    return Err(FaultParseError::new(
+                        part,
+                        FaultParseErrorKind::UnknownClass(other.to_string()),
+                    ))
+                }
             };
             faults.push(fault);
         }
         if faults.is_empty() {
-            return Err("empty fault plan".into());
+            return Err(FaultParseError::new(spec, FaultParseErrorKind::EmptyPlan));
         }
         Ok(FaultPlan {
             faults,
@@ -384,6 +503,56 @@ pub fn maybe_panic(item: usize) {
         diva_trace::event!(1, "fault.injected", class = "worker-panic", item = item);
         panic!("injected worker panic on item {item}");
     }
+}
+
+/// Duration to stall the worker processing `item`, if a `worker-stall`
+/// fault is armed for it. The *caller* executes the stall (diva-core's
+/// fan-out runs it as a cooperative token-polling sleep) so this crate
+/// stays dependency-free; the supervisor's watchdog is what ends an
+/// over-deadline stall early.
+pub fn stall_duration(item: usize) -> Option<std::time::Duration> {
+    if !armed() {
+        return None;
+    }
+    with_plan(|plan| {
+        for f in &plan.faults {
+            if let Fault::WorkerStall { item: filter, ms } = f {
+                if filter.is_none_or(|want| want == item) {
+                    diva_trace::counter!("fault.injected.worker_stall", 1);
+                    diva_trace::event!(
+                        1,
+                        "fault.injected",
+                        class = "worker-stall",
+                        item = item,
+                        ms = *ms,
+                    );
+                    return Some(std::time::Duration::from_millis(*ms));
+                }
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
+/// Delay to apply to one checkpoint read or write, if a `slow-io` fault is
+/// armed. The checkpoint layer ([`ckpt`]) sleeps for it before touching
+/// the filesystem; nothing is corrupted, only delayed.
+pub fn slow_io_delay() -> Option<std::time::Duration> {
+    if !armed() {
+        return None;
+    }
+    with_plan(|plan| {
+        for f in &plan.faults {
+            if let Fault::SlowIo { ms } = f {
+                diva_trace::counter!("fault.injected.slow_io", 1);
+                diva_trace::event!(1, "fault.injected", class = "slow-io", ms = *ms);
+                return Some(std::time::Duration::from_millis(*ms));
+            }
+        }
+        None
+    })
+    .flatten()
 }
 
 /// Seeded bit positions to flip in a store of `total_bits` bits, if a
@@ -532,6 +701,91 @@ mod tests {
         assert!(FaultPlan::parse("grad-nan:step=x").is_err());
         assert!(FaultPlan::parse("grad-nan:bogus=1").is_err());
         assert!(FaultPlan::parse("grad-nan:step").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_stall_and_slow_io_classes() {
+        let plan =
+            FaultPlan::parse("worker-stall:item=3,ms=500; worker-stall; slow-io:ms=40").unwrap();
+        assert_eq!(
+            plan.faults[0],
+            Fault::WorkerStall {
+                item: Some(3),
+                ms: 500
+            }
+        );
+        assert_eq!(
+            plan.faults[1],
+            Fault::WorkerStall {
+                item: None,
+                ms: 10_000
+            },
+            "item defaults to every item, ms to 10s"
+        );
+        assert_eq!(plan.faults[2], Fault::SlowIo { ms: 40 });
+        assert!(FaultPlan::parse("worker-stall:ms=abc").is_err());
+        assert!(
+            FaultPlan::parse("slow-io:item=1").is_err(),
+            "slow-io has no item key"
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_the_offending_clause() {
+        let e = FaultPlan::parse("grad-nan:step=2; meteor-strike:x=1").unwrap_err();
+        assert_eq!(e.clause, "meteor-strike:x=1");
+        assert_eq!(
+            e.kind,
+            FaultParseErrorKind::UnknownClass("meteor-strike".to_string())
+        );
+        assert!(e.to_string().contains("meteor-strike:x=1"));
+
+        let e = FaultPlan::parse("grad-nan:step=x").unwrap_err();
+        assert_eq!(e.clause, "grad-nan:step=x");
+        assert_eq!(
+            e.kind,
+            FaultParseErrorKind::BadValue {
+                key: "step".to_string(),
+                value: "x".to_string()
+            }
+        );
+
+        let e = FaultPlan::parse("worker-panic:bogus=1").unwrap_err();
+        assert_eq!(e.kind, FaultParseErrorKind::UnknownKey("bogus".to_string()));
+        assert_eq!(e.clause, "worker-panic:bogus=1");
+
+        let e = FaultPlan::parse("grad-nan:step").unwrap_err();
+        assert_eq!(e.kind, FaultParseErrorKind::NotKeyValue("step".to_string()));
+
+        let e = FaultPlan::parse("  ;  ").unwrap_err();
+        assert_eq!(e.kind, FaultParseErrorKind::EmptyPlan);
+    }
+
+    #[test]
+    fn stall_duration_honours_item_filter() {
+        let _g = lock_tests();
+        set_plan(Some(
+            FaultPlan::parse("worker-stall:item=2,ms=123").unwrap(),
+        ));
+        assert_eq!(
+            stall_duration(2),
+            Some(std::time::Duration::from_millis(123))
+        );
+        assert_eq!(stall_duration(1), None, "wrong item");
+        set_plan(Some(FaultPlan::parse("worker-stall:ms=9").unwrap()));
+        assert_eq!(stall_duration(7), Some(std::time::Duration::from_millis(9)));
+        set_plan(None);
+        assert_eq!(stall_duration(2), None, "disarmed");
+    }
+
+    #[test]
+    fn slow_io_delay_fires_only_when_armed() {
+        let _g = lock_tests();
+        set_plan(None);
+        assert_eq!(slow_io_delay(), None);
+        set_plan(Some(FaultPlan::parse("slow-io:ms=11").unwrap()));
+        assert_eq!(slow_io_delay(), Some(std::time::Duration::from_millis(11)));
+        set_plan(None);
     }
 
     #[test]

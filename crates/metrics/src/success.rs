@@ -13,6 +13,8 @@ use diva_nn::Infer;
 use diva_tensor::ops::softmax_rows;
 use diva_tensor::Tensor;
 
+pub use diva_par::supervise::JobStatus;
+
 /// Outcome of attacking one sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttackOutcome {
@@ -27,10 +29,12 @@ pub struct AttackOutcome {
     /// diverged from its clean prediction, when per-step telemetry tracked
     /// it; `None` when untracked or when the label never flipped.
     pub first_flip_step: Option<usize>,
-    /// The attack on this sample failed (diverged past the recovery budget
-    /// or its worker panicked); the sample counts toward `total`/`failed`
-    /// but toward no success metric.
-    pub failed: bool,
+    /// How the attack on this sample terminated. Anything but
+    /// [`JobStatus::Ok`] (divergence past the recovery budget, a worker
+    /// panic, a lapsed deadline, cancellation, or quarantine after retries)
+    /// counts toward `total` and its status bucket but toward no success
+    /// metric.
+    pub status: JobStatus,
 }
 
 impl AttackOutcome {
@@ -53,7 +57,7 @@ impl AttackOutcome {
             adapted_correct: a_pred == label,
             adapted_pred_in_original_top5: top5.contains(&a_pred),
             first_flip_step: None,
-            failed: false,
+            status: JobStatus::Ok,
         }
     }
 
@@ -65,12 +69,15 @@ impl AttackOutcome {
         }
     }
 
-    /// Returns a copy marked as failed (see [`AttackOutcome::failed`]).
+    /// Returns a copy carrying the supervised fan-out's terminal status
+    /// (see [`AttackOutcome::status`]).
+    pub fn with_status(self, status: JobStatus) -> Self {
+        AttackOutcome { status, ..self }
+    }
+
+    /// Returns a copy marked as failed (see [`AttackOutcome::status`]).
     pub fn as_failed(self) -> Self {
-        AttackOutcome {
-            failed: true,
-            ..self
-        }
+        self.with_status(JobStatus::Failed)
     }
 
     /// The paper's joint success criterion (top-1): original stays right,
@@ -114,15 +121,36 @@ pub struct SuccessCounts {
     /// or a worker panic). Counted in `total` but in no success metric, so
     /// partial results stay honest: rates are over all attempted samples.
     pub failed: usize,
+    /// Samples stopped by their per-item deadline.
+    pub timed_out: usize,
+    /// Samples stopped by run cancellation.
+    pub cancelled: usize,
+    /// Samples that failed every attempt of a retry policy.
+    pub quarantined: usize,
 }
 
 impl SuccessCounts {
     /// Folds one outcome into the counts.
     pub fn add(&mut self, o: &AttackOutcome) {
         self.total += 1;
-        if o.failed {
-            self.failed += 1;
-            return;
+        match o.status {
+            JobStatus::Ok => {}
+            JobStatus::Failed => {
+                self.failed += 1;
+                return;
+            }
+            JobStatus::TimedOut => {
+                self.timed_out += 1;
+                return;
+            }
+            JobStatus::Cancelled => {
+                self.cancelled += 1;
+                return;
+            }
+            JobStatus::Quarantined => {
+                self.quarantined += 1;
+                return;
+            }
         }
         self.top1 += usize::from(o.top1_success());
         self.top5 += usize::from(o.top5_success());
@@ -163,6 +191,13 @@ impl SuccessCounts {
     /// Rate at which the original model was collaterally fooled.
     pub fn original_fooled_rate(&self) -> f32 {
         ratio(self.original_fooled, self.total)
+    }
+
+    /// Samples that produced no scoreable result, for any reason — the sum
+    /// of the `failed`, `timed_out`, `cancelled`, and `quarantined`
+    /// buckets. `total - unscored()` samples were actually evaluated.
+    pub fn unscored(&self) -> usize {
+        self.failed + self.timed_out + self.cancelled + self.quarantined
     }
 }
 
@@ -341,7 +376,7 @@ mod tests {
             adapted_correct: false,
             adapted_pred_in_original_top5: false,
             first_flip_step: None,
-            failed: false,
+            status: JobStatus::Ok,
         };
         let counts: SuccessCounts = vec![
             base.with_first_flip(Some(3)),
@@ -364,7 +399,7 @@ mod tests {
             adapted_correct: false,
             adapted_pred_in_original_top5: false,
             first_flip_step: Some(4),
-            failed: false,
+            status: JobStatus::Ok,
         };
         // A would-be success marked failed must contribute to no metric.
         let counts: SuccessCounts = vec![success, success.as_failed()].into_iter().collect();
@@ -374,6 +409,36 @@ mod tests {
         assert_eq!(counts.attack_only, 1);
         assert_eq!(counts.flipped, 1);
         assert!((counts.top1_rate() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn supervision_statuses_bucket_separately() {
+        let success = AttackOutcome {
+            original_correct: true,
+            adapted_correct: false,
+            adapted_pred_in_original_top5: false,
+            first_flip_step: Some(2),
+            status: JobStatus::Ok,
+        };
+        let counts: SuccessCounts = vec![
+            success,
+            success.with_status(JobStatus::TimedOut),
+            success.with_status(JobStatus::Cancelled),
+            success.with_status(JobStatus::Quarantined),
+            success.with_status(JobStatus::Failed),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(counts.total, 5);
+        assert_eq!(counts.timed_out, 1);
+        assert_eq!(counts.cancelled, 1);
+        assert_eq!(counts.quarantined, 1);
+        assert_eq!(counts.failed, 1);
+        assert_eq!(counts.unscored(), 4);
+        // Only the Ok sample scores; rates stay over all attempted samples.
+        assert_eq!(counts.top1, 1);
+        assert_eq!(counts.flipped, 1);
+        assert!((counts.top1_rate() - 0.2).abs() < 1e-6);
     }
 
     #[test]

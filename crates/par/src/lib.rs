@@ -35,13 +35,17 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod supervise;
+
+pub use supervise::{CancelToken, JobReport, JobStatus, SupervisePolicy};
+
 /// In-process worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// True while this thread is a diva-par worker; nested fan-outs run
     /// inline serially instead of spawning another layer of threads.
-    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    pub(crate) static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Overrides the worker count for this process, taking precedence over
@@ -164,7 +168,7 @@ where
 }
 
 /// Best-effort text of a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -1,0 +1,1010 @@
+//! Supervised execution: deadlines, cancellation, retry/backoff, and stall
+//! detection for diva-par fan-outs.
+//!
+//! The attack matrix is thousands of multi-second trajectories; a bounded
+//! campaign needs per-item budgets, a way to cancel the whole run, and a
+//! policy for transient failures — without giving up the fixed-order
+//! determinism rule (DESIGN.md §7). This module layers exactly that over
+//! [`crate::par_map_indexed`]'s shape:
+//!
+//! - **Cooperative, not preemptive.** A [`CancelToken`] and a per-item
+//!   deadline are *observed* at well-defined checkpoints ([`interrupted`] is
+//!   called per attack step, per work item, and per engine inference chunk).
+//!   Safe Rust cannot kill a wedged thread; what the supervisor guarantees
+//!   is that any item which reaches a checkpoint stops promptly, and that a
+//!   stalled item is detected, flagged, and *signalled* (its token is
+//!   cancelled) by the watchdog so even token-only polling loops wake up.
+//! - **Watchdog + heartbeats.** When a deadline is set,
+//!   [`par_map_supervised`] runs a watchdog thread over per-worker
+//!   heartbeat slots. Every [`interrupted`] call bumps the worker's beat;
+//!   an item past its deadline gets its token cancelled (once) and a
+//!   `job.stall` event when its heartbeat has gone silent — the batch keeps
+//!   going and the item is reported [`JobStatus::TimedOut`] instead of
+//!   wedging the run.
+//! - **Replayable retry/backoff.** Transient failures (panics, divergence
+//!   budget exhaustion) are retried up to [`RetryPolicy::max_attempts`]
+//!   with a backoff derived only from `(seed, item, attempt)` — never from
+//!   wall-clock or schedule — so a retried run is replayable under any
+//!   `DIVA_JOBS`, consistent with diva-fault's determinism rule (DESIGN.md
+//!   §8). Items that fail every attempt are [`JobStatus::Quarantined`].
+//! - **Completion beats cancellation.** An item that finishes its work
+//!   before observing a stop keeps its `Ok` result even if the deadline
+//!   lapsed mid-flight; only *observed* stops discard work. Ok items are
+//!   therefore bit-identical to an unsupervised run: the checkpoints read
+//!   state, they never perturb the computation.
+//!
+//! The inert policy (no deadline, one attempt, untriggered token — the
+//! default from [`SupervisePolicy::from_env`] with no env vars set) spawns
+//! no watchdog and emits no `job.*` telemetry, so default runs stay
+//! byte-identical to the unsupervised fan-out.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A cloneable cooperative cancellation flag. Cloning shares the flag:
+/// cancelling any clone cancels them all. Cancellation is one-way and
+/// sticky.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a supervised item was stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The per-item deadline lapsed.
+    TimedOut,
+    /// The run (or this item) was cancelled.
+    Cancelled,
+}
+
+impl StopReason {
+    /// Stable lowercase label for events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::TimedOut => "timed_out",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Terminal status of one supervised work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobStatus {
+    /// Completed and produced a result.
+    Ok,
+    /// Failed (panic or reported error) with no retry budget left — the
+    /// single-attempt failure status.
+    Failed,
+    /// Stopped by its deadline (self-detected or watchdog-signalled).
+    TimedOut,
+    /// Stopped by cancellation.
+    Cancelled,
+    /// Failed every attempt of a multi-attempt retry policy.
+    Quarantined,
+}
+
+impl JobStatus {
+    /// Whether the item completed and its value is trustworthy.
+    pub fn is_ok(self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+
+    /// Stable lowercase label for events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed => "failed",
+            JobStatus::TimedOut => "timed_out",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+impl From<StopReason> for JobStatus {
+    fn from(r: StopReason) -> JobStatus {
+        match r {
+            StopReason::TimedOut => JobStatus::TimedOut,
+            StopReason::Cancelled => JobStatus::Cancelled,
+        }
+    }
+}
+
+/// Bounded, seeded retry-with-backoff for transient item failures.
+///
+/// The backoff for `(item, attempt)` depends only on the policy's seed, so
+/// a retried run takes the same delays — and, because faults are keyed by
+/// item/step predicates, the same outcomes — under any `DIVA_JOBS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per item (1 = no retry).
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds; attempt `k` waits roughly
+    /// `base << (k-1)` plus a seeded jitter, capped at 2 s.
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 25,
+            seed: 0xD1BA,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Reads `DIVA_RETRY` (attempts per item, >= 1) and `DIVA_BACKOFF_MS`;
+    /// unset/unparseable values keep the defaults (no retry, 25 ms base).
+    pub fn from_env() -> RetryPolicy {
+        let d = RetryPolicy::default();
+        RetryPolicy {
+            max_attempts: env_u64("DIVA_RETRY")
+                .map(|v| v.clamp(1, 64) as u32)
+                .unwrap_or(d.max_attempts),
+            backoff_base_ms: env_u64("DIVA_BACKOFF_MS").unwrap_or(d.backoff_base_ms),
+            seed: d.seed,
+        }
+    }
+
+    /// The deterministic delay before retrying `item` after `attempt`
+    /// failed attempts: exponential in the attempt, jittered by a seeded
+    /// mix of `(seed, item, attempt)`, capped at 2 s.
+    pub fn backoff(&self, item: usize, attempt: u32) -> Duration {
+        let base = self.backoff_base_ms.max(1);
+        let exp = base.saturating_shl(attempt.saturating_sub(1).min(6));
+        let jitter = mix64(self.seed ^ (item as u64) ^ ((attempt as u64) << 32)) % (base + 1);
+        Duration::from_millis((exp + jitter).min(2_000))
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, by: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, by: u32) -> u64 {
+        self.checked_shl(by).unwrap_or(u64::MAX)
+    }
+}
+
+/// splitmix64 finalizer: a stateless, schedule-independent mixer.
+fn mix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+}
+
+/// How a [`par_map_supervised`] fan-out is bounded.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisePolicy {
+    /// Wall-clock budget per item (per attempt); `None` = unbounded and no
+    /// watchdog is spawned.
+    pub item_deadline: Option<Duration>,
+    /// Run-level cancellation: cancel it (from any thread) and unstarted
+    /// items report [`JobStatus::Cancelled`] while running items stop at
+    /// their next checkpoint.
+    pub cancel: CancelToken,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+}
+
+impl SupervisePolicy {
+    /// Builds a policy from the environment: `DIVA_DEADLINE_MS` (per-item
+    /// budget), `DIVA_RETRY`, `DIVA_BACKOFF_MS`. With none of them set the
+    /// policy is inert and supervised fan-outs behave exactly like
+    /// unsupervised ones.
+    pub fn from_env() -> SupervisePolicy {
+        SupervisePolicy {
+            item_deadline: env_u64("DIVA_DEADLINE_MS").map(Duration::from_millis),
+            cancel: CancelToken::new(),
+            retry: RetryPolicy::from_env(),
+        }
+    }
+
+    /// True when the policy cannot change any item's behaviour: no
+    /// deadline, no retries, and cancellation not requested.
+    pub fn is_inert(&self) -> bool {
+        self.item_deadline.is_none() && self.retry.max_attempts <= 1 && !self.cancel.is_cancelled()
+    }
+}
+
+/// Per-item result of a supervised fan-out.
+#[derive(Debug, Clone)]
+pub struct JobReport<T> {
+    /// Terminal status.
+    pub status: JobStatus,
+    /// The produced value. Present for `Ok`; may be present for stopped
+    /// items (a partial result) — callers decide whether to trust it.
+    pub value: Option<T>,
+    /// Attempts consumed (0 when cancelled before the first attempt).
+    pub attempts: u32,
+    /// Last failure message, for `Failed`/`Quarantined`.
+    pub error: Option<String>,
+}
+
+/// Heartbeat slot shared between one worker and the watchdog.
+struct WorkerSlot {
+    /// Item being processed; `usize::MAX` = idle.
+    item: AtomicUsize,
+    /// Nanoseconds since the fan-out epoch when the item started.
+    started_ns: AtomicU64,
+    /// Nanoseconds since the epoch at the last cooperative checkpoint.
+    beat_ns: AtomicU64,
+    /// The current item's token, for the watchdog to cancel.
+    token: Mutex<Option<CancelToken>>,
+}
+
+impl WorkerSlot {
+    fn idle() -> WorkerSlot {
+        WorkerSlot {
+            item: AtomicUsize::new(usize::MAX),
+            started_ns: AtomicU64::new(0),
+            beat_ns: AtomicU64::new(0),
+            token: Mutex::new(None),
+        }
+    }
+
+    fn begin(&self, item: usize, token: &CancelToken, epoch: Instant) {
+        let now = epoch.elapsed().as_nanos() as u64;
+        self.started_ns.store(now, Ordering::Relaxed);
+        self.beat_ns.store(now, Ordering::Relaxed);
+        *self.token.lock().unwrap_or_else(|p| p.into_inner()) = Some(token.clone());
+        self.item.store(item, Ordering::Release);
+    }
+
+    fn end(&self) {
+        self.item.store(usize::MAX, Ordering::Release);
+        *self.token.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+}
+
+/// The supervision scope of the item the current thread is processing.
+struct ActiveItem {
+    deadline: Option<Instant>,
+    item_token: CancelToken,
+    run_token: CancelToken,
+    stopped: Cell<Option<StopReason>>,
+    slot: Option<Arc<WorkerSlot>>,
+    epoch: Instant,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Rc<ActiveItem>>> = const { RefCell::new(None) };
+}
+
+/// RAII installation of an [`ActiveItem`] scope; nests and restores.
+struct ItemGuard {
+    prev: Option<Rc<ActiveItem>>,
+}
+
+impl ItemGuard {
+    fn enter(active: Rc<ActiveItem>) -> ItemGuard {
+        let prev = ACTIVE.with(|a| a.borrow_mut().replace(active));
+        ItemGuard { prev }
+    }
+}
+
+impl Drop for ItemGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ACTIVE.with(|a| *a.borrow_mut() = prev);
+    }
+}
+
+fn active() -> Option<Rc<ActiveItem>> {
+    ACTIVE.with(|a| a.borrow().clone())
+}
+
+/// The cooperative checkpoint. Call it at natural pause points (attack
+/// steps, inference chunks): it bumps the worker's heartbeat and returns
+/// the stop reason once the item's deadline has lapsed or cancellation was
+/// requested. The first observed stop is sticky — later calls return it
+/// without re-deriving, so an item reports one consistent reason.
+///
+/// Outside a supervised item this returns `None` after a single
+/// thread-local read, so instrumented hot paths cost nothing extra in
+/// unsupervised runs.
+pub fn interrupted() -> Option<StopReason> {
+    let active = active()?;
+    if let Some(slot) = &active.slot {
+        slot.beat_ns
+            .store(active.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    if let Some(r) = active.stopped.get() {
+        return Some(r);
+    }
+    let reason = if active.deadline.is_some_and(|d| Instant::now() >= d) {
+        Some(StopReason::TimedOut)
+    } else if active.item_token.is_cancelled() || active.run_token.is_cancelled() {
+        // The watchdog cancels the item token only after the deadline, so a
+        // token observed without a lapsed deadline means run-level cancel.
+        Some(if active.deadline.is_some_and(|d| Instant::now() >= d) {
+            StopReason::TimedOut
+        } else {
+            StopReason::Cancelled
+        })
+    } else {
+        None
+    };
+    if let Some(r) = reason {
+        active.stopped.set(Some(r));
+    }
+    reason
+}
+
+/// The stop already observed by this item, without performing a new check
+/// (and without bumping the heartbeat). Lets callers ask "did this item
+/// finish cleanly?" after the work returns.
+pub fn stop_observed() -> Option<StopReason> {
+    active().and_then(|a| a.stopped.get())
+}
+
+/// Raw token check: whether the current item's (or run's) cancellation has
+/// been requested. Unlike [`interrupted`] this neither consults the
+/// deadline nor bumps the heartbeat — it models foreign code that honours
+/// only an abort flag, which is exactly what the watchdog exists to wake.
+pub fn cancelled() -> bool {
+    match active() {
+        Some(a) => a.item_token.is_cancelled() || a.run_token.is_cancelled(),
+        None => false,
+    }
+}
+
+/// True while the current thread is inside a supervised item.
+pub fn supervised() -> bool {
+    active().is_some()
+}
+
+/// A `Send + Sync` snapshot of the current item's supervision scope, for
+/// forwarding the checkpoint into *nested* fan-outs — worker threads do
+/// not inherit the thread-local scope, so code like the int8 engine's
+/// chunked inference moves a snapshot into its closures instead. The
+/// snapshot observes the same deadline and tokens; it cannot record the
+/// stop on the owning item (the owner does that at its own next
+/// [`interrupted`] call).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    deadline: Option<Instant>,
+    item_token: CancelToken,
+    run_token: CancelToken,
+}
+
+impl Checkpoint {
+    /// Whether a stop is due right now (lapsed deadline or cancellation).
+    pub fn stop_due(&self) -> Option<StopReason> {
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(StopReason::TimedOut)
+        } else if self.item_token.is_cancelled() || self.run_token.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else {
+            None
+        }
+    }
+}
+
+/// The current item's supervision scope as a sendable snapshot, or `None`
+/// outside supervision.
+pub fn snapshot() -> Option<Checkpoint> {
+    active().map(|a| Checkpoint {
+        deadline: a.deadline,
+        item_token: a.item_token.clone(),
+        run_token: a.run_token.clone(),
+    })
+}
+
+/// Sleeps for `total`, polling only the cancel token (never the deadline,
+/// never the heartbeat) — the stand-in for a stalled worker stuck in
+/// non-cooperative code. Returns early as soon as [`cancelled`] fires,
+/// which for a deadline overrun requires the watchdog to signal the token.
+pub fn cooperative_stall(total: Duration) {
+    let until = Instant::now() + total;
+    let nap = Duration::from_millis(2);
+    while Instant::now() < until {
+        if cancelled() {
+            return;
+        }
+        std::thread::sleep(nap.min(until.saturating_duration_since(Instant::now())));
+    }
+}
+
+/// Maps `f` over `0..n` under `policy`, returning one [`JobReport`] per
+/// index, in index order.
+///
+/// `f` returns `Err(message)` for a *transient* failure (retried under the
+/// policy); panics are caught per item and treated the same way. An item
+/// that observes a stop via [`interrupted`] is reported
+/// `TimedOut`/`Cancelled` and never retried (its budget is spent). Items
+/// failing every attempt of a multi-attempt policy are `Quarantined`;
+/// single-attempt failures stay `Failed`, matching the unsupervised
+/// fan-out's semantics.
+///
+/// Scheduling mirrors [`crate::par_map_indexed`]: a shared cursor, scoped
+/// workers, index-order merge, per-worker counter shards, serial fallback
+/// at `jobs() == 1` or inside a worker. A watchdog thread is spawned only
+/// when `policy.item_deadline` is set (including on the serial path, so a
+/// stalled serial run is still signalled).
+pub fn par_map_supervised<T, F>(n: usize, policy: &SupervisePolicy, f: F) -> Vec<JobReport<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, String> + Sync,
+{
+    let workers = crate::jobs().min(n);
+    let epoch = Instant::now();
+    if workers <= 1 || crate::in_worker() {
+        // Serial path: one slot so the watchdog (deadline only, and never
+        // nested inside another worker) can still signal a stalled item.
+        let slot = Arc::new(WorkerSlot::idle());
+        let done = Arc::new(AtomicBool::new(false));
+        let dog = match policy.item_deadline {
+            Some(d) if !crate::in_worker() => Some(spawn_watchdog(
+                vec![slot.clone()],
+                d,
+                policy,
+                done.clone(),
+                epoch,
+            )),
+            _ => None,
+        };
+        let out = (0..n)
+            .map(|i| run_item(i, policy, &slot, epoch, &f))
+            .collect();
+        done.store(true, Ordering::Relaxed);
+        if let Some(h) = dog {
+            let _ = h.join();
+        }
+        return out;
+    }
+    let _span = diva_trace::span(2, "par.fan_out");
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Arc<WorkerSlot>> = (0..workers).map(|_| Arc::new(WorkerSlot::idle())).collect();
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = policy
+        .item_deadline
+        .map(|d| spawn_watchdog(slots.clone(), d, policy, done.clone(), epoch));
+    let mut merged: Vec<Option<JobReport<T>>> = Vec::with_capacity(n);
+    merged.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let slot = slots[w].clone();
+                let f = &f;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    crate::IN_WORKER.with(|flag| flag.set(true));
+                    let shard = diva_trace::counter_shard();
+                    let mut local: Vec<(usize, JobReport<T>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run_item(i, policy, &slot, epoch, f)));
+                    }
+                    drop(shard);
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        merged[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    done.store(true, Ordering::Relaxed);
+    if let Some(h) = dog {
+        let _ = h.join();
+    }
+    merged
+        .into_iter()
+        .map(|r| r.expect("par_map_supervised: every index computed exactly once"))
+        .collect()
+}
+
+/// One item's attempt loop: install the supervision scope, run `f`, decide
+/// the status, retry transient failures under the policy.
+fn run_item<T, F>(
+    i: usize,
+    policy: &SupervisePolicy,
+    slot: &Arc<WorkerSlot>,
+    epoch: Instant,
+    f: &F,
+) -> JobReport<T>
+where
+    F: Fn(usize) -> Result<T, String>,
+{
+    let max_attempts = policy.retry.max_attempts.max(1);
+    let mut attempts = 0u32;
+    let mut last_err: Option<String> = None;
+    loop {
+        if policy.cancel.is_cancelled() {
+            diva_trace::counter!("job.cancelled", 1);
+            diva_trace::event!(1, "job.cancelled", item = i, attempts = attempts);
+            return JobReport {
+                status: JobStatus::Cancelled,
+                value: None,
+                attempts,
+                error: last_err,
+            };
+        }
+        attempts += 1;
+        let token = CancelToken::new();
+        let active = Rc::new(ActiveItem {
+            deadline: policy.item_deadline.map(|d| Instant::now() + d),
+            item_token: token.clone(),
+            run_token: policy.cancel.clone(),
+            stopped: Cell::new(None),
+            slot: policy.item_deadline.is_some().then(|| slot.clone()),
+            epoch,
+        });
+        if policy.item_deadline.is_some() {
+            slot.begin(i, &token, epoch);
+        }
+        let guard = ItemGuard::enter(active.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+        drop(guard);
+        if policy.item_deadline.is_some() {
+            slot.end();
+        }
+        let stopped = active.stopped.get();
+        match result {
+            Ok(Ok(v)) => {
+                return match stopped {
+                    // Completion beats cancellation: an unobserved lapse
+                    // keeps the finished value. Observed stops returned a
+                    // partial value the caller must not trust as complete.
+                    None => JobReport {
+                        status: JobStatus::Ok,
+                        value: Some(v),
+                        attempts,
+                        error: None,
+                    },
+                    Some(r) => stopped_report(i, r, Some(v), attempts, last_err),
+                };
+            }
+            Ok(Err(e)) => {
+                if let Some(r) = stopped {
+                    return stopped_report(i, r, None, attempts, Some(e));
+                }
+                last_err = Some(e);
+            }
+            Err(payload) => {
+                let msg = crate::panic_message(payload.as_ref());
+                diva_trace::counter!("par.item_panics", 1);
+                diva_trace::event!(1, "par.item_panic", item = i, message = msg.clone());
+                if let Some(r) = stopped {
+                    return stopped_report(i, r, None, attempts, Some(msg));
+                }
+                last_err = Some(msg);
+            }
+        }
+        if attempts >= max_attempts {
+            if max_attempts > 1 {
+                diva_trace::counter!("job.quarantined", 1);
+                diva_trace::event!(
+                    1,
+                    "job.quarantine",
+                    item = i,
+                    attempts = attempts,
+                    error = last_err.clone().unwrap_or_default(),
+                );
+                return JobReport {
+                    status: JobStatus::Quarantined,
+                    value: None,
+                    attempts,
+                    error: last_err,
+                };
+            }
+            return JobReport {
+                status: JobStatus::Failed,
+                value: None,
+                attempts,
+                error: last_err,
+            };
+        }
+        let backoff = policy.retry.backoff(i, attempts);
+        diva_trace::counter!("job.retries", 1);
+        diva_trace::event!(
+            1,
+            "job.retry",
+            item = i,
+            attempt = attempts,
+            backoff_ms = backoff.as_millis() as u64,
+        );
+        std::thread::sleep(backoff);
+    }
+}
+
+fn stopped_report<T>(
+    i: usize,
+    reason: StopReason,
+    value: Option<T>,
+    attempts: u32,
+    error: Option<String>,
+) -> JobReport<T> {
+    match reason {
+        StopReason::TimedOut => {
+            diva_trace::counter!("job.timed_out", 1);
+            diva_trace::event!(1, "job.timeout", item = i, attempts = attempts);
+        }
+        StopReason::Cancelled => {
+            diva_trace::counter!("job.cancelled", 1);
+            diva_trace::event!(1, "job.cancelled", item = i, attempts = attempts);
+        }
+    }
+    JobReport {
+        status: reason.into(),
+        value,
+        attempts,
+        error,
+    }
+}
+
+/// Watchdog loop: polls the heartbeat slots and cancels the token of any
+/// item past the deadline (once per item), emitting a `job.stall` event
+/// when the item's heartbeat went silent — the signature of a worker stuck
+/// in non-cooperative code rather than one merely running long.
+fn spawn_watchdog(
+    slots: Vec<Arc<WorkerSlot>>,
+    deadline: Duration,
+    policy: &SupervisePolicy,
+    done: Arc<AtomicBool>,
+    epoch: Instant,
+) -> std::thread::JoinHandle<()> {
+    let run_token = policy.cancel.clone();
+    let poll = (deadline / 4).clamp(Duration::from_millis(5), Duration::from_millis(50));
+    let deadline_ns = deadline.as_nanos() as u64;
+    std::thread::spawn(move || {
+        while !done.load(Ordering::Relaxed) {
+            std::thread::sleep(poll);
+            let now = epoch.elapsed().as_nanos() as u64;
+            let run_cancelled = run_token.is_cancelled();
+            for slot in &slots {
+                let item = slot.item.load(Ordering::Acquire);
+                if item == usize::MAX {
+                    continue;
+                }
+                let elapsed = now.saturating_sub(slot.started_ns.load(Ordering::Relaxed));
+                if !run_cancelled && elapsed <= deadline_ns {
+                    continue;
+                }
+                let token = slot.token.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                let Some(token) = token else { continue };
+                if token.is_cancelled() {
+                    continue;
+                }
+                token.cancel();
+                diva_trace::counter!("job.watchdog_cancels", 1);
+                let silent_ns = now.saturating_sub(slot.beat_ns.load(Ordering::Relaxed));
+                if silent_ns > 2 * poll.as_nanos() as u64 {
+                    diva_trace::counter!("job.stalls_detected", 1);
+                    diva_trace::event!(
+                        1,
+                        "job.stall",
+                        item = item,
+                        silent_ms = silent_ns / 1_000_000,
+                        elapsed_ms = elapsed / 1_000_000,
+                    );
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_jobs;
+
+    /// `set_jobs` is process-global; serialize with the lib tests.
+    fn lock_global() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn inert() -> SupervisePolicy {
+        SupervisePolicy::default()
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn inert_policy_matches_catch_semantics() {
+        let _g = lock_global();
+        for jobs in [1, 4] {
+            set_jobs(jobs);
+            let out = par_map_supervised(12, &inert(), |i| {
+                if i == 3 {
+                    panic!("boom on {i}");
+                }
+                if i == 5 {
+                    return Err("soft failure".to_string());
+                }
+                Ok(i * 2)
+            });
+            assert_eq!(out.len(), 12);
+            for (i, r) in out.iter().enumerate() {
+                match i {
+                    3 => {
+                        assert_eq!(r.status, JobStatus::Failed);
+                        assert!(r.error.as_deref().unwrap().contains("boom on 3"));
+                    }
+                    5 => {
+                        assert_eq!(r.status, JobStatus::Failed);
+                        assert_eq!(r.error.as_deref(), Some("soft failure"));
+                    }
+                    _ => {
+                        assert_eq!(r.status, JobStatus::Ok, "item {i}");
+                        assert_eq!(r.value, Some(i * 2));
+                        assert_eq!(r.attempts, 1);
+                    }
+                }
+            }
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn interrupted_is_none_outside_supervision() {
+        assert_eq!(interrupted(), None);
+        assert!(!cancelled());
+        assert!(!supervised());
+        assert_eq!(stop_observed(), None);
+    }
+
+    #[test]
+    fn deadline_self_detection_marks_timed_out() {
+        let _g = lock_global();
+        set_jobs(1);
+        let policy = SupervisePolicy {
+            item_deadline: Some(Duration::from_millis(20)),
+            ..inert()
+        };
+        let out = par_map_supervised(3, &policy, |i| {
+            if i == 1 {
+                // Busy item that checks in cooperatively: the deadline is
+                // self-detected at a checkpoint, no watchdog needed.
+                let until = Instant::now() + Duration::from_millis(300);
+                while Instant::now() < until {
+                    if interrupted().is_some() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            Ok(i)
+        });
+        assert_eq!(out[0].status, JobStatus::Ok);
+        assert_eq!(out[1].status, JobStatus::TimedOut);
+        assert_eq!(out[2].status, JobStatus::Ok, "batch survives the timeout");
+        set_jobs(0);
+    }
+
+    #[test]
+    fn watchdog_wakes_token_only_stall() {
+        let _g = lock_global();
+        for jobs in [1, 4] {
+            set_jobs(jobs);
+            let policy = SupervisePolicy {
+                item_deadline: Some(Duration::from_millis(60)),
+                ..inert()
+            };
+            let started = Instant::now();
+            let out = par_map_supervised(4, &policy, |i| {
+                if i == 2 {
+                    // Polls only the token: without the watchdog this naps
+                    // for 30 s and the test times out.
+                    cooperative_stall(Duration::from_secs(30));
+                    // The next checkpoint reports the lapsed deadline.
+                    interrupted();
+                }
+                Ok(i)
+            });
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "watchdog must break the stall (jobs={jobs})"
+            );
+            assert_eq!(out[2].status, JobStatus::TimedOut, "jobs={jobs}");
+            for i in [0usize, 1, 3] {
+                assert_eq!(out[i].status, JobStatus::Ok, "item {i} at jobs={jobs}");
+            }
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn cancellation_stops_started_and_unstarted_items() {
+        let _g = lock_global();
+        set_jobs(2);
+        let policy = inert();
+        let token = policy.cancel.clone();
+        token.cancel();
+        let out = par_map_supervised(6, &policy, |i| Ok::<usize, String>(i));
+        for r in &out {
+            assert_eq!(r.status, JobStatus::Cancelled);
+            assert_eq!(r.attempts, 0, "cancelled before the first attempt");
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn mid_run_cancellation_preserves_completed_items() {
+        let _g = lock_global();
+        set_jobs(2);
+        let policy = inert();
+        let token = policy.cancel.clone();
+        let waiter = policy.cancel.clone();
+        let out = par_map_supervised(8, &policy, move |i| {
+            if i == 0 {
+                // First item cancels the run and finishes without ever
+                // *observing* the stop it triggered, so its result is kept.
+                token.cancel();
+                return Ok(i);
+            }
+            // Everyone else holds until the cancel is visible, then checks
+            // in — the runner discards them as observed-Cancelled.
+            while !waiter.is_cancelled() {
+                std::thread::yield_now();
+            }
+            if interrupted().is_some() {
+                return Err("should have been caught by the runner".into());
+            }
+            Ok(i)
+        });
+        assert_eq!(
+            out[0].status,
+            JobStatus::Ok,
+            "completion beats cancellation"
+        );
+        let cancelled = out
+            .iter()
+            .filter(|r| r.status == JobStatus::Cancelled)
+            .count();
+        assert_eq!(cancelled, 7, "every other item must observe the cancel");
+        set_jobs(0);
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures_and_quarantines_persistent_ones() {
+        let _g = lock_global();
+        set_jobs(1);
+        let policy = SupervisePolicy {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_base_ms: 1,
+                seed: 7,
+            },
+            ..inert()
+        };
+        let tries = Mutex::new(vec![0u32; 4]);
+        let out = par_map_supervised(4, &policy, |i| {
+            let mut t = tries.lock().unwrap();
+            t[i] += 1;
+            let attempt = t[i];
+            match i {
+                // Fails twice, succeeds on the third attempt.
+                1 if attempt < 3 => Err(format!("transient {attempt}")),
+                // Fails every attempt: quarantined.
+                2 => Err("persistent".to_string()),
+                _ => Ok(i * 10),
+            }
+        });
+        assert_eq!(out[0].status, JobStatus::Ok);
+        assert_eq!(out[1].status, JobStatus::Ok);
+        assert_eq!(out[1].attempts, 3);
+        assert_eq!(out[1].value, Some(10));
+        assert_eq!(out[2].status, JobStatus::Quarantined);
+        assert_eq!(out[2].attempts, 3);
+        assert_eq!(out[2].error.as_deref(), Some("persistent"));
+        assert_eq!(out[3].status, JobStatus::Ok);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_base_ms: 10,
+            seed: 42,
+        };
+        for item in 0..8 {
+            for attempt in 1..5 {
+                assert_eq!(p.backoff(item, attempt), p.backoff(item, attempt));
+                assert!(p.backoff(item, attempt) <= Duration::from_secs(2));
+            }
+            assert!(p.backoff(item, 3) >= p.backoff(item, 1) / 2);
+        }
+        let q = RetryPolicy { seed: 43, ..p };
+        assert!(
+            (0..32).any(|i| p.backoff(i, 1) != q.backoff(i, 1)),
+            "different seeds must produce different jitter somewhere"
+        );
+    }
+
+    #[test]
+    fn from_env_reads_the_knobs() {
+        let _g = lock_global();
+        let stash = |k: &str| std::env::var(k).ok();
+        let prev = (
+            stash("DIVA_DEADLINE_MS"),
+            stash("DIVA_RETRY"),
+            stash("DIVA_BACKOFF_MS"),
+        );
+        std::env::set_var("DIVA_DEADLINE_MS", "1500");
+        std::env::set_var("DIVA_RETRY", "3");
+        std::env::set_var("DIVA_BACKOFF_MS", "7");
+        let p = SupervisePolicy::from_env();
+        assert_eq!(p.item_deadline, Some(Duration::from_millis(1500)));
+        assert_eq!(p.retry.max_attempts, 3);
+        assert_eq!(p.retry.backoff_base_ms, 7);
+        assert!(!p.is_inert());
+        std::env::remove_var("DIVA_DEADLINE_MS");
+        std::env::remove_var("DIVA_RETRY");
+        std::env::remove_var("DIVA_BACKOFF_MS");
+        assert!(SupervisePolicy::from_env().is_inert());
+        let restore = |k: &str, v: Option<String>| match v {
+            Some(v) => std::env::set_var(k, v),
+            None => std::env::remove_var(k),
+        };
+        restore("DIVA_DEADLINE_MS", prev.0);
+        restore("DIVA_RETRY", prev.1);
+        restore("DIVA_BACKOFF_MS", prev.2);
+    }
+
+    #[test]
+    fn results_merge_in_index_order_for_any_job_count() {
+        let _g = lock_global();
+        for jobs in [1, 3, 8] {
+            set_jobs(jobs);
+            let out = par_map_supervised(50, &inert(), |i| Ok::<usize, String>(i * i));
+            let values: Vec<usize> = out.into_iter().map(|r| r.value.unwrap()).collect();
+            assert_eq!(values, (0..50).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_jobs(0);
+    }
+}

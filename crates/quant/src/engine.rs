@@ -894,6 +894,12 @@ const ENGINE_CHUNK: usize = 16;
 impl Infer for Int8Engine {
     fn logits(&self, x: &Tensor) -> Tensor {
         let n = x.dims()[0];
+        // Supervision checkpoint: a stopped item skips the inference
+        // entirely. Zero logits are fine — the item is already marked
+        // TimedOut/Cancelled, so its outputs are never scored.
+        if diva_par::supervise::interrupted().is_some() {
+            return Tensor::zeros(&[n, self.num_classes]);
+        }
         // Small batches, serial configs, and calls already inside a diva-par
         // worker (e.g. a per-image attack trajectory watching this engine)
         // skip the fan-out; the result is the same either way.
@@ -902,8 +908,14 @@ impl Infer for Int8Engine {
             return self.dequant_node(&acts, self.output);
         }
         let chunks = diva_par::fixed_chunks(n, ENGINE_CHUNK);
+        // Worker threads don't inherit the supervision scope; forward it as
+        // a sendable snapshot so long batch inferences still stop per chunk.
+        let probe = diva_par::supervise::snapshot();
         let parts = diva_par::par_map_indexed(chunks.len(), |c| {
             let (lo, hi) = chunks[c];
+            if probe.as_ref().is_some_and(|p| p.stop_due().is_some()) {
+                return Tensor::zeros(&[hi - lo, self.num_classes]);
+            }
             let samples: Vec<Tensor> = (lo..hi).map(|i| x.index_batch(i)).collect();
             let xc = Tensor::stack(&samples);
             let acts = self.run(&xc);
