@@ -29,6 +29,14 @@
 //!   regress     re-measure the microbench catalog and compare against the
 //!               committed BENCH_<area>.json baselines
 //!
+//! service subcommands (see DESIGN.md §11):
+//!   serve       attack-as-a-service daemon: prepare models once, serve
+//!               attack jobs over TCP until a remote shutdown; `serve
+//!               chaos` runs the seeded fault-injection campaign instead
+//!   attack      remote client: `attack --remote HOST:PORT` submits one
+//!               attack job to a running daemon (--ping / --metrics /
+//!               --shutdown for service control)
+//!
 //! flags:
 //!   --quick          small smoke-test scale
 //!   --no-blackbox    skip surrogate settings in fig6
@@ -56,6 +64,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("profile") => std::process::exit(diva_bench::profcmd::run_profile(&args[1..])),
         Some("regress") => std::process::exit(diva_bench::profcmd::run_regress(&args[1..])),
+        Some("serve") => std::process::exit(diva_bench::servecmd::run_serve(&args[1..])),
+        Some("attack") => std::process::exit(diva_bench::servecmd::run_attack(&args[1..])),
         _ => {}
     }
     // All leading non-flag arguments are experiment names; several can be

@@ -10,6 +10,7 @@
 pub mod experiments;
 pub mod microbench;
 pub mod profcmd;
+pub mod servecmd;
 pub mod suite;
 
 pub use suite::{

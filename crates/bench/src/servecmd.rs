@@ -1,0 +1,905 @@
+//! `repro serve` / `repro attack --remote` — attack-as-a-service on top of
+//! [`diva_serve`].
+//!
+//! The daemon prepares a victim (and optionally its surrogate bundles)
+//! exactly once — reusing the `DIVA_RESUME` checkpoint machinery, so a
+//! restart after a crash skips retraining — then serves attack jobs over
+//! the length-prefixed TCP protocol until a client sends `Shutdown`.
+//! `repro attack --remote ADDR` is the matching client: it regenerates the
+//! deterministic validation pool locally, picks an image, and submits one
+//! attack job.
+//!
+//! # Job wire format (`DAJ1`)
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! "DAJ1" | kind u8 | c f32 | eps f32 | alpha f32 | momentum f32
+//!        | steps u32 | label u32 | ndims u8 | dims u32 × ndims
+//!        | image f32 × Π dims
+//! ```
+//!
+//! `kind`: 0 PGD, 1 Momentum PGD, 2 CW, 3 DIVA whitebox, 4 DIVA
+//! semi-blackbox, 5 DIVA blackbox (4 and 5 need `--surrogates` on the
+//! server). `dims` are per-image (no batch axis) and must match the
+//! served models' input shape.
+//!
+//! # Result wire format (`DAR1`)
+//!
+//! ```text
+//! "DAR1" | first_flip i64 (-1 = never) | original_pred u32
+//!        | engine_pred u32 | label u32 | evaded u8
+//!        | ndims u8 | dims u32 × ndims | adv f32 × Π dims
+//! ```
+//!
+//! `evaded` is the paper's success criterion: the deployed int8 engine
+//! flips off the true label while the original model stays correct.
+//!
+//! A malformed or mis-shaped job fails deterministically, so under a
+//! retrying policy it lands as `Quarantined` rather than poisoning the
+//! pool. Attack jobs check for cancellation/stall faults before the
+//! gradient loop starts; once iterating they run to completion and an
+//! exceeded deadline surfaces as `TimedOut` with the journal left
+//! pending for replay.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use diva_core::attack::{
+    cw_attack_traced, diva_attack_traced, momentum_pgd_attack_traced, pgd_attack_traced, AttackCfg,
+};
+use diva_core::pipeline::FirstFlipTracker;
+use diva_nn::Infer;
+use diva_par::supervise::SupervisePolicy;
+use diva_serve::{Client, JobExecutor, Reply, ServeConfig, Server, WireStatus};
+use diva_tensor::Tensor;
+
+use crate::experiments::resume_ckpt_dir;
+use crate::suite::{
+    datasets, prepare_surrogates_resumable, prepare_victim_resumable, ExperimentScale, Surrogates,
+    VictimModels,
+};
+use diva_models::Architecture;
+
+const JOB_MAGIC: &[u8; 4] = b"DAJ1";
+const RESULT_MAGIC: &[u8; 4] = b"DAR1";
+
+/// One remote attack request: which attack, its hyper-parameters, and the
+/// natural image with its true label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackJob {
+    /// Attack selector (see the module docs for the numbering).
+    pub kind: u8,
+    /// DIVA balance constant `c` (ignored by kinds 0–2).
+    pub c: f32,
+    /// PGD hyper-parameters; `random_start` is not carried over the wire.
+    pub cfg: AttackCfg,
+    /// True label of the image.
+    pub label: usize,
+    /// Per-image dims (no batch axis), e.g. `[3, 32, 32]`.
+    pub dims: Vec<usize>,
+    /// Natural image data, `Π dims` floats in `[0, 1]`.
+    pub image: Vec<f32>,
+}
+
+/// The server's answer to an `Ok` job: first-flip metrics plus the
+/// adversarial image itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackResult {
+    /// Earliest attack step at which the engine's label left its clean
+    /// prediction (`None` = never flipped during the trajectory).
+    pub first_flip: Option<usize>,
+    /// Original (fp32) model's prediction on the adversarial image.
+    pub original_pred: usize,
+    /// Deployed int8 engine's prediction on the adversarial image.
+    pub engine_pred: usize,
+    /// True label, echoed back.
+    pub label: usize,
+    /// The paper's evasion criterion: engine wrong, original right.
+    pub evaded: bool,
+    /// Per-image dims of `adv`.
+    pub dims: Vec<usize>,
+    /// Adversarial image data.
+    pub adv: Vec<f32>,
+}
+
+/// Encodes an [`AttackJob`] into a `DAJ1` payload.
+pub fn encode_job(job: &AttackJob) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 4 * job.dims.len() + 4 * job.image.len());
+    out.extend_from_slice(JOB_MAGIC);
+    out.push(job.kind);
+    for f in [job.c, job.cfg.eps, job.cfg.alpha, job.cfg.momentum] {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+    out.extend_from_slice(&(job.cfg.steps as u32).to_le_bytes());
+    out.extend_from_slice(&(job.label as u32).to_le_bytes());
+    out.push(job.dims.len() as u8);
+    for &d in &job.dims {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in &job.image {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Bounds-checked little-endian reader over a job/result payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, String> {
+        let raw = self.take(4 * n)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn dims_and_data(cur: &mut Cursor) -> Result<(Vec<usize>, Vec<f32>), String> {
+    let ndims = cur.u8()? as usize;
+    if ndims == 0 || ndims > 8 {
+        return Err(format!("unreasonable rank {ndims}"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    let mut product: usize = 1;
+    for _ in 0..ndims {
+        let d = cur.u32()? as usize;
+        product = product
+            .checked_mul(d)
+            .filter(|&p| p <= 1 << 24)
+            .ok_or_else(|| "image volume overflows the 16M-element cap".to_string())?;
+        dims.push(d);
+    }
+    let data = cur.f32s(product)?;
+    Ok((dims, data))
+}
+
+/// Decodes a `DAJ1` payload.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (bad magic,
+/// truncation, unreasonable dims, trailing bytes).
+pub fn decode_job(payload: &[u8]) -> Result<AttackJob, String> {
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    if cur.take(4)? != JOB_MAGIC {
+        return Err("bad job magic (want DAJ1)".into());
+    }
+    let kind = cur.u8()?;
+    if kind > 5 {
+        return Err(format!("unknown attack kind {kind}"));
+    }
+    let c = cur.f32()?;
+    let eps = cur.f32()?;
+    let alpha = cur.f32()?;
+    let momentum = cur.f32()?;
+    let steps = cur.u32()? as usize;
+    if steps == 0 || steps > 10_000 {
+        return Err(format!("unreasonable step count {steps}"));
+    }
+    let label = cur.u32()? as usize;
+    let (dims, image) = dims_and_data(&mut cur)?;
+    cur.finish()?;
+    Ok(AttackJob {
+        kind,
+        c,
+        cfg: AttackCfg {
+            eps,
+            alpha,
+            steps,
+            momentum,
+            random_start: false,
+        },
+        label,
+        dims,
+        image,
+    })
+}
+
+fn encode_result(res: &AttackResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + 4 * res.adv.len());
+    out.extend_from_slice(RESULT_MAGIC);
+    let flip: i64 = res.first_flip.map_or(-1, |s| s as i64);
+    out.extend_from_slice(&flip.to_le_bytes());
+    out.extend_from_slice(&(res.original_pred as u32).to_le_bytes());
+    out.extend_from_slice(&(res.engine_pred as u32).to_le_bytes());
+    out.extend_from_slice(&(res.label as u32).to_le_bytes());
+    out.push(res.evaded as u8);
+    out.push(res.dims.len() as u8);
+    for &d in &res.dims {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in &res.adv {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a `DAR1` payload (the client half of [`encode_result`]).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn decode_result(payload: &[u8]) -> Result<AttackResult, String> {
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    if cur.take(4)? != RESULT_MAGIC {
+        return Err("bad result magic (want DAR1)".into());
+    }
+    let flip = cur.i64()?;
+    let original_pred = cur.u32()? as usize;
+    let engine_pred = cur.u32()? as usize;
+    let label = cur.u32()? as usize;
+    let evaded = cur.u8()? != 0;
+    let (dims, adv) = dims_and_data(&mut cur)?;
+    cur.finish()?;
+    Ok(AttackResult {
+        first_flip: if flip < 0 { None } else { Some(flip as usize) },
+        original_pred,
+        engine_pred,
+        label,
+        evaded,
+        dims,
+        adv,
+    })
+}
+
+/// The [`JobExecutor`] serving attack jobs against one prepared victim.
+///
+/// Jobs fail (→ retry → quarantine) rather than panic on malformed input,
+/// and the fingerprint ties the journal to the exact `(arch, scale,
+/// surrogates?)` the models were prepared from, so stale journals from a
+/// differently-configured server replay nothing.
+pub struct AttackService {
+    victim: VictimModels,
+    surrogates: Option<Surrogates>,
+    input_dims: Vec<usize>,
+    fingerprint: u64,
+}
+
+impl AttackService {
+    /// Wraps prepared models for serving.
+    pub fn new(
+        victim: VictimModels,
+        surrogates: Option<Surrogates>,
+        scale: &ExperimentScale,
+    ) -> AttackService {
+        let input_dims = victim.val_pool.images.dims()[1..].to_vec();
+        let fingerprint = diva_fault::fnv1a64(
+            format!(
+                "serve|{:?}|{:?}|surrogates={}",
+                victim.arch,
+                scale,
+                surrogates.is_some()
+            )
+            .as_bytes(),
+        );
+        AttackService {
+            victim,
+            surrogates,
+            input_dims,
+            fingerprint,
+        }
+    }
+
+    fn attack(&self, job: &AttackJob) -> Result<AttackResult, String> {
+        let mut batch_dims = vec![1];
+        batch_dims.extend_from_slice(&job.dims);
+        let xi = Tensor::from_vec(job.image.clone(), &batch_dims);
+        let labels = [job.label];
+        let victim = &self.victim;
+        let mut tracker = FirstFlipTracker::new(&victim.engine, &xi);
+        let hook = |info: &diva_core::attack::StepInfo| tracker.observe(&victim.engine, info);
+        let cfg = &job.cfg;
+        let surrogate = |kind: &str| {
+            self.surrogates
+                .as_ref()
+                .ok_or_else(|| format!("{kind} needs a server started with --surrogates"))
+        };
+        let adv = match job.kind {
+            0 => pgd_attack_traced(&victim.qat, &xi, &labels, cfg, hook),
+            1 => momentum_pgd_attack_traced(&victim.qat, &xi, &labels, cfg, hook),
+            2 => cw_attack_traced(&victim.qat, &xi, &labels, cfg, hook),
+            3 => diva_attack_traced(
+                &victim.original,
+                &victim.qat,
+                &xi,
+                &labels,
+                job.c,
+                cfg,
+                hook,
+            ),
+            4 => {
+                let s = surrogate("DIVA semi-blackbox")?;
+                diva_attack_traced(
+                    &s.semi.surrogate_original,
+                    &s.semi.recovered_adapted,
+                    &xi,
+                    &labels,
+                    job.c,
+                    cfg,
+                    hook,
+                )
+            }
+            5 => {
+                let s = surrogate("DIVA blackbox")?;
+                diva_attack_traced(
+                    &s.black.surrogate_original,
+                    &s.black.surrogate_adapted,
+                    &xi,
+                    &labels,
+                    job.c,
+                    cfg,
+                    hook,
+                )
+            }
+            other => return Err(format!("unknown attack kind {other}")),
+        };
+        let original_pred = victim.original.predict(&adv)[0];
+        let engine_pred = victim.engine.predict(&adv)[0];
+        Ok(AttackResult {
+            first_flip: tracker.first_flips()[0],
+            original_pred,
+            engine_pred,
+            label: job.label,
+            evaded: engine_pred != job.label && original_pred == job.label,
+            dims: job.dims.clone(),
+            adv: adv.data().to_vec(),
+        })
+    }
+}
+
+impl JobExecutor for AttackService {
+    fn execute(&self, _job: u64, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let job = decode_job(payload)?;
+        if job.dims != self.input_dims {
+            return Err(format!(
+                "image dims {:?} do not match the served models' input {:?}",
+                job.dims, self.input_dims
+            ));
+        }
+        if job.label >= self.victim.val_pool.num_classes {
+            return Err(format!(
+                "label {} out of range for {} classes",
+                job.label, self.victim.val_pool.num_classes
+            ));
+        }
+        self.attack(&job).map(|res| encode_result(&res))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+fn parse_arch(name: &str) -> Result<Architecture, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "resnet" => Ok(Architecture::ResNet),
+        "mobilenet" => Ok(Architecture::MobileNet),
+        "densenet" => Ok(Architecture::DenseNet),
+        other => Err(format!(
+            "unknown architecture {other} (want resnet|mobilenet|densenet)"
+        )),
+    }
+}
+
+fn parse_kind(name: &str) -> Result<u8, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "pgd" => Ok(0),
+        "mpgd" | "momentum" => Ok(1),
+        "cw" => Ok(2),
+        "diva" | "whitebox" => Ok(3),
+        "semi" => Ok(4),
+        "black" | "blackbox" => Ok(5),
+        other => Err(format!(
+            "unknown attack kind {other} (want pgd|mpgd|cw|diva|semi|black)"
+        )),
+    }
+}
+
+/// Minimal flag cursor shared by the two subcommands.
+struct Flags {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl Flags {
+    fn next(&mut self) -> Option<String> {
+        let a = self.args.get(self.pos).cloned();
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+
+    fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        self.value(flag)?
+            .parse()
+            .map_err(|_| format!("{flag}: unparseable value"))
+    }
+}
+
+fn serve_usage() -> &'static str {
+    "usage: repro serve [chaos] [flags]\n\
+     \n\
+     server flags:\n\
+       --arch NAME        resnet (default) | mobilenet | densenet\n\
+       --quick            smoke-test scale (matches `repro ... --quick`)\n\
+       --surrogates       also prepare the semi/blackbox surrogate bundles\n\
+       --addr HOST:PORT   listen address (default 127.0.0.1:4171)\n\
+       --journal DIR      write-ahead job journal (default repro_out/serve-journal)\n\
+       --no-journal       disable the journal (no crash replay)\n\
+       --queue N          admission queue capacity (default 64)\n\
+       --batch N          dispatcher batch size (default 8)\n\
+       --deadline-ms N    per-job deadline (default: DIVA_DEADLINE_MS)\n\
+       --retries N        attempts per job (default: DIVA_RETRY)\n\
+     \n\
+     chaos flags (repro serve chaos):\n\
+       --seed N           campaign seed (default 0xD1BA5EED)\n\
+       --dir PATH         artifact directory (default target/serve-chaos)\n\
+       --jobs a,b,...     worker counts to cross-check (default 1,4)\n\
+     \n\
+     The server runs until a client sends Shutdown\n\
+     (`repro attack --remote ADDR --shutdown`)."
+}
+
+/// `repro serve` — prepare models once, then serve attack jobs until a
+/// remote shutdown. `repro serve chaos` runs the seeded fault-injection
+/// campaign against an in-process server instead.
+pub fn run_serve(args: &[String]) -> i32 {
+    match run_serve_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            eprintln!("{}", serve_usage());
+            2
+        }
+    }
+}
+
+fn run_serve_chaos(flags: &mut Flags) -> Result<i32, String> {
+    let mut seed: u64 = 0xD1BA_5EED;
+    let mut dir = PathBuf::from("target/serve-chaos");
+    let mut jobs: Vec<usize> = vec![1, 4];
+    while let Some(arg) = flags.next() {
+        match arg.as_str() {
+            "--seed" => seed = flags.parsed("--seed")?,
+            "--dir" => dir = PathBuf::from(flags.value("--dir")?),
+            "--jobs" => {
+                jobs = flags
+                    .value("--jobs")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| "--jobs: unparseable value"))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown chaos flag {other}")),
+        }
+    }
+    match diva_serve::chaos::run_matrix(&dir, seed, &jobs) {
+        Ok(reports) => {
+            for (j, report) in &reports {
+                let s = &report.stats_run;
+                println!(
+                    "serve-chaos jobs={j} submitted={} ok={} shed={} timed_out={} \
+                     quarantined={} cancelled={} replies_failed={} replayed={} \
+                     byte_identical={}",
+                    s.submitted,
+                    s.ok,
+                    s.shed,
+                    s.timed_out,
+                    s.quarantined,
+                    s.cancelled,
+                    s.replies_failed,
+                    report.stats_replay.replayed,
+                    report.merge_byte_identical
+                );
+            }
+            println!("serve-chaos PASS seed={seed} jobs={jobs:?}");
+            Ok(0)
+        }
+        Err(e) => {
+            eprintln!("serve-chaos FAIL: {e}");
+            Ok(1)
+        }
+    }
+}
+
+fn run_serve_inner(args: &[String]) -> Result<i32, String> {
+    let mut flags = Flags {
+        args: args.to_vec(),
+        pos: 0,
+    };
+    if args.first().map(String::as_str) == Some("chaos") {
+        flags.pos = 1;
+        return run_serve_chaos(&mut flags);
+    }
+
+    let mut arch = Architecture::ResNet;
+    let mut quick = false;
+    let mut with_surrogates = false;
+    let mut addr = "127.0.0.1:4171".to_string();
+    let mut journal: Option<PathBuf> = Some(PathBuf::from("repro_out/serve-journal"));
+    let mut queue_capacity = 64usize;
+    let mut batch_max = 8usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    while let Some(arg) = flags.next() {
+        match arg.as_str() {
+            "--arch" => arch = parse_arch(&flags.value("--arch")?)?,
+            "--quick" => quick = true,
+            "--surrogates" => with_surrogates = true,
+            "--addr" => {
+                addr = flags.value("--addr")?;
+                addr.parse::<SocketAddr>()
+                    .map_err(|_| "--addr: want HOST:PORT".to_string())?;
+            }
+            "--journal" => journal = Some(PathBuf::from(flags.value("--journal")?)),
+            "--no-journal" => journal = None,
+            "--queue" => queue_capacity = flags.parsed("--queue")?,
+            "--batch" => batch_max = flags.parsed("--batch")?,
+            "--deadline-ms" => deadline_ms = Some(flags.parsed("--deadline-ms")?),
+            "--retries" => retries = Some(flags.parsed("--retries")?),
+            "--help" | "-h" => {
+                println!("{}", serve_usage());
+                return Ok(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::standard()
+    };
+    let ckpt = resume_ckpt_dir();
+    eprintln!(
+        "diva-serve: preparing {} victim ({} scale{}) ...",
+        arch.name(),
+        if quick { "quick" } else { "standard" },
+        if ckpt.is_some() {
+            ", DIVA_RESUME on"
+        } else {
+            ""
+        }
+    );
+    let (victim, resumed) = prepare_victim_resumable(arch, &scale, ckpt.as_deref());
+    eprintln!(
+        "diva-serve: victim ready (resumed={resumed}, original acc {:.3}, qat acc {:.3})",
+        victim.original_acc, victim.qat_acc
+    );
+    let surrogates = if with_surrogates {
+        let (s, resumed) = prepare_surrogates_resumable(&victim, &scale, ckpt.as_deref());
+        eprintln!("diva-serve: surrogate bundles ready (resumed={resumed})");
+        Some(s)
+    } else {
+        None
+    };
+
+    let mut policy = SupervisePolicy::from_env();
+    if let Some(ms) = deadline_ms {
+        policy.item_deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = retries {
+        policy.retry.max_attempts = n.max(1);
+    }
+    let exec = Arc::new(AttackService::new(victim, surrogates, &scale));
+    let cfg = ServeConfig {
+        addr,
+        queue_capacity,
+        batch_max,
+        journal_dir: journal,
+        policy,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, exec).map_err(|e| e.to_string())?;
+    println!("diva-serve listening on {}", server.addr());
+    println!(
+        "stop with: repro attack --remote {} --shutdown",
+        server.addr()
+    );
+    let report = server.join();
+    println!(
+        "diva-serve drained (clean={}): ok={} timed_out={} quarantined={} \
+         cancelled={} shed={} replayed={}",
+        report.clean,
+        report.stats.ok,
+        report.stats.timed_out,
+        report.stats.quarantined,
+        report.stats.cancelled,
+        report.stats.shed,
+        report.stats.replayed
+    );
+    Ok(if report.clean { 0 } else { 1 })
+}
+
+fn attack_usage() -> &'static str {
+    "usage: repro attack --remote HOST:PORT [flags]\n\
+     \n\
+     flags:\n\
+       --index N        validation-pool image to attack (default 0)\n\
+       --kind NAME      pgd|mpgd|cw|diva|semi|black (default diva)\n\
+       --c F            DIVA balance constant (default 1.0)\n\
+       --eps F          L-inf bound (default 8/255)\n\
+       --alpha F        step size (default 1/255)\n\
+       --steps N        attack steps (default 20)\n\
+       --quick          regenerate the quick-scale pool (must match the server)\n\
+       --ping           health-check the server and exit\n\
+       --metrics        print the server's metrics snapshot and exit\n\
+       --shutdown       ask the server to drain and exit"
+}
+
+/// `repro attack --remote` — submit one attack job to a running
+/// `repro serve` daemon and print the first-flip metrics.
+pub fn run_attack(args: &[String]) -> i32 {
+    match run_attack_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("repro attack: {e}");
+            eprintln!("{}", attack_usage());
+            2
+        }
+    }
+}
+
+fn run_attack_inner(args: &[String]) -> Result<i32, String> {
+    let mut flags = Flags {
+        args: args.to_vec(),
+        pos: 0,
+    };
+    let mut remote: Option<SocketAddr> = None;
+    let mut index = 0usize;
+    let mut kind = 3u8;
+    let mut c = 1.0f32;
+    let mut cfg = AttackCfg::paper_default();
+    let mut quick = false;
+    let mut ping = false;
+    let mut metrics = false;
+    let mut shutdown = false;
+    while let Some(arg) = flags.next() {
+        match arg.as_str() {
+            "--remote" => {
+                remote = Some(
+                    flags
+                        .value("--remote")?
+                        .parse()
+                        .map_err(|_| "--remote: want HOST:PORT".to_string())?,
+                );
+            }
+            "--index" => index = flags.parsed("--index")?,
+            "--kind" => kind = parse_kind(&flags.value("--kind")?)?,
+            "--c" => c = flags.parsed("--c")?,
+            "--eps" => cfg.eps = flags.parsed("--eps")?,
+            "--alpha" => cfg.alpha = flags.parsed("--alpha")?,
+            "--steps" => cfg.steps = flags.parsed("--steps")?,
+            "--quick" => quick = true,
+            "--ping" => ping = true,
+            "--metrics" => metrics = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                println!("{}", attack_usage());
+                return Ok(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let addr = remote.ok_or("--remote HOST:PORT is required")?;
+    if kind == 1 && cfg.momentum == 0.0 {
+        cfg.momentum = 0.5; // the paper's Momentum PGD coefficient
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    if ping {
+        client.ping().map_err(|e| e.to_string())?;
+        println!("diva-serve at {addr} is alive");
+        return Ok(0);
+    }
+    if metrics {
+        println!("{}", client.metrics().map_err(|e| e.to_string())?);
+        return Ok(0);
+    }
+    if shutdown {
+        match client.shutdown(60_000).map_err(|e| e.to_string())? {
+            Reply::ShutdownStarted { pending } => {
+                println!("diva-serve draining ({pending} jobs still queued)");
+                Ok(0)
+            }
+            other => Err(format!("unexpected reply {other:?}")),
+        }
+    } else {
+        // The pool is pure in the scale, so the client regenerates the
+        // exact image the server's models were validated on.
+        let scale = if quick {
+            ExperimentScale::quick()
+        } else {
+            ExperimentScale::standard()
+        };
+        let (_, val_pool, _) = datasets(&scale);
+        if index >= val_pool.len() {
+            return Err(format!(
+                "--index {index} out of range for a validation pool of {}",
+                val_pool.len()
+            ));
+        }
+        let image = val_pool.images.index_batch(index);
+        let job = AttackJob {
+            kind,
+            c,
+            cfg,
+            label: val_pool.labels[index],
+            dims: image.dims().to_vec(),
+            image: image.data().to_vec(),
+        };
+        let payload = encode_job(&job);
+        println!(
+            "submitting {} job for image {index} (label {}) to {addr} ...",
+            ["pgd", "mpgd", "cw", "diva", "semi", "black"][kind as usize],
+            job.label
+        );
+        match client.submit(payload).map_err(|e| e.to_string())? {
+            Reply::Done {
+                job: id,
+                status: WireStatus::Ok,
+                payload,
+            } => {
+                let res = decode_result(&payload)?;
+                let linf = res
+                    .adv
+                    .iter()
+                    .zip(&job.image)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                println!("job {id} done:");
+                println!(
+                    "  first flip   : {}",
+                    res.first_flip
+                        .map_or("never".to_string(), |s| format!("step {s}"))
+                );
+                println!(
+                    "  original pred: {} (label {})",
+                    res.original_pred, res.label
+                );
+                println!("  engine pred  : {}", res.engine_pred);
+                println!("  evaded       : {}", res.evaded);
+                println!("  L-inf        : {linf:.6} (eps {:.6})", job.cfg.eps);
+                Ok(0)
+            }
+            Reply::Done {
+                job: id, status, ..
+            } => {
+                eprintln!("job {id} finished without a result: {status:?}");
+                Ok(1)
+            }
+            Reply::Overloaded { queued, capacity } => {
+                eprintln!("server shed the job (queue {queued}/{capacity}); retry later");
+                Ok(1)
+            }
+            Reply::Draining => {
+                eprintln!("server is draining and refuses new jobs");
+                Ok(1)
+            }
+            Reply::Rejected { message } => Err(format!("server rejected the job: {message}")),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> AttackJob {
+        AttackJob {
+            kind: 3,
+            c: 1.5,
+            cfg: AttackCfg {
+                eps: 8.0 / 255.0,
+                alpha: 1.0 / 255.0,
+                steps: 20,
+                momentum: 0.0,
+                random_start: false,
+            },
+            label: 7,
+            dims: vec![3, 8, 8],
+            image: (0..192).map(|i| i as f32 / 192.0).collect(),
+        }
+    }
+
+    #[test]
+    fn job_roundtrips_through_the_wire_format() {
+        let j = job();
+        assert_eq!(decode_job(&encode_job(&j)).unwrap(), j);
+    }
+
+    #[test]
+    fn result_roundtrips_through_the_wire_format() {
+        let r = AttackResult {
+            first_flip: Some(11),
+            original_pred: 7,
+            engine_pred: 2,
+            label: 7,
+            evaded: true,
+            dims: vec![3, 8, 8],
+            adv: (0..192).map(|i| (i as f32).sin()).collect(),
+        };
+        let back = decode_result(&encode_result(&r)).unwrap();
+        assert_eq!(back, r);
+        let never = AttackResult {
+            first_flip: None,
+            evaded: false,
+            ..r
+        };
+        assert_eq!(decode_result(&encode_result(&never)).unwrap(), never);
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected_with_reasons() {
+        let good = encode_job(&job());
+        assert!(decode_job(b"no").unwrap_err().contains("truncated"));
+        assert!(decode_job(b"nope").unwrap_err().contains("magic"));
+        assert!(decode_job(&good[1..]).unwrap_err().contains("magic"));
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 3);
+        assert!(decode_job(&truncated).unwrap_err().contains("truncated"));
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_job(&trailing).unwrap_err().contains("trailing"));
+        let mut bad_kind = good.clone();
+        bad_kind[4] = 99;
+        assert!(decode_job(&bad_kind).unwrap_err().contains("kind"));
+    }
+}

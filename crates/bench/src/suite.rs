@@ -204,7 +204,10 @@ fn arch_seed(arch: Architecture) -> u64 {
 
 /// The three deterministic data splits of a scale. Cheap relative to
 /// training, so checkpoints persist only models and regenerate data.
-fn datasets(scale: &ExperimentScale) -> (Dataset, Dataset, Dataset) {
+/// The three seeded splits `(train, val_pool, attacker)` for a scale —
+/// pure in `scale`, so a remote attack client regenerates exactly the
+/// images the `repro serve` daemon prepared its models on.
+pub fn datasets(scale: &ExperimentScale) -> (Dataset, Dataset, Dataset) {
     let train = synth_imagenet(scale.train_n, &scale.data_cfg, scale.seed.wrapping_add(1));
     let val_pool = synth_imagenet(
         scale.val_pool_n,

@@ -220,7 +220,7 @@ fn ok_items_stay_byte_identical_under_supervision() {
             "completion beats cancellation (jobs={jobs})"
         );
         assert!(
-            out.statuses.iter().any(|s| *s == JobStatus::Cancelled),
+            out.statuses.contains(&JobStatus::Cancelled),
             "later items must observe the cancel (jobs={jobs})"
         );
         assert_ok_items_match(&out, "cancel");

@@ -206,6 +206,25 @@ where
     if n_failed > 0 {
         diva_trace::counter!("attack.failed_images", n_failed as u64);
     }
+    // Teardown under a graceful drain (e.g. diva-serve shutting down while
+    // an attack batch is in flight): the fan-out above has returned, so
+    // every in-flight item is finished — complete the drain bookkeeping
+    // and report how much of the batch was refused at the gate.
+    if policy.gate.is_draining() {
+        let out = policy.drain(std::time::Duration::ZERO);
+        let refused = statuses
+            .iter()
+            .filter(|s| matches!(s, JobStatus::Cancelled))
+            .count();
+        diva_trace::event!(
+            1,
+            "attack.drained",
+            attack = kind,
+            clean = out.clean,
+            remaining = out.remaining,
+            refused = refused as u64,
+        );
+    }
     ParAttackOutput {
         adv: Tensor::stack(&samples),
         first_flips,

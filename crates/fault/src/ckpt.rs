@@ -66,20 +66,53 @@ impl From<std::io::Error> for CkptError {
 pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), CkptError> {
     let path = path.as_ref();
     maybe_slow_io();
+    let mut image = seal(payload);
+    crate::corrupt_file_bytes(&mut image);
+    write_image(path, &image)
+}
+
+/// Appends the integrity footer to `payload`, producing the on-disk image.
+fn seal(payload: &[u8]) -> Vec<u8> {
     let mut image = Vec::with_capacity(payload.len() + FOOTER_LEN);
     image.extend_from_slice(payload);
     image.extend_from_slice(MAGIC);
     image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     image.extend_from_slice(&crate::fnv1a64(payload).to_le_bytes());
-    crate::corrupt_file_bytes(&mut image);
+    image
+}
+
+/// The durable write: tmp sibling, fsync the file, rename into place, fsync
+/// the parent directory. Without the directory sync the rename itself can
+/// vanish on power loss — the data blocks survive but the directory entry
+/// was never made durable. Every error path removes the tmp sibling so a
+/// failed write leaves no stray `.tmp` files behind.
+fn write_image(path: &Path, image: &[u8]) -> Result<(), CkptError> {
+    use std::io::Write as _;
     let tmp = tmp_sibling(path);
-    std::fs::write(&tmp, &image)?;
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e.into())
-        }
+    let cleanup = |e: std::io::Error| -> CkptError {
+        let _ = std::fs::remove_file(&tmp);
+        e.into()
+    };
+    let mut file = std::fs::File::create(&tmp).map_err(CkptError::Io)?;
+    file.write_all(image).map_err(cleanup)?;
+    file.sync_all().map_err(cleanup)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(cleanup)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Fsyncs `path`'s parent directory so the rename that put `path` in place
+/// is durable. Best effort: a filesystem that cannot open or sync a
+/// directory (some platforms, some mounts) does not fail the write that
+/// already succeeded.
+fn sync_parent_dir(path: &Path) {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        let _ = dir.sync_all();
     }
 }
 
@@ -226,6 +259,138 @@ impl ItemStore {
     }
 }
 
+/// Journal record magic + format version (the record header's own magic,
+/// inside the standard sealed-file envelope).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"DIVAJOB1";
+
+/// Fixed journal record header size: magic, job id, kind, status, six
+/// reserved zero bytes, fingerprint.
+pub const JOURNAL_HEADER_LEN: usize = 32;
+
+/// Which half of a job's write-ahead pair a record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Written *before* the job is admitted to the queue: the intent.
+    Pending = 1,
+    /// Written when the job reaches a terminal status: the outcome.
+    Done = 2,
+}
+
+/// One write-ahead journal record: a job id, whether this is the intent
+/// (`Pending`, carrying the request payload) or the outcome (`Done`,
+/// carrying the status code and result payload), and the executor
+/// fingerprint that seals which model set / config produced it. Encoded as
+/// the payload of a standard [`write_atomic`]-style sealed file, so
+/// truncation and corruption are caught by the footer before the header is
+/// even parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The job this record belongs to.
+    pub job: u64,
+    /// Intent or outcome.
+    pub kind: RecordKind,
+    /// Terminal status code for `Done` records; 0 for `Pending`.
+    pub status: u8,
+    /// Fingerprint of the executor (model set + config) that the payload
+    /// is only valid for.
+    pub fingerprint: u64,
+    /// Request payload (`Pending`) or result payload (`Done`).
+    pub payload: Vec<u8>,
+}
+
+impl JournalRecord {
+    /// Serializes the record (header + payload), without the file footer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(JOURNAL_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(JOURNAL_MAGIC);
+        out.extend_from_slice(&self.job.to_le_bytes());
+        out.push(self.kind as u8);
+        out.push(self.status);
+        out.extend_from_slice(&[0u8; 6]);
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a record serialized by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Format`] when the buffer is shorter than the
+    /// header, the magic is wrong, or the kind byte is unknown.
+    pub fn decode(bytes: &[u8]) -> Result<JournalRecord, CkptError> {
+        if bytes.len() < JOURNAL_HEADER_LEN {
+            return Err(CkptError::Format(format!(
+                "{} bytes is too short for the {JOURNAL_HEADER_LEN}-byte journal header",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != JOURNAL_MAGIC {
+            return Err(CkptError::Format(
+                "bad journal magic / unsupported version".into(),
+            ));
+        }
+        let job = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let kind = match bytes[16] {
+            1 => RecordKind::Pending,
+            2 => RecordKind::Done,
+            other => {
+                return Err(CkptError::Format(format!(
+                    "unknown journal record kind {other}"
+                )))
+            }
+        };
+        let status = bytes[17];
+        let fingerprint = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+        Ok(JournalRecord {
+            job,
+            kind,
+            status,
+            fingerprint,
+            payload: bytes[JOURNAL_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+/// Writes a journal record to `path` with the same durability contract as
+/// [`write_atomic`]. Armed file faults apply as usual, and an armed
+/// `journal-corrupt` fault matching this record's job and kind flips bits
+/// *after* the footer is sealed — producing exactly the corrupt-but-renamed
+/// artifact that replay must detect and reject.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Io`] on filesystem failures.
+pub fn write_journal_record(
+    path: impl AsRef<Path>,
+    record: &JournalRecord,
+) -> Result<(), CkptError> {
+    let path = path.as_ref();
+    maybe_slow_io();
+    let mut image = seal(&record.encode());
+    crate::corrupt_file_bytes(&mut image);
+    if let Some((count, seed)) = crate::journal_corrupt_bits(record.job, record.kind) {
+        let total_bits = image.len() as u64 * 8;
+        if total_bits > 0 {
+            for pos in crate::seeded_positions(seed, count, total_bits) {
+                image[(pos / 8) as usize] ^= 1 << (pos % 8);
+            }
+        }
+    }
+    write_image(path, &image)
+}
+
+/// Reads and parses a journal record written by [`write_journal_record`].
+///
+/// # Errors
+///
+/// Returns [`CkptError::Io`] when the file cannot be read and
+/// [`CkptError::Format`] when the footer or the record header is invalid.
+pub fn read_journal_record(path: impl AsRef<Path>) -> Result<JournalRecord, CkptError> {
+    let payload = read_verified(path)?;
+    JournalRecord::decode(&payload)
+}
+
 fn tmp_sibling(path: &Path) -> std::path::PathBuf {
     let mut name = path
         .file_name()
@@ -291,6 +456,107 @@ mod tests {
             Err(CkptError::Io(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_writes_leave_no_tmp_sibling() {
+        let dir = tmp_dir("no_stray_tmp");
+
+        // Rename failure: the destination is a non-empty directory, so the
+        // rename step errors after the tmp file was written and synced.
+        let blocked = dir.join("blocked.ckpt");
+        std::fs::create_dir_all(blocked.join("occupant")).unwrap();
+        let err = write_atomic(&blocked, b"payload").unwrap_err();
+        assert!(matches!(err, CkptError::Io(_)));
+        assert!(
+            !tmp_sibling(&blocked).exists(),
+            "rename failure must remove the tmp sibling"
+        );
+
+        // Create failure: the parent directory does not exist, so nothing
+        // is ever written and nothing must be left behind.
+        let orphan = dir.join("does-not-exist").join("c.ckpt");
+        assert!(matches!(
+            write_atomic(&orphan, b"payload"),
+            Err(CkptError::Io(_))
+        ));
+        assert!(!tmp_sibling(&orphan).exists());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_record_round_trips_and_rejects_bad_headers() {
+        let dir = tmp_dir("journal_roundtrip");
+        let path = dir.join("job-7.ckpt");
+        let rec = JournalRecord {
+            job: 7,
+            kind: RecordKind::Done,
+            status: 2,
+            fingerprint: 0xDEAD_BEEF,
+            payload: b"adv bytes".to_vec(),
+        };
+        write_journal_record(&path, &rec).unwrap();
+        assert_eq!(read_journal_record(&path).unwrap(), rec);
+        assert!(!tmp_sibling(&path).exists());
+
+        // Decode-level rejections: short buffer, wrong magic, bad kind.
+        assert!(matches!(
+            JournalRecord::decode(&[0u8; 8]),
+            Err(CkptError::Format(_))
+        ));
+        let mut bytes = rec.encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            JournalRecord::decode(&bytes),
+            Err(CkptError::Format(_))
+        ));
+        let mut bytes = rec.encode();
+        bytes[16] = 9;
+        assert!(matches!(
+            JournalRecord::decode(&bytes),
+            Err(CkptError::Format(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_corrupt_fault_produces_a_rejected_record() {
+        let _g = crate::test_lock();
+        let dir = tmp_dir("journal_fault");
+        let pending = JournalRecord {
+            job: 4,
+            kind: RecordKind::Pending,
+            status: 0,
+            fingerprint: 1,
+            payload: b"request".to_vec(),
+        };
+        let done = JournalRecord {
+            job: 4,
+            kind: RecordKind::Done,
+            status: 0,
+            fingerprint: 1,
+            payload: b"result".to_vec(),
+        };
+        crate::set_plan(Some(
+            crate::FaultPlan::parse("journal-corrupt:count=3,seed=11,job=4,rec=done").unwrap(),
+        ));
+        // The fault is scoped to job 4's done record: its pending record and
+        // other jobs' records stay intact.
+        let p_path = dir.join("p.ckpt");
+        let d_path = dir.join("d.ckpt");
+        write_journal_record(&p_path, &pending).unwrap();
+        write_journal_record(&d_path, &done).unwrap();
+        assert_eq!(read_journal_record(&p_path).unwrap(), pending);
+        assert!(
+            matches!(read_journal_record(&d_path), Err(CkptError::Format(_))),
+            "post-seal corruption must fail footer verification"
+        );
+        let other = JournalRecord { job: 5, ..done };
+        write_journal_record(&d_path, &other).unwrap();
+        assert_eq!(read_journal_record(&d_path).unwrap().job, 5);
+        crate::set_plan(None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! | `bitflip`       | `count`, `seed`       | flip `count` bits in deployed int8 weights  |
 //! | `file-truncate` | `bytes`               | drop the last `bytes` bytes of saved files  |
 //! | `file-corrupt`  | `count`, `seed`       | flip `count` bits in saved file payloads    |
+//! | `conn-drop`     | `job`                 | server drops the client socket after admitting job `job` |
+//! | `journal-corrupt` | `count`, `seed`, `job`, `rec` | flip `count` bits in a journal record *after* sealing |
 //!
 //! `sticky=1` re-injects on retries, guaranteeing the divergence guard's
 //! budget is exhausted (a deterministic *failure*); the default transient
@@ -178,6 +180,25 @@ pub enum Fault {
         count: usize,
         /// Seed for the bit positions.
         seed: u64,
+    },
+    /// Drop the client connection right after the server admits a job:
+    /// the job still runs and journals, the reply write fails.
+    ConnDrop {
+        /// Restrict to one job id; `None` drops every admitted job's
+        /// connection.
+        job: Option<u64>,
+    },
+    /// Flip bits in a written journal record *after* the integrity footer
+    /// is sealed, so replay must detect and reject the record.
+    JournalCorrupt {
+        /// Number of bits to flip.
+        count: usize,
+        /// Seed for the bit positions.
+        seed: u64,
+        /// Restrict to one job id; `None` corrupts every record.
+        job: Option<u64>,
+        /// Restrict to one record kind; `None` corrupts both.
+        rec: Option<ckpt::RecordKind>,
     },
 }
 
@@ -373,6 +394,34 @@ impl FaultPlan {
                     Fault::FileCorrupt {
                         count: get_usize(&kv, "count", 1)?,
                         seed: get_u64(&kv, "seed", 0x5EED)?,
+                    }
+                }
+                "conn-drop" => {
+                    known(&["job"])?;
+                    Fault::ConnDrop {
+                        job: kv
+                            .get("job")
+                            .map(|v| v.parse().map_err(|_| bad("job", v)))
+                            .transpose()?,
+                    }
+                }
+                "journal-corrupt" => {
+                    known(&["count", "seed", "job", "rec"])?;
+                    Fault::JournalCorrupt {
+                        count: get_usize(&kv, "count", 1)?,
+                        seed: get_u64(&kv, "seed", 0x5EED)?,
+                        job: kv
+                            .get("job")
+                            .map(|v| v.parse().map_err(|_| bad("job", v)))
+                            .transpose()?,
+                        rec: kv
+                            .get("rec")
+                            .map(|v| match v.as_str() {
+                                "pending" => Ok(ckpt::RecordKind::Pending),
+                                "done" => Ok(ckpt::RecordKind::Done),
+                                _ => Err(bad("rec", v)),
+                            })
+                            .transpose()?,
                     }
                 }
                 other => {
@@ -624,8 +673,68 @@ pub fn corrupt_file_bytes(bytes: &mut Vec<u8>) -> bool {
     .unwrap_or(false)
 }
 
+/// True when an armed `conn-drop` fault matches job `job`: the server's
+/// connection handler shuts the client socket down right after admission,
+/// so the job completes and journals but the reply write fails. Latency/
+/// visibility only — the job's bytes are unchanged.
+pub fn conn_drop(job: u64) -> bool {
+    if !armed() {
+        return false;
+    }
+    with_plan(|plan| {
+        for f in &plan.faults {
+            if let Fault::ConnDrop { job: filter } = f {
+                if filter.is_none_or(|want| want == job) {
+                    diva_trace::counter!("fault.injected.conn_drop", 1);
+                    diva_trace::event!(1, "fault.injected", class = "conn-drop", job = job);
+                    return true;
+                }
+            }
+        }
+        false
+    })
+    .unwrap_or(false)
+}
+
+/// `(count, seed)` for an armed `journal-corrupt` fault matching a journal
+/// record for job `job` of kind `kind`. The journal write path
+/// ([`ckpt::write_journal_record`]) applies the flips *after* sealing the
+/// footer, so the read side must reject the record — the crash-safety
+/// property under test.
+pub fn journal_corrupt_bits(job: u64, kind: ckpt::RecordKind) -> Option<(usize, u64)> {
+    if !armed() {
+        return None;
+    }
+    with_plan(|plan| {
+        for f in &plan.faults {
+            if let Fault::JournalCorrupt {
+                count,
+                seed,
+                job: job_filter,
+                rec,
+            } = f
+            {
+                if job_filter.is_none_or(|want| want == job) && rec.is_none_or(|want| want == kind)
+                {
+                    diva_trace::counter!("fault.injected.journal_corrupt", 1);
+                    diva_trace::event!(
+                        1,
+                        "fault.injected",
+                        class = "journal-corrupt",
+                        job = job,
+                        bits = *count,
+                    );
+                    return Some((*count, *seed));
+                }
+            }
+        }
+        None
+    })
+    .flatten()
+}
+
 /// `count` distinct positions in `[0, total)` from a splitmix-style stream.
-fn seeded_positions(seed: u64, count: usize, total: u64) -> Vec<u64> {
+pub(crate) fn seeded_positions(seed: u64, count: usize, total: u64) -> Vec<u64> {
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut out = Vec::with_capacity(count);
     let mut attempts = 0;
@@ -759,6 +868,72 @@ mod tests {
 
         let e = FaultPlan::parse("  ;  ").unwrap_err();
         assert_eq!(e.kind, FaultParseErrorKind::EmptyPlan);
+    }
+
+    #[test]
+    fn parse_accepts_serve_fault_classes() {
+        let plan = FaultPlan::parse(
+            "conn-drop:job=9; conn-drop; journal-corrupt:count=3,seed=7,job=4,rec=done; \
+             journal-corrupt",
+        )
+        .unwrap();
+        assert_eq!(plan.faults[0], Fault::ConnDrop { job: Some(9) });
+        assert_eq!(plan.faults[1], Fault::ConnDrop { job: None });
+        assert_eq!(
+            plan.faults[2],
+            Fault::JournalCorrupt {
+                count: 3,
+                seed: 7,
+                job: Some(4),
+                rec: Some(ckpt::RecordKind::Done),
+            }
+        );
+        assert_eq!(
+            plan.faults[3],
+            Fault::JournalCorrupt {
+                count: 1,
+                seed: 0x5EED,
+                job: None,
+                rec: None,
+            },
+            "defaults: one bit, every job, both record kinds"
+        );
+        assert!(FaultPlan::parse("conn-drop:item=1").is_err());
+        assert!(FaultPlan::parse("journal-corrupt:rec=maybe").is_err());
+    }
+
+    #[test]
+    fn conn_drop_honours_job_filter() {
+        let _g = lock_tests();
+        set_plan(Some(FaultPlan::parse("conn-drop:job=3").unwrap()));
+        assert!(conn_drop(3));
+        assert!(!conn_drop(4), "wrong job");
+        set_plan(Some(FaultPlan::parse("conn-drop").unwrap()));
+        assert!(conn_drop(99), "no filter matches every job");
+        set_plan(None);
+        assert!(!conn_drop(3), "disarmed");
+    }
+
+    #[test]
+    fn journal_corrupt_bits_honours_job_and_kind_filters() {
+        let _g = lock_tests();
+        set_plan(Some(
+            FaultPlan::parse("journal-corrupt:count=2,seed=5,job=1,rec=pending").unwrap(),
+        ));
+        assert_eq!(
+            journal_corrupt_bits(1, ckpt::RecordKind::Pending),
+            Some((2, 5))
+        );
+        assert_eq!(journal_corrupt_bits(1, ckpt::RecordKind::Done), None);
+        assert_eq!(journal_corrupt_bits(2, ckpt::RecordKind::Pending), None);
+        set_plan(Some(FaultPlan::parse("journal-corrupt:count=2").unwrap()));
+        assert_eq!(
+            journal_corrupt_bits(7, ckpt::RecordKind::Done),
+            Some((2, 0x5EED)),
+            "unfiltered fault hits every record"
+        );
+        set_plan(None);
+        assert_eq!(journal_corrupt_bits(1, ckpt::RecordKind::Pending), None);
     }
 
     #[test]

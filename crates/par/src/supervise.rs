@@ -69,6 +69,114 @@ impl CancelToken {
     }
 }
 
+/// Coordination for graceful drain: once draining, *unstarted* items are
+/// refused (reported [`JobStatus::Cancelled`] without consuming an
+/// attempt) while items already in flight run to completion and keep their
+/// results — the opposite trade from [`CancelToken`], which discards
+/// everything at the next checkpoint. Cloning shares the gate, like the
+/// token.
+#[derive(Debug, Clone, Default)]
+pub struct DrainGate {
+    inner: Arc<GateInner>,
+}
+
+#[derive(Debug, Default)]
+struct GateInner {
+    draining: AtomicBool,
+    in_flight: Mutex<usize>,
+    idle: std::sync::Condvar,
+}
+
+impl DrainGate {
+    /// Whether a drain has begun (sticky, like cancellation).
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Relaxed)
+    }
+
+    /// Items currently in flight across every fan-out sharing this gate.
+    pub fn in_flight(&self) -> usize {
+        *self.lock()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.inner
+            .in_flight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Marks the gate draining. Taken under the in-flight lock so no item
+    /// can slip past a drainer that already observed quiescence.
+    fn begin(&self) {
+        let _n = self.lock();
+        self.inner.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Registers an item as in flight, unless the gate is draining.
+    fn try_enter(&self) -> Option<FlightGuard> {
+        let mut n = self.lock();
+        if self.inner.draining.load(Ordering::Relaxed) {
+            return None;
+        }
+        *n += 1;
+        Some(FlightGuard {
+            inner: self.inner.clone(),
+        })
+    }
+
+    /// Waits until no items are in flight or `timeout` lapses, returning
+    /// how many were still running.
+    fn await_idle(&self, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        let mut n = self.lock();
+        while *n > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return *n;
+            }
+            let (guard, res) = self
+                .inner
+                .idle
+                .wait_timeout(n, left)
+                .unwrap_or_else(|p| p.into_inner());
+            n = guard;
+            if res.timed_out() && *n > 0 {
+                return *n;
+            }
+        }
+        0
+    }
+}
+
+/// RAII in-flight registration; the drop wakes waiting drainers at zero.
+struct FlightGuard {
+    inner: Arc<GateInner>,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        let mut n = self
+            .inner
+            .in_flight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            self.inner.idle.notify_all();
+        }
+    }
+}
+
+/// Outcome of a bounded [`SupervisePolicy::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// True when every in-flight item completed within the timeout.
+    pub clean: bool,
+    /// Items still in flight when the timeout lapsed (0 when clean). They
+    /// have been signalled via the cancel token as a fallback.
+    pub remaining: usize,
+}
+
 /// Why a supervised item was stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -219,6 +327,8 @@ pub struct SupervisePolicy {
     pub cancel: CancelToken,
     /// Retry policy for transient failures.
     pub retry: RetryPolicy,
+    /// Graceful-drain gate: see [`SupervisePolicy::drain`].
+    pub gate: DrainGate,
 }
 
 impl SupervisePolicy {
@@ -231,13 +341,36 @@ impl SupervisePolicy {
             item_deadline: env_u64("DIVA_DEADLINE_MS").map(Duration::from_millis),
             cancel: CancelToken::new(),
             retry: RetryPolicy::from_env(),
+            gate: DrainGate::default(),
         }
     }
 
     /// True when the policy cannot change any item's behaviour: no
-    /// deadline, no retries, and cancellation not requested.
+    /// deadline, no retries, cancellation not requested, and not draining.
     pub fn is_inert(&self) -> bool {
-        self.item_deadline.is_none() && self.retry.max_attempts <= 1 && !self.cancel.is_cancelled()
+        self.item_deadline.is_none()
+            && self.retry.max_attempts <= 1
+            && !self.cancel.is_cancelled()
+            && !self.gate.is_draining()
+    }
+
+    /// Graceful drain: refuse new items, wait up to `timeout` for items
+    /// already in flight to finish *with their results kept*, and only if
+    /// the timeout lapses fall back to the cancel token (the next
+    /// checkpoint of each straggler discards its work). Idempotent;
+    /// callable from any thread holding a clone of the policy.
+    pub fn drain(&self, timeout: Duration) -> DrainOutcome {
+        self.gate.begin();
+        let remaining = self.gate.await_idle(timeout);
+        if remaining > 0 {
+            diva_trace::counter!("job.drain_timeouts", 1);
+            diva_trace::event!(1, "job.drain_timeout", remaining = remaining);
+            self.cancel.cancel();
+        }
+        DrainOutcome {
+            clean: remaining == 0,
+            remaining,
+        }
     }
 }
 
@@ -551,6 +684,19 @@ fn run_item<T, F>(
 where
     F: Fn(usize) -> Result<T, String>,
 {
+    let Some(_flight) = policy.gate.try_enter() else {
+        // Draining: the item never started, so it is refused rather than
+        // interrupted — Cancelled with zero attempts, same as a
+        // pre-cancelled run.
+        diva_trace::counter!("job.drained", 1);
+        diva_trace::event!(1, "job.drained", item = i);
+        return JobReport {
+            status: JobStatus::Cancelled,
+            value: None,
+            attempts: 0,
+            error: None,
+        };
+    };
     let max_attempts = policy.retry.max_attempts.max(1);
     let mut attempts = 0u32;
     let mut last_err: Option<String> = None;
@@ -864,7 +1010,7 @@ mod tests {
         let policy = inert();
         let token = policy.cancel.clone();
         token.cancel();
-        let out = par_map_supervised(6, &policy, |i| Ok::<usize, String>(i));
+        let out = par_map_supervised(6, &policy, Ok::<usize, String>);
         for r in &out {
             assert_eq!(r.status, JobStatus::Cancelled);
             assert_eq!(r.attempts, 0, "cancelled before the first attempt");
@@ -994,6 +1140,94 @@ mod tests {
         restore("DIVA_DEADLINE_MS", prev.0);
         restore("DIVA_RETRY", prev.1);
         restore("DIVA_BACKOFF_MS", prev.2);
+    }
+
+    #[test]
+    fn drain_keeps_in_flight_results_and_refuses_unstarted() {
+        let _g = lock_global();
+        set_jobs(2);
+        let policy = inert();
+        let gate = policy.gate.clone();
+        let worker_policy = policy.clone();
+        let worker_gate = gate.clone();
+        let h = std::thread::spawn(move || {
+            par_map_supervised(6, &worker_policy, move |i| {
+                if i < 2 {
+                    // Hold until the drain begins, then finish normally:
+                    // these are the in-flight items whose results must
+                    // survive.
+                    while !worker_gate.is_draining() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Ok::<usize, String>(i * 10)
+            })
+        });
+        // Wait for both workers to be inside items 0 and 1.
+        let started = Instant::now();
+        while gate.in_flight() < 2 {
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "items never started"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let out = policy.drain(Duration::from_secs(10));
+        assert!(out.clean, "in-flight items finish within the budget");
+        assert_eq!(out.remaining, 0);
+        assert!(!policy.cancel.is_cancelled(), "clean drain never cancels");
+        let reports = h.join().unwrap();
+        for (i, r) in reports.iter().enumerate() {
+            if i < 2 {
+                assert_eq!(r.status, JobStatus::Ok, "in-flight item {i}");
+                assert_eq!(r.value, Some(i * 10));
+            } else {
+                assert_eq!(r.status, JobStatus::Cancelled, "unstarted item {i}");
+                assert_eq!(r.attempts, 0);
+            }
+        }
+        assert!(!policy.is_inert(), "a draining policy is not inert");
+        set_jobs(0);
+    }
+
+    #[test]
+    fn drain_timeout_falls_back_to_cancellation() {
+        let _g = lock_global();
+        set_jobs(1);
+        let policy = inert();
+        let gate = policy.gate.clone();
+        let worker_policy = policy.clone();
+        let begun = Instant::now();
+        let h = std::thread::spawn(move || {
+            par_map_supervised(2, &worker_policy, |_| {
+                // Polls only the token: a drain timeout must cancel to
+                // unstick it.
+                cooperative_stall(Duration::from_secs(30));
+                Ok::<usize, String>(0)
+            })
+        });
+        while gate.in_flight() < 1 {
+            assert!(
+                begun.elapsed() < Duration::from_secs(10),
+                "item never started"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let out = policy.drain(Duration::from_millis(50));
+        assert!(!out.clean);
+        assert_eq!(out.remaining, 1);
+        assert!(policy.cancel.is_cancelled(), "timeout falls back to cancel");
+        let reports = h.join().unwrap();
+        assert!(
+            begun.elapsed() < Duration::from_secs(10),
+            "cancel must break the stall"
+        );
+        assert_eq!(
+            reports[1].status,
+            JobStatus::Cancelled,
+            "the unstarted item is refused"
+        );
+        set_jobs(0);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! CI gate: run the seeded chaos campaign at two worker counts and demand
+//! identical, expected counters plus a byte-identical replayed journal.
+//!
+//! ```text
+//! serve_chaos [--seed N] [--dir PATH] [--jobs a,b,...]
+//! ```
+//!
+//! Exits non-zero (with a greppable `serve-chaos FAIL` line) on any
+//! deviation. The journal directories and final metrics snapshots are left
+//! under `--dir` for artifact upload.
+
+use std::path::PathBuf;
+
+use diva_serve::chaos::run_matrix;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve-chaos FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut seed: u64 = 0xD1BA_5EED;
+    let mut dir = PathBuf::from("target/serve-chaos");
+    let mut jobs: Vec<usize> = vec![1, 4];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed must be a u64"));
+            }
+            "--dir" => dir = PathBuf::from(value("--dir")),
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail("--jobs must be a comma list of usize"))
+                    })
+                    .collect();
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+    }
+
+    let reports = run_matrix(&dir, seed, &jobs).unwrap_or_else(|e| fail(&e));
+    for (j, report) in &reports {
+        let s = &report.stats_run;
+        println!(
+            "serve-chaos jobs={j} submitted={} ok={} shed={} timed_out={} \
+             quarantined={} cancelled={} replies_failed={}",
+            s.submitted, s.ok, s.shed, s.timed_out, s.quarantined, s.cancelled, s.replies_failed
+        );
+        println!(
+            "serve-chaos jobs={j} replay pending={:?} rejected_done={} replayed={} \
+             clean={} byte_identical={}",
+            report.replay_pending,
+            report.rejected_done,
+            report.stats_replay.replayed,
+            report.replay_clean,
+            report.merge_byte_identical
+        );
+    }
+    println!("serve-chaos PASS seed={seed} jobs={jobs:?} (deterministic across worker counts)");
+}

@@ -1,0 +1,418 @@
+//! `serve chaos`: a seeded fault campaign against a live in-process server.
+//!
+//! One run walks three phases against a single journal directory:
+//!
+//! 1. **Shed** — a blocker occupies the dispatcher, the bounded queue
+//!    fills, and two further submits must shed with typed `Overloaded`
+//!    replies (never queue growth, never a dropped connection).
+//! 2. **Faults** — a seeded `DIVA_FAULT` plan is installed and four jobs
+//!    with known ids are driven through it: a worker stall that must trip
+//!    the per-job deadline, an always-failing payload that must exhaust
+//!    its retry budget into quarantine, a connection drop that must lose
+//!    only the reply (the job itself completes and journals), and a
+//!    post-seal journal corruption that must force one finished job back
+//!    to pending on restart.
+//! 3. **Crash + replay** — a blocker is caught in flight by [`Server::
+//!    abort`] (the in-process stand-in for `kill -9`): it reports
+//!    `Cancelled` and, by design, never writes a done record. A second
+//!    server started on the same journal replays it (plus the
+//!    corruption victim) and the merged done-set is byte-identical to
+//!    direct execution.
+//!
+//! Every fault predicate is keyed by **job id**, so the same campaign run
+//! under any `DIVA_JOBS` setting or batch split must produce the same
+//! [`StatsSnapshot`] — the property `serve_chaos` (the CI entry point)
+//! asserts by running the campaign at two worker counts and diffing.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use diva_fault::FaultPlan;
+use diva_par::supervise::{self, RetryPolicy, SupervisePolicy};
+
+use crate::client::Client;
+use crate::protocol::Reply;
+use crate::server::{JobExecutor, ServeConfig, Server, StatsSnapshot};
+
+/// The deterministic reference output: what [`ChaosExec`] returns for a
+/// job once nothing is in its way. Byte-identity of the replayed journal
+/// is checked against this.
+pub fn chaos_result(seed: u64, job: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&(diva_fault::fnv1a64(payload) ^ seed).to_le_bytes());
+    out.extend_from_slice(&job.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Chaos executor: behaviour is selected by the payload's first byte.
+/// `b'b'` blocks on the gate (honouring cooperative interruption), `b'f'`
+/// always fails (retry fodder); anything else completes immediately.
+/// Output is [`chaos_result`] — a pure function of `(seed, job, payload)`,
+/// which is what makes kill-and-replay byte-identical.
+pub struct ChaosExec {
+    /// Released by the harness; blockers spin on it cooperatively.
+    pub gate: Arc<AtomicBool>,
+    /// Mixed into every result and into the journal fingerprint.
+    pub seed: u64,
+}
+
+impl JobExecutor for ChaosExec {
+    fn execute(&self, job: u64, payload: &[u8]) -> Result<Vec<u8>, String> {
+        match payload.first() {
+            Some(b'b') => {
+                while !self.gate.load(Ordering::Relaxed) {
+                    if let Some(reason) = supervise::interrupted() {
+                        return Err(format!("stopped while blocked: {}", reason.name()));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Some(b'f') => return Err("injected failure".to_string()),
+            _ => {}
+        }
+        Ok(chaos_result(self.seed, job, payload))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.seed ^ 0xC4A0_5EED
+    }
+}
+
+/// What one campaign produced — everything the CI gate asserts on.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Final counters of the chaos'd server (phases 1–3).
+    pub stats_run: StatsSnapshot,
+    /// Job ids found pending when the restarted server scanned the
+    /// journal (the cancelled blocker and the corruption victim).
+    pub replay_pending: Vec<u64>,
+    /// Done records the restart scan rejected (the corrupted one).
+    pub rejected_done: usize,
+    /// Final counters of the replaying server.
+    pub stats_replay: StatsSnapshot,
+    /// Whether the replaying server drained cleanly.
+    pub replay_clean: bool,
+    /// Job ids with valid done records after the replay.
+    pub done_jobs: Vec<u64>,
+    /// Whether every `Ok` done payload matched [`chaos_result`] exactly.
+    pub merge_byte_identical: bool,
+}
+
+/// The campaign's expected chaos'd-server counters: 9 admitted (ids 4 and
+/// 5 shed), 6 ok (the reply for id 9 is lost but the job is not), one
+/// deadline timeout (7), one quarantine (8), one cancellation (10).
+pub fn expected_run_stats() -> StatsSnapshot {
+    StatsSnapshot {
+        submitted: 9,
+        ok: 6,
+        timed_out: 1,
+        cancelled: 1,
+        quarantined: 1,
+        shed: 2,
+        replies_failed: 1,
+        ..StatsSnapshot::default()
+    }
+}
+
+/// The expected replaying-server counters: exactly the cancelled blocker
+/// and the corruption victim re-execute, both to `Ok`.
+pub fn expected_replay_stats() -> StatsSnapshot {
+    StatsSnapshot {
+        ok: 2,
+        replayed: 2,
+        ..StatsSnapshot::default()
+    }
+}
+
+const DEADLINE: Duration = Duration::from_millis(2_000);
+
+fn chaos_config(journal_dir: &Path, seed: u64) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 3,
+        batch_max: 2,
+        journal_dir: Some(journal_dir.to_path_buf()),
+        policy: SupervisePolicy {
+            item_deadline: Some(DEADLINE),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff_base_ms: 10,
+                seed,
+            },
+            ..SupervisePolicy::default()
+        },
+        drain_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("chaos harness timed out waiting for {what}"));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Ok(())
+}
+
+/// Submits `payload` from its own connection on its own thread, returning
+/// the join handle (the submit blocks until the job's terminal reply).
+fn submit_async(
+    addr: std::net::SocketAddr,
+    payload: Vec<u8>,
+) -> std::thread::JoinHandle<Result<Reply, String>> {
+    std::thread::spawn(move || {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        c.submit(payload).map_err(|e| e.to_string())
+    })
+}
+
+/// Runs the full campaign against `journal_dir` (which must start empty).
+/// Deterministic in `(seed, journal_dir contents)`: the caller may run it
+/// at several `DIVA_JOBS` settings and demand identical reports.
+///
+/// # Errors
+///
+/// Returns a message when a phase cannot even be set up (bind failure,
+/// harness timeout) — *not* when an assertion would fail; callers compare
+/// the report against [`expected_run_stats`]/[`expected_replay_stats`].
+pub fn run_chaos(journal_dir: &Path, seed: u64) -> Result<ChaosReport, String> {
+    let gate = Arc::new(AtomicBool::new(false));
+    let exec = Arc::new(ChaosExec {
+        gate: gate.clone(),
+        seed,
+    });
+    let server = Server::start(chaos_config(journal_dir, seed), exec).map_err(|e| e.to_string())?;
+    let addr = server.addr();
+
+    // Phase 1 — shed. Job 0 blocks the dispatcher, jobs 1-3 fill the
+    // queue (capacity 3), jobs 4 and 5 must shed.
+    let h0 = submit_async(addr, b"b job0".to_vec());
+    wait_until("job 0 in flight", || {
+        server.gate_in_flight() >= 1 && server.queued() == 0
+    })?;
+    // The fillers race for ids 1-3, so they share one payload: any
+    // id-to-payload assignment then yields the same journal bytes.
+    let fillers: Vec<_> = (1..=3u8)
+        .map(|_| submit_async(addr, b"n filler".to_vec()))
+        .collect();
+    wait_until("queue full", || server.queued() == 3)?;
+    let mut shed_replies = Vec::new();
+    for i in 4..=5u8 {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        shed_replies.push(
+            c.submit(format!("n job{i}").into_bytes())
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    gate.store(true, Ordering::Relaxed);
+    let mut phase1 = vec![h0];
+    phase1.extend(fillers);
+    for h in phase1 {
+        let _ = h.join();
+    }
+    wait_until("phase 1 complete", || server.stats().ok == 4)?;
+    for reply in &shed_replies {
+        if !matches!(reply, Reply::Overloaded { .. }) {
+            return Err(format!("expected Overloaded shed reply, got {reply:?}"));
+        }
+    }
+
+    // Phase 2 — seeded faults against known job ids. Submissions are
+    // serialized on the admission counter so the ids are exact.
+    let spec = format!(
+        "worker-stall:item=7,ms=30000; slow-io:ms=2; conn-drop:job=9; \
+         journal-corrupt:count=3,seed={seed},job=6,rec=done"
+    );
+    let plan = FaultPlan::parse(&spec).map_err(|e| e.to_string())?;
+    diva_fault::set_plan(Some(plan));
+    let payloads: [&[u8]; 4] = [b"n corrupt-me", b"n stall-me", b"f fail-me", b"n drop-me"];
+    let mut phase2 = Vec::new();
+    for payload in payloads {
+        let admitted = server.stats().submitted;
+        phase2.push(submit_async(addr, payload.to_vec()));
+        wait_until("fault job admitted", || {
+            server.stats().submitted == admitted + 1
+        })?;
+    }
+    for h in phase2 {
+        // Job 9's client sees a dropped connection instead of a reply;
+        // that error is the point, not a harness failure.
+        let _ = h.join();
+    }
+    wait_until("phase 2 complete", || {
+        let s = server.stats();
+        s.ok == 6 && s.timed_out == 1 && s.quarantined == 1
+    })?;
+
+    // Phase 3 — crash with a job in flight.
+    gate.store(false, Ordering::Relaxed);
+    let h10 = submit_async(addr, b"b job10".to_vec());
+    wait_until("job 10 in flight", || server.gate_in_flight() >= 1)?;
+    let report = server.abort();
+    let stats_run = report.stats;
+    let _ = h10.join();
+    diva_fault::set_plan(None);
+
+    // Restart on the same journal: the cancelled blocker (10) and the
+    // corruption victim (6) must replay; nothing else may.
+    let exec2 = Arc::new(ChaosExec {
+        gate: Arc::new(AtomicBool::new(true)),
+        seed,
+    });
+    let scan = crate::journal::Journal::open(journal_dir, exec2.fingerprint())
+        .map_err(|e| e.to_string())?
+        .scan();
+    let replay_pending: Vec<u64> = scan.pending.iter().map(|(id, _)| *id).collect();
+    let rejected_done = scan.rejected_done;
+
+    let server2 =
+        Server::start(chaos_config(journal_dir, seed), exec2.clone()).map_err(|e| e.to_string())?;
+    let report2 = server2.shutdown(Duration::from_secs(10));
+
+    // Merge check: every valid done record with an Ok status must carry
+    // exactly the bytes direct execution produces.
+    let final_scan = crate::journal::Journal::open(journal_dir, exec2.fingerprint())
+        .map_err(|e| e.to_string())?
+        .scan();
+    let done_jobs: Vec<u64> = final_scan.done.keys().copied().collect();
+    let expected_payloads = [
+        (0u64, b"b job0".to_vec()),
+        (1, b"n filler".to_vec()),
+        (2, b"n filler".to_vec()),
+        (3, b"n filler".to_vec()),
+        (6, b"n corrupt-me".to_vec()),
+        (9, b"n drop-me".to_vec()),
+        (10, b"b job10".to_vec()),
+    ];
+    let merge_byte_identical = expected_payloads.iter().all(|(job, input)| {
+        final_scan.done.get(job).is_some_and(|(status, bytes)| {
+            *status == 0 && *bytes == chaos_result(seed, *job, input)
+        })
+    });
+
+    Ok(ChaosReport {
+        stats_run,
+        replay_pending,
+        rejected_done,
+        stats_replay: report2.stats,
+        replay_clean: report2.clean,
+        done_jobs,
+        merge_byte_identical,
+    })
+}
+
+/// Checks one campaign report against the expected deterministic outcome,
+/// naming the first deviation. Shared by the `serve_chaos` CI gate and
+/// `repro serve chaos`.
+///
+/// # Errors
+///
+/// Returns a description of the first deviating field.
+pub fn verify(report: &ChaosReport) -> Result<(), String> {
+    if report.stats_run != expected_run_stats() {
+        return Err(format!(
+            "run counters {:?} != expected {:?}",
+            report.stats_run,
+            expected_run_stats()
+        ));
+    }
+    if report.stats_replay != expected_replay_stats() {
+        return Err(format!(
+            "replay counters {:?} != expected {:?}",
+            report.stats_replay,
+            expected_replay_stats()
+        ));
+    }
+    if report.replay_pending != vec![6, 10] {
+        return Err(format!(
+            "expected jobs 6 and 10 pending at restart, got {:?}",
+            report.replay_pending
+        ));
+    }
+    if report.rejected_done != 1 {
+        return Err(format!(
+            "expected exactly the corrupted done record rejected, got {}",
+            report.rejected_done
+        ));
+    }
+    if !report.replay_clean {
+        return Err("replaying server did not drain cleanly".into());
+    }
+    if report.done_jobs != vec![0, 1, 2, 3, 6, 7, 8, 9, 10] {
+        return Err(format!("unexpected final done set {:?}", report.done_jobs));
+    }
+    if !report.merge_byte_identical {
+        return Err("replayed journal is not byte-identical to direct execution".into());
+    }
+    Ok(())
+}
+
+/// Runs the campaign once per worker count, verifying every report and
+/// demanding identical counters across counts. Journal directories land
+/// under `dir/jobs-N` and are left behind for artifact upload. Restores
+/// the process-global worker-count override before returning.
+///
+/// # Errors
+///
+/// Returns the first setup failure, [`verify`] deviation, or cross-count
+/// divergence, prefixed with the offending `jobs=` setting.
+pub fn run_matrix(
+    dir: &Path,
+    seed: u64,
+    jobs: &[usize],
+) -> Result<Vec<(usize, ChaosReport)>, String> {
+    if jobs.is_empty() {
+        return Err("empty worker-count list".into());
+    }
+    let mut reports: Vec<(usize, ChaosReport)> = Vec::new();
+    for &j in jobs {
+        let journal_dir = dir.join(format!("jobs-{j}"));
+        let _ = std::fs::remove_dir_all(&journal_dir);
+        diva_par::set_jobs(j);
+        let run = run_chaos(&journal_dir, seed);
+        diva_par::set_jobs(0);
+        let report = run.map_err(|e| format!("jobs={j}: {e}"))?;
+        verify(&report).map_err(|e| format!("jobs={j}: {e}"))?;
+        reports.push((j, report));
+    }
+    let (j0, first) = &reports[0];
+    for (j, report) in &reports[1..] {
+        if report.stats_run != first.stats_run || report.stats_replay != first.stats_replay {
+            return Err(format!(
+                "counters diverge across worker counts: jobs={j0} vs jobs={j} \
+                 ({:?} vs {:?}; replay {:?} vs {:?})",
+                first.stats_run, report.stats_run, first.stats_replay, report.stats_replay
+            ));
+        }
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_results_are_pure_in_their_inputs() {
+        let a = chaos_result(7, 3, b"payload");
+        let b = chaos_result(7, 3, b"payload");
+        assert_eq!(a, b);
+        assert_ne!(a, chaos_result(8, 3, b"payload"), "seed is mixed in");
+        assert_ne!(a, chaos_result(7, 4, b"payload"), "job id is mixed in");
+    }
+
+    #[test]
+    fn expected_snapshots_describe_the_campaign() {
+        let run = expected_run_stats();
+        assert_eq!(run.submitted, 9);
+        assert_eq!(run.ok + run.timed_out + run.cancelled + run.quarantined, 9);
+        let replay = expected_replay_stats();
+        assert_eq!(replay.replayed, 2);
+        assert_eq!(replay.ok, 2);
+    }
+}

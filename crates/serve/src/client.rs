@@ -1,0 +1,152 @@
+//! Minimal blocking client for the diva-serve wire protocol.
+//!
+//! One request, one reply, in order, over a plain `TcpStream` — the same
+//! dependency-free framing as the server. `repro attack --remote` and the
+//! test suites both drive the daemon through this type; the torture suite
+//! additionally uses [`Client::send_raw_frame`] to deliver malformed bytes
+//! on purpose.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, ProtocolError, Reply, Request, DEFAULT_MAX_FRAME};
+
+/// A connected client. Each request blocks until its reply frame arrives.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the connection cannot be established.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Like [`connect`](Client::connect), retrying until the server starts
+    /// accepting or the timeout elapses — for tests that race a restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the timeout is spent.
+    pub fn connect_within(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Caps how large a reply frame this client will accept.
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max;
+    }
+
+    /// Bounds how long a blocking read waits for a reply. `None` waits
+    /// forever (the default).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the socket option cannot be set.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Reply, ProtocolError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let frame = read_frame(&mut self.stream, self.max_frame)?;
+        Reply::decode(&frame)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on transport or framing failure.
+    pub fn ping(&mut self) -> Result<Reply, ProtocolError> {
+        self.roundtrip(&Request::Ping)
+    }
+
+    /// Submits a job and blocks until its terminal reply: `Done`,
+    /// `Overloaded`, `Draining`, or `Rejected`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on transport or framing failure.
+    pub fn submit(&mut self, payload: Vec<u8>) -> Result<Reply, ProtocolError> {
+        self.roundtrip(&Request::Submit { payload })
+    }
+
+    /// Fetches the metrics snapshot as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on transport or framing failure, or
+    /// `Malformed` when the server answers with anything but `Metrics`.
+    pub fn metrics(&mut self) -> Result<String, ProtocolError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Reply::Metrics { json } => Ok(json),
+            other => Err(ProtocolError::Malformed(format!(
+                "expected Metrics reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to begin a graceful drain with the given budget.
+    /// The reply (`ShutdownStarted`) arrives before the drain completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on transport or framing failure.
+    pub fn shutdown(&mut self, timeout_ms: u64) -> Result<Reply, ProtocolError> {
+        self.roundtrip(&Request::Shutdown { timeout_ms })
+    }
+
+    /// Writes `payload` as one frame without any encoding — the torture
+    /// suite's hook for sending garbage — then reads back one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on transport failure or when the server
+    /// closes the connection instead of replying.
+    pub fn send_raw_frame(&mut self, payload: &[u8]) -> Result<Reply, ProtocolError> {
+        write_frame(&mut self.stream, payload)?;
+        let frame = read_frame(&mut self.stream, self.max_frame)?;
+        Reply::decode(&frame)
+    }
+
+    /// Writes raw bytes on the socket with no length prefix at all — for
+    /// torturing the framing layer itself (truncated prefixes, oversized
+    /// declarations).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the write fails.
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one reply frame without sending anything first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on transport or framing failure.
+    pub fn read_reply(&mut self) -> Result<Reply, ProtocolError> {
+        let frame = read_frame(&mut self.stream, self.max_frame)?;
+        Reply::decode(&frame)
+    }
+}

@@ -1,0 +1,288 @@
+//! Crash-safe write-ahead job journal.
+//!
+//! Every job gets (up to) two records in the journal directory, each a
+//! fingerprint-sealed, atomically written [`diva_fault::ckpt`] file:
+//!
+//! - `job-<id>-p.ckpt` — **pending**, written with the request payload
+//!   *before* the job is admitted to the queue (write-ahead: if the server
+//!   dies after this point, restart knows the job existed);
+//! - `job-<id>-d.ckpt` — **done**, written with the terminal status and
+//!   result payload *before* the client is answered (acknowledged implies
+//!   durable).
+//!
+//! Replay is the set difference: a valid pending record with no valid done
+//! record is an unfinished job and is re-executed; `Cancelled` jobs
+//! intentionally never write a done record, so an aborted server replays
+//! them on restart. Because the executor is deterministic bytes → bytes
+//! and records carry the executor fingerprint, the replayed merge is
+//! byte-identical to an uninterrupted run — the property the kill-and-
+//! replay test asserts. Corrupt or mismatched records are counted and
+//! rejected, never trusted.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use diva_fault::ckpt::{
+    read_journal_record, write_journal_record, CkptError, JournalRecord, RecordKind,
+};
+
+/// What a journal scan found.
+#[derive(Debug, Default)]
+pub struct ReplaySet {
+    /// Unfinished jobs (valid pending, no valid done), sorted by id, with
+    /// their request payloads.
+    pub pending: Vec<(u64, Vec<u8>)>,
+    /// Finished jobs: id → (status code, result payload).
+    pub done: BTreeMap<u64, (u8, Vec<u8>)>,
+    /// Pending records rejected (corrupt or wrong fingerprint) — these
+    /// jobs are lost; nothing valid remains to replay.
+    pub lost: usize,
+    /// Done records rejected; their jobs fall back to pending and replay.
+    pub rejected_done: usize,
+    /// The first job id a restarted server may assign without colliding.
+    pub next_job: u64,
+}
+
+/// A journal rooted at one directory, scoped to one executor fingerprint.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> Result<Journal, CkptError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Journal { dir, fingerprint })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, job: u64, kind: RecordKind) -> PathBuf {
+        let suffix = match kind {
+            RecordKind::Pending => 'p',
+            RecordKind::Done => 'd',
+        };
+        self.dir.join(format!("job-{job:016x}-{suffix}.ckpt"))
+    }
+
+    /// Writes the write-ahead (pending) record for `job`. Best effort: a
+    /// journal that cannot write costs crash-safety for this job, not the
+    /// job itself; the failure is counted and evented.
+    pub fn record_pending(&self, job: u64, payload: &[u8]) {
+        self.write(JournalRecord {
+            job,
+            kind: RecordKind::Pending,
+            status: 0,
+            fingerprint: self.fingerprint,
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// Writes the terminal (done) record for `job`. Called *before* the
+    /// client reply so an acknowledged result is always durable.
+    pub fn record_done(&self, job: u64, status: u8, payload: &[u8]) {
+        self.write(JournalRecord {
+            job,
+            kind: RecordKind::Done,
+            status,
+            fingerprint: self.fingerprint,
+            payload: payload.to_vec(),
+        });
+    }
+
+    fn write(&self, record: JournalRecord) {
+        let path = self.path(record.job, record.kind);
+        match write_journal_record(&path, &record) {
+            Ok(()) => diva_trace::counter!("journal.records_written", 1),
+            Err(e) => {
+                diva_trace::counter!("journal.write_failed", 1);
+                diva_trace::event!(
+                    1,
+                    "journal.write_failed",
+                    job = record.job,
+                    path = path.display().to_string(),
+                    error = e.to_string(),
+                );
+            }
+        }
+    }
+
+    /// Removes both records for `job` — the rollback for a shed admission
+    /// whose pending record was already written ahead.
+    pub fn forget(&self, job: u64) {
+        let _ = std::fs::remove_file(self.path(job, RecordKind::Pending));
+        let _ = std::fs::remove_file(self.path(job, RecordKind::Done));
+    }
+
+    /// Scans the directory, validating every record against the footer,
+    /// the journal header, and this journal's fingerprint.
+    pub fn scan(&self) -> ReplaySet {
+        let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut rejected_pending: Vec<Option<u64>> = Vec::new();
+        let mut out = ReplaySet::default();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return out,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("job-") || !name.ends_with(".ckpt") {
+                continue;
+            }
+            match self.load(&path) {
+                Ok(rec) => {
+                    out.next_job = out.next_job.max(rec.job + 1);
+                    match rec.kind {
+                        RecordKind::Pending => {
+                            pending.insert(rec.job, rec.payload);
+                        }
+                        RecordKind::Done => {
+                            out.done.insert(rec.job, (rec.status, rec.payload));
+                        }
+                    }
+                }
+                Err(e) => {
+                    let done = name.ends_with("-d.ckpt");
+                    if done {
+                        out.rejected_done += 1;
+                        diva_trace::counter!("journal.done_rejected", 1);
+                    } else {
+                        rejected_pending.push(job_id_from_name(&name));
+                        diva_trace::counter!("journal.pending_rejected", 1);
+                    }
+                    diva_trace::event!(
+                        1,
+                        "journal.record_rejected",
+                        path = path.display().to_string(),
+                        reason = e.to_string(),
+                    );
+                }
+            }
+        }
+        // A job whose pending record was rejected is only *lost* if no
+        // valid done record finished it — otherwise nothing needed
+        // replaying in the first place.
+        out.lost = rejected_pending
+            .iter()
+            .filter(|id| !matches!(id, Some(j) if out.done.contains_key(j)))
+            .count();
+        out.pending = pending
+            .into_iter()
+            .filter(|(job, _)| !out.done.contains_key(job))
+            .collect();
+        out
+    }
+
+    fn load(&self, path: &Path) -> Result<JournalRecord, CkptError> {
+        let rec = read_journal_record(path)?;
+        if rec.fingerprint != self.fingerprint {
+            return Err(CkptError::Format(format!(
+                "fingerprint mismatch: record {:#018x}, journal {:#018x}",
+                rec.fingerprint, self.fingerprint
+            )));
+        }
+        Ok(rec)
+    }
+
+    /// Fsyncs the journal directory — the drain-time flush that makes the
+    /// final batch of renames durable.
+    pub fn sync(&self) {
+        if let Ok(dir) = std::fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Parses the job id out of a `job-<16 hex digits>-?.ckpt` filename, for
+/// classifying records too corrupt to decode.
+fn job_id_from_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("job-")?.get(..16)?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("diva_serve_journal_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn scan_splits_finished_from_unfinished() {
+        let dir = tmp_dir("split");
+        let j = Journal::open(&dir, 0xABCD).unwrap();
+        j.record_pending(0, b"req0");
+        j.record_pending(1, b"req1");
+        j.record_pending(2, b"req2");
+        j.record_done(0, 0, b"res0");
+        let scan = j.scan();
+        assert_eq!(scan.done.len(), 1);
+        assert_eq!(scan.done.get(&0), Some(&(0u8, b"res0".to_vec())));
+        assert_eq!(
+            scan.pending,
+            vec![(1, b"req1".to_vec()), (2, b"req2".to_vec())],
+            "unfinished jobs replay in id order"
+        );
+        assert_eq!(scan.next_job, 3);
+        assert_eq!((scan.lost, scan.rejected_done), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn forget_rolls_back_a_shed_admission() {
+        let dir = tmp_dir("forget");
+        let j = Journal::open(&dir, 1).unwrap();
+        j.record_pending(5, b"shed me");
+        j.forget(5);
+        let scan = j.scan();
+        assert!(scan.pending.is_empty());
+        assert_eq!(scan.next_job, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_done_record_falls_back_to_replay() {
+        let dir = tmp_dir("corrupt_done");
+        let j = Journal::open(&dir, 9).unwrap();
+        j.record_pending(4, b"req4");
+        j.record_done(4, 0, b"res4");
+        // Flip a byte in the done record on disk: the footer must reject
+        // it and the job must fall back to pending.
+        let done_path = j.path(4, RecordKind::Done);
+        let mut bytes = std::fs::read(&done_path).unwrap();
+        bytes[3] ^= 0x10;
+        std::fs::write(&done_path, &bytes).unwrap();
+        let scan = j.scan();
+        assert_eq!(scan.rejected_done, 1);
+        assert_eq!(scan.pending, vec![(4, b"req4".to_vec())]);
+        assert!(scan.done.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_fingerprint_rejects_records() {
+        let dir = tmp_dir("fingerprint");
+        let j = Journal::open(&dir, 1).unwrap();
+        j.record_pending(0, b"req");
+        let stale = Journal::open(&dir, 2).unwrap();
+        let scan = stale.scan();
+        assert!(scan.pending.is_empty());
+        assert_eq!(scan.lost, 1, "mismatched pending is lost, not replayed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

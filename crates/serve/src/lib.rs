@@ -1,0 +1,41 @@
+//! diva-serve: a crash-safe, chaos-tested attack-as-a-service daemon.
+//!
+//! The DIVA pipeline's batch entry points (`repro attack`, diva-bench)
+//! pay model-set preparation on every invocation. This crate keeps the
+//! prepared victim/surrogate pair resident in a daemon and serves attack
+//! jobs over a dependency-free, length-prefixed TCP protocol:
+//!
+//! - [`protocol`] — frame format, request/reply encoding, typed errors
+//!   for oversized/truncated/garbage frames;
+//! - [`queue`] — bounded admission with explicit load-shedding (a full
+//!   queue answers `Overloaded`, it never grows);
+//! - [`journal`] — crash-safe write-ahead job journal on
+//!   `diva_fault::ckpt` (fingerprint-sealed, atomic write-rename): a
+//!   killed server replays unfinished jobs byte-identically on restart;
+//! - [`server`] — accept/dispatch/drain state machine; jobs execute on
+//!   the diva-par pool under supervision (deadlines, seeded retry,
+//!   cooperative cancellation);
+//! - [`client`] — minimal blocking client, also the torture suites' way
+//!   of delivering hostile bytes;
+//! - [`chaos`] — the seeded fault campaign behind `serve chaos` and the
+//!   CI `serve-chaos` gate.
+//!
+//! The executor is injected via [`server::JobExecutor`]; diva-bench
+//! provides the real one (prepared model set + attack drivers), while the
+//! tests here use small deterministic stand-ins. Everything observes the
+//! repo's determinism rule: fault predicates and retry jitter are keyed
+//! by job id and seed, never wall-clock, so a chaos campaign produces the
+//! same counters under any `DIVA_JOBS` setting.
+
+pub mod chaos;
+pub mod client;
+pub mod journal;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use journal::{Journal, ReplaySet};
+pub use protocol::{ProtocolError, Reply, Request, WireStatus};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{DrainReport, JobExecutor, ServeConfig, Server, StatsSnapshot};

@@ -1,0 +1,605 @@
+//! The wire protocol: length-prefixed frames with typed request/reply
+//! messages.
+//!
+//! Framing is deliberately primitive — a little-endian `u32` byte length
+//! followed by the payload — because the failure modes of framing are the
+//! point: an oversized length is rejected *before* allocating, a short read
+//! is reported as truncation distinct from a clean close, and a payload
+//! that fails to decode is answered with a typed [`Reply::Rejected`]
+//! without losing frame sync (the frame boundary is still known, so the
+//! connection survives).
+//!
+//! All integers are little-endian. Strings and byte blobs are
+//! length-prefixed with a `u32`. The first payload byte is the message
+//! tag; requests use `0x01..=0x7F`, replies `0x81..=0xFF`, so a peer that
+//! accidentally speaks the wrong direction is caught by the tag check.
+
+use std::io::{Read, Write};
+
+/// Byte length of the frame length prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// Default maximum frame payload size (16 MiB — a quick-scale image job is
+/// well under 1 MiB; this bounds allocation per connection).
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Typed protocol failure. `Closed` (clean EOF between frames) is the only
+/// "error" that is part of normal operation; everything else names what
+/// the peer did wrong.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The length prefix announced more than the frame budget allows.
+    Oversized {
+        /// Announced payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The connection ended mid-frame: `got` of `wanted` bytes arrived.
+    Truncated {
+        /// Bytes the frame needed.
+        wanted: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+    /// The frame arrived whole but its payload does not decode.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "protocol I/O error: {e}"),
+            ProtocolError::Closed => write!(f, "connection closed"),
+            ProtocolError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "oversized frame: {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            ProtocolError::Truncated { wanted, got } => {
+                write!(f, "truncated frame: got {got} of {wanted} bytes")
+            }
+            ProtocolError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Writes one frame: length prefix, payload, flush.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Io`] on socket failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing `max` on the announced length *before*
+/// allocating.
+///
+/// # Errors
+///
+/// [`ProtocolError::Closed`] on clean EOF at a frame boundary,
+/// [`ProtocolError::Truncated`] on EOF mid-frame,
+/// [`ProtocolError::Oversized`] when the prefix exceeds `max`, and
+/// [`ProtocolError::Io`] on socket failures.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, ProtocolError> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    read_exact_or(r, &mut prefix, true)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(ProtocolError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, false)?;
+    Ok(payload)
+}
+
+/// `read_exact` that distinguishes a clean close (EOF with zero bytes read,
+/// only meaningful at a frame boundary) from truncation.
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<(), ProtocolError> {
+    let wanted = buf.len();
+    let mut got = 0;
+    while got < wanted {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if at_boundary && got == 0 {
+                    ProtocolError::Closed
+                } else {
+                    ProtocolError::Truncated { wanted, got }
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Wire form of a terminal job status ([`diva_par::supervise::JobStatus`]
+/// plus `Replayed` for jobs recovered from the journal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireStatus {
+    /// Completed; the payload is the result.
+    Ok = 0,
+    /// Failed with no retry budget left.
+    Failed = 1,
+    /// Stopped by its per-job deadline.
+    TimedOut = 2,
+    /// Stopped by cancellation or abort; replayed on restart.
+    Cancelled = 3,
+    /// Failed every attempt of the retry policy.
+    Quarantined = 4,
+}
+
+impl WireStatus {
+    /// Stable lowercase label for logs and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireStatus::Ok => "ok",
+            WireStatus::Failed => "failed",
+            WireStatus::TimedOut => "timed_out",
+            WireStatus::Cancelled => "cancelled",
+            WireStatus::Quarantined => "quarantined",
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_code(code: u8) -> Result<WireStatus, ProtocolError> {
+        Ok(match code {
+            0 => WireStatus::Ok,
+            1 => WireStatus::Failed,
+            2 => WireStatus::TimedOut,
+            3 => WireStatus::Cancelled,
+            4 => WireStatus::Quarantined,
+            other => return Err(ProtocolError::Malformed(format!("unknown status {other}"))),
+        })
+    }
+}
+
+impl From<diva_par::supervise::JobStatus> for WireStatus {
+    fn from(s: diva_par::supervise::JobStatus) -> WireStatus {
+        use diva_par::supervise::JobStatus as J;
+        match s {
+            J::Ok => WireStatus::Ok,
+            J::Failed => WireStatus::Failed,
+            J::TimedOut => WireStatus::TimedOut,
+            J::Cancelled => WireStatus::Cancelled,
+            J::Quarantined => WireStatus::Quarantined,
+        }
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit one attack job; the payload is executor-defined bytes.
+    Submit {
+        /// Opaque job payload, decoded by the server's executor.
+        payload: Vec<u8>,
+    },
+    /// Ask for a metrics snapshot.
+    Metrics,
+    /// Begin a graceful drain, bounded by `timeout_ms`.
+    Shutdown {
+        /// Drain budget in milliseconds.
+        timeout_ms: u64,
+    },
+}
+
+const TAG_PING: u8 = 0x01;
+const TAG_SUBMIT: u8 = 0x02;
+const TAG_METRICS: u8 = 0x03;
+const TAG_SHUTDOWN: u8 = 0x04;
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(TAG_PING),
+            Request::Submit { payload } => {
+                out.push(TAG_SUBMIT);
+                put_bytes(&mut out, payload);
+            }
+            Request::Metrics => out.push(TAG_METRICS),
+            Request::Shutdown { timeout_ms } => {
+                out.push(TAG_SHUTDOWN);
+                out.extend_from_slice(&timeout_ms.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] for empty payloads, unknown
+    /// tags, and short bodies.
+    pub fn decode(bytes: &[u8]) -> Result<Request, ProtocolError> {
+        let mut cur = Cursor::new(bytes);
+        let req = match cur.u8("request tag")? {
+            TAG_PING => Request::Ping,
+            TAG_SUBMIT => Request::Submit {
+                payload: cur.bytes("submit payload")?,
+            },
+            TAG_METRICS => Request::Metrics,
+            TAG_SHUTDOWN => Request::Shutdown {
+                timeout_ms: cur.u64("shutdown timeout")?,
+            },
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown request tag {other:#04x}"
+                )))
+            }
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Liveness answer.
+    Pong,
+    /// Terminal answer for a submitted job.
+    Done {
+        /// Server-assigned job id.
+        job: u64,
+        /// Terminal status.
+        status: WireStatus,
+        /// Result payload (empty unless `status` is `Ok`).
+        payload: Vec<u8>,
+    },
+    /// The admission queue is full; the job was shed, not queued.
+    Overloaded {
+        /// Jobs queued when the submit arrived.
+        queued: u32,
+        /// The queue's capacity.
+        capacity: u32,
+    },
+    /// The server is draining and accepts no new jobs.
+    Draining,
+    /// The request was rejected (bad frame or undecodable payload).
+    Rejected {
+        /// Human-readable reason, from the typed error.
+        message: String,
+    },
+    /// Metrics snapshot, as a JSON document.
+    Metrics {
+        /// The snapshot body ([`diva_trace::snapshot_json`] schema).
+        json: String,
+    },
+    /// A shutdown request was accepted; drain has begun.
+    ShutdownStarted {
+        /// Jobs still queued when the drain began.
+        pending: u64,
+    },
+}
+
+const TAG_PONG: u8 = 0x81;
+const TAG_DONE: u8 = 0x82;
+const TAG_OVERLOADED: u8 = 0x83;
+const TAG_DRAINING: u8 = 0x84;
+const TAG_REJECTED: u8 = 0x85;
+const TAG_METRICS_REPLY: u8 = 0x86;
+const TAG_SHUTDOWN_STARTED: u8 = 0x87;
+
+impl Reply {
+    /// Serializes the reply into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Reply::Pong => out.push(TAG_PONG),
+            Reply::Done {
+                job,
+                status,
+                payload,
+            } => {
+                out.push(TAG_DONE);
+                out.extend_from_slice(&job.to_le_bytes());
+                out.push(*status as u8);
+                put_bytes(&mut out, payload);
+            }
+            Reply::Overloaded { queued, capacity } => {
+                out.push(TAG_OVERLOADED);
+                out.extend_from_slice(&queued.to_le_bytes());
+                out.extend_from_slice(&capacity.to_le_bytes());
+            }
+            Reply::Draining => out.push(TAG_DRAINING),
+            Reply::Rejected { message } => {
+                out.push(TAG_REJECTED);
+                put_bytes(&mut out, message.as_bytes());
+            }
+            Reply::Metrics { json } => {
+                out.push(TAG_METRICS_REPLY);
+                put_bytes(&mut out, json.as_bytes());
+            }
+            Reply::ShutdownStarted { pending } => {
+                out.push(TAG_SHUTDOWN_STARTED);
+                out.extend_from_slice(&pending.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload into a reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Malformed`] for empty payloads, unknown
+    /// tags, short bodies, and non-UTF-8 text fields.
+    pub fn decode(bytes: &[u8]) -> Result<Reply, ProtocolError> {
+        let mut cur = Cursor::new(bytes);
+        let reply = match cur.u8("reply tag")? {
+            TAG_PONG => Reply::Pong,
+            TAG_DONE => Reply::Done {
+                job: cur.u64("job id")?,
+                status: WireStatus::from_code(cur.u8("status")?)?,
+                payload: cur.bytes("done payload")?,
+            },
+            TAG_OVERLOADED => Reply::Overloaded {
+                queued: cur.u32("queued")?,
+                capacity: cur.u32("capacity")?,
+            },
+            TAG_DRAINING => Reply::Draining,
+            TAG_REJECTED => Reply::Rejected {
+                message: cur.string("rejection message")?,
+            },
+            TAG_METRICS_REPLY => Reply::Metrics {
+                json: cur.string("metrics json")?,
+            },
+            TAG_SHUTDOWN_STARTED => Reply::ShutdownStarted {
+                pending: cur.u64("pending")?,
+            },
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown reply tag {other:#04x}"
+                )))
+            }
+        };
+        cur.finish()?;
+        Ok(reply)
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Bounds-checked reader over a frame payload; every accessor names the
+/// field it was reading so `Malformed` messages pinpoint the failure.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ProtocolError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err(ProtocolError::Malformed(format!(
+                "short payload reading {what}: need {n} bytes at offset {}, have {}",
+                self.at,
+                self.bytes.len().saturating_sub(self.at)
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ProtocolError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, ProtocolError> {
+        let len = self.u32(what)? as usize;
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ProtocolError> {
+        String::from_utf8(self.bytes(what)?)
+            .map_err(|_| ProtocolError::Malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes after the message",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_and_replies_round_trip() {
+        let requests = [
+            Request::Ping,
+            Request::Submit {
+                payload: vec![1, 2, 3, 255],
+            },
+            Request::Submit { payload: vec![] },
+            Request::Metrics,
+            Request::Shutdown { timeout_ms: 1500 },
+        ];
+        for r in &requests {
+            assert_eq!(&Request::decode(&r.encode()).unwrap(), r);
+        }
+        let replies = [
+            Reply::Pong,
+            Reply::Done {
+                job: 42,
+                status: WireStatus::Ok,
+                payload: b"adv".to_vec(),
+            },
+            Reply::Done {
+                job: 7,
+                status: WireStatus::Quarantined,
+                payload: vec![],
+            },
+            Reply::Overloaded {
+                queued: 64,
+                capacity: 64,
+            },
+            Reply::Draining,
+            Reply::Rejected {
+                message: "oversized frame: 99 bytes exceeds the 10-byte limit".into(),
+            },
+            Reply::Metrics {
+                json: "{\"level\":1}".into(),
+            },
+            Reply::ShutdownStarted { pending: 3 },
+        ];
+        for r in &replies {
+            assert_eq!(&Reply::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_with_typed_errors() {
+        assert!(matches!(
+            Request::decode(&[]),
+            Err(ProtocolError::Malformed(_))
+        ));
+        assert!(matches!(
+            Request::decode(&[0x7E]),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Submit with a length prefix pointing past the end.
+        assert!(matches!(
+            Request::decode(&[TAG_SUBMIT, 0xFF, 0xFF, 0xFF, 0xFF]),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Trailing bytes are not silently ignored.
+        let mut frame = Request::Ping.encode();
+        frame.push(0);
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(ProtocolError::Malformed(_))
+        ));
+        assert!(matches!(
+            Reply::decode(&[TAG_DONE, 1, 2, 3]),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // A request tag is not a reply tag and vice versa.
+        assert!(matches!(
+            Reply::decode(&Request::Ping.encode()),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Unknown status byte in an otherwise well-formed Done.
+        let mut done = Reply::Done {
+            job: 1,
+            status: WireStatus::Ok,
+            payload: vec![],
+        }
+        .encode();
+        done[9] = 9;
+        assert!(matches!(
+            Reply::decode(&done),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn read_frame_enforces_framing_rules() {
+        // Round trip.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(read_frame(&mut &buf[..], 64).unwrap(), b"hello");
+
+        // Oversized: announced length beyond the budget, rejected before
+        // the body is read.
+        let mut over = Vec::new();
+        over.extend_from_slice(&(1_000_000u32).to_le_bytes());
+        match read_frame(&mut &over[..], 64) {
+            Err(ProtocolError::Oversized { len, max }) => {
+                assert_eq!((len, max), (1_000_000, 64));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+
+        // Truncated length prefix.
+        match read_frame(&mut &[0x05u8, 0x00][..], 64) {
+            Err(ProtocolError::Truncated { wanted, got }) => {
+                assert_eq!((wanted, got), (LEN_PREFIX, 2));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+
+        // Truncated body.
+        let mut short = Vec::new();
+        short.extend_from_slice(&(10u32).to_le_bytes());
+        short.extend_from_slice(b"abc");
+        match read_frame(&mut &short[..], 64) {
+            Err(ProtocolError::Truncated { wanted, got }) => {
+                assert_eq!((wanted, got), (10, 3));
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+
+        // Clean close at a frame boundary.
+        assert!(matches!(
+            read_frame(&mut &[][..], 64),
+            Err(ProtocolError::Closed)
+        ));
+    }
+}

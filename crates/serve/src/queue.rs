@@ -1,0 +1,174 @@
+//! Bounded admission queue with explicit load-shedding.
+//!
+//! The server never buffers unboundedly: [`BoundedQueue::push`] either
+//! admits within the fixed capacity or returns the item to the caller as
+//! [`PushError::Overloaded`], which the connection handler converts into a
+//! typed `Overloaded` reply. Shedding at admission (rather than timing out
+//! deep in the pipeline) keeps the latency of rejection constant no matter
+//! how far behind the executor is.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push did not enqueue. The item comes back to the caller — nothing
+/// is silently dropped.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed the item.
+    Overloaded(T),
+    /// The queue is closed (drain has begun); refuse the item.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue: non-blocking bounded push, blocking batch
+/// pop. Closing wakes poppers; items queued before the close still drain.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Admits `item` if there is room, returning the depth after the push.
+    /// Never blocks: a full queue sheds ([`PushError::Overloaded`]), a
+    /// closed queue refuses ([`PushError::Closed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside the error so the caller can report it.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Overloaded(item));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until at least one item is available (or the queue is closed
+    /// and empty), then drains up to `max` items. Returns `None` only at
+    /// end of stream: closed *and* empty.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut s = self.lock();
+        loop {
+            if !s.items.is_empty() {
+                let take = s.items.len().min(max);
+                return Some(s.items.drain(..take).collect());
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes refuse, poppers drain what is left
+    /// and then see end of stream.
+    pub fn close(&self) {
+        let mut s = self.lock();
+        s.closed = true;
+        drop(s);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn push_sheds_at_capacity_and_refuses_after_close() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        match q.push(3) {
+            Err(PushError::Overloaded(item)) => assert_eq!(item, 3),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        q.close();
+        match q.push(4) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 4),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_ends_the_stream() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        assert_eq!(q.pop_batch(3), Some(vec![0, 1, 2]));
+        assert_eq!(q.pop_batch(3), Some(vec![3, 4]));
+        assert_eq!(q.pop_batch(3), None, "closed and empty = end of stream");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || {
+            let first = q2.pop_batch(4);
+            let second = q2.pop_batch(4);
+            (first, second)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(9).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (first, second) = popper.join().unwrap();
+        assert_eq!(first, Some(vec![9]));
+        assert_eq!(second, None);
+    }
+}

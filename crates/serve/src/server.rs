@@ -1,0 +1,981 @@
+//! The daemon: accept loop, connection handlers, dispatcher, and the
+//! drain state machine.
+//!
+//! ```text
+//!            Running ──(Shutdown frame / shutdown() / abort())──▶ Draining ──▶ Stopped
+//!  accept:   spawn handlers          stop accepting                 sockets shut down
+//!  submit:   journal + enqueue       typed Draining reply           —
+//!  queue:    bounded push/shed       closed; dispatcher drains it   empty
+//!  executor: supervised batches      finish within the budget,      quiescent
+//!                                    then gate + cancel stragglers
+//!  journal:  pending→done records    flush (dir fsync) + final metrics snapshot
+//! ```
+//!
+//! One dispatcher thread pops bounded batches off the admission queue and
+//! runs them on the diva-par pool via `par_map_supervised`, so per-job
+//! deadlines, seeded retry/backoff, cooperative cancellation, and the
+//! watchdog all come from the supervision layer rather than being
+//! reimplemented here. Fault predicates are keyed by **job id** (not batch
+//! position), so a seeded chaos plan hits the same jobs under any
+//! `DIVA_JOBS` setting or batch split — the determinism rule extends to
+//! the service.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use diva_par::supervise::{self, par_map_supervised, SupervisePolicy};
+use diva_trace::Json;
+
+use crate::journal::Journal;
+use crate::protocol::{read_frame, write_frame, ProtocolError, Reply, Request, WireStatus};
+use crate::queue::{BoundedQueue, PushError};
+
+/// The work the daemon hosts: deterministic bytes → bytes, executed inside
+/// a supervised diva-par item. Implementations must honour the cooperative
+/// checkpoints ([`supervise::interrupted`]) so deadlines and cancellation
+/// can stop them, and must be deterministic in their input bytes — the
+/// crash-safety story (replay is byte-identical) depends on it.
+pub trait JobExecutor: Send + Sync {
+    /// Runs one job. `Err` is a transient failure, retried under the
+    /// server's policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the failure; the supervisor decides
+    /// between retry and quarantine.
+    fn execute(&self, job: u64, payload: &[u8]) -> Result<Vec<u8>, String>;
+
+    /// Fingerprint of everything that determines results (model set,
+    /// config). Journal records are sealed with it; a journal written by a
+    /// different executor neither replays nor merges.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Admission queue capacity; beyond it submits shed with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Max jobs per supervised batch (the pool's concurrency window).
+    pub batch_max: usize,
+    /// Per-connection frame size limit.
+    pub max_frame: usize,
+    /// Journal directory; `None` disables crash safety.
+    pub journal_dir: Option<PathBuf>,
+    /// Supervision policy for job execution (deadline, retry, cancel,
+    /// drain gate).
+    pub policy: SupervisePolicy,
+    /// Budget for [`Server::shutdown`]'s graceful drain.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 64,
+            batch_max: 8,
+            max_frame: crate::protocol::DEFAULT_MAX_FRAME,
+            journal_dir: None,
+            policy: SupervisePolicy::default(),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Monotonic per-status job counters. Deterministic under a seeded chaos
+/// plan — the chaos harness compares whole snapshots across `DIVA_JOBS`
+/// settings.
+#[derive(Debug, Default)]
+pub struct Stats {
+    submitted: AtomicU64,
+    ok: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    quarantined: AtomicU64,
+    shed: AtomicU64,
+    rejected_draining: AtomicU64,
+    replayed: AtomicU64,
+    frames_rejected: AtomicU64,
+    replies_failed: AtomicU64,
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Jobs admitted to the queue.
+    pub submitted: u64,
+    /// Jobs that completed with a result.
+    pub ok: u64,
+    /// Jobs that failed with no retry budget.
+    pub failed: u64,
+    /// Jobs stopped by their deadline.
+    pub timed_out: u64,
+    /// Jobs stopped by cancellation/abort (replayed on restart).
+    pub cancelled: u64,
+    /// Jobs that failed every retry attempt.
+    pub quarantined: u64,
+    /// Submits shed by the bounded queue.
+    pub shed: u64,
+    /// Submits refused because the server was draining.
+    pub rejected_draining: u64,
+    /// Jobs re-executed from the journal at startup.
+    pub replayed: u64,
+    /// Frames rejected by validation (oversized/truncated/garbage).
+    pub frames_rejected: u64,
+    /// Replies that could not be written (client went away).
+    pub replies_failed: u64,
+}
+
+impl Stats {
+    fn bump_status(&self, status: WireStatus) {
+        let cell = match status {
+            WireStatus::Ok => &self.ok,
+            WireStatus::Failed => &self.failed,
+            WireStatus::TimedOut => &self.timed_out,
+            WireStatus::Cancelled => &self.cancelled,
+            WireStatus::Quarantined => &self.quarantined,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: get(&self.submitted),
+            ok: get(&self.ok),
+            failed: get(&self.failed),
+            timed_out: get(&self.timed_out),
+            cancelled: get(&self.cancelled),
+            quarantined: get(&self.quarantined),
+            shed: get(&self.shed),
+            rejected_draining: get(&self.rejected_draining),
+            replayed: get(&self.replayed),
+            frames_rejected: get(&self.frames_rejected),
+            replies_failed: get(&self.replies_failed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// The snapshot as a JSON object (a sub-document of the metrics
+    /// snapshot payload).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("submitted", Json::Num(self.submitted as f64));
+        j.set("ok", Json::Num(self.ok as f64));
+        j.set("failed", Json::Num(self.failed as f64));
+        j.set("timed_out", Json::Num(self.timed_out as f64));
+        j.set("cancelled", Json::Num(self.cancelled as f64));
+        j.set("quarantined", Json::Num(self.quarantined as f64));
+        j.set("shed", Json::Num(self.shed as f64));
+        j.set(
+            "rejected_draining",
+            Json::Num(self.rejected_draining as f64),
+        );
+        j.set("replayed", Json::Num(self.replayed as f64));
+        j.set("frames_rejected", Json::Num(self.frames_rejected as f64));
+        j.set("replies_failed", Json::Num(self.replies_failed as f64));
+        j
+    }
+}
+
+/// Terminal outcome of one job, handed from the dispatcher to the waiting
+/// connection handler.
+#[derive(Debug, Clone)]
+struct Outcome {
+    status: WireStatus,
+    payload: Vec<u8>,
+}
+
+/// One-shot mailbox fulfilled by the dispatcher, waited on by the handler.
+/// First fulfil wins; every admitted job is guaranteed exactly one.
+#[derive(Clone, Default)]
+struct Responder {
+    cell: Arc<(Mutex<Option<Outcome>>, Condvar)>,
+}
+
+impl Responder {
+    fn fulfill(&self, outcome: Outcome) {
+        let (lock, cv) = &*self.cell;
+        let mut slot = lock.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(outcome);
+            cv.notify_all();
+        }
+    }
+
+    fn is_fulfilled(&self) -> bool {
+        let (lock, _) = &*self.cell;
+        lock.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+    }
+
+    fn wait(&self) -> Outcome {
+        let (lock, cv) = &*self.cell;
+        let mut slot = lock.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(o) = slot.as_ref() {
+                return o.clone();
+            }
+            slot = cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    payload: Vec<u8>,
+    responder: Responder,
+}
+
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue<Job>,
+    journal: Option<Journal>,
+    exec: Arc<dyn JobExecutor>,
+    state: AtomicU8,
+    next_job: AtomicU64,
+    stats: Stats,
+    started: Instant,
+    drain_clean: AtomicBool,
+    dispatch_done: (Mutex<bool>, Condvar),
+    conns: Mutex<Vec<(std::thread::JoinHandle<()>, TcpStream)>>,
+    finalizer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn state_name(&self) -> &'static str {
+        match self.state.load(Ordering::Relaxed) {
+            RUNNING => "running",
+            DRAINING => "draining",
+            _ => "stopped",
+        }
+    }
+
+    fn snapshot_json(&self) -> Json {
+        let mut server = Json::obj();
+        server.set("state", Json::Str(self.state_name().to_string()));
+        server.set(
+            "uptime_ms",
+            Json::Num(self.started.elapsed().as_millis() as f64),
+        );
+        server.set("queued", Json::Num(self.queue.len() as f64));
+        server.set("queue_capacity", Json::Num(self.queue.capacity() as f64));
+        server.set(
+            "next_job",
+            Json::Num(self.next_job.load(Ordering::Relaxed) as f64),
+        );
+        diva_trace::snapshot_json(&[
+            ("server", server),
+            ("jobs", self.stats.snapshot().to_json()),
+        ])
+    }
+
+    fn mark_dispatch_done(&self) {
+        let (lock, cv) = &self.dispatch_done;
+        *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        cv.notify_all();
+    }
+
+    fn wait_dispatch_done(&self, timeout: Option<Duration>) -> bool {
+        let (lock, cv) = &self.dispatch_done;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut done = lock.lock().unwrap_or_else(|p| p.into_inner());
+        while !*done {
+            match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return false;
+                    }
+                    let (guard, _) = cv
+                        .wait_timeout(done, left)
+                        .unwrap_or_else(|p| p.into_inner());
+                    done = guard;
+                }
+                None => done = cv.wait(done).unwrap_or_else(|p| p.into_inner()),
+            }
+        }
+        true
+    }
+
+    /// Begins the drain exactly once; later calls are no-ops. The winner
+    /// spawns the finalizer thread that walks Draining → Stopped.
+    fn begin_drain(self: &Arc<Shared>, timeout: Duration) {
+        if self
+            .state
+            .compare_exchange(RUNNING, DRAINING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        diva_trace::counter!("serve.drains", 1);
+        diva_trace::event!(
+            1,
+            "serve.drain_begin",
+            queued = self.queue.len(),
+            timeout_ms = timeout.as_millis() as u64,
+        );
+        self.queue.close();
+        let shared = self.clone();
+        let h = std::thread::spawn(move || shared.finalize(timeout));
+        *self.finalizer.lock().unwrap_or_else(|p| p.into_inner()) = Some(h);
+    }
+
+    /// Draining → Stopped: give the dispatcher the budget to finish the
+    /// queue, then gate + cancel stragglers via the supervisor's drain,
+    /// flush the journal, emit the final metrics snapshot, and release any
+    /// connection still blocked on a read.
+    fn finalize(self: Arc<Shared>, timeout: Duration) {
+        let clean = self.wait_dispatch_done(Some(timeout));
+        if !clean {
+            // Budget exhausted: refuse unstarted items and cancel the
+            // in-flight ones; the dispatcher then drains fast (every
+            // remaining job reports Cancelled) and exits.
+            let out = self.cfg.policy.drain(Duration::ZERO);
+            diva_trace::event!(1, "serve.drain_forced", remaining = out.remaining,);
+            self.wait_dispatch_done(None);
+        }
+        self.drain_clean.store(clean, Ordering::Relaxed);
+        if let Some(j) = &self.journal {
+            j.sync();
+            let snapshot_path = j.dir().join("metrics-final.json");
+            let mut body = self.snapshot_json().to_string_pretty();
+            body.push('\n');
+            let _ = std::fs::write(snapshot_path, body);
+        }
+        self.state.store(STOPPED, Ordering::SeqCst);
+        for (_, stream) in self.conns.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        diva_trace::event!(1, "serve.drain_end", clean = clean);
+    }
+}
+
+/// Result of a completed shutdown/abort.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// True when the dispatcher finished every queued job within the
+    /// budget (no forced gate/cancel).
+    pub clean: bool,
+    /// Final job counters.
+    pub stats: StatsSnapshot,
+}
+
+/// A running attack-as-a-service daemon. Dropping the handle does not stop
+/// the server; call [`shutdown`](Server::shutdown), [`abort`]
+/// (Server::abort), or [`join`](Server::join).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    dispatch: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Why the server failed to start.
+#[derive(Debug)]
+pub enum StartError {
+    /// The listener could not bind.
+    Bind(std::io::Error),
+    /// The journal directory could not be opened.
+    Journal(diva_fault::ckpt::CkptError),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Bind(e) => write!(f, "cannot bind listener: {e}"),
+            StartError::Journal(e) => write!(f, "cannot open journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl Server {
+    /// Opens the journal, replays unfinished jobs, binds the listener, and
+    /// spawns the accept and dispatcher threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StartError`] when the bind or the journal open fails.
+    pub fn start(cfg: ServeConfig, exec: Arc<dyn JobExecutor>) -> Result<Server, StartError> {
+        let journal = match &cfg.journal_dir {
+            Some(dir) => Some(Journal::open(dir, exec.fingerprint()).map_err(StartError::Journal)?),
+            None => None,
+        };
+        let listener = TcpListener::bind(&cfg.addr).map_err(StartError::Bind)?;
+        listener.set_nonblocking(true).map_err(StartError::Bind)?;
+        let addr = listener.local_addr().map_err(StartError::Bind)?;
+
+        let queue = BoundedQueue::new(cfg.queue_capacity);
+        let shared = Arc::new(Shared {
+            queue,
+            journal,
+            exec,
+            state: AtomicU8::new(RUNNING),
+            next_job: AtomicU64::new(0),
+            stats: Stats::default(),
+            started: Instant::now(),
+            drain_clean: AtomicBool::new(false),
+            dispatch_done: (Mutex::new(false), Condvar::new()),
+            conns: Mutex::new(Vec::new()),
+            finalizer: Mutex::new(None),
+            cfg,
+        });
+        replay_unfinished(&shared);
+
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        let dispatch = {
+            let shared = shared.clone();
+            std::thread::spawn(move || dispatch_loop(&shared))
+        };
+        diva_trace::event!(1, "serve.started", addr = addr.to_string());
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            dispatch: Some(dispatch),
+        })
+    }
+
+    /// The bound address (the actual port when the config asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current job counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Items the admission queue currently holds.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The supervision drain gate (test hook: observing in-flight work).
+    pub fn gate_in_flight(&self) -> usize {
+        self.shared.cfg.policy.gate.in_flight()
+    }
+
+    /// Begins a graceful drain without waiting for it (the remote-shutdown
+    /// entry point; `repro serve` calls [`join`](Server::join) afterwards).
+    pub fn begin_shutdown(&self, timeout: Duration) {
+        self.shared.begin_drain(timeout);
+    }
+
+    /// Graceful shutdown: drain within `timeout`, then stop. Blocks until
+    /// every thread has exited.
+    pub fn shutdown(self, timeout: Duration) -> DrainReport {
+        self.shared.begin_drain(timeout);
+        self.join()
+    }
+
+    /// Hard abort, the crash stand-in for kill-and-replay tests: cancel
+    /// everything in flight (their journal records stay pending, so a
+    /// restart replays them) and stop without finishing the queue.
+    pub fn abort(self) -> DrainReport {
+        diva_trace::counter!("serve.aborts", 1);
+        self.shared.cfg.policy.cancel.cancel();
+        self.shared.begin_drain(Duration::ZERO);
+        self.join()
+    }
+
+    /// Waits for the server to stop (a shutdown must have been initiated
+    /// locally or over the wire), then joins every thread.
+    pub fn join(mut self) -> DrainReport {
+        while self.shared.state.load(Ordering::SeqCst) != STOPPED {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatch.take() {
+            let _ = h.join();
+        }
+        let conns =
+            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()));
+        for (h, _) in conns {
+            let _ = h.join();
+        }
+        let finalizer = self
+            .shared
+            .finalizer
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        if let Some(h) = finalizer {
+            let _ = h.join();
+        }
+        DrainReport {
+            clean: self.shared.drain_clean.load(Ordering::Relaxed),
+            stats: self.shared.stats.snapshot(),
+        }
+    }
+}
+
+/// Replays unfinished jobs from the journal before the listener opens:
+/// valid pending records without valid done records re-execute through the
+/// same supervised path as live jobs, then journal their done records.
+/// Rejected records are already counted by the scan.
+fn replay_unfinished(shared: &Arc<Shared>) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    let scan = journal.scan();
+    shared.next_job.store(scan.next_job, Ordering::Relaxed);
+    if scan.pending.is_empty() {
+        return;
+    }
+    diva_trace::event!(
+        1,
+        "serve.replay_begin",
+        jobs = scan.pending.len(),
+        lost = scan.lost,
+        rejected_done = scan.rejected_done,
+    );
+    let reports = par_map_supervised(scan.pending.len(), &shared.cfg.policy, |i| {
+        let (job, payload) = &scan.pending[i];
+        run_job(shared.exec.as_ref(), *job, payload)
+    });
+    for ((job, _), report) in scan.pending.iter().zip(reports) {
+        let status = WireStatus::from(report.status);
+        if status != WireStatus::Cancelled {
+            journal.record_done(*job, status as u8, report.value.as_deref().unwrap_or(&[]));
+        }
+        shared.stats.replayed.fetch_add(1, Ordering::Relaxed);
+        shared.stats.bump_status(status);
+        diva_trace::counter!("serve.jobs_replayed", 1);
+        diva_trace::event!(1, "serve.job_replayed", job = *job, status = status.name());
+    }
+}
+
+/// One job, exactly as both the dispatcher and replay run it: enter the
+/// fault scope keyed by the *job id*, honour an armed stall, then execute.
+/// Keying by job id (not batch position) is what makes seeded chaos plans
+/// deterministic across batch splits and `DIVA_JOBS` settings.
+fn run_job(exec: &dyn JobExecutor, job: u64, payload: &[u8]) -> Result<Vec<u8>, String> {
+    let _scope = diva_fault::ItemScope::enter(job as usize);
+    if let Some(d) = diva_fault::stall_duration(job as usize) {
+        supervise::cooperative_stall(d);
+    }
+    if let Some(reason) = supervise::interrupted() {
+        return Err(format!("stopped before execute: {}", reason.name()));
+    }
+    exec.execute(job, payload)
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    while shared.state.load(Ordering::SeqCst) == RUNNING {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let Ok(track) = stream.try_clone() else {
+                    continue;
+                };
+                diva_trace::counter!("serve.conns_opened", 1);
+                let shared2 = shared.clone();
+                let h = std::thread::spawn(move || handle_conn(&shared2, stream));
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push((h, track));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Per-connection loop. Framing errors (oversized/truncated) are answered
+/// with a typed `Rejected` and close this connection — frame sync is gone —
+/// but never the server. Decode errors keep the connection: the frame
+/// boundary is intact, so the next frame is readable.
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    loop {
+        let frame = match read_frame(&mut stream, shared.cfg.max_frame) {
+            Ok(f) => f,
+            Err(ProtocolError::Closed) => break,
+            Err(e @ (ProtocolError::Oversized { .. } | ProtocolError::Truncated { .. })) => {
+                shared.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                diva_trace::counter!("serve.frames_rejected", 1);
+                diva_trace::event!(1, "serve.frame_rejected", reason = e.to_string());
+                let reply = Reply::Rejected {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &reply.encode());
+                break;
+            }
+            Err(_) => break,
+        };
+        let request = match Request::decode(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                diva_trace::counter!("serve.frames_rejected", 1);
+                diva_trace::event!(1, "serve.frame_rejected", reason = e.to_string());
+                let reply = Reply::Rejected {
+                    message: e.to_string(),
+                };
+                if write_frame(&mut stream, &reply.encode()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let keep = match request {
+            Request::Ping => send(shared, &mut stream, &Reply::Pong),
+            Request::Metrics => {
+                let json = shared.snapshot_json().to_string_pretty();
+                send(shared, &mut stream, &Reply::Metrics { json })
+            }
+            Request::Shutdown { timeout_ms } => {
+                let reply = Reply::ShutdownStarted {
+                    pending: shared.queue.len() as u64,
+                };
+                let keep = send(shared, &mut stream, &reply);
+                shared.begin_drain(Duration::from_millis(timeout_ms));
+                keep
+            }
+            Request::Submit { payload } => handle_submit(shared, &mut stream, payload),
+        };
+        if !keep {
+            break;
+        }
+    }
+    diva_trace::counter!("serve.conns_closed", 1);
+}
+
+/// Writes a reply; returns whether the connection is still usable. A write
+/// that fails after the server stopped is the finalizer releasing blocked
+/// connections, not a lost client reply, so it is not counted — keeping
+/// `replies_failed` deterministic under seeded chaos plans.
+fn send(shared: &Shared, stream: &mut TcpStream, reply: &Reply) -> bool {
+    match write_frame(stream, &reply.encode()) {
+        Ok(()) => true,
+        Err(e) => {
+            if shared.state.load(Ordering::SeqCst) != STOPPED {
+                shared.stats.replies_failed.fetch_add(1, Ordering::Relaxed);
+                diva_trace::counter!("serve.replies_failed", 1);
+                diva_trace::event!(1, "serve.reply_failed", error = e.to_string());
+            }
+            false
+        }
+    }
+}
+
+/// Admission: write-ahead journal, bounded push (shed on overflow), wait
+/// for the dispatcher's outcome, reply.
+fn handle_submit(shared: &Arc<Shared>, stream: &mut TcpStream, payload: Vec<u8>) -> bool {
+    if shared.state.load(Ordering::SeqCst) != RUNNING {
+        shared
+            .stats
+            .rejected_draining
+            .fetch_add(1, Ordering::Relaxed);
+        return send(shared, stream, &Reply::Draining);
+    }
+    let id = shared.next_job.fetch_add(1, Ordering::SeqCst);
+    // Write-ahead: the pending record lands before the job can run, so a
+    // crash at any later point leaves either a replayable pending record
+    // or a complete pending+done pair.
+    if let Some(j) = &shared.journal {
+        j.record_pending(id, &payload);
+    }
+    let responder = Responder::default();
+    let job = Job {
+        id,
+        payload,
+        responder: responder.clone(),
+    };
+    match shared.queue.push(job) {
+        Ok(_depth) => {
+            shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            diva_trace::counter!("serve.jobs_admitted", 1);
+        }
+        Err(PushError::Overloaded(_)) => {
+            // Shed: roll the write-ahead record back so the journal never
+            // replays a job the client was told was refused.
+            if let Some(j) = &shared.journal {
+                j.forget(id);
+            }
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            diva_trace::counter!("serve.jobs_shed", 1);
+            diva_trace::event!(1, "serve.job_shed", job = id);
+            let reply = Reply::Overloaded {
+                queued: shared.queue.len() as u32,
+                capacity: shared.queue.capacity() as u32,
+            };
+            return send(shared, stream, &reply);
+        }
+        Err(PushError::Closed(_)) => {
+            if let Some(j) = &shared.journal {
+                j.forget(id);
+            }
+            shared
+                .stats
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            return send(shared, stream, &Reply::Draining);
+        }
+    }
+    // Chaos: an armed conn-drop severs the socket right after admission.
+    // The job still runs and journals; only the reply write can fail.
+    if diva_fault::conn_drop(id) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    let outcome = responder.wait();
+    let reply = Reply::Done {
+        job: id,
+        status: outcome.status,
+        payload: outcome.payload,
+    };
+    send(shared, stream, &reply)
+}
+
+/// The dispatcher: pops bounded batches and runs them under supervision.
+/// Ok jobs journal their done record and fulfil their responder *inside*
+/// the item (durable before acknowledged, and independent of batch
+/// stragglers); non-Ok reports are reconciled after the batch.
+fn dispatch_loop(shared: &Arc<Shared>) {
+    while let Some(batch) = shared.queue.pop_batch(shared.cfg.batch_max) {
+        diva_trace::counter!("serve.batches", 1);
+        let reports = par_map_supervised(batch.len(), &shared.cfg.policy, |i| {
+            let job = &batch[i];
+            let value = run_job(shared.exec.as_ref(), job.id, &job.payload)?;
+            if supervise::stop_observed().is_none() {
+                if let Some(j) = &shared.journal {
+                    j.record_done(job.id, WireStatus::Ok as u8, &value);
+                }
+                job.responder.fulfill(Outcome {
+                    status: WireStatus::Ok,
+                    payload: value.clone(),
+                });
+            }
+            Ok(value)
+        });
+        for (job, report) in batch.iter().zip(reports) {
+            // An item that fulfilled in-flight is Ok regardless of what
+            // the supervisor decided afterwards (completion beats
+            // cancellation; the client was answered with a full result).
+            let status = if job.responder.is_fulfilled() {
+                WireStatus::Ok
+            } else {
+                WireStatus::from(report.status)
+            };
+            let mut payload = Vec::new();
+            match status {
+                WireStatus::Ok => {
+                    // Completion beats cancellation: a job that finished
+                    // after a stop was observed skipped the in-item fulfil
+                    // (stop_observed was Some), so its real result lands
+                    // here instead.
+                    if !job.responder.is_fulfilled() {
+                        payload = report.value.clone().unwrap_or_default();
+                        if let Some(j) = &shared.journal {
+                            j.record_done(job.id, WireStatus::Ok as u8, &payload);
+                        }
+                    }
+                }
+                WireStatus::Cancelled => {
+                    // No done record: a cancelled job stays pending in the
+                    // journal and replays on restart.
+                }
+                other => {
+                    if let Some(j) = &shared.journal {
+                        j.record_done(job.id, other as u8, &[]);
+                    }
+                }
+            }
+            shared.stats.bump_status(status);
+            diva_trace::counter!("serve.jobs_done", 1);
+            diva_trace::event!(
+                1,
+                "serve.job_done",
+                job = job.id,
+                status = status.name(),
+                attempts = report.attempts,
+            );
+            job.responder.fulfill(Outcome { status, payload });
+        }
+    }
+    shared.mark_dispatch_done();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Servers in this test binary share process-global diva-par jobs and
+    /// trace state; serialize them.
+    pub(crate) fn lock_serve_tests() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Echo-with-checksum executor: deterministic bytes → bytes.
+    struct EchoExec;
+
+    impl JobExecutor for EchoExec {
+        fn execute(&self, job: u64, payload: &[u8]) -> Result<Vec<u8>, String> {
+            let mut out = diva_fault::fnv1a64(payload).to_le_bytes().to_vec();
+            out.extend_from_slice(&job.to_le_bytes());
+            out.extend_from_slice(payload);
+            Ok(out)
+        }
+
+        fn fingerprint(&self) -> u64 {
+            0xEC40
+        }
+    }
+
+    #[test]
+    fn serves_jobs_and_drains_cleanly() {
+        let _g = lock_serve_tests();
+        let server = Server::start(ServeConfig::default(), Arc::new(EchoExec)).unwrap();
+        let addr = server.addr();
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        assert_eq!(client.ping().unwrap(), Reply::Pong);
+        for i in 0..5u8 {
+            let reply = client.submit(vec![i; 4]).unwrap();
+            match reply {
+                Reply::Done {
+                    status: WireStatus::Ok,
+                    payload,
+                    ..
+                } => {
+                    assert_eq!(&payload[16..], &[i; 4]);
+                }
+                other => panic!("expected Done/Ok, got {other:?}"),
+            }
+        }
+        let json = client.metrics().unwrap();
+        assert!(json.contains("\"server\""), "snapshot carries server state");
+        drop(client);
+        let report = server.shutdown(Duration::from_secs(5));
+        assert!(report.clean);
+        assert_eq!(report.stats.ok, 5);
+        assert_eq!(report.stats.submitted, 5);
+    }
+
+    #[test]
+    fn overloaded_submits_get_typed_shed_replies() {
+        let _g = lock_serve_tests();
+        // Capacity 1 and an executor gated shut: the first job occupies
+        // the dispatcher, the second fills the queue, the rest shed.
+        let gate = Arc::new(AtomicBool::new(false));
+        struct GateExec(Arc<AtomicBool>);
+        impl JobExecutor for GateExec {
+            fn execute(&self, _job: u64, _payload: &[u8]) -> Result<Vec<u8>, String> {
+                while !self.0.load(Ordering::Relaxed) {
+                    if supervise::interrupted().is_some() {
+                        return Err("stopped while gated".into());
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(vec![1])
+            }
+        }
+        let cfg = ServeConfig {
+            queue_capacity: 1,
+            batch_max: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, Arc::new(GateExec(gate.clone()))).unwrap();
+        let addr = server.addr();
+
+        // Job 0: admitted, popped by the dispatcher, blocked on the gate.
+        let mut c0 = crate::client::Client::connect(addr).unwrap();
+        let h0 = std::thread::spawn(move || c0.submit(vec![0]).unwrap());
+        let started = Instant::now();
+        while server.gate_in_flight() < 1 {
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "job 0 never started"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Job 1: admitted, sits in the queue (capacity 1).
+        let mut c1 = crate::client::Client::connect(addr).unwrap();
+        let h1 = std::thread::spawn(move || c1.submit(vec![1]).unwrap());
+        while server.queued() < 1 {
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "job 1 never queued"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Jobs 2 and 3: the queue is full — typed Overloaded, immediately.
+        for _ in 0..2 {
+            let mut c = crate::client::Client::connect(addr).unwrap();
+            match c.submit(vec![9]).unwrap() {
+                Reply::Overloaded { capacity, .. } => assert_eq!(capacity, 1),
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        gate.store(true, Ordering::Relaxed);
+        assert!(matches!(
+            h0.join().unwrap(),
+            Reply::Done {
+                status: WireStatus::Ok,
+                ..
+            }
+        ));
+        assert!(matches!(
+            h1.join().unwrap(),
+            Reply::Done {
+                status: WireStatus::Ok,
+                ..
+            }
+        ));
+        let report = server.shutdown(Duration::from_secs(5));
+        assert_eq!(report.stats.shed, 2);
+        assert_eq!(report.stats.ok, 2);
+    }
+
+    #[test]
+    fn draining_server_refuses_new_submits() {
+        let _g = lock_serve_tests();
+        let server = Server::start(ServeConfig::default(), Arc::new(EchoExec)).unwrap();
+        let addr = server.addr();
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        assert!(matches!(
+            client.shutdown(2_000).unwrap(),
+            Reply::ShutdownStarted { .. }
+        ));
+        // A submit racing the drain gets a typed refusal, from this
+        // connection or a fresh one.
+        let mut late = crate::client::Client::connect(addr);
+        let reply = match &mut late {
+            Ok(c) => c.submit(vec![1]),
+            Err(_) => client.submit(vec![1]),
+        };
+        if let Ok(reply) = reply {
+            assert!(
+                matches!(reply, Reply::Draining),
+                "expected Draining, got {reply:?}"
+            );
+        }
+        let report = server.join();
+        assert!(report.clean);
+    }
+}

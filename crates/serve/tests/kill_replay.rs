@@ -1,0 +1,147 @@
+//! Kill-and-replay: a server hard-aborted mid-batch must, after a restart
+//! against the same journal directory, converge on exactly the results an
+//! uninterrupted serial run produces — byte for byte.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use diva_serve::chaos::ChaosExec;
+use diva_serve::protocol::Reply;
+use diva_serve::{Client, JobExecutor, Journal, ServeConfig, Server};
+
+const SEED: u64 = 0xBEEF;
+const N: usize = 8;
+const BLOCKER: usize = 3;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("diva_serve_killreplay_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Payload for job `i`; index [`BLOCKER`] blocks until the executor gate
+/// opens, everything else completes immediately. Identical across the
+/// reference and the killed run — only the gate differs.
+fn payload(i: usize) -> Vec<u8> {
+    if i == BLOCKER {
+        format!("b job{i}").into_bytes()
+    } else {
+        format!("n job{i}").into_bytes()
+    }
+}
+
+fn config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 2 * N, // never shed in this test
+        batch_max: 2,
+        journal_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+fn exec(gate_open: bool) -> Arc<ChaosExec> {
+    Arc::new(ChaosExec {
+        gate: Arc::new(AtomicBool::new(gate_open)),
+        seed: SEED,
+    })
+}
+
+/// Scans a journal directory into `job -> (status, bytes)`.
+fn done_map(dir: &Path) -> BTreeMap<u64, (u8, Vec<u8>)> {
+    Journal::open(dir, exec(true).fingerprint())
+        .unwrap()
+        .scan()
+        .done
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn killed_server_replays_to_a_byte_identical_merge() {
+    let _g = lock();
+
+    // Reference: an uninterrupted serial run (one job at a time, gate
+    // open so the "blocker" payload is just another job).
+    let ref_dir = tmp_dir("reference");
+    let server = Server::start(config(&ref_dir), exec(true)).unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    for i in 0..N {
+        match c.submit(payload(i)).unwrap() {
+            Reply::Done { job, status, .. } => {
+                assert_eq!(job, i as u64, "serial submits get sequential ids");
+                assert_eq!(status, diva_serve::WireStatus::Ok);
+            }
+            other => panic!("reference job {i} failed: {other:?}"),
+        }
+    }
+    drop(c);
+    assert!(server.shutdown(Duration::from_secs(10)).clean);
+    let reference = done_map(&ref_dir);
+    assert_eq!(reference.len(), N);
+
+    // Killed run: same payloads, but the blocker wedges the dispatcher
+    // mid-batch and the server is hard-aborted with work outstanding.
+    let dir = tmp_dir("killed");
+    let server = Server::start(config(&dir), exec(false)).unwrap();
+    let addr = server.addr();
+    let mut handles = Vec::new();
+    for i in 0..N {
+        // Serialize admission so job ids match payload indices like the
+        // reference run's serial submits did.
+        let admitted = server.stats().submitted;
+        let mut c = Client::connect(addr).unwrap();
+        handles.push(std::thread::spawn(move || c.submit(payload(i))));
+        wait_until("job admitted", || server.stats().submitted == admitted + 1);
+    }
+    wait_until("blocker in flight", || server.gate_in_flight() >= 1);
+    let report = server.abort();
+    for h in handles {
+        // Some clients get Done/Cancelled, some lose their connection to
+        // the abort — both are expected here.
+        let _ = h.join();
+    }
+    assert!(
+        report.stats.cancelled >= 1,
+        "the abort must have caught jobs mid-flight: {:?}",
+        report.stats
+    );
+    let interrupted = done_map(&dir);
+    assert!(
+        interrupted.len() < N,
+        "the abort must have left unfinished jobs ({} done)",
+        interrupted.len()
+    );
+
+    // Restart on the same journal: the unfinished jobs replay at startup
+    // (gate open now — the stall condition cleared with the old process).
+    let server = Server::start(config(&dir), exec(true)).unwrap();
+    let replayed = server.stats().replayed;
+    assert_eq!(
+        replayed as usize,
+        N - interrupted.len(),
+        "exactly the unfinished jobs replay"
+    );
+    assert!(server.shutdown(Duration::from_secs(10)).clean);
+
+    // The merged journal is byte-identical to the uninterrupted run.
+    let merged = done_map(&dir);
+    assert_eq!(merged, reference, "replayed merge must be byte-identical");
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,247 @@
+//! Loopback protocol torture suite: hostile bytes, vanishing clients, and
+//! repeated shutdowns must all be answered with typed errors — never a
+//! wedged server, never a leaked worker.
+//!
+//! Trace counters and the diva-par pool are process-global, so every test
+//! takes the same lock and measures counters as deltas.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use diva_serve::chaos::ChaosExec;
+use diva_serve::protocol::{read_frame, Reply, Request};
+use diva_serve::{Client, ServeConfig, Server};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    // Counters only record at trace level >= 1; several tests here assert
+    // on them.
+    diva_trace::set_level(1);
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn pure_exec(seed: u64) -> Arc<ChaosExec> {
+    Arc::new(ChaosExec {
+        gate: Arc::new(AtomicBool::new(true)),
+        seed,
+    })
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Asserts the server is still fully functional: a fresh connection can
+/// ping and run a job end to end.
+fn assert_alive(addr: std::net::SocketAddr) {
+    let mut c = Client::connect(addr).expect("server accepts fresh connections");
+    assert_eq!(c.ping().unwrap(), Reply::Pong);
+    match c.submit(b"n probe".to_vec()).unwrap() {
+        Reply::Done { status, .. } => assert_eq!(status, diva_serve::WireStatus::Ok),
+        other => panic!("probe job failed: {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_frame_gets_a_typed_rejection_and_spares_the_server() {
+    let _g = lock();
+    let cfg = ServeConfig {
+        max_frame: 1024,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, pure_exec(1)).unwrap();
+    let addr = server.addr();
+    let before = server.stats().frames_rejected;
+
+    let mut c = Client::connect(addr).unwrap();
+    // The declared length crosses the limit before a single payload byte
+    // is read, so the rejection must be immediate (no allocation, no
+    // draining of the oversized body).
+    match c.send_raw_frame(&vec![0u8; 4096]) {
+        Ok(Reply::Rejected { message }) => {
+            assert!(message.contains("oversized"), "got: {message}");
+        }
+        other => panic!("expected Rejected reply, got {other:?}"),
+    }
+    wait_until("rejection counted", || {
+        server.stats().frames_rejected == before + 1
+    });
+    assert_alive(addr);
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+}
+
+#[test]
+fn truncated_length_prefix_is_rejected_without_wedging_the_server() {
+    let _g = lock();
+    let server = Server::start(ServeConfig::default(), pure_exec(2)).unwrap();
+    let addr = server.addr();
+    let before = server.stats().frames_rejected;
+
+    // Half a length prefix, then EOF on the write half: mid-prefix
+    // truncation.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&[0x10, 0x00]).unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    match read_frame(&mut raw, 1 << 20).map(|f| Reply::decode(&f)) {
+        Ok(Ok(Reply::Rejected { message })) => {
+            assert!(message.contains("truncated"), "got: {message}");
+        }
+        other => panic!("expected Rejected reply, got {other:?}"),
+    }
+
+    // A full prefix declaring more bytes than ever arrive: mid-payload
+    // truncation, with the exact shortfall named.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&100u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0xAB; 10]).unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    match read_frame(&mut raw, 1 << 20).map(|f| Reply::decode(&f)) {
+        Ok(Ok(Reply::Rejected { message })) => {
+            assert!(message.contains("truncated"), "got: {message}");
+        }
+        other => panic!("expected Rejected reply, got {other:?}"),
+    }
+
+    wait_until("both truncations counted", || {
+        server.stats().frames_rejected == before + 2
+    });
+    assert_alive(addr);
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+}
+
+#[test]
+fn garbage_payload_is_rejected_but_the_connection_survives() {
+    let _g = lock();
+    let server = Server::start(ServeConfig::default(), pure_exec(3)).unwrap();
+    let addr = server.addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    // 0xFF: unknown tag; empty: no tag at all; 0x02: a Submit with its
+    // payload length missing.
+    for garbage in [&[0xFFu8, 0xEE, 0xDD][..], &[], &[0x02]] {
+        match c.send_raw_frame(garbage) {
+            Ok(Reply::Rejected { .. }) => {}
+            other => panic!("expected Rejected for {garbage:?}, got {other:?}"),
+        }
+    }
+    // Unlike a framing error, a decode error leaves the frame boundary
+    // intact — the same connection keeps working.
+    assert_eq!(c.ping().unwrap(), Reply::Pong);
+    assert!(server.stats().frames_rejected >= 3);
+    assert_alive(addr);
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+}
+
+#[test]
+fn mid_job_client_disconnect_loses_only_the_reply() {
+    let _g = lock();
+    let server = Server::start(ServeConfig::default(), pure_exec(4)).unwrap();
+    let addr = server.addr();
+    let ok_before = server.stats().ok;
+
+    // Fire a submit and vanish without reading the reply.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let frame = Request::Submit {
+            payload: b"n orphan".to_vec(),
+        }
+        .encode();
+        raw.write_all(&(frame.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(&frame).unwrap();
+    } // dropped: connection gone while the job is (or will be) running
+
+    // The job still runs to completion and journals nothing less than a
+    // connected client's would; only the reply write can fail.
+    wait_until("orphaned job completes", || {
+        server.stats().ok == ok_before + 1
+    });
+    assert_alive(addr);
+
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+    assert_eq!(report.stats.ok, ok_before + 2, "orphan + liveness probe");
+}
+
+#[test]
+fn double_shutdown_is_idempotent_and_drains_once() {
+    let _g = lock();
+    let drains_before = diva_trace::counter_value("serve.drains");
+    // A gated blocker keeps the drain in progress so the second shutdown
+    // request demonstrably lands on an already-draining server.
+    let gate = Arc::new(AtomicBool::new(false));
+    let exec = Arc::new(ChaosExec {
+        gate: gate.clone(),
+        seed: 5,
+    });
+    let server = Server::start(ServeConfig::default(), exec).unwrap();
+    let addr = server.addr();
+
+    let blocker = {
+        let mut c = Client::connect(addr).unwrap();
+        std::thread::spawn(move || c.submit(b"b held".to_vec()))
+    };
+    wait_until("blocker in flight", || server.gate_in_flight() >= 1);
+
+    let mut c = Client::connect(addr).unwrap();
+    assert!(matches!(
+        c.shutdown(10_000).unwrap(),
+        Reply::ShutdownStarted { .. }
+    ));
+    // Second remote shutdown on the same connection: a typed reply, not a
+    // hang and not a second drain.
+    assert!(matches!(
+        c.shutdown(10_000).unwrap(),
+        Reply::ShutdownStarted { .. }
+    ));
+    // A local shutdown racing the remote one is equally a no-op.
+    server.begin_shutdown(Duration::from_secs(10));
+
+    gate.store(true, Ordering::Relaxed);
+    let _ = blocker.join();
+    let report = server.join();
+    assert!(report.clean);
+    assert_eq!(report.stats.ok, 1, "the held job finished inside the drain");
+    assert_eq!(
+        diva_trace::counter_value("serve.drains"),
+        drains_before + 1,
+        "exactly one drain ran"
+    );
+}
+
+#[test]
+fn tortured_server_leaves_the_pool_quiescent() {
+    let _g = lock();
+    let server = Server::start(ServeConfig::default(), pure_exec(6)).unwrap();
+    let addr = server.addr();
+
+    // A burst of good jobs interleaved with hostile frames.
+    for i in 0..4u8 {
+        let mut c = Client::connect(addr).unwrap();
+        assert!(matches!(
+            c.submit(vec![b'n', i]).unwrap(),
+            Reply::Done { .. }
+        ));
+        let mut bad = Client::connect(addr).unwrap();
+        let _ = bad.send_raw_frame(&[0xFF, i]);
+    }
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+    assert_eq!(report.stats.ok, 4);
+
+    // No leaked workers: the drain gate counts zero in-flight items and
+    // every connection handler that opened also closed.
+    wait_until("connection handlers exited", || {
+        diva_trace::counter_value("serve.conns_opened")
+            == diva_trace::counter_value("serve.conns_closed")
+    });
+}

@@ -503,6 +503,20 @@ pub fn summary_json() -> Json {
     out
 }
 
+/// The metrics-snapshot endpoint payload: [`summary_json`] plus
+/// caller-supplied top-level fields (server state, queue depth, job
+/// counts). Serving layers — diva-serve's `Metrics` reply and its final
+/// drain snapshot — call this so a live process and its on-disk artifacts
+/// share one schema. Works at any trace level: at level 0 the spans and
+/// counters are simply empty, the extra fields still carry.
+pub fn snapshot_json(extra: &[(&str, Json)]) -> Json {
+    let mut out = summary_json();
+    for (key, value) in extra {
+        out.set(key, value.clone());
+    }
+    out
+}
+
 /// Writes `trace.jsonl` (buffered events, one JSON object per line) and
 /// `metrics.json` (pretty-printed [`summary_json`]) under `dir`, creating
 /// it if needed. Returns the path to `metrics.json`. Callers should gate
@@ -594,6 +608,23 @@ mod tests {
     pub(crate) fn lock_global() -> MutexGuard<'static, ()> {
         static GUARD: Mutex<()> = Mutex::new(());
         GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn snapshot_json_layers_extras_over_the_summary() {
+        let _g = lock_global();
+        set_level(1);
+        reset();
+        counter_add("snap.jobs", 3);
+        let mut state = Json::obj();
+        state.set("queued", Json::Num(2.0));
+        let snap = snapshot_json(&[("server", state.clone()), ("uptime_ms", Json::Num(5.0))]);
+        assert_eq!(snap.get("server"), Some(&state));
+        assert_eq!(snap.get("uptime_ms"), Some(&Json::Num(5.0)));
+        let counters = snap.get("counters").expect("summary fields survive");
+        assert_eq!(counters.get("snap.jobs"), Some(&Json::Num(3.0)));
+        set_level(0);
+        reset();
     }
 
     #[test]
