@@ -30,7 +30,7 @@ use diva_prof::BenchSummary;
 use diva_quant::{Int8Engine, QatNetwork, QuantCfg, RequantMode};
 use diva_tensor::conv::{conv2d, conv2d_naive, Conv2dCfg};
 use diva_tensor::gemm::{self, Layout};
-use diva_tensor::Tensor;
+use diva_tensor::{ops, Tensor};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// The bench areas, one committed `BENCH_<area>.json` baseline each.
@@ -172,6 +172,194 @@ pub fn kernel_cases() -> Vec<BenchCase> {
                 std::hint::black_box(gemm::naive_i8_i32(m, n, k, &a, &b, Layout::RowMajor, -5));
             },
         ));
+    }
+
+    // Packed-weight cache, cold vs hot, at shapes where the pack step is a
+    // material share of the call: small-batch dense layers (the serving /
+    // single-image attack shape, where weight bytes rival the muladd count)
+    // and a 1×1-spatial head conv (classifier-style 1×1 kernel over pooled
+    // features — GEMM n=1, so panel reuse is minimal and pack cost looms).
+    // `cold` drops every resident artifact before the call; `hot` reuses
+    // the panels fetched during warmup. Same code path otherwise, so the
+    // ratio isolates exactly what the cache amortizes (pack + insert).
+    let mut rng = StdRng::seed_from_u64(5);
+    {
+        let (m, n, k) = (2usize, 256usize, 512usize); // dense_forward: x[2,512]·w[256,512]ᵀ
+        let x = Rc::new(rand_tensor(&mut rng, &[m, k]));
+        let w = Rc::new(rand_tensor(&mut rng, &[n, k]));
+        let bias = Rc::new(rand_tensor(&mut rng, &[n]));
+        let shape = format!("f32_dense_b{m}_f{n}_in{k}");
+        let (xc, wc, bc) = (Rc::clone(&x), Rc::clone(&w), Rc::clone(&bias));
+        cases.push(BenchCase::new(
+            format!("packed_cache/cold/{shape}"),
+            move || {
+                diva_tensor::packcache::clear();
+                std::hint::black_box(ops::dense_forward(&xc, &wc, &bc).unwrap());
+            },
+        ));
+        cases.push(BenchCase::new(
+            format!("packed_cache/hot/{shape}"),
+            move || {
+                std::hint::black_box(ops::dense_forward(&x, &w, &bias).unwrap());
+            },
+        ));
+    }
+    {
+        let (m, n, k) = (256usize, 2usize, 512usize); // engine dense: w[256,512]·xᵀ
+        let a: Rc<Vec<i8>> = Rc::new(
+            (0..m * k)
+                .map(|_| rng.gen_range(-127i32..=127) as i8)
+                .collect(),
+        );
+        let b: Rc<Vec<i8>> = Rc::new(
+            (0..k * n)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect(),
+        );
+        let shape = format!("i8_dense_f{m}_b{n}_in{k}");
+        let (ac, bc) = (Rc::clone(&a), Rc::clone(&b));
+        cases.push(BenchCase::new(
+            format!("packed_cache/cold/{shape}"),
+            move || {
+                diva_tensor::packcache::clear();
+                let pre = diva_tensor::packcache::pack_i16_a(&ac, m, k);
+                let mut acc = vec![0i32; m * n];
+                let mut sink: Vec<i8> = Vec::new();
+                gemm::gemm_i8_pre(
+                    m,
+                    n,
+                    k,
+                    &ac,
+                    Some(pre.as_a()),
+                    &bc,
+                    Layout::Transposed,
+                    -5,
+                    &mut sink,
+                    &mut gemm::CaptureAcc { acc: &mut acc, n },
+                );
+                std::hint::black_box(acc);
+            },
+        ));
+        cases.push(BenchCase::new(
+            format!("packed_cache/hot/{shape}"),
+            move || {
+                let pre = diva_tensor::packcache::pack_i16_a(&a, m, k);
+                let mut acc = vec![0i32; m * n];
+                let mut sink: Vec<i8> = Vec::new();
+                gemm::gemm_i8_pre(
+                    m,
+                    n,
+                    k,
+                    &a,
+                    Some(pre.as_a()),
+                    &b,
+                    Layout::Transposed,
+                    -5,
+                    &mut sink,
+                    &mut gemm::CaptureAcc { acc: &mut acc, n },
+                );
+                std::hint::black_box(acc);
+            },
+        ));
+    }
+    {
+        // 1×1 head conv over pooled 1×1 features. The channel counts put the
+        // weight tensor (co·ci f32 = 2 MiB) past L2, so the cold pack pays
+        // real memory traffic — the regime a served classifier head lives in.
+        let cfg = Conv2dCfg::square(1, 1, 0);
+        let (co, ci) = (512usize, 1024usize);
+        let args = Rc::new((
+            rand_tensor(&mut rng, &[1, ci, 1, 1]),
+            rand_tensor(&mut rng, &[co, ci, 1, 1]),
+            rand_tensor(&mut rng, &[co]),
+        ));
+        let shape = format!("conv1x1_co{co}_c{ci}_s1");
+        let a = Rc::clone(&args);
+        cases.push(BenchCase::new(
+            format!("packed_cache/cold/{shape}"),
+            move || {
+                diva_tensor::packcache::clear();
+                std::hint::black_box(conv2d(&a.0, &a.1, &a.2, cfg).unwrap());
+            },
+        ));
+        let a = args;
+        cases.push(BenchCase::new(
+            format!("packed_cache/hot/{shape}"),
+            move || {
+                std::hint::black_box(conv2d(&a.0, &a.1, &a.2, cfg).unwrap());
+            },
+        ));
+    }
+
+    // Intra-op threaded GEMM at one large shape per dtype, pinned to 1 vs 4
+    // workers inside the closure (restored to the env default after). On a
+    // multi-core host jobs4 shows the fan-out win; on a 1-CPU container it
+    // documents the fan-out overhead instead — either way the pair is the
+    // recorded trajectory for the intra-op path.
+    {
+        let (m, n, k) = (96usize, 1024usize, 160usize); // 15.7M muladds, 2 jc tiles
+        let a = Rc::new(rand_tensor(&mut rng, &[m, k]));
+        let b = Rc::new(rand_tensor(&mut rng, &[k, n]));
+        for jobs in [1usize, 4] {
+            let (ab, bb) = (Rc::clone(&a), Rc::clone(&b));
+            cases.push(BenchCase::new(
+                format!("gemm_threads/f32_jobs{jobs}/m{m}_n{n}_k{k}"),
+                move || {
+                    diva_par::set_jobs(jobs);
+                    let mut out = vec![0.0f32; m * n];
+                    gemm::gemm_f32(
+                        m,
+                        n,
+                        k,
+                        ab.data(),
+                        Layout::RowMajor,
+                        bb.data(),
+                        Layout::RowMajor,
+                        &mut out,
+                        &mut gemm::NoEpilogue,
+                    );
+                    diva_par::set_jobs(0);
+                    std::hint::black_box(out);
+                },
+            ));
+        }
+    }
+    {
+        let (m, n, k) = (128usize, 1024usize, 96usize); // 12.6M muladds
+        let a: Rc<Vec<i8>> = Rc::new(
+            (0..m * k)
+                .map(|_| rng.gen_range(-127i32..=127) as i8)
+                .collect(),
+        );
+        let b: Rc<Vec<i8>> = Rc::new(
+            (0..k * n)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect(),
+        );
+        for jobs in [1usize, 4] {
+            let (ab, bb) = (Rc::clone(&a), Rc::clone(&b));
+            cases.push(BenchCase::new(
+                format!("gemm_threads/i8_jobs{jobs}/m{m}_n{n}_k{k}"),
+                move || {
+                    diva_par::set_jobs(jobs);
+                    let mut acc = vec![0i32; m * n];
+                    let mut sink: Vec<i8> = Vec::new();
+                    gemm::gemm_i8(
+                        m,
+                        n,
+                        k,
+                        &ab,
+                        &bb,
+                        Layout::RowMajor,
+                        -5,
+                        &mut sink,
+                        &mut gemm::CaptureAcc { acc: &mut acc, n },
+                    );
+                    diva_par::set_jobs(0);
+                    std::hint::black_box(acc);
+                },
+            ));
+        }
     }
 
     let mut rng = StdRng::seed_from_u64(2);

@@ -85,6 +85,67 @@ fn smoke_is_byte_identical_across_job_counts() {
     let _ = fs::remove_dir_all(&parallel_dir);
 }
 
+/// The fixed-order-reduction rule extended to *intra-op* tiles (DESIGN.md
+/// §7/§9.1): large GEMMs fan their jc/ic tile loops over the diva-par pool,
+/// and the result must be byte-identical at any job count — through the
+/// public tensor ops (pack cache engaged), and also when the GEMM runs
+/// *inside* an outer fan-out, where intra-op threading must inline rather
+/// than nest.
+#[test]
+fn intra_op_gemm_tiles_are_byte_identical_across_job_counts() {
+    use diva_tensor::{ops, Tensor};
+
+    let _lock = diva_fault::test_lock(); // set_jobs is process-global
+
+    // Deterministic data without rand: a 32-bit LCG.
+    let mut state = 0x1234_5678u32;
+    let mut unit = move || {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        (state >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+    };
+    // Tall dense shape → ic (row-slab) fan-out; wide matmul → jc (column)
+    // fan-out. Both cross the 2²¹-muladd threading threshold.
+    let x = Tensor::from_vec((0..600 * 300).map(|_| unit()).collect(), &[600, 300]);
+    let w = Tensor::from_vec((0..256 * 300).map(|_| unit()).collect(), &[256, 300]);
+    let bias = Tensor::from_vec((0..256).map(|_| unit()).collect(), &[256]);
+    let a = Tensor::from_vec((0..80 * 120).map(|_| unit()).collect(), &[80, 120]);
+    let b = Tensor::from_vec((0..120 * 1100).map(|_| unit()).collect(), &[120, 1100]);
+
+    let run = |jobs: usize| {
+        diva_par::set_jobs(jobs);
+        let dense = ops::dense_forward(&x, &w, &bias).unwrap();
+        let wide = ops::matmul(&a, &b).unwrap();
+        // Same GEMMs from inside a worker: intra-op threading must fall
+        // back inline (no nested fan-out) and still produce the same bytes.
+        let nested = diva_par::par_map_indexed(2, |_| {
+            let d = ops::dense_forward(&x, &w, &bias).unwrap();
+            let m = ops::matmul(&a, &b).unwrap();
+            (
+                d.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        });
+        diva_par::set_jobs(0);
+        (
+            dense.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            wide.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            nested,
+        )
+    };
+
+    let (dense1, wide1, nested1) = run(1);
+    for jobs in [2, 4] {
+        let (dense_j, wide_j, nested_j) = run(jobs);
+        assert_eq!(dense1, dense_j, "ic fan-out diverged at jobs={jobs}");
+        assert_eq!(wide1, wide_j, "jc fan-out diverged at jobs={jobs}");
+        assert_eq!(nested1, nested_j, "nested GEMM diverged at jobs={jobs}");
+    }
+    for (d, m) in &nested1 {
+        assert_eq!(&dense1, d, "worker-inlined dense differs from top-level");
+        assert_eq!(&wide1, m, "worker-inlined matmul differs from top-level");
+    }
+}
+
 /// The determinism contract under *supervision*: when some items time out,
 /// retry, or are cancelled mid-batch, every item that completes `Ok` is
 /// still byte-identical across `DIVA_JOBS` counts — and identical to an

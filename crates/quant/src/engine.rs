@@ -15,6 +15,7 @@ use diva_nn::graph::{NodeShape, Op};
 use diva_nn::{Infer, Network};
 use diva_tensor::conv::Conv2dCfg;
 use diva_tensor::gemm::{self, EpilogueI32, Layout};
+use diva_tensor::packcache;
 use diva_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -1053,6 +1054,22 @@ impl EpilogueI32 for RequantDense<'_> {
     }
 }
 
+thread_local! {
+    /// Reusable im2col destination, one per thread: `Vec::resize` never
+    /// shrinks capacity, so the buffer grows to the largest conv seen on
+    /// its thread and steady-state inference allocates nothing. Taken (not
+    /// borrowed) for the duration of a conv so reentrancy cannot panic.
+    static COLS_SCRATCH: std::cell::Cell<Option<Vec<i8>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn with_cols_scratch<R>(f: impl FnOnce(&mut Vec<i8>) -> R) -> R {
+    let mut cols = COLS_SCRATCH.with(|slot| slot.take()).unwrap_or_default();
+    let r = f(&mut cols);
+    COLS_SCRATCH.with(|slot| slot.set(Some(cols)));
+    r
+}
+
 /// Quantized im2col into `[c*kh*kw, oh*ow]` (GEMM `B`, row-major): row `r`
 /// holds one kernel tap across all output pixels. Padding taps keep
 /// `pad_val` (the input zero point), so after the GEMM core subtracts the
@@ -1121,33 +1138,39 @@ fn conv_int(
     let (ohow, k) = (oh * ow, ci * kh * kw);
     let zp_in = in_qp.zero_point;
     let mut data = vec![0i8; out_dims.iter().product()];
-    let mut cols: Vec<i8> = Vec::new();
+    // Weights are fixed across the pass (and, for attacks, across thousands
+    // of passes) — fetch their i16-widened panels from the pack cache; a
+    // diva-fault bitflip or a reload changes the bytes and misses cleanly.
+    let pre = gemm::blocked_path(co, ohow, k).then(|| packcache::pack_i16_a(w, co, k));
     // One i8 GEMM per image: W [co, k] · cols [k, oh*ow], requantized by
     // the fused epilogue straight into the image's NCHW slab.
-    for ni in 0..n {
-        let img = &xin.data[ni * ci * h * wid..(ni + 1) * ci * h * wid];
-        im2col_q(img, ci, h, wid, cfg, oh, ow, zp_in as i8, &mut cols);
-        let mut epi = RequantRows {
-            bias,
-            mult,
-            mode,
-            qp,
-            sat: &mut *sat,
-            base: ni * co * ohow,
-            n: ohow,
-        };
-        gemm::gemm_i8(
-            co,
-            ohow,
-            k,
-            w,
-            &cols,
-            Layout::RowMajor,
-            zp_in,
-            &mut data,
-            &mut epi,
-        );
-    }
+    with_cols_scratch(|cols| {
+        for ni in 0..n {
+            let img = &xin.data[ni * ci * h * wid..(ni + 1) * ci * h * wid];
+            im2col_q(img, ci, h, wid, cfg, oh, ow, zp_in as i8, cols);
+            let mut epi = RequantRows {
+                bias,
+                mult,
+                mode,
+                qp,
+                sat: &mut *sat,
+                base: ni * co * ohow,
+                n: ohow,
+            };
+            gemm::gemm_i8_pre(
+                co,
+                ohow,
+                k,
+                w,
+                pre.as_ref().map(|p| p.as_a()),
+                cols,
+                Layout::RowMajor,
+                zp_in,
+                &mut data,
+                &mut epi,
+            );
+        }
+    });
     QTensor {
         data,
         dims: out_dims,
@@ -1175,35 +1198,40 @@ fn dwconv_int(
     let (ohow, khkw) = (oh * ow, kh * kw);
     let zp_in = in_qp.zero_point;
     let mut data = vec![0i8; out_dims.iter().product()];
-    let mut cols: Vec<i8> = Vec::new();
+    // Depthwise weights pack as one 1×(kh*kw) GEMM `A` per channel, all in
+    // a single cache entry fetched once per call.
+    let pre = gemm::blocked_path(1, ohow, khkw).then(|| packcache::pack_i16_dw(w, c, khkw));
     // Depthwise = one 1×(kh*kw) GEMM per (image, channel) plane, sharing
     // the conv epilogue with single-element bias/mult slices.
-    for ni in 0..n {
-        for ci in 0..c {
-            let plane = &xin.data[(ni * c + ci) * h * wid..(ni * c + ci + 1) * h * wid];
-            im2col_q(plane, 1, h, wid, cfg, oh, ow, zp_in as i8, &mut cols);
-            let mut epi = RequantRows {
-                bias: &bias[ci..ci + 1],
-                mult: &mult[ci..ci + 1],
-                mode,
-                qp,
-                sat: &mut *sat,
-                base: (ni * c + ci) * ohow,
-                n: ohow,
-            };
-            gemm::gemm_i8(
-                1,
-                ohow,
-                khkw,
-                &w[ci * khkw..(ci + 1) * khkw],
-                &cols,
-                Layout::RowMajor,
-                zp_in,
-                &mut data,
-                &mut epi,
-            );
+    with_cols_scratch(|cols| {
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = &xin.data[(ni * c + ci) * h * wid..(ni * c + ci + 1) * h * wid];
+                im2col_q(plane, 1, h, wid, cfg, oh, ow, zp_in as i8, cols);
+                let mut epi = RequantRows {
+                    bias: &bias[ci..ci + 1],
+                    mult: &mult[ci..ci + 1],
+                    mode,
+                    qp,
+                    sat: &mut *sat,
+                    base: (ni * c + ci) * ohow,
+                    n: ohow,
+                };
+                gemm::gemm_i8_pre(
+                    1,
+                    ohow,
+                    khkw,
+                    &w[ci * khkw..(ci + 1) * khkw],
+                    pre.as_ref().map(|p| p.dw_channel(ci)),
+                    cols,
+                    Layout::RowMajor,
+                    zp_in,
+                    &mut data,
+                    &mut epi,
+                );
+            }
         }
-    }
+    });
     QTensor {
         data,
         dims: out_dims,
@@ -1228,7 +1256,9 @@ fn dense_int(
     let zp_in = in_qp.zero_point;
     let mut data = vec![0i8; n * rows];
     // W [rows, cols] · X^T [cols, n]: activations stored [n, cols] are the
-    // transposed GEMM B; the epilogue transposes back on writeback.
+    // transposed GEMM B; the epilogue transposes back on writeback. The
+    // weight panels (GEMM A) come from the pack cache on the blocked path.
+    let pre = gemm::blocked_path(rows, n, cols).then(|| packcache::pack_i16_a(w, rows, cols));
     let mut epi = RequantDense {
         bias,
         mult,
@@ -1237,11 +1267,12 @@ fn dense_int(
         sat,
         rows,
     };
-    gemm::gemm_i8(
+    gemm::gemm_i8_pre(
         rows,
         n,
         cols,
         w,
+        pre.as_ref().map(|p| p.as_a()),
         &xin.data,
         Layout::Transposed,
         zp_in,

@@ -1,0 +1,120 @@
+//! Fault-plan test: a `diva-fault` weight bitflip must invalidate the
+//! packed-panel weight cache.
+//!
+//! The pack cache (`diva_tensor::packcache`) keys panels by a fingerprint
+//! of the weight **bytes**, so there is no invalidation call for the engine
+//! to forget: flipping a single bit changes the key and the next forward
+//! pass re-packs from the corrupted weights. If that ever regressed — say
+//! the key stopped covering the bytes — a bitflipped layer would silently
+//! keep using the stale clean panels, and fault-injection campaign results
+//! would diverge from the weights actually deployed. This test pins the
+//! contract: after a `bitflip` plan corrupts an engine, its warm-cache
+//! logits are byte-identical to a cold-cache (fully re-packed) run, and the
+//! pass provably missed the cache.
+
+use diva_fault::FaultPlan;
+use diva_models::{Architecture, ModelCfg};
+use diva_nn::Infer;
+use diva_quant::{Int8Engine, QatNetwork, QuantCfg};
+use diva_tensor::{packcache, Tensor};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Deterministic uniform values in [-1, 1): 32-bit LCG, independent of
+/// `rand` (same generator family as the QAT golden-vector suite).
+struct Lcg(u32);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f32 {
+        self.0 = self.0.wrapping_mul(1664525).wrapping_add(1013904223);
+        (self.0 >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+    }
+}
+
+fn lcg_reinit(net: &mut diva_nn::Network, seed: u32) {
+    let mut lcg = Lcg(seed.wrapping_mul(2654435761).wrapping_add(1));
+    for p in net.params_mut().iter_mut() {
+        let dims = p.value.dims().to_vec();
+        let scale = if dims.len() >= 2 {
+            let fan_in = (p.value.len() / dims[0]).max(1);
+            1.0 / (fan_in as f32).sqrt()
+        } else {
+            0.1
+        };
+        for v in p.value.data_mut() {
+            *v = lcg.next_unit() * scale;
+        }
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn bitflipped_engine_repacks_and_matches_cold_cache() {
+    // The fault plan is process-global; hold the fault test lock so no
+    // parallel test observes (or clobbers) the armed plan.
+    let _guard = diva_fault::test_lock();
+    diva_fault::set_plan(None);
+
+    // 16×16 images keep the first conv's GEMM (co × oh·ow × ci·kh·kw) well
+    // past the blocked-path cutoff, so the engine actually reads packed
+    // panels rather than the small-shape fallback.
+    let mut lcg = Lcg(0xF11);
+    let images = {
+        let dims = [8usize, 3, 16, 16];
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| lcg.next_unit() * 0.5 + 0.5).collect(), &dims)
+    };
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = Architecture::ResNet.build(&ModelCfg::standard(4), &mut rng);
+    lcg_reinit(&mut net, 0x5eed);
+    let mut qat = QatNetwork::new(net, QuantCfg::default());
+    qat.calibrate(&images);
+
+    // Clean engine: warm the pack cache and sanity-check hot == cold.
+    let clean = Int8Engine::from_qat(&qat);
+    assert!(clean.integrity_ok());
+    let clean_cold = clean.logits(&images);
+    let clean_hot = clean.logits(&images);
+    assert_eq!(
+        bits(&clean_cold),
+        bits(&clean_hot),
+        "clean engine: hot cache diverged from cold"
+    );
+
+    // Corrupt a second engine from the same QAT network. Flips are injected
+    // at conversion time, after the integrity checksum is taken.
+    diva_fault::set_plan(Some(
+        FaultPlan::parse("bitflip:count=64,seed=3").expect("valid plan"),
+    ));
+    let flipped = Int8Engine::from_qat(&qat);
+    diva_fault::set_plan(None);
+    assert!(
+        !flipped.integrity_ok(),
+        "bitflip plan did not corrupt the engine — test is vacuous"
+    );
+
+    // The cache still holds the *clean* panels. The flipped weights hash to
+    // different keys, so this pass must miss and re-pack...
+    let before = packcache::stats();
+    let flipped_warm = flipped.logits(&images);
+    let after = packcache::stats();
+    assert!(
+        after.misses > before.misses,
+        "flipped engine hit the warm cache everywhere — stale clean panels \
+         would have been used for a corrupted layer"
+    );
+
+    // ...and produce exactly what a fully cold cache produces from the
+    // corrupted weights. (Equality here is the proof that no stale clean
+    // panel leaked into the warm run.)
+    packcache::clear();
+    let flipped_cold = flipped.logits(&images);
+    assert_eq!(
+        bits(&flipped_warm),
+        bits(&flipped_cold),
+        "warm-cache logits of the bitflipped engine diverged from a full \
+         re-pack — a stale panel survived the weight mutation"
+    );
+}

@@ -143,10 +143,14 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &Tensor, cfg: Conv2dCfg) -> Res
     let od = out.data_mut();
     let wd = weight.data();
     let bd = bias.data();
+    // Weights are the A operand of every per-image GEMM — one cache fetch
+    // amortizes the pack across the batch and, for hot layers, across calls.
+    let pre = gemm::blocked_path(co, ohow, wk)
+        .then(|| crate::packcache::pack_f32_a(wd, Layout::RowMajor, co, wk));
     for ni in 0..n {
         let bcols = &cd[ni * ohow * wk..(ni + 1) * ohow * wk]; // [oh*ow, k] = Bᵀ
         let oslice = &mut od[ni * co * ohow..(ni + 1) * co * ohow];
-        gemm::gemm_f32(
+        gemm::gemm_f32_pre(
             co,
             ohow,
             wk,
@@ -154,6 +158,7 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &Tensor, cfg: Conv2dCfg) -> Res
             Layout::RowMajor,
             bcols,
             Layout::Transposed,
+            pre.as_deref(),
             oslice,
             &mut gemm::BiasRows(bd),
         );

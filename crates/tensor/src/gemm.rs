@@ -17,7 +17,21 @@
 //! micro-kernel only ever sees contiguous panels; `matmul`, `matmul_at_b`,
 //! and `matmul_a_bt` are all the same core with different packers.
 //!
-//! # Determinism rule (DESIGN.md §9)
+//! # Pre-packed weights
+//!
+//! Attacks run thousands of forward passes against *fixed* weights, so the
+//! weight operand's panels can be packed once and reused: [`PackedF32`]
+//! (either operand role) and [`PackedI16`] (weights-as-`A`, widened to
+//! `i16`; the activation zero point stays folded into the per-call `B`
+//! pack exactly as before) hold every `(block, strip)` panel in the same
+//! layout the per-call pack step produces, so [`gemm_f32_pre`] /
+//! [`gemm_i8_pre`] read them in place and the result is bit-identical to a
+//! fresh pack. The content-addressed cache in [`crate::packcache`] keys
+//! these artifacts by an fnv1a64 fingerprint of bytes + shape + layout, so
+//! any weight mutation (a training step, a `diva-fault` bitflip, a reload)
+//! changes the key and misses cleanly.
+//!
+//! # Determinism rule (DESIGN.md §7, §9)
 //!
 //! The accumulation order is fixed by the tiling, not by data or thread
 //! count: every output element is a single accumulator folded over `k` in
@@ -27,6 +41,19 @@
 //! for `f32`, and exactly equal to any-order accumulation for integers. The
 //! small-size fallback and the pruned-sparse path in `ops` preserve the same
 //! per-element fold, so kernel dispatch never changes numerics.
+//!
+//! Intra-op parallelism obeys the same rule as an instance of the DESIGN.md
+//! §7 fixed-order-reduction contract: large shapes fan the `jc` column tiles
+//! (or, for tall single-`jc` shapes, the `ic` row tiles) over the `diva-par`
+//! pool. Tile boundaries are the `NC`/`MC` constants — never a function of
+//! the worker count — each `C` tile is written by exactly one worker running
+//! the full ascending-`pc` fold for its elements, and the merge plus
+//! epilogue sweep happen on the calling thread in ascending tile order. So
+//! blocked output is byte-identical across any `DIVA_JOBS`, including the
+//! serial fallback. Panel packing is never duplicated where it matters: `jc`
+//! workers pack only their own `B` column panels, and `ic` workers share a
+//! read-only full `B` pre-pack built (or fetched from the cache) before the
+//! fan-out.
 
 use std::cell::Cell;
 
@@ -46,6 +73,20 @@ const NC: usize = 512;
 /// on the shape, so it is deterministic and preserves the fold order.
 const SMALL_MNK: usize = 32 * 32 * 32;
 
+/// Below this many multiply-adds the intra-op fan-out (thread spawn + stripe
+/// merge) costs more than it saves and the blocked loop stays on the calling
+/// thread. Like `SMALL_MNK` this depends only on the shape — and the fold
+/// order is identical either way, so the threshold never changes numerics.
+const PAR_MIN_MNK: usize = 1 << 21;
+
+/// True when `(m, n, k)` takes the blocked (packing) path rather than the
+/// small-shape ascending-`k` loop. Consumers use this to skip weight
+/// fingerprinting for shapes that would never read packed panels.
+#[inline]
+pub fn blocked_path(m: usize, n: usize, k: usize) -> bool {
+    m * n * k > SMALL_MNK
+}
+
 /// How an operand's storage relates to its mathematical orientation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Layout {
@@ -57,11 +98,22 @@ pub enum Layout {
     Transposed,
 }
 
+/// Which GEMM operand a [`PackedF32`] stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedRole {
+    /// The left operand (`[m, k]`): convolution / engine weights.
+    A,
+    /// The right operand (`[k, n]`): dense-layer weights.
+    B,
+}
+
 /// Hook applied to each finished `f32` output row segment.
 ///
 /// Called exactly once per `(row, column-block)` pair, after the full depth
 /// `k` has been accumulated into `row` (so the hook sees final sums). With
-/// the default blocking a row is a single segment unless `n > 512`.
+/// the default blocking a row is a single segment unless `n > 512`. The
+/// call order is fixed — ascending column block, then ascending row — on
+/// both the serial and the threaded path.
 pub trait EpilogueF32 {
     /// `i` is the output row, `j0` the first column of `row` within the
     /// output matrix.
@@ -115,11 +167,265 @@ pub trait EpilogueI32 {
     fn row(&mut self, i: usize, j0: usize, acc: &[i32], out: &mut [i8]);
 }
 
+/// No-op `i32` epilogue (accumulators discarded); used where the core runs
+/// for its raw sums only.
+struct NoRequant;
+
+impl EpilogueI32 for NoRequant {
+    #[inline]
+    fn row(&mut self, _i: usize, _j0: usize, _acc: &[i32], _out: &mut [i8]) {}
+}
+
+// ---------------------------------------------------------------------------
+// Pre-packed weight panels.
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of a pre-packed operand: every `(block, strip)` panel in
+/// the exact layout the per-call pack step would produce, plus the start
+/// offset of each block in build order.
+#[derive(Clone, Copy)]
+struct PanelRef<'a, T> {
+    data: &'a [T],
+    offsets: &'a [usize],
+}
+
+impl<'a, T> PanelRef<'a, T> {
+    #[inline]
+    fn block(&self, idx: usize) -> &'a [T] {
+        let start = self.offsets[idx];
+        let end = self
+            .offsets
+            .get(idx + 1)
+            .copied()
+            .unwrap_or(self.data.len());
+        &self.data[start..end]
+    }
+}
+
+/// Offsets view for a single-block pre-pack (a depthwise channel).
+const ONE_BLOCK: &[usize] = &[0];
+
+/// Pre-packed `f32` operand panels ([`PackedRole::A`]: blocks ordered
+/// `pc`-major/`ic`-minor; [`PackedRole::B`]: `jc`-major/`pc`-minor —
+/// matching the access order of the blocked loop).
+pub struct PackedF32 {
+    role: PackedRole,
+    /// `m` for role `A`, `n` for role `B`.
+    dim: usize,
+    k: usize,
+    data: Vec<f32>,
+    offsets: Vec<usize>,
+}
+
+impl PackedF32 {
+    /// Packs a full `A` operand (`[m, k]` mathematical shape) into `MR`-row
+    /// strips for every `(pc, ic)` block.
+    pub fn pack_a(a: &[f32], layout: Layout, m: usize, k: usize) -> PackedF32 {
+        assert!(a.len() >= m * k, "PackedF32::pack_a: A shorter than m*k");
+        let mut data = Vec::with_capacity(m.div_ceil(MR) * MR * k);
+        let mut offsets = Vec::new();
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let start = data.len();
+                offsets.push(start);
+                data.resize(start + mc.div_ceil(MR) * kc * MR, 0.0);
+                pack_a_f32(a, layout, m, k, ic, mc, pc, kc, &mut data[start..]);
+            }
+        }
+        PackedF32 {
+            role: PackedRole::A,
+            dim: m,
+            k,
+            data,
+            offsets,
+        }
+    }
+
+    /// Packs a full `B` operand (`[k, n]` mathematical shape) into `NR`-column
+    /// strips for every `(jc, pc)` block.
+    pub fn pack_b(b: &[f32], layout: Layout, k: usize, n: usize) -> PackedF32 {
+        assert!(b.len() >= k * n, "PackedF32::pack_b: B shorter than k*n");
+        let mut data = Vec::with_capacity(n.div_ceil(NR) * NR * k);
+        let mut offsets = Vec::new();
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                let start = data.len();
+                offsets.push(start);
+                data.resize(start + nc.div_ceil(NR) * kc * NR, 0.0);
+                pack_b_f32(b, layout, n, k, pc, kc, jc, nc, &mut data[start..]);
+            }
+        }
+        PackedF32 {
+            role: PackedRole::B,
+            dim: n,
+            k,
+            data,
+            offsets,
+        }
+    }
+
+    /// Which operand this pre-pack stands in for.
+    pub fn role(&self) -> PackedRole {
+        self.role
+    }
+
+    /// Heap footprint in bytes (cache budget accounting).
+    pub fn footprint(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+
+    fn panels(&self) -> PanelRef<'_, f32> {
+        PanelRef {
+            data: &self.data,
+            offsets: &self.offsets,
+        }
+    }
+}
+
+/// Pre-packed int8 weights (`A` operand), widened to `i16` at pack time so
+/// the micro-kernel reads them directly. Weight quantization is symmetric —
+/// no zero point is folded here; the *activation* zero point stays in the
+/// per-call `B` pack, exactly as for a fresh pack.
+pub struct PackedI16 {
+    /// Rows (`m`) — or channel count for a depthwise pack.
+    dim: usize,
+    k: usize,
+    dw: bool,
+    data: Vec<i16>,
+    /// Whole-matrix pack: block offsets (`pc`-major/`ic`-minor). Depthwise
+    /// pack: the per-channel block-offset template (every channel has the
+    /// same internal structure at stride `k * MR`).
+    offsets: Vec<usize>,
+}
+
+impl PackedI16 {
+    /// Packs full `[m, k]` row-major `i8` weights into `MR`-row `i16` strips
+    /// for every `(pc, ic)` block.
+    pub fn pack_a(w: &[i8], m: usize, k: usize) -> PackedI16 {
+        assert!(w.len() >= m * k, "PackedI16::pack_a: A shorter than m*k");
+        let mut data = Vec::with_capacity(m.div_ceil(MR) * MR * k);
+        let mut offsets = Vec::new();
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let start = data.len();
+                offsets.push(start);
+                data.resize(start + mc.div_ceil(MR) * kc * MR, 0);
+                pack_a_i16(w, k, ic, mc, pc, kc, &mut data[start..]);
+            }
+        }
+        PackedI16 {
+            dim: m,
+            k,
+            dw: false,
+            data,
+            offsets,
+        }
+    }
+
+    /// Packs depthwise weights (`[c, k]`, each row an independent `1×k`
+    /// GEMM `A`) into one `MR`-strip pack per channel.
+    pub fn pack_dw(w: &[i8], c: usize, k: usize) -> PackedI16 {
+        assert!(w.len() >= c * k, "PackedI16::pack_dw: W shorter than c*k");
+        let channel_len = k * MR;
+        let mut data = vec![0i16; c * channel_len];
+        let mut offsets = Vec::new();
+        for pc in (0..k).step_by(KC) {
+            offsets.push(pc * MR);
+        }
+        for ci in 0..c {
+            let chan = &mut data[ci * channel_len..(ci + 1) * channel_len];
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_a_i16(
+                    &w[ci * k..(ci + 1) * k],
+                    k,
+                    0,
+                    1,
+                    pc,
+                    kc,
+                    &mut chan[pc * MR..],
+                );
+            }
+        }
+        PackedI16 {
+            dim: c,
+            k,
+            dw: true,
+            data,
+            offsets,
+        }
+    }
+
+    /// View of a whole-matrix pack as the `A` operand of one GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a depthwise pack (use [`PackedI16::dw_channel`]).
+    pub fn as_a(&self) -> PackedI16Ref<'_> {
+        assert!(!self.dw, "as_a on a depthwise pack");
+        PackedI16Ref {
+            m: self.dim,
+            k: self.k,
+            panels: PanelRef {
+                data: &self.data,
+                offsets: &self.offsets,
+            },
+        }
+    }
+
+    /// View of one depthwise channel as the `1×k` `A` operand of its GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a whole-matrix pack or out-of-range channel.
+    pub fn dw_channel(&self, ci: usize) -> PackedI16Ref<'_> {
+        assert!(self.dw, "dw_channel on a whole-matrix pack");
+        let len = self.k * MR;
+        let offsets = if self.offsets.len() == 1 {
+            ONE_BLOCK
+        } else {
+            &self.offsets
+        };
+        PackedI16Ref {
+            m: 1,
+            k: self.k,
+            panels: PanelRef {
+                data: &self.data[ci * len..(ci + 1) * len],
+                offsets,
+            },
+        }
+    }
+
+    /// Heap footprint in bytes (cache budget accounting).
+    pub fn footprint(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<i16>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Borrowed pre-packed `A` panels for one [`gemm_i8_pre`] call.
+#[derive(Clone, Copy)]
+pub struct PackedI16Ref<'a> {
+    m: usize,
+    k: usize,
+    panels: PanelRef<'a, i16>,
+}
+
 // ---------------------------------------------------------------------------
 // Workspace: reusable packing buffers, one set per thread.
 // ---------------------------------------------------------------------------
 
-/// Scratch buffers reused across calls on the same thread.
+/// Scratch buffers reused across calls on the same thread. `Vec::resize`
+/// never shrinks capacity, so each buffer grows monotonically to the largest
+/// shape seen on its thread and steady-state calls allocate nothing (the
+/// `alloc_regress` test enforces this).
 #[derive(Default)]
 struct Workspace {
     ap_f32: Vec<f32>,
@@ -174,6 +480,31 @@ pub fn gemm_f32<E: EpilogueF32>(
     out: &mut [f32],
     epi: &mut E,
 ) {
+    gemm_f32_pre(m, n, k, a, a_layout, b, b_layout, None, out, epi);
+}
+
+/// [`gemm_f32`] with an optional pre-packed operand (role taken from the
+/// artifact). Raw slices are still required — the small-shape path and any
+/// non-pre-packed operand read them — and must hold the same values the
+/// artifact was packed from; the result is bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its shape requires or the pre-pack's
+/// shape does not match `(m, n, k)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_f32_pre<E: EpilogueF32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    pre: Option<&PackedF32>,
+    out: &mut [f32],
+    epi: &mut E,
+) {
     assert!(a.len() >= m * k, "gemm_f32: A shorter than m*k");
     assert!(b.len() >= k * n, "gemm_f32: B shorter than k*n");
     assert!(out.len() >= m * n, "gemm_f32: out shorter than m*n");
@@ -192,8 +523,58 @@ pub fn gemm_f32<E: EpilogueF32>(
         gemm_f32_small(m, n, k, a, a_layout, b, b_layout, out, epi);
         return;
     }
+    let (pre_a, pre_b) = match pre {
+        Some(p) => {
+            let want = match p.role {
+                PackedRole::A => m,
+                PackedRole::B => n,
+            };
+            assert!(
+                p.dim == want && p.k == k,
+                "gemm_f32_pre: pre-pack shape ({}, {}) does not match call",
+                p.dim,
+                p.k
+            );
+            match p.role {
+                PackedRole::A => (Some(p.panels()), None),
+                PackedRole::B => (None, Some(p.panels())),
+            }
+        }
+        None => (None, None),
+    };
+    let jc_blocks = n.div_ceil(NC);
+    let ic_blocks = m.div_ceil(MC);
+    if m * n * k >= PAR_MIN_MNK
+        && (jc_blocks > 1 || ic_blocks > 1)
+        && diva_par::jobs() > 1
+        && !diva_par::in_worker()
+    {
+        threaded_f32(
+            m, n, k, a, a_layout, pre_a, b, b_layout, pre_b, out, epi, jc_blocks, ic_blocks,
+        );
+        return;
+    }
     with_workspace(|ws| {
-        gemm_f32_blocked(m, n, k, a, a_layout, b, b_layout, out, epi, ws);
+        blocked_f32(
+            m,
+            n,
+            k,
+            a,
+            a_layout,
+            pre_a,
+            b,
+            b_layout,
+            pre_b,
+            0,
+            n,
+            0,
+            m,
+            out,
+            n,
+            Some(epi),
+            &mut ws.ap_f32,
+            &mut ws.bp_f32,
+        );
     });
 }
 
@@ -232,66 +613,214 @@ fn gemm_f32_small<E: EpilogueF32>(
     }
 }
 
+/// The blocked loop nest over a window of whole `jc`/`ic` tiles.
+///
+/// `dst` is row-major with leading dimension `ldc` and its origin at global
+/// element `(ic_lo, jc_lo)`; window bounds must be tile-aligned at the low
+/// edge and clamped to `n`/`m` at the high edge, so tile geometry (and with
+/// it the fold order) is independent of the window. Pre-packed panels are
+/// read in place; missing ones are packed into the caller's buffers. When
+/// `epi` is `None` the window holds raw sums on return (threaded workers;
+/// the caller then applies the epilogue in deterministic order).
 #[allow(clippy::too_many_arguments)]
-fn gemm_f32_blocked<E: EpilogueF32>(
+fn blocked_f32<E: EpilogueF32>(
     m: usize,
     n: usize,
     k: usize,
     a: &[f32],
     a_layout: Layout,
+    pre_a: Option<PanelRef<'_, f32>>,
     b: &[f32],
     b_layout: Layout,
-    out: &mut [f32],
-    epi: &mut E,
-    ws: &mut Workspace,
+    pre_b: Option<PanelRef<'_, f32>>,
+    jc_lo: usize,
+    jc_hi: usize,
+    ic_lo: usize,
+    ic_hi: usize,
+    dst: &mut [f32],
+    ldc: usize,
+    mut epi: Option<&mut E>,
+    ap_buf: &mut Vec<f32>,
+    bp_buf: &mut Vec<f32>,
 ) {
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
+    let pc_blocks = k.div_ceil(KC);
+    let ic_blocks = m.div_ceil(MC);
+    for jc in (jc_lo..jc_hi).step_by(NC) {
+        let nc = NC.min(jc_hi - jc);
         let n_strips = nc.div_ceil(NR);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             let first = pc == 0;
             let last = pc + kc == k;
-            ws.bp_f32.resize(n_strips * kc * NR, 0.0);
-            pack_b_f32(b, b_layout, n, k, pc, kc, jc, nc, &mut ws.bp_f32);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
+            let bpanels: &[f32] = match pre_b {
+                Some(p) => p.block((jc / NC) * pc_blocks + pc / KC),
+                None => {
+                    bp_buf.resize(n_strips * kc * NR, 0.0);
+                    pack_b_f32(b, b_layout, n, k, pc, kc, jc, nc, bp_buf);
+                    &bp_buf[..n_strips * kc * NR]
+                }
+            };
+            for ic in (ic_lo..ic_hi).step_by(MC) {
+                let mc = MC.min(ic_hi - ic);
                 let m_strips = mc.div_ceil(MR);
-                ws.ap_f32.resize(m_strips * kc * MR, 0.0);
-                pack_a_f32(a, a_layout, m, k, ic, mc, pc, kc, &mut ws.ap_f32);
+                let apanels: &[f32] = match pre_a {
+                    Some(p) => p.block((pc / KC) * ic_blocks + ic / MC),
+                    None => {
+                        ap_buf.resize(m_strips * kc * MR, 0.0);
+                        pack_a_f32(a, a_layout, m, k, ic, mc, pc, kc, ap_buf);
+                        &ap_buf[..m_strips * kc * MR]
+                    }
+                };
                 for js in 0..n_strips {
                     let j0 = jc + js * NR;
                     let nr = NR.min(jc + nc - j0);
-                    let bpanel = &ws.bp_f32[js * kc * NR..(js + 1) * kc * NR];
+                    let bpanel = &bpanels[js * kc * NR..(js + 1) * kc * NR];
                     for is in 0..m_strips {
                         let i0 = ic + is * MR;
                         let mr = MR.min(ic + mc - i0);
-                        let apanel = &ws.ap_f32[is * kc * MR..(is + 1) * kc * MR];
+                        let apanel = &apanels[is * kc * MR..(is + 1) * kc * MR];
+                        let base = (i0 - ic_lo) * ldc + (j0 - jc_lo);
                         if mr == MR && nr == NR {
-                            kern_f32(kc, apanel, bpanel, &mut out[i0 * n + j0..], n, first);
+                            kern_f32(kc, apanel, bpanel, &mut dst[base..], ldc, first);
                         } else {
                             // Edge tile: stage through a padded MR×NR buffer.
                             let mut tile = [0.0f32; MR * NR];
                             if !first {
                                 for (r, trow) in tile.chunks_mut(NR).enumerate().take(mr) {
-                                    let src = (i0 + r) * n + j0;
-                                    trow[..nr].copy_from_slice(&out[src..src + nr]);
+                                    let src = base + r * ldc;
+                                    trow[..nr].copy_from_slice(&dst[src..src + nr]);
                                 }
                             }
                             kern_f32(kc, apanel, bpanel, &mut tile, NR, first);
                             for (r, trow) in tile.chunks(NR).enumerate().take(mr) {
-                                let dst = (i0 + r) * n + j0;
-                                out[dst..dst + nr].copy_from_slice(&trow[..nr]);
+                                let d = base + r * ldc;
+                                dst[d..d + nr].copy_from_slice(&trow[..nr]);
                             }
                         }
                     }
                 }
                 if last {
-                    for i in ic..ic + mc {
-                        epi.finish(i, jc, &mut out[i * n + jc..i * n + jc + nc]);
+                    if let Some(e) = epi.as_deref_mut() {
+                        for i in ic..ic + mc {
+                            let d = (i - ic_lo) * ldc + (jc - jc_lo);
+                            e.finish(i, jc, &mut dst[d..d + nc]);
+                        }
                     }
                 }
             }
+        }
+    }
+}
+
+/// Intra-op fan-out for the f32 core (see the module determinism docs):
+/// multi-`jc` shapes stripe columns across workers, tall single-`jc` shapes
+/// stripe `ic` row slabs. Workers return raw-sum stripes; the merge and the
+/// epilogue sweep run on the calling thread in ascending tile order, giving
+/// the exact epilogue call sequence of the serial path.
+#[allow(clippy::too_many_arguments)]
+fn threaded_f32<E: EpilogueF32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    pre_a: Option<PanelRef<'_, f32>>,
+    b: &[f32],
+    b_layout: Layout,
+    pre_b: Option<PanelRef<'_, f32>>,
+    out: &mut [f32],
+    epi: &mut E,
+    jc_blocks: usize,
+    ic_blocks: usize,
+) {
+    if jc_blocks > 1 {
+        let stripes: Vec<Vec<f32>> = diva_par::par_map_indexed(jc_blocks, |t| {
+            let jc = t * NC;
+            let jc_hi = n.min(jc + NC);
+            let mut stripe = vec![0.0f32; m * (jc_hi - jc)];
+            with_workspace(|ws| {
+                blocked_f32::<NoEpilogue>(
+                    m,
+                    n,
+                    k,
+                    a,
+                    a_layout,
+                    pre_a,
+                    b,
+                    b_layout,
+                    pre_b,
+                    jc,
+                    jc_hi,
+                    0,
+                    m,
+                    &mut stripe,
+                    jc_hi - jc,
+                    None,
+                    &mut ws.ap_f32,
+                    &mut ws.bp_f32,
+                );
+            });
+            stripe
+        });
+        for (t, stripe) in stripes.iter().enumerate() {
+            let jc = t * NC;
+            let nc = n.min(jc + NC) - jc;
+            for i in 0..m {
+                out[i * n + jc..i * n + jc + nc].copy_from_slice(&stripe[i * nc..(i + 1) * nc]);
+            }
+        }
+        for t in 0..jc_blocks {
+            let jc = t * NC;
+            let nc = n.min(jc + NC) - jc;
+            for i in 0..m {
+                epi.finish(i, jc, &mut out[i * n + jc..i * n + jc + nc]);
+            }
+        }
+    } else {
+        // Row-slab fan-out: every worker reads every B panel, so a full B
+        // pre-pack is built once here (on the calling thread) unless the
+        // caller already supplied one from the cache.
+        let owned_b = if pre_b.is_none() {
+            Some(PackedF32::pack_b(b, b_layout, k, n))
+        } else {
+            None
+        };
+        let pre_b = pre_b.or_else(|| owned_b.as_ref().map(|p| p.panels()));
+        let slabs: Vec<Vec<f32>> = diva_par::par_map_indexed(ic_blocks, |t| {
+            let ic = t * MC;
+            let ic_hi = m.min(ic + MC);
+            let mut slab = vec![0.0f32; (ic_hi - ic) * n];
+            with_workspace(|ws| {
+                blocked_f32::<NoEpilogue>(
+                    m,
+                    n,
+                    k,
+                    a,
+                    a_layout,
+                    pre_a,
+                    b,
+                    b_layout,
+                    pre_b,
+                    0,
+                    n,
+                    ic,
+                    ic_hi,
+                    &mut slab,
+                    n,
+                    None,
+                    &mut ws.ap_f32,
+                    &mut ws.bp_f32,
+                );
+            });
+            slab
+        });
+        for (t, slab) in slabs.iter().enumerate() {
+            let ic = t * MC;
+            let mc = m.min(ic + MC) - ic;
+            out[ic * n..(ic + mc) * n].copy_from_slice(slab);
+        }
+        for i in 0..m {
+            epi.finish(i, 0, &mut out[i * n..(i + 1) * n]);
         }
     }
 }
@@ -335,7 +864,7 @@ fn pack_a_f32(
     kc: usize,
     ap: &mut [f32],
 ) {
-    for (is, strip) in ap.chunks_mut(kc * MR).enumerate() {
+    for (is, strip) in ap.chunks_mut(kc * MR).enumerate().take(mc.div_ceil(MR)) {
         let i0 = ic + is * MR;
         let mr = MR.min(ic + mc - i0);
         if mr < MR {
@@ -374,7 +903,7 @@ fn pack_b_f32(
     nc: usize,
     bp: &mut [f32],
 ) {
-    for (js, strip) in bp.chunks_mut(kc * NR).enumerate() {
+    for (js, strip) in bp.chunks_mut(kc * NR).enumerate().take(nc.div_ceil(NR)) {
         let j0 = jc + js * NR;
         let nr = NR.min(jc + nc - j0);
         if nr < NR {
@@ -429,9 +958,57 @@ pub fn gemm_i8<E: EpilogueI32>(
     out: &mut [i8],
     epi: &mut E,
 ) {
+    gemm_i8_pre(m, n, k, a, None, b, b_layout, b_offset, out, epi);
+}
+
+/// [`gemm_i8`] with optionally pre-packed (`i16`-widened) weights. The raw
+/// `a` slice is still required — the small-shape path reads it — and must
+/// hold the values the artifact was packed from; the accumulators are
+/// identical either way.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its shape requires or the pre-pack's
+/// shape does not match `(m, k)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_pre<E: EpilogueI32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    pre_a: Option<PackedI16Ref<'_>>,
+    b: &[i8],
+    b_layout: Layout,
+    b_offset: i32,
+    out: &mut [i8],
+    epi: &mut E,
+) {
     assert!(a.len() >= m * k, "gemm_i8: A shorter than m*k");
     assert!(b.len() >= k * n, "gemm_i8: B shorter than k*n");
     if m == 0 || n == 0 {
+        return;
+    }
+    let pre = pre_a.map(|p| {
+        assert!(
+            p.m == m && p.k == k,
+            "gemm_i8_pre: pre-pack shape ({}, {}) does not match call",
+            p.m,
+            p.k
+        );
+        p.panels
+    });
+    let jc_blocks = n.div_ceil(NC);
+    let ic_blocks = m.div_ceil(MC);
+    if k > 0
+        && m * n * k > SMALL_MNK
+        && m * n * k >= PAR_MIN_MNK
+        && (jc_blocks > 1 || ic_blocks > 1)
+        && diva_par::jobs() > 1
+        && !diva_par::in_worker()
+    {
+        threaded_i8(
+            m, n, k, a, pre, b, b_layout, b_offset, out, epi, jc_blocks, ic_blocks,
+        );
         return;
     }
     with_workspace(|ws| {
@@ -448,18 +1025,24 @@ pub fn gemm_i8<E: EpilogueI32>(
                 epi.row(i, 0, &scratch[i * n..(i + 1) * n], out);
             }
         } else {
-            gemm_i8_blocked(
+            blocked_i8(
                 m,
                 n,
                 k,
                 a,
+                pre,
                 b,
                 b_layout,
                 b_offset,
-                out,
+                0,
+                n,
+                0,
+                m,
                 &mut scratch,
-                epi,
-                ws,
+                n,
+                Some((epi, out)),
+                &mut ws.ap_i16,
+                &mut ws.bp_i16,
             );
         }
         ws.c_i32 = scratch;
@@ -500,65 +1083,179 @@ fn gemm_i8_small(
     }
 }
 
+/// The i8 sibling of [`blocked_f32`]: the blocked loop nest over a window of
+/// whole tiles, accumulating into `dst` (origin at `(ic_lo, jc_lo)`, leading
+/// dimension `ldc`). When `epi_out` is `Some`, each finished row segment is
+/// handed to the epilogue while still hot (serial path); workers pass `None`
+/// and the caller sweeps the raw accumulators afterwards.
 #[allow(clippy::too_many_arguments)]
-fn gemm_i8_blocked<E: EpilogueI32>(
+fn blocked_i8<E: EpilogueI32>(
     m: usize,
     n: usize,
     k: usize,
     a: &[i8],
+    pre_a: Option<PanelRef<'_, i16>>,
     b: &[i8],
     b_layout: Layout,
     b_offset: i32,
-    out: &mut [i8],
-    scratch: &mut [i32],
-    epi: &mut E,
-    ws: &mut Workspace,
+    jc_lo: usize,
+    jc_hi: usize,
+    ic_lo: usize,
+    ic_hi: usize,
+    dst: &mut [i32],
+    ldc: usize,
+    mut epi_out: Option<(&mut E, &mut [i8])>,
+    ap_buf: &mut Vec<i16>,
+    bp_buf: &mut Vec<i16>,
 ) {
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
+    let ic_blocks = m.div_ceil(MC);
+    for jc in (jc_lo..jc_hi).step_by(NC) {
+        let nc = NC.min(jc_hi - jc);
         let n_strips = nc.div_ceil(NR);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             let first = pc == 0;
             let last = pc + kc == k;
-            ws.bp_i16.resize(n_strips * kc * NR, 0);
-            pack_b_i16(b, b_layout, n, k, pc, kc, jc, nc, b_offset, &mut ws.bp_i16);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
+            bp_buf.resize(n_strips * kc * NR, 0);
+            pack_b_i16(b, b_layout, n, k, pc, kc, jc, nc, b_offset, bp_buf);
+            for ic in (ic_lo..ic_hi).step_by(MC) {
+                let mc = MC.min(ic_hi - ic);
                 let m_strips = mc.div_ceil(MR);
-                ws.ap_i16.resize(m_strips * kc * MR, 0);
-                pack_a_i16(a, k, ic, mc, pc, kc, &mut ws.ap_i16);
+                let apanels: &[i16] = match pre_a {
+                    Some(p) => p.block((pc / KC) * ic_blocks + ic / MC),
+                    None => {
+                        ap_buf.resize(m_strips * kc * MR, 0);
+                        pack_a_i16(a, k, ic, mc, pc, kc, ap_buf);
+                        &ap_buf[..m_strips * kc * MR]
+                    }
+                };
                 for js in 0..n_strips {
                     let j0 = jc + js * NR;
                     let nr = NR.min(jc + nc - j0);
-                    let bpanel = &ws.bp_i16[js * kc * NR..(js + 1) * kc * NR];
+                    let bpanel = &bp_buf[js * kc * NR..(js + 1) * kc * NR];
                     for is in 0..m_strips {
                         let i0 = ic + is * MR;
                         let mr = MR.min(ic + mc - i0);
-                        let apanel = &ws.ap_i16[is * kc * MR..(is + 1) * kc * MR];
+                        let apanel = &apanels[is * kc * MR..(is + 1) * kc * MR];
+                        let base = (i0 - ic_lo) * ldc + (j0 - jc_lo);
                         if mr == MR && nr == NR {
-                            kern_i16(kc, apanel, bpanel, &mut scratch[i0 * n + j0..], n, first);
+                            kern_i16(kc, apanel, bpanel, &mut dst[base..], ldc, first);
                         } else {
                             let mut tile = [0i32; MR * NR];
                             if !first {
                                 for (r, trow) in tile.chunks_mut(NR).enumerate().take(mr) {
-                                    let src = (i0 + r) * n + j0;
-                                    trow[..nr].copy_from_slice(&scratch[src..src + nr]);
+                                    let src = base + r * ldc;
+                                    trow[..nr].copy_from_slice(&dst[src..src + nr]);
                                 }
                             }
                             kern_i16(kc, apanel, bpanel, &mut tile, NR, first);
                             for (r, trow) in tile.chunks(NR).enumerate().take(mr) {
-                                let dst = (i0 + r) * n + j0;
-                                scratch[dst..dst + nr].copy_from_slice(&trow[..nr]);
+                                let d = base + r * ldc;
+                                dst[d..d + nr].copy_from_slice(&trow[..nr]);
                             }
                         }
                     }
                 }
                 if last {
-                    for i in ic..ic + mc {
-                        epi.row(i, jc, &scratch[i * n + jc..i * n + jc + nc], out);
+                    if let Some((epi, out)) = epi_out.as_mut() {
+                        for i in ic..ic + mc {
+                            let d = (i - ic_lo) * ldc + (jc - jc_lo);
+                            epi.row(i, jc, &dst[d..d + nc], out);
+                        }
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Intra-op fan-out for the i8 core. Workers return raw `i32` accumulator
+/// stripes; the epilogue sweep reads them on the calling thread in the
+/// serial path's order (ascending `jc`, then ascending row), so requant
+/// counters and writeback are identical across job counts.
+#[allow(clippy::too_many_arguments)]
+fn threaded_i8<E: EpilogueI32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    pre_a: Option<PanelRef<'_, i16>>,
+    b: &[i8],
+    b_layout: Layout,
+    b_offset: i32,
+    out: &mut [i8],
+    epi: &mut E,
+    jc_blocks: usize,
+    ic_blocks: usize,
+) {
+    if jc_blocks > 1 {
+        let stripes: Vec<Vec<i32>> = diva_par::par_map_indexed(jc_blocks, |t| {
+            let jc = t * NC;
+            let jc_hi = n.min(jc + NC);
+            let mut stripe = vec![0i32; m * (jc_hi - jc)];
+            with_workspace(|ws| {
+                blocked_i8::<NoRequant>(
+                    m,
+                    n,
+                    k,
+                    a,
+                    pre_a,
+                    b,
+                    b_layout,
+                    b_offset,
+                    jc,
+                    jc_hi,
+                    0,
+                    m,
+                    &mut stripe,
+                    jc_hi - jc,
+                    None,
+                    &mut ws.ap_i16,
+                    &mut ws.bp_i16,
+                );
+            });
+            stripe
+        });
+        for (t, stripe) in stripes.iter().enumerate() {
+            let jc = t * NC;
+            let nc = n.min(jc + NC) - jc;
+            for i in 0..m {
+                epi.row(i, jc, &stripe[i * nc..(i + 1) * nc], out);
+            }
+        }
+    } else {
+        let slabs: Vec<Vec<i32>> = diva_par::par_map_indexed(ic_blocks, |t| {
+            let ic = t * MC;
+            let ic_hi = m.min(ic + MC);
+            let mut slab = vec![0i32; (ic_hi - ic) * n];
+            with_workspace(|ws| {
+                blocked_i8::<NoRequant>(
+                    m,
+                    n,
+                    k,
+                    a,
+                    pre_a,
+                    b,
+                    b_layout,
+                    b_offset,
+                    0,
+                    n,
+                    ic,
+                    ic_hi,
+                    &mut slab,
+                    n,
+                    None,
+                    &mut ws.ap_i16,
+                    &mut ws.bp_i16,
+                );
+            });
+            slab
+        });
+        for (t, slab) in slabs.iter().enumerate() {
+            let ic = t * MC;
+            let mc = m.min(ic + MC) - ic;
+            for r in 0..mc {
+                epi.row(ic + r, 0, &slab[r * n..(r + 1) * n], out);
             }
         }
     }
@@ -589,7 +1286,7 @@ fn kern_i16(kc: usize, apanel: &[i16], bpanel: &[i16], c: &mut [i32], ldc: usize
 
 /// Packs weights (`[m, k]` row-major `i8`) into `MR`-row `i16` strips.
 fn pack_a_i16(a: &[i8], k: usize, ic: usize, mc: usize, pc: usize, kc: usize, ap: &mut [i16]) {
-    for (is, strip) in ap.chunks_mut(kc * MR).enumerate() {
+    for (is, strip) in ap.chunks_mut(kc * MR).enumerate().take(mc.div_ceil(MR)) {
         let i0 = ic + is * MR;
         let mr = MR.min(ic + mc - i0);
         if mr < MR {
@@ -621,7 +1318,7 @@ fn pack_b_i16(
     bp: &mut [i16],
 ) {
     let off = offset as i16;
-    for (js, strip) in bp.chunks_mut(kc * NR).enumerate() {
+    for (js, strip) in bp.chunks_mut(kc * NR).enumerate().take(nc.div_ceil(NR)) {
         let j0 = jc + js * NR;
         let nr = NR.min(jc + nc - j0);
         if nr < NR {
@@ -823,6 +1520,133 @@ mod tests {
                     assert_eq!(got, want, "m={m} n={n} k={k} {bl:?} off={off}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn prepacked_operands_match_fresh_pack_bitwise() {
+        let mut mix = Mix(17);
+        let (m, n, k) = (70, 96, 300); // blocked path, ragged tiles, 2 KC blocks
+        let a: Vec<f32> = (0..m * k).map(|_| mix.f32()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| mix.f32()).collect();
+        for al in [Layout::RowMajor, Layout::Transposed] {
+            let mut fresh = vec![0.0f32; m * n];
+            gemm_f32(
+                m,
+                n,
+                k,
+                &a,
+                al,
+                &b,
+                Layout::RowMajor,
+                &mut fresh,
+                &mut NoEpilogue,
+            );
+            let pa = PackedF32::pack_a(&a, al, m, k);
+            let mut got = vec![0.0f32; m * n];
+            gemm_f32_pre(
+                m,
+                n,
+                k,
+                &a,
+                al,
+                &b,
+                Layout::RowMajor,
+                Some(&pa),
+                &mut got,
+                &mut NoEpilogue,
+            );
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "packed A, {al:?}"
+            );
+        }
+        for bl in [Layout::RowMajor, Layout::Transposed] {
+            let mut fresh = vec![0.0f32; m * n];
+            gemm_f32(
+                m,
+                n,
+                k,
+                &a,
+                Layout::RowMajor,
+                &b,
+                bl,
+                &mut fresh,
+                &mut NoEpilogue,
+            );
+            let pb = PackedF32::pack_b(&b, bl, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_f32_pre(
+                m,
+                n,
+                k,
+                &a,
+                Layout::RowMajor,
+                &b,
+                bl,
+                Some(&pb),
+                &mut got,
+                &mut NoEpilogue,
+            );
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "packed B, {bl:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepacked_i8_weights_are_exact() {
+        let mut mix = Mix(19);
+        let (m, n, k) = (24, 256, 108); // blocked path
+        let a: Vec<i8> = (0..m * k).map(|_| mix.i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| mix.i8()).collect();
+        let want = naive_i8_i32(m, n, k, &a, &b, Layout::RowMajor, -7);
+        let pa = PackedI16::pack_a(&a, m, k);
+        let mut got = vec![0i32; m * n];
+        let mut sink = vec![0i8; 0];
+        gemm_i8_pre(
+            m,
+            n,
+            k,
+            &a,
+            Some(pa.as_a()),
+            &b,
+            Layout::RowMajor,
+            -7,
+            &mut sink,
+            &mut CaptureAcc { acc: &mut got, n },
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dw_channel_pack_matches_whole_row() {
+        let mut mix = Mix(23);
+        let (c, k, n) = (6, 9, 8000); // 1×9 GEMMs, n large enough to block
+        let w: Vec<i8> = (0..c * k).map(|_| mix.i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| mix.i8()).collect();
+        let dw = PackedI16::pack_dw(&w, c, k);
+        for ci in 0..c {
+            let wrow = &w[ci * k..(ci + 1) * k];
+            let want = naive_i8_i32(1, n, k, wrow, &b, Layout::RowMajor, 3);
+            let mut got = vec![0i32; n];
+            let mut sink = vec![0i8; 0];
+            gemm_i8_pre(
+                1,
+                n,
+                k,
+                wrow,
+                Some(dw.dw_channel(ci)),
+                &b,
+                Layout::RowMajor,
+                3,
+                &mut sink,
+                &mut CaptureAcc { acc: &mut got, n },
+            );
+            assert_eq!(got, want, "channel {ci}");
         }
     }
 

@@ -29,6 +29,7 @@ pub mod conv;
 pub mod gemm;
 pub mod init;
 pub mod ops;
+pub mod packcache;
 pub mod pool;
 mod shape;
 mod tensor;

@@ -205,7 +205,12 @@ pub fn dense_forward(x: &Tensor, w: &Tensor, bias: &Tensor) -> Result<Tensor> {
     let (m, k) = (x.dims()[0], x.dims()[1]);
     let n = w.dims()[0];
     let mut out = Tensor::zeros(&[m, n]);
-    gemm::gemm_f32(
+    // Weights are the B operand and fixed across attack steps — fetch their
+    // packed panels from the content-addressed cache when the shape actually
+    // takes the packing path (small shapes would pay the hash for nothing).
+    let pre = gemm::blocked_path(m, n, k)
+        .then(|| crate::packcache::pack_f32_b(w.data(), Layout::Transposed, k, n));
+    gemm::gemm_f32_pre(
         m,
         n,
         k,
@@ -213,6 +218,7 @@ pub fn dense_forward(x: &Tensor, w: &Tensor, bias: &Tensor) -> Result<Tensor> {
         Layout::RowMajor,
         w.data(),
         Layout::Transposed,
+        pre.as_deref(),
         out.data_mut(),
         &mut gemm::BiasCols(bias.data()),
     );

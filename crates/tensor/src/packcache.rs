@@ -1,0 +1,359 @@
+//! Content-addressed cache of pre-packed GEMM weight panels.
+//!
+//! Attacks and serving run thousands of forward passes against *fixed*
+//! weights, so the weight operand's pack step (see [`crate::gemm`]) is pure
+//! amortizable overhead. This module keys a [`PackedF32`] / [`PackedI16`]
+//! artifact by an fnv1a64 fingerprint over the weight **bytes + shape +
+//! layout + operand role**, so:
+//!
+//! * a hot layer packs once and every later call hits;
+//! * *any* mutation — a training step, a `diva-fault` bitflip, an engine
+//!   weight reload — changes the bytes, changes the key, and misses
+//!   cleanly. There is no explicit invalidation API to forget to call;
+//!   stale panels are unreachable by construction and age out via LRU.
+//!
+//! The cache is process-global behind a mutex, but packing happens
+//! *outside* the lock: two threads racing on a cold layer both pack
+//! (identical artifacts — packing is deterministic) and the last insert
+//! wins. Entries are `Arc`ed out, so eviction never invalidates a borrow
+//! in flight.
+//!
+//! Deliberately **not** instrumented with `diva-trace` counters: engine
+//! batch chunking varies the number of GEMM calls per job count, so
+//! hit/miss totals would differ across `DIVA_JOBS` and break the
+//! metrics-equality half of the determinism harness. Stats are private
+//! atomics, exposed via [`stats`] for tests and benches.
+//!
+//! Environment knobs:
+//!
+//! * `DIVA_PACK_CACHE=0` disables the cache (every lookup packs fresh);
+//! * `DIVA_PACK_CACHE_MB` caps the resident footprint (default 64 MiB);
+//!   least-recently-used artifacts are evicted past the cap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::gemm::{Layout, PackedF32, PackedI16};
+
+/// Default budget when `DIVA_PACK_CACHE_MB` is unset.
+const DEFAULT_BUDGET_MB: usize = 64;
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// fnv1a64 folded 8 bytes per multiply (local to keep `diva-tensor` at the
+/// bottom of the crate graph). The word-wise fold matters: the fingerprint
+/// runs on *every* GEMM call, and a byte-at-a-time FNV is a serial multiply
+/// chain per byte — slow enough to rival the pack cost it amortizes.
+fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Role/type tag folded into the key so identical bytes packed differently
+/// can never collide.
+#[derive(Clone, Copy)]
+enum Kind {
+    F32A = 0,
+    F32B = 1,
+    I16A = 2,
+    I16Dw = 3,
+}
+
+fn key_f32(kind: Kind, layout: Layout, d0: usize, d1: usize, data: &[f32]) -> u64 {
+    let mut h = fnv1a64(FNV_SEED, &[kind as u8, layout as u8]);
+    h = fnv1a64(h, &(d0 as u64).to_le_bytes());
+    h = fnv1a64(h, &(d1 as u64).to_le_bytes());
+    // f32 has no padding bits, so its raw bytes are a faithful identity
+    // (NaN payloads and -0.0 vs 0.0 included — bitwise, like the panels).
+    let bytes: &[u8] =
+        unsafe { std::slice::from_raw_parts(data.as_ptr().cast(), std::mem::size_of_val(data)) };
+    fnv1a64(h, bytes)
+}
+
+fn key_i8(kind: Kind, d0: usize, d1: usize, data: &[i8]) -> u64 {
+    let mut h = fnv1a64(FNV_SEED, &[kind as u8]);
+    h = fnv1a64(h, &(d0 as u64).to_le_bytes());
+    h = fnv1a64(h, &(d1 as u64).to_le_bytes());
+    // i8 slices reinterpret losslessly as u8 for hashing.
+    let bytes: &[u8] = unsafe { std::slice::from_raw_parts(data.as_ptr().cast(), data.len()) };
+    fnv1a64(h, bytes)
+}
+
+enum Packed {
+    F32(Arc<PackedF32>),
+    I16(Arc<PackedI16>),
+}
+
+struct Entry {
+    packed: Packed,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Cache {
+    map: HashMap<u64, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+struct Shared {
+    cache: Mutex<Cache>,
+    budget: usize,
+    enabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let enabled = !matches!(std::env::var("DIVA_PACK_CACHE").as_deref(), Ok("0"));
+        let budget_mb = std::env::var("DIVA_PACK_CACHE_MB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_BUDGET_MB);
+        Shared {
+            cache: Mutex::new(Cache::default()),
+            budget: budget_mb.saturating_mul(1 << 20),
+            enabled,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    })
+}
+
+/// Point-in-time cache statistics (private atomics, **not** trace counters —
+/// see the module docs for why).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a resident artifact.
+    pub hits: u64,
+    /// Lookups that packed fresh (cold, evicted, or cache disabled).
+    pub misses: u64,
+    /// Artifacts dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+    /// Resident footprint in bytes.
+    pub bytes: usize,
+}
+
+/// Snapshot the cache counters.
+pub fn stats() -> CacheStats {
+    let s = shared();
+    let c = s.cache.lock().unwrap();
+    CacheStats {
+        hits: s.hits.load(Ordering::Relaxed),
+        misses: s.misses.load(Ordering::Relaxed),
+        evictions: s.evictions.load(Ordering::Relaxed),
+        entries: c.map.len(),
+        bytes: c.bytes,
+    }
+}
+
+/// Drop every resident artifact (counters keep accumulating). Used by the
+/// cold-cache microbench and tests; in production entries age out via LRU.
+pub fn clear() {
+    let s = shared();
+    let mut c = s.cache.lock().unwrap();
+    c.map.clear();
+    c.bytes = 0;
+}
+
+fn lookup(s: &'static Shared, key: u64) -> Option<Packed> {
+    let mut c = s.cache.lock().unwrap();
+    c.tick += 1;
+    let tick = c.tick;
+    match c.map.get_mut(&key) {
+        Some(e) => {
+            e.tick = tick;
+            s.hits.fetch_add(1, Ordering::Relaxed);
+            Some(match &e.packed {
+                Packed::F32(p) => Packed::F32(Arc::clone(p)),
+                Packed::I16(p) => Packed::I16(Arc::clone(p)),
+            })
+        }
+        None => {
+            s.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+fn insert(s: &'static Shared, key: u64, packed: Packed, bytes: usize) {
+    let mut c = s.cache.lock().unwrap();
+    c.tick += 1;
+    let tick = c.tick;
+    if let Some(old) = c.map.insert(
+        key,
+        Entry {
+            packed,
+            bytes,
+            tick,
+        },
+    ) {
+        c.bytes -= old.bytes;
+    }
+    c.bytes += bytes;
+    // LRU eviction keeps training loops (a new key per step) bounded.
+    while c.bytes > s.budget && c.map.len() > 1 {
+        let (&victim, _) = c
+            .map
+            .iter()
+            .filter(|&(k, _)| *k != key)
+            .min_by_key(|&(_, e)| e.tick)
+            .expect("len > 1 guarantees a non-self victim");
+        let e = c.map.remove(&victim).unwrap();
+        c.bytes -= e.bytes;
+        s.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fetch-or-pack a full `f32` `A` operand (`[m, k]` mathematical shape).
+pub fn pack_f32_a(a: &[f32], layout: Layout, m: usize, k: usize) -> Arc<PackedF32> {
+    let s = shared();
+    if !s.enabled {
+        s.misses.fetch_add(1, Ordering::Relaxed);
+        return Arc::new(PackedF32::pack_a(a, layout, m, k));
+    }
+    let key = key_f32(Kind::F32A, layout, m, k, &a[..m * k]);
+    if let Some(Packed::F32(p)) = lookup(s, key) {
+        return p;
+    }
+    let p = Arc::new(PackedF32::pack_a(a, layout, m, k));
+    insert(s, key, Packed::F32(Arc::clone(&p)), p.footprint());
+    p
+}
+
+/// Fetch-or-pack a full `f32` `B` operand (`[k, n]` mathematical shape).
+pub fn pack_f32_b(b: &[f32], layout: Layout, k: usize, n: usize) -> Arc<PackedF32> {
+    let s = shared();
+    if !s.enabled {
+        s.misses.fetch_add(1, Ordering::Relaxed);
+        return Arc::new(PackedF32::pack_b(b, layout, k, n));
+    }
+    let key = key_f32(Kind::F32B, layout, k, n, &b[..k * n]);
+    if let Some(Packed::F32(p)) = lookup(s, key) {
+        return p;
+    }
+    let p = Arc::new(PackedF32::pack_b(b, layout, k, n));
+    insert(s, key, Packed::F32(Arc::clone(&p)), p.footprint());
+    p
+}
+
+/// Fetch-or-pack full `[m, k]` row-major `i8` weights, widened to `i16`.
+pub fn pack_i16_a(w: &[i8], m: usize, k: usize) -> Arc<PackedI16> {
+    let s = shared();
+    if !s.enabled {
+        s.misses.fetch_add(1, Ordering::Relaxed);
+        return Arc::new(PackedI16::pack_a(w, m, k));
+    }
+    let key = key_i8(Kind::I16A, m, k, &w[..m * k]);
+    if let Some(Packed::I16(p)) = lookup(s, key) {
+        return p;
+    }
+    let p = Arc::new(PackedI16::pack_a(w, m, k));
+    insert(s, key, Packed::I16(Arc::clone(&p)), p.footprint());
+    p
+}
+
+/// Fetch-or-pack depthwise `i8` weights (`[c, k]`, one `1×k` GEMM per
+/// channel), widened to `i16`.
+pub fn pack_i16_dw(w: &[i8], c: usize, k: usize) -> Arc<PackedI16> {
+    let s = shared();
+    if !s.enabled {
+        s.misses.fetch_add(1, Ordering::Relaxed);
+        return Arc::new(PackedI16::pack_dw(w, c, k));
+    }
+    let key = key_i8(Kind::I16Dw, c, k, &w[..c * k]);
+    if let Some(Packed::I16(p)) = lookup(s, key) {
+        return p;
+    }
+    let p = Arc::new(PackedI16::pack_dw(w, c, k));
+    insert(s, key, Packed::I16(Arc::clone(&p)), p.footprint());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(f: impl FnOnce()) -> (u64, u64, u64) {
+        let a = stats();
+        f();
+        let b = stats();
+        (
+            b.hits - a.hits,
+            b.misses - a.misses,
+            b.evictions - a.evictions,
+        )
+    }
+
+    #[test]
+    fn identical_bytes_hit_and_mutation_misses() {
+        // Shapes unique to this test so parallel tests can't interfere.
+        let mut w: Vec<f32> = (0..61 * 47).map(|i| i as f32 * 0.25).collect();
+        let (_, m0, _) = delta(|| {
+            pack_f32_b(&w, Layout::Transposed, 61, 47);
+        });
+        assert_eq!(m0, 1, "cold lookup must miss");
+        let (h1, m1, _) = delta(|| {
+            pack_f32_b(&w, Layout::Transposed, 61, 47);
+        });
+        assert_eq!((h1, m1), (1, 0), "identical bytes must hit");
+        // A single bit of mutation (what a diva-fault bitflip does) re-keys.
+        w[100] = f32::from_bits(w[100].to_bits() ^ 1);
+        let (h2, m2, _) = delta(|| {
+            pack_f32_b(&w, Layout::Transposed, 61, 47);
+        });
+        assert_eq!((h2, m2), (0, 1), "mutated bytes must miss");
+    }
+
+    #[test]
+    fn role_and_layout_are_part_of_the_key() {
+        let w: Vec<f32> = (0..52 * 52).map(|i| (i % 17) as f32).collect();
+        let (_, ma, _) = delta(|| {
+            pack_f32_a(&w, Layout::RowMajor, 52, 52);
+        });
+        let (_, mb, _) = delta(|| {
+            pack_f32_b(&w, Layout::RowMajor, 52, 52);
+        });
+        let (_, mt, _) = delta(|| {
+            pack_f32_a(&w, Layout::Transposed, 52, 52);
+        });
+        assert_eq!(
+            (ma, mb, mt),
+            (1, 1, 1),
+            "same bytes under a different role or layout must not collide"
+        );
+    }
+
+    #[test]
+    fn i8_variants_round_trip() {
+        let w: Vec<i8> = (0..37 * 53).map(|i| (i % 251) as i8).collect();
+        let (_, m0, _) = delta(|| {
+            pack_i16_a(&w, 37, 53);
+        });
+        let (h1, _, _) = delta(|| {
+            pack_i16_a(&w, 37, 53);
+        });
+        assert_eq!((m0, h1), (1, 1));
+        let (_, md, _) = delta(|| {
+            pack_i16_dw(&w, 37, 53);
+        });
+        assert_eq!(md, 1, "dw pack of the same bytes is a distinct key");
+    }
+}

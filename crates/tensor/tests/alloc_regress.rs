@@ -1,0 +1,150 @@
+//! Allocation-count regression for the serial GEMM hot path.
+//!
+//! The attack loop is thousands of GEMM calls on repeating shapes; the
+//! packing workspace is thread-local and grown monotonically (never shrunk),
+//! and hot pack-cache fetches clone an `Arc`, so after one warmup call per
+//! shape the steady state must perform **zero** heap allocations inside the
+//! core — on the blocked path (fresh-pack and pre-packed), the small-shape
+//! fallback, and the i8 sibling. A counting `#[global_allocator]` enforces
+//! it; any per-call `Vec` that sneaks back into the core fails this test.
+//!
+//! The counter is a const-initialized thread-local `Cell` (no `Drop`, so
+//! registering it never allocates from inside the allocator), and this
+//! binary holds exactly one test so no parallel test thread can confuse the
+//! count. The threaded fan-out is excluded by pinning jobs to 1: workers
+//! allocate their output stripes per call by design (fresh scoped threads
+//! cannot reuse thread-locals), which is amortized by the `PAR_MIN_MNK`
+//! work floor.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::cell::Cell;
+
+use diva_tensor::gemm::{self, CaptureAcc, Layout, NoEpilogue};
+use diva_tensor::packcache;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOC_CALLS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.with(|c| c.get());
+    f();
+    ALLOC_CALLS.with(|c| c.get()) - before
+}
+
+#[test]
+fn steady_state_gemm_calls_do_not_allocate() {
+    diva_par::set_jobs(1); // serial hot path; workers may allocate stripes
+
+    // Blocked f32 shape (m·n·k > 32³) and a small-path shape.
+    let (m, n, k) = (40, 96, 300);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.25 - 1.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.5 - 1.5).collect();
+    let mut out = vec![0.0f32; m * n];
+    let pre = packcache::pack_f32_b(&b, Layout::RowMajor, k, n);
+
+    let ai: Vec<i8> = (0..m * k).map(|i| (i % 251) as i8).collect();
+    let bi: Vec<i8> = (0..k * n).map(|i| (i % 119) as i8).collect();
+    let mut acc = vec![0i32; m * n];
+    let mut sink: Vec<i8> = Vec::new();
+    let pre_i = packcache::pack_i16_a(&ai, m, k);
+
+    let (sm, sn, sk) = (8, 16, 24); // under the small-path cutoff
+    let mut small_out = vec![0.0f32; sm * sn];
+    let mut small_acc = vec![0i32; sm * sn];
+
+    let mut run_all = |fresh_pack: bool| {
+        gemm::gemm_f32_pre(
+            m,
+            n,
+            k,
+            &a,
+            Layout::RowMajor,
+            &b,
+            Layout::RowMajor,
+            (!fresh_pack).then_some(&*pre),
+            &mut out,
+            &mut NoEpilogue,
+        );
+        gemm::gemm_i8_pre(
+            m,
+            n,
+            k,
+            &ai,
+            (!fresh_pack).then(|| pre_i.as_a()),
+            &bi,
+            Layout::RowMajor,
+            -7,
+            &mut sink,
+            &mut CaptureAcc { acc: &mut acc, n },
+        );
+        gemm::gemm_f32(
+            sm,
+            sn,
+            sk,
+            &a[..sm * sk],
+            Layout::RowMajor,
+            &b[..sk * sn],
+            Layout::RowMajor,
+            &mut small_out,
+            &mut NoEpilogue,
+        );
+        gemm::gemm_i8(
+            sm,
+            sn,
+            sk,
+            &ai[..sm * sk],
+            &bi[..sk * sn],
+            Layout::RowMajor,
+            3,
+            &mut sink,
+            &mut CaptureAcc {
+                acc: &mut small_acc,
+                n: sn,
+            },
+        );
+        // Hot cache fetch: identical bytes, must be a no-alloc Arc clone.
+        let again = packcache::pack_f32_b(&b, Layout::RowMajor, k, n);
+        assert_eq!(again.footprint(), pre.footprint());
+    };
+
+    // Warmup grows the thread-local workspace to these shapes once.
+    run_all(true);
+    run_all(false);
+
+    for fresh_pack in [true, false] {
+        let allocs = allocs_during(|| {
+            for _ in 0..5 {
+                run_all(fresh_pack);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state GEMM calls allocated (fresh_pack={fresh_pack}); \
+             a per-call buffer has crept back into the hot path"
+        );
+    }
+
+    diva_par::set_jobs(0);
+}

@@ -18,10 +18,25 @@
 //! All data comes from an in-file LCG, never `rand`, so every shape and
 //! value is identical on any platform.
 
+use std::sync::Mutex;
+
 use diva_tensor::conv::{conv2d, conv2d_naive, Conv2dCfg};
 use diva_tensor::gemm::{self, CaptureAcc, Layout, NoEpilogue};
-use diva_tensor::ops;
 use diva_tensor::Tensor;
+use diva_tensor::{ops, packcache};
+
+/// Serializes tests that mutate the process-global `diva_par` job override.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the worker-pool override pinned to `jobs`, restoring the
+/// env-driven default afterwards.
+fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    diva_par::set_jobs(jobs);
+    let r = f();
+    diva_par::set_jobs(0);
+    r
+}
 
 /// 32-bit LCG (Numerical Recipes constants), the same generator family the
 /// QAT golden-vector suite uses.
@@ -307,6 +322,241 @@ fn dense_forward_matches_unfused_reference() {
             "dense_forward b{batch} f{features} i{inputs}"
         );
     }
+}
+
+/// Shapes big enough to cross the intra-op threading threshold (m·n·k ≥ 2²¹
+/// multiply-adds), chosen to land below/at/past every `NC`/`MC` tile edge so
+/// the fan-out sees exact, ragged, and single-strip boundaries:
+///
+/// * jc fan-out (n > 512): n = 1100 (2 full + 1 ragged), 1024 (exact 2),
+///   1025 (2 full + 1-column block), with m both below and above MC;
+/// * ic fan-out (single jc block, m > 64): m = 200 (3 full + ragged 8),
+///   128 (exact 2), 513 (8 full + 1-row block).
+fn threaded_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (48, 1100, 64),
+        (8, 1024, 300),
+        (5, 1025, 520),
+        (96, 1500, 33),
+        (200, 96, 128),
+        (128, 128, 200),
+        (513, 40, 150),
+    ]
+}
+
+#[test]
+fn threaded_f32_is_byte_identical_across_job_counts() {
+    // The intra-op fan-out obeys the DESIGN.md §7 fixed-order-reduction
+    // rule: tile boundaries are the NC/MC constants (never jobs()-derived),
+    // each C tile is written by one worker running the full ascending-k
+    // fold, and the merge + epilogue sweep run on the calling thread in
+    // ascending tile order — so output is byte-identical at any DIVA_JOBS.
+    let mut lcg = Lcg(0x7A11);
+    for (m, n, k) in threaded_shapes() {
+        let a = lcg.tensor(&[m, k]);
+        let b = lcg.tensor(&[k, n]);
+        let bias = lcg.tensor(&[n]);
+        let run = |jobs: usize| {
+            with_jobs(jobs, || {
+                let mut out = vec![0.0f32; m * n];
+                gemm::gemm_f32(
+                    m,
+                    n,
+                    k,
+                    a.data(),
+                    Layout::RowMajor,
+                    b.data(),
+                    Layout::RowMajor,
+                    &mut out,
+                    &mut gemm::BiasCols(bias.data()),
+                );
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            })
+        };
+        let serial = run(1);
+        for jobs in [2, 4] {
+            assert_eq!(
+                serial,
+                run(jobs),
+                "f32 {m}x{n}x{k}: jobs={jobs} diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_i8_is_byte_identical_across_job_counts() {
+    let mut lcg = Lcg(0x7A12);
+    for (m, n, k) in [
+        (130usize, 600usize, 40usize),
+        (300, 64, 128),
+        (40, 1100, 60),
+    ] {
+        let a: Vec<i8> = (0..m * k).map(|_| lcg.i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| lcg.i8()).collect();
+        let run = |jobs: usize| {
+            with_jobs(jobs, || {
+                let mut acc = vec![0i32; m * n];
+                let mut sink: Vec<i8> = Vec::new();
+                gemm::gemm_i8(
+                    m,
+                    n,
+                    k,
+                    &a,
+                    &b,
+                    Layout::RowMajor,
+                    -7,
+                    &mut sink,
+                    &mut CaptureAcc { acc: &mut acc, n },
+                );
+                acc
+            })
+        };
+        let serial = run(1);
+        for jobs in [2, 4] {
+            assert_eq!(
+                serial,
+                run(jobs),
+                "i8 {m}x{n}x{k}: jobs={jobs} diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_path_still_matches_naive_references() {
+    // Bit-identity across job counts is necessary but not sufficient — the
+    // fan-out must also still compute the right product.
+    let mut lcg = Lcg(0x7A13);
+    let (m, n, k) = (48, 1100, 64);
+    let a = lcg.tensor(&[m, k]);
+    let b = lcg.tensor(&[k, n]);
+    with_jobs(4, || {
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm_f32(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::RowMajor,
+            b.data(),
+            Layout::RowMajor,
+            &mut out,
+            &mut NoEpilogue,
+        );
+        let want = gemm::naive_f32(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::RowMajor,
+            b.data(),
+            Layout::RowMajor,
+        );
+        assert_close(&out, &want, "threaded f32 vs naive");
+    });
+    let (m, n, k) = (130, 600, 40);
+    let a: Vec<i8> = (0..m * k).map(|_| lcg.i8()).collect();
+    let b: Vec<i8> = (0..k * n).map(|_| lcg.i8()).collect();
+    with_jobs(4, || {
+        let mut acc = vec![0i32; m * n];
+        let mut sink: Vec<i8> = Vec::new();
+        gemm::gemm_i8(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            Layout::RowMajor,
+            5,
+            &mut sink,
+            &mut CaptureAcc { acc: &mut acc, n },
+        );
+        assert_eq!(
+            acc,
+            gemm::naive_i8_i32(m, n, k, &a, &b, Layout::RowMajor, 5)
+        );
+    });
+}
+
+#[test]
+fn cached_pack_is_bit_identical_to_fresh_pack_f32() {
+    // Cold miss, then hot hit: both calls must produce the same bytes as
+    // the never-packed path, and the second fetch must come from cache.
+    let mut lcg = Lcg(0xCAC4E);
+    let (batch, features, inputs) = (9, 40, 531); // unique shape → unique key
+    let x = lcg.tensor(&[batch, inputs]);
+    let w = lcg.tensor(&[features, inputs]);
+    let bias = lcg.tensor(&[features]);
+    let fresh = {
+        let mut out = vec![0.0f32; batch * features];
+        gemm::gemm_f32(
+            batch,
+            features,
+            inputs,
+            x.data(),
+            Layout::RowMajor,
+            w.data(),
+            Layout::Transposed,
+            &mut out,
+            &mut gemm::BiasCols(bias.data()),
+        );
+        out
+    };
+    let before = packcache::stats();
+    let cold = ops::dense_forward(&x, &w, &bias).unwrap();
+    let hot = ops::dense_forward(&x, &w, &bias).unwrap();
+    let after = packcache::stats();
+    assert_eq!(
+        fresh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        cold.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "cold cached pack diverged from fresh pack"
+    );
+    assert_eq!(
+        cold.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        hot.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "hot cached pack diverged from cold"
+    );
+    assert!(
+        after.hits > before.hits,
+        "second dense_forward on identical weights did not hit the cache"
+    );
+}
+
+#[test]
+fn cached_pack_is_bit_identical_to_fresh_pack_i8() {
+    let mut lcg = Lcg(0xCAC4F);
+    let (m, n, k) = (26, 250, 111); // blocked path, unique shape → unique key
+    let a: Vec<i8> = (0..m * k).map(|_| lcg.i8()).collect();
+    let b: Vec<i8> = (0..k * n).map(|_| lcg.i8()).collect();
+    let run = |pre: Option<&gemm::PackedI16>| {
+        let mut acc = vec![0i32; m * n];
+        let mut sink: Vec<i8> = Vec::new();
+        gemm::gemm_i8_pre(
+            m,
+            n,
+            k,
+            &a,
+            pre.map(|p| p.as_a()),
+            &b,
+            Layout::RowMajor,
+            3,
+            &mut sink,
+            &mut CaptureAcc { acc: &mut acc, n },
+        );
+        acc
+    };
+    let fresh = run(None);
+    let before = packcache::stats();
+    let cold_pack = packcache::pack_i16_a(&a, m, k);
+    let hot_pack = packcache::pack_i16_a(&a, m, k);
+    let after = packcache::stats();
+    assert_eq!(fresh, run(Some(&cold_pack)), "cold cached i8 pack diverged");
+    assert_eq!(fresh, run(Some(&hot_pack)), "hot cached i8 pack diverged");
+    assert!(
+        after.hits > before.hits,
+        "second i8 pack fetch on identical weights did not hit the cache"
+    );
 }
 
 #[test]
